@@ -1,0 +1,180 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! summary kind, posting-chunk size, buffer-pool capacity, and TA's
+//! heap-measurement / stop-check cadence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trex::corpus::{CorpusConfig, IeeeGenerator};
+use trex::{
+    AliasMap, Analyzer, EvalOptions, ListKind, Strategy, SummaryKind, TrexConfig, TrexSystem,
+};
+use trex_bench::store_dir;
+
+const DOCS: usize = 120;
+const QUERY: &str = "//article//sec[about(., xml query evaluation)]";
+
+fn build_with(name: &str, summary: SummaryKind, pool_pages: usize) -> TrexSystem {
+    let path = store_dir().join(format!("ablation-{name}.db"));
+    let _ = std::fs::remove_file(&path);
+    let mut config = TrexConfig::new(&path);
+    config.summary = summary;
+    config.pool_pages = pool_pages;
+    config.alias = AliasMap::inex_ieee();
+    config.analyzer = Analyzer::default();
+    let gen = IeeeGenerator::new(CorpusConfig {
+        docs: DOCS,
+        ..CorpusConfig::ieee_default()
+    });
+    TrexSystem::build(config, gen.documents()).expect("build")
+}
+
+/// Summary choice: coarser partitions translate //article//sec to fewer,
+/// larger extents. ERA cost tracks the number and size of the extents
+/// scanned. Only nesting-free summaries can serve retrieval (the Tag and
+/// k=1 partitions nest `sec` inside `sec` on this corpus and are rejected
+/// by the engine), so the ablation compares the incoming summary against
+/// k-suffix summaries with k = 2 and 3.
+fn ablation_summary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_summary");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("incoming", SummaryKind::Incoming),
+        ("ksuffix2", SummaryKind::KSuffix(2)),
+        ("ksuffix3", SummaryKind::KSuffix(3)),
+    ] {
+        let sys = build_with(&format!("summary-{name}"), kind, 4096);
+        if !sys.index().summary().is_nesting_free() {
+            eprintln!("skipping {name}: summary has nested extents");
+            continue;
+        }
+        group.bench_function(BenchmarkId::new("era", name), |b| {
+            b.iter(|| sys.search_with(QUERY, None, Strategy::Era).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Posting-chunk size: larger chunks mean fewer B+tree entries but coarser
+/// reads. Exercised through a raw index build + ERA.
+fn ablation_chunk(c: &mut Criterion) {
+    use std::sync::Arc;
+    use trex::index::{IndexBuilder, TrexIndex};
+    use trex::storage::Store;
+
+    let mut group = c.benchmark_group("ablation_chunk");
+    group.sample_size(10);
+    let gen = IeeeGenerator::new(CorpusConfig {
+        docs: DOCS,
+        ..CorpusConfig::ieee_default()
+    });
+    let docs: Vec<String> = gen.documents().collect();
+    for chunk in [64usize, 256, 1024] {
+        let path = store_dir().join(format!("ablation-chunk-{chunk}.db"));
+        let _ = std::fs::remove_file(&path);
+        let store = Store::create(&path, 4096).unwrap();
+        let mut builder = IndexBuilder::new(
+            &store,
+            SummaryKind::Incoming,
+            AliasMap::inex_ieee(),
+            Analyzer::default(),
+        )
+        .unwrap();
+        builder.set_postings_chunk_size(chunk);
+        for d in &docs {
+            builder.add_document(d).unwrap();
+        }
+        builder.finish().unwrap();
+        let index = TrexIndex::open(Arc::new(store)).unwrap();
+        let engine = trex::QueryEngine::new(&index);
+        group.bench_function(BenchmarkId::new("era", chunk), |b| {
+            b.iter(|| {
+                engine
+                    .evaluate(
+                        QUERY,
+                        EvalOptions {
+                            k: None,
+                            strategy: Strategy::Era,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Buffer-pool capacity: a pool too small for the working set forces
+/// re-reads during the zig-zag ERA scan.
+fn ablation_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_buffer");
+    group.sample_size(10);
+    for pages in [16usize, 256, 4096] {
+        let sys = build_with(&format!("buffer-{pages}"), SummaryKind::Incoming, pages);
+        group.bench_function(BenchmarkId::new("era", pages), |b| {
+            b.iter(|| sys.search_with(QUERY, None, Strategy::Era).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Heap policy: the efficient binary heap vs the deliberately naive sorted
+/// vector with O(k) shifting — the kind of heap-management cost whose
+/// removal the paper's ITA curves quantify (§5.2). Runs TA directly so the
+/// policy can be set.
+fn ablation_heap(c: &mut Criterion) {
+    use trex::core::ta::{ta, TaOptions};
+    use trex::core::HeapPolicy;
+
+    let sys = build_with("heap", SummaryKind::Incoming, 4096);
+    sys.materialize_for(QUERY, ListKind::Rpl).unwrap();
+    let engine = sys.engine();
+    let translation = engine.translate(QUERY, Default::default()).unwrap();
+    let rpls = sys.index().rpls().unwrap();
+
+    let mut group = c.benchmark_group("ablation_heap");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("binary", HeapPolicy::Binary),
+        ("sorted_vec", HeapPolicy::SortedVec),
+    ] {
+        for k in [10usize, 100] {
+            group.bench_function(BenchmarkId::new(format!("ta_{name}"), k), |b| {
+                b.iter(|| {
+                    let mut opts = TaOptions::new(k);
+                    opts.measure_heap = false;
+                    opts.heap_policy = policy;
+                    ta(&rpls, &translation.sids, &translation.terms, opts).unwrap()
+                })
+            });
+        }
+    }
+    // Clock overhead itself.
+    for (name, measure_heap) in [("clocked", true), ("unclocked", false)] {
+        group.bench_function(BenchmarkId::new("ta_k10", name), |b| {
+            b.iter(|| {
+                engine
+                    .evaluate_translated(
+                        translation.clone(),
+                        EvalOptions {
+                            k: Some(10),
+                            strategy: Strategy::Ta,
+                            measure_heap,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_summary,
+    ablation_chunk,
+    ablation_buffer,
+    ablation_heap
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Microbenches of the storage substrate (the BerkeleyDB stand-in): B+tree
+//! inserts, point lookups and range scans — the three access paths every
+//! TReX table uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trex::storage::Store;
+use trex_bench::store_dir;
+
+fn prepared_store(n: u32) -> (Store, std::path::PathBuf) {
+    let path = store_dir().join(format!("storage-bench-{n}.db"));
+    let _ = std::fs::remove_file(&path);
+    let store = Store::create(&path, 1024).unwrap();
+    let mut table = store.create_table("t").unwrap();
+    for i in 0..n {
+        table.insert(&i.to_be_bytes(), &(i * 3).to_le_bytes()).unwrap();
+    }
+    (store, path)
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_insert");
+    group.sample_size(10);
+    for n in [1_000u32, 10_000] {
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter(|| {
+                let path = store_dir().join("storage-bench-insert.db");
+                let _ = std::fs::remove_file(&path);
+                let store = Store::create(&path, 1024).unwrap();
+                let mut table = store.create_table("t").unwrap();
+                for i in 0..n {
+                    table.insert(&i.to_be_bytes(), b"value").unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gets(c: &mut Criterion) {
+    let (store, _path) = prepared_store(50_000);
+    let table = store.open_table("t").unwrap();
+    let mut group = c.benchmark_group("storage_get");
+    group.sample_size(20);
+    group.bench_function("point_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i.wrapping_mul(2654435761)) % 50_000;
+            table.get(&i.to_be_bytes()).unwrap().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let (store, _path) = prepared_store(50_000);
+    let table = store.open_table("t").unwrap();
+    let mut group = c.benchmark_group("storage_scan");
+    group.sample_size(10);
+    group.bench_function("full_scan", |b| {
+        b.iter(|| {
+            let mut cursor = table.scan().unwrap();
+            let mut n = 0u64;
+            while cursor.next_entry().unwrap().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 50_000);
+            n
+        })
+    });
+    group.bench_function("seek_then_100", |b| {
+        let mut start = 0u32;
+        b.iter(|| {
+            start = (start + 7919) % 49_000;
+            let mut cursor = table.seek(&start.to_be_bytes()).unwrap();
+            let mut n = 0u64;
+            for _ in 0..100 {
+                if cursor.next_entry().unwrap().is_none() {
+                    break;
+                }
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_bulk");
+    group.sample_size(10);
+    for n in [10_000u32, 50_000] {
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &n, |b, &n| {
+            b.iter(|| {
+                let path = store_dir().join("storage-bench-bulk.db");
+                let _ = std::fs::remove_file(&path);
+                let store = Store::create(&path, 1024).unwrap();
+                store
+                    .create_table_bulk(
+                        "t",
+                        (0..n).map(|i| (i.to_be_bytes().to_vec(), b"value".to_vec())),
+                    )
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, &n| {
+            b.iter(|| {
+                let path = store_dir().join("storage-bench-incr.db");
+                let _ = std::fs::remove_file(&path);
+                let store = Store::create(&path, 1024).unwrap();
+                let mut table = store.create_table("t").unwrap();
+                for i in 0..n {
+                    table.insert(&i.to_be_bytes(), b"value").unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_gets, bench_scans, bench_bulk_load);
+criterion_main!(benches);

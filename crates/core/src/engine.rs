@@ -1,0 +1,451 @@
+//! The query engine: translation + strategy selection + evaluation.
+//!
+//! "TReX evaluates a given query by choosing a method from the three
+//! evaluation methods" (paper §4). ERA can always run; TA needs the query's
+//! RPLs, Merge its ERPLs. `Strategy::Auto` picks the cheapest *available*
+//! method with the paper's observed preferences: TA for small k when RPLs
+//! exist, Merge when ERPLs exist, ERA as the fallback.
+
+use std::time::Duration;
+
+use trex_nexi::{parse, translate, Interpretation, Translation, TranslationContext};
+use trex_text::Analyzer;
+
+use trex_index::TrexIndex;
+
+use crate::answer::{top_k, Answer};
+use crate::era::{era, EraStats};
+use crate::materialize::{erpls_cover, rpls_cover};
+use crate::merge::{merge, MergeStats};
+use crate::merge::merge_with_cancel;
+use crate::ta::{ta, ta_with_cancel, TaOptions, TaStats};
+use crate::{Result, TrexError};
+
+/// Which retrieval method to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Exhaustive retrieval over Elements + PostingLists.
+    Era,
+    /// Threshold algorithm over RPLs.
+    Ta,
+    /// Merge over ERPLs.
+    Merge,
+    /// Run TA and Merge in parallel and return whichever finishes first,
+    /// cancelling the loser (paper §4: "if the two computations are being
+    /// done in parallel, the system can return the answer from the
+    /// computation that finishes first"). Requires both RPLs and ERPLs.
+    Race,
+    /// Pick automatically based on available indexes and k.
+    #[default]
+    Auto,
+}
+
+/// The strategy actually used plus its execution statistics.
+#[derive(Debug, Clone)]
+pub enum StrategyStats {
+    /// ERA ran (with post-scoring time included in `EraStats::wall`).
+    Era(EraStats),
+    /// TA ran.
+    Ta(TaStats),
+    /// Merge ran.
+    Merge(MergeStats),
+    /// TA and Merge raced; `winner` is the stats of the one that finished.
+    Race {
+        /// The method that finished first.
+        won_by: RaceWinner,
+        /// The winner's own statistics.
+        winner: Box<StrategyStats>,
+        /// Wall-clock time of the race (first finish).
+        wall: Duration,
+    },
+}
+
+/// Which racer finished first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceWinner {
+    /// TA produced the answer first.
+    Ta,
+    /// Merge produced the answer first.
+    Merge,
+}
+
+impl StrategyStats {
+    /// Wall-clock time of the evaluation.
+    pub fn wall(&self) -> Duration {
+        match self {
+            StrategyStats::Era(s) => s.wall,
+            StrategyStats::Ta(s) => s.wall,
+            StrategyStats::Merge(s) => s.wall,
+            StrategyStats::Race { wall, .. } => *wall,
+        }
+    }
+}
+
+/// The result of evaluating a query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Ranked answers (top-k, or all answers when `k` was `None`).
+    pub answers: Vec<Answer>,
+    /// Total number of answers the query has (known exactly for ERA/Merge;
+    /// for TA it is the number of answers returned).
+    pub total_answers: usize,
+    /// The translation the evaluation used.
+    pub translation: Translation,
+    /// Which strategy ran, with statistics.
+    pub stats: StrategyStats,
+}
+
+/// Options for [`QueryEngine::evaluate`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOptions {
+    /// Top-k limit; `None` returns all answers.
+    pub k: Option<usize>,
+    /// Strategy selection.
+    pub strategy: Strategy,
+    /// Structural interpretation (vague by default).
+    pub interpretation: Interpretation,
+    /// Measure heap time in TA (for ITA curves).
+    pub measure_heap: bool,
+}
+
+/// A query plan description: what translation produced, which redundant
+/// indexes exist, and which strategy `Auto` would run.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The translation (sids, terms, clauses, unknown terms).
+    pub translation: Translation,
+    /// Per-sid extent descriptions as XPath (paper §2.1).
+    pub extents: Vec<(trex_summary::Sid, String, u64)>,
+    /// Per-term text and collection statistics.
+    pub terms: Vec<(trex_text::TermId, String, u64)>,
+    /// Whether every (term, sid) RPL is materialised (TA is possible).
+    pub rpls_available: bool,
+    /// Whether every (term, sid) ERPL is materialised (Merge is possible).
+    pub erpls_available: bool,
+    /// The strategy `Auto` would choose for the given k.
+    pub chosen: Strategy,
+}
+
+/// Evaluates NEXI queries against a [`TrexIndex`].
+pub struct QueryEngine<'a> {
+    index: &'a TrexIndex,
+    analyzer: Analyzer,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// An engine over `index` using the analyzer the index was built with
+    /// (persisted in the catalog).
+    pub fn new(index: &'a TrexIndex) -> QueryEngine<'a> {
+        QueryEngine {
+            index,
+            analyzer: index.analyzer(),
+        }
+    }
+
+    /// Overrides the analyzer (for indexes built with a custom one).
+    pub fn with_analyzer(index: &'a TrexIndex, analyzer: Analyzer) -> QueryEngine<'a> {
+        QueryEngine { index, analyzer }
+    }
+
+    /// Parses and translates `nexi` without evaluating it.
+    pub fn translate(&self, nexi: &str, interpretation: Interpretation) -> Result<Translation> {
+        let query = parse(nexi).map_err(TrexError::Parse)?;
+        let ctx = TranslationContext {
+            summary: self.index.summary(),
+            alias: self.index.alias(),
+            dictionary: self.index.dictionary(),
+            analyzer: &self.analyzer,
+            interpretation,
+        };
+        Ok(translate(&query, &ctx))
+    }
+
+    /// Describes how `nexi` would be evaluated, without evaluating it.
+    pub fn explain(&self, nexi: &str, opts: EvalOptions) -> Result<Explain> {
+        let translation = self.translate(nexi, opts.interpretation)?;
+        let summary = self.index.summary();
+        let extents = translation
+            .sids
+            .iter()
+            .map(|&sid| (sid, summary.extent_xpath(sid), summary.node(sid).extent_size))
+            .collect();
+        let mut terms = Vec::with_capacity(translation.terms.len());
+        for &term in &translation.terms {
+            let text = self
+                .index
+                .dictionary()
+                .term(term)
+                .unwrap_or("<unknown>")
+                .to_string();
+            let stats = self.index.term_stats(term)?;
+            terms.push((term, text, stats.cf));
+        }
+        let rpls_available = rpls_cover(self.index, &translation.sids, &translation.terms)?;
+        let erpls_available = erpls_cover(self.index, &translation.sids, &translation.terms)?;
+        let chosen = self.resolve_strategy(
+            EvalOptions {
+                strategy: Strategy::Auto,
+                ..opts
+            },
+            &translation.sids,
+            &translation.terms,
+        )?;
+        Ok(Explain {
+            translation,
+            extents,
+            terms,
+            rpls_available,
+            erpls_available,
+            chosen,
+        })
+    }
+
+    /// Evaluates `nexi` with the given options.
+    pub fn evaluate(&self, nexi: &str, opts: EvalOptions) -> Result<QueryResult> {
+        let translation = self.translate(nexi, opts.interpretation)?;
+        self.evaluate_translated(translation, opts)
+    }
+
+    /// Evaluates an already-translated query.
+    pub fn evaluate_translated(
+        &self,
+        translation: Translation,
+        opts: EvalOptions,
+    ) -> Result<QueryResult> {
+        if !self.index.summary().is_nesting_free() {
+            // "TReX uses only summaries in which there are no two XML
+            // elements in the same extent where one encapsulates the other"
+            // (§2.1) — ERA's per-extent cursor assumes it, and the redundant
+            // lists are built from ERA.
+            return Err(TrexError::MissingIndex(
+                "the index's summary has nested extents; rebuild with an incoming                  (or larger-k suffix) summary to evaluate queries"
+                    .into(),
+            ));
+        }
+        let sids = &translation.sids;
+        let terms = &translation.terms;
+        let strategy = self.resolve_strategy(opts, sids, terms)?;
+
+        let (answers, total, stats) = match strategy {
+            Strategy::Era => {
+                let (answers, stats) = self.run_era(sids, terms)?;
+                let total = answers.len();
+                let answers = match opts.k {
+                    Some(k) => top_k(answers, k),
+                    None => top_k(answers, usize::MAX),
+                };
+                (answers, total, StrategyStats::Era(stats))
+            }
+            Strategy::Ta => {
+                let k = opts.k.unwrap_or(usize::MAX);
+                let rpls = self.index.rpls()?;
+                let mut ta_opts = TaOptions::new(k);
+                ta_opts.measure_heap = opts.measure_heap;
+                let (answers, stats) = ta(&rpls, sids, terms, ta_opts)?;
+                let total = answers.len();
+                (answers, total, StrategyStats::Ta(stats))
+            }
+            Strategy::Merge => {
+                let erpls = self.index.erpls()?;
+                let (mut answers, stats) = merge(&erpls, sids, terms)?;
+                let total = answers.len();
+                if let Some(k) = opts.k {
+                    answers.truncate(k);
+                }
+                (answers, total, StrategyStats::Merge(stats))
+            }
+            Strategy::Race => self.run_race(sids, terms, opts)?,
+            Strategy::Auto => unreachable!("resolved above"),
+        };
+
+        Ok(QueryResult {
+            answers,
+            total_answers: total,
+            translation,
+            stats,
+        })
+    }
+
+    /// ERA plus scoring of the matches (ERA itself returns tf vectors).
+    fn run_era(
+        &self,
+        sids: &[trex_summary::Sid],
+        terms: &[trex_text::TermId],
+    ) -> Result<(Vec<Answer>, EraStats)> {
+        let started = std::time::Instant::now();
+        let elements = self.index.elements()?;
+        let postings = self.index.postings()?;
+        let (matches, mut stats) = era(&elements, &postings, sids, terms)?;
+        let mut answers = Vec::with_capacity(matches.len());
+        for m in matches {
+            let mut score = 0.0f32;
+            for (j, &term) in terms.iter().enumerate() {
+                if m.tf[j] > 0 {
+                    score += self.index.score(m.tf[j], term, m.element.length)?;
+                }
+            }
+            answers.push(Answer {
+                element: m.element,
+                sid: m.sid,
+                score,
+            });
+        }
+        stats.wall = started.elapsed();
+        Ok((answers, stats))
+    }
+
+    /// TA vs Merge, in parallel, first finisher wins and cancels the other.
+    fn run_race(
+        &self,
+        sids: &[trex_summary::Sid],
+        terms: &[trex_text::TermId],
+        opts: EvalOptions,
+    ) -> Result<(Vec<Answer>, usize, StrategyStats)> {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let started = std::time::Instant::now();
+        let cancel = AtomicBool::new(false);
+        let k = opts.k.unwrap_or(usize::MAX);
+        let mut ta_opts = TaOptions::new(k);
+        ta_opts.measure_heap = opts.measure_heap;
+
+        type RaceResult = (Vec<Answer>, usize, StrategyStats);
+        type RaceOutcome = Result<Option<RaceResult>>;
+        let (tx, rx) = crossbeam::channel::bounded::<(RaceWinner, RaceOutcome)>(2);
+
+        let outcome = crossbeam::thread::scope(|scope| {
+            let cancel = &cancel;
+            let index = self.index;
+            {
+                let tx = tx.clone();
+                scope.spawn(move |_| {
+                    let run = || -> RaceOutcome {
+                        let rpls = index.rpls()?;
+                        Ok(ta_with_cancel(&rpls, sids, terms, ta_opts, Some(cancel))?.map(
+                            |(answers, stats)| {
+                                let total = answers.len();
+                                (answers, total, StrategyStats::Ta(stats))
+                            },
+                        ))
+                    };
+                    let _ = tx.send((RaceWinner::Ta, run()));
+                });
+            }
+            let merge_tx = tx.clone();
+            scope.spawn(move |_| {
+                let run = || -> RaceOutcome {
+                    let erpls = index.erpls()?;
+                    Ok(
+                        merge_with_cancel(&erpls, sids, terms, Some(cancel))?.map(
+                            |(mut answers, stats)| {
+                                let total = answers.len();
+                                if let Some(k) = opts.k {
+                                    answers.truncate(k);
+                                }
+                                (answers, total, StrategyStats::Merge(stats))
+                            },
+                        ),
+                    )
+                };
+                let _ = merge_tx.send((RaceWinner::Merge, run()));
+            });
+            drop(tx);
+
+            // Take the first completed (non-cancelled) run; cancel the other.
+            let mut first: Option<(RaceWinner, RaceResult)> = None;
+            let mut first_error: Option<TrexError> = None;
+            for (who, outcome) in rx.iter() {
+                match outcome {
+                    Ok(Some(result)) => {
+                        if first.is_none() {
+                            cancel.store(true, Ordering::Relaxed);
+                            first = Some((who, result));
+                        }
+                    }
+                    Ok(None) => {} // cancelled loser
+                    Err(e) => {
+                        cancel.store(true, Ordering::Relaxed);
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                }
+            }
+            match (first, first_error) {
+                (Some(win), _) => Ok(win),
+                (None, Some(e)) => Err(e),
+                (None, None) => Err(TrexError::MissingIndex(
+                    "race produced no result".into(),
+                )),
+            }
+        })
+        .expect("scoped race threads");
+
+        let (won_by, (answers, total, winner_stats)) = outcome?;
+        Ok((
+            answers,
+            total,
+            StrategyStats::Race {
+                won_by,
+                winner: Box::new(winner_stats),
+                wall: started.elapsed(),
+            },
+        ))
+    }
+
+    fn resolve_strategy(
+        &self,
+        opts: EvalOptions,
+        sids: &[trex_summary::Sid],
+        terms: &[trex_text::TermId],
+    ) -> Result<Strategy> {
+        match opts.strategy {
+            Strategy::Auto => {
+                let has_rpls = rpls_cover(self.index, sids, terms)?;
+                let has_erpls = erpls_cover(self.index, sids, terms)?;
+                // Paper §5.2: TA wins only for very small k; Merge dominates
+                // otherwise. ERA is the universal fallback.
+                let small_k = matches!(opts.k, Some(k) if k <= 10);
+                Ok(if small_k && has_rpls {
+                    Strategy::Ta
+                } else if has_erpls {
+                    Strategy::Merge
+                } else if has_rpls {
+                    Strategy::Ta
+                } else {
+                    Strategy::Era
+                })
+            }
+            Strategy::Ta => {
+                if !rpls_cover(self.index, sids, terms)? {
+                    return Err(TrexError::MissingIndex(
+                        "TA requires the query's RPL lists; materialise them first".into(),
+                    ));
+                }
+                Ok(Strategy::Ta)
+            }
+            Strategy::Merge => {
+                if !erpls_cover(self.index, sids, terms)? {
+                    return Err(TrexError::MissingIndex(
+                        "Merge requires the query's ERPL lists; materialise them first".into(),
+                    ));
+                }
+                Ok(Strategy::Merge)
+            }
+            Strategy::Race => {
+                if !rpls_cover(self.index, sids, terms)? {
+                    return Err(TrexError::MissingIndex(
+                        "Race requires the query's RPL lists; materialise them first".into(),
+                    ));
+                }
+                if !erpls_cover(self.index, sids, terms)? {
+                    return Err(TrexError::MissingIndex(
+                        "Race requires the query's ERPL lists; materialise them first".into(),
+                    ));
+                }
+                Ok(Strategy::Race)
+            }
+            Strategy::Era => Ok(Strategy::Era),
+        }
+    }
+}

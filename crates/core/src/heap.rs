@@ -1,0 +1,364 @@
+//! The top-k heap used by TA, with instrumented timing for the ITA variant.
+//!
+//! The paper's ITA curves measure "a TA with an ideal heap management": heap
+//! insertions and removals are treated "as being done in zero time (i.e., we
+//! pause our time measure during these operations)" (§5.2). [`HeapClock`]
+//! implements that pause-the-stopwatch protocol: every heap operation is
+//! bracketed by clock reads, and the accumulated heap time can be subtracted
+//! from a strategy's wall time to obtain its ITA time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Accumulates time spent inside heap operations.
+#[derive(Debug, Default)]
+pub struct HeapClock {
+    enabled: bool,
+    total: Duration,
+}
+
+impl HeapClock {
+    /// A clock that measures (for ITA derivation).
+    pub fn measuring() -> HeapClock {
+        HeapClock {
+            enabled: true,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// A disabled clock (no timing overhead; used in correctness tests).
+    pub fn disabled() -> HeapClock {
+        HeapClock::default()
+    }
+
+    /// Runs `f`, attributing its duration to heap management.
+    #[inline]
+    pub fn measure<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let start = Instant::now();
+        let r = f();
+        self.total += start.elapsed();
+        r
+    }
+
+    /// Total accumulated heap time.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+}
+
+/// A candidate in the top-k heap: ordered by score ascending so the heap
+/// root is the *worst* of the current top-k (a min-heap via `BinaryHeap`'s
+/// max-heap on reversed ordering).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem<T> {
+    score: f32,
+    item: T,
+}
+
+impl<T: PartialEq> Eq for HeapItem<T> {}
+
+impl<T: PartialEq> PartialOrd for HeapItem<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: PartialEq> Ord for HeapItem<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the minimum on top.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("scores are finite")
+    }
+}
+
+/// How the top-k structure is maintained.
+///
+/// The paper's §5.2 shows TA's heap management dominating its runtime and
+/// studies ITA, a TA with zero-cost heap operations. The `Binary` policy is
+/// an efficient array heap (heap cost small); `SortedVec` maintains a fully
+/// sorted array with O(k) shifting per displacement — the kind of costly
+/// "heap" management whose removal the paper's ITA curves quantify. The
+/// heap-policy ablation bench contrasts the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeapPolicy {
+    /// `std::collections::BinaryHeap`: O(log k) per displacement.
+    #[default]
+    Binary,
+    /// Fully sorted vector: O(k) per displacement.
+    SortedVec,
+}
+
+enum HeapImpl<T> {
+    Binary(BinaryHeap<HeapItem<T>>),
+    /// Ascending by score: index 0 is the current k-th best.
+    Sorted(Vec<HeapItem<T>>),
+}
+
+/// A bounded min-heap keeping the k highest-scored items seen.
+pub struct TopKHeap<T> {
+    k: usize,
+    heap: HeapImpl<T>,
+    /// Lifetime operation counters (pushes, pops) — reported by benchmarks
+    /// to explain TA's heap-management costs.
+    pushes: u64,
+    pops: u64,
+}
+
+impl<T: PartialEq> TopKHeap<T> {
+    /// A heap retaining the `k` best items (binary-heap policy).
+    pub fn new(k: usize) -> TopKHeap<T> {
+        TopKHeap::with_policy(k, HeapPolicy::Binary)
+    }
+
+    /// A heap retaining the `k` best items under the given policy.
+    pub fn with_policy(k: usize, policy: HeapPolicy) -> TopKHeap<T> {
+        // Capacity is only a hint; clamp it so `k = usize::MAX` (the "all
+        // answers" top-k) neither overflows nor pre-allocates the world.
+        let capacity = k.saturating_add(1).min(4096);
+        TopKHeap {
+            k,
+            heap: match policy {
+                HeapPolicy::Binary => HeapImpl::Binary(BinaryHeap::with_capacity(capacity)),
+                HeapPolicy::SortedVec => HeapImpl::Sorted(Vec::with_capacity(capacity)),
+            },
+            pushes: 0,
+            pops: 0,
+        }
+    }
+
+    /// The capacity k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of items currently held (≤ k).
+    pub fn len(&self) -> usize {
+        match &self.heap {
+            HeapImpl::Binary(h) => h.len(),
+            HeapImpl::Sorted(v) => v.len(),
+        }
+    }
+
+    /// Whether the heap holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the heap holds k items.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.k
+    }
+
+    fn min_score(&self) -> Option<f32> {
+        match &self.heap {
+            HeapImpl::Binary(h) => h.peek().map(|it| it.score),
+            HeapImpl::Sorted(v) => v.first().map(|it| it.score),
+        }
+    }
+
+    /// The k-th best score so far — the bar an outside candidate must clear.
+    /// `None` while fewer than k items are held (every candidate qualifies).
+    pub fn threshold(&self) -> Option<f32> {
+        if self.is_full() {
+            self.min_score()
+        } else {
+            None
+        }
+    }
+
+    /// Offers an item; keeps it only if it belongs to the current top-k.
+    /// Heap mutations run under `clock`. Returns whether the item was kept.
+    pub fn offer(&mut self, score: f32, item: T, clock: &mut HeapClock) -> bool {
+        debug_assert!(score.is_finite());
+        if self.k == 0 {
+            return false;
+        }
+        if !self.is_full() {
+            self.pushes += 1;
+            clock.measure(|| self.push(HeapItem { score, item }));
+            return true;
+        }
+        let bar = self.min_score().expect("non-empty");
+        if score <= bar {
+            return false;
+        }
+        self.pushes += 1;
+        self.pops += 1;
+        clock.measure(|| {
+            self.pop_min();
+            self.push(HeapItem { score, item });
+        });
+        true
+    }
+
+    fn push(&mut self, item: HeapItem<T>) {
+        match &mut self.heap {
+            HeapImpl::Binary(h) => h.push(item),
+            HeapImpl::Sorted(v) => {
+                // Insert keeping ascending score order: O(k) shifting.
+                let pos = v.partition_point(|it| it.score < item.score);
+                v.insert(pos, item);
+            }
+        }
+    }
+
+    fn pop_min(&mut self) {
+        match &mut self.heap {
+            HeapImpl::Binary(h) => {
+                h.pop();
+            }
+            HeapImpl::Sorted(v) => {
+                if !v.is_empty() {
+                    v.remove(0); // O(k) shifting — deliberately naive
+                }
+            }
+        }
+    }
+
+    /// Drains the heap into a descending-score list.
+    pub fn into_sorted_desc(self) -> Vec<(f32, T)> {
+        let mut items: Vec<(f32, T)> = match self.heap {
+            HeapImpl::Binary(h) => h.into_iter().map(|it| (it.score, it.item)).collect(),
+            HeapImpl::Sorted(v) => v.into_iter().map(|it| (it.score, it.item)).collect(),
+        };
+        items.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        items
+    }
+
+    /// Lifetime (pushes, pops).
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.pushes, self.pops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_k_best() {
+        let mut clock = HeapClock::disabled();
+        let mut heap = TopKHeap::new(3);
+        for (score, item) in [(1.0, "a"), (5.0, "b"), (3.0, "c"), (2.0, "d"), (9.0, "e")] {
+            heap.offer(score, item, &mut clock);
+        }
+        let out = heap.into_sorted_desc();
+        let items: Vec<&str> = out.iter().map(|(_, i)| *i).collect();
+        assert_eq!(items, vec!["e", "b", "c"]);
+    }
+
+    #[test]
+    fn threshold_is_the_kth_score() {
+        let mut clock = HeapClock::disabled();
+        let mut heap = TopKHeap::new(2);
+        assert_eq!(heap.threshold(), None);
+        heap.offer(4.0, 1, &mut clock);
+        assert_eq!(heap.threshold(), None, "not yet full");
+        heap.offer(7.0, 2, &mut clock);
+        assert_eq!(heap.threshold(), Some(4.0));
+        heap.offer(5.0, 3, &mut clock);
+        assert_eq!(heap.threshold(), Some(5.0));
+    }
+
+    #[test]
+    fn equal_scores_do_not_evict() {
+        let mut clock = HeapClock::disabled();
+        let mut heap = TopKHeap::new(1);
+        heap.offer(2.0, "first", &mut clock);
+        assert!(!heap.offer(2.0, "second", &mut clock));
+        assert_eq!(heap.into_sorted_desc()[0].1, "first");
+    }
+
+    #[test]
+    fn zero_k_accepts_nothing() {
+        let mut clock = HeapClock::disabled();
+        let mut heap = TopKHeap::new(0);
+        assert!(!heap.offer(10.0, 1, &mut clock));
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn op_counts_track_churn() {
+        let mut clock = HeapClock::disabled();
+        let mut heap = TopKHeap::new(1);
+        heap.offer(1.0, 1, &mut clock);
+        heap.offer(2.0, 2, &mut clock); // evict
+        heap.offer(0.5, 3, &mut clock); // rejected
+        assert_eq!(heap.op_counts(), (2, 1));
+    }
+
+    #[test]
+    fn measuring_clock_accumulates() {
+        let mut clock = HeapClock::measuring();
+        let mut heap = TopKHeap::new(64);
+        for i in 0..10_000 {
+            heap.offer((i % 97) as f32, i, &mut clock);
+        }
+        assert!(clock.total() > Duration::ZERO);
+        // A disabled clock stays at zero.
+        let disabled = HeapClock::disabled();
+        assert_eq!(disabled.total(), Duration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+
+    #[test]
+    fn both_policies_keep_the_same_top_k() {
+        let scores: Vec<f32> = (0..5000).map(|i| (i * 2654435761u64 % 9973) as f32).collect();
+        let mut clock = HeapClock::disabled();
+        let mut binary = TopKHeap::with_policy(37, HeapPolicy::Binary);
+        let mut sorted = TopKHeap::with_policy(37, HeapPolicy::SortedVec);
+        for (i, &s) in scores.iter().enumerate() {
+            binary.offer(s, i, &mut clock);
+            sorted.offer(s, i, &mut clock);
+        }
+        assert_eq!(binary.threshold(), sorted.threshold());
+        let b = binary.into_sorted_desc();
+        let v = sorted.into_sorted_desc();
+        assert_eq!(b.len(), 37);
+        // Same score multiset; item ties may differ between policies.
+        let bs: Vec<u32> = b.iter().map(|(s, _)| s.to_bits()).collect();
+        let vs: Vec<u32> = v.iter().map(|(s, _)| s.to_bits()).collect();
+        assert_eq!(bs, vs);
+    }
+
+    #[test]
+    fn sorted_vec_policy_maintains_invariants() {
+        let mut clock = HeapClock::disabled();
+        let mut heap = TopKHeap::with_policy(3, HeapPolicy::SortedVec);
+        for s in [5.0, 1.0, 3.0, 4.0, 2.0, 6.0] {
+            heap.offer(s, s as i32, &mut clock);
+        }
+        assert_eq!(heap.threshold(), Some(4.0));
+        let out = heap.into_sorted_desc();
+        let scores: Vec<f32> = out.iter().map(|(s, _)| *s).collect();
+        assert_eq!(scores, vec![6.0, 5.0, 4.0]);
+    }
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_k_does_not_overflow() {
+        // "All answers" TA uses k = usize::MAX; construction must not
+        // overflow or allocate absurdly.
+        let mut clock = HeapClock::disabled();
+        let mut heap: TopKHeap<u32> = TopKHeap::new(usize::MAX);
+        for i in 0..10_000u32 {
+            heap.offer(i as f32, i, &mut clock);
+        }
+        assert_eq!(heap.len(), 10_000);
+        assert_eq!(heap.threshold(), None, "never full");
+    }
+}

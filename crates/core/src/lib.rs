@@ -1,0 +1,91 @@
+//! # trex-core
+//!
+//! The primary contribution of *Self Managing Top-k (Summary, Keyword)
+//! Indexes in XML Retrieval* (ICDE 2007): the three retrieval strategies —
+//! [`mod@era`] (Fig. 2), [`mod@ta`] (§3.3, with the instrumented-heap ITA
+//! variant) and [`mod@merge`] (Fig. 3) — the strategy-choosing [`engine`],
+//! the redundant-list [`mod@materialize`]r, and the [`selfmanage`] advisor
+//! that decides, for a
+//! workload and a disk budget, which RPL/ERPL lists to keep (boolean LP of
+//! §4.1 and the greedy 2-approximation of §4.2).
+
+pub mod answer;
+pub mod engine;
+pub mod era;
+pub mod heap;
+pub mod materialize;
+pub mod merge;
+pub mod qsort;
+pub mod selfmanage;
+pub mod ta;
+
+use std::fmt;
+
+pub use answer::{rank, top_k, Answer};
+pub use engine::{EvalOptions, Explain, QueryEngine, QueryResult, RaceWinner, Strategy, StrategyStats};
+pub use era::{era, EraMatch, EraStats};
+pub use heap::{HeapClock, HeapPolicy, TopKHeap};
+pub use materialize::{erpls_cover, materialize, rpls_cover, ListKind};
+pub use merge::{merge, merge_with_cancel, MergeStats};
+pub use qsort::quicksort;
+pub use selfmanage::{
+    Advisor, AdvisorOptions, AdvisorReport, Choice, QueryCost, Selection, SelectionMethod,
+    Workload, WorkloadQuery,
+};
+pub use ta::{ta, ta_with_cancel, TaOptions, TaStats};
+
+/// Errors from query evaluation.
+#[derive(Debug)]
+pub enum TrexError {
+    /// The NEXI query failed to parse.
+    Parse(trex_nexi::ParseError),
+    /// An index / storage failure.
+    Index(trex_index::IndexError),
+    /// A strategy was requested whose redundant indexes are missing.
+    MissingIndex(String),
+    /// The workload definition was invalid.
+    Workload(selfmanage::WorkloadError),
+}
+
+impl fmt::Display for TrexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrexError::Parse(e) => write!(f, "{e}"),
+            TrexError::Index(e) => write!(f, "{e}"),
+            TrexError::MissingIndex(what) => write!(f, "missing index: {what}"),
+            TrexError::Workload(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrexError::Parse(e) => Some(e),
+            TrexError::Index(e) => Some(e),
+            TrexError::MissingIndex(_) => None,
+            TrexError::Workload(e) => Some(e),
+        }
+    }
+}
+
+impl From<trex_index::IndexError> for TrexError {
+    fn from(e: trex_index::IndexError) -> Self {
+        TrexError::Index(e)
+    }
+}
+
+impl From<trex_storage::StorageError> for TrexError {
+    fn from(e: trex_storage::StorageError) -> Self {
+        TrexError::Index(trex_index::IndexError::Storage(e))
+    }
+}
+
+impl From<selfmanage::WorkloadError> for TrexError {
+    fn from(e: selfmanage::WorkloadError) -> Self {
+        TrexError::Workload(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, TrexError>;

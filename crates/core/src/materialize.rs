@@ -1,0 +1,115 @@
+//! Materialisation of redundant (term, sid) lists.
+//!
+//! "TReX also uses ERA for generating or extending the RPLs and ERPLs
+//! tables" (paper §3.2): one ERA pass over the query's (sids × terms) yields
+//! every (element, term) pair with its tf, which is scored and split into
+//! the per-(term, sid) lists that TA and Merge consume.
+
+use std::collections::HashMap;
+
+use trex_index::{ElementRef, TrexIndex};
+use trex_summary::Sid;
+use trex_text::TermId;
+
+use crate::era::era;
+use crate::Result;
+
+/// Which redundant index to materialise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListKind {
+    /// Relevance posting lists (descending score) — used by TA.
+    Rpl,
+    /// Element-relevance posting lists (position order) — used by Merge.
+    Erpl,
+    /// Both tables.
+    Both,
+}
+
+/// Materialises the lists needed to evaluate `(sids, terms)` with TA
+/// (`Rpl`), Merge (`Erpl`) or either (`Both`). Existing lists for the same
+/// (term, sid) pairs are replaced. Returns the number of lists written.
+pub fn materialize(
+    index: &TrexIndex,
+    sids: &[Sid],
+    terms: &[TermId],
+    kind: ListKind,
+) -> Result<usize> {
+    let elements = index.elements()?;
+    let postings = index.postings()?;
+    let (matches, _) = era(&elements, &postings, sids, terms)?;
+
+    // Split matches into per-(term, sid) scored entry lists. ERA emits
+    // elements in position order, so each list is already position-sorted —
+    // exactly what ERPLs need; the RPL writer orders by score via its key.
+    let mut lists: HashMap<(TermId, Sid), Vec<(ElementRef, f32)>> = HashMap::new();
+    for (j, &term) in terms.iter().enumerate() {
+        for m in &matches {
+            let tf = m.tf[j];
+            if tf == 0 {
+                continue;
+            }
+            let score = index.score(tf, term, m.element.length)?;
+            lists
+                .entry((term, m.sid))
+                .or_default()
+                .push((m.element, score));
+        }
+    }
+
+    let mut written = 0usize;
+    let mut rpls = index.rpls()?;
+    let mut erpls = index.erpls()?;
+    // Every (term, sid) pair of the query gets a list — possibly empty, so
+    // the registry records that the pair is covered (an empty list is still
+    // complete knowledge: no element of that extent contains the term).
+    for &term in terms {
+        for &sid in sids {
+            let entries = lists.remove(&(term, sid)).unwrap_or_default();
+            match kind {
+                ListKind::Rpl => {
+                    rpls.put_list(term, sid, &entries)?;
+                    written += 1;
+                }
+                ListKind::Erpl => {
+                    erpls.put_list(term, sid, &entries)?;
+                    written += 1;
+                }
+                ListKind::Both => {
+                    rpls.put_list(term, sid, &entries)?;
+                    erpls.put_list(term, sid, &entries)?;
+                    written += 2;
+                }
+            }
+        }
+    }
+    index.store().flush()?;
+    Ok(written)
+}
+
+/// Whether every (term, sid) RPL needed by the query is materialised
+/// (precondition for TA).
+pub fn rpls_cover(index: &TrexIndex, sids: &[Sid], terms: &[TermId]) -> Result<bool> {
+    let rpls = index.rpls()?;
+    for &term in terms {
+        for &sid in sids {
+            if !rpls.has_list(term, sid)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Whether every (term, sid) ERPL needed by the query is materialised
+/// (precondition for Merge).
+pub fn erpls_cover(index: &TrexIndex, sids: &[Sid], terms: &[TermId]) -> Result<bool> {
+    let erpls = index.erpls()?;
+    for &term in terms {
+        for &sid in sids {
+            if !erpls.has_list(term, sid)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}

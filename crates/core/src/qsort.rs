@@ -1,0 +1,154 @@
+//! From-scratch quicksort.
+//!
+//! The Merge algorithm's final step is "sort V using QuickSort" (paper
+//! Fig. 3, line 22). We implement the sort rather than delegating to the
+//! standard library so the measured Merge cost includes a faithful
+//! QuickSort, and expose it generically for reuse.
+//!
+//! Median-of-three pivot selection with an insertion-sort cutoff for small
+//! partitions; the larger partition is recursed last (tail-call shaped) so
+//! stack depth stays logarithmic on adversarial inputs.
+
+/// Insertion-sort threshold.
+const CUTOFF: usize = 16;
+
+/// Sorts `v` according to `less` (strict weak ordering: `less(a, b)` means
+/// `a` must precede `b`).
+pub fn quicksort<T, F: Fn(&T, &T) -> bool>(v: &mut [T], less: F) {
+    quicksort_range(v, &less);
+}
+
+fn quicksort_range<T, F: Fn(&T, &T) -> bool>(mut v: &mut [T], less: &F) {
+    loop {
+        let n = v.len();
+        if n <= CUTOFF {
+            insertion_sort(v, less);
+            return;
+        }
+        let pivot_idx = median_of_three(v, less);
+        let p = partition(v, pivot_idx, less);
+        // Recurse into the smaller side; loop on the larger.
+        let (left, right) = v.split_at_mut(p);
+        let right = &mut right[1..];
+        if left.len() < right.len() {
+            quicksort_range(left, less);
+            v = right;
+        } else {
+            quicksort_range(right, less);
+            v = left;
+        }
+    }
+}
+
+fn insertion_sort<T, F: Fn(&T, &T) -> bool>(v: &mut [T], less: &F) {
+    for i in 1..v.len() {
+        let mut j = i;
+        while j > 0 && less(&v[j], &v[j - 1]) {
+            v.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+}
+
+fn median_of_three<T, F: Fn(&T, &T) -> bool>(v: &[T], less: &F) -> usize {
+    let (a, b, c) = (0, v.len() / 2, v.len() - 1);
+    // Order the three probes by hand.
+    let (lo, hi) = if less(&v[a], &v[b]) { (a, b) } else { (b, a) };
+    if less(&v[c], &v[lo]) {
+        lo
+    } else if less(&v[c], &v[hi]) {
+        c
+    } else {
+        hi
+    }
+}
+
+/// Hoare-style partition around `v[pivot_idx]`; returns the pivot's final
+/// index, with everything `less` than the pivot strictly to its left.
+fn partition<T, F: Fn(&T, &T) -> bool>(v: &mut [T], pivot_idx: usize, less: &F) -> usize {
+    let last = v.len() - 1;
+    v.swap(pivot_idx, last);
+    let mut store = 0;
+    for i in 0..last {
+        if less(&v[i], &v[last]) {
+            v.swap(i, store);
+            store += 1;
+        }
+    }
+    v.swap(store, last);
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_small_and_edge_cases() {
+        let mut empty: Vec<i32> = vec![];
+        quicksort(&mut empty, |a, b| a < b);
+        let mut one = vec![5];
+        quicksort(&mut one, |a, b| a < b);
+        assert_eq!(one, vec![5]);
+        let mut two = vec![9, 1];
+        quicksort(&mut two, |a, b| a < b);
+        assert_eq!(two, vec![1, 9]);
+    }
+
+    #[test]
+    fn sorts_descending_with_inverted_comparator() {
+        let mut v = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        quicksort(&mut v, |a, b| a > b);
+        assert_eq!(v, vec![9, 6, 5, 4, 3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        // Already sorted, reverse sorted, all equal, organ pipe.
+        let mut sorted: Vec<u32> = (0..10_000).collect();
+        let want = sorted.clone();
+        quicksort(&mut sorted, |a, b| a < b);
+        assert_eq!(sorted, want);
+
+        let mut rev: Vec<u32> = (0..10_000).rev().collect();
+        quicksort(&mut rev, |a, b| a < b);
+        assert_eq!(rev, want);
+
+        let mut eq = vec![7u32; 10_000];
+        quicksort(&mut eq, |a, b| a < b);
+        assert!(eq.iter().all(|&x| x == 7));
+
+        let mut pipe: Vec<u32> = (0..5000).chain((0..5000).rev()).collect();
+        quicksort(&mut pipe, |a, b| a < b);
+        assert!(pipe.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sorts_floats_by_score_descending() {
+        let mut v = vec![0.5f32, 3.25, 1.0, 3.25, 0.0];
+        quicksort(&mut v, |a, b| a > b);
+        assert_eq!(v, vec![3.25, 3.25, 1.0, 0.5, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_agrees_with_std_sort(mut v in proptest::collection::vec(any::<i64>(), 0..2000)) {
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            quicksort(&mut v, |a, b| a < b);
+            prop_assert_eq!(v, expected);
+        }
+
+        #[test]
+        fn prop_is_a_permutation(v in proptest::collection::vec(any::<u8>(), 0..500)) {
+            let mut sorted = v.clone();
+            quicksort(&mut sorted, |a, b| a < b);
+            let mut counts_in = [0usize; 256];
+            let mut counts_out = [0usize; 256];
+            for &x in &v { counts_in[x as usize] += 1; }
+            for &x in &sorted { counts_out[x as usize] += 1; }
+            prop_assert_eq!(counts_in.to_vec(), counts_out.to_vec());
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The abstract index-selection problem (paper §4).
+//!
+//! For each workload query `Q_i` the advisor knows:
+//!
+//! * `Δm(Q_i) = max(T_e − T_m, 0)` — the saving of Merge over ERA;
+//! * `Δta(Q_i) = max(T_e − T_ta, 0)` — the saving of TA over ERA;
+//! * the (term, sid) lists Merge/TA need, with their sizes
+//!   (`S_ERPL(Q_i)`, `S_RPL(Q_i)`).
+//!
+//! A *selection* assigns each query one of {nothing, ERPLs, RPLs}
+//! (constraint (1) of §4.1: `x_i1 + x_i2 ≤ 1`). The objective is the
+//! frequency-weighted saving; the constraint is the disk budget `d`.
+
+use trex_summary::Sid;
+use trex_text::TermId;
+
+/// One (term, sid) list with its disk footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ListId {
+    /// The term.
+    pub term: TermId,
+    /// The sid.
+    pub sid: Sid,
+    /// Bytes the materialised list occupies.
+    pub bytes: u64,
+}
+
+/// Profiled costs of one workload query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryCost {
+    /// Workload frequency `f_i`.
+    pub frequency: f64,
+    /// `Δm(Q_i)` in seconds.
+    pub delta_merge: f64,
+    /// `Δta(Q_i)` in seconds.
+    pub delta_ta: f64,
+    /// ERPL lists Merge needs (`S_ERPL(Q_i)` = Σ bytes).
+    pub erpl_lists: Vec<ListId>,
+    /// RPL lists TA needs (`S_RPL(Q_i)` = Σ bytes).
+    pub rpl_lists: Vec<ListId>,
+}
+
+impl QueryCost {
+    /// `S_ERPL(Q_i)`.
+    pub fn s_erpl(&self) -> u64 {
+        self.erpl_lists.iter().map(|l| l.bytes).sum()
+    }
+
+    /// `S_RPL(Q_i)`.
+    pub fn s_rpl(&self) -> u64 {
+        self.rpl_lists.iter().map(|l| l.bytes).sum()
+    }
+}
+
+/// Per-query decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Choice {
+    /// Store nothing; the query runs with ERA.
+    #[default]
+    None,
+    /// Store the query's ERPLs; it runs with Merge.
+    Erpl,
+    /// Store the query's RPLs; it runs with TA.
+    Rpl,
+}
+
+/// A solution to the selection problem: one choice per query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// `choices[i]` is the decision for query i.
+    pub choices: Vec<Choice>,
+}
+
+impl Selection {
+    /// The all-ERA selection.
+    pub fn none(l: usize) -> Selection {
+        Selection {
+            choices: vec![Choice::None; l],
+        }
+    }
+
+    /// The objective: `Σ f_i · Δ_i` for the chosen methods.
+    pub fn saving(&self, costs: &[QueryCost]) -> f64 {
+        self.choices
+            .iter()
+            .zip(costs)
+            .map(|(c, q)| match c {
+                Choice::None => 0.0,
+                Choice::Erpl => q.frequency * q.delta_merge,
+                Choice::Rpl => q.frequency * q.delta_ta,
+            })
+            .sum()
+    }
+
+    /// Disk space of the selection under the paper's LP model (§4.1):
+    /// additive per query, no sharing between queries.
+    pub fn space_additive(&self, costs: &[QueryCost]) -> u64 {
+        self.choices
+            .iter()
+            .zip(costs)
+            .map(|(c, q)| match c {
+                Choice::None => 0,
+                Choice::Erpl => q.s_erpl(),
+                Choice::Rpl => q.s_rpl(),
+            })
+            .sum()
+    }
+
+    /// Disk space counting each distinct (term, sid, kind) list once —
+    /// queries sharing lists share the space (the greedy model of §4.2,
+    /// where each step adds only the *missing* lists `I_m` / `I_ta`).
+    pub fn space_shared(&self, costs: &[QueryCost]) -> u64 {
+        use std::collections::HashSet;
+        let mut erpl: HashSet<(TermId, Sid)> = HashSet::new();
+        let mut rpl: HashSet<(TermId, Sid)> = HashSet::new();
+        let mut total = 0u64;
+        for (c, q) in self.choices.iter().zip(costs) {
+            match c {
+                Choice::None => {}
+                Choice::Erpl => {
+                    for l in &q.erpl_lists {
+                        if erpl.insert((l.term, l.sid)) {
+                            total += l.bytes;
+                        }
+                    }
+                }
+                Choice::Rpl => {
+                    for l in &q.rpl_lists {
+                        if rpl.insert((l.term, l.sid)) {
+                            total += l.bytes;
+                        }
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(term: TermId, sid: Sid, bytes: u64) -> ListId {
+        ListId { term, sid, bytes }
+    }
+
+    fn cost(f: f64, dm: f64, dta: f64, erpl: Vec<ListId>, rpl: Vec<ListId>) -> QueryCost {
+        QueryCost {
+            frequency: f,
+            delta_merge: dm,
+            delta_ta: dta,
+            erpl_lists: erpl,
+            rpl_lists: rpl,
+        }
+    }
+
+    #[test]
+    fn saving_weights_by_frequency() {
+        let costs = vec![
+            cost(0.25, 10.0, 4.0, vec![list(1, 1, 100)], vec![list(1, 1, 80)]),
+            cost(0.75, 2.0, 6.0, vec![list(2, 1, 50)], vec![list(2, 1, 40)]),
+        ];
+        let sel = Selection {
+            choices: vec![Choice::Erpl, Choice::Rpl],
+        };
+        assert!((sel.saving(&costs) - (0.25 * 10.0 + 0.75 * 6.0)).abs() < 1e-9);
+        assert_eq!(sel.space_additive(&costs), 100 + 40);
+    }
+
+    #[test]
+    fn shared_space_counts_lists_once() {
+        let shared = list(7, 3, 500);
+        let costs = vec![
+            cost(0.5, 5.0, 0.0, vec![shared, list(1, 1, 10)], vec![]),
+            cost(0.5, 5.0, 0.0, vec![shared, list(2, 1, 20)], vec![]),
+        ];
+        let sel = Selection {
+            choices: vec![Choice::Erpl, Choice::Erpl],
+        };
+        assert_eq!(sel.space_additive(&costs), 510 + 520);
+        assert_eq!(sel.space_shared(&costs), 500 + 10 + 20);
+    }
+
+    #[test]
+    fn none_selection_is_free() {
+        let costs = vec![cost(1.0, 5.0, 5.0, vec![list(1, 1, 10)], vec![])];
+        let sel = Selection::none(1);
+        assert_eq!(sel.saving(&costs), 0.0);
+        assert_eq!(sel.space_additive(&costs), 0);
+        assert_eq!(sel.space_shared(&costs), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Exact solver for the boolean linear program of paper §4.1.
+//!
+//! Maximise `Σ (x_i1 · f_i · Δm(Q_i) + x_i2 · f_i · Δta(Q_i))` subject to
+//!
+//! 1. `x_i1 + x_i2 ≤ 1` — at most one redundant index per query;
+//! 2. `Σ (x_i1 · S_ERPL(Q_i) + x_i2 · S_RPL(Q_i)) ≤ d` — the disk budget;
+//! 3. `x_ij ∈ {0, 1}`.
+//!
+//! (The paper's constraint (2) prints `S_RPL` next to `x_i1`; since `x_i1`
+//! selects ERPLs and `x_i2` RPLs, the sizes are matched to the index each
+//! variable actually stores.)
+//!
+//! The solver is branch-and-bound ("can be solved using known techniques
+//! such as the branch-and-cut or branch-and-bound algorithms", §4.1): DFS
+//! over queries with three branches each, pruned by a fractional-knapsack
+//! upper bound. Exact, and fast for the small workloads the paper intends
+//! LP for ("it should be used only when the number of queries in the
+//! workload is small", §4.2).
+
+use super::cost::{Choice, QueryCost, Selection};
+
+/// Solves the boolean LP exactly; returns the optimal selection under the
+/// additive (per-query) space model.
+pub fn solve_lp(costs: &[QueryCost], budget: u64) -> Selection {
+    let l = costs.len();
+    // Candidate options per query: (saving, space, choice); `None` is free.
+    let options: Vec<Vec<(f64, u64, Choice)>> = costs
+        .iter()
+        .map(|q| {
+            let mut opts = vec![(0.0, 0u64, Choice::None)];
+            let s_erpl = q.s_erpl();
+            let s_rpl = q.s_rpl();
+            if q.frequency * q.delta_merge > 0.0 && s_erpl <= budget {
+                opts.push((q.frequency * q.delta_merge, s_erpl, Choice::Erpl));
+            }
+            if q.frequency * q.delta_ta > 0.0 && s_rpl <= budget {
+                opts.push((q.frequency * q.delta_ta, s_rpl, Choice::Rpl));
+            }
+            opts
+        })
+        .collect();
+
+    // Best saving-per-byte ratio of each query's non-trivial options, used
+    // by the fractional upper bound. Zero-space positive-saving options make
+    // the ratio infinite; handle them by always taking them in the bound.
+    let mut order: Vec<usize> = (0..l).collect();
+    let ratio = |i: usize| -> f64 {
+        options[i]
+            .iter()
+            .map(|&(s, sp, _)| if sp == 0 { f64::INFINITY } else { s / sp as f64 })
+            .fold(0.0, f64::max)
+    };
+    order.sort_by(|&a, &b| ratio(b).partial_cmp(&ratio(a)).expect("finite or inf"));
+
+    let mut best = Selection::none(l);
+    let mut best_saving = 0.0f64;
+    let mut current = vec![Choice::None; l];
+
+    // Fractional upper bound for the remaining queries `order[depth..]`:
+    // relax both the integrality and the one-index-per-query constraints,
+    // i.e. a plain fractional knapsack over every remaining option. That is
+    // a superset of the feasible solutions, so it never under-estimates.
+    let upper_bound = |depth: usize, space_left: u64| -> f64 {
+        let mut items: Vec<(f64, u64)> = Vec::new();
+        for &i in &order[depth..] {
+            for &(s, sp, _) in &options[i] {
+                if s > 0.0 {
+                    items.push((s, sp));
+                }
+            }
+        }
+        items.sort_by(|a, b| {
+            let ra = if a.1 == 0 { f64::INFINITY } else { a.0 / a.1 as f64 };
+            let rb = if b.1 == 0 { f64::INFINITY } else { b.0 / b.1 as f64 };
+            rb.partial_cmp(&ra).expect("finite or inf")
+        });
+        let mut bound = 0.0;
+        let mut left = space_left as f64;
+        for (s, sp) in items {
+            if sp == 0 {
+                bound += s;
+            } else if (sp as f64) <= left {
+                bound += s;
+                left -= sp as f64;
+            } else if left > 0.0 {
+                bound += s * left / sp as f64;
+                left = 0.0;
+            } else {
+                break;
+            }
+        }
+        bound
+    };
+
+    #[allow(clippy::too_many_arguments)] // plain recursion state, clearer than a context struct
+    fn dfs(
+        depth: usize,
+        saving: f64,
+        space_left: u64,
+        order: &[usize],
+        options: &[Vec<(f64, u64, Choice)>],
+        current: &mut Vec<Choice>,
+        best: &mut Selection,
+        best_saving: &mut f64,
+        upper_bound: &dyn Fn(usize, u64) -> f64,
+    ) {
+        if saving > *best_saving {
+            *best_saving = saving;
+            best.choices.clone_from(current);
+        }
+        if depth == order.len() {
+            return;
+        }
+        if saving + upper_bound(depth, space_left) <= *best_saving {
+            return; // pruned
+        }
+        let i = order[depth];
+        // Branch on the highest-saving options first to find good incumbents
+        // early.
+        let mut opts = options[i].clone();
+        opts.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        for (s, sp, choice) in opts {
+            if sp > space_left {
+                continue;
+            }
+            current[i] = choice;
+            dfs(
+                depth + 1,
+                saving + s,
+                space_left - sp,
+                order,
+                options,
+                current,
+                best,
+                best_saving,
+                upper_bound,
+            );
+            current[i] = Choice::None;
+        }
+    }
+
+    dfs(
+        0,
+        0.0,
+        budget,
+        &order,
+        &options,
+        &mut current,
+        &mut best,
+        &mut best_saving,
+        &upper_bound,
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selfmanage::cost::ListId;
+
+    fn cost(f: f64, dm: f64, dta: f64, s_erpl: u64, s_rpl: u64) -> QueryCost {
+        QueryCost {
+            frequency: f,
+            delta_merge: dm,
+            delta_ta: dta,
+            erpl_lists: vec![ListId { term: 0, sid: 0, bytes: s_erpl }],
+            rpl_lists: vec![ListId { term: 0, sid: 1, bytes: s_rpl }],
+        }
+    }
+
+    #[test]
+    fn picks_the_best_method_per_query() {
+        // Query 0: Merge saves more; query 1: TA saves more. Budget fits both.
+        let costs = vec![cost(0.5, 10.0, 2.0, 100, 100), cost(0.5, 1.0, 8.0, 100, 100)];
+        let sel = solve_lp(&costs, 1000);
+        assert_eq!(sel.choices, vec![Choice::Erpl, Choice::Rpl]);
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let costs = vec![cost(0.5, 10.0, 0.0, 100, 0), cost(0.5, 9.0, 0.0, 100, 0)];
+        let sel = solve_lp(&costs, 100);
+        // Only one fits; the better one must be chosen.
+        assert_eq!(sel.choices, vec![Choice::Erpl, Choice::None]);
+        assert!(sel.space_additive(&costs) <= 100);
+    }
+
+    #[test]
+    fn knapsack_tradeoff_is_solved_exactly() {
+        // One big saving vs two smaller ones that together beat it.
+        let costs = vec![
+            cost(0.4, 10.0, 0.0, 100, 0), // ratio 0.04
+            cost(0.3, 9.0, 0.0, 50, 0),   // ratio 0.054
+            cost(0.3, 9.0, 0.0, 50, 0),   // ratio 0.054
+        ];
+        let sel = solve_lp(&costs, 100);
+        assert_eq!(sel.choices, vec![Choice::None, Choice::Erpl, Choice::Erpl]);
+        assert!((sel.saving(&costs) - (0.3 * 9.0 + 0.3 * 9.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let costs = vec![cost(1.0, 10.0, 10.0, 100, 100)];
+        let sel = solve_lp(&costs, 0);
+        assert_eq!(sel.choices, vec![Choice::None]);
+    }
+
+    #[test]
+    fn zero_savings_select_nothing() {
+        let costs = vec![cost(1.0, 0.0, 0.0, 10, 10)];
+        let sel = solve_lp(&costs, 1000);
+        assert_eq!(sel.choices, vec![Choice::None]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        // Deterministic pseudo-random instances; exhaustive check for l = 6.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let l = 6;
+            let costs: Vec<QueryCost> = (0..l)
+                .map(|_| {
+                    cost(
+                        1.0 / l as f64,
+                        (next() % 100) as f64,
+                        (next() % 100) as f64,
+                        next() % 200 + 1,
+                        next() % 200 + 1,
+                    )
+                })
+                .collect();
+            let budget = next() % 500;
+            let sel = solve_lp(&costs, budget);
+            // Brute force over 3^l assignments.
+            let mut best = 0.0f64;
+            for mut code in 0..3usize.pow(l as u32) {
+                let mut choices = Vec::with_capacity(l);
+                for _ in 0..l {
+                    choices.push(match code % 3 {
+                        0 => Choice::None,
+                        1 => Choice::Erpl,
+                        _ => Choice::Rpl,
+                    });
+                    code /= 3;
+                }
+                let s = Selection { choices };
+                if s.space_additive(&costs) <= budget {
+                    best = best.max(s.saving(&costs));
+                }
+            }
+            assert!(
+                (sel.saving(&costs) - best).abs() < 1e-9,
+                "lp={} brute={}",
+                sel.saving(&costs),
+                best
+            );
+            assert!(sel.space_additive(&costs) <= budget);
+        }
+    }
+}

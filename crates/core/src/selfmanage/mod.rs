@@ -1,0 +1,16 @@
+//! Self-managing retrieval indexes (paper §4): the workload model, the
+//! index-selection problem, the exact boolean-LP solver, the greedy
+//! 2-approximation, and the advisor that measures costs and reconciles the
+//! store.
+
+pub mod advisor;
+pub mod cost;
+pub mod greedy;
+pub mod lp;
+pub mod workload;
+
+pub use advisor::{Advisor, AdvisorOptions, AdvisorReport, SelectionMethod};
+pub use cost::{Choice, ListId, QueryCost, Selection};
+pub use greedy::solve_greedy;
+pub use lp::solve_lp;
+pub use workload::{Workload, WorkloadError, WorkloadQuery};

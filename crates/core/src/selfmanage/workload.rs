@@ -1,0 +1,146 @@
+//! Workloads of top-k retrieval queries (paper Definition 4.1).
+
+/// One workload entry: a query and its relative frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadQuery {
+    /// The NEXI query text.
+    pub nexi: String,
+    /// Relative frequency, `0 < f ≤ 1`.
+    pub frequency: f64,
+    /// The k the workload asks this query with (affects TA profiling).
+    pub k: usize,
+}
+
+/// "A workload is a list of top-k retrieval queries Q1,…,Ql, where each
+/// query Qi is associated with a frequency 0 < fi ≤ 1, such that Σ fi = 1"
+/// (Definition 4.1).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Workload {
+    queries: Vec<WorkloadQuery>,
+}
+
+/// Errors constructing a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A frequency was outside `(0, 1]`.
+    BadFrequency(f64),
+    /// The frequencies do not sum to 1 (within tolerance).
+    BadSum(f64),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::BadFrequency(v) => write!(f, "frequency {v} outside (0, 1]"),
+            WorkloadError::BadSum(s) => write!(f, "frequencies sum to {s}, expected 1"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl Workload {
+    /// Builds a workload, validating Definition 4.1.
+    pub fn new(queries: Vec<WorkloadQuery>) -> Result<Workload, WorkloadError> {
+        let mut sum = 0.0;
+        for q in &queries {
+            if !(q.frequency > 0.0 && q.frequency <= 1.0) {
+                return Err(WorkloadError::BadFrequency(q.frequency));
+            }
+            sum += q.frequency;
+        }
+        if !queries.is_empty() && (sum - 1.0).abs() > 1e-6 {
+            return Err(WorkloadError::BadSum(sum));
+        }
+        Ok(Workload { queries })
+    }
+
+    /// Builds a workload from raw weights, normalising them to sum to 1.
+    pub fn from_weights(entries: Vec<(String, f64, usize)>) -> Result<Workload, WorkloadError> {
+        let total: f64 = entries.iter().map(|(_, w, _)| *w).sum();
+        if total <= 0.0 {
+            return Err(WorkloadError::BadSum(total));
+        }
+        Workload::new(
+            entries
+                .into_iter()
+                .map(|(nexi, w, k)| WorkloadQuery {
+                    nexi,
+                    frequency: w / total,
+                    k,
+                })
+                .collect(),
+        )
+    }
+
+    /// The queries.
+    pub fn queries(&self) -> &[WorkloadQuery] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(nexi: &str, f: f64) -> WorkloadQuery {
+        WorkloadQuery {
+            nexi: nexi.into(),
+            frequency: f,
+            k: 10,
+        }
+    }
+
+    #[test]
+    fn accepts_valid_workloads() {
+        let w = Workload::new(vec![q("//a[about(., x)]", 0.25), q("//b[about(., y)]", 0.75)])
+            .unwrap();
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_frequencies() {
+        assert!(matches!(
+            Workload::new(vec![q("//a[about(., x)]", 0.0)]),
+            Err(WorkloadError::BadFrequency(_))
+        ));
+        assert!(matches!(
+            Workload::new(vec![q("//a[about(., x)]", 1.5)]),
+            Err(WorkloadError::BadFrequency(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_frequencies_not_summing_to_one() {
+        assert!(matches!(
+            Workload::new(vec![q("//a[about(., x)]", 0.4), q("//b[about(., y)]", 0.4)]),
+            Err(WorkloadError::BadSum(_))
+        ));
+    }
+
+    #[test]
+    fn from_weights_normalises() {
+        let w = Workload::from_weights(vec![
+            ("//a[about(., x)]".into(), 3.0, 10),
+            ("//b[about(., y)]".into(), 1.0, 5),
+        ])
+        .unwrap();
+        assert!((w.queries()[0].frequency - 0.75).abs() < 1e-9);
+        assert!((w.queries()[1].frequency - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workload_is_allowed() {
+        assert!(Workload::new(vec![]).unwrap().is_empty());
+    }
+}

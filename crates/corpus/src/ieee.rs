@@ -1,0 +1,208 @@
+//! The IEEE-like collection generator.
+//!
+//! Documents mirror the structure the paper's Figure 1 summarises:
+//! `books/journal/article` with front matter (`fm/atl`, `fm/au`), a body of
+//! sections tagged with the synonym family `sec`/`ss1`/`ss2` (so the alias
+//! summaries have something to collapse), paragraphs from the `p`/`ip1`
+//! family, figures, and back matter (`bm/app/sec`, `bm/bib/bb`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::text::TextGen;
+use crate::vocab::Vocabulary;
+use crate::zipf::Zipf;
+use crate::CorpusConfig;
+
+/// Generator for the IEEE-like collection.
+pub struct IeeeGenerator {
+    config: CorpusConfig,
+    vocab: Vocabulary,
+    zipf: Zipf,
+}
+
+impl IeeeGenerator {
+    /// Creates a generator.
+    pub fn new(config: CorpusConfig) -> IeeeGenerator {
+        let vocab = Vocabulary::new(config.vocab_size);
+        let zipf = Zipf::new(config.vocab_size, config.zipf_s);
+        IeeeGenerator {
+            config,
+            vocab,
+            zipf,
+        }
+    }
+
+    /// Number of documents this generator produces.
+    pub fn len(&self) -> usize {
+        self.config.docs
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.config.docs == 0
+    }
+
+    /// Generates document `i` (deterministic in `(seed, i)`).
+    pub fn document(&self, i: usize) -> String {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (i as u64).wrapping_mul(0x9e37));
+        let topics = self.pick_topics(i, &mut rng);
+        let text = TextGen::new(&self.vocab, &self.zipf, topics, self.config.topic_prob);
+
+        let mut xml = String::with_capacity(4096);
+        xml.push_str("<books><journal><article>");
+
+        // Front matter.
+        xml.push_str("<fm><atl>");
+        xml.push_str(&text.words(rng.gen_range(4..9), &mut rng));
+        xml.push_str("</atl>");
+        for _ in 0..rng.gen_range(1..4) {
+            xml.push_str("<au>");
+            xml.push_str(&text.words(2, &mut rng));
+            xml.push_str("</au>");
+        }
+        xml.push_str("<abs>");
+        xml.push_str(&text.words(rng.gen_range(25..60), &mut rng));
+        xml.push_str("</abs></fm>");
+
+        // Body.
+        xml.push_str("<bdy>");
+        let sections = rng.gen_range(3..9);
+        for _ in 0..sections {
+            self.section(&mut xml, &text, &mut rng, 0);
+        }
+        xml.push_str("</bdy>");
+
+        // Back matter (sometimes).
+        if rng.gen_bool(0.6) {
+            xml.push_str("<bm>");
+            if rng.gen_bool(0.4) {
+                xml.push_str("<app><sec><st>");
+                xml.push_str(&text.words(3, &mut rng));
+                xml.push_str("</st><p>");
+                xml.push_str(&text.words(rng.gen_range(20..50), &mut rng));
+                xml.push_str("</p></sec></app>");
+            }
+            xml.push_str("<bib>");
+            for _ in 0..rng.gen_range(3..10) {
+                xml.push_str("<bb>");
+                xml.push_str(&text.words(rng.gen_range(6..14), &mut rng));
+                xml.push_str("</bb>");
+            }
+            xml.push_str("</bib></bm>");
+        }
+
+        xml.push_str("</article></journal></books>");
+        xml
+    }
+
+    fn section(&self, xml: &mut String, text: &TextGen<'_>, rng: &mut StdRng, depth: usize) {
+        // Synonym family: top-level prefers sec, nested prefer ss1/ss2.
+        let tag = match (depth, rng.gen_range(0..10)) {
+            (0, 0..=6) => "sec",
+            (0, 7..=8) => "ss1",
+            (0, _) => "ss2",
+            (_, 0..=4) => "ss1",
+            (_, _) => "ss2",
+        };
+        xml.push('<');
+        xml.push_str(tag);
+        xml.push('>');
+        xml.push_str("<st>");
+        xml.push_str(&text.words(rng.gen_range(2..6), rng));
+        xml.push_str("</st>");
+        for _ in 0..rng.gen_range(1..5) {
+            let ptag = if rng.gen_bool(0.8) { "p" } else { "ip1" };
+            xml.push('<');
+            xml.push_str(ptag);
+            xml.push('>');
+            xml.push_str(&text.words(rng.gen_range(15..60), rng));
+            xml.push_str("</");
+            xml.push_str(ptag);
+            xml.push('>');
+        }
+        if rng.gen_bool(0.15) {
+            xml.push_str("<fig><fgc>");
+            xml.push_str(&text.words(rng.gen_range(4..10), rng));
+            xml.push_str("</fgc></fig>");
+        }
+        if depth == 0 && rng.gen_bool(0.35) {
+            for _ in 0..rng.gen_range(1..3) {
+                self.section(xml, text, rng, depth + 1);
+            }
+        }
+        xml.push_str("</");
+        xml.push_str(tag);
+        xml.push('>');
+    }
+
+    fn pick_topics(&self, i: usize, rng: &mut StdRng) -> Vec<usize> {
+        // The first 2×|topics| documents cycle through the clusters so every
+        // Table 1 query has answers in any corpus of ≥ 16 documents.
+        if i < 2 * self.vocab.topic_count() {
+            return vec![i % self.vocab.topic_count()];
+        }
+        if !rng.gen_bool(self.config.topic_doc_fraction) {
+            return Vec::new();
+        }
+        let n = if rng.gen_bool(0.3) { 2 } else { 1 };
+        (0..n)
+            .map(|_| rng.gen_range(0..self.vocab.topic_count()))
+            .collect()
+    }
+
+    /// Iterator over all documents.
+    pub fn documents(&self) -> impl Iterator<Item = String> + '_ {
+        (0..self.config.docs).map(move |i| self.document(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_xml::Document;
+
+    fn config(docs: usize) -> CorpusConfig {
+        CorpusConfig {
+            docs,
+            seed: 42,
+            ..CorpusConfig::ieee_default()
+        }
+    }
+
+    #[test]
+    fn documents_are_well_formed_xml() {
+        let g = IeeeGenerator::new(config(25));
+        for (i, doc) in g.documents().enumerate() {
+            Document::parse(&doc).unwrap_or_else(|e| panic!("doc {i} malformed: {e}"));
+        }
+    }
+
+    #[test]
+    fn documents_are_deterministic() {
+        let g1 = IeeeGenerator::new(config(5));
+        let g2 = IeeeGenerator::new(config(5));
+        assert_eq!(g1.document(3), g2.document(3));
+        assert_ne!(g1.document(0), g1.document(1));
+    }
+
+    #[test]
+    fn structure_contains_expected_paths_and_synonyms() {
+        let g = IeeeGenerator::new(config(40));
+        let all: String = g.documents().collect();
+        for tag in ["<books>", "<journal>", "<article>", "<fm>", "<bdy>", "<sec>", "<ss1>", "<p>"] {
+            assert!(all.contains(tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn topic_words_appear_somewhere() {
+        let g = IeeeGenerator::new(config(60));
+        let all: String = g.documents().collect();
+        let hits = ["ontologies", "music", "retrieval", "xml"]
+            .iter()
+            .filter(|w| all.contains(**w))
+            .count();
+        assert!(hits >= 3, "only {hits} topic families present");
+    }
+}

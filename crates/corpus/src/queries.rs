@@ -1,0 +1,87 @@
+//! The seven INEX queries of the paper's Table 1.
+
+/// Which synthetic collection a query targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collection {
+    /// The IEEE-like collection (INEX 2005).
+    Ieee,
+    /// The Wikipedia-like collection (INEX 2006).
+    Wiki,
+}
+
+/// One Table 1 row: INEX id, NEXI expression, target collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperQuery {
+    /// The INEX topic id.
+    pub id: u32,
+    /// The NEXI expression, verbatim from Table 1.
+    pub nexi: &'static str,
+    /// The collection it runs on.
+    pub collection: Collection,
+}
+
+/// Table 1 of the paper.
+pub const PAPER_QUERIES: &[PaperQuery] = &[
+    PaperQuery {
+        id: 202,
+        nexi: "//article[about(., ontologies)]//sec[about(., ontologies case study)]",
+        collection: Collection::Ieee,
+    },
+    PaperQuery {
+        id: 203,
+        nexi: "//sec[about(., code signing verification)]",
+        collection: Collection::Ieee,
+    },
+    PaperQuery {
+        id: 233,
+        nexi: "//article[about (.//bdy, synthesizers) and about (.//bdy, music)]",
+        collection: Collection::Ieee,
+    },
+    PaperQuery {
+        id: 260,
+        nexi: "//bdy//*[about(., model checking state space explosion)]",
+        collection: Collection::Ieee,
+    },
+    PaperQuery {
+        id: 270,
+        nexi: "//article//sec[about(., introduction information retrieval)]",
+        collection: Collection::Ieee,
+    },
+    PaperQuery {
+        id: 290,
+        nexi: "//article[about(., \"genetic algorithm\")]",
+        collection: Collection::Wiki,
+    },
+    PaperQuery {
+        id: 292,
+        nexi: "//article//figure[about(., Renaissance painting Italian Flemish -French -German)]",
+        collection: Collection::Wiki,
+    },
+];
+
+/// Looks up a paper query by INEX id.
+pub fn paper_query(id: u32) -> Option<&'static PaperQuery> {
+    PAPER_QUERIES.iter().find(|q| q.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_queries_present() {
+        assert_eq!(PAPER_QUERIES.len(), 7);
+        let ieee = PAPER_QUERIES
+            .iter()
+            .filter(|q| q.collection == Collection::Ieee)
+            .count();
+        assert_eq!(ieee, 5);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(paper_query(260).is_some());
+        assert_eq!(paper_query(290).unwrap().collection, Collection::Wiki);
+        assert!(paper_query(999).is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! Shared text generation for the collection generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::vocab::Vocabulary;
+use crate::zipf::Zipf;
+
+/// Generates sentences mixing Zipf-distributed background words with words
+/// from the document's topic clusters.
+pub struct TextGen<'a> {
+    vocab: &'a Vocabulary,
+    zipf: &'a Zipf,
+    /// Topic clusters assigned to the current document.
+    topics: Vec<usize>,
+    /// Probability that a word is drawn from a topic cluster instead of the
+    /// background vocabulary.
+    topic_prob: f64,
+}
+
+impl<'a> TextGen<'a> {
+    /// A generator for one document with the given topics.
+    pub fn new(
+        vocab: &'a Vocabulary,
+        zipf: &'a Zipf,
+        topics: Vec<usize>,
+        topic_prob: f64,
+    ) -> TextGen<'a> {
+        TextGen {
+            vocab,
+            zipf,
+            topics,
+            topic_prob,
+        }
+    }
+
+    /// One word.
+    pub fn word(&self, rng: &mut StdRng) -> String {
+        if !self.topics.is_empty() && rng.gen_bool(self.topic_prob) {
+            let topic = self.topics[rng.gen_range(0..self.topics.len())];
+            self.vocab.topic_word(topic, rng).to_string()
+        } else {
+            self.vocab.word(self.zipf.sample(rng)).to_string()
+        }
+    }
+
+    /// A run of `n` space-separated words.
+    pub fn words(&self, n: usize, rng: &mut StdRng) -> String {
+        let mut out = String::with_capacity(n * 7);
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&self.word(rng));
+        }
+        out
+    }
+
+    /// The topics of this document.
+    pub fn topics(&self) -> &[usize] {
+        &self.topics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn topical_documents_contain_topic_words() {
+        let vocab = Vocabulary::new(500);
+        let zipf = Zipf::new(500, 1.0);
+        let gen = TextGen::new(&vocab, &zipf, vec![0], 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let text = gen.words(400, &mut rng);
+        assert!(text.contains("ontologies") || text.contains("case") || text.contains("study"));
+    }
+
+    #[test]
+    fn topic_free_documents_use_background_only() {
+        let vocab = Vocabulary::new(500);
+        let zipf = Zipf::new(500, 1.0);
+        let gen = TextGen::new(&vocab, &zipf, vec![], 0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let text = gen.words(200, &mut rng);
+        assert!(!text.contains("ontologies"));
+    }
+
+    #[test]
+    fn word_counts_match() {
+        let vocab = Vocabulary::new(100);
+        let zipf = Zipf::new(100, 1.0);
+        let gen = TextGen::new(&vocab, &zipf, vec![1], 0.2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let text = gen.words(25, &mut rng);
+        assert_eq!(text.split_whitespace().count(), 25);
+    }
+}

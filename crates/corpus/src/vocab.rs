@@ -1,0 +1,151 @@
+//! Synthetic vocabulary seeded with the paper's query terms.
+//!
+//! The INEX collections are not redistributable, so the generators build
+//! documents from (a) a large synthetic background vocabulary drawn with a
+//! Zipf distribution, and (b) *topic clusters* containing the exact keywords
+//! of the paper's Table 1 queries, injected into a controlled fraction of
+//! documents. This preserves what the experiments depend on: term-frequency
+//! skew, and queries with non-trivial, differently-sized result sets.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The topic clusters: each is the keyword set of one Table 1 query, plus a
+/// few related filler words so topical paragraphs read plausibly.
+pub const TOPICS: &[&[&str]] = &[
+    // Query 202
+    &["ontologies", "case", "study", "semantic", "knowledge"],
+    // Query 203
+    &["code", "signing", "verification", "security", "certificates"],
+    // Query 233
+    &["synthesizers", "music", "audio", "sound", "digital"],
+    // Query 260
+    &["model", "checking", "state", "space", "explosion", "temporal"],
+    // Query 270
+    &["introduction", "information", "retrieval", "search", "ranking"],
+    // Query 290
+    &["genetic", "algorithm", "evolution", "fitness", "population"],
+    // Query 292
+    &["renaissance", "painting", "italian", "flemish", "french", "german", "portrait"],
+    // The running example of the paper's §1
+    &["xml", "query", "evaluation", "index", "structure"],
+];
+
+/// A generated vocabulary: background words plus the topic clusters.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    background: Vec<String>,
+}
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
+    "pl", "pr", "qu", "r", "s", "st", "str", "t", "tr", "v", "w", "z",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
+const CODAS: &[&str] = &["", "n", "m", "r", "s", "t", "l", "nd", "st", "rk", "x"];
+
+impl Vocabulary {
+    /// Builds a deterministic background vocabulary of `size` pronounceable
+    /// pseudo-words (no randomness: word `i` is fixed forever, so corpora
+    /// with different seeds share a vocabulary).
+    pub fn new(size: usize) -> Vocabulary {
+        let mut background = Vec::with_capacity(size);
+        let mut i = 0usize;
+        while background.len() < size {
+            let word = Self::word_for(i);
+            i += 1;
+            background.push(word);
+        }
+        Vocabulary { background }
+    }
+
+    /// The `i`-th pseudo-word: 2–3 syllables derived from the index digits.
+    fn word_for(mut i: usize) -> String {
+        let mut w = String::new();
+        let syllables = 2 + (i % 2);
+        for _ in 0..syllables {
+            w.push_str(ONSETS[i % ONSETS.len()]);
+            i /= ONSETS.len();
+            w.push_str(NUCLEI[i % NUCLEI.len()]);
+            i /= NUCLEI.len();
+            w.push_str(CODAS[i % CODAS.len()]);
+            i /= CODAS.len();
+        }
+        w
+    }
+
+    /// Number of background words.
+    pub fn len(&self) -> usize {
+        self.background.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.background.is_empty()
+    }
+
+    /// The background word of Zipf rank `rank` (0 = most frequent).
+    pub fn word(&self, rank: usize) -> &str {
+        &self.background[rank % self.background.len()]
+    }
+
+    /// A random word from topic cluster `topic`.
+    pub fn topic_word(&self, topic: usize, rng: &mut StdRng) -> &'static str {
+        let cluster = TOPICS[topic % TOPICS.len()];
+        cluster[rng.gen_range(0..cluster.len())]
+    }
+
+    /// Number of topic clusters.
+    pub fn topic_count(&self) -> usize {
+        TOPICS.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vocabulary_is_deterministic_and_distinct_enough() {
+        let v1 = Vocabulary::new(5000);
+        let v2 = Vocabulary::new(5000);
+        assert_eq!(v1.word(0), v2.word(0));
+        assert_eq!(v1.word(4999), v2.word(4999));
+        let distinct: std::collections::HashSet<&str> =
+            (0..5000).map(|i| v1.word(i)).collect();
+        assert!(distinct.len() > 4500, "got {}", distinct.len());
+    }
+
+    #[test]
+    fn words_are_lowercase_alphabetic() {
+        let v = Vocabulary::new(1000);
+        for i in 0..1000 {
+            let w = v.word(i);
+            assert!(!w.is_empty());
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+        }
+    }
+
+    #[test]
+    fn topics_cover_all_table1_queries() {
+        let all: Vec<&str> = TOPICS.iter().flat_map(|t| t.iter().copied()).collect();
+        for kw in [
+            "ontologies", "code", "signing", "synthesizers", "music", "model", "checking",
+            "explosion", "retrieval", "genetic", "algorithm", "renaissance", "painting",
+            "xml", "query", "evaluation",
+        ] {
+            assert!(all.contains(&kw), "missing topic keyword {kw}");
+        }
+    }
+
+    #[test]
+    fn topic_word_draws_from_cluster() {
+        let v = Vocabulary::new(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let w = v.topic_word(0, &mut rng);
+            assert!(TOPICS[0].contains(&w));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The Wikipedia-like collection generator.
+//!
+//! Flatter and more numerous than the IEEE-like documents, mirroring the
+//! INEX 2006 Wikipedia collection the paper's queries 290 and 292 run on:
+//! `article/{name, body/{p, section/{title, p, figure/caption}, template}}`,
+//! with the `section1`/`subsection` and `image`/`picture` synonym families.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::text::TextGen;
+use crate::vocab::Vocabulary;
+use crate::zipf::Zipf;
+use crate::CorpusConfig;
+
+/// Generator for the Wikipedia-like collection.
+pub struct WikiGenerator {
+    config: CorpusConfig,
+    vocab: Vocabulary,
+    zipf: Zipf,
+}
+
+impl WikiGenerator {
+    /// Creates a generator.
+    pub fn new(config: CorpusConfig) -> WikiGenerator {
+        let vocab = Vocabulary::new(config.vocab_size);
+        let zipf = Zipf::new(config.vocab_size, config.zipf_s);
+        WikiGenerator {
+            config,
+            vocab,
+            zipf,
+        }
+    }
+
+    /// Number of documents this generator produces.
+    pub fn len(&self) -> usize {
+        self.config.docs
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.config.docs == 0
+    }
+
+    /// Generates document `i` (deterministic in `(seed, i)`).
+    pub fn document(&self, i: usize) -> String {
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ (i as u64).wrapping_mul(0x51ed2701));
+        let topics = self.pick_topics(i, &mut rng);
+        let text = TextGen::new(&self.vocab, &self.zipf, topics, self.config.topic_prob);
+
+        let mut xml = String::with_capacity(2048);
+        xml.push_str("<article><name>");
+        xml.push_str(&text.words(rng.gen_range(1..5), &mut rng));
+        xml.push_str("</name><body>");
+
+        // Lead paragraph.
+        xml.push_str("<p>");
+        xml.push_str(&text.words(rng.gen_range(20..50), &mut rng));
+        xml.push_str("</p>");
+
+        for _ in 0..rng.gen_range(1..6) {
+            self.section(&mut xml, &text, &mut rng, 0);
+        }
+
+        if rng.gen_bool(0.3) {
+            xml.push_str("<template>");
+            xml.push_str(&text.words(rng.gen_range(4..12), &mut rng));
+            xml.push_str("</template>");
+        }
+
+        xml.push_str("</body></article>");
+        xml
+    }
+
+    /// One (possibly nested) section. Nesting varies the label paths of
+    /// figures, so incoming summaries give `//article//figure` many sids —
+    /// the shape of the paper's query 292 (1503 sids on the real corpus).
+    fn section(&self, xml: &mut String, text: &TextGen<'_>, rng: &mut StdRng, depth: usize) {
+        let tag = match rng.gen_range(0..10) {
+            0..=6 => "section",
+            7..=8 => "section1",
+            _ => "subsection",
+        };
+        xml.push('<');
+        xml.push_str(tag);
+        xml.push('>');
+        xml.push_str("<title>");
+        xml.push_str(&text.words(rng.gen_range(1..4), rng));
+        xml.push_str("</title>");
+        for _ in 0..rng.gen_range(1..4) {
+            xml.push_str("<p>");
+            xml.push_str(&text.words(rng.gen_range(10..45), rng));
+            xml.push_str("</p>");
+        }
+        if rng.gen_bool(0.25) {
+            let ftag = match rng.gen_range(0..3) {
+                0 => "figure",
+                1 => "image",
+                _ => "picture",
+            };
+            xml.push('<');
+            xml.push_str(ftag);
+            xml.push_str("><caption>");
+            xml.push_str(&text.words(rng.gen_range(3..9), rng));
+            xml.push_str("</caption></");
+            xml.push_str(ftag);
+            xml.push('>');
+        }
+        if depth < 2 && rng.gen_bool(0.3) {
+            for _ in 0..rng.gen_range(1..3) {
+                self.section(xml, text, rng, depth + 1);
+            }
+        }
+        xml.push_str("</");
+        xml.push_str(tag);
+        xml.push('>');
+    }
+
+    fn pick_topics(&self, i: usize, rng: &mut StdRng) -> Vec<usize> {
+        // Deterministic coverage of every topic in small corpora, as in the
+        // IEEE-like generator.
+        if i < 2 * self.vocab.topic_count() {
+            return vec![i % self.vocab.topic_count()];
+        }
+        if !rng.gen_bool(self.config.topic_doc_fraction) {
+            return Vec::new();
+        }
+        vec![rng.gen_range(0..self.vocab.topic_count())]
+    }
+
+    /// Iterator over all documents.
+    pub fn documents(&self) -> impl Iterator<Item = String> + '_ {
+        (0..self.config.docs).map(move |i| self.document(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_xml::Document;
+
+    fn config(docs: usize) -> CorpusConfig {
+        CorpusConfig {
+            docs,
+            seed: 7,
+            ..CorpusConfig::wiki_default()
+        }
+    }
+
+    #[test]
+    fn documents_are_well_formed_xml() {
+        let g = WikiGenerator::new(config(25));
+        for (i, doc) in g.documents().enumerate() {
+            Document::parse(&doc).unwrap_or_else(|e| panic!("doc {i} malformed: {e}"));
+        }
+    }
+
+    #[test]
+    fn structure_contains_figure_synonyms() {
+        let g = WikiGenerator::new(config(80));
+        let all: String = g.documents().collect();
+        for tag in ["<article>", "<body>", "<section>", "<figure>", "<caption>"] {
+            assert!(all.contains(tag), "missing {tag}");
+        }
+        assert!(all.contains("<image>") || all.contains("<picture>"));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g1 = WikiGenerator::new(config(3));
+        let g2 = WikiGenerator::new(config(3));
+        assert_eq!(g1.document(2), g2.document(2));
+    }
+}

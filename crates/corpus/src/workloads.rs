@@ -1,0 +1,108 @@
+//! Random query-workload generation (paper Definition 4.1) for advisor
+//! experiments and stress tests.
+//!
+//! Generated queries follow the shapes of Table 1 — a target path over the
+//! collection's structure with one or two `about()` clauses drawing keywords
+//! from the topic clusters — with Zipf-skewed frequencies, mirroring real
+//! workloads where a few queries dominate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::TOPICS;
+use crate::zipf::Zipf;
+use crate::Collection;
+
+/// One generated workload entry: (NEXI text, raw weight, k).
+pub type WorkloadEntry = (String, f64, usize);
+
+/// Generates `n` random top-k queries for `collection`, deterministic in
+/// `seed`. Weights follow a Zipf law; pass the entries to
+/// `trex_core::Workload::from_weights`.
+pub fn random_workload(collection: Collection, n: usize, seed: u64) -> Vec<WorkloadEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(n.max(1), 1.0);
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let nexi = random_query(collection, &mut rng);
+        let weight = 1.0 / (zipf.sample(&mut rng) + 1) as f64;
+        let k = [5usize, 10, 20, 50, 100][rng.gen_range(0..5)];
+        entries.push((nexi, weight, k));
+    }
+    entries
+}
+
+/// One random NEXI query in the shapes of the paper's Table 1.
+pub fn random_query(collection: Collection, rng: &mut StdRng) -> String {
+    let (root, targets) = match collection {
+        Collection::Ieee => ("article", ["sec", "p", "abs", "st", "*"]),
+        Collection::Wiki => ("article", ["section", "p", "figure", "caption", "*"]),
+    };
+    let topic = TOPICS[rng.gen_range(0..TOPICS.len())];
+    let word = |rng: &mut StdRng| topic[rng.gen_range(0..topic.len())];
+    let keywords = |rng: &mut StdRng| {
+        let n = rng.gen_range(1..4);
+        (0..n).map(|_| word(rng)).collect::<Vec<_>>().join(" ")
+    };
+
+    match rng.gen_range(0..4) {
+        // //target[about(., kws)]
+        0 => {
+            let target = targets[rng.gen_range(0..targets.len())];
+            format!("//{target}[about(., {})]", keywords(rng))
+        }
+        // //root//target[about(., kws)]
+        1 => {
+            let target = targets[rng.gen_range(0..targets.len())];
+            format!("//{root}//{target}[about(., {})]", keywords(rng))
+        }
+        // //root[about(., kws)]//target[about(., kws)]
+        2 => {
+            let target = targets[rng.gen_range(0..targets.len())];
+            format!(
+                "//{root}[about(., {})]//{target}[about(., {})]",
+                keywords(rng),
+                keywords(rng)
+            )
+        }
+        // //root[about(.//x, kws) and about(.//x, kws)]
+        _ => {
+            let inner = targets[rng.gen_range(0..targets.len() - 1)]; // skip '*'
+            format!(
+                "//{root}[about(.//{inner}, {}) and about(.//{inner}, {})]",
+                keywords(rng),
+                keywords(rng)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_sized() {
+        let a = random_workload(Collection::Ieee, 12, 7);
+        let b = random_workload(Collection::Ieee, 12, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        assert!(a.iter().all(|(_, w, k)| *w > 0.0 && *k > 0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_workload(Collection::Wiki, 8, 1);
+        let b = random_workload(Collection::Wiki, 8, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn queries_use_collection_vocabulary() {
+        let entries = random_workload(Collection::Ieee, 30, 3);
+        for (nexi, _, _) in &entries {
+            assert!(nexi.starts_with("//"), "{nexi}");
+            assert!(nexi.contains("about("), "{nexi}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Zipf-distributed rank sampling.
+//!
+//! Natural-language term frequencies follow a Zipf law; the background
+//! vocabulary is sampled with it so posting-list lengths have the skew the
+//! retrieval strategies' crossovers depend on (a handful of huge lists, a
+//! long tail of short ones).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A sampler over ranks `0..n` with `P(rank = r) ∝ 1 / (r + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution, `cdf[r]` = P(rank ≤ r).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s` (≈1 for natural
+    /// language).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "need at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        // Binary search for the first cdf entry ≥ u.
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] && counts[9] > counts[99]);
+        // Rank 0 should take roughly 1/H(1000) ≈ 13% of the mass.
+        assert!(counts[0] > 100_000 / 10);
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        let z = Zipf::new(5, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(100, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

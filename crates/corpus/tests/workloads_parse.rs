@@ -1,0 +1,15 @@
+//! Every generated workload query must be valid NEXI.
+
+use trex_corpus::{random_workload, Collection};
+
+#[test]
+fn generated_queries_always_parse() {
+    for seed in 0..20u64 {
+        for collection in [Collection::Ieee, Collection::Wiki] {
+            for (nexi, _, _) in random_workload(collection, 25, seed) {
+                trex_nexi::parse(&nexi)
+                    .unwrap_or_else(|e| panic!("generated query fails to parse: {nexi}: {e}"));
+            }
+        }
+    }
+}

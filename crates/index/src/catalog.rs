@@ -1,0 +1,284 @@
+//! Persisted index metadata: the term dictionary, the structural summary,
+//! the alias mapping, collection statistics and per-term statistics.
+//!
+//! Large values (dictionary, summary) exceed the storage engine's value
+//! limit, so they are stored as chunked *blobs* in a dedicated table.
+
+use trex_storage::codec::{get_u32, get_u64, put_u32, put_u64};
+use trex_storage::{Result, StorageError, Store, Table};
+use trex_summary::{AliasMap, Summary};
+use trex_text::{Analyzer, CollectionStats, Dictionary, TermId};
+
+/// Name of the blob table.
+pub const BLOBS_TABLE: &str = "blobs";
+/// Name of the per-term statistics table.
+pub const TERM_STATS_TABLE: &str = "term_stats";
+
+/// Chunk size for blob storage (comfortably under `MAX_VALUE_LEN`).
+const BLOB_CHUNK: usize = 1536;
+
+/// Writes `bytes` as the blob `name`, replacing any previous content.
+pub fn store_blob(table: &mut Table, name: &str, bytes: &[u8]) -> Result<()> {
+    // Chunk 0 holds the total length so truncated writes are detectable.
+    let chunks = bytes.chunks(BLOB_CHUNK);
+    let mut header = Vec::with_capacity(8);
+    put_u64(&mut header, bytes.len() as u64);
+    table.insert(&blob_key(name, 0), &header)?;
+    for (i, chunk) in chunks.enumerate() {
+        table.insert(&blob_key(name, (i + 1) as u32), chunk)?;
+    }
+    Ok(())
+}
+
+/// Reads back the blob `name`.
+pub fn load_blob(table: &Table, name: &str) -> Result<Option<Vec<u8>>> {
+    let Some(header) = table.get(&blob_key(name, 0))? else {
+        return Ok(None);
+    };
+    let total = get_u64(&header, 0)? as usize;
+    let mut out = Vec::with_capacity(total);
+    let mut i = 1u32;
+    while out.len() < total {
+        let Some(chunk) = table.get(&blob_key(name, i))? else {
+            return Err(StorageError::Corrupt(format!("blob {name} truncated")));
+        };
+        out.extend_from_slice(&chunk);
+        i += 1;
+    }
+    if out.len() != total {
+        return Err(StorageError::Corrupt(format!("blob {name} length mismatch")));
+    }
+    Ok(Some(out))
+}
+
+fn blob_key(name: &str, chunk: u32) -> Vec<u8> {
+    let mut k = Vec::with_capacity(name.len() + 5);
+    k.extend_from_slice(name.as_bytes());
+    k.push(0);
+    put_u32(&mut k, chunk);
+    k
+}
+
+// ---------------------------------------------------------------------------
+// Collection statistics
+// ---------------------------------------------------------------------------
+
+/// Serialises [`CollectionStats`].
+pub fn encode_stats(stats: &CollectionStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&stats.doc_count.to_le_bytes());
+    out.extend_from_slice(&stats.element_count.to_le_bytes());
+    out.extend_from_slice(&stats.avg_element_len.to_le_bytes());
+    out
+}
+
+/// Inverse of [`encode_stats`].
+pub fn decode_stats(bytes: &[u8]) -> Result<CollectionStats> {
+    if bytes.len() < 16 {
+        return Err(StorageError::Corrupt("short stats blob".into()));
+    }
+    Ok(CollectionStats {
+        doc_count: u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+        element_count: u64::from_le_bytes(bytes[4..12].try_into().unwrap()),
+        avg_element_len: f32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+    })
+}
+
+/// Serialises an alias map.
+pub fn encode_alias(alias: &AliasMap) -> Vec<u8> {
+    let pairs = alias.pairs();
+    let mut out = Vec::new();
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for (from, to) in pairs {
+        for s in [&from, &to] {
+            out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_alias`].
+pub fn decode_alias(bytes: &[u8]) -> Result<AliasMap> {
+    let corrupt = || StorageError::Corrupt("bad alias blob".into());
+    let count = u32::from_le_bytes(bytes.get(..4).ok_or_else(corrupt)?.try_into().unwrap());
+    let mut off = 4usize;
+    let mut pairs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let read = |off: &mut usize| -> Result<String> {
+            let len = u16::from_le_bytes(
+                bytes
+                    .get(*off..*off + 2)
+                    .ok_or_else(corrupt)?
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            *off += 2;
+            let s = std::str::from_utf8(bytes.get(*off..*off + len).ok_or_else(corrupt)?)
+                .map_err(|_| corrupt())?
+                .to_string();
+            *off += len;
+            Ok(s)
+        };
+        let from = read(&mut off)?;
+        let to = read(&mut off)?;
+        pairs.push((from, to));
+    }
+    Ok(AliasMap::from_pairs(pairs))
+}
+
+// ---------------------------------------------------------------------------
+// Per-term statistics
+// ---------------------------------------------------------------------------
+
+/// Document frequency and collection frequency of one term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TermStats {
+    /// Documents containing the term.
+    pub df: u32,
+    /// Total occurrences across the collection.
+    pub cf: u64,
+}
+
+/// Writes the stats of `term`.
+pub fn put_term_stats(table: &mut Table, term: TermId, stats: TermStats) -> Result<()> {
+    let mut k = Vec::with_capacity(4);
+    put_u32(&mut k, term);
+    let mut v = Vec::with_capacity(12);
+    put_u32(&mut v, stats.df);
+    put_u64(&mut v, stats.cf);
+    table.insert(&k, &v)
+}
+
+/// Reads the stats of `term` (zero when absent).
+pub fn get_term_stats(table: &Table, term: TermId) -> Result<TermStats> {
+    let mut k = Vec::with_capacity(4);
+    put_u32(&mut k, term);
+    match table.get(&k)? {
+        Some(v) => Ok(TermStats {
+            df: get_u32(&v, 0)?,
+            cf: get_u64(&v, 4)?,
+        }),
+        None => Ok(TermStats::default()),
+    }
+}
+
+/// Serialises the analyzer configuration.
+pub fn encode_analyzer(analyzer: &Analyzer) -> Vec<u8> {
+    vec![analyzer.remove_stopwords as u8, analyzer.stem as u8]
+}
+
+/// Inverse of [`encode_analyzer`].
+pub fn decode_analyzer(bytes: &[u8]) -> Result<Analyzer> {
+    if bytes.len() < 2 {
+        return Err(StorageError::Corrupt("short analyzer blob".into()));
+    }
+    Ok(Analyzer {
+        remove_stopwords: bytes[0] != 0,
+        stem: bytes[1] != 0,
+    })
+}
+
+/// Blob names used by the builder / reader.
+pub mod blob_names {
+    /// The term dictionary.
+    pub const DICTIONARY: &str = "dictionary";
+    /// The structural summary used for query translation.
+    pub const SUMMARY: &str = "summary";
+    /// The alias map the summary was built with.
+    pub const ALIAS: &str = "alias";
+    /// Collection statistics.
+    pub const STATS: &str = "stats";
+    /// The analyzer configuration the collection was indexed with.
+    pub const ANALYZER: &str = "analyzer";
+}
+
+/// Loads the full catalog (dictionary, summary, alias, stats, analyzer)
+/// from a store.
+pub fn load_catalog(
+    store: &Store,
+) -> Result<(Dictionary, Summary, AliasMap, CollectionStats, Analyzer)> {
+    let blobs = store.open_table(BLOBS_TABLE)?;
+    let corrupt = |what: &str| StorageError::Corrupt(format!("missing or bad {what} blob"));
+    let dict_bytes = load_blob(&blobs, blob_names::DICTIONARY)?.ok_or_else(|| corrupt("dictionary"))?;
+    let dictionary = Dictionary::decode(&dict_bytes).ok_or_else(|| corrupt("dictionary"))?;
+    let summary_bytes = load_blob(&blobs, blob_names::SUMMARY)?.ok_or_else(|| corrupt("summary"))?;
+    let summary = Summary::decode(&summary_bytes).ok_or_else(|| corrupt("summary"))?;
+    let alias_bytes = load_blob(&blobs, blob_names::ALIAS)?.ok_or_else(|| corrupt("alias"))?;
+    let alias = decode_alias(&alias_bytes)?;
+    let stats_bytes = load_blob(&blobs, blob_names::STATS)?.ok_or_else(|| corrupt("stats"))?;
+    let stats = decode_stats(&stats_bytes)?;
+    // Older stores without the blob default to the standard pipeline.
+    let analyzer = match load_blob(&blobs, blob_names::ANALYZER)? {
+        Some(bytes) => decode_analyzer(&bytes)?,
+        None => Analyzer::default(),
+    };
+    Ok((dictionary, summary, alias, stats, analyzer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_store<R>(name: &str, f: impl FnOnce(&Store) -> R) -> R {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trex-catalog-{name}-{}", std::process::id()));
+        let store = Store::create(&path, 64).unwrap();
+        let r = f(&store);
+        drop(store);
+        std::fs::remove_file(&path).ok();
+        r
+    }
+
+    #[test]
+    fn blob_round_trip_small_and_large() {
+        with_store("blob", |store| {
+            let mut t = store.create_table(BLOBS_TABLE).unwrap();
+            store_blob(&mut t, "small", b"hello").unwrap();
+            let big: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+            store_blob(&mut t, "big", &big).unwrap();
+            assert_eq!(load_blob(&t, "small").unwrap().unwrap(), b"hello");
+            assert_eq!(load_blob(&t, "big").unwrap().unwrap(), big);
+            assert!(load_blob(&t, "absent").unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn blob_overwrite_uses_new_length() {
+        with_store("overwrite", |store| {
+            let mut t = store.create_table(BLOBS_TABLE).unwrap();
+            store_blob(&mut t, "x", &vec![7u8; 5000]).unwrap();
+            store_blob(&mut t, "x", b"tiny").unwrap();
+            assert_eq!(load_blob(&t, "x").unwrap().unwrap(), b"tiny");
+        });
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let s = CollectionStats {
+            doc_count: 42,
+            element_count: 1234,
+            avg_element_len: 56.5,
+        };
+        assert_eq!(decode_stats(&encode_stats(&s)).unwrap(), s);
+        assert!(decode_stats(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn alias_round_trip() {
+        let alias = AliasMap::inex_ieee();
+        let back = decode_alias(&encode_alias(&alias)).unwrap();
+        assert_eq!(back.pairs(), alias.pairs());
+        assert!(decode_alias(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn term_stats_round_trip_and_default() {
+        with_store("termstats", |store| {
+            let mut t = store.create_table(TERM_STATS_TABLE).unwrap();
+            put_term_stats(&mut t, 9, TermStats { df: 3, cf: 17 }).unwrap();
+            assert_eq!(get_term_stats(&t, 9).unwrap(), TermStats { df: 3, cf: 17 });
+            assert_eq!(get_term_stats(&t, 10).unwrap(), TermStats::default());
+        });
+    }
+}

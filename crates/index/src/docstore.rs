@@ -1,0 +1,228 @@
+//! Optional storage of the original documents, enabling snippet retrieval:
+//! mapping an answer element back to the XML fragment it denotes.
+//!
+//! The paper's system returns elements identified by (docid, endpos); a
+//! usable retrieval system must be able to show the user the element
+//! itself. Documents are stored as chunked blobs in their own table.
+
+use trex_storage::{Result, Store, Table};
+use trex_text::Analyzer;
+use trex_xml::{Document, NodeId, NodeKind};
+
+use crate::catalog::{load_blob, store_blob};
+use crate::encode::ElementRef;
+
+/// Name of the document table inside the store.
+pub const DOCUMENTS_TABLE: &str = "documents";
+
+/// Write access used by the index builder.
+pub struct DocStoreWriter {
+    table: Table,
+}
+
+impl DocStoreWriter {
+    /// Opens (creating on first use) the document table.
+    pub fn open(store: &Store) -> Result<DocStoreWriter> {
+        Ok(DocStoreWriter {
+            table: store.open_or_create_table(DOCUMENTS_TABLE)?,
+        })
+    }
+
+    /// Stores the raw XML of document `doc_id`.
+    pub fn put(&mut self, doc_id: u32, xml: &str) -> Result<()> {
+        store_blob(&mut self.table, &doc_id.to_string(), xml.as_bytes())
+    }
+}
+
+/// Read access: fetch documents and cut element snippets.
+pub struct DocStore {
+    table: Table,
+}
+
+impl DocStore {
+    /// Opens the document table; errors if the index was built without
+    /// document storage.
+    pub fn open(store: &Store) -> Result<DocStore> {
+        Ok(DocStore {
+            table: store.open_table(DOCUMENTS_TABLE)?,
+        })
+    }
+
+    /// The raw XML of document `doc_id`, if stored.
+    pub fn document(&self, doc_id: u32) -> Result<Option<String>> {
+        Ok(load_blob(&self.table, &doc_id.to_string())?
+            .map(|bytes| String::from_utf8_lossy(&bytes).into_owned()))
+    }
+
+    /// Serialises the element `element` of its document back to XML, by
+    /// re-walking the document with the index's analyzer and locating the
+    /// element whose token span matches. Returns `None` when the document
+    /// is not stored or no element matches (e.g. a stale answer).
+    pub fn snippet(&self, element: ElementRef, analyzer: &Analyzer) -> Result<Option<String>> {
+        let Some(xml) = self.document(element.doc)? else {
+            return Ok(None);
+        };
+        let doc = match Document::parse(&xml) {
+            Ok(d) => d,
+            Err(_) => return Ok(None), // stored bytes no longer parse
+        };
+        let mut next_pos = 0u32;
+        let found = locate(&doc, doc.root(), analyzer, &mut next_pos, element);
+        Ok(found.map(|id| {
+            let mut out = String::new();
+            write_subtree(&doc, id, &mut out);
+            out
+        }))
+    }
+}
+
+/// Walks the document mirroring the index builder's position assignment;
+/// returns the node whose span equals `want`.
+fn locate(
+    doc: &Document,
+    node: NodeId,
+    analyzer: &Analyzer,
+    next_pos: &mut u32,
+    want: ElementRef,
+) -> Option<NodeId> {
+    match &doc.node(node).kind {
+        NodeKind::Text(text) => {
+            let (_, np) = analyzer.analyze_from(text, *next_pos);
+            *next_pos = np;
+            None
+        }
+        NodeKind::Element { .. } => {
+            let mark = *next_pos;
+            let mut found = None;
+            for &child in &doc.node(node).children {
+                if let Some(hit) = locate(doc, child, analyzer, next_pos, want) {
+                    found = Some(hit);
+                }
+            }
+            let length = *next_pos - mark;
+            if found.is_some() {
+                return found;
+            }
+            if length == want.length && length > 0 && *next_pos - 1 == want.end {
+                return Some(node);
+            }
+            None
+        }
+    }
+}
+
+fn write_subtree(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).kind {
+        NodeKind::Text(t) => out.push_str(&trex_xml::escape::escape_text(t)),
+        NodeKind::Element { name, .. } => {
+            out.push('<');
+            out.push_str(name);
+            out.push('>');
+            for &c in &doc.node(id).children {
+                write_subtree(doc, c, out);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_store<R>(name: &str, f: impl FnOnce(&Store) -> R) -> R {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trex-docstore-{name}-{}", std::process::id()));
+        let store = Store::create(&path, 64).unwrap();
+        let r = f(&store);
+        drop(store);
+        std::fs::remove_file(&path).ok();
+        r
+    }
+
+    #[test]
+    fn documents_round_trip_including_large_ones() {
+        with_store("rt", |store| {
+            let mut w = DocStoreWriter::open(store).unwrap();
+            let small = "<a>tiny</a>".to_string();
+            let large = format!("<a>{}</a>", "word ".repeat(5000));
+            w.put(0, &small).unwrap();
+            w.put(1, &large).unwrap();
+            let r = DocStore::open(store).unwrap();
+            assert_eq!(r.document(0).unwrap().unwrap(), small);
+            assert_eq!(r.document(1).unwrap().unwrap(), large);
+            assert!(r.document(7).unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn snippet_locates_the_right_element() {
+        with_store("snippet", |store| {
+            let mut w = DocStoreWriter::open(store).unwrap();
+            let xml = "<article><sec>alpha beta</sec><sec>gamma delta epsilon</sec></article>";
+            w.put(0, xml).unwrap();
+            let r = DocStore::open(store).unwrap();
+            let analyzer = Analyzer::verbatim();
+            // Second sec spans tokens [2, 4], length 3.
+            let snippet = r
+                .snippet(
+                    ElementRef {
+                        doc: 0,
+                        end: 4,
+                        length: 3,
+                    },
+                    &analyzer,
+                )
+                .unwrap()
+                .unwrap();
+            assert_eq!(snippet, "<sec>gamma delta epsilon</sec>");
+            // The whole article spans [0, 4], length 5.
+            let snippet = r
+                .snippet(
+                    ElementRef {
+                        doc: 0,
+                        end: 4,
+                        length: 5,
+                    },
+                    &analyzer,
+                )
+                .unwrap()
+                .unwrap();
+            assert!(snippet.starts_with("<article>"));
+        });
+    }
+
+    #[test]
+    fn snippet_of_unknown_span_is_none() {
+        with_store("unknown", |store| {
+            let mut w = DocStoreWriter::open(store).unwrap();
+            w.put(0, "<a>one two</a>").unwrap();
+            let r = DocStore::open(store).unwrap();
+            let analyzer = Analyzer::verbatim();
+            assert!(r
+                .snippet(
+                    ElementRef {
+                        doc: 0,
+                        end: 9,
+                        length: 3
+                    },
+                    &analyzer
+                )
+                .unwrap()
+                .is_none());
+            assert!(r
+                .snippet(
+                    ElementRef {
+                        doc: 5,
+                        end: 1,
+                        length: 1
+                    },
+                    &analyzer
+                )
+                .unwrap()
+                .is_none());
+        });
+    }
+}

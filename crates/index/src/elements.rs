@@ -1,0 +1,234 @@
+//! The `Elements` table and its per-sid iterator.
+//!
+//! ERA consumes elements through exactly the two operations of paper §3.2:
+//! `firstElement()` and `nextElementAfter(p)`, both of which the B+tree
+//! serves with a seek followed by sequential reads.
+
+use trex_storage::{Result, Table};
+use trex_summary::Sid;
+
+use crate::encode::{
+    decode_elements_key, decode_elements_value, elements_key, elements_value, ElementRef, Position,
+};
+
+/// Name of the table inside the store.
+pub const ELEMENTS_TABLE: &str = "elements";
+
+/// Write/read access to the `Elements` table.
+pub struct ElementsTable {
+    table: Table,
+}
+
+/// An element together with its sid, as stored in `Elements`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElementRow {
+    /// Summary node of the element.
+    pub sid: Sid,
+    /// The element.
+    pub element: ElementRef,
+}
+
+impl ElementsTable {
+    /// Wraps an open storage table.
+    pub fn new(table: Table) -> ElementsTable {
+        ElementsTable { table }
+    }
+
+    /// Inserts one element.
+    pub fn insert(&mut self, sid: Sid, element: ElementRef) -> Result<()> {
+        debug_assert!(element.length > 0, "empty elements are not indexed");
+        self.table.insert(
+            &elements_key(sid, element.doc, element.end),
+            &elements_value(element.length),
+        )
+    }
+
+    /// Iterator over the extent of `sid`, in end-position order.
+    pub fn extent(&self, sid: Sid) -> Result<ElementIter> {
+        let cursor = self.table.seek(&elements_key(sid, 0, 0))?;
+        Ok(ElementIter { cursor, sid })
+    }
+
+    /// The paper's `I_s.nextElementAfter(p)` as a standalone seek: the
+    /// element of `sid`'s extent with the lowest end position `> p`, or the
+    /// dummy element at `m-pos` when none exists.
+    pub fn next_element_after(&self, sid: Sid, p: Position) -> Result<Option<ElementRef>> {
+        let succ = p.successor();
+        let mut cursor = self.table.seek(&elements_key(sid, succ.doc, succ.offset))?;
+        match cursor.next_entry()? {
+            Some((key, value)) => {
+                let (found_sid, doc, end) = decode_elements_key(&key)?;
+                if found_sid != sid {
+                    return Ok(None);
+                }
+                let length = decode_elements_value(&value)?;
+                Ok(Some(ElementRef { doc, end, length }))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Like [`ElementsTable::next_element_after`], but inclusive: the element
+    /// with the lowest end position `>= p`. This is what ERA needs when it
+    /// jumps an extent iterator forward to the current term position — an
+    /// element ending exactly *at* the position still contains it.
+    pub fn next_element_at_or_after(&self, sid: Sid, p: Position) -> Result<Option<ElementRef>> {
+        let mut cursor = self.table.seek(&elements_key(sid, p.doc, p.offset))?;
+        match cursor.next_entry()? {
+            Some((key, value)) => {
+                let (found_sid, doc, end) = decode_elements_key(&key)?;
+                if found_sid != sid {
+                    return Ok(None);
+                }
+                let length = decode_elements_value(&value)?;
+                Ok(Some(ElementRef { doc, end, length }))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Total number of elements for `sid` (walks the extent; used by tests
+    /// and statistics, not by query evaluation).
+    pub fn extent_size(&self, sid: Sid) -> Result<u64> {
+        let mut iter = self.extent(sid)?;
+        let mut n = 0;
+        while iter.next_element()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Full-table scan in key order (sid, doc, end).
+    pub fn scan_all(&self) -> Result<AllElementsIter> {
+        Ok(AllElementsIter {
+            cursor: self.table.scan()?,
+        })
+    }
+}
+
+/// Iterator over one sid's extent — the paper's `I_s`.
+pub struct ElementIter {
+    cursor: trex_storage::Cursor,
+    sid: Sid,
+}
+
+impl ElementIter {
+    /// The next element in end-position order, or `None` when the extent is
+    /// exhausted (the paper returns a dummy element at `m-pos`; callers in
+    /// `trex-core` translate `None` accordingly).
+    pub fn next_element(&mut self) -> Result<Option<ElementRef>> {
+        match self.cursor.next_entry()? {
+            Some((key, value)) => {
+                let (sid, doc, end) = decode_elements_key(&key)?;
+                if sid != self.sid {
+                    return Ok(None); // walked past this extent
+                }
+                let length = decode_elements_value(&value)?;
+                Ok(Some(ElementRef { doc, end, length }))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Iterator over the whole table.
+pub struct AllElementsIter {
+    cursor: trex_storage::Cursor,
+}
+
+impl AllElementsIter {
+    /// The next row in key order.
+    pub fn next_row(&mut self) -> Result<Option<ElementRow>> {
+        match self.cursor.next_entry()? {
+            Some((key, value)) => {
+                let (sid, doc, end) = decode_elements_key(&key)?;
+                let length = decode_elements_value(&value)?;
+                Ok(Some(ElementRow {
+                    sid,
+                    element: ElementRef { doc, end, length },
+                }))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_storage::Store;
+
+    fn with_table<R>(name: &str, f: impl FnOnce(&mut ElementsTable) -> R) -> R {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trex-elements-{name}-{}", std::process::id()));
+        let store = Store::create(&path, 64).unwrap();
+        let mut t = ElementsTable::new(store.create_table(ELEMENTS_TABLE).unwrap());
+        let r = f(&mut t);
+        drop(t);
+        drop(store);
+        std::fs::remove_file(&path).ok();
+        r
+    }
+
+    fn el(doc: u32, end: u32, length: u32) -> ElementRef {
+        ElementRef { doc, end, length }
+    }
+
+    #[test]
+    fn extent_iterates_in_end_position_order() {
+        with_table("order", |t| {
+            t.insert(7, el(1, 50, 10)).unwrap();
+            t.insert(7, el(0, 30, 5)).unwrap();
+            t.insert(7, el(1, 20, 3)).unwrap();
+            t.insert(8, el(0, 10, 2)).unwrap(); // other sid, must not appear
+            let mut iter = t.extent(7).unwrap();
+            let mut got = Vec::new();
+            while let Some(e) = iter.next_element().unwrap() {
+                got.push((e.doc, e.end));
+            }
+            assert_eq!(got, vec![(0, 30), (1, 20), (1, 50)]);
+        });
+    }
+
+    #[test]
+    fn next_element_after_seeks_strictly_past() {
+        with_table("seek", |t| {
+            t.insert(3, el(0, 10, 2)).unwrap();
+            t.insert(3, el(0, 20, 2)).unwrap();
+            t.insert(3, el(1, 5, 2)).unwrap();
+            let next = |doc, offset| {
+                t.next_element_after(3, Position { doc, offset })
+                    .unwrap()
+                    .map(|e| (e.doc, e.end))
+            };
+            assert_eq!(next(0, 9), Some((0, 10)));
+            assert_eq!(next(0, 10), Some((0, 20)), "strictly after");
+            assert_eq!(next(0, 25), Some((1, 5)));
+            assert_eq!(next(1, 5), None, "past the extent");
+        });
+    }
+
+    #[test]
+    fn empty_extent_yields_nothing() {
+        with_table("empty", |t| {
+            t.insert(1, el(0, 4, 5)).unwrap();
+            let mut iter = t.extent(99).unwrap();
+            assert!(iter.next_element().unwrap().is_none());
+            assert_eq!(t.extent_size(99).unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn scan_all_orders_by_sid_first() {
+        with_table("all", |t| {
+            t.insert(5, el(0, 1, 1)).unwrap();
+            t.insert(2, el(9, 9, 1)).unwrap();
+            let mut iter = t.scan_all().unwrap();
+            let mut got = Vec::new();
+            while let Some(row) = iter.next_row().unwrap() {
+                got.push(row.sid);
+            }
+            assert_eq!(got, vec![2, 5]);
+        });
+    }
+}

@@ -1,0 +1,437 @@
+//! Key/value encodings of the four TReX tables plus the core identifier
+//! types ([`Position`], [`ElementRef`]).
+//!
+//! Table schemas (paper §2.2), with primary keys underlined there:
+//!
+//! ```text
+//! Elements(SID, docid, endpos, length)
+//! PostingLists(token, docid, offset, postingdataentry)
+//! RPLs(token, ir, SID, docid, endpos, rpldataentry)
+//! ERPLs(token, SID, docid, endpos, ir, erpldataentry)
+//! ```
+//!
+//! Keys are composed with big-endian fields so that memcmp order equals the
+//! intended scan order; RPL keys embed the order-inverted score bits so an
+//! ascending scan enumerates entries in *descending* relevance.
+
+use trex_storage::codec::{
+    get_u32, inverted_score_bits, put_u32, read_varint, score_from_inverted_bits, write_varint,
+};
+use trex_storage::{Result, StorageError};
+use trex_summary::Sid;
+use trex_text::TermId;
+
+/// A token position: (document, token offset). Totally ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position {
+    /// Document id.
+    pub doc: u32,
+    /// Token offset within the document.
+    pub offset: u32,
+}
+
+impl Position {
+    /// The paper's `m-pos`: "maximal in the sense that no real position can
+    /// exceed it". Appended to the end of every posting list.
+    pub const MAX: Position = Position {
+        doc: u32::MAX,
+        offset: u32::MAX,
+    };
+
+    /// The smallest position.
+    pub const MIN: Position = Position { doc: 0, offset: 0 };
+
+    /// The immediately following position (saturating at `MAX`).
+    pub fn successor(self) -> Position {
+        if self.offset == u32::MAX {
+            if self.doc == u32::MAX {
+                Position::MAX
+            } else {
+                Position {
+                    doc: self.doc + 1,
+                    offset: 0,
+                }
+            }
+        } else {
+            Position {
+                doc: self.doc,
+                offset: self.offset + 1,
+            }
+        }
+    }
+
+    /// Whether this is the `m-pos` sentinel.
+    pub fn is_max(self) -> bool {
+        self == Position::MAX
+    }
+}
+
+/// Identity of an element: the document and the token position where it ends
+/// (paper §2.2: "each element is identified by the position where it ends"),
+/// plus its token length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementRef {
+    /// Document id.
+    pub doc: u32,
+    /// Token offset of the element's last contained token.
+    pub end: u32,
+    /// Number of token positions the element spans (> 0; empty elements are
+    /// not indexed — they cannot contain a keyword, so they can never be in
+    /// any answer).
+    pub length: u32,
+}
+
+impl ElementRef {
+    /// Token offset of the element's first contained token.
+    pub fn start(&self) -> u32 {
+        self.end + 1 - self.length
+    }
+
+    /// The position of the element's end, used to order elements.
+    pub fn end_position(&self) -> Position {
+        Position {
+            doc: self.doc,
+            offset: self.end,
+        }
+    }
+
+    /// Whether the element's span contains `pos`.
+    pub fn contains(&self, pos: Position) -> bool {
+        self.doc == pos.doc && self.start() <= pos.offset && pos.offset <= self.end
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elements table: key (sid, doc, end) → varint length
+// ---------------------------------------------------------------------------
+
+/// Encodes an `Elements` key.
+pub fn elements_key(sid: Sid, doc: u32, end: u32) -> Vec<u8> {
+    let mut k = Vec::with_capacity(12);
+    put_u32(&mut k, sid);
+    put_u32(&mut k, doc);
+    put_u32(&mut k, end);
+    k
+}
+
+/// Decodes an `Elements` key.
+pub fn decode_elements_key(key: &[u8]) -> Result<(Sid, u32, u32)> {
+    Ok((get_u32(key, 0)?, get_u32(key, 4)?, get_u32(key, 8)?))
+}
+
+/// Encodes an `Elements` value.
+pub fn elements_value(length: u32) -> Vec<u8> {
+    let mut v = Vec::with_capacity(5);
+    write_varint(&mut v, length as u64);
+    v
+}
+
+/// Decodes an `Elements` value.
+pub fn decode_elements_value(value: &[u8]) -> Result<u32> {
+    let (len, _) = read_varint(value)?;
+    Ok(len as u32)
+}
+
+// ---------------------------------------------------------------------------
+// PostingLists table: key (term, doc, offset) → delta-encoded chunk
+// ---------------------------------------------------------------------------
+
+/// Encodes a `PostingLists` key: the term plus the first position of the
+/// chunk ("the first position in each fragment is part of the key", §2.2).
+pub fn postings_key(term: TermId, first: Position) -> Vec<u8> {
+    let mut k = Vec::with_capacity(12);
+    put_u32(&mut k, term);
+    put_u32(&mut k, first.doc);
+    put_u32(&mut k, first.offset);
+    k
+}
+
+/// Decodes a `PostingLists` key.
+pub fn decode_postings_key(key: &[u8]) -> Result<(TermId, Position)> {
+    Ok((
+        get_u32(key, 0)?,
+        Position {
+            doc: get_u32(key, 4)?,
+            offset: get_u32(key, 8)?,
+        },
+    ))
+}
+
+/// Encodes a chunk of positions (which must be sorted ascending and start
+/// with the key's first position) as deltas: `count`, then for each position
+/// after the first a `doc_delta` and an offset (absolute when the document
+/// changed, a delta otherwise).
+pub fn postings_value(positions: &[Position]) -> Vec<u8> {
+    let mut v = Vec::new();
+    write_varint(&mut v, positions.len() as u64);
+    let mut prev: Option<Position> = None;
+    for &p in positions {
+        match prev {
+            None => {} // first position is implicit in the key
+            Some(q) => {
+                let doc_delta = p.doc - q.doc;
+                write_varint(&mut v, doc_delta as u64);
+                if doc_delta == 0 {
+                    write_varint(&mut v, (p.offset - q.offset) as u64);
+                } else {
+                    write_varint(&mut v, p.offset as u64);
+                }
+            }
+        }
+        prev = Some(p);
+    }
+    v
+}
+
+/// Decodes a chunk given its key's first position.
+pub fn decode_postings_value(first: Position, value: &[u8]) -> Result<Vec<Position>> {
+    let (count, mut off) = read_varint(value)?;
+    let count = count as usize;
+    let mut out = Vec::with_capacity(count);
+    if count == 0 {
+        return Ok(out);
+    }
+    out.push(first);
+    let mut prev = first;
+    for _ in 1..count {
+        let (doc_delta, n) = read_varint(&value[off..])?;
+        off += n;
+        let (off_val, n) = read_varint(&value[off..])?;
+        off += n;
+        let doc_delta = u32::try_from(doc_delta)
+            .map_err(|_| StorageError::Corrupt("posting doc delta overflow".into()))?;
+        let doc = prev
+            .doc
+            .checked_add(doc_delta)
+            .ok_or_else(|| StorageError::Corrupt("posting doc overflow".into()))?;
+        let offset = if doc_delta == 0 {
+            prev.offset
+                .checked_add(off_val as u32)
+                .ok_or_else(|| StorageError::Corrupt("posting offset overflow".into()))?
+        } else {
+            off_val as u32
+        };
+        prev = Position { doc, offset };
+        out.push(prev);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// RPLs table: key (term, inv_score, sid, doc, end) → varint length
+// ---------------------------------------------------------------------------
+
+/// Encodes an `RPLs` key. The score is embedded order-inverted so ascending
+/// scans run in descending relevance.
+pub fn rpl_key(term: TermId, score: f32, sid: Sid, element: ElementRef) -> Vec<u8> {
+    let mut k = Vec::with_capacity(20);
+    put_u32(&mut k, term);
+    put_u32(&mut k, inverted_score_bits(score));
+    put_u32(&mut k, sid);
+    put_u32(&mut k, element.doc);
+    put_u32(&mut k, element.end);
+    k
+}
+
+/// An entry decoded from the `RPLs` table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RplEntry {
+    /// The term this entry belongs to.
+    pub term: TermId,
+    /// Relevance score of (element, term).
+    pub score: f32,
+    /// Summary node of the element.
+    pub sid: Sid,
+    /// The element.
+    pub element: ElementRef,
+}
+
+/// Decodes an `RPLs` entry from its key and value.
+pub fn decode_rpl(key: &[u8], value: &[u8]) -> Result<RplEntry> {
+    let term = get_u32(key, 0)?;
+    let score = score_from_inverted_bits(get_u32(key, 4)?);
+    let sid = get_u32(key, 8)?;
+    let doc = get_u32(key, 12)?;
+    let end = get_u32(key, 16)?;
+    let (length, _) = read_varint(value)?;
+    Ok(RplEntry {
+        term,
+        score,
+        sid,
+        element: ElementRef {
+            doc,
+            end,
+            length: length as u32,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// ERPLs table: key (term, sid, doc, end) → score + varint length
+// ---------------------------------------------------------------------------
+
+/// Encodes an `ERPLs` key: position order within (term, sid).
+pub fn erpl_key(term: TermId, sid: Sid, element: ElementRef) -> Vec<u8> {
+    let mut k = Vec::with_capacity(16);
+    put_u32(&mut k, term);
+    put_u32(&mut k, sid);
+    put_u32(&mut k, element.doc);
+    put_u32(&mut k, element.end);
+    k
+}
+
+/// Encodes an `ERPLs` value.
+pub fn erpl_value(score: f32, length: u32) -> Vec<u8> {
+    let mut v = Vec::with_capacity(9);
+    v.extend_from_slice(&score.to_le_bytes());
+    write_varint(&mut v, length as u64);
+    v
+}
+
+/// Decodes an `ERPLs` entry (same shape as an RPL entry).
+pub fn decode_erpl(key: &[u8], value: &[u8]) -> Result<RplEntry> {
+    let term = get_u32(key, 0)?;
+    let sid = get_u32(key, 4)?;
+    let doc = get_u32(key, 8)?;
+    let end = get_u32(key, 12)?;
+    if value.len() < 4 {
+        return Err(StorageError::Corrupt("short ERPL value".into()));
+    }
+    let score = f32::from_le_bytes(value[..4].try_into().unwrap());
+    let (length, _) = read_varint(&value[4..])?;
+    Ok(RplEntry {
+        term,
+        score,
+        sid,
+        element: ElementRef {
+            doc,
+            end,
+            length: length as u32,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_order_and_successor() {
+        let a = Position { doc: 1, offset: 5 };
+        let b = Position { doc: 1, offset: 6 };
+        let c = Position { doc: 2, offset: 0 };
+        assert!(a < b && b < c && c < Position::MAX);
+        assert_eq!(a.successor(), b);
+        assert_eq!(
+            Position {
+                doc: 1,
+                offset: u32::MAX
+            }
+            .successor(),
+            c.successor().successor().min(Position { doc: 2, offset: 0 })
+        );
+        assert_eq!(Position::MAX.successor(), Position::MAX);
+        assert!(Position::MAX.is_max());
+    }
+
+    #[test]
+    fn element_span_arithmetic() {
+        let e = ElementRef {
+            doc: 3,
+            end: 9,
+            length: 4,
+        };
+        assert_eq!(e.start(), 6);
+        assert!(e.contains(Position { doc: 3, offset: 6 }));
+        assert!(e.contains(Position { doc: 3, offset: 9 }));
+        assert!(!e.contains(Position { doc: 3, offset: 5 }));
+        assert!(!e.contains(Position { doc: 3, offset: 10 }));
+        assert!(!e.contains(Position { doc: 4, offset: 7 }));
+    }
+
+    #[test]
+    fn elements_key_round_trip_and_order() {
+        let k1 = elements_key(7, 2, 30);
+        let k2 = elements_key(7, 2, 31);
+        let k3 = elements_key(7, 3, 0);
+        let k4 = elements_key(8, 0, 0);
+        assert!(k1 < k2 && k2 < k3 && k3 < k4);
+        assert_eq!(decode_elements_key(&k1).unwrap(), (7, 2, 30));
+        assert_eq!(decode_elements_value(&elements_value(17)).unwrap(), 17);
+    }
+
+    #[test]
+    fn postings_chunk_round_trip() {
+        let positions = vec![
+            Position { doc: 0, offset: 3 },
+            Position { doc: 0, offset: 9 },
+            Position { doc: 2, offset: 1 },
+            Position { doc: 2, offset: 2 },
+            Position::MAX,
+        ];
+        let v = postings_value(&positions);
+        let back = decode_postings_value(positions[0], &v).unwrap();
+        assert_eq!(back, positions);
+    }
+
+    #[test]
+    fn postings_empty_chunk() {
+        let v = postings_value(&[]);
+        assert!(decode_postings_value(Position::MIN, &v).unwrap().is_empty());
+    }
+
+    #[test]
+    fn postings_key_orders_by_term_then_position() {
+        let a = postings_key(1, Position { doc: 9, offset: 9 });
+        let b = postings_key(2, Position { doc: 0, offset: 0 });
+        assert!(a < b);
+        let (term, pos) = decode_postings_key(&a).unwrap();
+        assert_eq!(term, 1);
+        assert_eq!(pos, Position { doc: 9, offset: 9 });
+    }
+
+    #[test]
+    fn rpl_keys_scan_in_descending_score_order() {
+        let e = ElementRef {
+            doc: 0,
+            end: 5,
+            length: 2,
+        };
+        let high = rpl_key(4, 9.5, 1, e);
+        let mid = rpl_key(4, 1.25, 1, e);
+        let low = rpl_key(4, 0.01, 1, e);
+        assert!(high < mid && mid < low, "ascending key order = descending score");
+        let entry = decode_rpl(&high, &elements_value(2)).unwrap();
+        assert_eq!(entry.term, 4);
+        assert_eq!(entry.score, 9.5);
+        assert_eq!(entry.sid, 1);
+        assert_eq!(entry.element, e);
+    }
+
+    #[test]
+    fn erpl_round_trip_and_position_order() {
+        let e1 = ElementRef {
+            doc: 1,
+            end: 10,
+            length: 3,
+        };
+        let e2 = ElementRef {
+            doc: 1,
+            end: 20,
+            length: 5,
+        };
+        let k1 = erpl_key(9, 2, e1);
+        let k2 = erpl_key(9, 2, e2);
+        assert!(k1 < k2);
+        let entry = decode_erpl(&k1, &erpl_value(3.5, 3)).unwrap();
+        assert_eq!(entry.score, 3.5);
+        assert_eq!(entry.element, e1);
+        assert_eq!(entry.sid, 2);
+    }
+
+    #[test]
+    fn corrupt_values_are_rejected() {
+        assert!(decode_elements_key(&[0, 1]).is_err());
+        assert!(decode_erpl(&erpl_key(0, 0, ElementRef { doc: 0, end: 0, length: 1 }), &[1, 2]).is_err());
+    }
+}

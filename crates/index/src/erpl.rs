@@ -1,0 +1,217 @@
+//! The `ERPLs` table: element-relevance posting lists in position order
+//! (paper §2.2), consumed by the Merge algorithm.
+
+use trex_storage::{Result, Store, Table};
+use trex_summary::Sid;
+use trex_text::TermId;
+
+use crate::encode::{decode_erpl, erpl_key, erpl_value, ElementRef, RplEntry};
+use crate::registry::{ListRegistry, ListStats};
+
+/// Name of the data table inside the store.
+pub const ERPLS_TABLE: &str = "erpls";
+/// Name of the registry table inside the store.
+pub const ERPLS_REGISTRY_TABLE: &str = "erpls_registry";
+
+/// Write/read access to the `ERPLs` table.
+pub struct ErplTable {
+    table: Table,
+    registry: ListRegistry,
+}
+
+impl ErplTable {
+    /// Opens (creating on first use) the ERPL tables of `store`.
+    pub fn open(store: &Store) -> Result<ErplTable> {
+        Ok(ErplTable {
+            table: store.open_or_create_table(ERPLS_TABLE)?,
+            registry: ListRegistry::new(store.open_or_create_table(ERPLS_REGISTRY_TABLE)?),
+        })
+    }
+
+    /// Materialises the complete list of `(term, sid)` in position order.
+    /// Replaces an existing list for the same pair.
+    pub fn put_list(
+        &mut self,
+        term: TermId,
+        sid: Sid,
+        entries: &[(ElementRef, f32)],
+    ) -> Result<()> {
+        if self.registry.contains(term, sid)? {
+            self.drop_list(term, sid)?;
+        }
+        let mut bytes = 0u64;
+        for &(element, score) in entries {
+            debug_assert!(score.is_finite() && score >= 0.0);
+            let key = erpl_key(term, sid, element);
+            let value = erpl_value(score, element.length);
+            bytes += (key.len() + value.len()) as u64;
+            self.table.insert(&key, &value)?;
+        }
+        self.registry.put(
+            term,
+            sid,
+            ListStats {
+                entries: entries.len() as u64,
+                bytes,
+            },
+        )
+    }
+
+    /// Whether the list for `(term, sid)` is materialised.
+    pub fn has_list(&self, term: TermId, sid: Sid) -> Result<bool> {
+        self.registry.contains(term, sid)
+    }
+
+    /// Size bookkeeping for `(term, sid)`.
+    pub fn list_stats(&self, term: TermId, sid: Sid) -> Result<Option<ListStats>> {
+        self.registry.get(term, sid)
+    }
+
+    /// Drops the materialised list of `(term, sid)`.
+    pub fn drop_list(&mut self, term: TermId, sid: Sid) -> Result<Option<ListStats>> {
+        let Some(stats) = self.registry.remove(term, sid)? else {
+            return Ok(None);
+        };
+        let mut doomed = Vec::new();
+        let mut cursor = self.table.seek(&erpl_key(
+            term,
+            sid,
+            ElementRef {
+                doc: 0,
+                end: 0,
+                length: 1,
+            },
+        ))?;
+        while let Some((key, value)) = cursor.next_entry()? {
+            let entry = decode_erpl(&key, &value)?;
+            if entry.term != term || entry.sid != sid {
+                break;
+            }
+            doomed.push(key);
+        }
+        for key in doomed {
+            self.table.delete(&key)?;
+        }
+        Ok(Some(stats))
+    }
+
+    /// Iterator over the list of `(term, sid)` in end-position order.
+    pub fn iter_list(&self, term: TermId, sid: Sid) -> Result<ErplIter> {
+        let cursor = self.table.seek(&erpl_key(
+            term,
+            sid,
+            ElementRef {
+                doc: 0,
+                end: 0,
+                length: 1,
+            },
+        ))?;
+        Ok(ErplIter { cursor, term, sid })
+    }
+
+    /// Total bytes across every materialised ERPL.
+    pub fn total_bytes(&self) -> Result<u64> {
+        self.registry.total_bytes()
+    }
+
+    /// Every materialised (term, sid) pair with its stats.
+    pub fn lists(&self) -> Result<Vec<(TermId, Sid, ListStats)>> {
+        self.registry.all()
+    }
+}
+
+/// Position-order iterator over one (term, sid) list.
+pub struct ErplIter {
+    cursor: trex_storage::Cursor,
+    term: TermId,
+    sid: Sid,
+}
+
+impl ErplIter {
+    /// The next entry, or `None` when the list is exhausted.
+    pub fn next_entry(&mut self) -> Result<Option<RplEntry>> {
+        match self.cursor.next_entry()? {
+            Some((key, value)) => {
+                let entry = decode_erpl(&key, &value)?;
+                if entry.term != self.term || entry.sid != self.sid {
+                    return Ok(None);
+                }
+                Ok(Some(entry))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_erpls<R>(name: &str, f: impl FnOnce(&mut ErplTable) -> R) -> R {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trex-erpl-{name}-{}", std::process::id()));
+        let store = Store::create(&path, 64).unwrap();
+        let mut t = ErplTable::open(&store).unwrap();
+        let r = f(&mut t);
+        drop(t);
+        drop(store);
+        std::fs::remove_file(&path).ok();
+        r
+    }
+
+    fn el(doc: u32, end: u32, length: u32) -> ElementRef {
+        ElementRef { doc, end, length }
+    }
+
+    #[test]
+    fn iteration_is_position_order_within_list() {
+        with_erpls("order", |t| {
+            t.put_list(
+                1,
+                10,
+                &[(el(1, 4, 1), 1.0), (el(0, 9, 3), 2.5), (el(0, 5, 2), 0.5)],
+            )
+            .unwrap();
+            let mut it = t.iter_list(1, 10).unwrap();
+            let mut got = Vec::new();
+            while let Some(e) = it.next_entry().unwrap() {
+                got.push((e.element.doc, e.element.end, e.score));
+            }
+            assert_eq!(got, vec![(0, 5, 0.5), (0, 9, 2.5), (1, 4, 1.0)]);
+        });
+    }
+
+    #[test]
+    fn lists_are_isolated_by_term_and_sid() {
+        with_erpls("isolate", |t| {
+            t.put_list(1, 10, &[(el(0, 5, 2), 1.0)]).unwrap();
+            t.put_list(1, 11, &[(el(0, 6, 2), 2.0)]).unwrap();
+            t.put_list(2, 10, &[(el(0, 7, 2), 3.0)]).unwrap();
+            let mut it = t.iter_list(1, 10).unwrap();
+            assert_eq!(it.next_entry().unwrap().unwrap().score, 1.0);
+            assert!(it.next_entry().unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn drop_list_frees_registry_and_entries() {
+        with_erpls("drop", |t| {
+            t.put_list(1, 10, &[(el(0, 5, 2), 1.0), (el(0, 9, 1), 2.0)])
+                .unwrap();
+            let stats = t.drop_list(1, 10).unwrap().unwrap();
+            assert_eq!(stats.entries, 2);
+            assert!(!t.has_list(1, 10).unwrap());
+            let mut it = t.iter_list(1, 10).unwrap();
+            assert!(it.next_entry().unwrap().is_none());
+            assert_eq!(t.total_bytes().unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn missing_list_iterates_empty() {
+        with_erpls("missing", |t| {
+            let mut it = t.iter_list(5, 5).unwrap();
+            assert!(it.next_entry().unwrap().is_none());
+        });
+    }
+}

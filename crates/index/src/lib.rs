@@ -1,0 +1,200 @@
+//! # trex-index
+//!
+//! The four TReX tables (paper §2.2) over `trex-storage`, the index builder,
+//! and the persisted catalog:
+//!
+//! * [`elements::ElementsTable`] — `Elements(SID, docid, endpos, length)`
+//! * [`postings::PostingsTable`] — `PostingLists(token, docid, offset, …)`
+//! * [`rpl::RplTable`] — `RPLs(token, ir, SID, docid, endpos, …)` in
+//!   descending relevance order
+//! * [`erpl::ErplTable`] — `ERPLs(token, SID, docid, endpos, ir, …)` in
+//!   position order
+//!
+//! [`build::IndexBuilder`] populates the first two plus the catalog from raw
+//! XML; the redundant RPL/ERPL lists are materialised later by the
+//! self-managing layer in `trex-core`.
+
+pub mod build;
+pub mod catalog;
+pub mod docstore;
+pub mod elements;
+pub mod encode;
+pub mod erpl;
+pub mod postings;
+pub mod registry;
+pub mod rpl;
+
+use std::fmt;
+use std::sync::Arc;
+
+use trex_storage::{StorageError, Store};
+use trex_summary::{AliasMap, Summary};
+use trex_text::{Analyzer, CollectionStats, Dictionary, ScoringParams, TermId};
+
+pub use build::IndexBuilder;
+pub use catalog::TermStats;
+pub use docstore::{DocStore, DocStoreWriter};
+pub use elements::{ElementIter, ElementsTable};
+pub use encode::{ElementRef, Position, RplEntry};
+pub use erpl::{ErplIter, ErplTable};
+pub use postings::{PositionIter, PostingsTable};
+pub use registry::ListStats;
+pub use rpl::{RplIter, RplTable};
+
+/// Errors from index construction and access.
+#[derive(Debug)]
+pub enum IndexError {
+    /// A document failed to parse.
+    Xml(trex_xml::XmlError),
+    /// The storage engine failed.
+    Storage(StorageError),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Xml(e) => write!(f, "xml error: {e}"),
+            IndexError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Xml(e) => Some(e),
+            IndexError::Storage(e) => Some(e),
+        }
+    }
+}
+
+impl From<StorageError> for IndexError {
+    fn from(e: StorageError) -> Self {
+        IndexError::Storage(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, IndexError>;
+
+/// Read handle over a fully built index: catalog in memory, tables opened on
+/// demand.
+pub struct TrexIndex {
+    store: Arc<Store>,
+    dictionary: Dictionary,
+    summary: Summary,
+    alias: AliasMap,
+    stats: CollectionStats,
+    analyzer: Analyzer,
+    scoring: ScoringParams,
+}
+
+impl TrexIndex {
+    /// Opens the index stored in `store` (catalog blobs must exist, i.e.
+    /// [`IndexBuilder::finish`] must have run).
+    pub fn open(store: Arc<Store>) -> Result<TrexIndex> {
+        let (dictionary, summary, alias, stats, analyzer) = catalog::load_catalog(&store)?;
+        Ok(TrexIndex {
+            store,
+            dictionary,
+            summary,
+            alias,
+            stats,
+            analyzer,
+            scoring: ScoringParams::default(),
+        })
+    }
+
+    /// The term dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// The structural summary used for translation.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// The alias mapping the summary was built with.
+    pub fn alias(&self) -> &AliasMap {
+        &self.alias
+    }
+
+    /// Collection statistics.
+    pub fn stats(&self) -> &CollectionStats {
+        &self.stats
+    }
+
+    /// The analyzer the collection was indexed with (persisted in the
+    /// catalog so query-time analysis always matches index-time analysis).
+    pub fn analyzer(&self) -> Analyzer {
+        self.analyzer
+    }
+
+    /// The scoring parameters (BM25 `k1`/`b`).
+    pub fn scoring(&self) -> &ScoringParams {
+        &self.scoring
+    }
+
+    /// Replaces the scoring parameters.
+    pub fn set_scoring(&mut self, params: ScoringParams) {
+        self.scoring = params;
+    }
+
+    /// The underlying store (I/O statistics, page counts).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Opens the `Elements` table.
+    pub fn elements(&self) -> Result<ElementsTable> {
+        Ok(ElementsTable::new(
+            self.store.open_table(elements::ELEMENTS_TABLE)?,
+        ))
+    }
+
+    /// Opens the `PostingLists` table.
+    pub fn postings(&self) -> Result<PostingsTable> {
+        Ok(PostingsTable::new(
+            self.store.open_table(postings::POSTINGS_TABLE)?,
+        ))
+    }
+
+    /// Opens the `RPLs` table (created on first use).
+    pub fn rpls(&self) -> Result<RplTable> {
+        Ok(RplTable::open(&self.store)?)
+    }
+
+    /// Opens the `ERPLs` table (created on first use).
+    pub fn erpls(&self) -> Result<ErplTable> {
+        Ok(ErplTable::open(&self.store)?)
+    }
+
+    /// Opens the document store, if the index was built with
+    /// [`build::IndexBuilder::enable_document_store`].
+    pub fn documents(&self) -> Result<Option<DocStore>> {
+        if !self.store.has_table(docstore::DOCUMENTS_TABLE) {
+            return Ok(None);
+        }
+        Ok(Some(DocStore::open(&self.store)?))
+    }
+
+    /// Per-term statistics (df, cf); zero for unknown terms.
+    pub fn term_stats(&self, term: TermId) -> Result<TermStats> {
+        let table = self.store.open_table(catalog::TERM_STATS_TABLE)?;
+        Ok(catalog::get_term_stats(&table, term)?)
+    }
+
+    /// Scores one (element, term) pair with the index's model — the `ir`
+    /// value stored in RPL/ERPL entries.
+    pub fn score(&self, tf: u32, term: TermId, element_len: u32) -> Result<f32> {
+        let ts = self.term_stats(term)?;
+        Ok(trex_text::score(
+            &self.scoring,
+            &self.stats,
+            tf,
+            ts.df,
+            element_len,
+        ))
+    }
+}

@@ -1,0 +1,263 @@
+//! The `PostingLists` table: chunked inverted lists with the `m-pos`
+//! sentinel, plus the per-term position iterator (`I_t` of paper §3.2).
+
+use trex_storage::{Result, Table};
+use trex_text::TermId;
+
+use crate::encode::{decode_postings_key, decode_postings_value, postings_key, postings_value, Position};
+
+/// Name of the table inside the store.
+pub const POSTINGS_TABLE: &str = "postings";
+
+/// Default number of positions per stored chunk. "Since the posting list
+/// might be too long for storing it in a single tuple, it is divided and
+/// stored in several tuples whenever needed" (§2.2).
+pub const DEFAULT_CHUNK_SIZE: usize = 256;
+
+/// Write/read access to the `PostingLists` table.
+pub struct PostingsTable {
+    table: Table,
+    chunk_size: usize,
+}
+
+impl PostingsTable {
+    /// Wraps an open storage table with the default chunk size.
+    pub fn new(table: Table) -> PostingsTable {
+        PostingsTable::with_chunk_size(table, DEFAULT_CHUNK_SIZE)
+    }
+
+    /// Wraps with an explicit chunk size (exposed for the chunk-size
+    /// ablation benchmark).
+    pub fn with_chunk_size(table: Table, chunk_size: usize) -> PostingsTable {
+        PostingsTable {
+            table,
+            chunk_size: chunk_size.max(2),
+        }
+    }
+
+    /// Writes the complete posting list of `term`. `positions` must be
+    /// sorted ascending and duplicate-free; the `m-pos` sentinel is appended
+    /// to the final chunk automatically.
+    ///
+    /// Chunks are bounded both by the configured position count and by the
+    /// storage engine's value size: a chunk is flushed early if its
+    /// delta-encoding would no longer fit in one tuple.
+    pub fn put_term(&mut self, term: TermId, positions: &[Position]) -> Result<()> {
+        for (key, value) in chunk_entries(term, positions, self.chunk_size) {
+            self.table.insert(&key, &value)?;
+        }
+        Ok(())
+    }
+
+    /// Iterator over the positions of `term` — the paper's `I_t`. Yields
+    /// every stored position including the trailing `m-pos`, and keeps
+    /// returning `m-pos` once exhausted.
+    pub fn positions(&self, term: TermId) -> Result<PositionIter> {
+        let cursor = self.table.seek(&postings_key(term, Position::MIN))?;
+        Ok(PositionIter {
+            cursor,
+            term,
+            buffer: Vec::new(),
+            buffer_pos: 0,
+            done: false,
+        })
+    }
+
+    /// Number of chunk tuples stored for `term` (ablation statistics).
+    pub fn chunk_count(&self, term: TermId) -> Result<usize> {
+        let mut cursor = self.table.seek(&postings_key(term, Position::MIN))?;
+        let mut n = 0;
+        while let Some((key, _)) = cursor.next_entry()? {
+            let (t, _) = decode_postings_key(&key)?;
+            if t != term {
+                break;
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+/// Encodes one term's posting list into its chunked (key, value) tuples,
+/// appending the `m-pos` sentinel. `positions` must be strictly ascending.
+/// Chunks are bounded both by `chunk_size` and by the storage value limit.
+/// Exposed so the index builder can feed all terms' chunks, in key order,
+/// straight into a B+tree bulk load.
+pub fn chunk_entries(
+    term: TermId,
+    positions: &[Position],
+    chunk_size: usize,
+) -> Vec<(Vec<u8>, Vec<u8>)> {
+    debug_assert!(positions.windows(2).all(|w| w[0] < w[1]), "sorted input");
+    // Worst-case encoded bytes per position: two 5-byte varints.
+    const WORST_PER_POSITION: usize = 10;
+    let byte_cap = (trex_storage::MAX_VALUE_LEN / WORST_PER_POSITION).max(2);
+    let effective = chunk_size.max(2).min(byte_cap);
+
+    let mut out = Vec::with_capacity(positions.len() / effective + 1);
+    let mut chunk: Vec<Position> = Vec::with_capacity(effective);
+    for &p in positions.iter().chain(std::iter::once(&Position::MAX)) {
+        chunk.push(p);
+        if chunk.len() >= effective {
+            out.push((postings_key(term, chunk[0]), postings_value(&chunk)));
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        out.push((postings_key(term, chunk[0]), postings_value(&chunk)));
+    }
+    out
+}
+
+/// Streaming iterator over one term's positions.
+pub struct PositionIter {
+    cursor: trex_storage::Cursor,
+    term: TermId,
+    buffer: Vec<Position>,
+    buffer_pos: usize,
+    done: bool,
+}
+
+impl PositionIter {
+    /// The paper's `I_t.nextPosition()`: the next position, or `m-pos`
+    /// forever after the list ends.
+    pub fn next_position(&mut self) -> Result<Position> {
+        loop {
+            if self.buffer_pos < self.buffer.len() {
+                let p = self.buffer[self.buffer_pos];
+                self.buffer_pos += 1;
+                if p.is_max() {
+                    self.done = true;
+                }
+                return Ok(p);
+            }
+            if self.done {
+                return Ok(Position::MAX);
+            }
+            match self.cursor.next_entry()? {
+                Some((key, value)) => {
+                    let (term, first) = decode_postings_key(&key)?;
+                    if term != self.term {
+                        self.done = true;
+                        return Ok(Position::MAX);
+                    }
+                    self.buffer = decode_postings_value(first, &value)?;
+                    self.buffer_pos = 0;
+                }
+                None => {
+                    self.done = true;
+                    return Ok(Position::MAX);
+                }
+            }
+        }
+    }
+
+    /// Skips forward to the first position `>= target` (used by skip-ahead
+    /// optimisations; semantics match repeatedly calling `next_position`).
+    pub fn seek_position(&mut self, target: Position) -> Result<Position> {
+        loop {
+            let p = self.next_position()?;
+            if p >= target {
+                return Ok(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_storage::Store;
+
+    fn with_table<R>(name: &str, chunk: usize, f: impl FnOnce(&mut PostingsTable) -> R) -> R {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trex-postings-{name}-{}", std::process::id()));
+        let store = Store::create(&path, 64).unwrap();
+        let mut t =
+            PostingsTable::with_chunk_size(store.create_table(POSTINGS_TABLE).unwrap(), chunk);
+        let r = f(&mut t);
+        drop(t);
+        drop(store);
+        std::fs::remove_file(&path).ok();
+        r
+    }
+
+    fn pos(doc: u32, offset: u32) -> Position {
+        Position { doc, offset }
+    }
+
+    #[test]
+    fn positions_round_trip_with_m_pos() {
+        with_table("rt", 4, |t| {
+            let positions = vec![pos(0, 1), pos(0, 7), pos(1, 2), pos(3, 0), pos(3, 1)];
+            t.put_term(5, &positions).unwrap();
+            let mut it = t.positions(5).unwrap();
+            for &want in &positions {
+                assert_eq!(it.next_position().unwrap(), want);
+            }
+            assert!(it.next_position().unwrap().is_max(), "stored m-pos");
+            assert!(it.next_position().unwrap().is_max(), "m-pos repeats");
+        });
+    }
+
+    #[test]
+    fn chunking_splits_long_lists() {
+        with_table("chunks", 4, |t| {
+            let positions: Vec<Position> = (0..10).map(|i| pos(0, i * 3)).collect();
+            t.put_term(1, &positions).unwrap();
+            // 10 positions + m-pos = 11 → 3 chunks of ≤4.
+            assert_eq!(t.chunk_count(1).unwrap(), 3);
+            let mut it = t.positions(1).unwrap();
+            for &want in &positions {
+                assert_eq!(it.next_position().unwrap(), want);
+            }
+            assert!(it.next_position().unwrap().is_max());
+        });
+    }
+
+    #[test]
+    fn terms_do_not_bleed_into_each_other() {
+        with_table("bleed", 4, |t| {
+            t.put_term(1, &[pos(0, 1)]).unwrap();
+            t.put_term(2, &[pos(0, 2)]).unwrap();
+            let mut it = t.positions(1).unwrap();
+            assert_eq!(it.next_position().unwrap(), pos(0, 1));
+            assert!(it.next_position().unwrap().is_max());
+            assert!(it.next_position().unwrap().is_max());
+        });
+    }
+
+    #[test]
+    fn missing_term_yields_m_pos_immediately() {
+        with_table("missing", 4, |t| {
+            t.put_term(7, &[pos(0, 1)]).unwrap();
+            let mut it = t.positions(3).unwrap();
+            assert!(it.next_position().unwrap().is_max());
+        });
+    }
+
+    #[test]
+    fn empty_posting_list_stores_only_m_pos() {
+        with_table("emptylist", 4, |t| {
+            t.put_term(9, &[]).unwrap();
+            let mut it = t.positions(9).unwrap();
+            assert!(it.next_position().unwrap().is_max());
+            assert_eq!(t.chunk_count(9).unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn seek_position_lands_on_lower_bound() {
+        with_table("seekpos", 3, |t| {
+            let positions: Vec<Position> = (0..20).map(|i| pos(i / 5, (i % 5) * 4)).collect();
+            let mut sorted = positions.clone();
+            sorted.sort();
+            t.put_term(2, &sorted).unwrap();
+            let mut it = t.positions(2).unwrap();
+            assert_eq!(it.seek_position(pos(1, 5)).unwrap(), pos(1, 8));
+            // (1,8) was consumed by the previous seek; the stream resumes after it.
+            assert_eq!(it.seek_position(pos(1, 8)).unwrap(), pos(1, 12));
+            assert!(it.seek_position(pos(99, 0)).unwrap().is_max());
+        });
+    }
+}

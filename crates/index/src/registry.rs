@@ -1,0 +1,129 @@
+//! Registry of materialised (term, sid) lists.
+//!
+//! The self-managing advisor (paper §4) must know, for each query, whether
+//! the RPLs / ERPLs it needs already exist and how much disk they occupy
+//! (`S_RPL(Q)`, `S_ERPL(Q)`). Each redundant table therefore maintains a
+//! registry table mapping `(term, sid)` to the entry count and byte size of
+//! its materialised list.
+
+use trex_storage::codec::{get_u32, get_u64, put_u32, put_u64};
+use trex_storage::{Result, Table};
+use trex_summary::Sid;
+use trex_text::TermId;
+
+/// Size bookkeeping for one materialised list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ListStats {
+    /// Number of (element) entries in the list.
+    pub entries: u64,
+    /// Bytes of key + value data the list occupies.
+    pub bytes: u64,
+}
+
+/// A registry table.
+pub struct ListRegistry {
+    table: Table,
+}
+
+impl ListRegistry {
+    /// Wraps an open storage table.
+    pub fn new(table: Table) -> ListRegistry {
+        ListRegistry { table }
+    }
+
+    fn key(term: TermId, sid: Sid) -> Vec<u8> {
+        let mut k = Vec::with_capacity(8);
+        put_u32(&mut k, term);
+        put_u32(&mut k, sid);
+        k
+    }
+
+    /// Records (replaces) the stats of list `(term, sid)`.
+    pub fn put(&mut self, term: TermId, sid: Sid, stats: ListStats) -> Result<()> {
+        let mut v = Vec::with_capacity(16);
+        put_u64(&mut v, stats.entries);
+        put_u64(&mut v, stats.bytes);
+        self.table.insert(&Self::key(term, sid), &v)
+    }
+
+    /// Stats of list `(term, sid)`, or `None` if not materialised.
+    pub fn get(&self, term: TermId, sid: Sid) -> Result<Option<ListStats>> {
+        match self.table.get(&Self::key(term, sid))? {
+            Some(v) => Ok(Some(ListStats {
+                entries: get_u64(&v, 0)?,
+                bytes: get_u64(&v, 8)?,
+            })),
+            None => Ok(None),
+        }
+    }
+
+    /// Whether `(term, sid)` is materialised.
+    pub fn contains(&self, term: TermId, sid: Sid) -> Result<bool> {
+        Ok(self.get(term, sid)?.is_some())
+    }
+
+    /// Removes the registration; returns the stats it had.
+    pub fn remove(&mut self, term: TermId, sid: Sid) -> Result<Option<ListStats>> {
+        let stats = self.get(term, sid)?;
+        if stats.is_some() {
+            self.table.delete(&Self::key(term, sid))?;
+        }
+        Ok(stats)
+    }
+
+    /// Every registered (term, sid, stats) triple.
+    pub fn all(&self) -> Result<Vec<(TermId, Sid, ListStats)>> {
+        let mut out = Vec::new();
+        let mut cursor = self.table.scan()?;
+        while let Some((k, v)) = cursor.next_entry()? {
+            out.push((
+                get_u32(&k, 0)?,
+                get_u32(&k, 4)?,
+                ListStats {
+                    entries: get_u64(&v, 0)?,
+                    bytes: get_u64(&v, 8)?,
+                },
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Total bytes across all registered lists — the advisor's used-space
+    /// figure for one redundant table.
+    pub fn total_bytes(&self) -> Result<u64> {
+        Ok(self.all()?.iter().map(|(_, _, s)| s.bytes).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_storage::Store;
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trex-registry-{}", std::process::id()));
+        let store = Store::create(&path, 32).unwrap();
+        let mut r = ListRegistry::new(store.create_table("reg").unwrap());
+
+        assert!(!r.contains(1, 2).unwrap());
+        r.put(1, 2, ListStats { entries: 10, bytes: 200 }).unwrap();
+        r.put(1, 3, ListStats { entries: 5, bytes: 90 }).unwrap();
+        assert_eq!(
+            r.get(1, 2).unwrap(),
+            Some(ListStats { entries: 10, bytes: 200 })
+        );
+        assert_eq!(r.total_bytes().unwrap(), 290);
+        assert_eq!(r.all().unwrap().len(), 2);
+
+        let removed = r.remove(1, 2).unwrap();
+        assert_eq!(removed.unwrap().entries, 10);
+        assert!(!r.contains(1, 2).unwrap());
+        assert!(r.remove(1, 2).unwrap().is_none());
+
+        drop(r);
+        drop(store);
+        std::fs::remove_file(&path).ok();
+    }
+}

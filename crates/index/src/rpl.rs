@@ -1,0 +1,252 @@
+//! The `RPLs` table: relevance posting lists in descending score order
+//! (paper §2.2), with per-(term, sid) materialisation tracking.
+
+use trex_storage::codec::put_u32;
+use trex_storage::{Result, Store, Table};
+use trex_summary::Sid;
+use trex_text::TermId;
+
+use crate::encode::{decode_rpl, elements_value, rpl_key, ElementRef, RplEntry};
+use crate::registry::{ListRegistry, ListStats};
+
+/// Name of the data table inside the store.
+pub const RPLS_TABLE: &str = "rpls";
+/// Name of the registry table inside the store.
+pub const RPLS_REGISTRY_TABLE: &str = "rpls_registry";
+
+/// Write/read access to the `RPLs` table.
+pub struct RplTable {
+    table: Table,
+    registry: ListRegistry,
+}
+
+impl RplTable {
+    /// Opens (creating on first use) the RPL tables of `store`.
+    pub fn open(store: &Store) -> Result<RplTable> {
+        Ok(RplTable {
+            table: store.open_or_create_table(RPLS_TABLE)?,
+            registry: ListRegistry::new(store.open_or_create_table(RPLS_REGISTRY_TABLE)?),
+        })
+    }
+
+    /// Materialises the complete relevance list of `(term, sid)`:
+    /// every element of the sid's extent containing the term, with its score.
+    /// Replaces an existing list for the same pair.
+    pub fn put_list(
+        &mut self,
+        term: TermId,
+        sid: Sid,
+        entries: &[(ElementRef, f32)],
+    ) -> Result<()> {
+        if self.registry.contains(term, sid)? {
+            self.drop_list(term, sid)?;
+        }
+        let mut bytes = 0u64;
+        for &(element, score) in entries {
+            debug_assert!(score.is_finite() && score >= 0.0);
+            let key = rpl_key(term, score, sid, element);
+            let value = elements_value(element.length);
+            bytes += (key.len() + value.len()) as u64;
+            self.table.insert(&key, &value)?;
+        }
+        self.registry.put(
+            term,
+            sid,
+            ListStats {
+                entries: entries.len() as u64,
+                bytes,
+            },
+        )
+    }
+
+    /// Whether the list for `(term, sid)` is materialised.
+    pub fn has_list(&self, term: TermId, sid: Sid) -> Result<bool> {
+        self.registry.contains(term, sid)
+    }
+
+    /// Size bookkeeping for `(term, sid)`.
+    pub fn list_stats(&self, term: TermId, sid: Sid) -> Result<Option<ListStats>> {
+        self.registry.get(term, sid)
+    }
+
+    /// Drops the materialised list of `(term, sid)`, freeing its entries.
+    pub fn drop_list(&mut self, term: TermId, sid: Sid) -> Result<Option<ListStats>> {
+        let Some(stats) = self.registry.remove(term, sid)? else {
+            return Ok(None);
+        };
+        // Collect the doomed keys first (cursors are invalidated by writes).
+        let mut doomed = Vec::new();
+        let mut cursor = self.term_cursor(term)?;
+        while let Some((key, value)) = cursor.next_entry()? {
+            let entry = decode_rpl(&key, &value)?;
+            if entry.term != term {
+                break;
+            }
+            if entry.sid == sid {
+                doomed.push(key);
+            }
+        }
+        for key in doomed {
+            self.table.delete(&key)?;
+        }
+        Ok(Some(stats))
+    }
+
+    /// Iterator over all RPL entries of `term` in descending score order —
+    /// TA's sorted access. Entries of sids outside the query are yielded too;
+    /// TA skips them (paper §3.3).
+    pub fn iter_term(&self, term: TermId) -> Result<RplIter> {
+        Ok(RplIter {
+            cursor: self.term_cursor(term)?,
+            term,
+        })
+    }
+
+    /// Total bytes across every materialised RPL — used-space accounting.
+    pub fn total_bytes(&self) -> Result<u64> {
+        self.registry.total_bytes()
+    }
+
+    /// Every materialised (term, sid) pair with its stats.
+    pub fn lists(&self) -> Result<Vec<(TermId, Sid, ListStats)>> {
+        self.registry.all()
+    }
+
+    fn term_cursor(&self, term: TermId) -> Result<trex_storage::Cursor> {
+        let mut prefix = Vec::with_capacity(4);
+        put_u32(&mut prefix, term);
+        self.table.seek(&prefix)
+    }
+}
+
+/// Descending-score iterator over one term's RPL entries.
+pub struct RplIter {
+    cursor: trex_storage::Cursor,
+    term: TermId,
+}
+
+impl RplIter {
+    /// The next entry, or `None` when this term's entries are exhausted.
+    pub fn next_entry(&mut self) -> Result<Option<RplEntry>> {
+        match self.cursor.next_entry()? {
+            Some((key, value)) => {
+                let entry = decode_rpl(&key, &value)?;
+                if entry.term != self.term {
+                    return Ok(None);
+                }
+                Ok(Some(entry))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_rpls<R>(name: &str, f: impl FnOnce(&mut RplTable) -> R) -> R {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trex-rpl-{name}-{}", std::process::id()));
+        let store = Store::create(&path, 64).unwrap();
+        let mut t = RplTable::open(&store).unwrap();
+        let r = f(&mut t);
+        drop(t);
+        drop(store);
+        std::fs::remove_file(&path).ok();
+        r
+    }
+
+    fn el(doc: u32, end: u32, length: u32) -> ElementRef {
+        ElementRef { doc, end, length }
+    }
+
+    #[test]
+    fn iteration_is_descending_by_score() {
+        with_rpls("desc", |t| {
+            t.put_list(
+                1,
+                10,
+                &[(el(0, 5, 2), 0.5), (el(0, 9, 3), 2.5), (el(1, 4, 1), 1.0)],
+            )
+            .unwrap();
+            let mut it = t.iter_term(1).unwrap();
+            let mut scores = Vec::new();
+            while let Some(e) = it.next_entry().unwrap() {
+                scores.push(e.score);
+            }
+            assert_eq!(scores, vec![2.5, 1.0, 0.5]);
+        });
+    }
+
+    #[test]
+    fn multiple_sids_interleave_by_score() {
+        with_rpls("multi", |t| {
+            t.put_list(1, 10, &[(el(0, 5, 2), 3.0), (el(0, 9, 3), 1.0)])
+                .unwrap();
+            t.put_list(1, 20, &[(el(1, 5, 2), 2.0)]).unwrap();
+            let mut it = t.iter_term(1).unwrap();
+            let mut got = Vec::new();
+            while let Some(e) = it.next_entry().unwrap() {
+                got.push((e.sid, e.score));
+            }
+            assert_eq!(got, vec![(10, 3.0), (20, 2.0), (10, 1.0)]);
+        });
+    }
+
+    #[test]
+    fn registry_tracks_materialisation() {
+        with_rpls("registry", |t| {
+            assert!(!t.has_list(1, 10).unwrap());
+            t.put_list(1, 10, &[(el(0, 5, 2), 1.0)]).unwrap();
+            assert!(t.has_list(1, 10).unwrap());
+            let stats = t.list_stats(1, 10).unwrap().unwrap();
+            assert_eq!(stats.entries, 1);
+            assert!(stats.bytes > 0);
+            assert_eq!(t.total_bytes().unwrap(), stats.bytes);
+        });
+    }
+
+    #[test]
+    fn drop_list_removes_only_that_sid() {
+        with_rpls("drop", |t| {
+            t.put_list(1, 10, &[(el(0, 5, 2), 3.0)]).unwrap();
+            t.put_list(1, 20, &[(el(1, 5, 2), 2.0)]).unwrap();
+            t.drop_list(1, 10).unwrap().unwrap();
+            assert!(!t.has_list(1, 10).unwrap());
+            assert!(t.has_list(1, 20).unwrap());
+            let mut it = t.iter_term(1).unwrap();
+            let e = it.next_entry().unwrap().unwrap();
+            assert_eq!(e.sid, 20);
+            assert!(it.next_entry().unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn put_list_replaces_existing() {
+        with_rpls("replace", |t| {
+            t.put_list(1, 10, &[(el(0, 5, 2), 3.0), (el(0, 9, 1), 1.0)])
+                .unwrap();
+            t.put_list(1, 10, &[(el(0, 5, 2), 4.0)]).unwrap();
+            let mut it = t.iter_term(1).unwrap();
+            let e = it.next_entry().unwrap().unwrap();
+            assert_eq!(e.score, 4.0);
+            assert!(it.next_entry().unwrap().is_none());
+            assert_eq!(t.list_stats(1, 10).unwrap().unwrap().entries, 1);
+        });
+    }
+
+    #[test]
+    fn equal_scores_are_all_retained() {
+        with_rpls("ties", |t| {
+            t.put_list(1, 10, &[(el(0, 5, 2), 1.5), (el(0, 9, 3), 1.5)])
+                .unwrap();
+            let mut it = t.iter_term(1).unwrap();
+            let mut n = 0;
+            while it.next_entry().unwrap().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 2);
+        });
+    }
+}

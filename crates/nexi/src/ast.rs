@@ -1,0 +1,210 @@
+//! Abstract syntax of NEXI retrieval queries.
+//!
+//! NEXI (Narrowed Extended XPath I, Trotman & Sigurbjörnsson 2004) narrows
+//! XPath to the child and descendant axes with name tests, and extends it
+//! with the `about(path, terms)` relevance predicate. A query is a location
+//! path whose steps may carry filters built from `about()` predicates
+//! combined with `and` / `or`.
+
+use std::fmt;
+
+/// Axis of a location step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/` — child.
+    Child,
+    /// `//` — descendant-or-self.
+    Descendant,
+}
+
+/// Name test of a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameTest {
+    /// A single tag name.
+    Tag(String),
+    /// `*` — any tag.
+    Wildcard,
+    /// `(a|b|c)` — tag disjunction.
+    Alternatives(Vec<String>),
+}
+
+impl fmt::Display for NameTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameTest::Tag(t) => f.write_str(t),
+            NameTest::Wildcard => f.write_str("*"),
+            NameTest::Alternatives(tags) => write!(f, "({})", tags.join("|")),
+        }
+    }
+}
+
+/// A step of the outer location path, optionally filtered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepExpr {
+    /// The step's axis.
+    pub axis: Axis,
+    /// The step's name test.
+    pub test: NameTest,
+    /// The filter (`[...]`), if any.
+    pub filter: Option<Clause>,
+}
+
+/// A step inside a relative `about()` path (no nested filters in NEXI).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelStep {
+    /// The step's axis.
+    pub axis: Axis,
+    /// The step's name test.
+    pub test: NameTest,
+}
+
+/// The relative path that is the first argument of `about()`: `.` optionally
+/// followed by steps (`.//bdy`, `./sec/title`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RelPath {
+    /// Steps after the leading `.`; empty for plain `.`.
+    pub steps: Vec<RelStep>,
+}
+
+/// Keyword modifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modifier {
+    /// Unmarked keyword.
+    None,
+    /// `+word` — emphasised.
+    Plus,
+    /// `-word` — undesired.
+    Minus,
+}
+
+/// One search keyword (phrases are expanded into their words; each word
+/// keeps the phrase's modifier).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Term {
+    /// The raw keyword as written.
+    pub text: String,
+    /// The modifier.
+    pub modifier: Modifier,
+    /// Whether this word came from a quoted phrase.
+    pub from_phrase: bool,
+}
+
+/// A filter clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Clause {
+    /// `about(path, terms)`.
+    About {
+        /// Where the relevance is assessed, relative to the step.
+        path: RelPath,
+        /// The search keywords.
+        terms: Vec<Term>,
+    },
+    /// `lhs and rhs`.
+    And(Box<Clause>, Box<Clause>),
+    /// `lhs or rhs`.
+    Or(Box<Clause>, Box<Clause>),
+}
+
+impl Clause {
+    /// All `about()` predicates in the clause, left to right.
+    pub fn abouts(&self) -> Vec<(&RelPath, &[Term])> {
+        let mut out = Vec::new();
+        self.collect_abouts(&mut out);
+        out
+    }
+
+    fn collect_abouts<'a>(&'a self, out: &mut Vec<(&'a RelPath, &'a [Term])>) {
+        match self {
+            Clause::About { path, terms } => out.push((path, terms)),
+            Clause::And(l, r) | Clause::Or(l, r) => {
+                l.collect_abouts(out);
+                r.collect_abouts(out);
+            }
+        }
+    }
+}
+
+/// A parsed NEXI query: the outer location path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The steps of the outer path.
+    pub steps: Vec<StepExpr>,
+}
+
+impl Query {
+    /// Every `about()` predicate with the index of the step it filters.
+    pub fn abouts(&self) -> Vec<(usize, &RelPath, &[Term])> {
+        let mut out = Vec::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            if let Some(filter) = &step.filter {
+                for (path, terms) in filter.abouts() {
+                    out.push((i, path, terms));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            f.write_str(match step.axis {
+                Axis::Child => "/",
+                Axis::Descendant => "//",
+            })?;
+            write!(f, "{}", step.test)?;
+            if let Some(filter) = &step.filter {
+                write!(f, "[{filter}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Clause::About { path, terms } => {
+                f.write_str("about(.")?;
+                for step in &path.steps {
+                    f.write_str(match step.axis {
+                        Axis::Child => "/",
+                        Axis::Descendant => "//",
+                    })?;
+                    write!(f, "{}", step.test)?;
+                }
+                f.write_str(",")?;
+                for t in terms {
+                    f.write_str(" ")?;
+                    match t.modifier {
+                        Modifier::Plus => f.write_str("+")?,
+                        Modifier::Minus => f.write_str("-")?,
+                        Modifier::None => {}
+                    }
+                    f.write_str(&t.text)?;
+                }
+                f.write_str(")")
+            }
+            Clause::And(l, r) => {
+                write_operand(f, l)?;
+                f.write_str(" and ")?;
+                write_operand(f, r)
+            }
+            Clause::Or(l, r) => {
+                write_operand(f, l)?;
+                f.write_str(" or ")?;
+                write_operand(f, r)
+            }
+        }
+    }
+}
+
+/// Writes a clause operand, parenthesising composite clauses so that the
+/// printed form re-parses to the same tree (the parser is left-associative).
+fn write_operand(f: &mut fmt::Formatter<'_>, clause: &Clause) -> fmt::Result {
+    match clause {
+        Clause::About { .. } => write!(f, "{clause}"),
+        _ => write!(f, "({clause})"),
+    }
+}

@@ -1,0 +1,25 @@
+//! # trex-nexi
+//!
+//! NEXI — Narrowed Extended XPath I — is the INEX retrieval language the
+//! paper evaluates (§1): XPath narrowed to child/descendant axes and name
+//! tests, extended with the `about(path, keywords)` relevance predicate.
+//!
+//! This crate provides the parser ([`parser`]), the AST ([`ast`]) and the
+//! translation phase ([`mod@translate`]) that maps each root-to-`about()` path
+//! to a (sid set, term set) pair against a structural summary (paper §3.1).
+//!
+//! ```
+//! use trex_nexi::parse;
+//!
+//! let query = parse("//article[about(., XML)]//sec[about(., query evaluation)]").unwrap();
+//! assert_eq!(query.abouts().len(), 2);
+//! assert_eq!(query.to_string(), "//article[about(., XML)]//sec[about(., query evaluation)]");
+//! ```
+
+pub mod ast;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{Axis, Clause, Modifier, NameTest, Query, RelPath, RelStep, StepExpr, Term};
+pub use parser::{parse, ParseError};
+pub use translate::{translate, ClauseTranslation, Interpretation, Translation, TranslationContext};

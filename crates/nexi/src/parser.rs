@@ -1,0 +1,410 @@
+//! Recursive-descent parser for NEXI queries.
+
+use std::fmt;
+
+use crate::ast::{Axis, Clause, Modifier, NameTest, Query, RelPath, RelStep, StepExpr, Term};
+
+/// A parse error with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the query text.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NEXI parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parsing.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// Parses a NEXI query such as
+/// `//article[about(., XML)]//sec[about(., query evaluation)]`.
+pub fn parse(input: &str) -> Result<Query> {
+    let mut p = Parser {
+        input,
+        pos: 0,
+    };
+    let query = p.parse_query()?;
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(query)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<()> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {token:?}")))
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        self.skip_ws();
+        let mut steps = Vec::new();
+        loop {
+            self.skip_ws();
+            let axis = if self.eat("//") {
+                Axis::Descendant
+            } else if self.eat("/") {
+                Axis::Child
+            } else if steps.is_empty() {
+                return Err(self.err("a NEXI query starts with '/' or '//'"));
+            } else {
+                break;
+            };
+            steps.push(self.parse_step(axis)?);
+        }
+        if steps.is_empty() {
+            return Err(self.err("empty query"));
+        }
+        Ok(Query { steps })
+    }
+
+    fn parse_step(&mut self, axis: Axis) -> Result<StepExpr> {
+        let test = self.parse_name_test()?;
+        self.skip_ws();
+        let filter = if self.eat("[") {
+            let clause = self.parse_clause()?;
+            self.skip_ws();
+            self.expect("]")?;
+            Some(clause)
+        } else {
+            None
+        };
+        Ok(StepExpr { axis, test, filter })
+    }
+
+    fn parse_name_test(&mut self) -> Result<NameTest> {
+        self.skip_ws();
+        if self.eat("*") {
+            return Ok(NameTest::Wildcard);
+        }
+        if self.eat("(") {
+            let mut tags = vec![self.parse_name()?];
+            loop {
+                self.skip_ws();
+                if self.eat("|") {
+                    tags.push(self.parse_name()?);
+                } else {
+                    break;
+                }
+            }
+            self.expect(")")?;
+            return Ok(NameTest::Alternatives(tags));
+        }
+        Ok(NameTest::Tag(self.parse_name()?))
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+            };
+            if !ok {
+                break;
+            }
+            end = i + c.len_utf8();
+        }
+        if end == 0 {
+            return Err(self.err("expected a tag name"));
+        }
+        let name = rest[..end].to_string();
+        self.pos += end;
+        Ok(name)
+    }
+
+    /// `clause := term (('and' | 'or') term)*`, left-associative.
+    fn parse_clause(&mut self) -> Result<Clause> {
+        let mut lhs = self.parse_clause_atom()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("and") {
+                let rhs = self.parse_clause_atom()?;
+                lhs = Clause::And(Box::new(lhs), Box::new(rhs));
+            } else if self.eat_keyword("or") {
+                let rhs = self.parse_clause_atom()?;
+                lhs = Clause::Or(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(after) = self.rest().strip_prefix(kw) {
+            if after.chars().next().is_none_or(|c| !c.is_alphanumeric()) {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_clause_atom(&mut self) -> Result<Clause> {
+        self.skip_ws();
+        if self.eat("(") {
+            let inner = self.parse_clause()?;
+            self.skip_ws();
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        if self.eat_keyword("about") {
+            self.skip_ws();
+            self.expect("(")?;
+            let path = self.parse_rel_path()?;
+            self.skip_ws();
+            self.expect(",")?;
+            let terms = self.parse_terms()?;
+            self.expect(")")?;
+            return Ok(Clause::About { path, terms });
+        }
+        Err(self.err("expected about(...) or a parenthesised clause"))
+    }
+
+    fn parse_rel_path(&mut self) -> Result<RelPath> {
+        self.skip_ws();
+        self.expect(".")?;
+        let mut steps = Vec::new();
+        loop {
+            let axis = if self.eat("//") {
+                Axis::Descendant
+            } else if self.eat("/") {
+                Axis::Child
+            } else {
+                break;
+            };
+            let test = self.parse_name_test()?;
+            steps.push(RelStep { axis, test });
+        }
+        Ok(RelPath { steps })
+    }
+
+    /// Keywords up to the closing `)`: bare words, `+`/`-` modified words,
+    /// and quoted phrases (expanded word-by-word).
+    fn parse_terms(&mut self) -> Result<Vec<Term>> {
+        let mut terms = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.err("unterminated about(...)")),
+                Some(')') => break,
+                Some(_) => {}
+            }
+            let modifier = if self.eat("+") {
+                Modifier::Plus
+            } else if self.eat("-") {
+                Modifier::Minus
+            } else {
+                Modifier::None
+            };
+            self.skip_ws();
+            if self.eat("\"") {
+                let rest = self.rest();
+                let Some(end) = rest.find('"') else {
+                    return Err(self.err("unterminated phrase"));
+                };
+                let phrase = &rest[..end];
+                self.pos += end + 1;
+                for word in phrase.split_whitespace() {
+                    terms.push(Term {
+                        text: word.to_string(),
+                        modifier,
+                        from_phrase: true,
+                    });
+                }
+            } else {
+                let word = self.parse_word()?;
+                terms.push(Term {
+                    text: word,
+                    modifier,
+                    from_phrase: false,
+                });
+            }
+        }
+        if terms.is_empty() {
+            return Err(self.err("about(...) needs at least one keyword"));
+        }
+        Ok(terms)
+    }
+
+    fn parse_word(&mut self) -> Result<String> {
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            if c.is_alphanumeric() || matches!(c, '_' | '\'' | '-') && i > 0 {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if end == 0 {
+            return Err(self.err("expected a keyword"));
+        }
+        let word = rest[..end].to_string();
+        self.pos += end;
+        Ok(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_example() {
+        let q = parse("//article[about(., XML)]//sec[about(., query evaluation)]").unwrap();
+        assert_eq!(q.steps.len(), 2);
+        assert_eq!(q.steps[0].test, NameTest::Tag("article".into()));
+        assert_eq!(q.steps[1].test, NameTest::Tag("sec".into()));
+        let abouts = q.abouts();
+        assert_eq!(abouts.len(), 2);
+        assert_eq!(abouts[0].0, 0);
+        assert_eq!(abouts[1].0, 1);
+        assert_eq!(abouts[1].2.len(), 2);
+        assert_eq!(abouts[1].2[0].text, "query");
+    }
+
+    #[test]
+    fn parses_all_table1_queries() {
+        let queries = [
+            "//article[about(., ontologies)]//sec[about(., ontologies case study)]",
+            "//sec[about(., code signing verification)]",
+            "//article[about (.//bdy, synthesizers) and about (.//bdy, music)]",
+            "//bdy//*[about(., model checking state space explosion)]",
+            "//article//sec[about(., introduction information retrieval)]",
+            "//article[about(., \"genetic algorithm\")]",
+            "//article//figure[about(., Renaissance painting Italian Flemish -French -German)]",
+        ];
+        for q in queries {
+            parse(q).unwrap_or_else(|e| panic!("failed to parse {q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn relative_about_paths() {
+        let q = parse("//article[about(.//bdy, music)]").unwrap();
+        let abouts = q.abouts();
+        let rel = abouts[0].1;
+        assert_eq!(rel.steps.len(), 1);
+        assert_eq!(rel.steps[0].axis, Axis::Descendant);
+        assert_eq!(rel.steps[0].test, NameTest::Tag("bdy".into()));
+    }
+
+    #[test]
+    fn phrases_expand_to_words() {
+        let q = parse("//article[about(., \"genetic algorithm\")]").unwrap();
+        let abouts = q.abouts();
+        let terms = abouts[0].2;
+        assert_eq!(terms.len(), 2);
+        assert!(terms.iter().all(|t| t.from_phrase));
+    }
+
+    #[test]
+    fn minus_terms_carry_modifier() {
+        let q = parse("//figure[about(., painting -French -German)]").unwrap();
+        let terms = q.abouts()[0].2.to_vec();
+        assert_eq!(terms[0].modifier, Modifier::None);
+        assert_eq!(terms[1].modifier, Modifier::Minus);
+        assert_eq!(terms[1].text, "French");
+        assert_eq!(terms[2].modifier, Modifier::Minus);
+    }
+
+    #[test]
+    fn and_or_build_left_associative_trees() {
+        let q = parse("//a[about(., x) and about(., y) or about(., z)]").unwrap();
+        let Clause::Or(lhs, _) = q.steps[0].filter.as_ref().unwrap() else {
+            panic!("expected Or at the top");
+        };
+        assert!(matches!(**lhs, Clause::And(_, _)));
+    }
+
+    #[test]
+    fn wildcard_and_alternatives() {
+        let q = parse("//bdy//*[about(., explosion)]").unwrap();
+        assert_eq!(q.steps[1].test, NameTest::Wildcard);
+        let q = parse("//article//(sec|p)[about(., music)]").unwrap();
+        assert_eq!(
+            q.steps[1].test,
+            NameTest::Alternatives(vec!["sec".into(), "p".into()])
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let text = "//article[about(., ontologies)]//sec[about(., ontologies case study)]";
+        let q = parse(text).unwrap();
+        let q2 = parse(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "",
+            "article//sec",
+            "//article[about(., )]",
+            "//article[about(.]",
+            "//article[notabout(., x)]",
+            "//article[about(., x)] tail",
+            "//article[about(., \"unterminated)]",
+            "//[about(., x)]",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_flexible() {
+        parse("//article[ about ( . , XML ) ]").unwrap();
+        parse("//article[about (.//bdy, synthesizers) and about (.//bdy, music)]").unwrap();
+    }
+}

@@ -1,0 +1,360 @@
+//! Query translation: NEXI query → (sid set, term set).
+//!
+//! "In the translation phase, each path p in the query from the root to an
+//! about() function is translated to a set of sids and a set of terms"
+//! (paper §3.1). The retrieval phase then works on the union of those sets —
+//! exactly the `#sids` / `#terms` columns of the paper's Table 1.
+//!
+//! Interpretation of structural constraints:
+//!
+//! * **Strict** — query labels are matched verbatim against the summary.
+//! * **Vague** — query labels are first alias-resolved ("the article and sec
+//!   tags can be replaced by any other tag names, presumably having the same
+//!   meaning", §1), matching how TReX uses the alias incoming summary.
+
+use trex_summary::{AliasMap, PathPattern, Sid, Step, Summary};
+use trex_text::{Analyzer, Dictionary, TermId};
+
+use crate::ast::{Axis, Modifier, NameTest, Query, RelPath};
+
+/// How structural constraints are interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Interpretation {
+    /// Labels matched verbatim.
+    Strict,
+    /// Labels alias-resolved before matching (TReX's default).
+    #[default]
+    Vague,
+}
+
+/// The translation of one `about()` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClauseTranslation {
+    /// Index of the outer step the clause filters.
+    pub step: usize,
+    /// Sids whose extents intersect the clause's absolute path.
+    pub sids: Vec<Sid>,
+    /// Positive search terms (index form).
+    pub terms: Vec<TermId>,
+    /// Negative (`-word`) terms (index form).
+    pub minus_terms: Vec<TermId>,
+}
+
+/// The translation of a whole query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Translation {
+    /// Union of clause sids — the paper's `#sids`.
+    pub sids: Vec<Sid>,
+    /// Union of positive clause terms — the paper's `#terms`.
+    pub terms: Vec<TermId>,
+    /// Union of negative terms (excluded from scoring).
+    pub minus_terms: Vec<TermId>,
+    /// Sids of the full outer path (where answers are drawn from when the
+    /// last step carries the target clause).
+    pub target_sids: Vec<Sid>,
+    /// Per-clause detail.
+    pub clauses: Vec<ClauseTranslation>,
+    /// Query keywords that are not in the collection vocabulary (they cannot
+    /// contribute matches; reported for diagnostics).
+    pub unknown_terms: Vec<String>,
+}
+
+/// Everything translation needs from the index catalog.
+pub struct TranslationContext<'a> {
+    /// The structural summary used for path matching.
+    pub summary: &'a Summary,
+    /// The alias mapping the summary was built with.
+    pub alias: &'a AliasMap,
+    /// The term dictionary of the collection.
+    pub dictionary: &'a Dictionary,
+    /// The analyzer the collection was indexed with.
+    pub analyzer: &'a Analyzer,
+    /// Structural interpretation.
+    pub interpretation: Interpretation,
+}
+
+/// Translates `query` against the catalog in `ctx`.
+pub fn translate(query: &Query, ctx: &TranslationContext<'_>) -> Translation {
+    let mut clauses = Vec::new();
+    let mut unknown_terms = Vec::new();
+
+    for (step_idx, rel_path, terms) in query.abouts() {
+        let patterns = absolute_patterns(query, step_idx, rel_path, ctx);
+        let mut sids: Vec<Sid> = patterns
+            .iter()
+            .flat_map(|p| p.match_summary(ctx.summary))
+            .collect();
+        sids.sort_unstable();
+        sids.dedup();
+
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        for term in terms {
+            let Some(normalised) = ctx.analyzer.analyze_keyword(&term.text) else {
+                continue; // stopword or non-word keyword
+            };
+            match ctx.dictionary.lookup(&normalised) {
+                Some(id) => match term.modifier {
+                    Modifier::Minus => negative.push(id),
+                    _ => positive.push(id),
+                },
+                None => unknown_terms.push(term.text.clone()),
+            }
+        }
+        positive.sort_unstable();
+        positive.dedup();
+        negative.sort_unstable();
+        negative.dedup();
+
+        clauses.push(ClauseTranslation {
+            step: step_idx,
+            sids,
+            terms: positive,
+            minus_terms: negative,
+        });
+    }
+
+    let mut sids: Vec<Sid> = clauses.iter().flat_map(|c| c.sids.iter().copied()).collect();
+    sids.sort_unstable();
+    sids.dedup();
+    let mut terms: Vec<TermId> = clauses.iter().flat_map(|c| c.terms.iter().copied()).collect();
+    terms.sort_unstable();
+    terms.dedup();
+    let mut minus_terms: Vec<TermId> = clauses
+        .iter()
+        .flat_map(|c| c.minus_terms.iter().copied())
+        .collect();
+    minus_terms.sort_unstable();
+    minus_terms.dedup();
+
+    let mut target_sids: Vec<Sid> = full_path_patterns(query, ctx)
+        .iter()
+        .flat_map(|p| p.match_summary(ctx.summary))
+        .collect();
+    target_sids.sort_unstable();
+    target_sids.dedup();
+
+    unknown_terms.sort();
+    unknown_terms.dedup();
+
+    Translation {
+        sids,
+        terms,
+        minus_terms,
+        target_sids,
+        clauses,
+        unknown_terms,
+    }
+}
+
+/// The absolute path of an `about()` clause: the outer steps up to (and
+/// including) the filtered step, extended with the relative path. Name-test
+/// alternatives multiply into several patterns.
+fn absolute_patterns(
+    query: &Query,
+    step_idx: usize,
+    rel: &RelPath,
+    ctx: &TranslationContext<'_>,
+) -> Vec<PathPattern> {
+    let mut step_choices: Vec<(bool, Vec<Option<String>>)> = Vec::new();
+    for step in &query.steps[..=step_idx] {
+        step_choices.push((
+            step.axis == Axis::Descendant,
+            name_test_choices(&step.test, ctx),
+        ));
+    }
+    for step in &rel.steps {
+        step_choices.push((
+            step.axis == Axis::Descendant,
+            name_test_choices(&step.test, ctx),
+        ));
+    }
+    expand_patterns(&step_choices)
+}
+
+fn full_path_patterns(query: &Query, ctx: &TranslationContext<'_>) -> Vec<PathPattern> {
+    let step_choices: Vec<(bool, Vec<Option<String>>)> = query
+        .steps
+        .iter()
+        .map(|s| (s.axis == Axis::Descendant, name_test_choices(&s.test, ctx)))
+        .collect();
+    expand_patterns(&step_choices)
+}
+
+fn name_test_choices(test: &NameTest, ctx: &TranslationContext<'_>) -> Vec<Option<String>> {
+    let resolve = |label: &str| -> String {
+        match ctx.interpretation {
+            Interpretation::Strict => label.to_string(),
+            Interpretation::Vague => ctx.alias.resolve(label).to_string(),
+        }
+    };
+    match test {
+        NameTest::Tag(t) => vec![Some(resolve(t))],
+        NameTest::Wildcard => vec![None],
+        NameTest::Alternatives(tags) => {
+            let mut out: Vec<Option<String>> = tags.iter().map(|t| Some(resolve(t))).collect();
+            out.dedup();
+            out
+        }
+    }
+}
+
+/// Cartesian expansion of per-step label choices into concrete patterns.
+fn expand_patterns(step_choices: &[(bool, Vec<Option<String>>)]) -> Vec<PathPattern> {
+    let mut partials: Vec<Vec<Step>> = vec![Vec::new()];
+    for (descendant, choices) in step_choices {
+        let mut next = Vec::with_capacity(partials.len() * choices.len());
+        for partial in &partials {
+            for choice in choices {
+                let mut steps = partial.clone();
+                steps.push(Step {
+                    descendant: *descendant,
+                    label: choice.clone(),
+                });
+                next.push(steps);
+            }
+        }
+        partials = next;
+    }
+    partials.into_iter().map(PathPattern::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use trex_summary::{SummaryBuilder, SummaryKind};
+    use trex_xml::Document;
+
+    fn catalog() -> (Summary, AliasMap, Dictionary, Analyzer) {
+        let docs = [
+            "<article><bdy><sec>xml query evaluation</sec><ss1>ontologies case study</ss1></bdy></article>",
+            "<article><bdy><p>music synthesizers</p></bdy><bm><sec>appendix ontologies</sec></bm></article>",
+        ];
+        let alias = AliasMap::inex_ieee();
+        let mut builder = SummaryBuilder::new(SummaryKind::Incoming, alias);
+        let mut dictionary = Dictionary::new();
+        let analyzer = Analyzer::default();
+        for d in docs {
+            let doc = Document::parse(d).unwrap();
+            builder.add_document(&doc);
+            // Analyze each text node separately, as the index builder does.
+            for node in doc.descendants(doc.root()) {
+                if let trex_xml::NodeKind::Text(t) = &doc.node(node).kind {
+                    let (tokens, _) = analyzer.analyze_from(t, 0);
+                    for t in tokens {
+                        dictionary.intern(&t.text);
+                    }
+                }
+            }
+        }
+        let (summary, alias) = builder.finish();
+        (summary, alias, dictionary, analyzer)
+    }
+
+    fn ctx<'a>(
+        summary: &'a Summary,
+        alias: &'a AliasMap,
+        dictionary: &'a Dictionary,
+        analyzer: &'a Analyzer,
+        interpretation: Interpretation,
+    ) -> TranslationContext<'a> {
+        TranslationContext {
+            summary,
+            alias,
+            dictionary,
+            analyzer,
+            interpretation,
+        }
+    }
+
+    #[test]
+    fn union_of_sids_and_terms_matches_table1_semantics() {
+        let (summary, alias, dictionary, analyzer) = catalog();
+        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let q = parse("//article[about(., ontologies)]//sec[about(., ontologies case study)]")
+            .unwrap();
+        let t = translate(&q, &c);
+        // sids: article (1) + article//sec (bdy/sec and bm/sec = 2) = 3.
+        assert_eq!(t.sids.len(), 3);
+        // terms: {ontolog, case, studi} — union, deduplicated.
+        assert_eq!(t.terms.len(), 3);
+        assert!(t.unknown_terms.is_empty());
+        assert_eq!(t.clauses.len(), 2);
+        assert_eq!(t.clauses[0].sids.len(), 1);
+        assert_eq!(t.clauses[1].sids.len(), 2);
+        // Answers are sec elements.
+        assert_eq!(t.target_sids, t.clauses[1].sids);
+    }
+
+    #[test]
+    fn vague_interpretation_resolves_aliases() {
+        let (summary, alias, dictionary, analyzer) = catalog();
+        let q = parse("//article//ss1[about(., ontologies)]").unwrap();
+        // Vague: ss1 → sec, matches both sec sids.
+        let vague = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let t = translate(&q, &vague);
+        assert_eq!(t.sids.len(), 2);
+        // Strict: the summary has no literal ss1 label (it was aliased away).
+        let strict = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Strict);
+        let t = translate(&q, &strict);
+        assert!(t.sids.is_empty());
+    }
+
+    #[test]
+    fn relative_about_paths_extend_the_clause_path() {
+        let (summary, alias, dictionary, analyzer) = catalog();
+        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let q = parse("//article[about(.//bdy, synthesizers) and about(.//bdy, music)]").unwrap();
+        let t = translate(&q, &c);
+        // Both clauses resolve to the article//bdy sid.
+        assert_eq!(t.sids.len(), 1);
+        assert_eq!(summary.node(t.sids[0]).label, "bdy");
+        // Terms: synthesizers → synthes, music.
+        assert_eq!(t.terms.len(), 2);
+        // Target is the article element.
+        assert_eq!(t.target_sids.len(), 1);
+        assert_eq!(summary.node(t.target_sids[0]).label, "article");
+    }
+
+    #[test]
+    fn minus_terms_are_separated() {
+        let (summary, alias, dictionary, analyzer) = catalog();
+        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let q = parse("//article[about(., music -ontologies)]").unwrap();
+        let t = translate(&q, &c);
+        assert_eq!(t.terms.len(), 1);
+        assert_eq!(t.minus_terms.len(), 1);
+        assert_ne!(t.terms[0], t.minus_terms[0]);
+    }
+
+    #[test]
+    fn unknown_and_stopword_terms_are_reported_or_dropped() {
+        let (summary, alias, dictionary, analyzer) = catalog();
+        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let q = parse("//article[about(., the zzzunknown music)]").unwrap();
+        let t = translate(&q, &c);
+        assert_eq!(t.terms.len(), 1, "only 'music' survives");
+        assert_eq!(t.unknown_terms, vec!["zzzunknown"]);
+    }
+
+    #[test]
+    fn wildcard_step_matches_everything_under_prefix() {
+        let (summary, alias, dictionary, analyzer) = catalog();
+        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let q = parse("//bdy//*[about(., music)]").unwrap();
+        let t = translate(&q, &c);
+        // bdy descendants: sec, p (ss1 collapsed into sec).
+        assert_eq!(t.sids.len(), 2);
+    }
+
+    #[test]
+    fn alternatives_union_their_sids() {
+        let (summary, alias, dictionary, analyzer) = catalog();
+        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let q = parse("//article//(sec|p)[about(., music)]").unwrap();
+        let t = translate(&q, &c);
+        // sec under bdy, sec under bm, p under bdy.
+        assert_eq!(t.sids.len(), 3);
+    }
+}

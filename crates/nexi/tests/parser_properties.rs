@@ -1,0 +1,111 @@
+//! Property tests of the NEXI parser: generated queries round-trip through
+//! `Display`, and the parser never panics on arbitrary input.
+
+use proptest::prelude::*;
+use trex_nexi::{parse, Axis, Clause, Modifier, NameTest, Query, RelPath, RelStep, StepExpr, Term};
+
+fn tag() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}".prop_map(|s| s)
+}
+
+fn name_test() -> impl Strategy<Value = NameTest> {
+    prop_oneof![
+        4 => tag().prop_map(NameTest::Tag),
+        1 => Just(NameTest::Wildcard),
+        1 => proptest::collection::vec(tag(), 2..4).prop_map(NameTest::Alternatives),
+    ]
+}
+
+fn axis() -> impl Strategy<Value = Axis> {
+    prop_oneof![Just(Axis::Child), Just(Axis::Descendant)]
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    (
+        "[a-z]{2,8}",
+        prop_oneof![
+            3 => Just(Modifier::None),
+            1 => Just(Modifier::Plus),
+            1 => Just(Modifier::Minus)
+        ],
+    )
+        .prop_map(|(text, modifier)| Term {
+            text,
+            modifier,
+            from_phrase: false,
+        })
+}
+
+fn about() -> impl Strategy<Value = Clause> {
+    (
+        proptest::collection::vec((axis(), name_test()), 0..3),
+        proptest::collection::vec(term(), 1..4),
+    )
+        .prop_map(|(steps, terms)| Clause::About {
+            path: RelPath {
+                steps: steps
+                    .into_iter()
+                    .map(|(axis, test)| RelStep { axis, test })
+                    .collect(),
+            },
+            terms,
+        })
+}
+
+fn clause() -> impl Strategy<Value = Clause> {
+    about().prop_recursive(3, 12, 2, |inner| {
+        (inner.clone(), inner, any::<bool>()).prop_map(|(l, r, and)| {
+            if and {
+                Clause::And(Box::new(l), Box::new(r))
+            } else {
+                Clause::Or(Box::new(l), Box::new(r))
+            }
+        })
+    })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    proptest::collection::vec(
+        (axis(), name_test(), proptest::option::of(clause())),
+        1..4,
+    )
+    .prop_map(|steps| Query {
+        steps: steps
+            .into_iter()
+            .map(|(axis, test, filter)| StepExpr { axis, test, filter })
+            .collect(),
+    })
+}
+
+proptest! {
+    /// Display → parse is the identity on the AST (up to phrase flags,
+    /// which Display erases; our generator never sets them).
+    #[test]
+    fn prop_display_parse_round_trip(q in query()) {
+        let text = q.to_string();
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("display output failed to parse: {text:?}: {e}"));
+        prop_assert_eq!(reparsed, q);
+    }
+
+    #[test]
+    fn prop_parser_never_panics(input in "\\PC{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// Left-associativity: a chain of n predicates yields n abouts in order.
+    #[test]
+    fn prop_about_collection_is_in_order(terms in proptest::collection::vec("[a-z]{2,6}", 1..5)) {
+        let clause = terms
+            .iter()
+            .map(|t| format!("about(., {t})"))
+            .collect::<Vec<_>>()
+            .join(" and ");
+        let q = parse(&format!("//a[{clause}]")).unwrap();
+        let abouts = q.abouts();
+        prop_assert_eq!(abouts.len(), terms.len());
+        for ((_, _, parsed), want) in abouts.iter().zip(&terms) {
+            prop_assert_eq!(&parsed[0].text, want);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Forward cursor over the leaf chain of a B+tree.
+
+use std::sync::Arc;
+
+use crate::buffer::BufferPool;
+use crate::error::Result;
+use crate::page::{PageId, NO_PAGE};
+
+use super::leaf_cell;
+
+/// Iterates (key, value) pairs in ascending key order, starting from the
+/// position it was created at ([`super::BTree::seek`] / [`super::BTree::scan`]).
+///
+/// The cursor owns a pool handle, so it stays valid after the `BTree` value
+/// it came from is dropped (the pages persist in the store).
+pub struct Cursor {
+    pool: Arc<BufferPool>,
+    leaf: PageId,
+    idx: usize,
+}
+
+impl Cursor {
+    pub(crate) fn new(pool: Arc<BufferPool>, leaf: PageId, idx: usize) -> Cursor {
+        Cursor { pool, leaf, idx }
+    }
+
+    /// Returns the entry at the cursor and advances, or `None` at the end.
+    ///
+    /// Named `next_entry` rather than implementing `Iterator` directly so the
+    /// fallible signature (`Result<Option<..>>`) stays explicit; a conforming
+    /// `Iterator` adapter is available via [`Cursor::entries`].
+    pub fn next_entry(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        loop {
+            if self.leaf == NO_PAGE {
+                return Ok(None);
+            }
+            let page = self.pool.fetch(self.leaf)?;
+            let buf = page.buf.read();
+            if self.idx < buf.cell_count() {
+                let (k, v) = leaf_cell(&buf, self.idx)?;
+                let entry = (k.to_vec(), v.to_vec());
+                self.idx += 1;
+                return Ok(Some(entry));
+            }
+            // Exhausted this leaf (possibly an empty one left by deletes):
+            // follow the chain.
+            self.leaf = buf.next_page();
+            self.idx = 0;
+        }
+    }
+
+    /// Peeks at the entry the cursor is positioned on without advancing.
+    pub fn peek(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        let saved = (self.leaf, self.idx);
+        let entry = self.next_entry()?;
+        // `next_entry` may have walked over empty leaves; restoring the exact
+        // prior position would re-walk them, so only rewind the index.
+        if entry.is_some() {
+            self.idx -= 1;
+        } else {
+            self.leaf = saved.0;
+            self.idx = saved.1;
+        }
+        Ok(entry)
+    }
+
+    /// Adapts the cursor into an `Iterator` yielding `Result` items.
+    pub fn entries(self) -> Entries {
+        Entries { cursor: self }
+    }
+}
+
+/// Iterator adapter returned by [`Cursor::entries`].
+pub struct Entries {
+    cursor: Cursor,
+}
+
+impl Iterator for Entries {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.cursor.next_entry().transpose()
+    }
+}

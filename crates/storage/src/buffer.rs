@@ -1,0 +1,361 @@
+//! LRU buffer pool over the [`Pager`].
+//!
+//! The pool caches up to `capacity` page images. A fetched page is handed out
+//! as a [`PageRef`] (an `Arc` clone), so nested accesses — e.g. a B+tree
+//! descent holding a parent while reading a child — are safe. Eviction only
+//! considers pages that no one else holds (`Arc::strong_count == 1`), writing
+//! them back if dirty.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::Result;
+use crate::page::{PageBuf, PageId};
+use crate::pager::Pager;
+
+/// A cached page: the image plus a dirty flag.
+pub struct CachedPage {
+    /// The page image. Take a read lock for lookups, a write lock for edits.
+    pub buf: RwLock<PageBuf>,
+    dirty: AtomicBool,
+}
+
+impl CachedPage {
+    /// Marks the page as needing write-back on eviction or flush.
+    pub fn mark_dirty(&self) {
+        self.dirty.store(true, Ordering::Release);
+    }
+
+    fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Acquire)
+    }
+
+    fn clear_dirty(&self) {
+        self.dirty.store(false, Ordering::Release);
+    }
+}
+
+/// A handle to a cached page.
+pub type PageRef = Arc<CachedPage>;
+
+struct Slot {
+    page: PageRef,
+    /// Logical timestamp of the most recent touch; entries in the LRU queue
+    /// with an older stamp are stale and skipped.
+    touch: u64,
+}
+
+struct PoolInner {
+    map: HashMap<PageId, Slot>,
+    /// (page, touch-stamp) in touch order; front = least recently used.
+    lru: VecDeque<(PageId, u64)>,
+    clock: u64,
+}
+
+impl PoolInner {
+    fn touch(&mut self, id: PageId) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(slot) = self.map.get_mut(&id) {
+            slot.touch = stamp;
+        }
+        self.lru.push_back((id, stamp));
+    }
+}
+
+/// The buffer pool. Also the single owner of the [`Pager`].
+pub struct BufferPool {
+    pager: Mutex<Pager>,
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufferPool {
+    /// Wraps `pager` with a pool caching up to `capacity` pages
+    /// (minimum 8 so tree descents always fit).
+    pub fn new(pager: Pager, capacity: usize) -> BufferPool {
+        BufferPool {
+            pager: Mutex::new(pager),
+            inner: Mutex::new(PoolInner {
+                map: HashMap::new(),
+                lru: VecDeque::new(),
+                clock: 0,
+            }),
+            capacity: capacity.max(8),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetches page `id`, reading it from disk on a miss.
+    pub fn fetch(&self, id: PageId) -> Result<PageRef> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(slot) = inner.map.get(&id) {
+                let page = slot.page.clone();
+                inner.touch(id);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(page);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Read outside the inner lock; racing fetches of the same page are
+        // resolved below (first insert wins; both images are identical since
+        // all mutation happens through cached handles).
+        let mut buf = PageBuf::zeroed();
+        self.pager.lock().read_page(id, &mut buf)?;
+        let page = Arc::new(CachedPage {
+            buf: RwLock::new(buf),
+            dirty: AtomicBool::new(false),
+        });
+        let mut inner = self.inner.lock();
+        if let Some(slot) = inner.map.get(&id) {
+            let existing = slot.page.clone();
+            inner.touch(id);
+            return Ok(existing);
+        }
+        self.evict_if_needed(&mut inner)?;
+        inner.map.insert(
+            id,
+            Slot {
+                page: page.clone(),
+                touch: 0,
+            },
+        );
+        inner.touch(id);
+        Ok(page)
+    }
+
+    /// Allocates a fresh page and returns its id plus a cached handle. The
+    /// page image is zeroed; callers must `init` it and mark it dirty.
+    pub fn allocate(&self) -> Result<(PageId, PageRef)> {
+        let id = self.pager.lock().allocate()?;
+        let page = Arc::new(CachedPage {
+            buf: RwLock::new(PageBuf::zeroed()),
+            dirty: AtomicBool::new(false),
+        });
+        let mut inner = self.inner.lock();
+        self.evict_if_needed(&mut inner)?;
+        inner.map.insert(
+            id,
+            Slot {
+                page: page.clone(),
+                touch: 0,
+            },
+        );
+        inner.touch(id);
+        Ok((id, page))
+    }
+
+    /// Returns page `id` to the pager's free list and drops it from the cache.
+    pub fn free(&self, id: PageId) -> Result<()> {
+        self.inner.lock().map.remove(&id);
+        self.pager.lock().free(id)
+    }
+
+    fn evict_if_needed(&self, inner: &mut PoolInner) -> Result<()> {
+        while inner.map.len() >= self.capacity {
+            let Some(victim) = Self::pick_victim(inner) else {
+                // Everything is pinned; allow the pool to grow temporarily.
+                return Ok(());
+            };
+            let slot = inner.map.remove(&victim).expect("victim in map");
+            if slot.page.is_dirty() {
+                let buf = slot.page.buf.read();
+                self.pager.lock().write_page(victim, &buf)?;
+                slot.page.clear_dirty();
+            }
+        }
+        Ok(())
+    }
+
+    fn pick_victim(inner: &mut PoolInner) -> Option<PageId> {
+        let mut requeue: Vec<(PageId, u64)> = Vec::new();
+        let mut found = None;
+        while let Some((id, stamp)) = inner.lru.pop_front() {
+            match inner.map.get(&id) {
+                None => continue, // freed page
+                Some(slot) if slot.touch != stamp => continue, // stale entry
+                Some(slot) => {
+                    if Arc::strong_count(&slot.page) == 1 {
+                        found = Some(id);
+                        break;
+                    }
+                    requeue.push((id, stamp)); // pinned: keep its LRU position
+                }
+            }
+        }
+        // Restore pinned entries at the front, preserving their order.
+        for e in requeue.into_iter().rev() {
+            inner.lru.push_front(e);
+        }
+        found
+    }
+
+    /// Writes back all dirty pages and syncs the file.
+    pub fn flush(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        let mut pager = self.pager.lock();
+        for (&id, slot) in inner.map.iter() {
+            if slot.page.is_dirty() {
+                let buf = slot.page.buf.read();
+                pager.write_page(id, &buf)?;
+                slot.page.clear_dirty();
+            }
+        }
+        pager.sync()
+    }
+
+    /// (hits, misses) since pool creation.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// (disk reads, disk writes) since the pager was opened.
+    pub fn io_counters(&self) -> (u64, u64) {
+        self.pager.lock().io_counters()
+    }
+
+    /// Head of the pager's free-page list (persisted in the meta page).
+    pub fn free_head(&self) -> PageId {
+        self.pager.lock().free_head()
+    }
+
+    /// Total pages in the underlying file.
+    pub fn page_count(&self) -> u32 {
+        self.pager.lock().page_count()
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Maximum number of cached pages before eviction kicks in.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageType;
+
+    fn pool(name: &str, cap: usize) -> (BufferPool, std::path::PathBuf) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("trex-buffer-{name}-{}", std::process::id()));
+        let pager = Pager::create(&p).unwrap();
+        (BufferPool::new(pager, cap), p)
+    }
+
+    #[test]
+    fn fetch_caches_and_hits() {
+        let (pool, path) = pool("hit", 16);
+        let (id, page) = pool.allocate().unwrap();
+        page.buf.write().init(PageType::Leaf);
+        page.mark_dirty();
+        drop(page);
+        let _p1 = pool.fetch(id).unwrap();
+        let _p2 = pool.fetch(id).unwrap();
+        let (hits, _) = pool.cache_counters();
+        assert!(hits >= 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (pool, path) = pool("evict", 8);
+        let mut ids = Vec::new();
+        for i in 0..32u32 {
+            let (id, page) = pool.allocate().unwrap();
+            {
+                let mut buf = page.buf.write();
+                buf.init(PageType::Leaf);
+                buf.set_next_page(i + 1000);
+            }
+            page.mark_dirty();
+            ids.push(id);
+        }
+        assert!(pool.cached_pages() <= 9);
+        // Early pages were evicted; refetch and confirm contents survived.
+        let first = pool.fetch(ids[0]).unwrap();
+        assert_eq!(first.buf.read().next_page(), 1000);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let (pool, path) = pool("pin", 8);
+        let (id, pinned) = pool.allocate().unwrap();
+        pinned.buf.write().init(PageType::Leaf);
+        pinned.mark_dirty();
+        for _ in 0..32 {
+            let (_, p) = pool.allocate().unwrap();
+            p.buf.write().init(PageType::Leaf);
+            p.mark_dirty();
+        }
+        // The pinned handle must still observe its image in cache.
+        let again = pool.fetch(id).unwrap();
+        assert!(Arc::ptr_eq(&pinned, &again));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let (pool, path) = pool("order", 8);
+        let mut ids = Vec::new();
+        for _ in 0..8 {
+            let (id, p) = pool.allocate().unwrap();
+            p.buf.write().init(PageType::Leaf);
+            p.mark_dirty();
+            ids.push(id);
+        }
+        // Touch the first page so it is the most recently used.
+        drop(pool.fetch(ids[0]).unwrap());
+        // Trigger one eviction.
+        let (_, p) = pool.allocate().unwrap();
+        p.buf.write().init(PageType::Leaf);
+        p.mark_dirty();
+        // ids[1] (the oldest untouched) must have been the victim; fetching
+        // it again is a miss, fetching ids[0] is a hit.
+        let (_, misses_before) = pool.cache_counters();
+        drop(pool.fetch(ids[0]).unwrap());
+        let (_, misses_mid) = pool.cache_counters();
+        assert_eq!(misses_before, misses_mid, "ids[0] should still be cached");
+        drop(pool.fetch(ids[1]).unwrap());
+        let (_, misses_after) = pool.cache_counters();
+        assert_eq!(misses_after, misses_mid + 1, "ids[1] should have been evicted");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_persists_everything() {
+        let (pool, path) = pool("flush", 8);
+        let (id, page) = pool.allocate().unwrap();
+        {
+            let mut buf = page.buf.write();
+            buf.init(PageType::Internal);
+            buf.set_right_child(424242);
+        }
+        page.mark_dirty();
+        drop(page);
+        pool.flush().unwrap();
+        // Bypass the cache: reopen the file.
+        drop(pool);
+        let mut pager = Pager::open(&path).unwrap();
+        let mut buf = PageBuf::zeroed();
+        pager.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf.right_child(), 424242);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,232 @@
+//! Binary codecs shared by the storage engine and the index tables built on
+//! top of it.
+//!
+//! Two families live here:
+//!
+//! * **Varints** — LEB128-style variable-length integers used inside page
+//!   cells and posting-list chunks, where space matters but ordering does not.
+//! * **Order-preserving encodings** — fixed-width big-endian encodings used in
+//!   B+tree *keys*, where the byte-wise (memcmp) order of the encoding must
+//!   equal the natural order of the value. This is what lets composite keys
+//!   such as `(sid, doc_id, end_pos)` be compared as plain byte slices.
+
+use crate::error::{Result, StorageError};
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+/// Appends `v` to `out` as a LEB128 varint (1–10 bytes).
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from the front of `buf`, returning the value and the
+/// number of bytes consumed.
+pub fn read_varint(buf: &[u8]) -> Result<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return Err(StorageError::Corrupt("varint too long".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(StorageError::Corrupt("truncated varint".into()))
+}
+
+/// Number of bytes [`write_varint`] will emit for `v`.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving fixed-width encodings
+// ---------------------------------------------------------------------------
+
+/// Appends `v` big-endian so that byte order equals numeric order.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends `v` big-endian so that byte order equals numeric order.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Reads a big-endian u32 at `off`.
+pub fn get_u32(buf: &[u8], off: usize) -> Result<u32> {
+    let end = off + 4;
+    if end > buf.len() {
+        return Err(StorageError::Corrupt("truncated u32".into()));
+    }
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[off..end]);
+    Ok(u32::from_be_bytes(b))
+}
+
+/// Reads a big-endian u64 at `off`.
+pub fn get_u64(buf: &[u8], off: usize) -> Result<u64> {
+    let end = off + 8;
+    if end > buf.len() {
+        return Err(StorageError::Corrupt("truncated u64".into()));
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..end]);
+    Ok(u64::from_be_bytes(b))
+}
+
+/// Encodes an `f32` score so that the **byte order of the encoding is the
+/// reverse of the numeric order** of the score.
+///
+/// Relevance posting lists (RPLs) must enumerate elements in *descending*
+/// score order using an *ascending* B+tree scan, so the key embeds
+/// `inverted_score_bits(score)`.
+///
+/// The standard total-order trick maps a float to a sortable unsigned integer
+/// (flip the sign bit for positives, flip all bits for negatives); we then
+/// complement the result to reverse the order. NaNs are rejected at the call
+/// sites that build keys; here they map to the end of the order.
+pub fn inverted_score_bits(score: f32) -> u32 {
+    let bits = score.to_bits();
+    let sortable = if bits & 0x8000_0000 != 0 {
+        !bits // negative: flip everything
+    } else {
+        bits | 0x8000_0000 // positive: flip the sign bit
+    };
+    !sortable
+}
+
+/// Inverse of [`inverted_score_bits`].
+pub fn score_from_inverted_bits(inv: u32) -> f32 {
+    let sortable = !inv;
+    let bits = if sortable & 0x8000_0000 != 0 {
+        sortable & 0x7fff_ffff
+    } else {
+        !sortable
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "len for {v}");
+            let (back, used) = read_varint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 300);
+        assert!(read_varint(&buf[..1]).is_err());
+        assert!(read_varint(&[]).is_err());
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        // 11 continuation bytes cannot encode a u64.
+        let buf = [0xffu8; 11];
+        assert!(read_varint(&buf).is_err());
+    }
+
+    #[test]
+    fn big_endian_u32_order_matches_numeric_order() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        put_u32(&mut a, 7);
+        put_u32(&mut b, 300);
+        assert!(a < b);
+        assert_eq!(get_u32(&a, 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn truncated_fixed_width_reads_error() {
+        assert!(get_u32(&[1, 2, 3], 0).is_err());
+        assert!(get_u64(&[1, 2, 3, 4, 5, 6, 7], 0).is_err());
+        assert!(get_u32(&[1, 2, 3, 4], 1).is_err());
+    }
+
+    #[test]
+    fn inverted_score_bits_reverses_order_on_known_values() {
+        let scores = [-3.5f32, -0.0, 0.0, 0.25, 1.0, 7.5, 1e30];
+        for w in scores.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            assert!(
+                inverted_score_bits(hi) <= inverted_score_bits(lo),
+                "{hi} should encode <= {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverted_score_bits_round_trip() {
+        for s in [-12.25f32, -1.0, 0.0, 0.5, 123.75] {
+            let back = score_from_inverted_bits(inverted_score_bits(s));
+            assert_eq!(back.to_bits(), s.to_bits());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_varint_round_trip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (back, used) = read_varint(&buf).unwrap();
+            prop_assert_eq!(back, v);
+            prop_assert_eq!(used, buf.len());
+            prop_assert_eq!(buf.len(), varint_len(v));
+        }
+
+        #[test]
+        fn prop_inverted_score_is_order_reversing(a in -1e30f32..1e30, b in -1e30f32..1e30) {
+            let (ea, eb) = (inverted_score_bits(a), inverted_score_bits(b));
+            match a.partial_cmp(&b).unwrap() {
+                std::cmp::Ordering::Less => prop_assert!(ea >= eb),
+                std::cmp::Ordering::Greater => prop_assert!(ea <= eb),
+                std::cmp::Ordering::Equal => prop_assert_eq!(ea, eb),
+            }
+        }
+
+        #[test]
+        fn prop_inverted_score_round_trip(s in -1e30f32..1e30) {
+            prop_assert_eq!(score_from_inverted_bits(inverted_score_bits(s)).to_bits(), s.to_bits());
+        }
+    }
+}

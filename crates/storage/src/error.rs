@@ -1,0 +1,79 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+/// Errors produced by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O error from the page file.
+    Io(std::io::Error),
+    /// The on-disk data is structurally invalid (bad magic, bad page type,
+    /// truncated cell, …). The string describes what was found.
+    Corrupt(String),
+    /// A key exceeded [`crate::btree::MAX_KEY_LEN`].
+    KeyTooLarge(usize),
+    /// A value exceeded [`crate::btree::MAX_VALUE_LEN`].
+    ValueTooLarge(usize),
+    /// A table name was not found in the store catalog.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// The store catalog page ran out of room for more table entries.
+    CatalogFull,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+            StorageError::KeyTooLarge(n) => write!(f, "key of {n} bytes exceeds maximum"),
+            StorageError::ValueTooLarge(n) => write!(f, "value of {n} bytes exceeds maximum"),
+            StorageError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            StorageError::TableExists(name) => write!(f, "table already exists: {name}"),
+            StorageError::CatalogFull => write!(f, "store catalog is full"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StorageError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e = StorageError::KeyTooLarge(9000);
+        assert!(e.to_string().contains("9000"));
+        let e = StorageError::UnknownTable("rpls".into());
+        assert!(e.to_string().contains("rpls"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_and_sourced() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,271 @@
+//! Fixed-size page buffer and the common page header.
+//!
+//! Every page in the store file is [`PAGE_SIZE`] bytes. The first
+//! [`HEADER_LEN`] bytes form a common header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     page type (PageType)
+//! 1       1     reserved
+//! 2       2     cell count (u16, little-endian)
+//! 4       2     cell content start offset (u16) — cells grow downward
+//! 6       2     reserved
+//! 8       4     next page id (leaf chain / free-list chain)
+//! 12      4     rightmost child page id (internal nodes only)
+//! ```
+//!
+//! After the header comes the slot array (one u16 cell offset per cell,
+//! growing upward); cell bodies grow downward from the end of the page.
+
+use crate::error::{Result, StorageError};
+
+/// Size of every page, in bytes.
+pub const PAGE_SIZE: usize = 8192;
+/// Bytes reserved for the common page header.
+pub const HEADER_LEN: usize = 16;
+
+/// Identifier of a page within the store file (`offset = id * PAGE_SIZE`).
+pub type PageId = u32;
+
+/// Sentinel meaning "no page" (page 0 is the meta page, never a link target).
+pub const NO_PAGE: PageId = 0;
+
+/// Discriminates the role of a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PageType {
+    /// Page 0: store metadata and table catalog.
+    Meta = 0,
+    /// B+tree leaf holding (key, value) cells.
+    Leaf = 1,
+    /// B+tree internal node holding (separator key, child) cells.
+    Internal = 2,
+    /// Page on the free list.
+    Free = 3,
+}
+
+impl PageType {
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(PageType::Meta),
+            1 => Ok(PageType::Leaf),
+            2 => Ok(PageType::Internal),
+            3 => Ok(PageType::Free),
+            other => Err(StorageError::Corrupt(format!("invalid page type {other}"))),
+        }
+    }
+}
+
+/// An in-memory page image.
+pub struct PageBuf {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl PageBuf {
+    /// A zeroed page (type `Meta`, zero cells).
+    pub fn zeroed() -> Self {
+        PageBuf {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        }
+    }
+
+    /// Initialises the header for a fresh page of the given type with no
+    /// cells; cell content starts at the end of the page.
+    pub fn init(&mut self, ty: PageType) {
+        self.data.fill(0);
+        self.data[0] = ty as u8;
+        self.set_cell_count(0);
+        self.set_content_start(PAGE_SIZE as u16);
+    }
+
+    /// Raw bytes of the page.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Mutable raw bytes of the page.
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    /// The page type recorded in the header.
+    pub fn page_type(&self) -> Result<PageType> {
+        PageType::from_u8(self.data[0])
+    }
+
+    fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.data[off], self.data[off + 1]])
+    }
+
+    fn write_u16(&mut self, off: usize, v: u16) {
+        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn read_u32(&self, off: usize) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.data[off..off + 4]);
+        u32::from_le_bytes(b)
+    }
+
+    fn write_u32(&mut self, off: usize, v: u32) {
+        self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of cells on this page.
+    pub fn cell_count(&self) -> usize {
+        self.read_u16(2) as usize
+    }
+
+    pub(crate) fn set_cell_count(&mut self, n: u16) {
+        self.write_u16(2, n);
+    }
+
+    /// Offset where cell content begins (cells occupy `content_start..PAGE_SIZE`).
+    pub fn content_start(&self) -> usize {
+        self.read_u16(4) as usize
+    }
+
+    pub(crate) fn set_content_start(&mut self, off: u16) {
+        self.write_u16(4, off);
+    }
+
+    /// Next-page link: the right sibling for leaves, the next free page for
+    /// free-list pages. [`NO_PAGE`] when absent.
+    pub fn next_page(&self) -> PageId {
+        self.read_u32(8)
+    }
+
+    pub fn set_next_page(&mut self, id: PageId) {
+        self.write_u32(8, id);
+    }
+
+    /// Rightmost child of an internal node.
+    pub fn right_child(&self) -> PageId {
+        self.read_u32(12)
+    }
+
+    pub fn set_right_child(&mut self, id: PageId) {
+        self.write_u32(12, id);
+    }
+
+    /// Offset of the `i`-th cell body (from the slot array).
+    pub fn slot(&self, i: usize) -> usize {
+        debug_assert!(i < self.cell_count());
+        self.read_u16(HEADER_LEN + 2 * i) as usize
+    }
+
+    pub(crate) fn set_slot(&mut self, i: usize, off: u16) {
+        self.write_u16(HEADER_LEN + 2 * i, off);
+    }
+
+    /// Free bytes between the slot array and the cell content area.
+    pub fn free_space(&self) -> usize {
+        let slots_end = HEADER_LEN + 2 * self.cell_count();
+        self.content_start().saturating_sub(slots_end)
+    }
+
+    /// Appends a raw cell body and inserts its slot at position `i`,
+    /// shifting later slots. The caller must have checked
+    /// `free_space() >= cell.len() + 2`.
+    pub(crate) fn insert_cell(&mut self, i: usize, cell: &[u8]) {
+        let n = self.cell_count();
+        debug_assert!(i <= n);
+        debug_assert!(self.free_space() >= cell.len() + 2);
+        let new_start = self.content_start() - cell.len();
+        self.data[new_start..new_start + cell.len()].copy_from_slice(cell);
+        // Shift slots [i..n) up by one position.
+        for j in (i..n).rev() {
+            let v = self.read_u16(HEADER_LEN + 2 * j);
+            self.write_u16(HEADER_LEN + 2 * (j + 1), v);
+        }
+        self.set_slot(i, new_start as u16);
+        self.set_cell_count((n + 1) as u16);
+        self.set_content_start(new_start as u16);
+    }
+
+    /// Removes the slot at position `i`. The cell body becomes dead space
+    /// until the page is next compacted (on split).
+    pub(crate) fn remove_slot(&mut self, i: usize) {
+        let n = self.cell_count();
+        debug_assert!(i < n);
+        for j in i + 1..n {
+            let v = self.read_u16(HEADER_LEN + 2 * j);
+            self.write_u16(HEADER_LEN + 2 * (j - 1), v);
+        }
+        self.set_cell_count((n - 1) as u16);
+    }
+
+    /// Bytes of the `i`-th cell, given its encoded length `len`.
+    #[cfg(test)]
+    pub(crate) fn cell_bytes(&self, i: usize, len: usize) -> &[u8] {
+        let off = self.slot(i);
+        &self.data[off..off + len]
+    }
+}
+
+impl Clone for PageBuf {
+    fn clone(&self) -> Self {
+        PageBuf {
+            data: self.data.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_sets_header_fields() {
+        let mut p = PageBuf::zeroed();
+        p.init(PageType::Leaf);
+        assert_eq!(p.page_type().unwrap(), PageType::Leaf);
+        assert_eq!(p.cell_count(), 0);
+        assert_eq!(p.content_start(), PAGE_SIZE);
+        assert_eq!(p.next_page(), NO_PAGE);
+        assert_eq!(p.free_space(), PAGE_SIZE - HEADER_LEN);
+    }
+
+    #[test]
+    fn insert_and_remove_cells_maintains_slots() {
+        let mut p = PageBuf::zeroed();
+        p.init(PageType::Leaf);
+        p.insert_cell(0, b"bb");
+        p.insert_cell(0, b"aaa");
+        p.insert_cell(2, b"c");
+        assert_eq!(p.cell_count(), 3);
+        assert_eq!(p.cell_bytes(0, 3), b"aaa");
+        assert_eq!(p.cell_bytes(1, 2), b"bb");
+        assert_eq!(p.cell_bytes(2, 1), b"c");
+        p.remove_slot(1);
+        assert_eq!(p.cell_count(), 2);
+        assert_eq!(p.cell_bytes(0, 3), b"aaa");
+        assert_eq!(p.cell_bytes(1, 1), b"c");
+    }
+
+    #[test]
+    fn free_space_shrinks_by_cell_plus_slot() {
+        let mut p = PageBuf::zeroed();
+        p.init(PageType::Leaf);
+        let before = p.free_space();
+        p.insert_cell(0, b"hello");
+        assert_eq!(p.free_space(), before - 5 - 2);
+    }
+
+    #[test]
+    fn next_and_right_child_links_round_trip() {
+        let mut p = PageBuf::zeroed();
+        p.init(PageType::Internal);
+        p.set_next_page(42);
+        p.set_right_child(77);
+        assert_eq!(p.next_page(), 42);
+        assert_eq!(p.right_child(), 77);
+    }
+
+    #[test]
+    fn invalid_page_type_is_rejected() {
+        let mut p = PageBuf::zeroed();
+        p.bytes_mut()[0] = 9;
+        assert!(p.page_type().is_err());
+    }
+}

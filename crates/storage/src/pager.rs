@@ -1,0 +1,210 @@
+//! The pager: reads and writes fixed-size pages of a single store file and
+//! manages page allocation with a free list.
+//!
+//! Page 0 is the meta page and is owned by [`crate::store::Store`]; the pager
+//! only reserves it at file creation. Freed pages are chained through their
+//! `next_page` header field; the head of the chain lives in the meta page and
+//! is handed to the pager at open time.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::Result;
+use crate::page::{PageBuf, PageId, PageType, NO_PAGE, PAGE_SIZE};
+
+/// Low-level page file access and allocation.
+pub struct Pager {
+    file: File,
+    page_count: u32,
+    free_head: PageId,
+    /// Pages read from the file since open (for cache-efficiency stats).
+    reads: u64,
+    /// Pages written to the file since open.
+    writes: u64,
+}
+
+impl Pager {
+    /// Creates a new store file (truncating any existing one) with an
+    /// initialised meta page.
+    pub fn create(path: &Path) -> Result<Pager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut pager = Pager {
+            file,
+            page_count: 1,
+            free_head: NO_PAGE,
+            reads: 0,
+            writes: 0,
+        };
+        let mut meta = PageBuf::zeroed();
+        meta.init(PageType::Meta);
+        pager.write_page(0, &meta)?;
+        Ok(pager)
+    }
+
+    /// Opens an existing store file. `free_head` is read from the meta page
+    /// by the store and installed via [`Pager::set_free_head`].
+    pub fn open(path: &Path) -> Result<Pager> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        let page_count = (len / PAGE_SIZE as u64) as u32;
+        Ok(Pager {
+            file,
+            page_count: page_count.max(1),
+            free_head: NO_PAGE,
+            reads: 0,
+            writes: 0,
+        })
+    }
+
+    /// Number of pages in the file (including the meta page and free pages).
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    /// Head of the free-page chain.
+    pub fn free_head(&self) -> PageId {
+        self.free_head
+    }
+
+    /// Installs the free-list head (read from the meta page at open).
+    pub fn set_free_head(&mut self, head: PageId) {
+        self.free_head = head;
+    }
+
+    /// Reads page `id` into `buf`.
+    pub fn read_page(&mut self, id: PageId, buf: &mut PageBuf) -> Result<()> {
+        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file.read_exact(buf.bytes_mut().as_mut_slice())?;
+        self.reads += 1;
+        Ok(())
+    }
+
+    /// Writes `buf` to page `id`.
+    pub fn write_page(&mut self, id: PageId, buf: &PageBuf) -> Result<()> {
+        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(buf.bytes().as_slice())?;
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Allocates a page: pops the free list if possible, otherwise extends
+    /// the file. The returned page's contents are unspecified; callers must
+    /// `init` it.
+    pub fn allocate(&mut self) -> Result<PageId> {
+        if self.free_head != NO_PAGE {
+            let id = self.free_head;
+            let mut buf = PageBuf::zeroed();
+            self.read_page(id, &mut buf)?;
+            self.free_head = buf.next_page();
+            return Ok(id);
+        }
+        let id = self.page_count;
+        self.page_count += 1;
+        // Extend the file so subsequent reads of this page succeed.
+        let buf = PageBuf::zeroed();
+        self.write_page(id, &buf)?;
+        Ok(id)
+    }
+
+    /// Returns page `id` to the free list.
+    pub fn free(&mut self, id: PageId) -> Result<()> {
+        debug_assert_ne!(id, 0, "cannot free the meta page");
+        let mut buf = PageBuf::zeroed();
+        buf.init(PageType::Free);
+        buf.set_next_page(self.free_head);
+        self.write_page(id, &buf)?;
+        self.free_head = id;
+        Ok(())
+    }
+
+    /// Flushes OS buffers to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// (reads, writes) performed since open — used by benchmarks to report
+    /// I/O alongside wall-clock time.
+    pub fn io_counters(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("trex-pager-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let path = temp_path("rt");
+        let mut pager = Pager::create(&path).unwrap();
+        let id = pager.allocate().unwrap();
+        let mut page = PageBuf::zeroed();
+        page.init(PageType::Leaf);
+        page.set_next_page(99);
+        pager.write_page(id, &page).unwrap();
+
+        let mut back = PageBuf::zeroed();
+        pager.read_page(id, &mut back).unwrap();
+        assert_eq!(back.page_type().unwrap(), PageType::Leaf);
+        assert_eq!(back.next_page(), 99);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn allocate_reuses_freed_pages_lifo() {
+        let path = temp_path("free");
+        let mut pager = Pager::create(&path).unwrap();
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        assert_ne!(a, b);
+        pager.free(a).unwrap();
+        pager.free(b).unwrap();
+        assert_eq!(pager.allocate().unwrap(), b);
+        assert_eq!(pager.allocate().unwrap(), a);
+        // Free list exhausted: next allocation extends the file.
+        let c = pager.allocate().unwrap();
+        assert_eq!(c, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_page_count() {
+        let path = temp_path("reopen");
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            pager.allocate().unwrap();
+            pager.allocate().unwrap();
+            pager.sync().unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.page_count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn io_counters_track_activity() {
+        let path = temp_path("io");
+        let mut pager = Pager::create(&path).unwrap();
+        let (_, w0) = pager.io_counters();
+        let id = pager.allocate().unwrap();
+        let mut page = PageBuf::zeroed();
+        pager.read_page(id, &mut page).unwrap();
+        let (r1, w1) = pager.io_counters();
+        assert!(r1 >= 1);
+        assert!(w1 > w0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,387 @@
+//! The store: a single file holding many named B+trees (tables) plus a
+//! catalog on the meta page.
+//!
+//! TReX keeps its four tables — `Elements`, `PostingLists`, `RPLs`, `ERPLs` —
+//! as tables of one store, mirroring the paper's use of BerkeleyDB databases
+//! inside one environment.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::btree::{BTree, Cursor};
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, HEADER_LEN, PAGE_SIZE};
+use crate::pager::Pager;
+
+const MAGIC: &[u8; 8] = b"TREXSTOR";
+const VERSION: u16 = 1;
+/// Longest table name storable in the catalog.
+pub const MAX_TABLE_NAME: usize = 64;
+
+type Catalog = Arc<Mutex<HashMap<String, PageId>>>;
+
+/// A store file: buffer pool + table catalog.
+pub struct Store {
+    pool: Arc<BufferPool>,
+    catalog: Catalog,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("pages", &self.pool.page_count())
+            .field("tables", &self.table_names())
+            .finish()
+    }
+}
+
+impl Store {
+    /// Creates a new store file (truncating an existing one), with a buffer
+    /// pool of `pool_capacity` pages.
+    pub fn create(path: &Path, pool_capacity: usize) -> Result<Store> {
+        let pager = Pager::create(path)?;
+        let pool = Arc::new(BufferPool::new(pager, pool_capacity));
+        let store = Store {
+            pool,
+            catalog: Arc::new(Mutex::new(HashMap::new())),
+        };
+        store.write_meta()?;
+        Ok(store)
+    }
+
+    /// Opens an existing store file.
+    pub fn open(path: &Path, pool_capacity: usize) -> Result<Store> {
+        let mut pager = Pager::open(path)?;
+        let (catalog, free_head) = {
+            let mut meta = crate::page::PageBuf::zeroed();
+            pager.read_page(0, &mut meta)?;
+            Self::parse_meta(meta.bytes())?
+        };
+        pager.set_free_head(free_head);
+        let pool = Arc::new(BufferPool::new(pager, pool_capacity));
+        Ok(Store {
+            pool,
+            catalog: Arc::new(Mutex::new(catalog)),
+        })
+    }
+
+    fn parse_meta(bytes: &[u8; PAGE_SIZE]) -> Result<(HashMap<String, PageId>, PageId)> {
+        let payload = &bytes[HEADER_LEN..];
+        if &payload[..8] != MAGIC {
+            return Err(StorageError::Corrupt("bad store magic".into()));
+        }
+        let version = u16::from_le_bytes([payload[8], payload[9]]);
+        if version != VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported store version {version}"
+            )));
+        }
+        let free_head = u32::from_le_bytes(payload[10..14].try_into().unwrap());
+        let count = u16::from_le_bytes([payload[14], payload[15]]) as usize;
+        let mut catalog = HashMap::with_capacity(count);
+        let mut off = 16usize;
+        for _ in 0..count {
+            let name_len = payload[off] as usize;
+            off += 1;
+            let name = std::str::from_utf8(&payload[off..off + name_len])
+                .map_err(|_| StorageError::Corrupt("non-utf8 table name".into()))?
+                .to_string();
+            off += name_len;
+            let root = u32::from_le_bytes(payload[off..off + 4].try_into().unwrap());
+            off += 4;
+            catalog.insert(name, root);
+        }
+        Ok((catalog, free_head))
+    }
+
+    fn write_meta(&self) -> Result<()> {
+        let catalog = self.catalog.lock();
+        let mut payload = Vec::with_capacity(PAGE_SIZE - HEADER_LEN);
+        payload.extend_from_slice(MAGIC);
+        payload.extend_from_slice(&VERSION.to_le_bytes());
+        let free_head = self.pool.free_head();
+        payload.extend_from_slice(&free_head.to_le_bytes());
+        payload.extend_from_slice(&(catalog.len() as u16).to_le_bytes());
+        let mut names: Vec<_> = catalog.iter().collect();
+        names.sort(); // deterministic on-disk layout
+        for (name, root) in names {
+            payload.push(name.len() as u8);
+            payload.extend_from_slice(name.as_bytes());
+            payload.extend_from_slice(&root.to_le_bytes());
+        }
+        if payload.len() > PAGE_SIZE - HEADER_LEN {
+            return Err(StorageError::CatalogFull);
+        }
+        drop(catalog);
+
+        let meta = self.pool.fetch(0)?;
+        {
+            let mut buf = meta.buf.write();
+            buf.bytes_mut()[HEADER_LEN..HEADER_LEN + payload.len()].copy_from_slice(&payload);
+        }
+        meta.mark_dirty();
+        Ok(())
+    }
+
+    /// Creates a new empty table. Errors if the name exists or is too long.
+    pub fn create_table(&self, name: &str) -> Result<Table> {
+        if name.len() > MAX_TABLE_NAME {
+            return Err(StorageError::KeyTooLarge(name.len()));
+        }
+        {
+            let catalog = self.catalog.lock();
+            if catalog.contains_key(name) {
+                return Err(StorageError::TableExists(name.to_string()));
+            }
+        }
+        let tree = BTree::create(self.pool.clone())?;
+        self.catalog.lock().insert(name.to_string(), tree.root());
+        Ok(Table {
+            name: name.to_string(),
+            tree,
+            catalog: self.catalog.clone(),
+        })
+    }
+
+    /// Creates a new table bulk-loaded from strictly ascending entries —
+    /// far faster than repeated [`Table::insert`] for pre-sorted data (the
+    /// posting lists are written this way).
+    pub fn create_table_bulk(
+        &self,
+        name: &str,
+        entries: impl Iterator<Item = (Vec<u8>, Vec<u8>)>,
+    ) -> Result<Table> {
+        if name.len() > MAX_TABLE_NAME {
+            return Err(StorageError::KeyTooLarge(name.len()));
+        }
+        if self.catalog.lock().contains_key(name) {
+            return Err(StorageError::TableExists(name.to_string()));
+        }
+        let tree = crate::btree::bulk_load(self.pool.clone(), entries)?;
+        self.catalog.lock().insert(name.to_string(), tree.root());
+        Ok(Table {
+            name: name.to_string(),
+            tree,
+            catalog: self.catalog.clone(),
+        })
+    }
+
+    /// Opens an existing table by name.
+    pub fn open_table(&self, name: &str) -> Result<Table> {
+        let root = self
+            .catalog
+            .lock()
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        Ok(Table {
+            name: name.to_string(),
+            tree: BTree::open(self.pool.clone(), root),
+            catalog: self.catalog.clone(),
+        })
+    }
+
+    /// Opens the table, creating it if absent.
+    pub fn open_or_create_table(&self, name: &str) -> Result<Table> {
+        match self.open_table(name) {
+            Ok(t) => Ok(t),
+            Err(StorageError::UnknownTable(_)) => self.create_table(name),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether a table with this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.catalog.lock().contains_key(name)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.catalog.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Drops a table: removes it from the catalog and frees its pages.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let root = self
+            .catalog
+            .lock()
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        BTree::open(self.pool.clone(), root).destroy()
+    }
+
+    /// Persists the catalog and all dirty pages.
+    pub fn flush(&self) -> Result<()> {
+        self.write_meta()?;
+        self.pool.flush()
+    }
+
+    /// The shared buffer pool (exposed for I/O statistics in benchmarks).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Total pages in the store file — the disk-space measure used by the
+    /// self-managing advisor (paper §4: `S_RPL`, `S_ERPL` are measured in
+    /// disk space consumed).
+    pub fn page_count(&self) -> u32 {
+        self.pool.page_count()
+    }
+}
+
+/// A named ordered (key → value) table inside a [`Store`].
+pub struct Table {
+    name: String,
+    tree: BTree,
+    catalog: Catalog,
+}
+
+impl Table {
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inserts `key -> value`, replacing an existing binding.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let before = self.tree.root();
+        self.tree.insert(key, value)?;
+        let after = self.tree.root();
+        if before != after {
+            self.catalog.lock().insert(self.name.clone(), after);
+        }
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.tree.get(key)
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        self.tree.delete(key)
+    }
+
+    /// Cursor at the first entry with key `>= key`.
+    pub fn seek(&self, key: &[u8]) -> Result<Cursor> {
+        self.tree.seek(key)
+    }
+
+    /// Cursor at the smallest key.
+    pub fn scan(&self) -> Result<Cursor> {
+        self.tree.scan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("trex-store-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn tables_survive_reopen() {
+        let path = temp("reopen");
+        {
+            let store = Store::create(&path, 64).unwrap();
+            let mut t = store.create_table("elements").unwrap();
+            for i in 0..500u32 {
+                t.insert(&i.to_be_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
+            }
+            store.flush().unwrap();
+        }
+        let store = Store::open(&path, 64).unwrap();
+        let t = store.open_table("elements").unwrap();
+        assert_eq!(t.get(&42u32.to_be_bytes()).unwrap().unwrap(), b"v42");
+        assert_eq!(t.get(&499u32.to_be_bytes()).unwrap().unwrap(), b"v499");
+        assert!(t.get(&500u32.to_be_bytes()).unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_duplicate_table_fails() {
+        let path = temp("dup");
+        let store = Store::create(&path, 64).unwrap();
+        store.create_table("t").unwrap();
+        assert!(matches!(
+            store.create_table("t"),
+            Err(StorageError::TableExists(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let path = temp("unknown");
+        let store = Store::create(&path, 64).unwrap();
+        assert!(matches!(
+            store.open_table("nope"),
+            Err(StorageError::UnknownTable(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_table_frees_pages_for_reuse() {
+        let path = temp("drop");
+        let store = Store::create(&path, 64).unwrap();
+        let mut t = store.create_table("big").unwrap();
+        for i in 0..3000u32 {
+            t.insert(&i.to_be_bytes(), &[0u8; 64]).unwrap();
+        }
+        drop(t);
+        let pages_before = store.page_count();
+        store.drop_table("big").unwrap();
+        assert!(!store.has_table("big"));
+        // Recreating a similar table should not grow the file much, since
+        // freed pages are reused.
+        let mut t2 = store.create_table("big2").unwrap();
+        for i in 0..3000u32 {
+            t2.insert(&i.to_be_bytes(), &[0u8; 64]).unwrap();
+        }
+        assert!(store.page_count() <= pages_before + 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn catalog_tracks_root_splits_across_reopen() {
+        let path = temp("rootsplit");
+        {
+            let store = Store::create(&path, 64).unwrap();
+            let mut t = store.create_table("t").unwrap();
+            // Enough entries to split the root several times.
+            for i in 0..20_000u32 {
+                t.insert(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        let store = Store::open(&path, 64).unwrap();
+        let t = store.open_table("t").unwrap();
+        for i in (0..20_000u32).step_by(997) {
+            assert_eq!(t.get(&i.to_be_bytes()).unwrap().unwrap(), i.to_le_bytes());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn table_names_are_sorted() {
+        let path = temp("names");
+        let store = Store::create(&path, 64).unwrap();
+        store.create_table("zeta").unwrap();
+        store.create_table("alpha").unwrap();
+        assert_eq!(store.table_names(), vec!["alpha", "zeta"]);
+        std::fs::remove_file(&path).ok();
+    }
+}

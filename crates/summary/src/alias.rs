@@ -1,0 +1,146 @@
+//! Tag alias mappings.
+//!
+//! "Different elements with different tags represent the same type of
+//! information. […] we make use of the alias mapping provided by INEX to
+//! replace all synonyms by their alias" (paper §2.1). Since the INEX mapping
+//! file is not redistributable, this module ships the equivalent built-in
+//! mapping for the tag families the synthetic collections generate, and
+//! accepts user-defined mappings.
+
+use std::collections::HashMap;
+
+/// A synonym → canonical-tag mapping.
+#[derive(Debug, Clone, Default)]
+pub struct AliasMap {
+    map: HashMap<String, String>,
+}
+
+impl AliasMap {
+    /// The identity mapping (no aliasing) — the "no aliases" summaries.
+    pub fn identity() -> AliasMap {
+        AliasMap::default()
+    }
+
+    /// The built-in mapping mirroring the INEX IEEE alias groups used in the
+    /// paper's example: section synonyms collapse to `sec`, paragraph
+    /// synonyms to `p`, item synonyms to `item`, title synonyms to `st`.
+    pub fn inex_ieee() -> AliasMap {
+        let mut m = AliasMap::default();
+        for (from, to) in [
+            ("ss1", "sec"),
+            ("ss2", "sec"),
+            ("ss3", "sec"),
+            ("ip1", "p"),
+            ("ip2", "p"),
+            ("ip3", "p"),
+            ("ilrj", "p"),
+            ("item-none", "item"),
+            ("item-bullet", "item"),
+            ("item-numbered", "item"),
+            ("st1", "st"),
+            ("st2", "st"),
+        ] {
+            m.insert(from, to);
+        }
+        m
+    }
+
+    /// The built-in mapping for the Wikipedia-like collection.
+    pub fn inex_wiki() -> AliasMap {
+        let mut m = AliasMap::default();
+        for (from, to) in [
+            ("section1", "section"),
+            ("section2", "section"),
+            ("subsection", "section"),
+            ("image", "figure"),
+            ("picture", "figure"),
+        ] {
+            m.insert(from, to);
+        }
+        m
+    }
+
+    /// Adds a single synonym rule.
+    pub fn insert(&mut self, from: &str, to: &str) {
+        self.map.insert(from.to_string(), to.to_string());
+    }
+
+    /// Resolves `label` to its canonical form (itself when unmapped).
+    pub fn resolve<'a>(&'a self, label: &'a str) -> &'a str {
+        self.map.get(label).map(String::as_str).unwrap_or(label)
+    }
+
+    /// Number of synonym rules.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether this is the identity mapping.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All (synonym, canonical) pairs, sorted by synonym — used to persist
+    /// the mapping alongside the summary it produced.
+    pub fn pairs(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> =
+            self.map.iter().map(|(f, t)| (f.clone(), t.clone())).collect();
+        out.sort();
+        out
+    }
+
+    /// Reconstructs a mapping from pairs produced by [`AliasMap::pairs`].
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (String, String)>) -> AliasMap {
+        AliasMap {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// All labels that resolve to `canonical`, including itself.
+    pub fn synonyms_of(&self, canonical: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .map
+            .iter()
+            .filter(|(_, to)| to.as_str() == canonical)
+            .map(|(from, _)| from.clone())
+            .collect();
+        out.push(canonical.to_string());
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resolves_to_self() {
+        let m = AliasMap::identity();
+        assert_eq!(m.resolve("sec"), "sec");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn ieee_mapping_collapses_section_synonyms() {
+        let m = AliasMap::inex_ieee();
+        assert_eq!(m.resolve("ss1"), "sec");
+        assert_eq!(m.resolve("ss2"), "sec");
+        assert_eq!(m.resolve("sec"), "sec");
+        assert_eq!(m.resolve("article"), "article");
+    }
+
+    #[test]
+    fn synonyms_of_lists_the_whole_family() {
+        let m = AliasMap::inex_ieee();
+        assert_eq!(m.synonyms_of("sec"), vec!["sec", "ss1", "ss2", "ss3"]);
+    }
+
+    #[test]
+    fn custom_rules_apply() {
+        let mut m = AliasMap::identity();
+        m.insert("paragraph", "p");
+        assert_eq!(m.resolve("paragraph"), "p");
+        assert_eq!(m.len(), 1);
+    }
+}

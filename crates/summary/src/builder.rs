@@ -1,0 +1,104 @@
+//! Builds summaries from parsed documents.
+
+use trex_xml::{Document, NodeKind};
+
+use crate::alias::AliasMap;
+use crate::tree::{Summary, SummaryCursor, SummaryKind};
+
+/// Accumulates a [`Summary`] over a stream of documents, applying an alias
+/// mapping to labels as they are inserted.
+pub struct SummaryBuilder {
+    summary: Summary,
+    alias: AliasMap,
+}
+
+impl SummaryBuilder {
+    /// Starts a builder for the given kind and alias mapping. Use
+    /// [`AliasMap::identity`] for a "no aliases" summary.
+    pub fn new(kind: SummaryKind, alias: AliasMap) -> SummaryBuilder {
+        SummaryBuilder {
+            summary: Summary::new(kind),
+            alias,
+        }
+    }
+
+    /// Adds every element of `doc` to the summary.
+    pub fn add_document(&mut self, doc: &Document) {
+        let mut cursor = SummaryCursor::new();
+        self.walk(doc, doc.root(), &mut cursor);
+    }
+
+    fn walk(&mut self, doc: &Document, node: trex_xml::NodeId, cursor: &mut SummaryCursor) {
+        match &doc.node(node).kind {
+            NodeKind::Text(_) => {}
+            NodeKind::Element { name, .. } => {
+                let label = self.alias.resolve(name).to_string();
+                let sid = cursor.enter(&mut self.summary, &label);
+                self.summary.record_element(sid);
+                for &child in &doc.node(node).children {
+                    self.walk(doc, child, cursor);
+                }
+                cursor.leave();
+            }
+        }
+    }
+
+    /// The alias mapping in use.
+    pub fn alias(&self) -> &AliasMap {
+        &self.alias
+    }
+
+    /// Finishes the build, returning the summary and the alias map (the
+    /// translator needs the same map to resolve query labels).
+    pub fn finish(self) -> (Summary, AliasMap) {
+        (self.summary, self.alias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Document {
+        Document::parse(s).unwrap()
+    }
+
+    #[test]
+    fn alias_collapses_synonym_paths() {
+        let doc = parse("<article><bdy><sec>a</sec><ss1>b</ss1><ss2>c</ss2></bdy></article>");
+        // Without aliases: three sibling labels.
+        let mut plain = SummaryBuilder::new(SummaryKind::Incoming, AliasMap::identity());
+        plain.add_document(&doc);
+        let (plain, _) = plain.finish();
+        assert_eq!(plain.node_count(), 5); // article, bdy, sec, ss1, ss2
+
+        // With aliases: one collapsed `sec` node with extent 3.
+        let mut aliased = SummaryBuilder::new(SummaryKind::Incoming, AliasMap::inex_ieee());
+        aliased.add_document(&doc);
+        let (aliased, _) = aliased.finish();
+        assert_eq!(aliased.node_count(), 3); // article, bdy, sec
+        let sec = aliased.sids_with_label("sec")[0];
+        assert_eq!(aliased.node(sec).extent_size, 3);
+    }
+
+    #[test]
+    fn multiple_documents_share_nodes() {
+        let mut b = SummaryBuilder::new(SummaryKind::Incoming, AliasMap::identity());
+        b.add_document(&parse("<a><b>x</b></a>"));
+        b.add_document(&parse("<a><b>y</b><c/></a>"));
+        let (s, _) = b.finish();
+        assert_eq!(s.node_count(), 3); // a, a/b, a/c
+        let b_sid = s.sids_with_label("b")[0];
+        assert_eq!(s.node(b_sid).extent_size, 2);
+    }
+
+    #[test]
+    fn heterogeneous_roots_coexist() {
+        let mut b = SummaryBuilder::new(SummaryKind::Incoming, AliasMap::identity());
+        b.add_document(&parse("<article><sec>x</sec></article>"));
+        b.add_document(&parse("<book><sec>y</sec></book>"));
+        let (s, _) = b.finish();
+        assert_eq!(s.sids_with_label("sec").len(), 2);
+        assert_eq!(s.sids_with_label("article").len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # trex-summary
+//!
+//! Structural summaries for TReX (paper §2.1): the summary tree with sids
+//! and extents ([`tree`]), builders over parsed documents ([`builder`]),
+//! tag alias mappings ([`alias`]) and query-path → sid matching ([`path`]).
+//!
+//! Two partition criteria are provided — the **incoming summary** (by
+//! root-to-element label path) and the coarser **tag summary** (by label) —
+//! each with and without alias resolution, reproducing the four summaries
+//! whose sizes the paper reports in §2.1.
+//!
+//! ```
+//! use trex_summary::{AliasMap, PathPattern, SummaryBuilder, SummaryKind};
+//! use trex_xml::Document;
+//!
+//! let doc = Document::parse("<article><bdy><sec>query evaluation</sec><ss1>more</ss1></bdy></article>").unwrap();
+//! let mut builder = SummaryBuilder::new(SummaryKind::Incoming, AliasMap::inex_ieee());
+//! builder.add_document(&doc);
+//! let (summary, _alias) = builder.finish();
+//!
+//! // ss1 is an alias of sec, so one summary node covers both elements.
+//! let path = PathPattern::parse("//article//sec").unwrap();
+//! let sids = path.match_summary(&summary);
+//! assert_eq!(sids.len(), 1);
+//! assert_eq!(summary.node(sids[0]).extent_size, 2);
+//! ```
+
+pub mod alias;
+pub mod builder;
+pub mod path;
+pub mod tree;
+
+pub use alias::AliasMap;
+pub use builder::SummaryBuilder;
+pub use path::{PathError, PathPattern, Step};
+pub use tree::{ExtentStats, Sid, Summary, SummaryCursor, SummaryKind, SummaryNode, ROOT_SID};

@@ -1,0 +1,340 @@
+//! Query-path matching against a summary tree.
+//!
+//! The translation phase of TReX maps "each path p in the query from the root
+//! to an `about()` function … to a set of sids" (paper §3.1): the summary
+//! nodes whose extents intersect the result of evaluating `p` over the
+//! corpus. Because the incoming summary partitions elements exactly by their
+//! root-to-element label path, evaluating the path over the *summary tree*
+//! yields precisely those sids — no document access needed.
+//!
+//! Supported XPath subset (what NEXI allows in its structural part): the
+//! child (`/`) and descendant-or-self (`//`) axes and the name test `tag`
+//! or `*`.
+
+use std::fmt;
+
+use crate::tree::{Sid, Summary, SummaryKind, ROOT_SID};
+
+/// A location step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// `true` for `//` (descendant), `false` for `/` (child).
+    pub descendant: bool,
+    /// The name test; `None` means `*`.
+    pub label: Option<String>,
+}
+
+/// A parsed path pattern such as `//article//sec`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathPattern {
+    steps: Vec<Step>,
+}
+
+/// Errors from [`PathPattern::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The path was empty or had an empty step (`a///b`, trailing `/`).
+    Malformed(String),
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Malformed(p) => write!(f, "malformed path pattern: {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl PathPattern {
+    /// Builds a pattern from pre-split steps.
+    pub fn new(steps: Vec<Step>) -> PathPattern {
+        PathPattern { steps }
+    }
+
+    /// Parses textual form: `//article//sec`, `/books/journal`, `//bdy//*`.
+    /// A leading bare name (`article//sec`) is treated as `/article//sec`,
+    /// matching NEXI's root-anchored interpretation.
+    pub fn parse(input: &str) -> Result<PathPattern, PathError> {
+        let input = input.trim();
+        if input.is_empty() {
+            return Err(PathError::Malformed(input.to_string()));
+        }
+        let mut steps = Vec::new();
+        let mut rest = input;
+        // A leading bare name means a child step from the root.
+        if !rest.starts_with('/') {
+            rest = input;
+            let (label, remainder) = split_step(rest);
+            steps.push(make_step(false, label, input)?);
+            rest = remainder;
+        }
+        while !rest.is_empty() {
+            let descendant = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                true
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                false
+            } else {
+                return Err(PathError::Malformed(input.to_string()));
+            };
+            let (label, remainder) = split_step(rest);
+            steps.push(make_step(descendant, label, input)?);
+            rest = remainder;
+        }
+        if steps.is_empty() {
+            return Err(PathError::Malformed(input.to_string()));
+        }
+        Ok(PathPattern { steps })
+    }
+
+    /// The parsed steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Applies `f` to every step label (used to alias-resolve query labels
+    /// for vague interpretation).
+    pub fn map_labels(&self, f: impl Fn(&str) -> String) -> PathPattern {
+        PathPattern {
+            steps: self
+                .steps
+                .iter()
+                .map(|s| Step {
+                    descendant: s.descendant,
+                    label: s.label.as_deref().map(&f),
+                })
+                .collect(),
+        }
+    }
+
+    /// All sids of `summary` whose label path matches this pattern.
+    ///
+    /// Requires a tree-shaped ([`SummaryKind::Incoming`]) summary: a tag
+    /// summary does not retain ancestry, so only single-step patterns are
+    /// meaningful there (handled as a label lookup).
+    pub fn match_summary(&self, summary: &Summary) -> Vec<Sid> {
+        if summary.kind() != SummaryKind::Incoming {
+            // Tag and k-suffix summaries do not retain full ancestry; only
+            // the final name test can be honoured (a conservative superset).
+            return self.match_tag_summary(summary);
+        }
+        let mut out = Vec::new();
+        // `states` holds indices i: "steps[..i] matched along the path so far".
+        self.walk(summary, ROOT_SID, &[0], &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn match_tag_summary(&self, summary: &Summary) -> Vec<Sid> {
+        // Only the last step's name test can be honoured.
+        let Some(last) = self.steps.last() else {
+            return Vec::new();
+        };
+        match &last.label {
+            Some(label) => summary.sids_with_label(label).to_vec(),
+            None => summary.sids().collect(),
+        }
+    }
+
+    fn walk(&self, summary: &Summary, node: Sid, states: &[usize], out: &mut Vec<Sid>) {
+        for &child in &summary.node(node).children {
+            let label = &summary.node(child).label;
+            let mut next_states: Vec<usize> = Vec::with_capacity(states.len() + 1);
+            for &i in states {
+                debug_assert!(i < self.steps.len());
+                let step = &self.steps[i];
+                // A descendant-axis step stays pending below this node.
+                if step.descendant {
+                    push_state(&mut next_states, i);
+                }
+                if step_matches(step, label) {
+                    if i + 1 == self.steps.len() {
+                        out.push(child);
+                    } else {
+                        push_state(&mut next_states, i + 1);
+                    }
+                }
+            }
+            if !next_states.is_empty() {
+                self.walk(summary, child, &next_states, out);
+            }
+        }
+    }
+}
+
+fn push_state(states: &mut Vec<usize>, s: usize) {
+    if !states.contains(&s) {
+        states.push(s);
+    }
+}
+
+fn step_matches(step: &Step, label: &str) -> bool {
+    match &step.label {
+        Some(want) => want == label,
+        None => true,
+    }
+}
+
+fn split_step(rest: &str) -> (&str, &str) {
+    match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, ""),
+    }
+}
+
+fn make_step(descendant: bool, label: &str, whole: &str) -> Result<Step, PathError> {
+    if label.is_empty() {
+        return Err(PathError::Malformed(whole.to_string()));
+    }
+    Ok(Step {
+        descendant,
+        label: if label == "*" {
+            None
+        } else {
+            Some(label.to_string())
+        },
+    })
+}
+
+impl fmt::Display for PathPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            f.write_str(if step.descendant { "//" } else { "/" })?;
+            match &step.label {
+                Some(l) => f.write_str(l)?,
+                None => f.write_str("*")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alias::AliasMap;
+    use crate::builder::SummaryBuilder;
+    use trex_xml::Document;
+
+    fn sample() -> Summary {
+        let docs = [
+            "<books><journal><article><fm><atl>t</atl></fm><bdy><sec><ss1>x</ss1></sec><sec>y</sec></bdy><bm><app><sec>z</sec></app></bm></article></journal></books>",
+            "<books><conf><article><bdy><sec>w</sec></bdy></article></conf></books>",
+        ];
+        let mut b = SummaryBuilder::new(SummaryKind::Incoming, AliasMap::identity());
+        for d in docs {
+            b.add_document(&Document::parse(d).unwrap());
+        }
+        b.finish().0
+    }
+
+    fn labels_of(summary: &Summary, sids: &[Sid]) -> Vec<String> {
+        let mut out: Vec<String> = sids
+            .iter()
+            .map(|&s| summary.label_path(s).join("/"))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn parse_accepts_nexi_forms() {
+        let p = PathPattern::parse("//article//sec").unwrap();
+        assert_eq!(p.steps().len(), 2);
+        assert!(p.steps()[0].descendant);
+        assert_eq!(p.to_string(), "//article//sec");
+
+        let p = PathPattern::parse("/books/journal").unwrap();
+        assert!(!p.steps()[0].descendant);
+
+        let p = PathPattern::parse("//bdy//*").unwrap();
+        assert_eq!(p.steps()[1].label, None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(PathPattern::parse("").is_err());
+        assert!(PathPattern::parse("///a").is_err());
+        assert!(PathPattern::parse("//a/").is_err());
+    }
+
+    #[test]
+    fn descendant_axis_matches_at_any_depth() {
+        let s = sample();
+        let p = PathPattern::parse("//article//sec").unwrap();
+        let matched = labels_of(&s, &p.match_summary(&s));
+        assert_eq!(
+            matched,
+            vec![
+                "books/conf/article/bdy/sec",
+                "books/journal/article/bdy/sec",
+                "books/journal/article/bm/app/sec",
+            ]
+        );
+    }
+
+    #[test]
+    fn child_axis_is_exact() {
+        let s = sample();
+        let p = PathPattern::parse("/books/journal/article/bdy/sec").unwrap();
+        let matched = labels_of(&s, &p.match_summary(&s));
+        assert_eq!(matched, vec!["books/journal/article/bdy/sec"]);
+    }
+
+    #[test]
+    fn wildcard_matches_all_labels() {
+        let s = sample();
+        let p = PathPattern::parse("//bdy//*").unwrap();
+        let matched = labels_of(&s, &p.match_summary(&s));
+        assert_eq!(
+            matched,
+            vec![
+                "books/conf/article/bdy/sec",
+                "books/journal/article/bdy/sec",
+                "books/journal/article/bdy/sec/ss1",
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_same_label_matches_both() {
+        let mut b = SummaryBuilder::new(SummaryKind::Incoming, AliasMap::identity());
+        b.add_document(&Document::parse("<a><sec><sec>inner</sec></sec></a>").unwrap());
+        let s = b.finish().0;
+        let p = PathPattern::parse("//sec").unwrap();
+        assert_eq!(p.match_summary(&s).len(), 2);
+    }
+
+    #[test]
+    fn unmatched_path_is_empty() {
+        let s = sample();
+        let p = PathPattern::parse("//nonexistent//sec").unwrap();
+        assert!(p.match_summary(&s).is_empty());
+    }
+
+    #[test]
+    fn map_labels_applies_alias() {
+        let alias = AliasMap::inex_ieee();
+        let p = PathPattern::parse("//article//ss1").unwrap();
+        let mapped = p.map_labels(|l| alias.resolve(l).to_string());
+        assert_eq!(mapped.to_string(), "//article//sec");
+    }
+
+    #[test]
+    fn tag_summary_matches_by_final_label_only() {
+        let docs = ["<a><sec>x</sec><b><sec>y</sec></b></a>"];
+        let mut b = SummaryBuilder::new(SummaryKind::Tag, AliasMap::identity());
+        for d in docs {
+            b.add_document(&Document::parse(d).unwrap());
+        }
+        let s = b.finish().0;
+        let p = PathPattern::parse("//a//sec").unwrap();
+        let sids = p.match_summary(&s);
+        assert_eq!(sids.len(), 1);
+        assert_eq!(s.node(sids[0]).label, "sec");
+    }
+}

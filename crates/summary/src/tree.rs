@@ -1,0 +1,594 @@
+//! The summary tree: nodes, extents, incremental cursor, serialisation.
+//!
+//! A structural summary is "a labeled tree that describes, in a concise way,
+//! the labels and edges of the document" (paper §2.1). Each summary node has
+//! a *sid* and an extent — the set of XML elements it stands for. TReX keeps
+//! only extent *counts* here; element identities live in the `Elements`
+//! table keyed by sid.
+
+use std::collections::HashMap;
+
+/// Summary node identifier. Sid 0 is the virtual collection root (its extent
+/// is empty); document root elements are its children.
+pub type Sid = u32;
+
+/// The virtual root's sid.
+pub const ROOT_SID: Sid = 0;
+
+/// Which partition criterion produced a summary.
+///
+/// `Incoming` and `Tag` are the two summaries of the paper's Figure 1;
+/// `KSuffix(k)` is the A(k)-index adapted to trees (Kaushik et al., cited in
+/// paper §2.1): elements are equivalent iff the last `k` labels of their
+/// incoming paths agree. `KSuffix(1)` induces the same partition as `Tag`;
+/// as `k` grows it converges to `Incoming`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryKind {
+    /// Nodes partitioned by incoming label path (a refinement of `Tag`).
+    Incoming,
+    /// Nodes partitioned by tag only.
+    Tag,
+    /// Nodes partitioned by the k-suffix of the incoming label path.
+    KSuffix(u8),
+}
+
+/// One node of a summary tree.
+#[derive(Debug, Clone)]
+pub struct SummaryNode {
+    /// The (possibly alias-resolved) label of this node.
+    pub label: String,
+    /// Parent sid; `None` only for the virtual root.
+    pub parent: Option<Sid>,
+    /// Children in creation order.
+    pub children: Vec<Sid>,
+    /// Number of XML elements in this node's extent.
+    pub extent_size: u64,
+}
+
+/// A structural summary of a collection.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    kind: SummaryKind,
+    nodes: Vec<SummaryNode>,
+    /// (parent sid, label) → child sid, for O(1) insertion and descent.
+    child_index: HashMap<(Sid, String), Sid>,
+    /// label → sids carrying it (for tag summaries and for vague matching).
+    label_index: HashMap<String, Vec<Sid>>,
+    /// How many ancestor/descendant pairs were observed sharing an extent.
+    /// TReX only evaluates retrieval on nesting-free summaries ("no two XML
+    /// elements in the same extent where one encapsulates the other", §2.1);
+    /// the cursor counts violations so callers can check
+    /// [`Summary::is_nesting_free`].
+    nesting_violations: u64,
+}
+
+impl Summary {
+    /// Creates an empty summary of the given kind.
+    pub fn new(kind: SummaryKind) -> Summary {
+        Summary {
+            kind,
+            nodes: vec![SummaryNode {
+                label: String::new(),
+                parent: None,
+                children: Vec::new(),
+                extent_size: 0,
+            }],
+            child_index: HashMap::new(),
+            label_index: HashMap::new(),
+            nesting_violations: 0,
+        }
+    }
+
+    /// The partition criterion of this summary.
+    pub fn kind(&self) -> SummaryKind {
+        self.kind
+    }
+
+    /// Number of summary nodes, excluding the virtual root — the size figure
+    /// the paper reports ("the complete incoming summary … has 11563 nodes").
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Borrows a node.
+    pub fn node(&self, sid: Sid) -> &SummaryNode {
+        &self.nodes[sid as usize]
+    }
+
+    /// All sids excluding the virtual root.
+    pub fn sids(&self) -> impl Iterator<Item = Sid> + '_ {
+        1..self.nodes.len() as Sid
+    }
+
+    /// Finds or creates the child of `parent` for `label`; bumps nothing.
+    ///
+    /// For a `Tag` summary, every label lives directly under the root
+    /// regardless of `parent`, implementing the coarser partition. For a
+    /// `KSuffix` summary, use [`SummaryCursor::enter`], which knows the
+    /// label stack the suffix is computed from.
+    pub fn enter(&mut self, parent: Sid, label: &str) -> Sid {
+        let effective_parent = match self.kind {
+            SummaryKind::Incoming => parent,
+            SummaryKind::Tag => ROOT_SID,
+            SummaryKind::KSuffix(_) => parent, // cursor drives the trie walk
+        };
+        self.enter_child(effective_parent, label)
+    }
+
+    /// Raw find-or-create of a child node (no kind dispatch).
+    fn enter_child(&mut self, effective_parent: Sid, label: &str) -> Sid {
+        if let Some(&sid) = self.child_index.get(&(effective_parent, label.to_string())) {
+            return sid;
+        }
+        let sid = self.nodes.len() as Sid;
+        self.nodes.push(SummaryNode {
+            label: label.to_string(),
+            parent: Some(effective_parent),
+            children: Vec::new(),
+            extent_size: 0,
+        });
+        self.nodes[effective_parent as usize].children.push(sid);
+        self.child_index
+            .insert((effective_parent, label.to_string()), sid);
+        self.label_index
+            .entry(label.to_string())
+            .or_default()
+            .push(sid);
+        sid
+    }
+
+    /// Records one more element in `sid`'s extent.
+    pub fn record_element(&mut self, sid: Sid) {
+        self.nodes[sid as usize].extent_size += 1;
+    }
+
+    /// Looks up the child of `parent` labelled `label` without creating it.
+    pub fn child(&self, parent: Sid, label: &str) -> Option<Sid> {
+        let effective_parent = match self.kind {
+            SummaryKind::Incoming => parent,
+            SummaryKind::Tag => ROOT_SID,
+            SummaryKind::KSuffix(_) => parent,
+        };
+        self.child_index
+            .get(&(effective_parent, label.to_string()))
+            .copied()
+    }
+
+    /// Whether no two elements of any extent nest inside each other — the
+    /// precondition TReX places on summaries used for retrieval (§2.1).
+    /// `Incoming` summaries are nesting-free by construction; `Tag` and
+    /// small-k `KSuffix` summaries may not be.
+    pub fn is_nesting_free(&self) -> bool {
+        self.nesting_violations == 0
+    }
+
+    /// Number of nested same-extent element pairs observed during build.
+    pub fn nesting_violations(&self) -> u64 {
+        self.nesting_violations
+    }
+
+    pub(crate) fn record_nesting_violation(&mut self) {
+        self.nesting_violations += 1;
+    }
+
+    /// All sids whose label is `label`.
+    pub fn sids_with_label(&self, label: &str) -> &[Sid] {
+        self.label_index
+            .get(label)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All distinct labels in the summary, sorted.
+    pub fn labels(&self) -> Vec<&str> {
+        let mut labels: Vec<&str> = self.label_index.keys().map(String::as_str).collect();
+        labels.sort_unstable();
+        labels
+    }
+
+    /// The label path from the root to `sid` (e.g. `["books","journal","article"]`).
+    pub fn label_path(&self, sid: Sid) -> Vec<&str> {
+        let mut path = Vec::new();
+        let mut cur = Some(sid);
+        while let Some(s) = cur {
+            if s == ROOT_SID {
+                break;
+            }
+            let node = self.node(s);
+            path.push(node.label.as_str());
+            cur = node.parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The XPath expression describing `sid`'s extent — "TReX uses the
+    /// alias incoming summary where the extents are described using XPath
+    /// expressions" (paper §2.1). For an incoming summary this is the full
+    /// rooted path; for a tag summary a descendant step on the label.
+    pub fn extent_xpath(&self, sid: Sid) -> String {
+        match self.kind {
+            SummaryKind::Incoming => {
+                let mut out = String::new();
+                for label in self.label_path(sid) {
+                    out.push('/');
+                    out.push_str(label);
+                }
+                out
+            }
+            SummaryKind::Tag => format!("//{}", self.node(sid).label),
+            // The trie path of a k-suffix node is the suffix itself.
+            SummaryKind::KSuffix(_) => format!("//{}", self.label_path(sid).join("/")),
+        }
+    }
+
+    /// Total elements across all extents.
+    pub fn total_elements(&self) -> u64 {
+        self.nodes.iter().map(|n| n.extent_size).sum()
+    }
+
+    /// Distribution statistics over the non-empty extents: (count, min,
+    /// median, max). Reported by the `summaries` experiment — extent-size
+    /// skew is what makes one summary cheaper than another for ERA.
+    pub fn extent_stats(&self) -> Option<ExtentStats> {
+        let mut sizes: Vec<u64> = self
+            .nodes
+            .iter()
+            .skip(1)
+            .map(|n| n.extent_size)
+            .filter(|&n| n > 0)
+            .collect();
+        if sizes.is_empty() {
+            return None;
+        }
+        sizes.sort_unstable();
+        Some(ExtentStats {
+            extents: sizes.len(),
+            min: sizes[0],
+            median: sizes[sizes.len() / 2],
+            max: *sizes.last().expect("non-empty"),
+        })
+    }
+
+    /// Serialises to a compact binary blob (persisted in the store catalog).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self.kind {
+            SummaryKind::Incoming => out.push(0u8),
+            SummaryKind::Tag => out.push(1u8),
+            SummaryKind::KSuffix(k) => {
+                out.push(2u8);
+                out.push(k);
+            }
+        }
+        out.extend_from_slice(&self.nesting_violations.to_le_bytes());
+        out.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
+        for node in &self.nodes {
+            out.extend_from_slice(&(node.label.len() as u16).to_le_bytes());
+            out.extend_from_slice(node.label.as_bytes());
+            out.extend_from_slice(&node.parent.map(|p| p + 1).unwrap_or(0).to_le_bytes());
+            out.extend_from_slice(&node.extent_size.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Summary::encode`].
+    pub fn decode(bytes: &[u8]) -> Option<Summary> {
+        let mut off = 1usize;
+        let kind = match *bytes.first()? {
+            0 => SummaryKind::Incoming,
+            1 => SummaryKind::Tag,
+            2 => {
+                let k = *bytes.get(off)?;
+                off += 1;
+                SummaryKind::KSuffix(k)
+            }
+            _ => return None,
+        };
+        let nesting_violations = u64::from_le_bytes(bytes.get(off..off + 8)?.try_into().ok()?);
+        off += 8;
+        let count = u32::from_le_bytes(bytes.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        let mut summary = Summary::new(kind);
+        summary.nesting_violations = nesting_violations;
+        summary.nodes.clear();
+        for i in 0..count {
+            let label_len = u16::from_le_bytes(bytes.get(off..off + 2)?.try_into().ok()?) as usize;
+            off += 2;
+            let label = std::str::from_utf8(bytes.get(off..off + label_len)?)
+                .ok()?
+                .to_string();
+            off += label_len;
+            let parent_raw = u32::from_le_bytes(bytes.get(off..off + 4)?.try_into().ok()?);
+            off += 4;
+            let extent_size = u64::from_le_bytes(bytes.get(off..off + 8)?.try_into().ok()?);
+            off += 8;
+            let parent = if parent_raw == 0 {
+                None
+            } else {
+                Some(parent_raw - 1)
+            };
+            let sid = i as Sid;
+            if let Some(p) = parent {
+                if p as usize >= summary.nodes.len() {
+                    return None; // parents must precede children
+                }
+                summary.nodes[p as usize].children.push(sid);
+                summary.child_index.insert((p, label.clone()), sid);
+                summary.label_index.entry(label.clone()).or_default().push(sid);
+            }
+            summary.nodes.push(SummaryNode {
+                label,
+                parent,
+                children: Vec::new(),
+                extent_size,
+            });
+        }
+        if summary.nodes.is_empty() {
+            return None;
+        }
+        Some(summary)
+    }
+}
+
+/// Distribution of non-empty extent sizes (see [`Summary::extent_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtentStats {
+    /// Number of non-empty extents.
+    pub extents: usize,
+    /// Smallest extent.
+    pub min: u64,
+    /// Median extent.
+    pub median: u64,
+    /// Largest extent.
+    pub max: u64,
+}
+
+/// Incremental descent through a summary while walking a document: mirrors
+/// the element open/close events of a parse, yielding the sid of each
+/// element. Used both by the builder and by the index builder.
+pub struct SummaryCursor {
+    stack: Vec<Sid>,
+    /// The (alias-resolved) labels of the open elements — the k-suffix
+    /// partitions are computed from this.
+    labels: Vec<String>,
+}
+
+impl SummaryCursor {
+    /// A cursor positioned at the virtual root.
+    pub fn new() -> SummaryCursor {
+        SummaryCursor {
+            stack: vec![ROOT_SID],
+            labels: Vec::new(),
+        }
+    }
+
+    /// Descends into an element with (alias-resolved) `label`, creating the
+    /// summary node if needed; returns its sid. Also detects nested
+    /// same-extent elements (recorded on the summary).
+    pub fn enter(&mut self, summary: &mut Summary, label: &str) -> Sid {
+        self.labels.push(label.to_string());
+        let sid = match summary.kind() {
+            SummaryKind::Incoming | SummaryKind::Tag => {
+                let parent = *self.stack.last().expect("stack never empty");
+                summary.enter(parent, label)
+            }
+            SummaryKind::KSuffix(k) => {
+                // Walk/create the trie along the k-suffix, oldest label first.
+                let start = self.labels.len().saturating_sub(k.max(1) as usize);
+                let suffix: Vec<String> = self.labels[start..].to_vec();
+                let mut cur = ROOT_SID;
+                for step in &suffix {
+                    cur = summary.enter_child(cur, step);
+                }
+                cur
+            }
+        };
+        // Nesting check: an ancestor with the same sid means two elements of
+        // one extent encapsulate each other.
+        if self.stack.contains(&sid) {
+            summary.record_nesting_violation();
+        }
+        self.stack.push(sid);
+        sid
+    }
+
+    /// Descends without creating nodes; `None` if the path is unknown.
+    pub fn enter_existing(&mut self, summary: &Summary, label: &str) -> Option<Sid> {
+        match summary.kind() {
+            SummaryKind::Incoming | SummaryKind::Tag => {
+                let parent = *self.stack.last().expect("stack never empty");
+                let sid = summary.child(parent, label)?;
+                self.labels.push(label.to_string());
+                self.stack.push(sid);
+                Some(sid)
+            }
+            SummaryKind::KSuffix(k) => {
+                let mut probe: Vec<&str> =
+                    self.labels.iter().map(String::as_str).collect();
+                probe.push(label);
+                let start = probe.len().saturating_sub(k.max(1) as usize);
+                let mut cur = ROOT_SID;
+                for step in &probe[start..] {
+                    cur = summary.child(cur, step)?;
+                }
+                self.labels.push(label.to_string());
+                self.stack.push(cur);
+                Some(cur)
+            }
+        }
+    }
+
+    /// Ascends one level.
+    pub fn leave(&mut self) {
+        debug_assert!(self.stack.len() > 1, "leave without matching enter");
+        self.stack.pop();
+        self.labels.pop();
+    }
+
+    /// Current depth (0 at the virtual root).
+    pub fn depth(&self) -> usize {
+        self.stack.len() - 1
+    }
+}
+
+impl Default for SummaryCursor {
+    fn default() -> Self {
+        SummaryCursor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_sample(kind: SummaryKind) -> Summary {
+        // books/journal/article/{fm,bdy/sec,bdy/sec}  x2 documents
+        let mut s = Summary::new(kind);
+        for _ in 0..2 {
+            let mut c = SummaryCursor::new();
+            let books = c.enter(&mut s, "books");
+            s.record_element(books);
+            let journal = c.enter(&mut s, "journal");
+            s.record_element(journal);
+            let article = c.enter(&mut s, "article");
+            s.record_element(article);
+            let fm = c.enter(&mut s, "fm");
+            s.record_element(fm);
+            c.leave();
+            let bdy = c.enter(&mut s, "bdy");
+            s.record_element(bdy);
+            for _ in 0..2 {
+                let sec = c.enter(&mut s, "sec");
+                s.record_element(sec);
+                c.leave();
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn incoming_summary_partitions_by_path() {
+        let s = build_sample(SummaryKind::Incoming);
+        // books, journal, article, fm, bdy, sec — one node each.
+        assert_eq!(s.node_count(), 6);
+        let sec_sids = s.sids_with_label("sec");
+        assert_eq!(sec_sids.len(), 1);
+        assert_eq!(s.node(sec_sids[0]).extent_size, 4);
+        assert_eq!(
+            s.label_path(sec_sids[0]),
+            vec!["books", "journal", "article", "bdy", "sec"]
+        );
+    }
+
+    #[test]
+    fn tag_summary_is_coarser() {
+        let s = build_sample(SummaryKind::Tag);
+        assert_eq!(s.node_count(), 6);
+        // All tag-summary nodes hang off the root.
+        for sid in 1..=6 {
+            assert_eq!(s.node(sid).parent, Some(ROOT_SID));
+        }
+    }
+
+    #[test]
+    fn incoming_refines_tag_when_paths_differ() {
+        // sec appears under bdy and under app — two incoming nodes, one tag node.
+        let mut inc = Summary::new(SummaryKind::Incoming);
+        let mut tag = Summary::new(SummaryKind::Tag);
+        for s in [&mut inc, &mut tag] {
+            let mut c = SummaryCursor::new();
+            c.enter(s, "article");
+            c.enter(s, "bdy");
+            c.enter(s, "sec");
+            c.leave();
+            c.leave();
+            c.enter(s, "app");
+            c.enter(s, "sec");
+        }
+        assert_eq!(inc.sids_with_label("sec").len(), 2);
+        assert_eq!(tag.sids_with_label("sec").len(), 1);
+        assert!(inc.node_count() > tag.node_count());
+    }
+
+    #[test]
+    fn cursor_enter_existing_fails_on_unknown_paths() {
+        let s = build_sample(SummaryKind::Incoming);
+        let mut c = SummaryCursor::new();
+        assert!(c.enter_existing(&s, "books").is_some());
+        assert!(c.enter_existing(&s, "nonexistent").is_none());
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = build_sample(SummaryKind::Incoming);
+        let back = Summary::decode(&s.encode()).unwrap();
+        assert_eq!(back.node_count(), s.node_count());
+        assert_eq!(back.kind(), s.kind());
+        for sid in 1..=s.node_count() as Sid {
+            assert_eq!(back.node(sid).label, s.node(sid).label);
+            assert_eq!(back.node(sid).parent, s.node(sid).parent);
+            assert_eq!(back.node(sid).extent_size, s.node(sid).extent_size);
+        }
+        assert_eq!(back.sids_with_label("sec"), s.sids_with_label("sec"));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Summary::decode(&[]).is_none());
+        assert!(Summary::decode(&[9, 0, 0, 0, 0]).is_none());
+        let good = build_sample(SummaryKind::Tag).encode();
+        assert!(Summary::decode(&good[..good.len() - 3]).is_none());
+    }
+
+    #[test]
+    fn total_elements_sums_extents() {
+        let s = build_sample(SummaryKind::Incoming);
+        // 2 docs × (books, journal, article, fm, bdy, 2×sec) = 14
+        assert_eq!(s.total_elements(), 14);
+    }
+}
+// (extent_xpath tests live here to keep them next to the other tree tests)
+#[cfg(test)]
+mod xpath_tests {
+    use super::*;
+
+    #[test]
+    fn incoming_extents_are_rooted_paths() {
+        let mut s = Summary::new(SummaryKind::Incoming);
+        let mut c = SummaryCursor::new();
+        let a = c.enter(&mut s, "article");
+        let b = c.enter(&mut s, "bdy");
+        let sec = c.enter(&mut s, "sec");
+        assert_eq!(s.extent_xpath(a), "/article");
+        assert_eq!(s.extent_xpath(b), "/article/bdy");
+        assert_eq!(s.extent_xpath(sec), "/article/bdy/sec");
+    }
+
+    #[test]
+    fn tag_extents_are_descendant_steps() {
+        let mut s = Summary::new(SummaryKind::Tag);
+        let mut c = SummaryCursor::new();
+        c.enter(&mut s, "article");
+        let sec = c.enter(&mut s, "sec");
+        assert_eq!(s.extent_xpath(sec), "//sec");
+    }
+
+    #[test]
+    fn extent_xpath_reparses_to_the_same_extent() {
+        // The printed XPath, parsed as a PathPattern, matches exactly the
+        // sid it describes (on incoming summaries).
+        let mut s = Summary::new(SummaryKind::Incoming);
+        let mut c = SummaryCursor::new();
+        c.enter(&mut s, "a");
+        c.enter(&mut s, "b");
+        c.leave();
+        c.enter(&mut s, "c");
+        for sid in 1..=s.node_count() as Sid {
+            let xpath = s.extent_xpath(sid);
+            let pattern = crate::path::PathPattern::parse(&xpath).unwrap();
+            assert_eq!(pattern.match_summary(&s), vec![sid], "{xpath}");
+        }
+    }
+}

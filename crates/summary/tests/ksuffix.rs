@@ -1,0 +1,212 @@
+//! Tests and properties of the k-suffix (A(k)-style) summary family.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+use trex_summary::{AliasMap, Summary, SummaryBuilder, SummaryKind};
+use trex_xml::{Document, NodeKind};
+
+fn build(kind: SummaryKind, docs: &[&str]) -> Summary {
+    let mut b = SummaryBuilder::new(kind, AliasMap::identity());
+    for d in docs {
+        b.add_document(&Document::parse(d).unwrap());
+    }
+    b.finish().0
+}
+
+/// Naive k-suffix partition: map each element's path suffix to its count.
+fn naive_partition(docs: &[&str], k: usize) -> HashMap<Vec<String>, u64> {
+    let mut out: HashMap<Vec<String>, u64> = HashMap::new();
+    for d in docs {
+        let doc = Document::parse(d).unwrap();
+        for id in doc.descendants(doc.root()) {
+            if let NodeKind::Element { .. } = doc.node(id).kind {
+                let mut path: Vec<String> = doc
+                    .ancestors(id)
+                    .filter_map(|a| doc.name(a).map(str::to_string))
+                    .collect();
+                path.reverse();
+                path.push(doc.name(id).unwrap().to_string());
+                let start = path.len().saturating_sub(k);
+                *out.entry(path[start..].to_vec()).or_default() += 1;
+            }
+        }
+    }
+    out
+}
+
+const DOCS: &[&str] = &[
+    "<article><bdy><sec><p>x</p></sec><sec><p>y</p><fig><p>z</p></fig></sec></bdy></article>",
+    "<article><bm><app><sec><p>w</p></sec></app></bm></article>",
+];
+
+#[test]
+fn ksuffix_partitions_by_suffix() {
+    let s = build(SummaryKind::KSuffix(2), DOCS);
+    let naive = naive_partition(DOCS, 2);
+    // Every naive class appears with the right extent size.
+    for (suffix, count) in &naive {
+        let xpath = format!("//{}", suffix.join("/"));
+        let found = (1..=s.node_count() as u32)
+            .find(|&sid| s.extent_xpath(sid) == xpath)
+            .unwrap_or_else(|| panic!("missing class {xpath}"));
+        assert_eq!(s.node(found).extent_size, *count, "{xpath}");
+    }
+    // sec/p appears under bdy/sec and app/sec: with k=2 they collapse.
+    let sec_p = (1..=s.node_count() as u32)
+        .find(|&sid| s.extent_xpath(sid) == "//sec/p")
+        .unwrap();
+    assert_eq!(s.node(sec_p).extent_size, 3);
+}
+
+#[test]
+fn ksuffix_1_matches_the_tag_partition() {
+    let tag = build(SummaryKind::Tag, DOCS);
+    let k1 = build(SummaryKind::KSuffix(1), DOCS);
+    for label in tag.labels() {
+        let tag_extent = tag.node(tag.sids_with_label(label)[0]).extent_size;
+        let k1_extent: u64 = k1
+            .sids_with_label(label)
+            .iter()
+            .map(|&sid| k1.node(sid).extent_size)
+            .sum();
+        assert_eq!(tag_extent, k1_extent, "label {label}");
+    }
+}
+
+#[test]
+fn large_k_matches_the_incoming_partition() {
+    let incoming = build(SummaryKind::Incoming, DOCS);
+    let k_big = build(SummaryKind::KSuffix(50), DOCS);
+    // Same multiset of (non-empty) extent sizes.
+    let sizes = |s: &Summary| {
+        let mut v: Vec<u64> = (1..=s.node_count() as u32)
+            .map(|sid| s.node(sid).extent_size)
+            .filter(|&n| n > 0)
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(sizes(&incoming), sizes(&k_big));
+}
+
+#[test]
+fn nesting_violations_are_detected() {
+    // sec directly inside sec: the Tag and k=1 partitions nest.
+    let docs = &["<a><sec><sec>inner</sec></sec></a>"];
+    let tag = build(SummaryKind::Tag, docs);
+    assert!(!tag.is_nesting_free());
+    assert_eq!(tag.nesting_violations(), 1);
+    let k1 = build(SummaryKind::KSuffix(1), docs);
+    assert!(!k1.is_nesting_free());
+    // With k=2 the inner sec has suffix sec/sec — distinct class, no nesting.
+    let k2 = build(SummaryKind::KSuffix(2), docs);
+    assert!(k2.is_nesting_free());
+    // The incoming summary is always nesting-free.
+    let inc = build(SummaryKind::Incoming, docs);
+    assert!(inc.is_nesting_free());
+}
+
+#[test]
+fn nesting_flag_survives_serialisation() {
+    let docs = &["<a><sec><sec>inner</sec></sec></a>"];
+    let tag = build(SummaryKind::Tag, docs);
+    let back = Summary::decode(&tag.encode()).unwrap();
+    assert_eq!(back.nesting_violations(), tag.nesting_violations());
+    assert_eq!(back.kind(), SummaryKind::Tag);
+    let k3 = build(SummaryKind::KSuffix(3), docs);
+    let back = Summary::decode(&k3.encode()).unwrap();
+    assert_eq!(back.kind(), SummaryKind::KSuffix(3));
+}
+
+fn doc_strategy() -> impl Strategy<Value = String> {
+    let tag = proptest::sample::select(vec!["a", "b", "sec"]);
+    let leaf = tag.clone().prop_map(|t| format!("<{t}>x</{t}>"));
+    leaf.prop_recursive(4, 24, 3, move |inner| {
+        (
+            proptest::sample::select(vec!["a", "b", "sec"]),
+            proptest::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(t, kids)| format!("<{t}>{}</{t}>", kids.concat()))
+    })
+    .prop_map(|body| format!("<root>{body}</root>"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The k-suffix partition always matches the naive recomputation, and
+    /// the partitions refine monotonically in k.
+    #[test]
+    fn prop_ksuffix_matches_naive(docs in proptest::collection::vec(doc_strategy(), 1..3), k in 1u8..5) {
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let s = build(SummaryKind::KSuffix(k), &refs);
+        let naive = naive_partition(&refs, k as usize);
+        let total_naive: u64 = naive.values().sum();
+        prop_assert_eq!(s.total_elements(), total_naive);
+        // Class count: summary nodes with non-empty extents equal naive classes.
+        let nonempty = (1..=s.node_count() as u32)
+            .filter(|&sid| s.node(sid).extent_size > 0)
+            .count();
+        prop_assert_eq!(nonempty, naive.len());
+        // Each class's size matches.
+        let by_xpath: HashMap<String, u64> = (1..=s.node_count() as u32)
+            .map(|sid| (s.extent_xpath(sid), s.node(sid).extent_size))
+            .collect();
+        for (suffix, count) in naive {
+            let xpath = format!("//{}", suffix.join("/"));
+            prop_assert_eq!(by_xpath.get(&xpath).copied(), Some(count), "{}", xpath);
+        }
+    }
+
+    /// More context can only split classes: #classes(k) ≤ #classes(k+1),
+    /// bounded by the incoming partition.
+    #[test]
+    fn prop_ksuffix_refines_in_k(docs in proptest::collection::vec(doc_strategy(), 1..3)) {
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let classes = |kind: SummaryKind| {
+            let s = build(kind, &refs);
+            (1..=s.node_count() as u32)
+                .filter(|&sid| s.node(sid).extent_size > 0)
+                .count()
+        };
+        let incoming = classes(SummaryKind::Incoming);
+        let mut prev = 0usize;
+        for k in 1..6u8 {
+            let n = classes(SummaryKind::KSuffix(k));
+            prop_assert!(n >= prev, "k={k}: {n} < {prev}");
+            prop_assert!(n <= incoming);
+            prev = n;
+        }
+    }
+
+    /// Distinct naive suffixes never share a sid (injectivity of the trie).
+    #[test]
+    fn prop_distinct_suffixes_get_distinct_sids(docs in proptest::collection::vec(doc_strategy(), 1..3), k in 1u8..4) {
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let s = build(SummaryKind::KSuffix(k), &refs);
+        let xpaths: Vec<String> = (1..=s.node_count() as u32).map(|sid| s.extent_xpath(sid)).collect();
+        let distinct: HashSet<&String> = xpaths.iter().collect();
+        prop_assert_eq!(distinct.len(), xpaths.len());
+    }
+}
+
+#[test]
+fn extent_stats_reflect_the_partition_granularity() {
+    let inc = build(SummaryKind::Incoming, DOCS);
+    let tag = build(SummaryKind::Tag, DOCS);
+    let inc_stats = inc.extent_stats().unwrap();
+    let tag_stats = tag.extent_stats().unwrap();
+    // Coarser partitions have fewer but larger extents.
+    assert!(tag_stats.extents <= inc_stats.extents);
+    assert!(tag_stats.max >= inc_stats.max);
+    assert_eq!(
+        inc.total_elements(),
+        tag.total_elements(),
+        "same elements, different partitions"
+    );
+    assert!(inc_stats.min >= 1);
+    assert!(inc_stats.min <= inc_stats.median && inc_stats.median <= inc_stats.max);
+    // Empty summary has no stats.
+    assert!(Summary::new(SummaryKind::Incoming).extent_stats().is_none());
+}

@@ -1,0 +1,151 @@
+//! Property tests on structural summaries: the incoming summary partitions
+//! elements exactly by root-to-element label path, the tag summary by
+//! label, and the incoming summary always refines the tag summary.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+use trex_summary::{AliasMap, PathPattern, SummaryBuilder, SummaryKind};
+use trex_xml::{Document, NodeKind};
+
+/// Random small documents over a fixed tag alphabet.
+fn doc_strategy() -> impl Strategy<Value = String> {
+    let tag = proptest::sample::select(vec!["a", "b", "c", "sec"]);
+    let leaf = tag.clone().prop_map(|t| format!("<{t}>x</{t}>"));
+    leaf.prop_recursive(4, 32, 4, move |inner| {
+        (
+            proptest::sample::select(vec!["a", "b", "c", "sec"]),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(t, kids)| format!("<{t}>{}</{t}>", kids.concat()))
+    })
+    // Wrap in a common root so heterogeneous fragments coexist.
+    .prop_map(|body| format!("<root>{body}</root>"))
+}
+
+/// Naive computation of every element's label path.
+fn label_paths(doc: &Document) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for id in doc.descendants(doc.root()) {
+        if let NodeKind::Element { .. } = doc.node(id).kind {
+            let mut path: Vec<String> = doc
+                .ancestors(id)
+                .filter_map(|a| doc.name(a).map(str::to_string))
+                .collect();
+            path.reverse();
+            path.push(doc.name(id).unwrap().to_string());
+            out.push(path);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_incoming_nodes_equal_distinct_label_paths(docs in proptest::collection::vec(doc_strategy(), 1..4)) {
+        let parsed: Vec<Document> = docs.iter().map(|d| Document::parse(d).unwrap()).collect();
+        let mut builder = SummaryBuilder::new(SummaryKind::Incoming, AliasMap::identity());
+        let mut distinct: HashSet<Vec<String>> = HashSet::new();
+        let mut total_elements = 0u64;
+        for doc in &parsed {
+            builder.add_document(doc);
+            for path in label_paths(doc) {
+                distinct.insert(path);
+                total_elements += 1;
+            }
+        }
+        let (summary, _) = builder.finish();
+        prop_assert_eq!(summary.node_count(), distinct.len());
+        prop_assert_eq!(summary.total_elements(), total_elements);
+        // Each summary node's label path is one of the distinct paths.
+        for sid in 1..=summary.node_count() as u32 {
+            let path: Vec<String> = summary.label_path(sid).iter().map(|s| s.to_string()).collect();
+            prop_assert!(distinct.contains(&path));
+        }
+    }
+
+    #[test]
+    fn prop_tag_summary_counts_labels(docs in proptest::collection::vec(doc_strategy(), 1..4)) {
+        let parsed: Vec<Document> = docs.iter().map(|d| Document::parse(d).unwrap()).collect();
+        let mut builder = SummaryBuilder::new(SummaryKind::Tag, AliasMap::identity());
+        let mut per_label: HashMap<String, u64> = HashMap::new();
+        for doc in &parsed {
+            builder.add_document(doc);
+            for path in label_paths(doc) {
+                *per_label.entry(path.last().unwrap().clone()).or_default() += 1;
+            }
+        }
+        let (summary, _) = builder.finish();
+        prop_assert_eq!(summary.node_count(), per_label.len());
+        for (label, count) in per_label {
+            let sids = summary.sids_with_label(&label);
+            prop_assert_eq!(sids.len(), 1);
+            prop_assert_eq!(summary.node(sids[0]).extent_size, count);
+        }
+    }
+
+    /// The incoming summary refines the tag summary: the extents of all
+    /// incoming nodes with label L sum to the tag node of L.
+    #[test]
+    fn prop_incoming_refines_tag(docs in proptest::collection::vec(doc_strategy(), 1..4)) {
+        let parsed: Vec<Document> = docs.iter().map(|d| Document::parse(d).unwrap()).collect();
+        let mut inc = SummaryBuilder::new(SummaryKind::Incoming, AliasMap::identity());
+        let mut tag = SummaryBuilder::new(SummaryKind::Tag, AliasMap::identity());
+        for doc in &parsed {
+            inc.add_document(doc);
+            tag.add_document(doc);
+        }
+        let (inc, _) = inc.finish();
+        let (tag, _) = tag.finish();
+        prop_assert!(inc.node_count() >= tag.node_count());
+        for label in tag.labels() {
+            let tag_total = tag.node(tag.sids_with_label(label)[0]).extent_size;
+            let inc_total: u64 = inc
+                .sids_with_label(label)
+                .iter()
+                .map(|&s| inc.node(s).extent_size)
+                .sum();
+            prop_assert_eq!(tag_total, inc_total, "label {}", label);
+        }
+    }
+
+    /// `//label` on the incoming summary finds exactly the sids carrying
+    /// that label.
+    #[test]
+    fn prop_descendant_pattern_matches_label_index(docs in proptest::collection::vec(doc_strategy(), 1..3)) {
+        let parsed: Vec<Document> = docs.iter().map(|d| Document::parse(d).unwrap()).collect();
+        let mut builder = SummaryBuilder::new(SummaryKind::Incoming, AliasMap::identity());
+        for doc in &parsed {
+            builder.add_document(doc);
+        }
+        let (summary, _) = builder.finish();
+        for label in summary.labels() {
+            let pattern = PathPattern::parse(&format!("//{label}")).unwrap();
+            let mut matched = pattern.match_summary(&summary);
+            matched.sort_unstable();
+            let mut expected = summary.sids_with_label(label).to_vec();
+            expected.sort_unstable();
+            prop_assert_eq!(matched, expected, "label {}", label);
+        }
+    }
+
+    /// Encode/decode round-trips on random summaries.
+    #[test]
+    fn prop_summary_codec_round_trip(docs in proptest::collection::vec(doc_strategy(), 1..3)) {
+        let parsed: Vec<Document> = docs.iter().map(|d| Document::parse(d).unwrap()).collect();
+        let mut builder = SummaryBuilder::new(SummaryKind::Incoming, AliasMap::identity());
+        for doc in &parsed {
+            builder.add_document(doc);
+        }
+        let (summary, _) = builder.finish();
+        let decoded = trex_summary::Summary::decode(&summary.encode()).unwrap();
+        prop_assert_eq!(decoded.node_count(), summary.node_count());
+        for sid in 1..=summary.node_count() as u32 {
+            prop_assert_eq!(&decoded.node(sid).label, &summary.node(sid).label);
+            prop_assert_eq!(decoded.node(sid).extent_size, summary.node(sid).extent_size);
+            prop_assert_eq!(decoded.label_path(sid), summary.label_path(sid));
+        }
+    }
+}

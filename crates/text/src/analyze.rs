@@ -1,0 +1,109 @@
+//! The analysis pipeline: tokenize → stopword filter → Porter stem.
+//!
+//! Positions are assigned to *every* token, including stopwords that are
+//! subsequently dropped — element spans are measured in raw token offsets,
+//! so dropping a stopword must not shift the positions of later terms.
+
+use crate::porter::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::{normalize_keyword, tokenize_from, Token};
+
+/// Configuration of the analysis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Analyzer {
+    /// Drop stopwords (they still consume positions).
+    pub remove_stopwords: bool,
+    /// Apply the Porter stemmer to surviving tokens.
+    pub stem: bool,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer {
+            remove_stopwords: true,
+            stem: true,
+        }
+    }
+}
+
+impl Analyzer {
+    /// Analyzer that indexes every token verbatim.
+    pub fn verbatim() -> Analyzer {
+        Analyzer {
+            remove_stopwords: false,
+            stem: false,
+        }
+    }
+
+    /// Analyses `text`, assigning positions from `next_position`; returns the
+    /// surviving terms and the next free position (which accounts for *all*
+    /// tokens, dropped or not).
+    pub fn analyze_from(&self, text: &str, next_position: u32) -> (Vec<Token>, u32) {
+        let (raw, next) = tokenize_from(text, next_position);
+        let mut out = Vec::with_capacity(raw.len());
+        for token in raw {
+            if self.remove_stopwords && is_stopword(&token.text) {
+                continue;
+            }
+            let text = if self.stem { stem(&token.text) } else { token.text };
+            out.push(Token {
+                text,
+                position: token.position,
+            });
+        }
+        (out, next)
+    }
+
+    /// Analyses a single query keyword into its index form. Returns `None`
+    /// for stopwords (when filtering) and for non-word input.
+    pub fn analyze_keyword(&self, word: &str) -> Option<String> {
+        let normalized = normalize_keyword(word)?;
+        if self.remove_stopwords && is_stopword(&normalized) {
+            return None;
+        }
+        Some(if self.stem { stem(&normalized) } else { normalized })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwords_are_dropped_but_consume_positions() {
+        let a = Analyzer::default();
+        let (tokens, next) = a.analyze_from("the query evaluation of XML", 0);
+        let got: Vec<(String, u32)> = tokens.into_iter().map(|t| (t.text, t.position)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("queri".to_string(), 1),
+                ("evalu".to_string(), 2),
+                ("xml".to_string(), 4),
+            ]
+        );
+        assert_eq!(next, 5);
+    }
+
+    #[test]
+    fn verbatim_keeps_everything() {
+        let a = Analyzer::verbatim();
+        let (tokens, _) = a.analyze_from("The Query", 0);
+        let got: Vec<String> = tokens.into_iter().map(|t| t.text).collect();
+        assert_eq!(got, vec!["the", "query"]);
+    }
+
+    #[test]
+    fn keyword_analysis_matches_document_analysis() {
+        let a = Analyzer::default();
+        let (doc_tokens, _) = a.analyze_from("ontologies", 0);
+        assert_eq!(a.analyze_keyword("Ontologies").unwrap(), doc_tokens[0].text);
+    }
+
+    #[test]
+    fn keyword_stopwords_vanish() {
+        let a = Analyzer::default();
+        assert_eq!(a.analyze_keyword("the"), None);
+        assert_eq!(a.analyze_keyword("%%%"), None);
+    }
+}

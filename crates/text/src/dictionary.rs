@@ -1,0 +1,138 @@
+//! Term dictionary: interns term strings to dense `TermId`s.
+//!
+//! All index tables key on `TermId` (the `token` field of the paper's table
+//! schemas) rather than raw strings, keeping keys short and fixed-width.
+
+use std::collections::HashMap;
+
+/// Dense identifier of an interned term.
+pub type TermId = u32;
+
+/// A bidirectional term ↔ id map with a compact binary serialisation.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<String>,
+    ids: HashMap<String, TermId>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Interns `term`, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.terms.push(term.to_string());
+        self.ids.insert(term.to_string(), id);
+        id
+    }
+
+    /// Id of `term` if it has been interned.
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// The term string for `id`.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TermId, t.as_str()))
+    }
+
+    /// Serialises to a length-prefixed binary form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.terms.len() as u32).to_le_bytes());
+        for term in &self.terms {
+            out.extend_from_slice(&(term.len() as u16).to_le_bytes());
+            out.extend_from_slice(term.as_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Dictionary::encode`].
+    pub fn decode(bytes: &[u8]) -> Option<Dictionary> {
+        let count = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+        let mut dict = Dictionary::new();
+        let mut off = 4usize;
+        for _ in 0..count {
+            let len = u16::from_le_bytes(bytes.get(off..off + 2)?.try_into().ok()?) as usize;
+            off += 2;
+            let term = std::str::from_utf8(bytes.get(off..off + len)?).ok()?;
+            off += len;
+            dict.intern(term);
+        }
+        Some(dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.intern("xml");
+        let b = d.intern("query");
+        let a2 = d.intern("xml");
+        assert_eq!(a, a2);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_reverse_lookup() {
+        let mut d = Dictionary::new();
+        let id = d.intern("retrieval");
+        assert_eq!(d.lookup("retrieval"), Some(id));
+        assert_eq!(d.lookup("missing"), None);
+        assert_eq!(d.term(id), Some("retrieval"));
+        assert_eq!(d.term(999), None);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut d = Dictionary::new();
+        for t in ["xml", "query", "evaluation", "ünïcode"] {
+            d.intern(t);
+        }
+        let bytes = d.encode();
+        let back = Dictionary::decode(&bytes).unwrap();
+        assert_eq!(back.len(), d.len());
+        for (id, term) in d.iter() {
+            assert_eq!(back.term(id), Some(term));
+            assert_eq!(back.lookup(term), Some(id));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut d = Dictionary::new();
+        d.intern("term");
+        let bytes = d.encode();
+        assert!(Dictionary::decode(&bytes[..bytes.len() - 1]).is_none());
+        assert!(Dictionary::decode(&[1, 2]).is_none());
+    }
+}

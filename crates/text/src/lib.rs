@@ -1,0 +1,30 @@
+//! # trex-text
+//!
+//! IR text substrate for TReX: tokenisation with positions ([`mod@tokenize`]),
+//! the analysis pipeline ([`analyze`]), a stopword list ([`stopwords`]), the
+//! Porter stemmer ([`porter`]), a term dictionary ([`dictionary`]) and the
+//! BM25-style content scoring model ([`scoring`]).
+//!
+//! ```
+//! use trex_text::Analyzer;
+//!
+//! let analyzer = Analyzer::default();
+//! let (terms, next) = analyzer.analyze_from("the evaluation of XML queries", 0);
+//! let words: Vec<&str> = terms.iter().map(|t| t.text.as_str()).collect();
+//! assert_eq!(words, ["evalu", "xml", "queri"]);
+//! assert_eq!(next, 5); // stopwords still consume positions
+//! ```
+
+pub mod analyze;
+pub mod dictionary;
+pub mod porter;
+pub mod scoring;
+pub mod stopwords;
+pub mod tokenize;
+
+pub use analyze::Analyzer;
+pub use dictionary::{Dictionary, TermId};
+pub use porter::stem;
+pub use scoring::{combine, score, CollectionStats, ScoringParams};
+pub use stopwords::is_stopword;
+pub use tokenize::{tokenize, tokenize_from, Token};

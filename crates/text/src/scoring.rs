@@ -1,0 +1,161 @@
+//! Content scoring for (element, term) pairs.
+//!
+//! TReX stores a precomputed relevance score in every RPL/ERPL entry (the
+//! `ir` field of the paper's schemas). The paper delegates the score model to
+//! "well-established IR techniques" (§1) and borrows its TA implementation
+//! from TopX, whose model is a BM25 variant adapted to elements; we implement
+//! that: term frequency saturation plus element-length normalisation, with a
+//! document-level idf.
+//!
+//! The only property the retrieval algorithms rely on is that scores are
+//! non-negative and combine monotonically (TA's threshold bound); any model
+//! with those properties yields the same algorithmic behaviour.
+
+/// BM25 parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoringParams {
+    /// Term-frequency saturation (BM25 `k1`).
+    pub k1: f32,
+    /// Length-normalisation strength (BM25 `b`).
+    pub b: f32,
+}
+
+impl Default for ScoringParams {
+    fn default() -> Self {
+        ScoringParams { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Collection-level statistics gathered by the index builder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionStats {
+    /// Number of documents in the collection.
+    pub doc_count: u32,
+    /// Number of indexed elements.
+    pub element_count: u64,
+    /// Mean element length in tokens.
+    pub avg_element_len: f32,
+}
+
+impl CollectionStats {
+    /// Inverse document frequency of a term with document frequency `df`.
+    ///
+    /// The `+1` inside the logarithm keeps idf positive even for terms in
+    /// more than half the documents, which TA requires (scores must be
+    /// non-negative for the threshold to be an upper bound).
+    pub fn idf(&self, df: u32) -> f32 {
+        let n = self.doc_count as f32;
+        let df = df.min(self.doc_count) as f32;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+}
+
+/// Scores one (element, term) pair.
+///
+/// * `tf` — occurrences of the term within the element's span;
+/// * `df` — documents containing the term;
+/// * `element_len` — element length in tokens.
+pub fn score(
+    params: &ScoringParams,
+    stats: &CollectionStats,
+    tf: u32,
+    df: u32,
+    element_len: u32,
+) -> f32 {
+    if tf == 0 {
+        return 0.0;
+    }
+    let tf = tf as f32;
+    let len_norm = 1.0 - params.b
+        + params.b * (element_len as f32 / stats.avg_element_len.max(f32::EPSILON));
+    let tf_part = tf / (tf + params.k1 * len_norm);
+    tf_part * stats.idf(df)
+}
+
+/// Combines per-term scores of one element into its aggregate score.
+///
+/// TReX "combines the scores from the iterators" (§3.3, §3.4) with summation,
+/// the standard monotone aggregate for TA.
+pub fn combine(scores: &[f32]) -> f32 {
+    scores.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> CollectionStats {
+        CollectionStats {
+            doc_count: 1000,
+            element_count: 50_000,
+            avg_element_len: 120.0,
+        }
+    }
+
+    #[test]
+    fn zero_tf_scores_zero() {
+        assert_eq!(score(&ScoringParams::default(), &stats(), 0, 10, 100), 0.0);
+    }
+
+    #[test]
+    fn score_increases_with_tf() {
+        let p = ScoringParams::default();
+        let s = stats();
+        let s1 = score(&p, &s, 1, 10, 100);
+        let s2 = score(&p, &s, 2, 10, 100);
+        let s8 = score(&p, &s, 8, 10, 100);
+        assert!(s1 < s2 && s2 < s8);
+    }
+
+    #[test]
+    fn score_saturates_in_tf() {
+        let p = ScoringParams::default();
+        let s = stats();
+        let gain_low = score(&p, &s, 2, 10, 100) - score(&p, &s, 1, 10, 100);
+        let gain_high = score(&p, &s, 20, 10, 100) - score(&p, &s, 19, 10, 100);
+        assert!(gain_high < gain_low);
+    }
+
+    #[test]
+    fn rare_terms_score_higher() {
+        let p = ScoringParams::default();
+        let s = stats();
+        assert!(score(&p, &s, 3, 5, 100) > score(&p, &s, 3, 500, 100));
+    }
+
+    #[test]
+    fn longer_elements_are_penalised() {
+        let p = ScoringParams::default();
+        let s = stats();
+        assert!(score(&p, &s, 3, 50, 40) > score(&p, &s, 3, 50, 400));
+    }
+
+    #[test]
+    fn idf_is_positive_even_for_ubiquitous_terms() {
+        let s = stats();
+        assert!(s.idf(1000) > 0.0);
+        assert!(s.idf(0) > s.idf(1000));
+        // df clamped to doc_count
+        assert_eq!(s.idf(5000), s.idf(1000));
+    }
+
+    #[test]
+    fn scores_are_finite_and_nonnegative() {
+        let p = ScoringParams::default();
+        let s = stats();
+        for tf in [0u32, 1, 100, 10_000] {
+            for df in [0u32, 1, 999, 1000] {
+                for len in [0u32, 1, 100_000] {
+                    let v = score(&p, &s, tf, df, len);
+                    assert!(v.is_finite() && v >= 0.0, "tf={tf} df={df} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combine_is_sum() {
+        assert_eq!(combine(&[1.0, 2.0, 3.5]), 6.5);
+        assert_eq!(combine(&[]), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! English stopword list.
+//!
+//! TReX drops stopwords at indexing and at query translation so the posting
+//! lists and RPLs carry only content-bearing terms; the list is the classic
+//! short SMART-derived set that INEX systems used.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The raw stopword list (lowercase).
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each", "few",
+    "for", "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers",
+    "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it", "its",
+    "itself", "me", "more", "most", "my", "myself", "no", "nor", "not", "of", "off", "on", "once",
+    "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own", "same",
+    "she", "should", "so", "some", "such", "than", "that", "the", "their", "theirs", "them",
+    "themselves", "then", "there", "these", "they", "this", "those", "through", "to", "too",
+    "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "with", "would", "you", "your", "yours", "yourself",
+    "yourselves",
+];
+
+fn set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Whether `word` (already lowercased) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    set().contains(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_stopwords_are_detected() {
+        for w in ["the", "and", "of", "in", "is"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_terms_are_not_stopwords() {
+        for w in ["xml", "retrieval", "ontologies", "query"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn list_is_lowercase_and_deduplicated() {
+        let mut seen = HashSet::new();
+        for w in STOPWORDS {
+            assert_eq!(*w, w.to_lowercase());
+            assert!(seen.insert(*w), "duplicate stopword {w}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Word tokenizer with token positions.
+//!
+//! TReX identifies term occurrences by *token offset* within a document
+//! (the `offset` field of `PostingLists`, paper §2.2). The tokenizer is
+//! therefore the single authority on positions: every component — element
+//! spans, posting lists, ERA's cursor walk — counts positions the same way.
+
+/// A token: the normalised (lowercased) word plus its token offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lowercased word.
+    pub text: String,
+    /// Zero-based token offset within the enclosing document.
+    pub position: u32,
+}
+
+/// Splits `text` into lowercase alphanumeric word tokens, assigning
+/// positions starting at `next_position`. Returns the tokens and the next
+/// free position.
+///
+/// Rules: a token is a maximal run of alphanumeric characters; everything
+/// else separates tokens. Unicode letters are kept (lowercased); digits are
+/// kept. This matches the "keyword" granularity of NEXI `about()` terms.
+pub fn tokenize_from(text: &str, next_position: u32) -> (Vec<Token>, u32) {
+    let mut tokens = Vec::new();
+    let mut pos = next_position;
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            tokens.push(Token {
+                text: std::mem::take(&mut current),
+                position: pos,
+            });
+            pos += 1;
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(Token {
+            text: current,
+            position: pos,
+        });
+        pos += 1;
+    }
+    (tokens, pos)
+}
+
+/// Convenience wrapper starting positions at zero.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    tokenize_from(text, 0).0
+}
+
+/// Lowercases and returns the single-token form of a query keyword, or
+/// `None` if the keyword contains no alphanumeric characters.
+pub fn normalize_keyword(word: &str) -> Option<String> {
+    let toks = tokenize(word);
+    toks.into_iter().next().map(|t| t.text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(text: &str) -> Vec<String> {
+        tokenize(text).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            words("Query-evaluation, in XML!"),
+            vec!["query", "evaluation", "in", "xml"]
+        );
+    }
+
+    #[test]
+    fn positions_are_consecutive() {
+        let toks = tokenize("a b c");
+        let positions: Vec<u32> = toks.iter().map(|t| t.position).collect();
+        assert_eq!(positions, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tokenize_from_continues_positions() {
+        let (toks, next) = tokenize_from("one two", 10);
+        assert_eq!(toks[0].position, 10);
+        assert_eq!(toks[1].position, 11);
+        assert_eq!(next, 12);
+    }
+
+    #[test]
+    fn digits_are_tokens() {
+        assert_eq!(words("ieee 2005 inex"), vec!["ieee", "2005", "inex"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- ***").is_empty());
+        let (toks, next) = tokenize_from("...", 5);
+        assert!(toks.is_empty());
+        assert_eq!(next, 5);
+    }
+
+    #[test]
+    fn unicode_is_lowercased() {
+        assert_eq!(words("Müller Страница"), vec!["müller", "страница"]);
+    }
+
+    #[test]
+    fn normalize_keyword_extracts_first_token() {
+        assert_eq!(normalize_keyword("XML"), Some("xml".into()));
+        assert_eq!(normalize_keyword("\"signing\""), Some("signing".into()));
+        assert_eq!(normalize_keyword("!!"), None);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests of the text pipeline: tokenizer positions, stemmer
+//! sanity, dictionary invariants.
+
+use proptest::prelude::*;
+use trex_text::{stem, tokenize, Analyzer, Dictionary};
+
+proptest! {
+    /// Token positions are strictly increasing and contiguous from 0.
+    #[test]
+    fn prop_tokenize_positions_are_dense(text in "\\PC{0,200}") {
+        let tokens = tokenize(&text);
+        for (i, t) in tokens.iter().enumerate() {
+            prop_assert_eq!(t.position as usize, i);
+            prop_assert!(!t.text.is_empty());
+            prop_assert!(t.text.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(&t.text.to_lowercase(), &t.text);
+        }
+    }
+
+    /// The analyzer's surviving tokens are a subsequence of the raw tokens'
+    /// positions, and the final position count is unchanged by filtering.
+    #[test]
+    fn prop_analyzer_preserves_position_space(text in "[a-zA-Z ,.]{0,200}") {
+        let raw = tokenize(&text);
+        let (filtered, next) = Analyzer::default().analyze_from(&text, 0);
+        prop_assert_eq!(next as usize, raw.len());
+        let raw_positions: Vec<u32> = raw.iter().map(|t| t.position).collect();
+        let mut last = None;
+        for t in &filtered {
+            prop_assert!(raw_positions.contains(&t.position));
+            if let Some(prev) = last {
+                prop_assert!(t.position > prev, "positions strictly increase");
+            }
+            last = Some(t.position);
+        }
+    }
+
+    /// Stemming never panics, never grows a word by more than the `-e`
+    /// restorations, and always yields lowercase ASCII for ASCII input.
+    #[test]
+    fn prop_stem_is_sane(word in "[a-z]{1,20}") {
+        let stemmed = stem(&word);
+        prop_assert!(!stemmed.is_empty());
+        prop_assert!(stemmed.len() <= word.len() + 1, "{word} -> {stemmed}");
+        prop_assert!(stemmed.chars().all(|c| c.is_ascii_lowercase()));
+    }
+
+    /// Stemming arbitrary (possibly non-ASCII) input never panics.
+    #[test]
+    fn prop_stem_never_panics(word in "\\PC{0,30}") {
+        let _ = stem(&word);
+    }
+
+    /// Dictionary interning is stable and the codec round-trips.
+    #[test]
+    fn prop_dictionary_round_trip(terms in proptest::collection::vec("[a-z]{1,10}", 0..50)) {
+        let mut dict = Dictionary::new();
+        let ids: Vec<u32> = terms.iter().map(|t| dict.intern(t)).collect();
+        // Re-interning gives the same ids.
+        for (t, &id) in terms.iter().zip(&ids) {
+            prop_assert_eq!(dict.intern(t), id);
+            prop_assert_eq!(dict.lookup(t), Some(id));
+            prop_assert_eq!(dict.term(id), Some(t.as_str()));
+        }
+        let decoded = Dictionary::decode(&dict.encode()).unwrap();
+        prop_assert_eq!(decoded.len(), dict.len());
+        for (t, &id) in terms.iter().zip(&ids) {
+            prop_assert_eq!(decoded.lookup(t), Some(id));
+        }
+    }
+}
+
+#[test]
+fn analyzer_keyword_agrees_with_document_pipeline_for_ascii_words() {
+    // The invariant query translation relies on: analysing a keyword gives
+    // the same index form as the same word inside a document.
+    let analyzer = Analyzer::default();
+    for word in ["Retrieval", "ONTOLOGIES", "checking", "state", "xml"] {
+        let doc_form = analyzer
+            .analyze_from(word, 0)
+            .0
+            .first()
+            .map(|t| t.text.clone());
+        let kw_form = analyzer.analyze_keyword(word);
+        assert_eq!(doc_form, kw_form, "{word}");
+    }
+}

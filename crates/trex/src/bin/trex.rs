@@ -1,0 +1,354 @@
+//! The `trex` command-line tool: build, inspect, query and self-manage a
+//! TReX store.
+//!
+//! ```text
+//! trex build <store.db> --dir <xml-dir>                index a directory of .xml files
+//! trex build <store.db> --synthetic ieee --docs 1000   index a generated collection
+//! trex info <store.db>                                 catalog and statistics
+//! trex query <store.db> "<nexi>" [-k N] [--strategy auto|era|ta|merge]
+//! trex materialize <store.db> "<nexi>" [--kind both|rpl|erpl]
+//! trex advise <store.db> --workload <file> --budget <bytes> [--method greedy|lp]
+//! ```
+//!
+//! A workload file has one query per line: `<weight> <k> <nexi…>`.
+
+use std::process::ExitCode;
+
+use trex::corpus::{CorpusConfig, IeeeGenerator, WikiGenerator};
+use trex::{
+    AdvisorOptions, AliasMap, ListKind, SelectionMethod, Strategy, TrexConfig, TrexSystem,
+    Workload,
+};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "build" => build(&args),
+        "info" => info(&args),
+        "query" => query(&args),
+        "explain" => explain(&args),
+        "materialize" => materialize(&args),
+        "advise" => advise(&args),
+        _ => {
+            print!("{}", HELP);
+            Ok(())
+        }
+    }
+}
+
+const HELP: &str = "\
+trex — self-managing top-k XML retrieval (reproduction of Consens et al., ICDE 2007)
+
+usage:
+  trex build <store.db> --dir <xml-dir> [--threads N] [--store-docs]
+  trex build <store.db> --synthetic ieee|wiki --docs N [--threads N] [--store-docs]
+  trex info <store.db>
+  trex query <store.db> \"<nexi>\" [-k N] [--strategy auto|era|ta|merge|race] [--snippets]
+  trex explain <store.db> \"<nexi>\" [-k N]
+  trex materialize <store.db> \"<nexi>\" [--kind both|rpl|erpl]
+  trex advise <store.db> --workload <file> --budget <bytes> [--method greedy|lp]
+";
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn store_arg(args: &[String]) -> Result<&str, String> {
+    args.get(1)
+        .map(String::as_str)
+        .ok_or_else(|| "missing <store.db> argument".to_string())
+}
+
+fn open(args: &[String]) -> Result<TrexSystem, String> {
+    let path = store_arg(args)?;
+    TrexSystem::open(TrexConfig::new(path)).map_err(|e| format!("cannot open {path}: {e}"))
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn build(args: &[String]) -> Result<(), String> {
+    let store = store_arg(args)?;
+    let threads: usize = flag(args, "--threads")
+        .map(|v| v.parse().map_err(|_| "--threads expects a number"))
+        .transpose()?
+        .unwrap_or(4);
+    let store_docs = has_flag(args, "--store-docs");
+    let started = std::time::Instant::now();
+
+    let system = if let Some(dir) = flag(args, "--dir") {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read {dir}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "xml"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(format!("no .xml files in {dir}"));
+        }
+        eprintln!("indexing {} documents from {dir}…", paths.len());
+        let docs = paths.into_iter().map(|p| {
+            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+        });
+        let mut config = TrexConfig::new(store);
+        config.store_documents = store_docs;
+        TrexSystem::build_parallel(config, docs, threads).map_err(|e| e.to_string())?
+    } else if let Some(kind) = flag(args, "--synthetic") {
+        let docs: usize = flag(args, "--docs")
+            .map(|v| v.parse().map_err(|_| "--docs expects a number"))
+            .transpose()?
+            .unwrap_or(500);
+        eprintln!("generating and indexing {docs} synthetic {kind} documents…");
+        match kind {
+            "ieee" => {
+                let gen = IeeeGenerator::new(CorpusConfig {
+                    docs,
+                    ..CorpusConfig::ieee_default()
+                });
+                let mut config = TrexConfig::new(store);
+                config.store_documents = store_docs;
+                TrexSystem::build_parallel(config, gen.documents(), threads)
+                    .map_err(|e| e.to_string())?
+            }
+            "wiki" => {
+                let gen = WikiGenerator::new(CorpusConfig {
+                    docs,
+                    ..CorpusConfig::wiki_default()
+                });
+                let mut config = TrexConfig::new(store);
+                config.alias = AliasMap::inex_wiki();
+                config.store_documents = store_docs;
+                TrexSystem::build_parallel(config, gen.documents(), threads)
+                    .map_err(|e| e.to_string())?
+            }
+            other => return Err(format!("unknown synthetic collection {other:?}")),
+        }
+    } else {
+        return Err("build needs --dir <xml-dir> or --synthetic ieee|wiki".into());
+    };
+
+    let stats = system.index().stats();
+    eprintln!(
+        "built {store} in {:.1}s: {} documents, {} elements, {} terms, {} summary nodes",
+        started.elapsed().as_secs_f64(),
+        stats.doc_count,
+        stats.element_count,
+        system.index().dictionary().len(),
+        system.index().summary().node_count(),
+    );
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let system = open(args)?;
+    let index = system.index();
+    let stats = index.stats();
+    println!("documents        {}", stats.doc_count);
+    println!("elements         {}", stats.element_count);
+    println!("avg element len  {:.1} tokens", stats.avg_element_len);
+    println!("terms            {}", index.dictionary().len());
+    println!("summary          {:?}, {} nodes", index.summary().kind(), index.summary().node_count());
+    println!("store pages      {}", index.store().page_count());
+    let rpls = index.rpls().map_err(|e| e.to_string())?;
+    let erpls = index.erpls().map_err(|e| e.to_string())?;
+    println!(
+        "RPL lists        {} ({} bytes)",
+        rpls.lists().map_err(|e| e.to_string())?.len(),
+        rpls.total_bytes().map_err(|e| e.to_string())?
+    );
+    println!(
+        "ERPL lists       {} ({} bytes)",
+        erpls.lists().map_err(|e| e.to_string())?.len(),
+        erpls.total_bytes().map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let system = open(args)?;
+    let nexi = args
+        .get(2)
+        .ok_or_else(|| "missing NEXI query argument".to_string())?;
+    let k: Option<usize> = flag(args, "-k")
+        .map(|v| v.parse().map_err(|_| "-k expects a number"))
+        .transpose()?;
+    let strategy = match flag(args, "--strategy").unwrap_or("auto") {
+        "auto" => Strategy::Auto,
+        "era" => Strategy::Era,
+        "ta" => Strategy::Ta,
+        "merge" => Strategy::Merge,
+        "race" => Strategy::Race,
+        other => return Err(format!("unknown strategy {other:?}")),
+    };
+    let result = system
+        .search_with(nexi, k, strategy)
+        .map_err(|e| e.to_string())?;
+    let used = match &result.stats {
+        trex::StrategyStats::Era(_) => "ERA",
+        trex::StrategyStats::Ta(_) => "TA",
+        trex::StrategyStats::Merge(_) => "Merge",
+        trex::StrategyStats::Race { won_by, .. } => match won_by {
+            trex::RaceWinner::Ta => "Race (TA won)",
+            trex::RaceWinner::Merge => "Race (Merge won)",
+        },
+    };
+    eprintln!(
+        "{} answers (showing {}), strategy {used}, {:.3} ms; {} sid(s), {} term(s)",
+        result.total_answers,
+        result.answers.len(),
+        result.stats.wall().as_secs_f64() * 1e3,
+        result.translation.sids.len(),
+        result.translation.terms.len(),
+    );
+    if !result.translation.unknown_terms.is_empty() {
+        eprintln!("note: terms not in collection: {:?}", result.translation.unknown_terms);
+    }
+    let show_snippets = has_flag(args, "--snippets");
+    for (rank, a) in result.answers.iter().enumerate() {
+        println!(
+            "{:>4}. doc {:>6}  span [{}, {}]  sid {:>5}  score {:.4}",
+            rank + 1,
+            a.element.doc,
+            a.element.start(),
+            a.element.end,
+            a.sid,
+            a.score
+        );
+        if show_snippets {
+            match system.snippet(a).map_err(|e| e.to_string())? {
+                Some(snippet) => {
+                    let mut line: String = snippet.chars().take(160).collect();
+                    if line.len() < snippet.len() {
+                        line.push('…');
+                    }
+                    println!("      {line}");
+                }
+                None => println!("      (no snippet: build with --store-docs)"),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn explain(args: &[String]) -> Result<(), String> {
+    let system = open(args)?;
+    let nexi = args
+        .get(2)
+        .ok_or_else(|| "missing NEXI query argument".to_string())?;
+    let k: Option<usize> = flag(args, "-k")
+        .map(|v| v.parse().map_err(|_| "-k expects a number"))
+        .transpose()?;
+    let plan = system
+        .engine()
+        .explain(nexi, trex::EvalOptions { k, ..Default::default() })
+        .map_err(|e| e.to_string())?;
+    println!("query: {nexi}");
+    println!("\nextents ({} sids):", plan.extents.len());
+    for (sid, xpath, size) in &plan.extents {
+        println!("  sid {sid:>5}  {xpath:<50} {size:>8} elements");
+    }
+    println!("\nterms ({}):", plan.terms.len());
+    for (id, text, cf) in &plan.terms {
+        println!("  term {id:>5}  {text:<30} {cf:>8} occurrences");
+    }
+    if !plan.translation.unknown_terms.is_empty() {
+        println!("\nnot in collection: {:?}", plan.translation.unknown_terms);
+    }
+    println!("\nRPLs materialised:  {}", plan.rpls_available);
+    println!("ERPLs materialised: {}", plan.erpls_available);
+    println!("auto would run:     {:?}", plan.chosen);
+    Ok(())
+}
+
+fn materialize(args: &[String]) -> Result<(), String> {
+    let system = open(args)?;
+    let nexi = args
+        .get(2)
+        .ok_or_else(|| "missing NEXI query argument".to_string())?;
+    let kind = match flag(args, "--kind").unwrap_or("both") {
+        "both" => ListKind::Both,
+        "rpl" => ListKind::Rpl,
+        "erpl" => ListKind::Erpl,
+        other => return Err(format!("unknown kind {other:?}")),
+    };
+    let written = system
+        .materialize_for(nexi, kind)
+        .map_err(|e| e.to_string())?;
+    eprintln!("materialised {written} lists for {nexi:?}");
+    Ok(())
+}
+
+fn advise(args: &[String]) -> Result<(), String> {
+    let system = open(args)?;
+    let workload_path = flag(args, "--workload").ok_or("missing --workload <file>")?;
+    let budget: u64 = flag(args, "--budget")
+        .ok_or("missing --budget <bytes>")?
+        .parse()
+        .map_err(|_| "--budget expects bytes")?;
+    let method = match flag(args, "--method").unwrap_or("greedy") {
+        "greedy" => SelectionMethod::Greedy,
+        "lp" => SelectionMethod::Lp,
+        other => return Err(format!("unknown method {other:?}")),
+    };
+
+    let text = std::fs::read_to_string(workload_path)
+        .map_err(|e| format!("cannot read {workload_path}: {e}"))?;
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let weight: f64 = parts
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or(format!("line {}: expected <weight> <k> <nexi>", lineno + 1))?;
+        let k: usize = parts
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or(format!("line {}: expected <weight> <k> <nexi>", lineno + 1))?;
+        let nexi = parts
+            .next()
+            .ok_or(format!("line {}: missing query", lineno + 1))?
+            .trim()
+            .to_string();
+        entries.push((nexi, weight, k));
+    }
+    let workload = Workload::from_weights(entries).map_err(|e| e.to_string())?;
+    eprintln!("profiling {} queries…", workload.len());
+    let report = system
+        .advisor()
+        .apply(
+            &workload,
+            AdvisorOptions {
+                budget_bytes: budget,
+                method,
+                measure_runs: 3,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    for (wq, choice) in workload.queries().iter().zip(&report.selection.choices) {
+        println!("{:?}  f={:.3} k={}  {}", choice, wq.frequency, wq.k, wq.nexi);
+    }
+    println!(
+        "kept {} bytes (budget {budget}), dropped {} lists, expected saving {:.6}s per workload execution",
+        report.bytes_used, report.lists_dropped, report.expected_saving
+    );
+    Ok(())
+}

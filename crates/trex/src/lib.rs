@@ -1,0 +1,279 @@
+//! # TReX
+//!
+//! A from-scratch Rust reproduction of **"Self Managing Top-k (Summary,
+//! Keyword) Indexes in XML Retrieval"** (Consens, Gu, Kanza, Rizzolo —
+//! ICDE 2007): an XML retrieval system that evaluates NEXI queries with
+//! three interchangeable strategies (ERA, TA, Merge) over structural
+//! summaries and inverted lists, and self-manages redundant top-k indexes
+//! (RPLs / ERPLs) to fit a disk budget.
+//!
+//! This facade crate wires the subsystem crates together and exposes
+//! [`TrexSystem`], the high-level build-then-query API:
+//!
+//! ```
+//! use trex::{TrexConfig, TrexSystem};
+//!
+//! let dir = std::env::temp_dir().join(format!("trex-doc-{}", std::process::id()));
+//! let config = TrexConfig::new(&dir);
+//! let docs = vec![
+//!     "<article><sec>xml query evaluation</sec></article>".to_string(),
+//!     "<article><sec>structural summaries</sec></article>".to_string(),
+//! ];
+//! let system = TrexSystem::build(config, docs).unwrap();
+//! let result = system.search("//article//sec[about(., query evaluation)]", Some(10)).unwrap();
+//! assert_eq!(result.answers.len(), 1);
+//! # std::fs::remove_file(&dir).ok();
+//! ```
+//!
+//! The layering (bottom-up) mirrors the paper's architecture:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`storage`] | BerkeleyDB substitute: B+tree tables over a buffer pool |
+//! | [`xml`] | XML parsing (streaming + DOM) |
+//! | [`text`] | tokenisation, Porter stemming, BM25-style scoring |
+//! | [`summary`] | structural summaries (tag / incoming, alias variants) |
+//! | [`index`] | the `Elements`, `PostingLists`, `RPLs`, `ERPLs` tables |
+//! | [`nexi`] | NEXI parsing and (sids, terms) translation |
+//! | [`core`] | ERA / TA / Merge, the engine, the self-managing advisor |
+//! | [`corpus`] | synthetic INEX-like collections for the experiments |
+
+pub use trex_core as core;
+pub use trex_corpus as corpus;
+pub use trex_index as index;
+pub use trex_nexi as nexi;
+pub use trex_storage as storage;
+pub use trex_summary as summary;
+pub use trex_text as text;
+pub use trex_xml as xml;
+
+// The most-used items, re-exported flat.
+pub use trex_core::{
+    Advisor, AdvisorOptions, AdvisorReport, Answer, EvalOptions, Explain, ListKind, QueryEngine,
+    QueryResult, RaceWinner, SelectionMethod, Strategy, StrategyStats, TrexError, Workload,
+    WorkloadQuery,
+};
+pub use trex_index::{ElementRef, TrexIndex};
+pub use trex_nexi::Interpretation;
+pub use trex_summary::{AliasMap, SummaryKind};
+pub use trex_text::Analyzer;
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use trex_index::IndexBuilder;
+use trex_storage::Store;
+
+/// Result alias using the top-level error.
+pub type Result<T> = std::result::Result<T, TrexError>;
+
+/// Configuration for building or opening a [`TrexSystem`].
+#[derive(Debug, Clone)]
+pub struct TrexConfig {
+    /// Path of the single store file holding every table.
+    pub store_path: PathBuf,
+    /// Buffer-pool capacity in pages (default 4096 pages = 32 MiB).
+    pub pool_pages: usize,
+    /// Structural summary kind (default: incoming — what TReX uses, §2.1).
+    pub summary: SummaryKind,
+    /// Tag alias mapping (default: the INEX IEEE families).
+    pub alias: AliasMap,
+    /// Text analysis pipeline, persisted in the catalog at build time and
+    /// restored on open.
+    pub analyzer: Analyzer,
+    /// Also store the raw documents, enabling [`TrexSystem::snippet`].
+    pub store_documents: bool,
+}
+
+impl TrexConfig {
+    /// Defaults for `store_path`.
+    pub fn new(store_path: impl AsRef<Path>) -> TrexConfig {
+        TrexConfig {
+            store_path: store_path.as_ref().to_path_buf(),
+            pool_pages: 4096,
+            summary: SummaryKind::Incoming,
+            alias: AliasMap::inex_ieee(),
+            analyzer: Analyzer::default(),
+            store_documents: false,
+        }
+    }
+}
+
+/// The assembled TReX system: one store, one index, one engine.
+pub struct TrexSystem {
+    index: TrexIndex,
+}
+
+impl TrexSystem {
+    /// Builds a fresh index over `documents` (any iterator of XML strings)
+    /// and opens the system on it. An existing store file is replaced.
+    pub fn build(
+        config: TrexConfig,
+        documents: impl IntoIterator<Item = String>,
+    ) -> Result<TrexSystem> {
+        let store = Store::create(&config.store_path, config.pool_pages)
+            .map_err(trex_index::IndexError::Storage)?;
+        let mut builder = IndexBuilder::new(&store, config.summary, config.alias, config.analyzer)?;
+        if config.store_documents {
+            builder.enable_document_store()?;
+        }
+        for doc in documents {
+            builder.add_document(&doc)?;
+        }
+        builder.finish()?;
+        let index = TrexIndex::open(Arc::new(store))?;
+        Ok(TrexSystem { index })
+    }
+
+    /// Like [`TrexSystem::build`], but parses documents on `threads` worker
+    /// threads while the (inherently sequential) summary/index construction
+    /// runs on the calling thread. Documents are indexed in input order, so
+    /// the result is byte-identical to a sequential build.
+    pub fn build_parallel(
+        config: TrexConfig,
+        documents: impl IntoIterator<Item = String> + Send,
+        threads: usize,
+    ) -> Result<TrexSystem> {
+        let threads = threads.max(1);
+        let store = Store::create(&config.store_path, config.pool_pages)
+            .map_err(trex_index::IndexError::Storage)?;
+        let mut builder = IndexBuilder::new(&store, config.summary, config.alias, config.analyzer)?;
+        if config.store_documents {
+            builder.enable_document_store()?;
+        }
+
+        let result: Result<()> = crossbeam::thread::scope(|scope| {
+            let (raw_tx, raw_rx) = crossbeam::channel::bounded::<(usize, String)>(threads * 4);
+            let (parsed_tx, parsed_rx) =
+                crossbeam::channel::bounded::<(usize, trex_xml::Result<trex_xml::Document>)>(
+                    threads * 4,
+                );
+
+            for _ in 0..threads {
+                let raw_rx = raw_rx.clone();
+                let parsed_tx = parsed_tx.clone();
+                scope.spawn(move |_| {
+                    for (i, xml) in raw_rx.iter() {
+                        if parsed_tx.send((i, trex_xml::Document::parse(&xml))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(raw_rx);
+            drop(parsed_tx);
+
+            let feeder = scope.spawn(move |_| {
+                for item in documents.into_iter().enumerate() {
+                    if raw_tx.send(item).is_err() {
+                        break;
+                    }
+                }
+            });
+
+            // Reorder parsed documents back into input order.
+            let mut pending: std::collections::BTreeMap<usize, trex_xml::Document> =
+                std::collections::BTreeMap::new();
+            let mut next = 0usize;
+            for (i, parsed) in parsed_rx.iter() {
+                let doc = parsed.map_err(trex_index::IndexError::Xml)?;
+                pending.insert(i, doc);
+                while let Some(doc) = pending.remove(&next) {
+                    builder.add_parsed(&doc)?;
+                    next += 1;
+                }
+            }
+            while let Some(doc) = pending.remove(&next) {
+                builder.add_parsed(&doc)?;
+                next += 1;
+            }
+            feeder.join().expect("feeder thread");
+            Ok(())
+        })
+        .expect("scoped threads");
+        result?;
+
+        builder.finish()?;
+        let index = TrexIndex::open(Arc::new(store))?;
+        Ok(TrexSystem { index })
+    }
+
+    /// Opens an existing store built earlier with [`TrexSystem::build`].
+    /// The analyzer is restored from the store's catalog, so it always
+    /// matches the one the index was built with.
+    pub fn open(config: TrexConfig) -> Result<TrexSystem> {
+        let store = Store::open(&config.store_path, config.pool_pages)
+            .map_err(trex_index::IndexError::Storage)?;
+        let index = TrexIndex::open(Arc::new(store))?;
+        Ok(TrexSystem { index })
+    }
+
+    /// The underlying index (summary, dictionary, tables, statistics).
+    pub fn index(&self) -> &TrexIndex {
+        &self.index
+    }
+
+    /// A query engine over the index (analyzer restored from the catalog).
+    pub fn engine(&self) -> QueryEngine<'_> {
+        QueryEngine::new(&self.index)
+    }
+
+    /// Evaluates a NEXI query with automatic strategy selection; `k = None`
+    /// returns all answers.
+    pub fn search(&self, nexi: &str, k: Option<usize>) -> Result<QueryResult> {
+        self.engine().evaluate(
+            nexi,
+            EvalOptions {
+                k,
+                strategy: Strategy::Auto,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Evaluates with an explicit strategy.
+    pub fn search_with(
+        &self,
+        nexi: &str,
+        k: Option<usize>,
+        strategy: Strategy,
+    ) -> Result<QueryResult> {
+        self.engine().evaluate(
+            nexi,
+            EvalOptions {
+                k,
+                strategy,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Materialises the redundant lists a query needs (RPLs for TA, ERPLs
+    /// for Merge, or both).
+    pub fn materialize_for(&self, nexi: &str, kind: ListKind) -> Result<usize> {
+        let translation = self.engine().translate(nexi, Interpretation::default())?;
+        trex_core::materialize(&self.index, &translation.sids, &translation.terms, kind)
+    }
+
+    /// The self-managing advisor over this index.
+    pub fn advisor(&self) -> Advisor<'_> {
+        Advisor::new(&self.index)
+    }
+
+    /// The XML fragment an answer denotes, when the index was built with
+    /// `store_documents` (None otherwise, or for unknown spans).
+    pub fn snippet(&self, answer: &Answer) -> Result<Option<String>> {
+        let Some(docs) = self.index.documents()? else {
+            return Ok(None);
+        };
+        Ok(docs.snippet(answer.element, &self.index.analyzer())?)
+    }
+
+    /// The raw XML of a stored document, when `store_documents` was set.
+    pub fn document(&self, doc_id: u32) -> Result<Option<String>> {
+        let Some(docs) = self.index.documents()? else {
+            return Ok(None);
+        };
+        Ok(docs.document(doc_id)?)
+    }
+}

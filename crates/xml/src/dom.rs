@@ -1,0 +1,311 @@
+//! Arena-based DOM built on top of the streaming [`crate::reader::Reader`].
+//!
+//! Nodes live in one `Vec` and are addressed by [`NodeId`], which keeps the
+//! tree compact and traversals allocation-free — the summary builder walks
+//! every element of every document.
+
+use crate::error::Result;
+use crate::escape::{escape_attr, escape_text};
+use crate::reader::{Attribute, Event, Reader};
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Payload of a DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with its tag name and attributes.
+    Element {
+        /// Tag name, verbatim.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+/// A DOM node: payload plus tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Element or text payload.
+    pub kind: NodeKind,
+    /// Parent node; `None` only for the root element.
+    pub parent: Option<NodeId>,
+    /// Children in document order (always empty for text nodes).
+    pub children: Vec<NodeId>,
+}
+
+/// A parsed XML document.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Parses `input` into a DOM. Comments and processing instructions are
+    /// dropped; adjacent text runs (e.g. text + CDATA) are merged.
+    pub fn parse(input: &str) -> Result<Document> {
+        let mut reader = Reader::new(input);
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut root: Option<NodeId> = None;
+
+        while let Some(event) = reader.next_event()? {
+            match event {
+                Event::StartElement { name, attributes } => {
+                    let id = NodeId(nodes.len() as u32);
+                    nodes.push(Node {
+                        kind: NodeKind::Element { name, attributes },
+                        parent: stack.last().copied(),
+                        children: Vec::new(),
+                    });
+                    if let Some(&parent) = stack.last() {
+                        nodes[parent.0 as usize].children.push(id);
+                    } else {
+                        root = Some(id);
+                    }
+                    stack.push(id);
+                }
+                Event::EndElement { .. } => {
+                    stack.pop();
+                }
+                Event::Text(text) => {
+                    let Some(&parent) = stack.last() else {
+                        continue;
+                    };
+                    // Merge with a preceding text sibling.
+                    if let Some(&last) = nodes[parent.0 as usize].children.last() {
+                        if let NodeKind::Text(existing) = &mut nodes[last.0 as usize].kind {
+                            existing.push_str(&text);
+                            continue;
+                        }
+                    }
+                    let id = NodeId(nodes.len() as u32);
+                    nodes.push(Node {
+                        kind: NodeKind::Text(text),
+                        parent: Some(parent),
+                        children: Vec::new(),
+                    });
+                    nodes[parent.0 as usize].children.push(id);
+                }
+                Event::Comment(_) | Event::ProcessingInstruction(_) => {}
+            }
+        }
+
+        Ok(Document {
+            nodes,
+            root: root.expect("reader guarantees a root element"),
+        })
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes (elements + text) in the document.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty (never true for a parsed document).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The element name of `id`, or `None` for a text node.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The value of attribute `attr` on element `id`.
+    pub fn attribute(&self, id: NodeId, attr: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes
+                .iter()
+                .find(|a| a.name == attr)
+                .map(|a| a.value.as_str()),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Pre-order traversal of the subtree rooted at `id` (including `id`).
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: vec![id],
+        }
+    }
+
+    /// Concatenated text content of the subtree rooted at `id`.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for node in self.descendants(id) {
+            if let NodeKind::Text(t) = &self.node(node).kind {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// The chain of ancestors of `id`, nearest first (excluding `id`).
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            doc: self,
+            next: self.node(id).parent,
+        }
+    }
+
+    /// Serialises the document back to XML (elements and text only).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_node(self.root, &mut out);
+        out
+    }
+
+    fn write_node(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(&escape_text(t)),
+            NodeKind::Element { name, attributes } => {
+                out.push('<');
+                out.push_str(name);
+                for a in attributes {
+                    out.push(' ');
+                    out.push_str(&a.name);
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(&a.value));
+                    out.push('"');
+                }
+                let children = &self.node(id).children;
+                if children.is_empty() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    for &c in children {
+                        self.write_node(c, out);
+                    }
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push('>');
+                }
+            }
+        }
+    }
+}
+
+/// Iterator returned by [`Document::descendants`].
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let children = &self.doc.node(id).children;
+        self.stack.extend(children.iter().rev());
+        Some(id)
+    }
+}
+
+/// Iterator returned by [`Document::ancestors`].
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).parent;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"<article id="7"><fm><atl>XML Retrieval</atl></fm><bdy><sec>first</sec><sec>second <b>bold</b></sec></bdy></article>"#;
+
+    #[test]
+    fn parse_builds_expected_shape() {
+        let doc = Document::parse(DOC).unwrap();
+        assert_eq!(doc.name(doc.root()), Some("article"));
+        assert_eq!(doc.attribute(doc.root(), "id"), Some("7"));
+        let children = &doc.node(doc.root()).children;
+        assert_eq!(children.len(), 2);
+        assert_eq!(doc.name(children[0]), Some("fm"));
+        assert_eq!(doc.name(children[1]), Some("bdy"));
+    }
+
+    #[test]
+    fn descendants_is_preorder() {
+        let doc = Document::parse(DOC).unwrap();
+        let names: Vec<_> = doc
+            .descendants(doc.root())
+            .filter_map(|id| doc.name(id).map(str::to_string))
+            .collect();
+        assert_eq!(names, vec!["article", "fm", "atl", "bdy", "sec", "sec", "b"]);
+    }
+
+    #[test]
+    fn text_content_concatenates_subtree() {
+        let doc = Document::parse(DOC).unwrap();
+        let bdy = doc.node(doc.root()).children[1];
+        assert_eq!(doc.text_content(bdy), "firstsecond bold");
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let doc = Document::parse(DOC).unwrap();
+        let bdy = doc.node(doc.root()).children[1];
+        let sec = doc.node(bdy).children[0];
+        let chain: Vec<_> = doc
+            .ancestors(sec)
+            .filter_map(|id| doc.name(id).map(str::to_string))
+            .collect();
+        assert_eq!(chain, vec!["bdy", "article"]);
+    }
+
+    #[test]
+    fn adjacent_text_runs_merge() {
+        let doc = Document::parse("<a>one <![CDATA[two]]> three</a>").unwrap();
+        let children = &doc.node(doc.root()).children;
+        assert_eq!(children.len(), 1);
+        assert_eq!(doc.text_content(doc.root()), "one two three");
+    }
+
+    #[test]
+    fn to_xml_round_trips_structure() {
+        let doc = Document::parse(DOC).unwrap();
+        let serialised = doc.to_xml();
+        let reparsed = Document::parse(&serialised).unwrap();
+        assert_eq!(reparsed.to_xml(), serialised);
+        assert_eq!(reparsed.len(), doc.len());
+    }
+
+    #[test]
+    fn to_xml_escapes_specials() {
+        let doc = Document::parse("<a x=\"q&quot;q\">1 &lt; 2</a>").unwrap();
+        let s = doc.to_xml();
+        assert!(s.contains("&quot;"), "{s}");
+        assert!(s.contains("&lt;"), "{s}");
+        Document::parse(&s).unwrap();
+    }
+}

@@ -1,0 +1,85 @@
+//! Parse errors with byte-offset context.
+
+use std::fmt;
+
+/// An XML parse error, carrying the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset into the input where the problem was found.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+}
+
+/// The kinds of parse failure the reader reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended inside a construct (tag, comment, CDATA, …).
+    UnexpectedEof(&'static str),
+    /// A character that cannot start or continue the current construct.
+    Unexpected(char, &'static str),
+    /// `</b>` closed `<a>`.
+    MismatchedClose { expected: String, found: String },
+    /// A close tag with no matching open tag.
+    UnmatchedClose(String),
+    /// Open tags left unclosed at end of input.
+    UnclosedElements(usize),
+    /// `&name;` where `name` is not a recognised entity.
+    UnknownEntity(String),
+    /// `&#...;` that does not denote a valid character.
+    InvalidCharRef(String),
+    /// An element or attribute name that is empty or starts illegally.
+    InvalidName,
+    /// The same attribute appeared twice on one tag.
+    DuplicateAttribute(String),
+    /// Document contains no root element.
+    NoRootElement,
+    /// Content after the root element closed.
+    TrailingContent,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: ", self.offset)?;
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof(what) => write!(f, "unexpected end of input in {what}"),
+            XmlErrorKind::Unexpected(c, what) => write!(f, "unexpected {c:?} in {what}"),
+            XmlErrorKind::MismatchedClose { expected, found } => {
+                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+            }
+            XmlErrorKind::UnmatchedClose(name) => write!(f, "close tag </{name}> matches nothing"),
+            XmlErrorKind::UnclosedElements(n) => write!(f, "{n} element(s) left unclosed"),
+            XmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            XmlErrorKind::InvalidCharRef(body) => write!(f, "invalid character reference &#{body};"),
+            XmlErrorKind::InvalidName => write!(f, "invalid XML name"),
+            XmlErrorKind::DuplicateAttribute(name) => write!(f, "duplicate attribute {name}"),
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::TrailingContent => write!(f, "content after root element"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Result alias for XML parsing.
+pub type Result<T> = std::result::Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_detail() {
+        let e = XmlError {
+            offset: 17,
+            kind: XmlErrorKind::MismatchedClose {
+                expected: "sec".into(),
+                found: "article".into(),
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("17"));
+        assert!(s.contains("</sec>"));
+        assert!(s.contains("</article>"));
+    }
+}

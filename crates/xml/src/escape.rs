@@ -1,0 +1,149 @@
+//! Entity escaping and unescaping for the five predefined XML entities and
+//! numeric character references.
+
+use crate::error::{Result, XmlError, XmlErrorKind};
+
+/// Escapes `text` for use as XML character data (`&`, `<`, `>`).
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes `text` for use inside a double-quoted attribute value.
+pub fn escape_attr(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Resolves the entity whose name (without `&`/`;`) is `name`.
+///
+/// Supports the five predefined entities and decimal / hexadecimal character
+/// references. `offset` is used for error reporting.
+pub fn resolve_entity(name: &str, offset: usize) -> Result<char> {
+    match name {
+        "amp" => Ok('&'),
+        "lt" => Ok('<'),
+        "gt" => Ok('>'),
+        "quot" => Ok('"'),
+        "apos" => Ok('\''),
+        _ => {
+            if let Some(body) = name.strip_prefix('#') {
+                let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    body.parse::<u32>()
+                };
+                code.ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| XmlError {
+                        offset,
+                        kind: XmlErrorKind::InvalidCharRef(body.to_string()),
+                    })
+            } else {
+                Err(XmlError {
+                    offset,
+                    kind: XmlErrorKind::UnknownEntity(name.to_string()),
+                })
+            }
+        }
+    }
+}
+
+/// Unescapes all entity and character references in `text`.
+pub fn unescape(text: &str) -> Result<String> {
+    if !text.contains('&') {
+        return Ok(text.to_string());
+    }
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            let rest = &text[i + 1..];
+            let Some(end) = rest.find(';') else {
+                return Err(XmlError {
+                    offset: i,
+                    kind: XmlErrorKind::UnexpectedEof("entity reference"),
+                });
+            };
+            out.push(resolve_entity(&rest[..end], i)?);
+            i += end + 2;
+        } else {
+            let c = text[i..].chars().next().expect("in-bounds char");
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_handles_specials() {
+        assert_eq!(escape_text("a<b & c>d"), "a&lt;b &amp; c&gt;d");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn escape_attr_also_escapes_quotes() {
+        assert_eq!(escape_attr("say \"hi\""), "say &quot;hi&quot;");
+    }
+
+    #[test]
+    fn unescape_round_trips_escape() {
+        let original = "x < y && y > \"z\" 'w'";
+        assert_eq!(unescape(&escape_attr(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn numeric_references_decimal_and_hex() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+        assert_eq!(unescape("&#x20AC;").unwrap(), "\u{20AC}");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let e = unescape("&nbsp;").unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::UnknownEntity(ref n) if n == "nbsp"));
+    }
+
+    #[test]
+    fn invalid_char_ref_is_an_error() {
+        assert!(unescape("&#xD800;").is_err()); // surrogate
+        assert!(unescape("&#99999999;").is_err());
+        assert!(unescape("&#xZZ;").is_err());
+    }
+
+    #[test]
+    fn unterminated_entity_is_an_error() {
+        assert!(matches!(
+            unescape("tail &amp").unwrap_err().kind,
+            XmlErrorKind::UnexpectedEof(_)
+        ));
+    }
+
+    #[test]
+    fn multibyte_text_passes_through() {
+        assert_eq!(unescape("héllo ☃ &amp; done").unwrap(), "héllo ☃ & done");
+    }
+}

@@ -1,0 +1,27 @@
+//! # trex-xml
+//!
+//! From-scratch XML parsing for TReX: a streaming pull parser ([`reader`]),
+//! an arena DOM ([`dom`]), and entity escaping ([`escape`]).
+//!
+//! The INEX collections the paper evaluates on are plain XML without
+//! namespace semantics, so names are treated verbatim. The parser enforces
+//! well-formedness (balanced tags, attribute syntax, valid entities) because
+//! the index builder trusts element nesting to compute element spans.
+//!
+//! ```
+//! use trex_xml::Document;
+//!
+//! let doc = Document::parse("<article><sec>query evaluation</sec></article>").unwrap();
+//! let root = doc.root();
+//! assert_eq!(doc.name(root), Some("article"));
+//! assert_eq!(doc.text_content(root), "query evaluation");
+//! ```
+
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod reader;
+
+pub use dom::{Document, Node, NodeId, NodeKind};
+pub use error::{Result, XmlError, XmlErrorKind};
+pub use reader::{Attribute, Event, Reader};

@@ -1,0 +1,525 @@
+//! Streaming (pull) XML parser.
+//!
+//! [`Reader`] walks a UTF-8 document and yields [`Event`]s. It checks
+//! well-formedness (balanced tags, attribute syntax, entity validity) and
+//! reports byte offsets, which the indexing layer uses only indirectly — the
+//! retrieval positions in TReX are *token* offsets assigned later.
+//!
+//! Supported constructs: element tags with attributes, self-closing tags,
+//! character data with entity/char references, CDATA sections, comments,
+//! processing instructions, an XML declaration, and a DOCTYPE declaration
+//! (skipped, including an internal subset). Namespaces are not interpreted;
+//! a name like `xlink:href` is kept verbatim, matching how INEX-era systems
+//! treated tags as plain strings.
+
+use crate::error::{Result, XmlError, XmlErrorKind};
+use crate::escape::{resolve_entity, unescape};
+
+/// An attribute on a start tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, verbatim.
+    pub name: String,
+    /// Attribute value with entities resolved.
+    pub value: String,
+}
+
+/// A parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="…">` or the opening half of `<name/>`.
+    StartElement {
+        /// Element name, verbatim.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// `</name>` or the closing half of `<name/>`.
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data (entities resolved). CDATA sections also arrive here.
+    Text(String),
+    /// `<!-- … -->` (content verbatim, without the delimiters).
+    Comment(String),
+    /// `<?target data?>` other than the XML declaration.
+    ProcessingInstruction(String),
+}
+
+/// Pull parser over an in-memory document.
+pub struct Reader<'a> {
+    input: &'a str,
+    pos: usize,
+    stack: Vec<String>,
+    seen_root: bool,
+    /// Queued end event for a self-closing tag.
+    pending_end: Option<String>,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `input`. A leading UTF-8 byte-order mark is
+    /// skipped (editors and exporters commonly prepend one).
+    pub fn new(input: &'a str) -> Reader<'a> {
+        let pos = if input.starts_with('\u{feff}') { 3 } else { 0 };
+        Reader {
+            input,
+            pos,
+            stack: Vec::new(),
+            seen_root: false,
+            pending_end: None,
+        }
+    }
+
+    /// Current byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Depth of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err<T>(&self, kind: XmlErrorKind) -> Result<T> {
+        Err(XmlError {
+            offset: self.pos,
+            kind,
+        })
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_whitespace(&mut self) {
+        let rest = self.rest();
+        let trimmed = rest.trim_start();
+        self.pos += rest.len() - trimmed.len();
+    }
+
+    /// Returns the next event, or `None` at a well-formed end of input.
+    pub fn next_event(&mut self) -> Result<Option<Event>> {
+        if let Some(name) = self.pending_end.take() {
+            self.pop_stack(&name)?;
+            return Ok(Some(Event::EndElement { name }));
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if !self.stack.is_empty() {
+                    return self.err(XmlErrorKind::UnclosedElements(self.stack.len()));
+                }
+                if !self.seen_root {
+                    return self.err(XmlErrorKind::NoRootElement);
+                }
+                return Ok(None);
+            }
+            if self.starts_with("<?") {
+                let pi = self.read_pi()?;
+                // Swallow the XML declaration; surface other PIs.
+                if !pi.starts_with("xml ") && pi != "xml" {
+                    return Ok(Some(Event::ProcessingInstruction(pi)));
+                }
+                continue;
+            }
+            if self.starts_with("<!--") {
+                return Ok(Some(Event::Comment(self.read_comment()?)));
+            }
+            if self.starts_with("<![CDATA[") {
+                return Ok(Some(Event::Text(self.read_cdata()?)));
+            }
+            if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+                continue;
+            }
+            if self.starts_with("</") {
+                let name = self.read_close_tag()?;
+                self.pop_stack(&name)?;
+                return Ok(Some(Event::EndElement { name }));
+            }
+            if self.starts_with("<") {
+                return self.read_open_tag().map(Some);
+            }
+            // Character data up to the next '<'.
+            let text = self.read_text()?;
+            if self.stack.is_empty() {
+                // Outside the root only whitespace is allowed.
+                if text.trim().is_empty() {
+                    continue;
+                }
+                return self.err(if self.seen_root {
+                    XmlErrorKind::TrailingContent
+                } else {
+                    XmlErrorKind::NoRootElement
+                });
+            }
+            return Ok(Some(Event::Text(text)));
+        }
+    }
+
+    fn pop_stack(&mut self, name: &str) -> Result<()> {
+        match self.stack.pop() {
+            Some(open) if open == name => Ok(()),
+            Some(open) => self.err(XmlErrorKind::MismatchedClose {
+                expected: open,
+                found: name.to_string(),
+            }),
+            None => self.err(XmlErrorKind::UnmatchedClose(name.to_string())),
+        }
+    }
+
+    fn read_text(&mut self) -> Result<String> {
+        let rest = self.rest();
+        let end = rest.find('<').unwrap_or(rest.len());
+        let raw = &rest[..end];
+        self.bump(end);
+        unescape(raw).map_err(|mut e| {
+            e.offset += self.pos - raw.len();
+            e
+        })
+    }
+
+    fn read_pi(&mut self) -> Result<String> {
+        debug_assert!(self.starts_with("<?"));
+        self.bump(2);
+        let rest = self.rest();
+        let Some(end) = rest.find("?>") else {
+            return self.err(XmlErrorKind::UnexpectedEof("processing instruction"));
+        };
+        let body = rest[..end].to_string();
+        self.bump(end + 2);
+        Ok(body)
+    }
+
+    fn read_comment(&mut self) -> Result<String> {
+        debug_assert!(self.starts_with("<!--"));
+        self.bump(4);
+        let rest = self.rest();
+        let Some(end) = rest.find("-->") else {
+            return self.err(XmlErrorKind::UnexpectedEof("comment"));
+        };
+        let body = rest[..end].to_string();
+        self.bump(end + 3);
+        Ok(body)
+    }
+
+    fn read_cdata(&mut self) -> Result<String> {
+        debug_assert!(self.starts_with("<![CDATA["));
+        self.bump(9);
+        let rest = self.rest();
+        let Some(end) = rest.find("]]>") else {
+            return self.err(XmlErrorKind::UnexpectedEof("CDATA section"));
+        };
+        let body = rest[..end].to_string();
+        self.bump(end + 3);
+        Ok(body)
+    }
+
+    fn skip_doctype(&mut self) -> Result<()> {
+        debug_assert!(self.starts_with("<!DOCTYPE"));
+        self.bump(9);
+        // Scan to the matching '>' — an internal subset may contain '[' … ']'.
+        let mut in_subset = false;
+        let rest = self.rest();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '[' => in_subset = true,
+                ']' => in_subset = false,
+                '>' if !in_subset => {
+                    self.bump(i + 1);
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+        self.err(XmlErrorKind::UnexpectedEof("DOCTYPE declaration"))
+    }
+
+    fn read_close_tag(&mut self) -> Result<String> {
+        debug_assert!(self.starts_with("</"));
+        self.bump(2);
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        if !self.starts_with(">") {
+            let c = self.rest().chars().next().unwrap_or('\0');
+            return self.err(XmlErrorKind::Unexpected(c, "close tag"));
+        }
+        self.bump(1);
+        Ok(name)
+    }
+
+    fn read_open_tag(&mut self) -> Result<Event> {
+        debug_assert!(self.starts_with("<"));
+        self.bump(1);
+        let name = self.read_name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("/>") {
+                self.bump(2);
+                self.seen_root = true;
+                self.stack.push(name.clone());
+                self.pending_end = Some(name.clone());
+                return Ok(Event::StartElement { name, attributes });
+            }
+            if self.starts_with(">") {
+                self.bump(1);
+                self.seen_root = true;
+                self.stack.push(name.clone());
+                return Ok(Event::StartElement { name, attributes });
+            }
+            if self.pos >= self.input.len() {
+                return self.err(XmlErrorKind::UnexpectedEof("open tag"));
+            }
+            let attr = self.read_attribute()?;
+            if attributes.iter().any(|a| a.name == attr.name) {
+                return self.err(XmlErrorKind::DuplicateAttribute(attr.name));
+            }
+            attributes.push(attr);
+        }
+    }
+
+    fn read_attribute(&mut self) -> Result<Attribute> {
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        if !self.starts_with("=") {
+            let c = self.rest().chars().next().unwrap_or('\0');
+            return self.err(XmlErrorKind::Unexpected(c, "attribute (expected '=')"));
+        }
+        self.bump(1);
+        self.skip_whitespace();
+        let quote = match self.rest().chars().next() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => return self.err(XmlErrorKind::Unexpected(c, "attribute value")),
+            None => return self.err(XmlErrorKind::UnexpectedEof("attribute value")),
+        };
+        self.bump(1);
+        let rest = self.rest();
+        let Some(end) = rest.find(quote) else {
+            return self.err(XmlErrorKind::UnexpectedEof("attribute value"));
+        };
+        let raw = &rest[..end];
+        self.bump(end + 1);
+        let value = unescape(raw).map_err(|mut e| {
+            e.offset += self.pos - raw.len() - 1;
+            e
+        })?;
+        Ok(Attribute { name, value })
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        let rest = self.rest();
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start(c) => {}
+            _ => return self.err(XmlErrorKind::InvalidName),
+        }
+        let mut end = rest.len();
+        for (i, c) in chars {
+            if !is_name_char(c) {
+                end = i;
+                break;
+            }
+        }
+        let name = rest[..end].to_string();
+        self.bump(end);
+        Ok(name)
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.')
+}
+
+/// Resolves a standalone entity name — re-exported convenience for callers
+/// that process raw text fragments themselves.
+pub fn entity(name: &str) -> Result<char> {
+    resolve_entity(name, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Result<Vec<Event>> {
+        let mut r = Reader::new(input);
+        let mut out = Vec::new();
+        while let Some(e) = r.next_event()? {
+            out.push(e);
+        }
+        Ok(out)
+    }
+
+    fn start(name: &str) -> Event {
+        Event::StartElement {
+            name: name.into(),
+            attributes: vec![],
+        }
+    }
+
+    fn end(name: &str) -> Event {
+        Event::EndElement { name: name.into() }
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events("<a><b>hi</b></a>").unwrap();
+        assert_eq!(
+            evs,
+            vec![
+                start("a"),
+                start("b"),
+                Event::Text("hi".into()),
+                end("b"),
+                end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_emits_both_events() {
+        let evs = events("<a><b/></a>").unwrap();
+        assert_eq!(evs, vec![start("a"), start("b"), end("b"), end("a")]);
+    }
+
+    #[test]
+    fn attributes_are_parsed_with_entities() {
+        let evs = events(r#"<a x="1" y='two &amp; three'/>"#).unwrap();
+        let Event::StartElement { attributes, .. } = &evs[0] else {
+            panic!("expected start");
+        };
+        assert_eq!(attributes.len(), 2);
+        assert_eq!(attributes[0].name, "x");
+        assert_eq!(attributes[0].value, "1");
+        assert_eq!(attributes[1].value, "two & three");
+    }
+
+    #[test]
+    fn text_entities_are_resolved() {
+        let evs = events("<a>x &lt; y &#65;</a>").unwrap();
+        assert_eq!(evs[1], Event::Text("x < y A".into()));
+    }
+
+    #[test]
+    fn cdata_is_verbatim_text() {
+        let evs = events("<a><![CDATA[<raw> & stuff]]></a>").unwrap();
+        assert_eq!(evs[1], Event::Text("<raw> & stuff".into()));
+    }
+
+    #[test]
+    fn declaration_doctype_comments_and_pis() {
+        let doc = r#"<?xml version="1.0"?>
+<!DOCTYPE article [ <!ENTITY foo "bar"> ]>
+<!-- header -->
+<a><?target data?></a>"#;
+        let evs = events(doc).unwrap();
+        assert_eq!(
+            evs,
+            vec![
+                Event::Comment(" header ".into()),
+                start("a"),
+                Event::ProcessingInstruction("target data".into()),
+                end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn mismatched_close_is_rejected() {
+        let e = events("<a><b></a></b>").unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::MismatchedClose { .. }));
+    }
+
+    #[test]
+    fn unclosed_elements_are_rejected() {
+        let e = events("<a><b>").unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::UnclosedElements(2)));
+    }
+
+    #[test]
+    fn unmatched_close_is_rejected() {
+        let e = events("<a></a></b>").unwrap_err();
+        // After the root closed, `</b>` has no opener.
+        assert!(matches!(
+            e.kind,
+            XmlErrorKind::UnmatchedClose(_) | XmlErrorKind::TrailingContent
+        ));
+    }
+
+    #[test]
+    fn trailing_content_is_rejected() {
+        let e = events("<a/>tail").unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::TrailingContent));
+    }
+
+    #[test]
+    fn empty_input_has_no_root() {
+        let e = events("   ").unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn duplicate_attribute_is_rejected() {
+        let e = events(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn whitespace_in_tags_is_tolerated() {
+        let evs = events("<a  x = \"1\" ></a >").unwrap();
+        assert_eq!(evs.len(), 2);
+    }
+
+    #[test]
+    fn unicode_names_and_text() {
+        let evs = events("<résumé>café ☕</résumé>").unwrap();
+        assert_eq!(evs[0], start("résumé"));
+        assert_eq!(evs[1], Event::Text("café ☕".into()));
+    }
+
+    #[test]
+    fn deeply_nested_document() {
+        let mut doc = String::new();
+        for _ in 0..500 {
+            doc.push_str("<d>");
+        }
+        doc.push('x');
+        for _ in 0..500 {
+            doc.push_str("</d>");
+        }
+        let evs = events(&doc).unwrap();
+        assert_eq!(evs.len(), 1001);
+    }
+
+    #[test]
+    fn utf8_bom_is_skipped() {
+        let evs = events("\u{feff}<a>x</a>").unwrap();
+        assert_eq!(evs.len(), 3);
+        // BOM in the middle of text is content, not a marker.
+        let evs = events("<a>x\u{feff}y</a>").unwrap();
+        assert_eq!(evs[1], Event::Text("x\u{feff}y".into()));
+    }
+
+    #[test]
+    fn depth_tracks_open_elements() {
+        let mut r = Reader::new("<a><b/></a>");
+        r.next_event().unwrap(); // <a>
+        assert_eq!(r.depth(), 1);
+        r.next_event().unwrap(); // <b>
+        assert_eq!(r.depth(), 2);
+        r.next_event().unwrap(); // </b>
+        assert_eq!(r.depth(), 1);
+    }
+}

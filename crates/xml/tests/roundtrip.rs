@@ -1,0 +1,92 @@
+//! Property tests: serialising any generated DOM and re-parsing it yields
+//! the same document, and arbitrary text survives escaping.
+
+use proptest::prelude::*;
+use trex_xml::{escape, Document, NodeKind};
+
+/// A strategy producing small random XML documents as strings, built
+/// recursively from safe tag names and arbitrary text.
+fn xml_tree() -> impl Strategy<Value = String> {
+    let tag = proptest::sample::select(vec!["a", "b", "sec", "p", "article", "x1"]);
+    let text = "[ -~]{0,20}"; // printable ASCII, escaped below
+    let leaf = (tag.clone(), text).prop_map(|(t, body)| {
+        format!("<{t}>{}</{t}>", escape::escape_text(&body))
+    });
+    leaf.prop_recursive(4, 64, 5, move |inner| {
+        (
+            proptest::sample::select(vec!["a", "b", "sec", "p", "article", "x1"]),
+            proptest::collection::vec(inner, 0..4),
+            "[ -~]{0,10}",
+        )
+            .prop_map(|(t, children, tail)| {
+                format!(
+                    "<{t}>{}{}</{t}>",
+                    children.concat(),
+                    escape::escape_text(&tail)
+                )
+            })
+    })
+}
+
+fn shape(doc: &Document) -> Vec<(Option<String>, usize)> {
+    doc.descendants(doc.root())
+        .map(|id| {
+            let name = doc.name(id).map(str::to_string);
+            let children = doc.node(id).children.len();
+            (name, children)
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn prop_parse_serialize_parse_is_identity(xml in xml_tree()) {
+        let doc = Document::parse(&xml).unwrap();
+        let serialised = doc.to_xml();
+        let reparsed = Document::parse(&serialised).unwrap();
+        prop_assert_eq!(shape(&doc), shape(&reparsed));
+        prop_assert_eq!(doc.text_content(doc.root()), reparsed.text_content(reparsed.root()));
+        // Serialisation is a fixed point after one round.
+        prop_assert_eq!(reparsed.to_xml(), serialised);
+    }
+
+    #[test]
+    fn prop_escape_unescape_round_trips(text in "\\PC{0,80}") {
+        let escaped = escape::escape_attr(&text);
+        prop_assert_eq!(escape::unescape(&escaped).unwrap(), text);
+    }
+
+    #[test]
+    fn prop_parser_never_panics_on_arbitrary_input(input in "\\PC{0,200}") {
+        // Errors are fine; panics are not.
+        let _ = Document::parse(&input);
+    }
+
+    #[test]
+    fn prop_reader_depth_balanced(xml in xml_tree()) {
+        use trex_xml::{Event, Reader};
+        let mut reader = Reader::new(&xml);
+        let mut depth = 0i64;
+        while let Some(event) = reader.next_event().unwrap() {
+            match event {
+                Event::StartElement { .. } => depth += 1,
+                Event::EndElement { .. } => depth -= 1,
+                _ => {}
+            }
+            prop_assert!(depth >= 0);
+        }
+        prop_assert_eq!(depth, 0);
+    }
+}
+
+#[test]
+fn text_nodes_never_adjacent_after_parse() {
+    let doc = Document::parse("<a>one<b/>two<![CDATA[three]]>four</a>").unwrap();
+    let children = &doc.node(doc.root()).children;
+    let mut prev_text = false;
+    for &c in children {
+        let is_text = matches!(doc.node(c).kind, NodeKind::Text(_));
+        assert!(!(prev_text && is_text), "adjacent text nodes must merge");
+        prev_text = is_text;
+    }
+}

@@ -1,0 +1,70 @@
+//! Reproduces the paper's Table 1 at a reduced scale: builds the synthetic
+//! IEEE-like and Wikipedia-like collections, translates the seven INEX
+//! queries, and reports #sids / #terms / #answers per query.
+//!
+//! ```sh
+//! cargo run --release --example paper_queries [-- <ieee_docs> <wiki_docs>]
+//! ```
+
+use trex::corpus::{Collection, CorpusConfig, IeeeGenerator, WikiGenerator, PAPER_QUERIES};
+use trex::{Strategy, TrexConfig, TrexSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let ieee_docs: usize = args.get(1).map_or(400, |s| s.parse().expect("ieee docs"));
+    let wiki_docs: usize = args.get(2).map_or(800, |s| s.parse().expect("wiki docs"));
+
+    let tmp = std::env::temp_dir();
+    let ieee_store = tmp.join(format!("trex-paperq-ieee-{}.db", std::process::id()));
+    let wiki_store = tmp.join(format!("trex-paperq-wiki-{}.db", std::process::id()));
+
+    eprintln!("building IEEE-like collection ({ieee_docs} docs)…");
+    let ieee = TrexSystem::build(
+        TrexConfig::new(&ieee_store),
+        IeeeGenerator::new(CorpusConfig {
+            docs: ieee_docs,
+            ..CorpusConfig::ieee_default()
+        })
+        .documents(),
+    )?;
+
+    eprintln!("building Wikipedia-like collection ({wiki_docs} docs)…");
+    let wiki = {
+        let mut config = TrexConfig::new(&wiki_store);
+        config.alias = trex::AliasMap::inex_wiki();
+        TrexSystem::build(
+            config,
+            WikiGenerator::new(CorpusConfig {
+                docs: wiki_docs,
+                ..CorpusConfig::wiki_default()
+            })
+            .documents(),
+        )?
+    };
+
+    println!("\nTable 1 (synthetic scale: {ieee_docs} IEEE-like / {wiki_docs} Wiki-like docs)");
+    println!("{:>4}  {:<74} {:<5} {:>5} {:>6} {:>8}", "ID", "NEXI Expression", "Coll", "#sids", "#terms", "#answers");
+    for q in PAPER_QUERIES {
+        let system = match q.collection {
+            Collection::Ieee => &ieee,
+            Collection::Wiki => &wiki,
+        };
+        let result = system.search_with(q.nexi, None, Strategy::Era)?;
+        println!(
+            "{:>4}  {:<74} {:<5} {:>5} {:>6} {:>8}",
+            q.id,
+            q.nexi,
+            match q.collection {
+                Collection::Ieee => "IEEE",
+                Collection::Wiki => "Wiki",
+            },
+            result.translation.sids.len(),
+            result.translation.terms.len(),
+            result.total_answers,
+        );
+    }
+
+    std::fs::remove_file(&ieee_store).ok();
+    std::fs::remove_file(&wiki_store).ok();
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! The self-managing advisor (paper §4): give TReX a workload and a disk
+//! budget; it measures per-query savings, solves the selection problem
+//! (greedy and exact LP), materialises the chosen RPL/ERPL lists, and drops
+//! the rest.
+//!
+//! ```sh
+//! cargo run --release --example self_managing
+//! ```
+
+use trex::corpus::{CorpusConfig, IeeeGenerator};
+use trex::{
+    AdvisorOptions, SelectionMethod, TrexConfig, TrexSystem, Workload,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let store = std::env::temp_dir().join(format!("trex-selfmgmt-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&store);
+
+    eprintln!("building IEEE-like collection…");
+    let system = TrexSystem::build(
+        TrexConfig::new(&store),
+        IeeeGenerator::new(CorpusConfig {
+            docs: 250,
+            ..CorpusConfig::ieee_default()
+        })
+        .documents(),
+    )?;
+
+    // A workload in the sense of Definition 4.1: frequencies sum to 1.
+    let workload = Workload::from_weights(vec![
+        ("//article//sec[about(., xml query evaluation)]".into(), 5.0, 10),
+        ("//article[about(., ontologies)]//sec[about(., ontologies case study)]".into(), 3.0, 10),
+        ("//sec[about(., code signing verification)]".into(), 2.0, 20),
+    ])?;
+
+    for (label, method) in [
+        ("greedy (2-approximation, §4.2)", SelectionMethod::Greedy),
+        ("exact boolean LP (§4.1)", SelectionMethod::Lp),
+    ] {
+        for budget in [4 * 1024u64, 64 * 1024, 4 * 1024 * 1024] {
+            let report = system.advisor().apply(
+                &workload,
+                AdvisorOptions {
+                    budget_bytes: budget,
+                    method,
+                    measure_runs: 1,
+                },
+            )?;
+            println!("\n{label}, budget {budget} bytes:");
+            for (i, (choice, wq)) in report
+                .selection
+                .choices
+                .iter()
+                .zip(workload.queries())
+                .enumerate()
+            {
+                println!(
+                    "  Q{i} (f={:.2}) {:<68} -> {:?}",
+                    wq.frequency, wq.nexi, choice
+                );
+            }
+            println!(
+                "  kept {} bytes of redundant lists, dropped {} lists, expected saving {:.6}s per workload execution",
+                report.bytes_used, report.lists_dropped, report.expected_saving
+            );
+            assert!(report.bytes_used <= budget || report.bytes_used == 0);
+        }
+    }
+
+    std::fs::remove_file(&store).ok();
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! End-to-end tests of the `trex` command-line binary, driven through
+//! `CARGO_BIN_EXE_trex` (no extra dependencies).
+
+use std::process::Command;
+
+fn trex() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trex"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = trex().args(args).output().expect("spawn trex");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("trex-cli-{name}-{}.db", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn full_cli_round_trip() {
+    let store = temp("roundtrip");
+    let _ = std::fs::remove_file(&store);
+
+    // build
+    let (ok, _, err) = run(&["build", &store, "--synthetic", "ieee", "--docs", "40", "--store-docs"]);
+    assert!(ok, "build failed: {err}");
+    assert!(err.contains("40 documents"), "{err}");
+
+    // info
+    let (ok, out, _) = run(&["info", &store]);
+    assert!(ok);
+    assert!(out.contains("documents        40"), "{out}");
+    assert!(out.contains("summary"), "{out}");
+
+    // query (ERA via auto)
+    let query = "//article//sec[about(., xml query evaluation)]";
+    let (ok, out, err) = run(&["query", &store, query, "-k", "3", "--snippets"]);
+    assert!(ok, "{err}");
+    assert!(err.contains("strategy ERA"), "{err}");
+    assert!(out.contains("score"), "{out}");
+    assert!(out.contains("<sec>") || out.contains("<ss"), "snippets shown: {out}");
+
+    // explain before materialisation
+    let (ok, out, _) = run(&["explain", &store, query]);
+    assert!(ok);
+    assert!(out.contains("RPLs materialised:  false"), "{out}");
+    assert!(out.contains("auto would run:     Era"), "{out}");
+
+    // materialize + TA + race
+    let (ok, _, err) = run(&["materialize", &store, query]);
+    assert!(ok, "{err}");
+    let (ok, _, err) = run(&["query", &store, query, "-k", "3", "--strategy", "ta"]);
+    assert!(ok, "{err}");
+    assert!(err.contains("strategy TA"), "{err}");
+    let (ok, _, err) = run(&["query", &store, query, "-k", "3", "--strategy", "race"]);
+    assert!(ok, "{err}");
+    assert!(err.contains("Race ("), "{err}");
+
+    // advise
+    let workload = std::env::temp_dir().join(format!("trex-cli-wl-{}.txt", std::process::id()));
+    std::fs::write(&workload, format!("1 10 {query}\n")).unwrap();
+    let (ok, out, err) = run(&[
+        "advise",
+        &store,
+        "--workload",
+        workload.to_str().unwrap(),
+        "--budget",
+        "10000000",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("kept"), "{out}");
+
+    std::fs::remove_file(&store).ok();
+    std::fs::remove_file(&workload).ok();
+}
+
+#[test]
+fn cli_reports_errors_cleanly() {
+    // Unknown store file.
+    let (ok, _, err) = run(&["query", "/nonexistent/trex.db", "//a[about(., x)]"]);
+    assert!(!ok);
+    assert!(err.contains("error:"), "{err}");
+
+    // Malformed query.
+    let store = temp("badquery");
+    // 40 docs: large enough that the query terms below exist in the
+    // dictionary (an unknown term makes the TA coverage check vacuous and
+    // TA legitimately returns an empty result instead of erroring).
+    let (ok, _, _) = run(&["build", &store, "--synthetic", "ieee", "--docs", "40"]);
+    assert!(ok);
+    let (ok, _, err) = run(&["query", &store, "not a query"]);
+    assert!(!ok);
+    assert!(err.contains("error:"), "{err}");
+
+    // TA without materialised lists.
+    let (ok, _, err) = run(&["query", &store, "//article//sec[about(., xml)]", "--strategy", "ta"]);
+    assert!(!ok);
+    assert!(err.contains("RPL"), "{err}");
+
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn cli_help_lists_commands() {
+    let (ok, out, _) = run(&[]);
+    assert!(ok);
+    for cmd in ["build", "info", "query", "explain", "materialize", "advise"] {
+        assert!(out.contains(cmd), "help missing {cmd}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Integration tests of the self-managing layer against a real index:
+//! profiling, selection under budgets, and store reconciliation.
+
+use trex::corpus::{CorpusConfig, IeeeGenerator};
+use trex::{
+    AdvisorOptions, ListKind, SelectionMethod, Strategy, TrexConfig, TrexSystem, Workload,
+};
+
+fn temp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("trex-sm-{name}-{}.db", std::process::id()))
+}
+
+fn build(name: &str, docs: usize) -> (TrexSystem, std::path::PathBuf) {
+    let store = temp(name);
+    let system = TrexSystem::build(
+        TrexConfig::new(&store),
+        IeeeGenerator::new(CorpusConfig {
+            docs,
+            ..CorpusConfig::ieee_default()
+        })
+        .documents(),
+    )
+    .unwrap();
+    (system, store)
+}
+
+fn workload() -> Workload {
+    Workload::from_weights(vec![
+        ("//article//sec[about(., xml query evaluation)]".into(), 3.0, 10),
+        ("//sec[about(., code signing verification)]".into(), 1.0, 10),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn profile_measures_costs_and_list_sizes() {
+    let (system, store) = build("profile", 60);
+    let costs = system.advisor().profile(&workload(), 1).unwrap();
+    assert_eq!(costs.len(), 2);
+    for c in &costs {
+        assert!(c.frequency > 0.0);
+        assert!(c.delta_merge >= 0.0 && c.delta_ta >= 0.0);
+        assert!(!c.rpl_lists.is_empty());
+        assert!(!c.erpl_lists.is_empty());
+        assert!(c.s_rpl() > 0);
+        assert!(c.s_erpl() > 0);
+    }
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn generous_budget_supports_every_query() {
+    let (system, store) = build("generous", 60);
+    let report = system
+        .advisor()
+        .apply(
+            &workload(),
+            AdvisorOptions {
+                budget_bytes: 64 * 1024 * 1024,
+                method: SelectionMethod::Greedy,
+                measure_runs: 1,
+            },
+        )
+        .unwrap();
+    assert!(
+        report
+            .selection
+            .choices
+            .iter()
+            .all(|c| *c != trex::core::Choice::None),
+        "every query should be supported: {:?}",
+        report.selection.choices
+    );
+    // The supported strategies must now actually run.
+    for (wq, choice) in workload().queries().iter().zip(&report.selection.choices) {
+        let strategy = match choice {
+            trex::core::Choice::Erpl => Strategy::Merge,
+            trex::core::Choice::Rpl => Strategy::Ta,
+            trex::core::Choice::None => continue,
+        };
+        system.search_with(&wq.nexi, Some(wq.k), strategy).unwrap();
+    }
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn zero_budget_drops_everything() {
+    let (system, store) = build("zero", 40);
+    // Materialise something first so reconciliation has work to do.
+    system
+        .materialize_for("//article//sec[about(., xml)]", ListKind::Both)
+        .unwrap();
+    let report = system
+        .advisor()
+        .apply(
+            &workload(),
+            AdvisorOptions {
+                budget_bytes: 0,
+                method: SelectionMethod::Greedy,
+                measure_runs: 1,
+            },
+        )
+        .unwrap();
+    assert!(report
+        .selection
+        .choices
+        .iter()
+        .all(|c| *c == trex::core::Choice::None));
+    assert_eq!(report.bytes_used, 0, "reconciliation must drop all lists");
+    assert!(report.lists_dropped > 0);
+    // TA now fails (no RPLs), ERA still works.
+    assert!(system
+        .search_with("//article//sec[about(., xml query evaluation)]", Some(5), Strategy::Ta)
+        .is_err());
+    assert!(system
+        .search_with("//article//sec[about(., xml query evaluation)]", Some(5), Strategy::Era)
+        .is_ok());
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn budget_is_respected_by_both_methods() {
+    let (system, store) = build("budget", 60);
+    let costs = system.advisor().profile(&workload(), 1).unwrap();
+    // A budget that fits only the smaller query's lists.
+    let smaller = costs.iter().map(|c| c.s_erpl().min(c.s_rpl())).min().unwrap();
+    let budget = smaller + smaller / 2;
+    for method in [SelectionMethod::Greedy, SelectionMethod::Lp] {
+        let report = system
+            .advisor()
+            .apply(
+                &workload(),
+                AdvisorOptions {
+                    budget_bytes: budget,
+                    method,
+                    measure_runs: 1,
+                },
+            )
+            .unwrap();
+        assert!(
+            report.bytes_used <= budget,
+            "{method:?}: used {} > budget {budget}",
+            report.bytes_used
+        );
+    }
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn lp_never_beats_more_than_twice_greedy() {
+    // Theorem 4.2 on a *real* profiled instance (not just synthetic costs).
+    let (system, store) = build("thm", 60);
+    let costs = system.advisor().profile(&workload(), 1).unwrap();
+    let total: u64 = costs.iter().map(|c| c.s_erpl() + c.s_rpl()).sum();
+    for budget in [total / 8, total / 4, total / 2, total] {
+        let greedy = trex::core::selfmanage::solve_greedy(&costs, budget);
+        let lp = trex::core::selfmanage::solve_lp(&costs, budget);
+        let g = greedy.saving(&costs);
+        let o = lp.saving(&costs);
+        assert!(o <= 2.0 * g + 1e-12, "budget {budget}: lp {o} > 2×greedy {g}");
+    }
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn advisor_handles_random_workloads() {
+    use trex::corpus::{random_workload, Collection};
+
+    let (system, store) = build("random-wl", 60);
+    let entries = random_workload(Collection::Ieee, 6, 42);
+    let workload = Workload::from_weights(entries).unwrap();
+    let costs = system.advisor().profile(&workload, 1).unwrap();
+    assert_eq!(costs.len(), 6);
+    let total: u64 = costs.iter().map(|c| c.s_erpl() + c.s_rpl()).sum();
+    for budget in [total / 4, total] {
+        let report = system
+            .advisor()
+            .apply(
+                &workload,
+                AdvisorOptions {
+                    budget_bytes: budget,
+                    method: SelectionMethod::Greedy,
+                    measure_runs: 1,
+                },
+            )
+            .unwrap();
+        assert!(report.bytes_used <= budget);
+        // Every supported query must actually run with its chosen strategy.
+        for (wq, choice) in workload.queries().iter().zip(&report.selection.choices) {
+            let strategy = match choice {
+                trex::core::Choice::Erpl => Strategy::Merge,
+                trex::core::Choice::Rpl => Strategy::Ta,
+                trex::core::Choice::None => continue,
+            };
+            system.search_with(&wq.nexi, Some(wq.k), strategy).unwrap();
+        }
+    }
+    std::fs::remove_file(&store).ok();
+}

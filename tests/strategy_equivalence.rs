@@ -1,0 +1,168 @@
+//! The load-bearing correctness property of the whole system: ERA, TA and
+//! Merge are three implementations of the *same* retrieval semantics, so on
+//! any corpus and any query they must return the same answers with the same
+//! scores. Includes a property test over generated corpora.
+
+use proptest::prelude::*;
+use trex::corpus::{CorpusConfig, IeeeGenerator, WikiGenerator, PAPER_QUERIES};
+use trex::{EvalOptions, ListKind, Strategy, TrexConfig, TrexSystem};
+
+fn temp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("trex-equiv-{name}-{}.db", std::process::id()))
+}
+
+/// Compare two ranked answer lists: same elements, same scores (within
+/// float tolerance). Ties may be ordered differently only if scores equal —
+/// our tiebreak is deterministic, so we demand exact element equality.
+fn assert_same_ranking(a: &[trex::Answer], b: &[trex::Answer], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: lengths differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.element, y.element, "{label}: rank {i} element differs");
+        assert!(
+            (x.score - y.score).abs() <= 1e-4 * x.score.abs().max(1.0),
+            "{label}: rank {i} score {} vs {}",
+            x.score,
+            y.score
+        );
+    }
+}
+
+fn check_equivalence(system: &TrexSystem, query: &str, ks: &[usize]) {
+    system.materialize_for(query, ListKind::Both).unwrap();
+    let engine = system.engine();
+    let eval = |strategy, k| {
+        engine
+            .evaluate(
+                query,
+                EvalOptions {
+                    k,
+                    strategy,
+                    measure_heap: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+    };
+
+    // All answers: ERA vs Merge.
+    let era_all = eval(Strategy::Era, None);
+    let merge_all = eval(Strategy::Merge, None);
+    assert_eq!(era_all.total_answers, merge_all.total_answers, "{query}");
+    assert_same_ranking(&era_all.answers, &merge_all.answers, query);
+
+    // Top-k: all three agree.
+    for &k in ks {
+        let era = eval(Strategy::Era, Some(k));
+        let ta = eval(Strategy::Ta, Some(k));
+        let merge = eval(Strategy::Merge, Some(k));
+        assert_same_ranking(&era.answers, &ta.answers, &format!("{query} k={k} (TA)"));
+        assert_same_ranking(&era.answers, &merge.answers, &format!("{query} k={k} (Merge)"));
+    }
+}
+
+#[test]
+fn strategies_agree_on_ieee_paper_queries() {
+    let store = temp("ieee");
+    let system = TrexSystem::build(
+        TrexConfig::new(&store),
+        IeeeGenerator::new(CorpusConfig {
+            docs: 120,
+            ..CorpusConfig::ieee_default()
+        })
+        .documents(),
+    )
+    .unwrap();
+    for q in PAPER_QUERIES.iter().filter(|q| q.collection == trex::corpus::Collection::Ieee) {
+        check_equivalence(&system, q.nexi, &[1, 5, 50]);
+    }
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn strategies_agree_on_wiki_paper_queries() {
+    let store = temp("wiki");
+    let mut config = TrexConfig::new(&store);
+    config.alias = trex::AliasMap::inex_wiki();
+    let system = TrexSystem::build(
+        config,
+        WikiGenerator::new(CorpusConfig {
+            docs: 200,
+            ..CorpusConfig::wiki_default()
+        })
+        .documents(),
+    )
+    .unwrap();
+    for q in PAPER_QUERIES.iter().filter(|q| q.collection == trex::corpus::Collection::Wiki) {
+        check_equivalence(&system, q.nexi, &[1, 10, 100]);
+    }
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn strategies_agree_on_nested_wildcard_query() {
+    let store = temp("wild");
+    let system = TrexSystem::build(
+        TrexConfig::new(&store),
+        IeeeGenerator::new(CorpusConfig {
+            docs: 80,
+            ..CorpusConfig::ieee_default()
+        })
+        .documents(),
+    )
+    .unwrap();
+    // Wildcard query: nested extents (sec within bdy within article) mean
+    // ancestor/descendant answers can share end positions — the hard case
+    // for element identity.
+    check_equivalence(
+        &system,
+        "//bdy//*[about(., model checking state space explosion)]",
+        &[1, 3, 25],
+    );
+    std::fs::remove_file(&store).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Random corpora (varying seed/size) × random k: the three strategies
+    /// always agree.
+    #[test]
+    fn prop_strategies_agree(seed in 0u64..1000, docs in 20usize..60, k in 1usize..40) {
+        let store = temp(&format!("prop-{seed}-{docs}-{k}"));
+        let system = TrexSystem::build(
+            TrexConfig::new(&store),
+            IeeeGenerator::new(CorpusConfig {
+                docs,
+                seed,
+                ..CorpusConfig::ieee_default()
+            })
+            .documents(),
+        )
+        .unwrap();
+        let query = "//article//sec[about(., xml query evaluation index)]";
+        system.materialize_for(query, ListKind::Both).unwrap();
+        let engine = system.engine();
+        let eval = |strategy| {
+            engine
+                .evaluate(query, EvalOptions {
+                    k: Some(k),
+                    strategy,
+                    measure_heap: false,
+                    ..Default::default()
+                })
+                .unwrap()
+        };
+        let era = eval(Strategy::Era);
+        let ta = eval(Strategy::Ta);
+        let merge = eval(Strategy::Merge);
+        prop_assert_eq!(era.answers.len(), ta.answers.len());
+        prop_assert_eq!(era.answers.len(), merge.answers.len());
+        for ((x, y), z) in era.answers.iter().zip(&ta.answers).zip(&merge.answers) {
+            prop_assert_eq!(x.element, y.element);
+            prop_assert_eq!(x.element, z.element);
+            prop_assert!((x.score - y.score).abs() <= 1e-4 * x.score.abs().max(1.0));
+            prop_assert!((x.score - z.score).abs() <= 1e-4 * x.score.abs().max(1.0));
+        }
+        std::fs::remove_file(&store).ok();
+    }
+}
