@@ -91,11 +91,7 @@ fn ablation_chunk(c: &mut Criterion) {
                 engine
                     .evaluate(
                         QUERY,
-                        EvalOptions {
-                            k: None,
-                            strategy: Strategy::Era,
-                            ..Default::default()
-                        },
+                        EvalOptions::new().strategy(Strategy::Era),
                     )
                     .unwrap()
             })
@@ -156,12 +152,7 @@ fn ablation_heap(c: &mut Criterion) {
                 engine
                     .evaluate_translated(
                         translation.clone(),
-                        EvalOptions {
-                            k: Some(10),
-                            strategy: Strategy::Ta,
-                            measure_heap,
-                            ..Default::default()
-                        },
+                        EvalOptions::new().k(10).strategy(Strategy::Ta).measure_heap(measure_heap),
                     )
                     .unwrap()
             })

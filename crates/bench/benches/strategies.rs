@@ -5,11 +5,11 @@
 //! These run at [`Scale::small`] so `cargo bench` completes quickly; the
 //! `experiments` binary runs the full sweep at the default scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 
 use trex::corpus::{Collection, PAPER_QUERIES};
-use trex::{EvalOptions, ListKind, Strategy, TrexSystem};
-use trex_bench::{build_collection, Scale};
+use trex::{EvalOptions, ListKind, Strategy, ToJson, TrexSystem, TA_PREDICTION_FACTOR};
+use trex_bench::{build_collection, store_dir, Scale};
 
 fn system(collection: Collection) -> TrexSystem {
     let scale = Scale::small();
@@ -29,11 +29,7 @@ fn figure_group(c: &mut Criterion, figure: &str, query_id: u32) {
     let total = engine
         .evaluate_translated(
             translation.clone(),
-            EvalOptions {
-                k: None,
-                strategy: Strategy::Era,
-                ..Default::default()
-            },
+            EvalOptions::new().strategy(Strategy::Era),
         )
         .expect("era")
         .total_answers
@@ -47,11 +43,7 @@ fn figure_group(c: &mut Criterion, figure: &str, query_id: u32) {
             engine
                 .evaluate_translated(
                     translation.clone(),
-                    EvalOptions {
-                        k: None,
-                        strategy: Strategy::Era,
-                        ..Default::default()
-                    },
+                    EvalOptions::new().strategy(Strategy::Era),
                 )
                 .unwrap()
         })
@@ -61,11 +53,7 @@ fn figure_group(c: &mut Criterion, figure: &str, query_id: u32) {
             engine
                 .evaluate_translated(
                     translation.clone(),
-                    EvalOptions {
-                        k: None,
-                        strategy: Strategy::Merge,
-                        ..Default::default()
-                    },
+                    EvalOptions::new().strategy(Strategy::Merge),
                 )
                 .unwrap()
         })
@@ -76,12 +64,7 @@ fn figure_group(c: &mut Criterion, figure: &str, query_id: u32) {
                 engine
                     .evaluate_translated(
                         translation.clone(),
-                        EvalOptions {
-                            k: Some(k),
-                            strategy: Strategy::Ta,
-                            measure_heap: false,
-                            ..Default::default()
-                        },
+                        EvalOptions::new().k(k).strategy(Strategy::Ta),
                     )
                     .unwrap()
             })
@@ -124,5 +107,79 @@ fn table1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig4, fig5, fig6, table1);
-criterion_main!(benches);
+/// Runs every group on one `Criterion` so the recorded results can be
+/// exported, then writes `BENCH_trace.json`: the bench timings, a traced
+/// run of each figure query, and the measured-versus-predicted cost-model
+/// validation.
+fn main() {
+    let mut criterion = Criterion::default();
+    fig4(&mut criterion);
+    fig5(&mut criterion);
+    fig6(&mut criterion);
+    table1(&mut criterion);
+
+    let mut out = String::from("{\"benches\":[");
+    for (i, r) in criterion.results().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"min_us\":{},\"median_us\":{},\"mean_us\":{},\"samples\":{}}}",
+            trex::obs::json_escape(&r.name),
+            r.min.as_micros(),
+            r.median.as_micros(),
+            r.mean.as_micros(),
+            r.samples
+        ));
+    }
+    out.push_str("],\"traces\":[");
+
+    let mut first = true;
+    for &query_id in &[202u32, 260, 233] {
+        let q = trex::corpus::paper_query(query_id).expect("known query");
+        let sys = system(q.collection);
+        sys.materialize_for(q.nexi, ListKind::Both).expect("materialize");
+        let engine = sys.engine();
+        for strategy in [Strategy::Ta, Strategy::Merge] {
+            let result = engine
+                .evaluate(q.nexi, EvalOptions::new().k(10).strategy(strategy).trace(true))
+                .expect("traced run");
+            let trace = result.trace.expect("trace requested");
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{{\"query\":{query_id},\"trace\":"));
+            trace.write_json(&mut out);
+            out.push('}');
+        }
+
+        // Measured vs predicted §4 access counts; the ratio must be finite
+        // and within the documented factor or the bench itself fails.
+        let validations = engine.validate_costs(q.nexi, 10).expect("cost validation");
+        for v in &validations {
+            assert!(
+                v.ratio().is_finite() && v.within_factor(TA_PREDICTION_FACTOR),
+                "query {query_id} {}: measured {} vs predicted {} outside factor {TA_PREDICTION_FACTOR}",
+                v.strategy,
+                v.measured,
+                v.predicted
+            );
+        }
+        out.push_str(",{\"query\":");
+        out.push_str(&query_id.to_string());
+        out.push_str(",\"cost_validation\":[");
+        for (i, v) in validations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(&mut out);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+
+    let path = store_dir().join("BENCH_trace.json");
+    std::fs::write(&path, &out).expect("write BENCH_trace.json");
+    println!("\nwrote {} ({} bytes)", path.display(), out.len());
+}

@@ -212,16 +212,16 @@ fn figures(scale: Scale, query_filter: Option<u32>, runs: usize) {
         // ERA and Merge compute all answers.
         let era_time = median_time(runs, || {
             engine
-                .evaluate_translated(translation.clone(), EvalOptions { k: None, strategy: Strategy::Era, ..Default::default() })
+                .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Era))
                 .expect("era")
         });
         let merge_time = median_time(runs, || {
             engine
-                .evaluate_translated(translation.clone(), EvalOptions { k: None, strategy: Strategy::Merge, ..Default::default() })
+                .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Merge))
                 .expect("merge")
         });
         let total = engine
-            .evaluate_translated(translation.clone(), EvalOptions { k: None, strategy: Strategy::Era, ..Default::default() })
+            .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Era))
             .expect("era")
             .total_answers;
         println!("   answers: {total}");
@@ -239,7 +239,7 @@ fn figures(scale: Scale, query_filter: Option<u32>, runs: usize) {
                     let result = engine
                         .evaluate_translated(
                             translation.clone(),
-                            EvalOptions { k: Some(k), strategy: Strategy::Ta, measure_heap: true, ..Default::default() },
+                            EvalOptions::new().k(k).strategy(Strategy::Ta).measure_heap(true),
                         )
                         .expect("ta");
                     match &result.stats {
@@ -298,7 +298,7 @@ fn depth(scale: Scale) {
             let result = engine
                 .evaluate_translated(
                     translation.clone(),
-                    EvalOptions { k: Some(k), strategy: Strategy::Ta, ..Default::default() },
+                    EvalOptions::new().k(k).strategy(Strategy::Ta),
                 )
                 .expect("ta");
             let StrategyStats::Ta(stats) = &result.stats else { unreachable!() };
@@ -415,7 +415,7 @@ fn race(scale: Scale, runs: usize) {
                     engine
                         .evaluate_translated(
                             translation.clone(),
-                            EvalOptions { k: Some(k), strategy, ..Default::default() },
+                            EvalOptions::new().k(k).strategy(strategy),
                         )
                         .expect("evaluate")
                 })
@@ -425,7 +425,7 @@ fn race(scale: Scale, runs: usize) {
             let race_result = engine
                 .evaluate_translated(
                     translation.clone(),
-                    EvalOptions { k: Some(k), strategy: Strategy::Race, ..Default::default() },
+                    EvalOptions::new().k(k).strategy(Strategy::Race),
                 )
                 .expect("race");
             let race_ms = ms(run(Strategy::Race));
@@ -461,16 +461,16 @@ fn scaling() {
         let translation = engine.translate(query, Default::default()).expect("translate");
         let era = median_time(3, || {
             engine
-                .evaluate_translated(translation.clone(), EvalOptions { k: None, strategy: Strategy::Era, ..Default::default() })
+                .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Era))
                 .expect("era")
         });
         let merge = median_time(3, || {
             engine
-                .evaluate_translated(translation.clone(), EvalOptions { k: None, strategy: Strategy::Merge, ..Default::default() })
+                .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Merge))
                 .expect("merge")
         });
         let answers = engine
-            .evaluate_translated(translation.clone(), EvalOptions { k: None, strategy: Strategy::Era, ..Default::default() })
+            .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Era))
             .expect("era")
             .total_answers;
         let pages = system.index().store().page_count();

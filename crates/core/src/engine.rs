@@ -6,9 +6,10 @@
 //! method with the paper's observed preferences: TA for small k when RPLs
 //! exist, Merge when ERPLs exist, ERA as the fallback.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use trex_nexi::{parse, translate, Interpretation, Translation, TranslationContext};
+use trex_obs::{QueryTrace, StageTimings};
 use trex_text::Analyzer;
 
 use trex_index::TrexIndex;
@@ -18,6 +19,8 @@ use crate::era::{era, EraStats};
 use crate::materialize::{erpls_cover, rpls_cover};
 use crate::merge::{merge, MergeStats};
 use crate::merge::merge_with_cancel;
+use crate::metrics::StrategyMetrics;
+use crate::selfmanage::cost::{predicted_merge_accesses, predicted_ta_accesses, CostValidation};
 use crate::ta::{ta, ta_with_cancel, TaOptions, TaStats};
 use crate::{Result, TrexError};
 
@@ -79,6 +82,18 @@ impl StrategyStats {
             StrategyStats::Race { wall, .. } => *wall,
         }
     }
+
+    /// The strategy that produced these stats, as a trace label
+    /// (`"race(ta)"` names the race's winner).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyStats::Era(_) => "era",
+            StrategyStats::Ta(_) => "ta",
+            StrategyStats::Merge(_) => "merge",
+            StrategyStats::Race { won_by: RaceWinner::Ta, .. } => "race(ta)",
+            StrategyStats::Race { won_by: RaceWinner::Merge, .. } => "race(merge)",
+        }
+    }
 }
 
 /// The result of evaluating a query.
@@ -93,10 +108,27 @@ pub struct QueryResult {
     pub translation: Translation,
     /// Which strategy ran, with statistics.
     pub stats: StrategyStats,
+    /// The query's observability trace (stage timings, storage / index /
+    /// cost-model counter deltas); present when the query ran with
+    /// [`EvalOptions::trace`] enabled.
+    pub trace: Option<QueryTrace>,
 }
 
-/// Options for [`QueryEngine::evaluate`].
-#[derive(Debug, Clone, Copy, Default)]
+/// Options for [`QueryEngine::evaluate`], assembled fluently:
+///
+/// ```
+/// use trex_core::{EvalOptions, Strategy};
+///
+/// let opts = EvalOptions::new().k(10).strategy(Strategy::Auto).trace(true);
+/// assert_eq!(opts.k, Some(10));
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: construct it with [`EvalOptions::new`]
+/// and the setters, so new knobs (trace today; timeouts, budgets tomorrow)
+/// are not breaking changes at every call site. Fields stay `pub` for
+/// reading.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
     /// Top-k limit; `None` returns all answers.
     pub k: Option<usize>,
@@ -106,6 +138,61 @@ pub struct EvalOptions {
     pub interpretation: Interpretation,
     /// Measure heap time in TA (for ITA curves).
     pub measure_heap: bool,
+    /// Attach a [`QueryTrace`] to the result. The underlying counters are
+    /// always maintained; this toggle only controls snapshotting and stage
+    /// timing, so leaving it off costs nothing measurable.
+    pub trace: bool,
+}
+
+impl EvalOptions {
+    /// Defaults: all answers, automatic strategy, vague interpretation, no
+    /// heap measurement, no trace.
+    pub fn new() -> EvalOptions {
+        EvalOptions {
+            k: None,
+            strategy: Strategy::Auto,
+            interpretation: Interpretation::default(),
+            measure_heap: false,
+            trace: false,
+        }
+    }
+
+    /// Sets the top-k limit. Accepts a bare `usize` or an `Option` (where
+    /// `None` means all answers).
+    pub fn k(mut self, k: impl Into<Option<usize>>) -> EvalOptions {
+        self.k = k.into();
+        self
+    }
+
+    /// Sets the strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> EvalOptions {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the structural interpretation.
+    pub fn interpretation(mut self, interpretation: Interpretation) -> EvalOptions {
+        self.interpretation = interpretation;
+        self
+    }
+
+    /// Enables/disables TA heap-time measurement.
+    pub fn measure_heap(mut self, on: bool) -> EvalOptions {
+        self.measure_heap = on;
+        self
+    }
+
+    /// Enables/disables the per-query [`QueryTrace`].
+    pub fn trace(mut self, on: bool) -> EvalOptions {
+        self.trace = on;
+        self
+    }
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions::new()
+    }
 }
 
 /// A query plan description: what translation produced, which redundant
@@ -183,10 +270,7 @@ impl<'a> QueryEngine<'a> {
         let rpls_available = rpls_cover(self.index, &translation.sids, &translation.terms)?;
         let erpls_available = erpls_cover(self.index, &translation.sids, &translation.terms)?;
         let chosen = self.resolve_strategy(
-            EvalOptions {
-                strategy: Strategy::Auto,
-                ..opts
-            },
+            opts.strategy(Strategy::Auto),
             &translation.sids,
             &translation.terms,
         )?;
@@ -202,15 +286,28 @@ impl<'a> QueryEngine<'a> {
 
     /// Evaluates `nexi` with the given options.
     pub fn evaluate(&self, nexi: &str, opts: EvalOptions) -> Result<QueryResult> {
+        let started = Instant::now();
         let translation = self.translate(nexi, opts.interpretation)?;
-        self.evaluate_translated(translation, opts)
+        self.evaluate_staged(translation, opts, started.elapsed())
     }
 
-    /// Evaluates an already-translated query.
+    /// Evaluates an already-translated query (its trace, if requested,
+    /// reports a zero translate stage).
     pub fn evaluate_translated(
         &self,
         translation: Translation,
         opts: EvalOptions,
+    ) -> Result<QueryResult> {
+        self.evaluate_staged(translation, opts, Duration::ZERO)
+    }
+
+    /// The shared evaluation path; `translate_time` is the already-spent
+    /// translation wall-clock for the trace's stage breakdown.
+    fn evaluate_staged(
+        &self,
+        translation: Translation,
+        opts: EvalOptions,
+        translate_time: Duration,
     ) -> Result<QueryResult> {
         if !self.index.summary().is_nesting_free() {
             // "TReX uses only summaries in which there are no two XML
@@ -226,14 +323,30 @@ impl<'a> QueryEngine<'a> {
         let terms = &translation.terms;
         let strategy = self.resolve_strategy(opts, sids, terms)?;
 
+        // Counter snapshots bracket the whole evaluation; the deltas are the
+        // storage / index work attributable to this query (exact when the
+        // index is otherwise idle).
+        let before = if opts.trace {
+            Some((
+                self.index.store().counters().snapshot(),
+                self.index.counters().snapshot(),
+            ))
+        } else {
+            None
+        };
+
+        let mut rank_time = Duration::ZERO;
+        let eval_started = Instant::now();
         let (answers, total, stats) = match strategy {
             Strategy::Era => {
                 let (answers, stats) = self.run_era(sids, terms)?;
                 let total = answers.len();
+                let rank_started = Instant::now();
                 let answers = match opts.k {
                     Some(k) => top_k(answers, k),
                     None => top_k(answers, usize::MAX),
                 };
+                rank_time = rank_started.elapsed();
                 (answers, total, StrategyStats::Era(stats))
             }
             Strategy::Ta => {
@@ -249,21 +362,96 @@ impl<'a> QueryEngine<'a> {
                 let erpls = self.index.erpls()?;
                 let (mut answers, stats) = merge(&erpls, sids, terms)?;
                 let total = answers.len();
+                let rank_started = Instant::now();
                 if let Some(k) = opts.k {
                     answers.truncate(k);
                 }
+                rank_time = rank_started.elapsed();
                 (answers, total, StrategyStats::Merge(stats))
             }
             Strategy::Race => self.run_race(sids, terms, opts)?,
             Strategy::Auto => unreachable!("resolved above"),
         };
+        let evaluate_time = eval_started.elapsed().saturating_sub(rank_time);
+
+        let trace = before.map(|(storage0, index0)| {
+            QueryTrace {
+                strategy: stats.name().to_string(),
+                stages: StageTimings {
+                    translate: translate_time,
+                    evaluate: evaluate_time,
+                    rank: rank_time,
+                },
+                storage: self.index.store().counters().snapshot().delta(&storage0),
+                index: self.index.counters().snapshot().delta(&index0),
+                cost: stats.cost_units(),
+            }
+        });
 
         Ok(QueryResult {
             answers,
             total_answers: total,
             translation,
             stats,
+            trace,
         })
+    }
+
+    /// Runs TA and/or Merge (whichever the materialised lists allow) with
+    /// tracing on and compares the measured sorted-access counts against the
+    /// §4 cost-model predictions. Returns one [`CostValidation`] per
+    /// strategy that could run; empty when neither list family covers the
+    /// query.
+    pub fn validate_costs(&self, nexi: &str, k: usize) -> Result<Vec<CostValidation>> {
+        let translation = self.translate(nexi, Interpretation::default())?;
+        let (sids, terms) = (translation.sids.clone(), translation.terms.clone());
+        let mut validations = Vec::new();
+
+        if rpls_cover(self.index, &sids, &terms)? {
+            let rpls = self.index.rpls()?;
+            let mut entries = Vec::new();
+            for &term in &terms {
+                for &sid in &sids {
+                    if let Some(s) = rpls.list_stats(term, sid)? {
+                        entries.push(s.entries);
+                    }
+                }
+            }
+            let result = self.evaluate_translated(
+                translation.clone(),
+                EvalOptions::new().k(k).strategy(Strategy::Ta).trace(true),
+            )?;
+            let trace = result.trace.expect("trace was requested");
+            validations.push(CostValidation::new(
+                "ta",
+                trace.cost.sorted_accesses + trace.cost.random_accesses,
+                predicted_ta_accesses(&entries, k),
+            ));
+        }
+
+        if erpls_cover(self.index, &sids, &terms)? {
+            let erpls = self.index.erpls()?;
+            let mut entries = Vec::new();
+            for &term in &terms {
+                for &sid in &sids {
+                    if let Some(s) = erpls.list_stats(term, sid)? {
+                        entries.push(s.entries);
+                    }
+                }
+            }
+            let result = self.evaluate_translated(
+                translation.clone(),
+                EvalOptions::new().k(k).strategy(Strategy::Merge).trace(true),
+            )?;
+            let trace = result.trace.expect("trace was requested");
+            validations.push(CostValidation::new(
+                "merge",
+                trace.cost.sorted_accesses + trace.cost.random_accesses,
+                predicted_merge_accesses(&entries) as f64,
+            ));
+        }
+
+        Ok(validations)
     }
 
     /// ERA plus scoring of the matches (ERA itself returns tf vectors).

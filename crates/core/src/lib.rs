@@ -15,11 +15,16 @@ pub mod era;
 pub mod heap;
 pub mod materialize;
 pub mod merge;
+pub mod metrics;
 pub mod qsort;
 pub mod selfmanage;
 pub mod ta;
 
 use std::fmt;
+
+/// The observability primitives (counters, snapshots, [`obs::QueryTrace`]),
+/// re-exported so downstream crates need not depend on `trex-obs` directly.
+pub use trex_obs as obs;
 
 pub use answer::{rank, top_k, Answer};
 pub use engine::{EvalOptions, Explain, QueryEngine, QueryResult, RaceWinner, Strategy, StrategyStats};
@@ -27,10 +32,14 @@ pub use era::{era, EraMatch, EraStats};
 pub use heap::{HeapClock, HeapPolicy, TopKHeap};
 pub use materialize::{erpls_cover, materialize, rpls_cover, ListKind};
 pub use merge::{merge, merge_with_cancel, MergeStats};
+pub use metrics::StrategyMetrics;
 pub use qsort::quicksort;
 pub use selfmanage::{
     Advisor, AdvisorOptions, AdvisorReport, Choice, QueryCost, Selection, SelectionMethod,
     Workload, WorkloadQuery,
+};
+pub use selfmanage::cost::{
+    predicted_merge_accesses, predicted_ta_accesses, CostValidation, TA_PREDICTION_FACTOR,
 };
 pub use ta::{ta, ta_with_cancel, TaOptions, TaStats};
 

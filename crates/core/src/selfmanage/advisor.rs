@@ -100,31 +100,19 @@ impl<'a> Advisor<'a> {
             let t_e = self.measure(runs, || {
                 engine.evaluate_translated(
                     translation.clone(),
-                    EvalOptions {
-                        k: Some(wq.k),
-                        strategy: Strategy::Era,
-                        ..Default::default()
-                    },
+                    EvalOptions::new().k(wq.k).strategy(Strategy::Era),
                 )
             })?;
             let t_m = self.measure(runs, || {
                 engine.evaluate_translated(
                     translation.clone(),
-                    EvalOptions {
-                        k: Some(wq.k),
-                        strategy: Strategy::Merge,
-                        ..Default::default()
-                    },
+                    EvalOptions::new().k(wq.k).strategy(Strategy::Merge),
                 )
             })?;
             let t_ta = self.measure(runs, || {
                 engine.evaluate_translated(
                     translation.clone(),
-                    EvalOptions {
-                        k: Some(wq.k),
-                        strategy: Strategy::Ta,
-                        ..Default::default()
-                    },
+                    EvalOptions::new().k(wq.k).strategy(Strategy::Ta),
                 )
             })?;
 

@@ -11,8 +11,98 @@
 //! (constraint (1) of §4.1: `x_i1 + x_i2 ≤ 1`). The objective is the
 //! frequency-weighted saving; the constraint is the disk budget `d`.
 
+use trex_obs::{json_escape, json_field, ToJson};
 use trex_summary::Sid;
 use trex_text::TermId;
+
+/// Measured-over-predicted tolerance for the TA access prediction.
+///
+/// [`predicted_ta_accesses`] uses the Fagin-style expected stopping depth
+/// `N^{(n-1)/n} · k^{1/n}` per list, which assumes independent,
+/// uniformly-shuffled score orders. Real lists are correlated (the same
+/// elements score well everywhere), early-stopping checks run every
+/// `check_interval` accesses, and short lists bottom out — so the measured
+/// count is only expected to match within this factor, in either direction.
+/// Merge's prediction is exact (every entry of every list is read once), so
+/// it validates with factor 1.
+pub const TA_PREDICTION_FACTOR: f64 = 32.0;
+
+/// Predicted Merge sorted accesses (§4): Merge reads every entry of every
+/// required ERPL exactly once, so the prediction is the entry total.
+pub fn predicted_merge_accesses(list_entries: &[u64]) -> u64 {
+    list_entries.iter().sum()
+}
+
+/// Predicted TA sorted accesses for top-`k` over the given score-ordered
+/// lists: per list, the Fagin expected stopping depth
+/// `min(N_i, N_i^{(n-1)/n} · k^{1/n})` where `n` is the number of lists,
+/// summed over the lists. With one list this degenerates to `min(N, k)` —
+/// TA stops as soon as the heap holds k answers and the threshold drops.
+pub fn predicted_ta_accesses(list_entries: &[u64], k: usize) -> f64 {
+    let n = list_entries.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = k.max(1) as f64;
+    let exp = (n as f64 - 1.0) / n as f64;
+    list_entries
+        .iter()
+        .map(|&entries| {
+            let n_i = entries as f64;
+            let depth = n_i.powf(exp) * k.powf(1.0 / n as f64);
+            depth.min(n_i)
+        })
+        .sum()
+}
+
+/// One measured-versus-predicted comparison in §4 cost-model units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostValidation {
+    /// Which strategy was measured (`"ta"`, `"merge"`).
+    pub strategy: String,
+    /// Sorted + random accesses the traced run actually performed.
+    pub measured: u64,
+    /// The cost model's predicted access count.
+    pub predicted: f64,
+}
+
+impl CostValidation {
+    /// A validation record for `strategy`.
+    pub fn new(strategy: impl Into<String>, measured: u64, predicted: f64) -> CostValidation {
+        CostValidation {
+            strategy: strategy.into(),
+            measured,
+            predicted,
+        }
+    }
+
+    /// `measured / predicted` (predicted floored at one access to keep the
+    /// ratio finite for degenerate empty-list queries).
+    pub fn ratio(&self) -> f64 {
+        self.measured as f64 / self.predicted.max(1.0)
+    }
+
+    /// Whether the ratio is finite and within `factor` of 1 in either
+    /// direction (use [`TA_PREDICTION_FACTOR`] for TA).
+    pub fn within_factor(&self, factor: f64) -> bool {
+        let r = self.ratio();
+        r.is_finite() && r <= factor && r >= 1.0 / factor
+    }
+}
+
+impl ToJson for CostValidation {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"strategy\":\"");
+        out.push_str(&json_escape(&self.strategy));
+        out.push_str("\",");
+        json_field(out, "measured", self.measured);
+        out.push(',');
+        json_field(out, "predicted", self.predicted);
+        out.push(',');
+        json_field(out, "ratio", self.ratio());
+        out.push('}');
+    }
+}
 
 /// One (term, sid) list with its disk footprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -180,6 +270,36 @@ mod tests {
         };
         assert_eq!(sel.space_additive(&costs), 510 + 520);
         assert_eq!(sel.space_shared(&costs), 500 + 10 + 20);
+    }
+
+    #[test]
+    fn merge_prediction_is_the_entry_total() {
+        assert_eq!(predicted_merge_accesses(&[10, 20, 5]), 35);
+        assert_eq!(predicted_merge_accesses(&[]), 0);
+    }
+
+    #[test]
+    fn ta_prediction_caps_at_list_length() {
+        // One list: min(N, k).
+        assert!((predicted_ta_accesses(&[100], 7) - 7.0).abs() < 1e-9);
+        // Huge k saturates at the full lists.
+        assert!((predicted_ta_accesses(&[10, 10], 1_000_000) - 20.0).abs() < 1e-9);
+        // Two lists of N=100, k=1: 2 · sqrt(100) = 20.
+        assert!((predicted_ta_accesses(&[100, 100], 1) - 20.0).abs() < 1e-9);
+        assert_eq!(predicted_ta_accesses(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn validation_ratio_and_factor() {
+        let v = CostValidation::new("ta", 40, 20.0);
+        assert!((v.ratio() - 2.0).abs() < 1e-9);
+        assert!(v.within_factor(2.0));
+        assert!(!v.within_factor(1.5));
+        let exact = CostValidation::new("merge", 35, 35.0);
+        assert!(exact.within_factor(1.0 + 1e-9));
+        let json = v.to_json();
+        assert!(json.contains("\"strategy\":\"ta\""));
+        assert!(json.contains("\"measured\":40"));
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub fn random_workload(collection: Collection, n: usize, seed: u64) -> Vec<Workl
     for _ in 0..n {
         let nexi = random_query(collection, &mut rng);
         let weight = 1.0 / (zipf.sample(&mut rng) + 1) as f64;
-        let k = [5usize, 10, 20, 50, 100][rng.gen_range(0..5)];
+        let k = [5usize, 10, 20, 50, 100][rng.gen_range(0..5usize)];
         entries.push((nexi, weight, k));
     }
     entries

@@ -1,6 +1,9 @@
 //! The `ERPLs` table: element-relevance posting lists in position order
 //! (paper §2.2), consumed by the Merge algorithm.
 
+use std::sync::Arc;
+
+use trex_obs::IndexCounters;
 use trex_storage::{Result, Store, Table};
 use trex_summary::Sid;
 use trex_text::TermId;
@@ -17,6 +20,7 @@ pub const ERPLS_REGISTRY_TABLE: &str = "erpls_registry";
 pub struct ErplTable {
     table: Table,
     registry: ListRegistry,
+    obs: Arc<IndexCounters>,
 }
 
 impl ErplTable {
@@ -25,7 +29,15 @@ impl ErplTable {
         Ok(ErplTable {
             table: store.open_or_create_table(ERPLS_TABLE)?,
             registry: ListRegistry::new(store.open_or_create_table(ERPLS_REGISTRY_TABLE)?),
+            obs: Arc::new(IndexCounters::new()),
         })
+    }
+
+    /// Reports decode work into `obs` (shared by every table of an index)
+    /// instead of this table's private counter group.
+    pub fn with_counters(mut self, obs: Arc<IndexCounters>) -> ErplTable {
+        self.obs = obs;
+        self
     }
 
     /// Materialises the complete list of `(term, sid)` in position order.
@@ -106,7 +118,12 @@ impl ErplTable {
                 length: 1,
             },
         ))?;
-        Ok(ErplIter { cursor, term, sid })
+        Ok(ErplIter {
+            cursor,
+            term,
+            sid,
+            obs: self.obs.clone(),
+        })
     }
 
     /// Total bytes across every materialised ERPL.
@@ -125,6 +142,7 @@ pub struct ErplIter {
     cursor: trex_storage::Cursor,
     term: TermId,
     sid: Sid,
+    obs: Arc<IndexCounters>,
 }
 
 impl ErplIter {
@@ -136,6 +154,8 @@ impl ErplIter {
                 if entry.term != self.term || entry.sid != self.sid {
                     return Ok(None);
                 }
+                self.obs.erpl_entries.incr();
+                self.obs.erpl_bytes.add((key.len() + value.len()) as u64);
                 Ok(Some(entry))
             }
             None => Ok(None),

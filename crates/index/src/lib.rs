@@ -87,6 +87,9 @@ pub struct TrexIndex {
     stats: CollectionStats,
     analyzer: Analyzer,
     scoring: ScoringParams,
+    /// Shared decode counters; every table opened through this handle
+    /// reports into the same group, so one snapshot covers all index work.
+    obs: Arc<trex_obs::IndexCounters>,
 }
 
 impl TrexIndex {
@@ -102,6 +105,7 @@ impl TrexIndex {
             stats,
             analyzer,
             scoring: ScoringParams::default(),
+            obs: Arc::new(trex_obs::IndexCounters::new()),
         })
     }
 
@@ -146,6 +150,12 @@ impl TrexIndex {
         &self.store
     }
 
+    /// The index-layer decode counters shared by every table this handle
+    /// opens. Pair with [`Store::counters`] snapshots for a full query trace.
+    pub fn counters(&self) -> &Arc<trex_obs::IndexCounters> {
+        &self.obs
+    }
+
     /// Opens the `Elements` table.
     pub fn elements(&self) -> Result<ElementsTable> {
         Ok(ElementsTable::new(
@@ -155,19 +165,20 @@ impl TrexIndex {
 
     /// Opens the `PostingLists` table.
     pub fn postings(&self) -> Result<PostingsTable> {
-        Ok(PostingsTable::new(
-            self.store.open_table(postings::POSTINGS_TABLE)?,
-        ))
+        Ok(
+            PostingsTable::new(self.store.open_table(postings::POSTINGS_TABLE)?)
+                .with_counters(self.obs.clone()),
+        )
     }
 
     /// Opens the `RPLs` table (created on first use).
     pub fn rpls(&self) -> Result<RplTable> {
-        Ok(RplTable::open(&self.store)?)
+        Ok(RplTable::open(&self.store)?.with_counters(self.obs.clone()))
     }
 
     /// Opens the `ERPLs` table (created on first use).
     pub fn erpls(&self) -> Result<ErplTable> {
-        Ok(ErplTable::open(&self.store)?)
+        Ok(ErplTable::open(&self.store)?.with_counters(self.obs.clone()))
     }
 
     /// Opens the document store, if the index was built with

@@ -1,6 +1,9 @@
 //! The `PostingLists` table: chunked inverted lists with the `m-pos`
 //! sentinel, plus the per-term position iterator (`I_t` of paper §3.2).
 
+use std::sync::Arc;
+
+use trex_obs::IndexCounters;
 use trex_storage::{Result, Table};
 use trex_text::TermId;
 
@@ -18,6 +21,7 @@ pub const DEFAULT_CHUNK_SIZE: usize = 256;
 pub struct PostingsTable {
     table: Table,
     chunk_size: usize,
+    obs: Arc<IndexCounters>,
 }
 
 impl PostingsTable {
@@ -32,7 +36,15 @@ impl PostingsTable {
         PostingsTable {
             table,
             chunk_size: chunk_size.max(2),
+            obs: Arc::new(IndexCounters::new()),
         }
+    }
+
+    /// Reports decode work into `obs` (shared by every table of an index)
+    /// instead of this table's private counter group.
+    pub fn with_counters(mut self, obs: Arc<IndexCounters>) -> PostingsTable {
+        self.obs = obs;
+        self
     }
 
     /// Writes the complete posting list of `term`. `positions` must be
@@ -60,6 +72,7 @@ impl PostingsTable {
             buffer: Vec::new(),
             buffer_pos: 0,
             done: false,
+            obs: self.obs.clone(),
         })
     }
 
@@ -116,6 +129,7 @@ pub struct PositionIter {
     buffer: Vec<Position>,
     buffer_pos: usize,
     done: bool,
+    obs: Arc<IndexCounters>,
 }
 
 impl PositionIter {
@@ -129,6 +143,7 @@ impl PositionIter {
                 if p.is_max() {
                     self.done = true;
                 }
+                self.obs.posting_entries.incr();
                 return Ok(p);
             }
             if self.done {
@@ -141,6 +156,7 @@ impl PositionIter {
                         self.done = true;
                         return Ok(Position::MAX);
                     }
+                    self.obs.posting_bytes.add((key.len() + value.len()) as u64);
                     self.buffer = decode_postings_value(first, &value)?;
                     self.buffer_pos = 0;
                 }

@@ -1,6 +1,9 @@
 //! The `RPLs` table: relevance posting lists in descending score order
 //! (paper §2.2), with per-(term, sid) materialisation tracking.
 
+use std::sync::Arc;
+
+use trex_obs::IndexCounters;
 use trex_storage::codec::put_u32;
 use trex_storage::{Result, Store, Table};
 use trex_summary::Sid;
@@ -18,6 +21,7 @@ pub const RPLS_REGISTRY_TABLE: &str = "rpls_registry";
 pub struct RplTable {
     table: Table,
     registry: ListRegistry,
+    obs: Arc<IndexCounters>,
 }
 
 impl RplTable {
@@ -26,7 +30,15 @@ impl RplTable {
         Ok(RplTable {
             table: store.open_or_create_table(RPLS_TABLE)?,
             registry: ListRegistry::new(store.open_or_create_table(RPLS_REGISTRY_TABLE)?),
+            obs: Arc::new(IndexCounters::new()),
         })
+    }
+
+    /// Reports decode work into `obs` (shared by every table of an index)
+    /// instead of this table's private counter group.
+    pub fn with_counters(mut self, obs: Arc<IndexCounters>) -> RplTable {
+        self.obs = obs;
+        self
     }
 
     /// Materialises the complete relevance list of `(term, sid)`:
@@ -99,6 +111,7 @@ impl RplTable {
         Ok(RplIter {
             cursor: self.term_cursor(term)?,
             term,
+            obs: self.obs.clone(),
         })
     }
 
@@ -123,6 +136,7 @@ impl RplTable {
 pub struct RplIter {
     cursor: trex_storage::Cursor,
     term: TermId,
+    obs: Arc<IndexCounters>,
 }
 
 impl RplIter {
@@ -134,6 +148,8 @@ impl RplIter {
                 if entry.term != self.term {
                     return Ok(None);
                 }
+                self.obs.rpl_entries.incr();
+                self.obs.rpl_bytes.add((key.len() + value.len()) as u64);
                 Ok(Some(entry))
             }
             None => Ok(None),

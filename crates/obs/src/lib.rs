@@ -1,0 +1,356 @@
+//! Observability primitives for TReX: always-on relaxed atomic counters in
+//! the storage and index layers, point-in-time snapshots, and per-query
+//! [`QueryTrace`]s that tie measured work back to the paper's §4 cost model.
+//!
+//! Design rules:
+//!
+//! * Counters are **always maintained** with `Ordering::Relaxed` increments —
+//!   a single uncontended atomic add per counted event, cheap enough to leave
+//!   on in production builds. The *trace* toggle only controls whether a
+//!   query takes before/after snapshots and attaches a [`QueryTrace`].
+//! * Layers share counters by `Arc`: the buffer pool and pager share one
+//!   [`StorageCounters`], every table/iterator of an index shares one
+//!   [`IndexCounters`]. Snapshot deltas around a query therefore capture all
+//!   work done on its behalf (and, under concurrency, of its neighbours —
+//!   totals remain exact).
+//! * Serialization is hand-rolled JSON (no serde in the offline tree); every
+//!   trace type knows how to render itself via [`ToJson`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A relaxed atomic event counter.
+///
+/// `Relaxed` is sufficient: counters are statistics, not synchronization.
+/// Reads racing with increments observe some recent value; snapshot deltas
+/// taken on the querying thread see at least that thread's own events.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Types that render themselves as a JSON value.
+pub trait ToJson {
+    /// Appends this value's JSON rendering to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// This value as a standalone JSON string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Writes one `"key": value` pair (caller manages commas/braces).
+pub fn json_field(out: &mut String, key: &str, value: impl std::fmt::Display) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+/// Escapes a string for embedding in JSON.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+macro_rules! counter_group {
+    (
+        $(#[$group_meta:meta])*
+        counters $name:ident / snapshot $snap:ident {
+            $($(#[$field_meta:meta])* $field:ident),+ $(,)?
+        }
+    ) => {
+        $(#[$group_meta])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            $($(#[$field_meta])* pub $field: Counter),+
+        }
+
+        impl $name {
+            /// A zeroed counter group.
+            pub const fn new() -> $name {
+                $name { $($field: Counter::new()),+ }
+            }
+
+            /// A point-in-time copy of every counter.
+            pub fn snapshot(&self) -> $snap {
+                $snap { $($field: self.$field.get()),+ }
+            }
+        }
+
+        #[doc = concat!("Point-in-time copy of [`", stringify!($name), "`].")]
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct $snap {
+            $($(#[$field_meta])* pub $field: u64),+
+        }
+
+        impl $snap {
+            /// Per-field difference `self - earlier` (saturating).
+            pub fn delta(&self, earlier: &$snap) -> $snap {
+                $snap { $($field: self.$field.saturating_sub(earlier.$field)),+ }
+            }
+
+            /// Per-field sum (used to compare totals across threads).
+            pub fn sum(&self, other: &$snap) -> $snap {
+                $snap { $($field: self.$field + other.$field),+ }
+            }
+        }
+
+        impl ToJson for $snap {
+            fn write_json(&self, out: &mut String) {
+                out.push('{');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    json_field(out, stringify!($field), self.$field);
+                )+
+                let _ = first;
+                out.push('}');
+            }
+        }
+    };
+}
+
+counter_group! {
+    /// Page-level and cache-level storage work, shared by the pager (I/O),
+    /// the buffer pool (hits/misses/evictions), and the B+-tree (node visits
+    /// and cursor steps).
+    counters StorageCounters / snapshot StorageSnapshot {
+        /// Pages read from disk by the pager.
+        page_reads,
+        /// Pages written to disk by the pager.
+        page_writes,
+        /// Buffer-pool lookups served from memory.
+        pool_hits,
+        /// Buffer-pool lookups that had to fault the page in.
+        pool_misses,
+        /// Frames evicted to make room.
+        pool_evictions,
+        /// B+-tree nodes visited during descents.
+        btree_node_visits,
+        /// Entries yielded by B+-tree cursors.
+        cursor_steps,
+    }
+}
+
+counter_group! {
+    /// Index-layer decode work: bytes and entries decoded from each of the
+    /// three physical list families.
+    counters IndexCounters / snapshot IndexSnapshot {
+        /// Bytes of posting-list payload decoded.
+        posting_bytes,
+        /// Posting entries (positions) decoded.
+        posting_entries,
+        /// Bytes of RPL payload decoded.
+        rpl_bytes,
+        /// RPL entries decoded (TA sorted accesses happen here).
+        rpl_entries,
+        /// Bytes of ERPL payload decoded.
+        erpl_bytes,
+        /// ERPL entries decoded (Merge sequential accesses happen here).
+        erpl_entries,
+    }
+}
+
+/// Strategy-level cost-model units for one query, in the vocabulary of §4 of
+/// the paper: sorted accesses (sequential reads of score-ordered RPLs or
+/// position-ordered ERPLs), random accesses (point lookups the engine had to
+/// perform outside those scans), heap operations, and candidate set size.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CostUnits {
+    /// Sequential accesses into sorted lists (TA depth × lists, or total
+    /// ERPL entries merged).
+    pub sorted_accesses: u64,
+    /// Random (point) accesses; zero for the TReX strategies, which the
+    /// paper designs to avoid random access entirely.
+    pub random_accesses: u64,
+    /// Heap pushes performed while maintaining the top-k.
+    pub heap_pushes: u64,
+    /// Heap pops performed while maintaining the top-k.
+    pub heap_pops: u64,
+    /// Peak size of the candidate set.
+    pub candidates_peak: u64,
+}
+
+impl ToJson for CostUnits {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        json_field(out, "sorted_accesses", self.sorted_accesses);
+        out.push(',');
+        json_field(out, "random_accesses", self.random_accesses);
+        out.push(',');
+        json_field(out, "heap_pushes", self.heap_pushes);
+        out.push(',');
+        json_field(out, "heap_pops", self.heap_pops);
+        out.push(',');
+        json_field(out, "candidates_peak", self.candidates_peak);
+        out.push('}');
+    }
+}
+
+/// Wall-clock timings of the three query stages.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StageTimings {
+    /// NEXI parse + summary translation.
+    pub translate: Duration,
+    /// Strategy execution (the dominant stage).
+    pub evaluate: Duration,
+    /// Final ranking / answer assembly.
+    pub rank: Duration,
+}
+
+impl ToJson for StageTimings {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        json_field(out, "translate_us", self.translate.as_micros());
+        out.push(',');
+        json_field(out, "evaluate_us", self.evaluate.as_micros());
+        out.push(',');
+        json_field(out, "rank_us", self.rank.as_micros());
+        out.push('}');
+    }
+}
+
+/// Everything observed about one query: stage timings plus the storage,
+/// index, and strategy counter deltas attributable to it.
+#[derive(Debug, Default, Clone)]
+pub struct QueryTrace {
+    /// Which strategy ultimately answered (e.g. `"ta"`, `"merge"`).
+    pub strategy: String,
+    /// Stage wall-clock breakdown.
+    pub stages: StageTimings,
+    /// Storage-layer work during the query (buffer pool + pager + B+-tree).
+    pub storage: StorageSnapshot,
+    /// Index-layer decode work during the query.
+    pub index: IndexSnapshot,
+    /// Strategy-level cost-model units.
+    pub cost: CostUnits,
+}
+
+impl QueryTrace {
+    /// Total list entries this query decoded, across all list families.
+    pub fn entries_decoded(&self) -> u64 {
+        self.index.posting_entries + self.index.rpl_entries + self.index.erpl_entries
+    }
+
+    /// Total list bytes this query decoded, across all list families.
+    pub fn bytes_decoded(&self) -> u64 {
+        self.index.posting_bytes + self.index.rpl_bytes + self.index.erpl_bytes
+    }
+}
+
+impl ToJson for QueryTrace {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        out.push_str("\"strategy\":\"");
+        out.push_str(&json_escape(&self.strategy));
+        out.push_str("\",\"stages\":");
+        self.stages.write_json(out);
+        out.push_str(",\"storage\":");
+        self.storage.write_json(out);
+        out.push_str(",\"index\":");
+        self.index.write_json(out);
+        out.push_str(",\"cost\":");
+        self.cost.write_json(out);
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = StorageCounters::new();
+        c.page_reads.add(3);
+        c.pool_hits.incr();
+        let a = c.snapshot();
+        c.page_reads.incr();
+        let b = c.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.page_reads, 1);
+        assert_eq!(d.pool_hits, 0);
+        assert_eq!(a.sum(&d).page_reads, 4);
+    }
+
+    #[test]
+    fn snapshots_render_as_json() {
+        let c = IndexCounters::new();
+        c.rpl_entries.add(7);
+        let json = c.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rpl_entries\":7"));
+    }
+
+    #[test]
+    fn trace_renders_nested_json() {
+        let trace = QueryTrace {
+            strategy: "ta".into(),
+            ..QueryTrace::default()
+        };
+        let json = trace.to_json();
+        assert!(json.contains("\"strategy\":\"ta\""));
+        assert!(json.contains("\"stages\":{"));
+        assert!(json.contains("\"cost\":{"));
+        assert_eq!(trace.entries_decoded(), 0);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = StorageCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.cursor_steps.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().cursor_steps, 4000);
+    }
+}

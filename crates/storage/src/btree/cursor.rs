@@ -40,6 +40,7 @@ impl Cursor {
                 let (k, v) = leaf_cell(&buf, self.idx)?;
                 let entry = (k.to_vec(), v.to_vec());
                 self.idx += 1;
+                self.pool.counters().cursor_steps.incr();
                 return Ok(Some(entry));
             }
             // Exhausted this leaf (possibly an empty one left by deletes):

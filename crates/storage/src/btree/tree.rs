@@ -65,6 +65,7 @@ impl BTree {
     }
 
     fn insert_into(&self, page_id: PageId, key: &[u8], value: &[u8]) -> Result<SplitResult> {
+        self.pool.counters().btree_node_visits.incr();
         let page = self.pool.fetch(page_id)?;
         let ty = page.buf.read().page_type()?;
         match ty {
@@ -262,6 +263,7 @@ impl BTree {
     /// Looks up the value stored under `key`.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let leaf = self.find_leaf(key)?;
+        self.pool.counters().btree_node_visits.incr();
         let page = self.pool.fetch(leaf)?;
         let buf = page.buf.read();
         match leaf_search(&buf, key)? {
@@ -275,6 +277,7 @@ impl BTree {
     /// No rebalancing is performed (see module docs).
     pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
         let leaf = self.find_leaf(key)?;
+        self.pool.counters().btree_node_visits.incr();
         let page = self.pool.fetch(leaf)?;
         let mut buf = page.buf.write();
         match leaf_search(&buf, key)? {
@@ -292,6 +295,7 @@ impl BTree {
     fn find_leaf(&self, key: &[u8]) -> Result<PageId> {
         let mut page_id = self.root;
         loop {
+            self.pool.counters().btree_node_visits.incr();
             let page = self.pool.fetch(page_id)?;
             let buf = page.buf.read();
             match buf.page_type()? {
@@ -317,6 +321,7 @@ impl BTree {
     fn first_leaf(&self) -> Result<PageId> {
         let mut page_id = self.root;
         loop {
+            self.pool.counters().btree_node_visits.incr();
             let page = self.pool.fetch(page_id)?;
             let buf = page.buf.read();
             match buf.page_type()? {
@@ -345,6 +350,7 @@ impl BTree {
     pub fn seek(&self, key: &[u8]) -> Result<Cursor> {
         let leaf = self.find_leaf(key)?;
         let idx = {
+            self.pool.counters().btree_node_visits.incr();
             let page = self.pool.fetch(leaf)?;
             let buf = page.buf.read();
             match leaf_search(&buf, key)? {

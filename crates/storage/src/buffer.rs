@@ -8,10 +8,11 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use trex_obs::StorageCounters;
 
 use crate::error::Result;
 use crate::page::{PageBuf, PageId};
@@ -72,14 +73,17 @@ pub struct BufferPool {
     pager: Mutex<Pager>,
     inner: Mutex<PoolInner>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Counter group shared with the wrapped pager (and, via
+    /// [`BufferPool::counters`], with the B+-tree layer above): cache
+    /// hits/misses/evictions accrue here next to the pager's page I/O.
+    obs: Arc<StorageCounters>,
 }
 
 impl BufferPool {
     /// Wraps `pager` with a pool caching up to `capacity` pages
     /// (minimum 8 so tree descents always fit).
     pub fn new(pager: Pager, capacity: usize) -> BufferPool {
+        let obs = pager.counters().clone();
         BufferPool {
             pager: Mutex::new(pager),
             inner: Mutex::new(PoolInner {
@@ -88,9 +92,14 @@ impl BufferPool {
                 clock: 0,
             }),
             capacity: capacity.max(8),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            obs,
         }
+    }
+
+    /// The storage-layer counter group (shared with the pager). Snapshot it
+    /// before and after a unit of work to attribute storage activity.
+    pub fn counters(&self) -> &Arc<StorageCounters> {
+        &self.obs
     }
 
     /// Fetches page `id`, reading it from disk on a miss.
@@ -100,11 +109,11 @@ impl BufferPool {
             if let Some(slot) = inner.map.get(&id) {
                 let page = slot.page.clone();
                 inner.touch(id);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.pool_hits.incr();
                 return Ok(page);
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.pool_misses.incr();
         // Read outside the inner lock; racing fetches of the same page are
         // resolved below (first insert wins; both images are identical since
         // all mutation happens through cached handles).
@@ -166,6 +175,7 @@ impl BufferPool {
                 return Ok(());
             };
             let slot = inner.map.remove(&victim).expect("victim in map");
+            self.obs.pool_evictions.incr();
             if slot.page.is_dirty() {
                 let buf = slot.page.buf.read();
                 self.pager.lock().write_page(victim, &buf)?;
@@ -214,10 +224,7 @@ impl BufferPool {
 
     /// (hits, misses) since pool creation.
     pub fn cache_counters(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        (self.obs.pool_hits.get(), self.obs.pool_misses.get())
     }
 
     /// (disk reads, disk writes) since the pager was opened.

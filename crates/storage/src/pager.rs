@@ -9,6 +9,9 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
+
+use trex_obs::StorageCounters;
 
 use crate::error::Result;
 use crate::page::{PageBuf, PageId, PageType, NO_PAGE, PAGE_SIZE};
@@ -18,10 +21,11 @@ pub struct Pager {
     file: File,
     page_count: u32,
     free_head: PageId,
-    /// Pages read from the file since open (for cache-efficiency stats).
-    reads: u64,
-    /// Pages written to the file since open.
-    writes: u64,
+    /// Shared observability counters; page reads/writes land in
+    /// `page_reads` / `page_writes`. The [`crate::buffer::BufferPool`]
+    /// wrapping this pager shares the same group, so one snapshot covers
+    /// the whole storage layer.
+    obs: Arc<StorageCounters>,
 }
 
 impl Pager {
@@ -38,8 +42,7 @@ impl Pager {
             file,
             page_count: 1,
             free_head: NO_PAGE,
-            reads: 0,
-            writes: 0,
+            obs: Arc::new(StorageCounters::new()),
         };
         let mut meta = PageBuf::zeroed();
         meta.init(PageType::Meta);
@@ -57,8 +60,7 @@ impl Pager {
             file,
             page_count: page_count.max(1),
             free_head: NO_PAGE,
-            reads: 0,
-            writes: 0,
+            obs: Arc::new(StorageCounters::new()),
         })
     }
 
@@ -81,7 +83,7 @@ impl Pager {
     pub fn read_page(&mut self, id: PageId, buf: &mut PageBuf) -> Result<()> {
         self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.read_exact(buf.bytes_mut().as_mut_slice())?;
-        self.reads += 1;
+        self.obs.page_reads.incr();
         Ok(())
     }
 
@@ -89,7 +91,7 @@ impl Pager {
     pub fn write_page(&mut self, id: PageId, buf: &PageBuf) -> Result<()> {
         self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.write_all(buf.bytes().as_slice())?;
-        self.writes += 1;
+        self.obs.page_writes.incr();
         Ok(())
     }
 
@@ -132,7 +134,12 @@ impl Pager {
     /// (reads, writes) performed since open — used by benchmarks to report
     /// I/O alongside wall-clock time.
     pub fn io_counters(&self) -> (u64, u64) {
-        (self.reads, self.writes)
+        (self.obs.page_reads.get(), self.obs.page_writes.get())
+    }
+
+    /// The storage-layer counter group this pager reports into.
+    pub fn counters(&self) -> &Arc<StorageCounters> {
+        &self.obs
     }
 }
 

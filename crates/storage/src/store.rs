@@ -227,6 +227,12 @@ impl Store {
         &self.pool
     }
 
+    /// The storage-layer observability counters (shared across the pager,
+    /// buffer pool, and every B+-tree of this store).
+    pub fn counters(&self) -> &Arc<trex_obs::StorageCounters> {
+        self.pool.counters()
+    }
+
     /// Total pages in the store file — the disk-space measure used by the
     /// self-managing advisor (paper §4: `S_RPL`, `S_ERPL` are measured in
     /// disk space consumed).

@@ -255,7 +255,7 @@ fn explain(args: &[String]) -> Result<(), String> {
         .transpose()?;
     let plan = system
         .engine()
-        .explain(nexi, trex::EvalOptions { k, ..Default::default() })
+        .explain(nexi, trex::EvalOptions::new().k(k))
         .map_err(|e| e.to_string())?;
     println!("query: {nexi}");
     println!("\nextents ({} sids):", plan.extents.len());

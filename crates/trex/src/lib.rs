@@ -49,10 +49,11 @@ pub use trex_xml as xml;
 
 // The most-used items, re-exported flat.
 pub use trex_core::{
-    Advisor, AdvisorOptions, AdvisorReport, Answer, EvalOptions, Explain, ListKind, QueryEngine,
-    QueryResult, RaceWinner, SelectionMethod, Strategy, StrategyStats, TrexError, Workload,
-    WorkloadQuery,
+    Advisor, AdvisorOptions, AdvisorReport, Answer, CostValidation, EvalOptions, Explain,
+    ListKind, QueryEngine, QueryResult, RaceWinner, SelectionMethod, Strategy, StrategyMetrics,
+    StrategyStats, TrexError, Workload, WorkloadQuery, TA_PREDICTION_FACTOR,
 };
+pub use trex_core::obs::{self, QueryTrace, ToJson};
 pub use trex_index::{ElementRef, TrexIndex};
 pub use trex_nexi::Interpretation;
 pub use trex_summary::{AliasMap, SummaryKind};
@@ -221,14 +222,7 @@ impl TrexSystem {
     /// Evaluates a NEXI query with automatic strategy selection; `k = None`
     /// returns all answers.
     pub fn search(&self, nexi: &str, k: Option<usize>) -> Result<QueryResult> {
-        self.engine().evaluate(
-            nexi,
-            EvalOptions {
-                k,
-                strategy: Strategy::Auto,
-                ..Default::default()
-            },
-        )
+        self.engine().evaluate(nexi, EvalOptions::new().k(k))
     }
 
     /// Evaluates with an explicit strategy.
@@ -238,14 +232,15 @@ impl TrexSystem {
         k: Option<usize>,
         strategy: Strategy,
     ) -> Result<QueryResult> {
-        self.engine().evaluate(
-            nexi,
-            EvalOptions {
-                k,
-                strategy,
-                ..Default::default()
-            },
-        )
+        self.engine()
+            .evaluate(nexi, EvalOptions::new().k(k).strategy(strategy))
+    }
+
+    /// Like [`TrexSystem::search`], but attaches a [`QueryTrace`] (stage
+    /// timings plus storage / index / cost-model counter deltas) to the
+    /// result.
+    pub fn search_traced(&self, nexi: &str, k: Option<usize>) -> Result<QueryResult> {
+        self.engine().evaluate(nexi, EvalOptions::new().k(k).trace(true))
     }
 
     /// Materialises the redundant lists a query needs (RPLs for TA, ERPLs

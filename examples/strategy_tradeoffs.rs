@@ -41,12 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while k <= era.total_answers.max(1) * 2 {
         let result = system.engine().evaluate(
             query,
-            EvalOptions {
-                k: Some(k),
-                strategy: Strategy::Ta,
-                measure_heap: true,
-                ..Default::default()
-            },
+            EvalOptions::new().k(k).strategy(Strategy::Ta).measure_heap(true),
         )?;
         if let StrategyStats::Ta(stats) = &result.stats {
             println!(

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, the whole test suite, and clippy
+# with warnings denied. Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

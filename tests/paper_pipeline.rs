@@ -88,7 +88,7 @@ fn explain_predicts_what_auto_runs() {
         }
         let plan = system
             .engine()
-            .explain(query, trex::EvalOptions { k, ..Default::default() })
+            .explain(query, trex::EvalOptions::new().k(k))
             .unwrap();
         let result = system.search(query, k).unwrap();
         let ran = match &result.stats {

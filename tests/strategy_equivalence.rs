@@ -34,12 +34,7 @@ fn check_equivalence(system: &TrexSystem, query: &str, ks: &[usize]) {
         engine
             .evaluate(
                 query,
-                EvalOptions {
-                    k,
-                    strategy,
-                    measure_heap: false,
-                    ..Default::default()
-                },
+                EvalOptions::new().k(k).strategy(strategy),
             )
             .unwrap()
     };
@@ -144,12 +139,7 @@ proptest! {
         let engine = system.engine();
         let eval = |strategy| {
             engine
-                .evaluate(query, EvalOptions {
-                    k: Some(k),
-                    strategy,
-                    measure_heap: false,
-                    ..Default::default()
-                })
+                .evaluate(query, EvalOptions::new().k(k).strategy(strategy))
                 .unwrap()
         };
         let era = eval(Strategy::Era);

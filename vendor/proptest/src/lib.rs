@@ -1,0 +1,935 @@
+//! Offline substitute for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! regex-like string strategies (character classes, `\PC`, `{m,n}`
+//! repetition), collection / option / sample strategies, `prop_oneof!`, and
+//! the `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted for an offline tree:
+//! failing inputs are **not shrunk** (the failing value is printed as
+//! generated), and case generation uses a fixed per-test seed derived from
+//! the test name, so runs are deterministic across machines.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Object safe: the combinators are `Self: Sized`, so
+    /// `dyn Strategy<Value = T>` (as used by [`BoxedStrategy`]) only needs
+    /// [`Strategy::generate`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves and `rec`
+        /// lifts a strategy for depth-`d` values to depth-`d+1` values.
+        ///
+        /// `desired_size` and `expected_branch_size` are accepted for API
+        /// compatibility; only `depth` bounds the recursion here.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            rec: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                depth,
+                rec: Arc::new(move |inner| rec(inner).boxed()),
+            }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_recursive`].
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        depth: u32,
+        #[allow(clippy::type_complexity)]
+        rec: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            // Pick a nesting level, then fold the recursion that many times
+            // around the leaf strategy. Bias toward shallow values the way
+            // upstream does (deep cases still occur regularly).
+            let levels = rng.below(self.depth as u64 + 1) as u32;
+            let mut strat = self.base.clone();
+            for _ in 0..levels {
+                strat = (self.rec)(strat);
+            }
+            strat.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union over same-valued strategies; used by `prop_oneof!`.
+    #[derive(Clone)]
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union; panics if `arms` is empty or all weights are 0.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.below(total);
+            for (w, strat) in &self.arms {
+                if pick < *w as u64 {
+                    return strat.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u64;
+                    (start as i128 + rng.below_inclusive(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Regex-like string strategies: a `&'static str` pattern is itself a
+    /// strategy producing `String`.
+    ///
+    /// Supported syntax (the subset this workspace's tests use): literal
+    /// characters, character classes `[a-z0-9 ,.]` with ranges, the `\PC`
+    /// escape (any non-control character), and `{m,n}` / `{n}` repetition of
+    /// the preceding atom.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (atom, lo, hi) in &atoms {
+                let count = *lo as u64 + rng.below_inclusive((hi - lo) as u64);
+                for _ in 0..count {
+                    out.push(atom.pick(rng));
+                }
+            }
+            out
+        }
+    }
+
+    enum Atom {
+        Class(Vec<char>),
+        NonControl,
+    }
+
+    impl Atom {
+        fn pick(&self, rng: &mut TestRng) -> char {
+            match self {
+                Atom::Class(chars) => chars[rng.below(chars.len() as u64) as usize],
+                Atom::NonControl => {
+                    // Mostly printable ASCII, with a sprinkling of wider
+                    // Unicode so `\PC` tests see multi-byte input.
+                    const EXOTIC: &[char] = &[
+                        'é', 'ß', 'λ', 'Ж', '中', '☃', '🦀', '\u{00a0}', 'ñ', '𝒳',
+                    ];
+                    if rng.below(8) == 0 {
+                        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                    } else {
+                        char::from(0x20 + rng.below(0x5f) as u8)
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<(Atom, u32, u32)> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut members = Vec::new();
+                    let mut prev: Option<char> = None;
+                    while let Some(m) = chars.next() {
+                        match m {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                                // Range: prev already pushed; extend to end.
+                                let start = prev.take().unwrap();
+                                let end = chars.next().unwrap();
+                                for code in (start as u32 + 1)..=(end as u32) {
+                                    members.extend(char::from_u32(code));
+                                }
+                            }
+                            other => {
+                                members.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    assert!(!members.is_empty(), "empty character class in {pattern:?}");
+                    Atom::Class(members)
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        assert_eq!(chars.next(), Some('C'), "unsupported escape in {pattern:?}");
+                        Atom::NonControl
+                    }
+                    Some(esc) => Atom::Class(vec![esc]),
+                    None => panic!("dangling backslash in {pattern:?}"),
+                },
+                literal => Atom::Class(vec![literal]),
+            };
+            // Optional {m,n} / {n} repetition.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad repetition"),
+                        hi.parse().expect("bad repetition"),
+                    ),
+                    None => {
+                        let n: u32 = spec.parse().expect("bad repetition");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(lo <= hi, "inverted repetition in {pattern:?}");
+            atoms.push((atom, lo, hi));
+        }
+        atoms
+    }
+}
+
+pub mod arbitrary {
+    //! Default strategies for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64() * 2e6 - 1e6
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from(0x20 + rng.below(0x5f) as u8)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification: a fixed size or a range of sizes.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below_inclusive((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S` and length in `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>`.
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates ordered sets whose size falls in `size` (best effort: if the
+    /// element strategy cannot produce enough distinct values the set is
+    /// smaller).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let want = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < want && attempts < want * 4 + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `Option<T>` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` or `Some(inner)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from fixed collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`select`].
+    #[derive(Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Picks uniformly from `items`; panics if empty.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select from empty collection");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration, the deterministic RNG, and the case-runner loop used by
+    //! the `proptest!` macro.
+
+    /// Per-block configuration; only `cases` is honoured by this substitute.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before the run fails.
+        pub max_global_rejects: u32,
+        /// Accepted for upstream compatibility; shrinking never runs here.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The input was rejected by `prop_assume!`; another is generated.
+        Reject(String),
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failed-assertion error.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A rejected-input error.
+        pub fn reject(message: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Deterministic generator (SplitMix64) used for all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9e3779b97f4a7c15,
+            }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// Uniform draw from `[0, bound]`.
+        pub fn below_inclusive(&mut self, bound: u64) -> u64 {
+            if bound == u64::MAX {
+                self.next_u64()
+            } else {
+                self.next_u64() % (bound + 1)
+            }
+        }
+
+        /// Uniform draw from `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runs `f` against `config.cases` generated inputs. Called by the
+    /// `proptest!` macro; not part of the upstream API.
+    pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: S, mut f: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        // Fixed seed per test name: deterministic, but decorrelated between
+        // tests so sibling properties don't see identical streams.
+        let mut seed = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        let mut rng = TestRng::new(seed);
+
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            let value = strategy.generate(&mut rng);
+            let rendered = format!("{value:?}");
+            match f(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "proptest {name}: too many inputs rejected by prop_assume! \
+                             ({rejected} rejections, {passed} cases passed)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest {name}: case #{n} failed: {message}\n\
+                         input: {rendered}",
+                        n = passed + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: traits, common types, and the macros.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn` becomes a `#[test]` that generates
+/// inputs from the given strategies and fails on the first failing case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_parens)]
+            fn $name() {
+                let config = $cfg;
+                let strategy = ($($strat),+);
+                $crate::test_runner::run(
+                    &config,
+                    stringify!($name),
+                    strategy,
+                    |($($pat),+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not panicking
+/// directly) so the runner can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`; operands are taken by reference.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                        left, right
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+                        format!($($fmt)+), left, right
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside `proptest!`; operands are taken by reference.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                        left, right
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current input inside `proptest!`; the runner draws another.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+/// Picks among several strategies producing the same value type, optionally
+/// weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::generate(&"[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let t = crate::strategy::Strategy::generate(&"[ -~]{0,20}", &mut rng);
+            assert!(t.len() <= 20);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+
+            let u = crate::strategy::Strategy::generate(&"\\PC{0,30}", &mut rng);
+            assert!(u.chars().count() <= 30);
+            assert!(u.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_round_trip(v in crate::collection::vec(0u8..10, 0..5), flag in any::<bool>()) {
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(v.len(), v.iter().filter(|x| **x <= 9).count());
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_recursion_generate(n in prop_oneof![2 => 0u32..5, 1 => Just(9u32)]) {
+            prop_assert!(n < 5 || n == 9);
+        }
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::new(7);
+        let mut saw_node = false;
+        for _ in 0..100 {
+            if matches!(strat.generate(&mut rng), Tree::Node(_)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node);
+    }
+}
