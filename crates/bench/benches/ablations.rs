@@ -89,10 +89,7 @@ fn ablation_chunk(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("era", chunk), |b| {
             b.iter(|| {
                 engine
-                    .evaluate(
-                        QUERY,
-                        EvalOptions::new().strategy(Strategy::Era),
-                    )
+                    .evaluate(QUERY, EvalOptions::new().strategy(Strategy::Era))
                     .unwrap()
             })
         });
@@ -152,7 +149,10 @@ fn ablation_heap(c: &mut Criterion) {
                 engine
                     .evaluate_translated(
                         translation.clone(),
-                        EvalOptions::new().k(10).strategy(Strategy::Ta).measure_heap(measure_heap),
+                        EvalOptions::new()
+                            .k(10)
+                            .strategy(Strategy::Ta)
+                            .measure_heap(measure_heap),
                     )
                     .unwrap()
             })

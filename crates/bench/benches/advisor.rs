@@ -63,7 +63,11 @@ fn bench_selection(c: &mut Criterion) {
 fn bench_advisor_pipeline(c: &mut Criterion) {
     let sys = build_collection(Collection::Ieee, Scale::small().ieee_docs, true);
     let workload = Workload::from_weights(vec![
-        ("//article//sec[about(., xml query evaluation)]".into(), 2.0, 10),
+        (
+            "//article//sec[about(., xml query evaluation)]".into(),
+            2.0,
+            10,
+        ),
         ("//sec[about(., code signing verification)]".into(), 1.0, 10),
     ])
     .unwrap();

@@ -13,7 +13,9 @@ fn prepared_store(n: u32) -> (Store, std::path::PathBuf) {
     let store = Store::create(&path, 1024).unwrap();
     let mut table = store.create_table("t").unwrap();
     for i in 0..n {
-        table.insert(&i.to_be_bytes(), &(i * 3).to_le_bytes()).unwrap();
+        table
+            .insert(&i.to_be_bytes(), &(i * 3).to_le_bytes())
+            .unwrap();
     }
     (store, path)
 }
@@ -118,5 +120,11 @@ fn bench_bulk_load(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inserts, bench_gets, bench_scans, bench_bulk_load);
+criterion_group!(
+    benches,
+    bench_inserts,
+    bench_gets,
+    bench_scans,
+    bench_bulk_load
+);
 criterion_main!(benches);

@@ -5,6 +5,8 @@
 //! These run at [`Scale::small`] so `cargo bench` completes quickly; the
 //! `experiments` binary runs the full sweep at the default scale.
 
+use std::time::{Duration, Instant};
+
 use criterion::{BenchmarkId, Criterion};
 
 use trex::corpus::{Collection, PAPER_QUERIES};
@@ -23,9 +25,12 @@ fn system(collection: Collection) -> TrexSystem {
 fn figure_group(c: &mut Criterion, figure: &str, query_id: u32) {
     let q = trex::corpus::paper_query(query_id).expect("known query");
     let sys = system(q.collection);
-    sys.materialize_for(q.nexi, ListKind::Both).expect("materialize");
+    sys.materialize_for(q.nexi, ListKind::Both)
+        .expect("materialize");
     let engine = sys.engine();
-    let translation = engine.translate(q.nexi, Default::default()).expect("translate");
+    let translation = engine
+        .translate(q.nexi, Default::default())
+        .expect("translate");
     let total = engine
         .evaluate_translated(
             translation.clone(),
@@ -107,6 +112,112 @@ fn table1(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread-scaling sweep of the batch executor: the IEEE paper queries,
+/// repeated into a 48-query batch, evaluated at 1/2/4/8 worker threads over
+/// a warm cache. Reports best-of-three wall clock and derived throughput,
+/// and checks the sharded pool's exact accounting: per-shard counter deltas
+/// must sum to the pool-level deltas, and every thread count must perform
+/// the same total number of page fetches as the single-thread run (the
+/// batch does identical work regardless of parallelism).
+///
+/// Writes `BENCH_concurrency.json`. The ≥2.5× four-thread speedup target
+/// is asserted only when the host actually has four cores to scale onto;
+/// the measured speedups are always recorded in the export.
+fn concurrency_sweep() -> String {
+    const BATCH: usize = 48;
+    const ITERS: usize = 3;
+
+    let sys = system(Collection::Ieee);
+    let queries: Vec<&str> = PAPER_QUERIES
+        .iter()
+        .filter(|q| q.collection == Collection::Ieee)
+        .map(|q| q.nexi)
+        .collect();
+    for q in &queries {
+        sys.materialize_for(q, ListKind::Both).expect("materialize");
+    }
+    let batch: Vec<&str> = queries.iter().cycle().take(BATCH).copied().collect();
+    let opts = EvalOptions::new().k(10);
+
+    // Warm the cache so every sweep pass does identical, read-only work.
+    for r in sys.executor().threads(1).evaluate_batch(&batch, opts) {
+        r.expect("warmup query");
+    }
+
+    let pool = sys.index().store().pool();
+    let storage = sys.index().store().counters();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut out = String::from("{\"batch\":");
+    out.push_str(&format!(
+        "{BATCH},\"iters\":{ITERS},\"cores\":{cores},\"shards\":{},\"sweep\":[",
+        pool.shard_count()
+    ));
+
+    let mut single_best = Duration::ZERO;
+    let mut single_fetches = 0u64;
+    for (i, &threads) in [1usize, 2, 4, 8].iter().enumerate() {
+        let executor = sys.executor().threads(threads);
+        let before = storage.snapshot();
+        let shards_before = pool.shard_counters();
+        let mut best = Duration::MAX;
+        for _ in 0..ITERS {
+            let start = Instant::now();
+            for r in executor.evaluate_batch(&batch, opts) {
+                r.expect("sweep query");
+            }
+            best = best.min(start.elapsed());
+        }
+        let delta = storage.snapshot().delta(&before);
+        let shard_deltas: Vec<_> = pool
+            .shard_counters()
+            .iter()
+            .zip(&shards_before)
+            .map(|(now, then)| now.delta(then))
+            .collect();
+
+        // Exact accounting: no cache event is lost under any thread count.
+        let shard_hits: u64 = shard_deltas.iter().map(|s| s.hits).sum();
+        let shard_misses: u64 = shard_deltas.iter().map(|s| s.misses).sum();
+        assert_eq!(shard_hits, delta.pool_hits, "{threads} threads: shard hits");
+        assert_eq!(
+            shard_misses, delta.pool_misses,
+            "{threads} threads: shard misses"
+        );
+        let fetches = delta.pool_hits + delta.pool_misses;
+        if threads == 1 {
+            single_best = best;
+            single_fetches = fetches;
+        } else {
+            assert_eq!(
+                fetches, single_fetches,
+                "{threads} threads did different work than single-thread"
+            );
+        }
+
+        let qps = BATCH as f64 / best.as_secs_f64();
+        let speedup = single_best.as_secs_f64() / best.as_secs_f64();
+        if threads == 4 && cores >= 4 {
+            assert!(
+                speedup >= 2.5,
+                "4-thread batch speedup {speedup:.2}x below the 2.5x target on {cores} cores"
+            );
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"threads\":{threads},\"best_us\":{},\"queries_per_sec\":{qps:.1},\
+             \"speedup\":{speedup:.3},\"page_fetches\":{fetches}}}",
+            best.as_micros()
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Runs every group on one `Criterion` so the recorded results can be
 /// exported, then writes `BENCH_trace.json`: the bench timings, a traced
 /// run of each figure query, and the measured-versus-predicted cost-model
@@ -138,11 +249,15 @@ fn main() {
     for &query_id in &[202u32, 260, 233] {
         let q = trex::corpus::paper_query(query_id).expect("known query");
         let sys = system(q.collection);
-        sys.materialize_for(q.nexi, ListKind::Both).expect("materialize");
+        sys.materialize_for(q.nexi, ListKind::Both)
+            .expect("materialize");
         let engine = sys.engine();
         for strategy in [Strategy::Ta, Strategy::Merge] {
             let result = engine
-                .evaluate(q.nexi, EvalOptions::new().k(10).strategy(strategy).trace(true))
+                .evaluate(
+                    q.nexi,
+                    EvalOptions::new().k(10).strategy(strategy).trace(true),
+                )
                 .expect("traced run");
             let trace = result.trace.expect("trace requested");
             if !first {
@@ -182,4 +297,9 @@ fn main() {
     let path = store_dir().join("BENCH_trace.json");
     std::fs::write(&path, &out).expect("write BENCH_trace.json");
     println!("\nwrote {} ({} bytes)", path.display(), out.len());
+
+    let sweep = concurrency_sweep();
+    let path = store_dir().join("BENCH_concurrency.json");
+    std::fs::write(&path, &sweep).expect("write BENCH_concurrency.json");
+    println!("wrote {} ({} bytes)", path.display(), sweep.len());
 }

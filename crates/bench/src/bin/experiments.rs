@@ -28,7 +28,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
     let scale = parse_scale(&args);
-    let query_filter: Option<u32> = flag_value(&args, "--query").map(|v| v.parse().expect("--query ID"));
+    let query_filter: Option<u32> =
+        flag_value(&args, "--query").map(|v| v.parse().expect("--query ID"));
     let runs: usize = flag_value(&args, "--runs").map_or(3, |v| v.parse().expect("--runs N"));
 
     match command {
@@ -105,12 +106,28 @@ fn summaries(scale: Scale) {
     });
     let variants = [
         ("incoming", SummaryKind::Incoming, AliasMap::identity()),
-        ("alias incoming", SummaryKind::Incoming, AliasMap::inex_ieee()),
+        (
+            "alias incoming",
+            SummaryKind::Incoming,
+            AliasMap::inex_ieee(),
+        ),
         ("tag", SummaryKind::Tag, AliasMap::identity()),
         ("alias tag", SummaryKind::Tag, AliasMap::inex_ieee()),
-        ("k-suffix k=1", SummaryKind::KSuffix(1), AliasMap::identity()),
-        ("k-suffix k=2", SummaryKind::KSuffix(2), AliasMap::identity()),
-        ("k-suffix k=3", SummaryKind::KSuffix(3), AliasMap::identity()),
+        (
+            "k-suffix k=1",
+            SummaryKind::KSuffix(1),
+            AliasMap::identity(),
+        ),
+        (
+            "k-suffix k=2",
+            SummaryKind::KSuffix(2),
+            AliasMap::identity(),
+        ),
+        (
+            "k-suffix k=3",
+            SummaryKind::KSuffix(3),
+            AliasMap::identity(),
+        ),
     ];
     let mut sizes = Vec::new();
     for (name, kind, alias) in variants {
@@ -131,7 +148,10 @@ fn summaries(scale: Scale) {
     let ok = get("alias incoming") <= get("incoming")
         && get("alias tag") <= get("tag")
         && get("tag") < get("incoming");
-    println!("shape check (alias ≤ plain, tag < incoming): {}", if ok { "PASS" } else { "FAIL" });
+    println!(
+        "shape check (alias ≤ plain, tag < incoming): {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -140,12 +160,18 @@ fn summaries(scale: Scale) {
 
 fn table1(scale: Scale) {
     println!("\n== Experiment: Table 1 (7 queries: translation and result sizes) ==");
-    println!("scale: {} IEEE-like docs (paper 16,819), {} Wiki-like docs (paper 659,388)\n", scale.ieee_docs, scale.wiki_docs);
+    println!(
+        "scale: {} IEEE-like docs (paper 16,819), {} Wiki-like docs (paper 659,388)\n",
+        scale.ieee_docs, scale.wiki_docs
+    );
     let ieee = system_for(Collection::Ieee, scale);
     let wiki = system_for(Collection::Wiki, scale);
 
     let mut csv = String::from("id,collection,sids,terms,answers\n");
-    println!("{:>4}  {:<74} {:<5} {:>5} {:>6} {:>8}", "ID", "NEXI Expression", "Coll", "#sids", "#terms", "#answers");
+    println!(
+        "{:>4}  {:<74} {:<5} {:>5} {:>6} {:>8}",
+        "ID", "NEXI Expression", "Coll", "#sids", "#terms", "#answers"
+    );
     for q in PAPER_QUERIES {
         let system = match q.collection {
             Collection::Ieee => &ieee,
@@ -207,26 +233,41 @@ fn figures(scale: Scale, query_filter: Option<u32>, runs: usize) {
             .materialize_for(q.nexi, ListKind::Both)
             .expect("materialize lists");
         let engine = system.engine();
-        let translation = engine.translate(q.nexi, Default::default()).expect("translate");
+        let translation = engine
+            .translate(q.nexi, Default::default())
+            .expect("translate");
 
         // ERA and Merge compute all answers.
         let era_time = median_time(runs, || {
             engine
-                .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Era))
+                .evaluate_translated(
+                    translation.clone(),
+                    EvalOptions::new().strategy(Strategy::Era),
+                )
                 .expect("era")
         });
         let merge_time = median_time(runs, || {
             engine
-                .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Merge))
+                .evaluate_translated(
+                    translation.clone(),
+                    EvalOptions::new().strategy(Strategy::Merge),
+                )
                 .expect("merge")
         });
         let total = engine
-            .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Era))
+            .evaluate_translated(
+                translation.clone(),
+                EvalOptions::new().strategy(Strategy::Era),
+            )
             .expect("era")
             .total_answers;
         println!("   answers: {total}");
         println!("   {:<8} {:>12.3} ms   (all answers)", "ERA", ms(era_time));
-        println!("   {:<8} {:>12.3} ms   (all answers)", "Merge", ms(merge_time));
+        println!(
+            "   {:<8} {:>12.3} ms   (all answers)",
+            "Merge",
+            ms(merge_time)
+        );
         writeln!(csv, "{},ERA,all,{:.3}", q.id, ms(era_time)).unwrap();
         writeln!(csv, "{},Merge,all,{:.3}", q.id, ms(merge_time)).unwrap();
 
@@ -239,7 +280,10 @@ fn figures(scale: Scale, query_filter: Option<u32>, runs: usize) {
                     let result = engine
                         .evaluate_translated(
                             translation.clone(),
-                            EvalOptions::new().k(k).strategy(Strategy::Ta).measure_heap(true),
+                            EvalOptions::new()
+                                .k(k)
+                                .strategy(Strategy::Ta)
+                                .measure_heap(true),
                         )
                         .expect("ta");
                     match &result.stats {
@@ -284,15 +328,22 @@ fn depth(scale: Scale) {
     let wiki = system_for(Collection::Wiki, scale);
 
     let mut csv = String::from("query,k,sorted_accesses,entire\n");
-    println!("{:>6} {:>8} {:>16} {:>10}", "query", "k", "accesses", "entire?");
+    println!(
+        "{:>6} {:>8} {:>16} {:>10}",
+        "query", "k", "accesses", "entire?"
+    );
     for q in PAPER_QUERIES {
         let system = match q.collection {
             Collection::Ieee => &ieee,
             Collection::Wiki => &wiki,
         };
-        system.materialize_for(q.nexi, ListKind::Rpl).expect("materialize");
+        system
+            .materialize_for(q.nexi, ListKind::Rpl)
+            .expect("materialize");
         let engine = system.engine();
-        let translation = engine.translate(q.nexi, Default::default()).expect("translate");
+        let translation = engine
+            .translate(q.nexi, Default::default())
+            .expect("translate");
         let mut first_entire: Option<usize> = None;
         for k in [1usize, 2, 5, 10, 20, 50, 100] {
             let result = engine
@@ -301,16 +352,29 @@ fn depth(scale: Scale) {
                     EvalOptions::new().k(k).strategy(Strategy::Ta),
                 )
                 .expect("ta");
-            let StrategyStats::Ta(stats) = &result.stats else { unreachable!() };
-            println!("{:>6} {:>8} {:>16} {:>10}", q.id, k, stats.sorted_accesses, stats.read_entire_lists);
-            writeln!(csv, "{},{},{},{}", q.id, k, stats.sorted_accesses, stats.read_entire_lists).unwrap();
+            let StrategyStats::Ta(stats) = &result.stats else {
+                unreachable!()
+            };
+            println!(
+                "{:>6} {:>8} {:>16} {:>10}",
+                q.id, k, stats.sorted_accesses, stats.read_entire_lists
+            );
+            writeln!(
+                csv,
+                "{},{},{},{}",
+                q.id, k, stats.sorted_accesses, stats.read_entire_lists
+            )
+            .unwrap();
             if stats.read_entire_lists && first_entire.is_none() {
                 first_entire = Some(k);
             }
         }
         match first_entire {
             Some(k) => println!("        -> query {} reads entire RPLs from k = {k}", q.id),
-            None => println!("        -> query {} never read entire lists up to k = 100", q.id),
+            None => println!(
+                "        -> query {} never read entire lists up to k = 100",
+                q.id
+            ),
         }
     }
     let path = results_dir().join("depth.csv");
@@ -339,10 +403,17 @@ fn advisor(scale: Scale) {
     eprintln!("[advisor] profiling workload…");
     let costs = ieee.advisor().profile(&workload, 1).expect("profile");
     let total_bytes: u64 = costs.iter().map(|c| c.s_erpl() + c.s_rpl()).sum();
-    println!("workload: {} IEEE queries, full materialisation would need ~{} KiB\n", workload.len(), total_bytes / 1024);
+    println!(
+        "workload: {} IEEE queries, full materialisation would need ~{} KiB\n",
+        workload.len(),
+        total_bytes / 1024
+    );
 
     let mut csv = String::from("budget_frac,method,bytes_used,expected_saving_ms,supported\n");
-    println!("{:>12} {:>8} {:>12} {:>18} {:>10}", "budget", "method", "bytes used", "saving (ms/exec)", "supported");
+    println!(
+        "{:>12} {:>8} {:>12} {:>18} {:>10}",
+        "budget", "method", "bytes used", "saving (ms/exec)", "supported"
+    );
     for frac in [0.0f64, 0.1, 0.25, 0.5, 1.0] {
         let budget = (total_bytes as f64 * frac) as u64;
         for method in [SelectionMethod::Greedy, SelectionMethod::Lp] {
@@ -378,7 +449,11 @@ fn advisor(scale: Scale) {
             writeln!(
                 csv,
                 "{},{:?},{},{:.3},{}",
-                frac, method, report.bytes_used, report.expected_saving * 1e3, supported
+                frac,
+                method,
+                report.bytes_used,
+                report.expected_saving * 1e3,
+                supported
             )
             .unwrap();
         }
@@ -400,15 +475,22 @@ fn race(scale: Scale, runs: usize) {
     let wiki = system_for(Collection::Wiki, scale);
 
     let mut csv = String::from("query,k,ta_ms,merge_ms,race_ms,winner\n");
-    println!("{:>6} {:>6} {:>10} {:>10} {:>10} {:>12}", "query", "k", "TA ms", "Merge ms", "Race ms", "race winner");
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12}",
+        "query", "k", "TA ms", "Merge ms", "Race ms", "race winner"
+    );
     for q in PAPER_QUERIES {
         let system = match q.collection {
             Collection::Ieee => &ieee,
             Collection::Wiki => &wiki,
         };
-        system.materialize_for(q.nexi, ListKind::Both).expect("materialize");
+        system
+            .materialize_for(q.nexi, ListKind::Both)
+            .expect("materialize");
         let engine = system.engine();
-        let translation = engine.translate(q.nexi, Default::default()).expect("translate");
+        let translation = engine
+            .translate(q.nexi, Default::default())
+            .expect("translate");
         for k in [10usize, 1000] {
             let run = |strategy: Strategy| {
                 median_time(runs, || {
@@ -433,8 +515,16 @@ fn race(scale: Scale, runs: usize) {
                 StrategyStats::Race { won_by, .. } => format!("{won_by:?}"),
                 _ => unreachable!(),
             };
-            println!("{:>6} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>12}", q.id, k, ta_ms, merge_ms, race_ms, winner);
-            writeln!(csv, "{},{},{:.3},{:.3},{:.3},{}", q.id, k, ta_ms, merge_ms, race_ms, winner).unwrap();
+            println!(
+                "{:>6} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>12}",
+                q.id, k, ta_ms, merge_ms, race_ms, winner
+            );
+            writeln!(
+                csv,
+                "{},{},{:.3},{:.3},{:.3},{}",
+                q.id, k, ta_ms, merge_ms, race_ms, winner
+            )
+            .unwrap();
         }
     }
     let path = results_dir().join("race.csv");
@@ -451,37 +541,66 @@ fn scaling() {
     println!("\n== Experiment: collection scaling (build + query cost vs corpus size) ==");
     let query = "//article//sec[about(., introduction information retrieval)]";
     let mut csv = String::from("docs,build_s,pages,answers,era_ms,merge_ms\n");
-    println!("{:>7} {:>9} {:>8} {:>9} {:>10} {:>10}", "docs", "build s", "pages", "answers", "ERA ms", "Merge ms");
+    println!(
+        "{:>7} {:>9} {:>8} {:>9} {:>10} {:>10}",
+        "docs", "build s", "pages", "answers", "ERA ms", "Merge ms"
+    );
     for docs in [150usize, 300, 600, 1200] {
         let started = std::time::Instant::now();
         let system = build_collection(Collection::Ieee, docs, false);
         let build_s = started.elapsed().as_secs_f64();
-        system.materialize_for(query, ListKind::Erpl).expect("materialize");
+        system
+            .materialize_for(query, ListKind::Erpl)
+            .expect("materialize");
         let engine = system.engine();
-        let translation = engine.translate(query, Default::default()).expect("translate");
+        let translation = engine
+            .translate(query, Default::default())
+            .expect("translate");
         let era = median_time(3, || {
             engine
-                .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Era))
+                .evaluate_translated(
+                    translation.clone(),
+                    EvalOptions::new().strategy(Strategy::Era),
+                )
                 .expect("era")
         });
         let merge = median_time(3, || {
             engine
-                .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Merge))
+                .evaluate_translated(
+                    translation.clone(),
+                    EvalOptions::new().strategy(Strategy::Merge),
+                )
                 .expect("merge")
         });
         let answers = engine
-            .evaluate_translated(translation.clone(), EvalOptions::new().strategy(Strategy::Era))
+            .evaluate_translated(
+                translation.clone(),
+                EvalOptions::new().strategy(Strategy::Era),
+            )
             .expect("era")
             .total_answers;
         let pages = system.index().store().page_count();
         println!(
             "{:>7} {:>9.2} {:>8} {:>9} {:>10.3} {:>10.3}",
-            docs, build_s, pages, answers, ms(era), ms(merge)
+            docs,
+            build_s,
+            pages,
+            answers,
+            ms(era),
+            ms(merge)
         );
-        writeln!(csv, "{docs},{build_s:.2},{pages},{answers},{:.3},{:.3}", ms(era), ms(merge)).unwrap();
+        writeln!(
+            csv,
+            "{docs},{build_s:.2},{pages},{answers},{:.3},{:.3}",
+            ms(era),
+            ms(merge)
+        )
+        .unwrap();
     }
     let path = results_dir().join("scaling.csv");
     std::fs::write(&path, csv).expect("write scaling.csv");
-    println!("\nexpected shape: near-linear growth of build time, pages, answers and ERA/Merge time.");
+    println!(
+        "\nexpected shape: near-linear growth of build time, pages, answers and ERA/Merge time."
+    );
     println!("wrote {}", path.display());
 }

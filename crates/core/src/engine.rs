@@ -17,8 +17,8 @@ use trex_index::TrexIndex;
 use crate::answer::{top_k, Answer};
 use crate::era::{era, EraStats};
 use crate::materialize::{erpls_cover, rpls_cover};
-use crate::merge::{merge, MergeStats};
 use crate::merge::merge_with_cancel;
+use crate::merge::{merge, MergeStats};
 use crate::metrics::StrategyMetrics;
 use crate::selfmanage::cost::{predicted_merge_accesses, predicted_ta_accesses, CostValidation};
 use crate::ta::{ta, ta_with_cancel, TaOptions, TaStats};
@@ -90,8 +90,14 @@ impl StrategyStats {
             StrategyStats::Era(_) => "era",
             StrategyStats::Ta(_) => "ta",
             StrategyStats::Merge(_) => "merge",
-            StrategyStats::Race { won_by: RaceWinner::Ta, .. } => "race(ta)",
-            StrategyStats::Race { won_by: RaceWinner::Merge, .. } => "race(merge)",
+            StrategyStats::Race {
+                won_by: RaceWinner::Ta,
+                ..
+            } => "race(ta)",
+            StrategyStats::Race {
+                won_by: RaceWinner::Merge,
+                ..
+            } => "race(merge)",
         }
     }
 }
@@ -219,6 +225,15 @@ pub struct QueryEngine<'a> {
     analyzer: Analyzer,
 }
 
+// The batch executor shares one engine across its worker threads, so losing
+// either auto-trait (say, by giving the engine an `Rc` or `Cell` field) must
+// be a compile error here rather than a surprise in `executor.rs`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryEngine<'static>>();
+    assert_send_sync::<EvalOptions>();
+};
+
 impl<'a> QueryEngine<'a> {
     /// An engine over `index` using the analyzer the index was built with
     /// (persisted in the catalog).
@@ -254,7 +269,13 @@ impl<'a> QueryEngine<'a> {
         let extents = translation
             .sids
             .iter()
-            .map(|&sid| (sid, summary.extent_xpath(sid), summary.node(sid).extent_size))
+            .map(|&sid| {
+                (
+                    sid,
+                    summary.extent_xpath(sid),
+                    summary.node(sid).extent_size,
+                )
+            })
             .collect();
         let mut terms = Vec::with_capacity(translation.terms.len());
         for &term in &translation.terms {
@@ -374,18 +395,16 @@ impl<'a> QueryEngine<'a> {
         };
         let evaluate_time = eval_started.elapsed().saturating_sub(rank_time);
 
-        let trace = before.map(|(storage0, index0)| {
-            QueryTrace {
-                strategy: stats.name().to_string(),
-                stages: StageTimings {
-                    translate: translate_time,
-                    evaluate: evaluate_time,
-                    rank: rank_time,
-                },
-                storage: self.index.store().counters().snapshot().delta(&storage0),
-                index: self.index.counters().snapshot().delta(&index0),
-                cost: stats.cost_units(),
-            }
+        let trace = before.map(|(storage0, index0)| QueryTrace {
+            strategy: stats.name().to_string(),
+            stages: StageTimings {
+                translate: translate_time,
+                evaluate: evaluate_time,
+                rank: rank_time,
+            },
+            storage: self.index.store().counters().snapshot().delta(&storage0),
+            index: self.index.counters().snapshot().delta(&index0),
+            cost: stats.cost_units(),
         });
 
         Ok(QueryResult {
@@ -441,7 +460,10 @@ impl<'a> QueryEngine<'a> {
             }
             let result = self.evaluate_translated(
                 translation.clone(),
-                EvalOptions::new().k(k).strategy(Strategy::Merge).trace(true),
+                EvalOptions::new()
+                    .k(k)
+                    .strategy(Strategy::Merge)
+                    .trace(true),
             )?;
             let trace = result.trace.expect("trace was requested");
             validations.push(CostValidation::new(
@@ -509,12 +531,14 @@ impl<'a> QueryEngine<'a> {
                 scope.spawn(move |_| {
                     let run = || -> RaceOutcome {
                         let rpls = index.rpls()?;
-                        Ok(ta_with_cancel(&rpls, sids, terms, ta_opts, Some(cancel))?.map(
-                            |(answers, stats)| {
-                                let total = answers.len();
-                                (answers, total, StrategyStats::Ta(stats))
-                            },
-                        ))
+                        Ok(
+                            ta_with_cancel(&rpls, sids, terms, ta_opts, Some(cancel))?.map(
+                                |(answers, stats)| {
+                                    let total = answers.len();
+                                    (answers, total, StrategyStats::Ta(stats))
+                                },
+                            ),
+                        )
                     };
                     let _ = tx.send((RaceWinner::Ta, run()));
                 });
@@ -523,17 +547,15 @@ impl<'a> QueryEngine<'a> {
             scope.spawn(move |_| {
                 let run = || -> RaceOutcome {
                     let erpls = index.erpls()?;
-                    Ok(
-                        merge_with_cancel(&erpls, sids, terms, Some(cancel))?.map(
-                            |(mut answers, stats)| {
-                                let total = answers.len();
-                                if let Some(k) = opts.k {
-                                    answers.truncate(k);
-                                }
-                                (answers, total, StrategyStats::Merge(stats))
-                            },
-                        ),
-                    )
+                    Ok(merge_with_cancel(&erpls, sids, terms, Some(cancel))?.map(
+                        |(mut answers, stats)| {
+                            let total = answers.len();
+                            if let Some(k) = opts.k {
+                                answers.truncate(k);
+                            }
+                            (answers, total, StrategyStats::Merge(stats))
+                        },
+                    ))
                 };
                 let _ = merge_tx.send((RaceWinner::Merge, run()));
             });
@@ -562,9 +584,7 @@ impl<'a> QueryEngine<'a> {
             match (first, first_error) {
                 (Some(win), _) => Ok(win),
                 (None, Some(e)) => Err(e),
-                (None, None) => Err(TrexError::MissingIndex(
-                    "race produced no result".into(),
-                )),
+                (None, None) => Err(TrexError::MissingIndex("race produced no result".into())),
             }
         })
         .expect("scoped race threads");

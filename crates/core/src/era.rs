@@ -218,10 +218,7 @@ mod tests {
             .iter()
             .map(|m| (m.element.doc, m.tf.clone()))
             .collect();
-        assert_eq!(
-            tfs,
-            vec![(0, vec![1, 1]), (0, vec![2, 0]), (1, vec![1, 2])]
-        );
+        assert_eq!(tfs, vec![(0, vec![1, 1]), (0, vec![2, 0]), (1, vec![1, 2])]);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,233 @@
+//! Batch query evaluation on a scoped thread pool.
+//!
+//! The read path — translation, strategy selection, and the ERA/TA/Merge
+//! evaluations — only needs `&TrexIndex`, and the storage layer underneath
+//! is a sharded buffer pool built for concurrent readers. [`QueryExecutor`]
+//! exploits that: it fans a batch of NEXI queries out over `threads` scoped
+//! worker threads sharing one [`QueryEngine`], and returns the per-query
+//! results in input order. With [`EvalOptions::trace`] enabled every result
+//! carries its own [`trex_obs::QueryTrace`], so batch throughput can be
+//! attributed query by query.
+//!
+//! Work distribution is a single atomic cursor (workers claim the next
+//! unclaimed query), so skewed batches — one expensive query among many
+//! cheap ones — never idle a thread before the batch is done.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use trex_index::TrexIndex;
+
+use crate::engine::{EvalOptions, QueryEngine, QueryResult};
+use crate::Result;
+
+/// Evaluates batches of NEXI queries concurrently over one shared
+/// [`QueryEngine`].
+///
+/// ```no_run
+/// use trex_core::{EvalOptions, QueryExecutor};
+/// # fn demo(index: &trex_index::TrexIndex) {
+/// let executor = QueryExecutor::new(index).threads(4);
+/// let queries = ["//article//sec[about(., xml)]", "//article[about(., index)]"];
+/// let results = executor.evaluate_batch(&queries, EvalOptions::new().k(10));
+/// assert_eq!(results.len(), queries.len());
+/// # }
+/// ```
+pub struct QueryExecutor<'a> {
+    engine: QueryEngine<'a>,
+    threads: usize,
+}
+
+impl<'a> QueryExecutor<'a> {
+    /// An executor over `index`, defaulting to one worker per available
+    /// hardware thread.
+    pub fn new(index: &'a TrexIndex) -> QueryExecutor<'a> {
+        QueryExecutor {
+            engine: QueryEngine::new(index),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// An executor wrapping an existing engine (e.g. one built with a
+    /// custom analyzer).
+    pub fn with_engine(engine: QueryEngine<'a>) -> QueryExecutor<'a> {
+        QueryExecutor { engine, threads: 1 }
+    }
+
+    /// Sets the worker-thread count (clamped to ≥ 1).
+    pub fn threads(mut self, threads: usize) -> QueryExecutor<'a> {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared engine (for translation or single-query evaluation).
+    pub fn engine(&self) -> &QueryEngine<'a> {
+        &self.engine
+    }
+
+    /// Evaluates every query of the batch, returning one result per query
+    /// in input order. Each query is evaluated exactly once; a query that
+    /// fails yields its own `Err` without affecting its neighbours.
+    pub fn evaluate_batch<Q>(&self, queries: &[Q], opts: EvalOptions) -> Vec<Result<QueryResult>>
+    where
+        Q: AsRef<str> + Sync,
+    {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            return queries
+                .iter()
+                .map(|q| self.engine.evaluate(q.as_ref(), opts))
+                .collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, Result<QueryResult>)>(n);
+        let results = crossbeam::thread::scope(|scope| {
+            let cursor = &cursor;
+            let engine = &self.engine;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move |_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = engine.evaluate(queries[i].as_ref(), opts);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut slots: Vec<Option<Result<QueryResult>>> = (0..n).map(|_| None).collect();
+            for (i, result) in rx.iter() {
+                slots[i] = Some(result);
+            }
+            slots
+        })
+        .expect("scoped batch threads");
+
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every query claimed exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use trex_index::IndexBuilder;
+    use trex_storage::Store;
+    use trex_summary::{AliasMap, SummaryKind};
+    use trex_text::Analyzer;
+
+    fn build(name: &str, docs: &[String]) -> (TrexIndex, std::path::PathBuf) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trex-executor-{name}-{}", std::process::id()));
+        let store = Store::create(&path, 128).unwrap();
+        let mut b = IndexBuilder::new(
+            &store,
+            SummaryKind::Incoming,
+            AliasMap::identity(),
+            Analyzer::verbatim(),
+        )
+        .unwrap();
+        for d in docs {
+            b.add_document(d).unwrap();
+        }
+        b.finish().unwrap();
+        (TrexIndex::open(Arc::new(store)).unwrap(), path)
+    }
+
+    fn corpus() -> Vec<String> {
+        (0..24)
+            .map(|i| {
+                let noise = ["xml", "query", "index", "summary"][i % 4];
+                format!("<a><s>cat dog {noise}</s><s>bird {noise} w{i}</s></a>")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_in_input_order() {
+        let (index, path) = build("order", &corpus());
+        let queries = [
+            "//a//s[about(., cat)]",
+            "//a//s[about(., bird xml)]",
+            "//a//s[about(., query)]",
+            "//a//s[about(., dog summary)]",
+            "//a//s[about(., w3)]",
+        ];
+        let opts = EvalOptions::new().k(Some(5));
+        let engine = QueryEngine::new(&index);
+        let serial: Vec<_> = queries
+            .iter()
+            .map(|q| engine.evaluate(q, opts).unwrap().answers)
+            .collect();
+
+        let executor = QueryExecutor::new(&index).threads(4);
+        let batch = executor.evaluate_batch(&queries, opts);
+        assert_eq!(batch.len(), queries.len());
+        for (got, want) in batch.into_iter().zip(&serial) {
+            assert_eq!(&got.unwrap().answers, want);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn one_failing_query_does_not_poison_the_batch() {
+        let (index, path) = build("err", &corpus());
+        let queries = [
+            "//a//s[about(., cat)]",
+            "//a//s[about(., )]]]", // malformed NEXI
+            "//a//s[about(., bird)]",
+        ];
+        let executor = QueryExecutor::new(&index).threads(3);
+        let results = executor.evaluate_batch(&queries, EvalOptions::new().k(Some(3)));
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_batch_and_single_thread_paths() {
+        let (index, path) = build("edges", &corpus());
+        let executor = QueryExecutor::new(&index).threads(1);
+        let none: Vec<&str> = Vec::new();
+        assert!(executor
+            .evaluate_batch(&none, EvalOptions::new())
+            .is_empty());
+        let one = executor.evaluate_batch(&["//a//s[about(., cat)]"], EvalOptions::new());
+        assert_eq!(one.len(), 1);
+        assert!(one[0].is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn traced_batch_attaches_per_query_traces() {
+        let (index, path) = build("trace", &corpus());
+        let queries = ["//a//s[about(., cat)]", "//a//s[about(., bird)]"];
+        let executor = QueryExecutor::new(&index).threads(2);
+        let results = executor.evaluate_batch(&queries, EvalOptions::new().k(Some(4)).trace(true));
+        for r in results {
+            let r = r.unwrap();
+            let trace = r.trace.expect("trace requested");
+            assert!(!trace.strategy.is_empty());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

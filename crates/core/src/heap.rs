@@ -70,10 +70,10 @@ impl<T: PartialEq> PartialOrd for HeapItem<T> {
 impl<T: PartialEq> Ord for HeapItem<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we need the minimum on top.
-        other
-            .score
-            .partial_cmp(&self.score)
-            .expect("scores are finite")
+        // `total_cmp` keeps the order total even if a non-finite score were
+        // ever smuggled past `offer`'s guard — a NaN comparison must not be
+        // able to corrupt the heap invariant.
+        other.score.total_cmp(&self.score)
     }
 }
 
@@ -174,8 +174,16 @@ impl<T: PartialEq> TopKHeap<T> {
 
     /// Offers an item; keeps it only if it belongs to the current top-k.
     /// Heap mutations run under `clock`. Returns whether the item was kept.
+    ///
+    /// Scores must be finite. A NaN score is rejected outright (it ranks
+    /// against nothing, and before this guard it could corrupt both the
+    /// heap invariant and the TA stopping threshold); ±∞ are clamped to the
+    /// finite `f32` range so the threshold arithmetic stays meaningful.
     pub fn offer(&mut self, score: f32, item: T, clock: &mut HeapClock) -> bool {
-        debug_assert!(score.is_finite());
+        if score.is_nan() {
+            return false;
+        }
+        let score = score.clamp(f32::MIN, f32::MAX);
         if self.k == 0 {
             return false;
         }
@@ -227,7 +235,7 @@ impl<T: PartialEq> TopKHeap<T> {
             HeapImpl::Binary(h) => h.into_iter().map(|it| (it.score, it.item)).collect(),
             HeapImpl::Sorted(v) => v.into_iter().map(|it| (it.score, it.item)).collect(),
         };
-        items.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        items.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
         items
     }
 
@@ -308,12 +316,77 @@ mod tests {
 }
 
 #[cfg(test)]
+mod non_finite_tests {
+    use super::*;
+
+    #[test]
+    fn nan_scores_are_rejected() {
+        let mut clock = HeapClock::disabled();
+        let mut heap = TopKHeap::new(2);
+        assert!(!heap.offer(f32::NAN, "nan", &mut clock), "NaN never kept");
+        assert!(heap.is_empty());
+        heap.offer(1.0, "a", &mut clock);
+        heap.offer(2.0, "b", &mut clock);
+        // A NaN against a full heap must not displace anything either.
+        assert!(!heap.offer(f32::NAN, "nan", &mut clock));
+        assert_eq!(heap.threshold(), Some(1.0), "threshold unaffected by NaN");
+        let out = heap.into_sorted_desc();
+        let items: Vec<&str> = out.iter().map(|(_, i)| *i).collect();
+        assert_eq!(items, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn nan_does_not_count_as_a_heap_op() {
+        let mut clock = HeapClock::disabled();
+        let mut heap = TopKHeap::new(4);
+        heap.offer(f32::NAN, 0, &mut clock);
+        assert_eq!(heap.op_counts(), (0, 0));
+    }
+
+    #[test]
+    fn infinities_are_clamped_to_finite_range() {
+        let mut clock = HeapClock::disabled();
+        let mut heap = TopKHeap::new(2);
+        assert!(heap.offer(f32::INFINITY, "hi", &mut clock));
+        assert!(heap.offer(f32::NEG_INFINITY, "lo", &mut clock));
+        let t = heap.threshold().expect("full");
+        assert!(t.is_finite(), "threshold must stay finite, got {t}");
+        assert_eq!(t, f32::MIN);
+        // An ordinary finite score displaces the clamped -inf entry.
+        assert!(heap.offer(1.0e30, "big", &mut clock));
+        assert_eq!(heap.threshold(), Some(1.0e30));
+        let out = heap.into_sorted_desc();
+        assert_eq!(out[0].0, f32::MAX);
+        assert!(out.iter().all(|(s, _)| s.is_finite()));
+    }
+
+    #[test]
+    fn mixed_finite_and_infinite_ranking_stays_total() {
+        let mut clock = HeapClock::disabled();
+        let mut heap = TopKHeap::new(3);
+        for (s, i) in [
+            (f32::INFINITY, 1),
+            (5.0, 2),
+            (f32::NEG_INFINITY, 3),
+            (7.0, 4),
+        ] {
+            heap.offer(s, i, &mut clock);
+        }
+        let out = heap.into_sorted_desc();
+        let items: Vec<i32> = out.iter().map(|(_, i)| *i).collect();
+        assert_eq!(items, vec![1, 4, 2], "clamped +inf first, then 7, then 5");
+    }
+}
+
+#[cfg(test)]
 mod policy_tests {
     use super::*;
 
     #[test]
     fn both_policies_keep_the_same_top_k() {
-        let scores: Vec<f32> = (0..5000).map(|i| (i * 2654435761u64 % 9973) as f32).collect();
+        let scores: Vec<f32> = (0..5000)
+            .map(|i| (i * 2654435761u64 % 9973) as f32)
+            .collect();
         let mut clock = HeapClock::disabled();
         let mut binary = TopKHeap::with_policy(37, HeapPolicy::Binary);
         let mut sorted = TopKHeap::with_policy(37, HeapPolicy::SortedVec);

@@ -12,6 +12,7 @@
 pub mod answer;
 pub mod engine;
 pub mod era;
+pub mod executor;
 pub mod heap;
 pub mod materialize;
 pub mod merge;
@@ -27,19 +28,22 @@ use std::fmt;
 pub use trex_obs as obs;
 
 pub use answer::{rank, top_k, Answer};
-pub use engine::{EvalOptions, Explain, QueryEngine, QueryResult, RaceWinner, Strategy, StrategyStats};
+pub use engine::{
+    EvalOptions, Explain, QueryEngine, QueryResult, RaceWinner, Strategy, StrategyStats,
+};
 pub use era::{era, EraMatch, EraStats};
+pub use executor::QueryExecutor;
 pub use heap::{HeapClock, HeapPolicy, TopKHeap};
 pub use materialize::{erpls_cover, materialize, rpls_cover, ListKind};
 pub use merge::{merge, merge_with_cancel, MergeStats};
 pub use metrics::StrategyMetrics;
 pub use qsort::quicksort;
+pub use selfmanage::cost::{
+    predicted_merge_accesses, predicted_ta_accesses, CostValidation, TA_PREDICTION_FACTOR,
+};
 pub use selfmanage::{
     Advisor, AdvisorOptions, AdvisorReport, Choice, QueryCost, Selection, SelectionMethod,
     Workload, WorkloadQuery,
-};
-pub use selfmanage::cost::{
-    predicted_merge_accesses, predicted_ta_accesses, CostValidation, TA_PREDICTION_FACTOR,
 };
 pub use ta::{ta, ta_with_cancel, TaOptions, TaStats};
 

@@ -71,7 +71,12 @@ pub fn merge_with_cancel(
             if let Some(entry) = it.next_entry()? {
                 stats.entries_read += 1;
                 let idx = iters.len();
-                heads.push(Reverse((entry.element.end_position(), entry.element.length, entry.sid, idx)));
+                heads.push(Reverse((
+                    entry.element.end_position(),
+                    entry.element.length,
+                    entry.sid,
+                    idx,
+                )));
                 iters.push((it, Some(entry)));
             } else {
                 iters.push((it, None));
@@ -134,7 +139,12 @@ fn advance(
 ) -> Result<()> {
     if let Some(next) = state.0.next_entry()? {
         stats.entries_read += 1;
-        heads.push(Reverse((next.element.end_position(), next.element.length, next.sid, idx)));
+        heads.push(Reverse((
+            next.element.end_position(),
+            next.element.length,
+            next.sid,
+            idx,
+        )));
         state.1 = Some(next);
     }
     Ok(())
@@ -224,7 +234,12 @@ mod tests {
                 .put_list(
                     1,
                     10,
-                    &[(el(0, 1), 1.0), (el(0, 3), 2.0), (el(0, 5), 1.0), (el(1, 1), 2.0)],
+                    &[
+                        (el(0, 1), 1.0),
+                        (el(0, 3), 2.0),
+                        (el(0, 5), 1.0),
+                        (el(1, 1), 2.0),
+                    ],
                 )
                 .unwrap();
             let (answers, _) = merge(erpls, &[10], &[1]).unwrap();

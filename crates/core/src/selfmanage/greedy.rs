@@ -158,7 +158,13 @@ mod tests {
 
     #[test]
     fn zero_budget_selects_nothing() {
-        let costs = vec![cost(1.0, 5.0, 5.0, vec![list(1, 1, 10)], vec![list(1, 1, 10)])];
+        let costs = vec![cost(
+            1.0,
+            5.0,
+            5.0,
+            vec![list(1, 1, 10)],
+            vec![list(1, 1, 10)],
+        )];
         let sel = solve_greedy(&costs, 0);
         assert_eq!(sel.choices, vec![Choice::None]);
     }

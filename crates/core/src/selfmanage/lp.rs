@@ -47,7 +47,13 @@ pub fn solve_lp(costs: &[QueryCost], budget: u64) -> Selection {
     let ratio = |i: usize| -> f64 {
         options[i]
             .iter()
-            .map(|&(s, sp, _)| if sp == 0 { f64::INFINITY } else { s / sp as f64 })
+            .map(|&(s, sp, _)| {
+                if sp == 0 {
+                    f64::INFINITY
+                } else {
+                    s / sp as f64
+                }
+            })
             .fold(0.0, f64::max)
     };
     order.sort_by(|&a, &b| ratio(b).partial_cmp(&ratio(a)).expect("finite or inf"));
@@ -70,8 +76,16 @@ pub fn solve_lp(costs: &[QueryCost], budget: u64) -> Selection {
             }
         }
         items.sort_by(|a, b| {
-            let ra = if a.1 == 0 { f64::INFINITY } else { a.0 / a.1 as f64 };
-            let rb = if b.1 == 0 { f64::INFINITY } else { b.0 / b.1 as f64 };
+            let ra = if a.1 == 0 {
+                f64::INFINITY
+            } else {
+                a.0 / a.1 as f64
+            };
+            let rb = if b.1 == 0 {
+                f64::INFINITY
+            } else {
+                b.0 / b.1 as f64
+            };
             rb.partial_cmp(&ra).expect("finite or inf")
         });
         let mut bound = 0.0;
@@ -163,15 +177,26 @@ mod tests {
             frequency: f,
             delta_merge: dm,
             delta_ta: dta,
-            erpl_lists: vec![ListId { term: 0, sid: 0, bytes: s_erpl }],
-            rpl_lists: vec![ListId { term: 0, sid: 1, bytes: s_rpl }],
+            erpl_lists: vec![ListId {
+                term: 0,
+                sid: 0,
+                bytes: s_erpl,
+            }],
+            rpl_lists: vec![ListId {
+                term: 0,
+                sid: 1,
+                bytes: s_rpl,
+            }],
         }
     }
 
     #[test]
     fn picks_the_best_method_per_query() {
         // Query 0: Merge saves more; query 1: TA saves more. Budget fits both.
-        let costs = vec![cost(0.5, 10.0, 2.0, 100, 100), cost(0.5, 1.0, 8.0, 100, 100)];
+        let costs = vec![
+            cost(0.5, 10.0, 2.0, 100, 100),
+            cost(0.5, 1.0, 8.0, 100, 100),
+        ];
         let sel = solve_lp(&costs, 1000);
         assert_eq!(sel.choices, vec![Choice::Erpl, Choice::Rpl]);
     }

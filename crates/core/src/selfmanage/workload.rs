@@ -103,8 +103,11 @@ mod tests {
 
     #[test]
     fn accepts_valid_workloads() {
-        let w = Workload::new(vec![q("//a[about(., x)]", 0.25), q("//b[about(., y)]", 0.75)])
-            .unwrap();
+        let w = Workload::new(vec![
+            q("//a[about(., x)]", 0.25),
+            q("//b[about(., y)]", 0.75),
+        ])
+        .unwrap();
         assert_eq!(w.len(), 2);
     }
 

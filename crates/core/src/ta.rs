@@ -354,12 +354,8 @@ mod tests {
     #[test]
     fn single_term_top_k() {
         with_rpls("single", |rpls| {
-            rpls.put_list(
-                1,
-                10,
-                &[(el(0, 1), 5.0), (el(0, 3), 3.0), (el(0, 5), 1.0)],
-            )
-            .unwrap();
+            rpls.put_list(1, 10, &[(el(0, 1), 5.0), (el(0, 3), 3.0), (el(0, 5), 1.0)])
+                .unwrap();
             let (answers, stats) = ta(rpls, &[10], &[1], opts(2)).unwrap();
             assert_eq!(answers.len(), 2);
             assert_eq!(answers[0].score, 5.0);
@@ -372,8 +368,10 @@ mod tests {
     fn sums_across_terms() {
         with_rpls("sum", |rpls| {
             // Element (0,1) appears in both term lists.
-            rpls.put_list(1, 10, &[(el(0, 1), 2.0), (el(0, 3), 1.5)]).unwrap();
-            rpls.put_list(2, 10, &[(el(0, 1), 1.0), (el(0, 5), 0.5)]).unwrap();
+            rpls.put_list(1, 10, &[(el(0, 1), 2.0), (el(0, 3), 1.5)])
+                .unwrap();
+            rpls.put_list(2, 10, &[(el(0, 1), 1.0), (el(0, 5), 0.5)])
+                .unwrap();
             let (answers, _) = ta(rpls, &[10], &[1, 2], opts(3)).unwrap();
             assert_eq!(answers.len(), 3);
             assert_eq!(answers[0].element, el(0, 1));
@@ -398,7 +396,8 @@ mod tests {
     #[test]
     fn k_larger_than_result_returns_all() {
         with_rpls("bigk", |rpls| {
-            rpls.put_list(1, 10, &[(el(0, 1), 1.0), (el(0, 3), 0.5)]).unwrap();
+            rpls.put_list(1, 10, &[(el(0, 1), 1.0), (el(0, 3), 0.5)])
+                .unwrap();
             let (answers, stats) = ta(rpls, &[10], &[1], opts(100)).unwrap();
             assert_eq!(answers.len(), 2);
             assert!(stats.read_entire_lists);
@@ -450,8 +449,9 @@ mod tests {
     #[test]
     fn heap_time_is_measured_when_enabled() {
         with_rpls("heaptime", |rpls| {
-            let entries: Vec<(ElementRef, f32)> =
-                (0..2000u32).map(|i| (el(0, 2 * i + 1), (i % 37) as f32)).collect();
+            let entries: Vec<(ElementRef, f32)> = (0..2000u32)
+                .map(|i| (el(0, 2 * i + 1), (i % 37) as f32))
+                .collect();
             rpls.put_list(1, 10, &entries).unwrap();
             let (_, stats) = ta(rpls, &[10], &[1], TaOptions::new(10)).unwrap();
             assert!(stats.heap_time > Duration::ZERO);

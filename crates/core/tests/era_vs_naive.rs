@@ -34,11 +34,7 @@ fn build(name: &str, docs: &[String]) -> (TrexIndex, std::path::PathBuf) {
 
 /// Naive evaluation: walk every extent element and count term positions in
 /// its span via the posting lists.
-fn naive(
-    index: &TrexIndex,
-    sids: &[Sid],
-    terms: &[u32],
-) -> HashMap<(Sid, ElementRef), Vec<u32>> {
+fn naive(index: &TrexIndex, sids: &[Sid], terms: &[u32]) -> HashMap<(Sid, ElementRef), Vec<u32>> {
     let elements = index.elements().unwrap();
     let postings = index.postings().unwrap();
     // Materialise all positions per term.
@@ -76,25 +72,23 @@ fn naive(
 fn doc_strategy() -> impl Strategy<Value = String> {
     let word = proptest::sample::select(vec!["cat", "dog", "fox", "owl", "ant"]);
     let para = proptest::collection::vec(word, 0..6).prop_map(|ws| ws.join(" "));
-    proptest::collection::vec(
-        (para.clone(), proptest::collection::vec(para, 0..3)),
-        1..5,
-    )
-    .prop_map(|sections| {
-        let mut xml = String::from("<a>");
-        for (lead, subs) in sections {
-            xml.push_str("<s>");
-            xml.push_str(&lead);
-            for sub in subs {
-                xml.push_str("<ss>");
-                xml.push_str(&sub);
-                xml.push_str("</ss>");
+    proptest::collection::vec((para.clone(), proptest::collection::vec(para, 0..3)), 1..5).prop_map(
+        |sections| {
+            let mut xml = String::from("<a>");
+            for (lead, subs) in sections {
+                xml.push_str("<s>");
+                xml.push_str(&lead);
+                for sub in subs {
+                    xml.push_str("<ss>");
+                    xml.push_str(&sub);
+                    xml.push_str("</ss>");
+                }
+                xml.push_str("</s>");
             }
-            xml.push_str("</s>");
-        }
-        xml.push_str("</a>");
-        xml
-    })
+            xml.push_str("</a>");
+            xml
+        },
+    )
 }
 
 proptest! {

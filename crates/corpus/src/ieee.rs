@@ -190,7 +190,16 @@ mod tests {
     fn structure_contains_expected_paths_and_synonyms() {
         let g = IeeeGenerator::new(config(40));
         let all: String = g.documents().collect();
-        for tag in ["<books>", "<journal>", "<article>", "<fm>", "<bdy>", "<sec>", "<ss1>", "<p>"] {
+        for tag in [
+            "<books>",
+            "<journal>",
+            "<article>",
+            "<fm>",
+            "<bdy>",
+            "<sec>",
+            "<ss1>",
+            "<p>",
+        ] {
             assert!(all.contains(tag), "missing {tag}");
         }
     }

@@ -16,17 +16,44 @@ pub const TOPICS: &[&[&str]] = &[
     // Query 202
     &["ontologies", "case", "study", "semantic", "knowledge"],
     // Query 203
-    &["code", "signing", "verification", "security", "certificates"],
+    &[
+        "code",
+        "signing",
+        "verification",
+        "security",
+        "certificates",
+    ],
     // Query 233
     &["synthesizers", "music", "audio", "sound", "digital"],
     // Query 260
-    &["model", "checking", "state", "space", "explosion", "temporal"],
+    &[
+        "model",
+        "checking",
+        "state",
+        "space",
+        "explosion",
+        "temporal",
+    ],
     // Query 270
-    &["introduction", "information", "retrieval", "search", "ranking"],
+    &[
+        "introduction",
+        "information",
+        "retrieval",
+        "search",
+        "ranking",
+    ],
     // Query 290
     &["genetic", "algorithm", "evolution", "fitness", "population"],
     // Query 292
-    &["renaissance", "painting", "italian", "flemish", "french", "german", "portrait"],
+    &[
+        "renaissance",
+        "painting",
+        "italian",
+        "flemish",
+        "french",
+        "german",
+        "portrait",
+    ],
     // The running example of the paper's §1
     &["xml", "query", "evaluation", "index", "structure"],
 ];
@@ -38,8 +65,8 @@ pub struct Vocabulary {
 }
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
-    "pl", "pr", "qu", "r", "s", "st", "str", "t", "tr", "v", "w", "z",
+    "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "pl",
+    "pr", "qu", "r", "s", "st", "str", "t", "tr", "v", "w", "z",
 ];
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
 const CODAS: &[&str] = &["", "n", "m", "r", "s", "t", "l", "nd", "st", "rk", "x"];
@@ -112,8 +139,7 @@ mod tests {
         let v2 = Vocabulary::new(5000);
         assert_eq!(v1.word(0), v2.word(0));
         assert_eq!(v1.word(4999), v2.word(4999));
-        let distinct: std::collections::HashSet<&str> =
-            (0..5000).map(|i| v1.word(i)).collect();
+        let distinct: std::collections::HashSet<&str> = (0..5000).map(|i| v1.word(i)).collect();
         assert!(distinct.len() > 4500, "got {}", distinct.len());
     }
 
@@ -131,9 +157,22 @@ mod tests {
     fn topics_cover_all_table1_queries() {
         let all: Vec<&str> = TOPICS.iter().flat_map(|t| t.iter().copied()).collect();
         for kw in [
-            "ontologies", "code", "signing", "synthesizers", "music", "model", "checking",
-            "explosion", "retrieval", "genetic", "algorithm", "renaissance", "painting",
-            "xml", "query", "evaluation",
+            "ontologies",
+            "code",
+            "signing",
+            "synthesizers",
+            "music",
+            "model",
+            "checking",
+            "explosion",
+            "retrieval",
+            "genetic",
+            "algorithm",
+            "renaissance",
+            "painting",
+            "xml",
+            "query",
+            "evaluation",
         ] {
             assert!(all.contains(&kw), "missing topic keyword {kw}");
         }

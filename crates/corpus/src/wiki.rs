@@ -44,8 +44,7 @@ impl WikiGenerator {
 
     /// Generates document `i` (deterministic in `(seed, i)`).
     pub fn document(&self, i: usize) -> String {
-        let mut rng =
-            StdRng::seed_from_u64(self.config.seed ^ (i as u64).wrapping_mul(0x51ed2701));
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (i as u64).wrapping_mul(0x51ed2701));
         let topics = self.pick_topics(i, &mut rng);
         let text = TextGen::new(&self.vocab, &self.zipf, topics, self.config.topic_prob);
 

@@ -14,8 +14,8 @@ use trex_text::{Analyzer, CollectionStats, Dictionary, TermId};
 use trex_xml::{Document, NodeId, NodeKind};
 
 use crate::catalog::{
-    blob_names, encode_alias, encode_analyzer, encode_stats, put_term_stats, store_blob,
-    TermStats, BLOBS_TABLE, TERM_STATS_TABLE,
+    blob_names, encode_alias, encode_analyzer, encode_stats, put_term_stats, store_blob, TermStats,
+    BLOBS_TABLE, TERM_STATS_TABLE,
 };
 use crate::docstore::DocStoreWriter;
 use crate::elements::{ElementsTable, ELEMENTS_TABLE};
@@ -253,8 +253,7 @@ impl<'s> IndexBuilder<'s> {
         self.store.create_table_bulk(POSTINGS_TABLE, entries)?;
 
         let mut stats_table = self.store.open_or_create_table(TERM_STATS_TABLE)?;
-        let mut term_stats: Vec<(TermId, (u32, u32, u64))> =
-            self.term_stats.into_iter().collect();
+        let mut term_stats: Vec<(TermId, (u32, u32, u64))> = self.term_stats.into_iter().collect();
         term_stats.sort_unstable_by_key(|(t, _)| *t);
         for (term, (_, df, cf)) in term_stats {
             put_term_stats(&mut stats_table, term, TermStats { df, cf })?;
@@ -270,11 +269,19 @@ impl<'s> IndexBuilder<'s> {
             },
         };
         let mut blobs = self.store.open_or_create_table(BLOBS_TABLE)?;
-        store_blob(&mut blobs, blob_names::DICTIONARY, &self.dictionary.encode())?;
+        store_blob(
+            &mut blobs,
+            blob_names::DICTIONARY,
+            &self.dictionary.encode(),
+        )?;
         store_blob(&mut blobs, blob_names::SUMMARY, &self.summary.encode())?;
         store_blob(&mut blobs, blob_names::ALIAS, &encode_alias(&self.alias))?;
         store_blob(&mut blobs, blob_names::STATS, &encode_stats(&stats))?;
-        store_blob(&mut blobs, blob_names::ANALYZER, &encode_analyzer(&self.analyzer))?;
+        store_blob(
+            &mut blobs,
+            blob_names::ANALYZER,
+            &encode_analyzer(&self.analyzer),
+        )?;
 
         self.store.flush()?;
         Ok(())
@@ -353,11 +360,26 @@ mod tests {
         let c_sid = summary.sids_with_label("c")[0];
         let a_sid = summary.sids_with_label("a")[0];
         let elements = index.elements().unwrap();
-        let b = elements.extent(b_sid).unwrap().next_element().unwrap().unwrap();
+        let b = elements
+            .extent(b_sid)
+            .unwrap()
+            .next_element()
+            .unwrap()
+            .unwrap();
         assert_eq!((b.start(), b.end, b.length), (0, 1, 2));
-        let c = elements.extent(c_sid).unwrap().next_element().unwrap().unwrap();
+        let c = elements
+            .extent(c_sid)
+            .unwrap()
+            .next_element()
+            .unwrap()
+            .unwrap();
         assert_eq!((c.start(), c.end, c.length), (2, 2, 1));
-        let a = elements.extent(a_sid).unwrap().next_element().unwrap().unwrap();
+        let a = elements
+            .extent(a_sid)
+            .unwrap()
+            .next_element()
+            .unwrap()
+            .unwrap();
         assert_eq!((a.start(), a.end, a.length), (0, 2, 3));
         std::fs::remove_file(&path).ok();
     }

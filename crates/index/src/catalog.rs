@@ -46,7 +46,9 @@ pub fn load_blob(table: &Table, name: &str) -> Result<Option<Vec<u8>>> {
         i += 1;
     }
     if out.len() != total {
-        return Err(StorageError::Corrupt(format!("blob {name} length mismatch")));
+        return Err(StorageError::Corrupt(format!(
+            "blob {name} length mismatch"
+        )));
     }
     Ok(Some(out))
 }
@@ -200,9 +202,11 @@ pub fn load_catalog(
 ) -> Result<(Dictionary, Summary, AliasMap, CollectionStats, Analyzer)> {
     let blobs = store.open_table(BLOBS_TABLE)?;
     let corrupt = |what: &str| StorageError::Corrupt(format!("missing or bad {what} blob"));
-    let dict_bytes = load_blob(&blobs, blob_names::DICTIONARY)?.ok_or_else(|| corrupt("dictionary"))?;
+    let dict_bytes =
+        load_blob(&blobs, blob_names::DICTIONARY)?.ok_or_else(|| corrupt("dictionary"))?;
     let dictionary = Dictionary::decode(&dict_bytes).ok_or_else(|| corrupt("dictionary"))?;
-    let summary_bytes = load_blob(&blobs, blob_names::SUMMARY)?.ok_or_else(|| corrupt("summary"))?;
+    let summary_bytes =
+        load_blob(&blobs, blob_names::SUMMARY)?.ok_or_else(|| corrupt("summary"))?;
     let summary = Summary::decode(&summary_bytes).ok_or_else(|| corrupt("summary"))?;
     let alias_bytes = load_blob(&blobs, blob_names::ALIAS)?.ok_or_else(|| corrupt("alias"))?;
     let alias = decode_alias(&alias_bytes)?;

@@ -328,7 +328,9 @@ mod tests {
                 offset: u32::MAX
             }
             .successor(),
-            c.successor().successor().min(Position { doc: 2, offset: 0 })
+            c.successor()
+                .successor()
+                .min(Position { doc: 2, offset: 0 })
         );
         assert_eq!(Position::MAX.successor(), Position::MAX);
         assert!(Position::MAX.is_max());
@@ -400,7 +402,10 @@ mod tests {
         let high = rpl_key(4, 9.5, 1, e);
         let mid = rpl_key(4, 1.25, 1, e);
         let low = rpl_key(4, 0.01, 1, e);
-        assert!(high < mid && mid < low, "ascending key order = descending score");
+        assert!(
+            high < mid && mid < low,
+            "ascending key order = descending score"
+        );
         let entry = decode_rpl(&high, &elements_value(2)).unwrap();
         assert_eq!(entry.term, 4);
         assert_eq!(entry.score, 9.5);
@@ -432,6 +437,18 @@ mod tests {
     #[test]
     fn corrupt_values_are_rejected() {
         assert!(decode_elements_key(&[0, 1]).is_err());
-        assert!(decode_erpl(&erpl_key(0, 0, ElementRef { doc: 0, end: 0, length: 1 }), &[1, 2]).is_err());
+        assert!(decode_erpl(
+            &erpl_key(
+                0,
+                0,
+                ElementRef {
+                    doc: 0,
+                    end: 0,
+                    length: 1
+                }
+            ),
+            &[1, 2]
+        )
+        .is_err());
     }
 }

@@ -7,7 +7,9 @@ use trex_obs::IndexCounters;
 use trex_storage::{Result, Table};
 use trex_text::TermId;
 
-use crate::encode::{decode_postings_key, decode_postings_value, postings_key, postings_value, Position};
+use crate::encode::{
+    decode_postings_key, decode_postings_value, postings_key, postings_value, Position,
+};
 
 /// Name of the table inside the store.
 pub const POSTINGS_TABLE: &str = "postings";

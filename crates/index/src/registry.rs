@@ -108,11 +108,30 @@ mod tests {
         let mut r = ListRegistry::new(store.create_table("reg").unwrap());
 
         assert!(!r.contains(1, 2).unwrap());
-        r.put(1, 2, ListStats { entries: 10, bytes: 200 }).unwrap();
-        r.put(1, 3, ListStats { entries: 5, bytes: 90 }).unwrap();
+        r.put(
+            1,
+            2,
+            ListStats {
+                entries: 10,
+                bytes: 200,
+            },
+        )
+        .unwrap();
+        r.put(
+            1,
+            3,
+            ListStats {
+                entries: 5,
+                bytes: 90,
+            },
+        )
+        .unwrap();
         assert_eq!(
             r.get(1, 2).unwrap(),
-            Some(ListStats { entries: 10, bytes: 200 })
+            Some(ListStats {
+                entries: 10,
+                bytes: 200
+            })
         );
         assert_eq!(r.total_bytes().unwrap(), 290);
         assert_eq!(r.all().unwrap().len(), 2);

@@ -22,4 +22,6 @@ pub mod translate;
 
 pub use ast::{Axis, Clause, Modifier, NameTest, Query, RelPath, RelStep, StepExpr, Term};
 pub use parser::{parse, ParseError};
-pub use translate::{translate, ClauseTranslation, Interpretation, Translation, TranslationContext};
+pub use translate::{
+    translate, ClauseTranslation, Interpretation, Translation, TranslationContext,
+};

@@ -15,7 +15,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "NEXI parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "NEXI parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -27,10 +31,7 @@ pub type Result<T> = std::result::Result<T, ParseError>;
 /// Parses a NEXI query such as
 /// `//article[about(., XML)]//sec[about(., query evaluation)]`.
 pub fn parse(input: &str) -> Result<Query> {
-    let mut p = Parser {
-        input,
-        pos: 0,
-    };
+    let mut p = Parser { input, pos: 0 };
     let query = p.parse_query()?;
     p.skip_ws();
     if p.pos < p.input.len() {

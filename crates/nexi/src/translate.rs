@@ -114,10 +114,16 @@ pub fn translate(query: &Query, ctx: &TranslationContext<'_>) -> Translation {
         });
     }
 
-    let mut sids: Vec<Sid> = clauses.iter().flat_map(|c| c.sids.iter().copied()).collect();
+    let mut sids: Vec<Sid> = clauses
+        .iter()
+        .flat_map(|c| c.sids.iter().copied())
+        .collect();
     sids.sort_unstable();
     sids.dedup();
-    let mut terms: Vec<TermId> = clauses.iter().flat_map(|c| c.terms.iter().copied()).collect();
+    let mut terms: Vec<TermId> = clauses
+        .iter()
+        .flat_map(|c| c.terms.iter().copied())
+        .collect();
     terms.sort_unstable();
     terms.dedup();
     let mut minus_terms: Vec<TermId> = clauses
@@ -271,9 +277,15 @@ mod tests {
     #[test]
     fn union_of_sids_and_terms_matches_table1_semantics() {
         let (summary, alias, dictionary, analyzer) = catalog();
-        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
-        let q = parse("//article[about(., ontologies)]//sec[about(., ontologies case study)]")
-            .unwrap();
+        let c = ctx(
+            &summary,
+            &alias,
+            &dictionary,
+            &analyzer,
+            Interpretation::Vague,
+        );
+        let q =
+            parse("//article[about(., ontologies)]//sec[about(., ontologies case study)]").unwrap();
         let t = translate(&q, &c);
         // sids: article (1) + article//sec (bdy/sec and bm/sec = 2) = 3.
         assert_eq!(t.sids.len(), 3);
@@ -292,11 +304,23 @@ mod tests {
         let (summary, alias, dictionary, analyzer) = catalog();
         let q = parse("//article//ss1[about(., ontologies)]").unwrap();
         // Vague: ss1 → sec, matches both sec sids.
-        let vague = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let vague = ctx(
+            &summary,
+            &alias,
+            &dictionary,
+            &analyzer,
+            Interpretation::Vague,
+        );
         let t = translate(&q, &vague);
         assert_eq!(t.sids.len(), 2);
         // Strict: the summary has no literal ss1 label (it was aliased away).
-        let strict = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Strict);
+        let strict = ctx(
+            &summary,
+            &alias,
+            &dictionary,
+            &analyzer,
+            Interpretation::Strict,
+        );
         let t = translate(&q, &strict);
         assert!(t.sids.is_empty());
     }
@@ -304,7 +328,13 @@ mod tests {
     #[test]
     fn relative_about_paths_extend_the_clause_path() {
         let (summary, alias, dictionary, analyzer) = catalog();
-        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let c = ctx(
+            &summary,
+            &alias,
+            &dictionary,
+            &analyzer,
+            Interpretation::Vague,
+        );
         let q = parse("//article[about(.//bdy, synthesizers) and about(.//bdy, music)]").unwrap();
         let t = translate(&q, &c);
         // Both clauses resolve to the article//bdy sid.
@@ -320,7 +350,13 @@ mod tests {
     #[test]
     fn minus_terms_are_separated() {
         let (summary, alias, dictionary, analyzer) = catalog();
-        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let c = ctx(
+            &summary,
+            &alias,
+            &dictionary,
+            &analyzer,
+            Interpretation::Vague,
+        );
         let q = parse("//article[about(., music -ontologies)]").unwrap();
         let t = translate(&q, &c);
         assert_eq!(t.terms.len(), 1);
@@ -331,7 +367,13 @@ mod tests {
     #[test]
     fn unknown_and_stopword_terms_are_reported_or_dropped() {
         let (summary, alias, dictionary, analyzer) = catalog();
-        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let c = ctx(
+            &summary,
+            &alias,
+            &dictionary,
+            &analyzer,
+            Interpretation::Vague,
+        );
         let q = parse("//article[about(., the zzzunknown music)]").unwrap();
         let t = translate(&q, &c);
         assert_eq!(t.terms.len(), 1, "only 'music' survives");
@@ -341,7 +383,13 @@ mod tests {
     #[test]
     fn wildcard_step_matches_everything_under_prefix() {
         let (summary, alias, dictionary, analyzer) = catalog();
-        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let c = ctx(
+            &summary,
+            &alias,
+            &dictionary,
+            &analyzer,
+            Interpretation::Vague,
+        );
         let q = parse("//bdy//*[about(., music)]").unwrap();
         let t = translate(&q, &c);
         // bdy descendants: sec, p (ss1 collapsed into sec).
@@ -351,7 +399,13 @@ mod tests {
     #[test]
     fn alternatives_union_their_sids() {
         let (summary, alias, dictionary, analyzer) = catalog();
-        let c = ctx(&summary, &alias, &dictionary, &analyzer, Interpretation::Vague);
+        let c = ctx(
+            &summary,
+            &alias,
+            &dictionary,
+            &analyzer,
+            Interpretation::Vague,
+        );
         let q = parse("//article//(sec|p)[about(., music)]").unwrap();
         let t = translate(&q, &c);
         // sec under bdy, sec under bm, p under bdy.

@@ -65,16 +65,14 @@ fn clause() -> impl Strategy<Value = Clause> {
 }
 
 fn query() -> impl Strategy<Value = Query> {
-    proptest::collection::vec(
-        (axis(), name_test(), proptest::option::of(clause())),
-        1..4,
+    proptest::collection::vec((axis(), name_test(), proptest::option::of(clause())), 1..4).prop_map(
+        |steps| Query {
+            steps: steps
+                .into_iter()
+                .map(|(axis, test, filter)| StepExpr { axis, test, filter })
+                .collect(),
+        },
     )
-    .prop_map(|steps| Query {
-        steps: steps
-            .into_iter()
-            .map(|(axis, test, filter)| StepExpr { axis, test, filter })
-            .collect(),
-    })
 }
 
 proptest! {

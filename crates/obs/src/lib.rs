@@ -172,6 +172,23 @@ counter_group! {
 }
 
 counter_group! {
+    /// Per-shard cache accounting of the sharded buffer pool. Every shard
+    /// owns one group; the shard groups must sum exactly to the pool-level
+    /// `pool_hits` / `pool_misses` / `pool_evictions` of the shared
+    /// [`StorageCounters`] (each event increments both its shard's counter
+    /// and the global one), which is how the concurrency tests prove no
+    /// cache event is lost under threads.
+    counters ShardCounters / snapshot ShardSnapshot {
+        /// Lookups this shard served from memory.
+        hits,
+        /// Lookups this shard had to fault in from disk.
+        misses,
+        /// Frames this shard evicted to make room.
+        evictions,
+    }
+}
+
+counter_group! {
     /// Index-layer decode work: bytes and entries decoded from each of the
     /// three physical list families.
     counters IndexCounters / snapshot IndexSnapshot {

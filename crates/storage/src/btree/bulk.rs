@@ -206,9 +206,10 @@ mod tests {
     #[test]
     fn bulk_tree_accepts_later_inserts() {
         let (pool, path) = pool("insertafter");
-        let mut tree = bulk_load(pool, (0..1000u32).map(|i| {
-            ((i * 2).to_be_bytes().to_vec(), b"even".to_vec())
-        }))
+        let mut tree = bulk_load(
+            pool,
+            (0..1000u32).map(|i| ((i * 2).to_be_bytes().to_vec(), b"even".to_vec())),
+        )
         .unwrap();
         // Insert odd keys afterwards; splits must work on near-full pages.
         for i in 0..1000u32 {
@@ -226,12 +227,7 @@ mod tests {
         let (pool, path) = pool("varsize");
         let tree = bulk_load(
             pool,
-            (0..5000u32).map(|i| {
-                (
-                    i.to_be_bytes().to_vec(),
-                    vec![b'v'; (i % 700) as usize],
-                )
-            }),
+            (0..5000u32).map(|i| (i.to_be_bytes().to_vec(), vec![b'v'; (i % 700) as usize])),
         )
         .unwrap();
         for i in (0..5000u32).step_by(313) {

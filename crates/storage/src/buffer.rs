@@ -1,10 +1,33 @@
-//! LRU buffer pool over the [`Pager`].
+//! Sharded LRU buffer pool over the [`Pager`].
 //!
-//! The pool caches up to `capacity` page images. A fetched page is handed out
-//! as a [`PageRef`] (an `Arc` clone), so nested accesses — e.g. a B+tree
-//! descent holding a parent while reading a child — are safe. Eviction only
-//! considers pages that no one else holds (`Arc::strong_count == 1`), writing
-//! them back if dirty.
+//! The pool caches up to `capacity` page images across N lock-striped
+//! shards. A page id is hashed (modulo) to one shard; each shard owns its
+//! own map + LRU queue behind its own mutex, so concurrent readers touching
+//! different shards never contend. The pager — the only component doing
+//! file I/O — stays behind a single narrow mutex that is only taken on a
+//! miss, an eviction write-back, an allocation, or a flush.
+//!
+//! A fetched page is handed out as a [`PageRef`] (an `Arc` clone), so nested
+//! accesses — e.g. a B+tree descent holding a parent while reading a child —
+//! are safe. Eviction only considers pages that no one else holds
+//! (`Arc::strong_count == 1`), writing them back if dirty *before* removing
+//! them from the shard map, so a failed write-back never loses the page.
+//!
+//! # Locking protocol
+//!
+//! Two lock levels, strictly ordered: **shard → pager**.
+//!
+//! * A thread may take the pager mutex while holding one shard mutex
+//!   (eviction write-back, flush), never the reverse.
+//! * No thread ever holds two shard mutexes at once (flush visits shards
+//!   one at a time).
+//! * The miss path reads the page from disk *outside* the shard mutex;
+//!   racing fetches of the same page are reconciled on insert (first insert
+//!   wins, both images are identical since all mutation happens through
+//!   cached handles).
+//! * When every page of a shard is pinned, the shard grows past its
+//!   capacity temporarily instead of deadlocking (the escape hatch the
+//!   B+tree descent relies on).
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -12,11 +35,18 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use trex_obs::StorageCounters;
+use trex_obs::{ShardCounters, ShardSnapshot, StorageCounters};
 
 use crate::error::Result;
 use crate::page::{PageBuf, PageId};
 use crate::pager::Pager;
+
+/// Smallest per-shard capacity: a B+tree descent (root → leaf plus a
+/// sibling) must always fit in the shard its pages hash to.
+const MIN_SHARD_CAPACITY: usize = 8;
+
+/// Upper bound on the shard count picked by [`BufferPool::new`].
+const MAX_SHARDS: usize = 16;
 
 /// A cached page: the image plus a dirty flag.
 pub struct CachedPage {
@@ -68,11 +98,35 @@ impl PoolInner {
     }
 }
 
-/// The buffer pool. Also the single owner of the [`Pager`].
+/// One lock stripe: its own map + LRU plus its own cache counters.
+struct Shard {
+    inner: Mutex<PoolInner>,
+    /// Per-shard hit/miss/eviction accounting. Every event also lands in
+    /// the pool-level [`StorageCounters`], so the shard groups always sum
+    /// exactly to the global `pool_*` counters.
+    obs: ShardCounters,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            inner: Mutex::new(PoolInner {
+                map: HashMap::new(),
+                lru: VecDeque::new(),
+                clock: 0,
+            }),
+            obs: ShardCounters::new(),
+        }
+    }
+}
+
+/// The sharded buffer pool. Also the single owner of the [`Pager`].
 pub struct BufferPool {
     pager: Mutex<Pager>,
-    inner: Mutex<PoolInner>,
-    capacity: usize,
+    shards: Box<[Shard]>,
+    /// Eviction threshold per shard; total capacity is
+    /// `shard_capacity * shards.len()`.
+    shard_capacity: usize,
     /// Counter group shared with the wrapped pager (and, via
     /// [`BufferPool::counters`], with the B+-tree layer above): cache
     /// hits/misses/evictions accrue here next to the pager's page I/O.
@@ -80,20 +134,38 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// Wraps `pager` with a pool caching up to `capacity` pages
-    /// (minimum 8 so tree descents always fit).
+    /// Wraps `pager` with a pool caching up to `capacity` pages, picking a
+    /// shard count automatically: the largest power of two that keeps every
+    /// shard at [`MIN_SHARD_CAPACITY`] pages or more, capped at
+    /// [`MAX_SHARDS`]. Small pools (≤ 15 pages) get a single shard and
+    /// behave exactly like the unsharded pool.
     pub fn new(pager: Pager, capacity: usize) -> BufferPool {
+        let capacity = capacity.max(MIN_SHARD_CAPACITY);
+        let mut shards = 1usize;
+        while shards * 2 <= MAX_SHARDS && capacity / (shards * 2) >= MIN_SHARD_CAPACITY {
+            shards *= 2;
+        }
+        Self::with_shards(pager, capacity, shards)
+    }
+
+    /// Wraps `pager` with an explicit shard count (clamped to ≥ 1). Each
+    /// shard gets `capacity / shards` pages, floored at
+    /// [`MIN_SHARD_CAPACITY`] so tree descents always fit.
+    pub fn with_shards(pager: Pager, capacity: usize, shards: usize) -> BufferPool {
+        let shards = shards.max(1);
+        let shard_capacity = (capacity / shards).max(MIN_SHARD_CAPACITY);
         let obs = pager.counters().clone();
         BufferPool {
             pager: Mutex::new(pager),
-            inner: Mutex::new(PoolInner {
-                map: HashMap::new(),
-                lru: VecDeque::new(),
-                clock: 0,
-            }),
-            capacity: capacity.max(8),
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            shard_capacity,
             obs,
         }
+    }
+
+    #[inline]
+    fn shard(&self, id: PageId) -> &Shard {
+        &self.shards[id as usize % self.shards.len()]
     }
 
     /// The storage-layer counter group (shared with the pager). Snapshot it
@@ -104,17 +176,20 @@ impl BufferPool {
 
     /// Fetches page `id`, reading it from disk on a miss.
     pub fn fetch(&self, id: PageId) -> Result<PageRef> {
+        let shard = self.shard(id);
         {
-            let mut inner = self.inner.lock();
+            let mut inner = shard.inner.lock();
             if let Some(slot) = inner.map.get(&id) {
                 let page = slot.page.clone();
                 inner.touch(id);
                 self.obs.pool_hits.incr();
+                shard.obs.hits.incr();
                 return Ok(page);
             }
         }
         self.obs.pool_misses.incr();
-        // Read outside the inner lock; racing fetches of the same page are
+        shard.obs.misses.incr();
+        // Read outside the shard lock; racing fetches of the same page are
         // resolved below (first insert wins; both images are identical since
         // all mutation happens through cached handles).
         let mut buf = PageBuf::zeroed();
@@ -123,13 +198,13 @@ impl BufferPool {
             buf: RwLock::new(buf),
             dirty: AtomicBool::new(false),
         });
-        let mut inner = self.inner.lock();
+        let mut inner = shard.inner.lock();
         if let Some(slot) = inner.map.get(&id) {
             let existing = slot.page.clone();
             inner.touch(id);
             return Ok(existing);
         }
-        self.evict_if_needed(&mut inner)?;
+        self.evict_if_needed(shard, &mut inner)?;
         inner.map.insert(
             id,
             Slot {
@@ -149,8 +224,9 @@ impl BufferPool {
             buf: RwLock::new(PageBuf::zeroed()),
             dirty: AtomicBool::new(false),
         });
-        let mut inner = self.inner.lock();
-        self.evict_if_needed(&mut inner)?;
+        let shard = self.shard(id);
+        let mut inner = shard.inner.lock();
+        self.evict_if_needed(shard, &mut inner)?;
         inner.map.insert(
             id,
             Slot {
@@ -164,23 +240,35 @@ impl BufferPool {
 
     /// Returns page `id` to the pager's free list and drops it from the cache.
     pub fn free(&self, id: PageId) -> Result<()> {
-        self.inner.lock().map.remove(&id);
+        self.shard(id).inner.lock().map.remove(&id);
         self.pager.lock().free(id)
     }
 
-    fn evict_if_needed(&self, inner: &mut PoolInner) -> Result<()> {
-        while inner.map.len() >= self.capacity {
+    /// Evicts until the shard is under its capacity. Dirty victims are
+    /// written back *before* removal: if the write fails, the page stays in
+    /// the shard (re-stamped into the LRU) with its dirty bit set, so the
+    /// data survives and a later eviction or flush retries the write.
+    fn evict_if_needed(&self, shard: &Shard, inner: &mut PoolInner) -> Result<()> {
+        while inner.map.len() >= self.shard_capacity {
             let Some(victim) = Self::pick_victim(inner) else {
-                // Everything is pinned; allow the pool to grow temporarily.
+                // Everything is pinned; allow the shard to grow temporarily.
                 return Ok(());
             };
-            let slot = inner.map.remove(&victim).expect("victim in map");
-            self.obs.pool_evictions.incr();
-            if slot.page.is_dirty() {
-                let buf = slot.page.buf.read();
-                self.pager.lock().write_page(victim, &buf)?;
-                slot.page.clear_dirty();
+            let page = inner.map.get(&victim).expect("victim in map").page.clone();
+            if page.is_dirty() {
+                let buf = page.buf.read();
+                if let Err(e) = self.pager.lock().write_page(victim, &buf) {
+                    // pick_victim popped the victim's LRU entry; re-stamp it
+                    // so it stays reachable for the retry.
+                    drop(buf);
+                    inner.touch(victim);
+                    return Err(e);
+                }
+                page.clear_dirty();
             }
+            inner.map.remove(&victim);
+            self.obs.pool_evictions.incr();
+            shard.obs.evictions.incr();
         }
         Ok(())
     }
@@ -190,7 +278,7 @@ impl BufferPool {
         let mut found = None;
         while let Some((id, stamp)) = inner.lru.pop_front() {
             match inner.map.get(&id) {
-                None => continue, // freed page
+                None => continue,                              // freed page
                 Some(slot) if slot.touch != stamp => continue, // stale entry
                 Some(slot) => {
                     if Arc::strong_count(&slot.page) == 1 {
@@ -208,18 +296,21 @@ impl BufferPool {
         found
     }
 
-    /// Writes back all dirty pages and syncs the file.
+    /// Writes back all dirty pages and syncs the file. Visits shards one at
+    /// a time (shard → pager lock order, never two shards at once).
     pub fn flush(&self) -> Result<()> {
-        let inner = self.inner.lock();
-        let mut pager = self.pager.lock();
-        for (&id, slot) in inner.map.iter() {
-            if slot.page.is_dirty() {
-                let buf = slot.page.buf.read();
-                pager.write_page(id, &buf)?;
-                slot.page.clear_dirty();
+        for shard in self.shards.iter() {
+            let inner = shard.inner.lock();
+            let mut pager = self.pager.lock();
+            for (&id, slot) in inner.map.iter() {
+                if slot.page.is_dirty() {
+                    let buf = slot.page.buf.read();
+                    pager.write_page(id, &buf)?;
+                    slot.page.clear_dirty();
+                }
             }
         }
-        pager.sync()
+        self.pager.lock().sync()
     }
 
     /// (hits, misses) since pool creation.
@@ -242,14 +333,34 @@ impl BufferPool {
         self.pager.lock().page_count()
     }
 
-    /// Number of pages currently cached.
+    /// Number of pages currently cached, across all shards.
     pub fn cached_pages(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.inner.lock().map.len()).sum()
     }
 
-    /// Maximum number of cached pages before eviction kicks in.
+    /// Maximum number of cached pages before eviction kicks in (total
+    /// across shards; may round up from the requested capacity so every
+    /// shard holds at least [`MIN_SHARD_CAPACITY`] pages).
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// Number of lock-striped shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Point-in-time per-shard cache counters, in shard order. Their
+    /// field-wise sums equal the pool-level `pool_hits` / `pool_misses` /
+    /// `pool_evictions` exactly, under any thread interleaving.
+    pub fn shard_counters(&self) -> Vec<ShardSnapshot> {
+        self.shards.iter().map(|s| s.obs.snapshot()).collect()
+    }
+
+    /// Arms pager write-failure injection (see
+    /// [`Pager::inject_write_failures`]); test instrumentation.
+    pub fn inject_write_failures(&self, n: u32) {
+        self.pager.lock().inject_write_failures(n);
     }
 }
 
@@ -282,6 +393,7 @@ mod tests {
     #[test]
     fn eviction_writes_back_dirty_pages() {
         let (pool, path) = pool("evict", 8);
+        assert_eq!(pool.shard_count(), 1, "cap 8 = one shard");
         let mut ids = Vec::new();
         for i in 0..32u32 {
             let (id, page) = pool.allocate().unwrap();
@@ -341,7 +453,11 @@ mod tests {
         assert_eq!(misses_before, misses_mid, "ids[0] should still be cached");
         drop(pool.fetch(ids[1]).unwrap());
         let (_, misses_after) = pool.cache_counters();
-        assert_eq!(misses_after, misses_mid + 1, "ids[1] should have been evicted");
+        assert_eq!(
+            misses_after,
+            misses_mid + 1,
+            "ids[1] should have been evicted"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -363,6 +479,108 @@ mod tests {
         let mut buf = PageBuf::zeroed();
         pager.read_page(id, &mut buf).unwrap();
         assert_eq!(buf.right_child(), 424242);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn default_shard_count_scales_with_capacity() {
+        let (small, p1) = pool("sh-small", 8);
+        assert_eq!(small.shard_count(), 1);
+        let (mid, p2) = pool("sh-mid", 64);
+        assert_eq!(mid.shard_count(), 8);
+        assert_eq!(mid.capacity(), 64);
+        let (big, p3) = pool("sh-big", 4096);
+        assert_eq!(big.shard_count(), 16);
+        assert_eq!(big.capacity(), 4096);
+        for p in [p1, p2, p3] {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn shard_counters_sum_to_global() {
+        let (pool, path) = pool("sh-sum", 64);
+        let mut ids = Vec::new();
+        for _ in 0..128u32 {
+            let (id, p) = pool.allocate().unwrap();
+            p.buf.write().init(PageType::Leaf);
+            p.mark_dirty();
+            ids.push(id);
+        }
+        for &id in ids.iter().rev() {
+            drop(pool.fetch(id).unwrap());
+        }
+        let shards = pool.shard_counters();
+        let (hits, misses) = pool.cache_counters();
+        let evictions = pool.counters().pool_evictions.get();
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), misses);
+        assert_eq!(shards.iter().map(|s| s.evictions).sum::<u64>(), evictions);
+        assert!(evictions > 0, "churn must evict");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_write_back_keeps_dirty_page_cached() {
+        let (pool, path) = pool("wbfail", 8);
+        // Overfill the single shard with dirty pages; the 9th allocation
+        // evicts ids[0] (write-back succeeds, injection not armed yet).
+        let mut ids = Vec::new();
+        for i in 0..9u32 {
+            let (id, p) = pool.allocate().unwrap();
+            {
+                let mut buf = p.buf.write();
+                buf.init(PageType::Leaf);
+                buf.set_next_page(i + 7000);
+            }
+            p.mark_dirty();
+            ids.push(id);
+        }
+        // Refetching ids[0] faults it in and must evict dirty ids[1]; arm
+        // the injection so that write-back fails.
+        pool.inject_write_failures(1);
+        let err = match pool.fetch(ids[0]) {
+            Err(e) => e,
+            Ok(_) => panic!("fetch must fail on write-back error"),
+        };
+        assert!(err.to_string().contains("injected"), "{err}");
+        // Regression (the pre-shard pool removed the victim from the map
+        // before writing it back, silently dropping the dirty image): the
+        // victim must still be cached with its data intact.
+        let victim = pool.fetch(ids[1]).unwrap();
+        assert_eq!(victim.buf.read().next_page(), 7001);
+        drop(victim);
+        // With the failure cleared, eviction and flush succeed and the data
+        // reaches disk.
+        pool.flush().unwrap();
+        drop(pool);
+        let mut pager = Pager::open(&path).unwrap();
+        let mut buf = PageBuf::zeroed();
+        pager.read_page(ids[1], &mut buf).unwrap();
+        assert_eq!(buf.next_page(), 7001);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_fetches_share_one_image() {
+        let (pool, path) = pool("concurrent", 64);
+        let (id, page) = pool.allocate().unwrap();
+        page.buf.write().init(PageType::Leaf);
+        page.mark_dirty();
+        drop(page);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let first = pool.fetch(id).unwrap();
+                    for _ in 0..100 {
+                        let again = pool.fetch(id).unwrap();
+                        assert!(Arc::ptr_eq(&first, &again));
+                    }
+                });
+            }
+        });
+        let (hits, misses) = pool.cache_counters();
+        assert_eq!(hits + misses, 8 * 101, "every fetch is a hit or a miss");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -26,6 +26,10 @@ pub struct Pager {
     /// wrapping this pager shares the same group, so one snapshot covers
     /// the whole storage layer.
     obs: Arc<StorageCounters>,
+    /// Failure injection: the next `inject_write_failures` calls to
+    /// [`Pager::write_page`] fail with an I/O error before touching the
+    /// file. Zero (the default) disables injection.
+    inject_write_failures: u32,
 }
 
 impl Pager {
@@ -43,6 +47,7 @@ impl Pager {
             page_count: 1,
             free_head: NO_PAGE,
             obs: Arc::new(StorageCounters::new()),
+            inject_write_failures: 0,
         };
         let mut meta = PageBuf::zeroed();
         meta.init(PageType::Meta);
@@ -61,6 +66,7 @@ impl Pager {
             page_count: page_count.max(1),
             free_head: NO_PAGE,
             obs: Arc::new(StorageCounters::new()),
+            inject_write_failures: 0,
         })
     }
 
@@ -81,15 +87,28 @@ impl Pager {
 
     /// Reads page `id` into `buf`.
     pub fn read_page(&mut self, id: PageId, buf: &mut PageBuf) -> Result<()> {
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.read_exact(buf.bytes_mut().as_mut_slice())?;
         self.obs.page_reads.incr();
         Ok(())
     }
 
+    /// Arms failure injection: the next `n` [`Pager::write_page`] calls
+    /// fail with an I/O error without touching the file. Used by tests to
+    /// exercise the buffer pool's dirty write-back error paths.
+    pub fn inject_write_failures(&mut self, n: u32) {
+        self.inject_write_failures = n;
+    }
+
     /// Writes `buf` to page `id`.
     pub fn write_page(&mut self, id: PageId, buf: &PageBuf) -> Result<()> {
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        if self.inject_write_failures > 0 {
+            self.inject_write_failures -= 1;
+            return Err(std::io::Error::other("injected write failure").into());
+        }
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.write_all(buf.bytes().as_slice())?;
         self.obs.page_writes.incr();
         Ok(())

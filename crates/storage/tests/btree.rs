@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use trex_storage::{Store, StorageError};
+use trex_storage::{StorageError, Store};
 
 fn temp(name: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();

@@ -83,8 +83,11 @@ impl AliasMap {
     /// All (synonym, canonical) pairs, sorted by synonym — used to persist
     /// the mapping alongside the summary it produced.
     pub fn pairs(&self) -> Vec<(String, String)> {
-        let mut out: Vec<(String, String)> =
-            self.map.iter().map(|(f, t)| (f.clone(), t.clone())).collect();
+        let mut out: Vec<(String, String)> = self
+            .map
+            .iter()
+            .map(|(f, t)| (f.clone(), t.clone()))
+            .collect();
         out.sort();
         out
     }

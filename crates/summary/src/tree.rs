@@ -315,7 +315,11 @@ impl Summary {
                 }
                 summary.nodes[p as usize].children.push(sid);
                 summary.child_index.insert((p, label.clone()), sid);
-                summary.label_index.entry(label.clone()).or_default().push(sid);
+                summary
+                    .label_index
+                    .entry(label.clone())
+                    .or_default()
+                    .push(sid);
             }
             summary.nodes.push(SummaryNode {
                 label,
@@ -404,8 +408,7 @@ impl SummaryCursor {
                 Some(sid)
             }
             SummaryKind::KSuffix(k) => {
-                let mut probe: Vec<&str> =
-                    self.labels.iter().map(String::as_str).collect();
+                let mut probe: Vec<&str> = self.labels.iter().map(String::as_str).collect();
                 probe.push(label);
                 let start = probe.len().saturating_sub(k.max(1) as usize);
                 let mut cur = ROOT_SID;

@@ -45,7 +45,11 @@ impl Analyzer {
             if self.remove_stopwords && is_stopword(&token.text) {
                 continue;
             }
-            let text = if self.stem { stem(&token.text) } else { token.text };
+            let text = if self.stem {
+                stem(&token.text)
+            } else {
+                token.text
+            };
             out.push(Token {
                 text,
                 position: token.position,
@@ -61,7 +65,11 @@ impl Analyzer {
         if self.remove_stopwords && is_stopword(&normalized) {
             return None;
         }
-        Some(if self.stem { stem(&normalized) } else { normalized })
+        Some(if self.stem {
+            stem(&normalized)
+        } else {
+            normalized
+        })
     }
 }
 

@@ -309,10 +309,7 @@ impl Stemmer {
             b'i' => self.ends(b"ic"),
             b'l' => self.ends(b"able") || self.ends(b"ible"),
             b'n' => {
-                self.ends(b"ant")
-                    || self.ends(b"ement")
-                    || self.ends(b"ment")
-                    || self.ends(b"ent")
+                self.ends(b"ant") || self.ends(b"ement") || self.ends(b"ment") || self.ends(b"ent")
             }
             b'o' => {
                 // `ion` is stripped only after s or t — the last stem byte.

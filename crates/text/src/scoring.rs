@@ -66,8 +66,8 @@ pub fn score(
         return 0.0;
     }
     let tf = tf as f32;
-    let len_norm = 1.0 - params.b
-        + params.b * (element_len as f32 / stats.avg_element_len.max(f32::EPSILON));
+    let len_norm =
+        1.0 - params.b + params.b * (element_len as f32 / stats.avg_element_len.max(f32::EPSILON));
     let tf_part = tf / (tf + params.k1 * len_norm);
     tf_part * stats.idf(df)
 }

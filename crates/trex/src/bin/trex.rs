@@ -16,8 +16,7 @@ use std::process::ExitCode;
 
 use trex::corpus::{CorpusConfig, IeeeGenerator, WikiGenerator};
 use trex::{
-    AdvisorOptions, AliasMap, ListKind, SelectionMethod, Strategy, TrexConfig, TrexSystem,
-    Workload,
+    AdvisorOptions, AliasMap, ListKind, SelectionMethod, Strategy, TrexConfig, TrexSystem, Workload,
 };
 
 fn main() -> ExitCode {
@@ -162,7 +161,11 @@ fn info(args: &[String]) -> Result<(), String> {
     println!("elements         {}", stats.element_count);
     println!("avg element len  {:.1} tokens", stats.avg_element_len);
     println!("terms            {}", index.dictionary().len());
-    println!("summary          {:?}, {} nodes", index.summary().kind(), index.summary().node_count());
+    println!(
+        "summary          {:?}, {} nodes",
+        index.summary().kind(),
+        index.summary().node_count()
+    );
     println!("store pages      {}", index.store().page_count());
     let rpls = index.rpls().map_err(|e| e.to_string())?;
     let erpls = index.erpls().map_err(|e| e.to_string())?;
@@ -216,7 +219,10 @@ fn query(args: &[String]) -> Result<(), String> {
         result.translation.terms.len(),
     );
     if !result.translation.unknown_terms.is_empty() {
-        eprintln!("note: terms not in collection: {:?}", result.translation.unknown_terms);
+        eprintln!(
+            "note: terms not in collection: {:?}",
+            result.translation.unknown_terms
+        );
     }
     let show_snippets = has_flag(args, "--snippets");
     for (rank, a) in result.answers.iter().enumerate() {
@@ -344,7 +350,10 @@ fn advise(args: &[String]) -> Result<(), String> {
         )
         .map_err(|e| e.to_string())?;
     for (wq, choice) in workload.queries().iter().zip(&report.selection.choices) {
-        println!("{:?}  f={:.3} k={}  {}", choice, wq.frequency, wq.k, wq.nexi);
+        println!(
+            "{:?}  f={:.3} k={}  {}",
+            choice, wq.frequency, wq.k, wq.nexi
+        );
     }
     println!(
         "kept {} bytes (budget {budget}), dropped {} lists, expected saving {:.6}s per workload execution",

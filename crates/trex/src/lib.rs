@@ -48,12 +48,12 @@ pub use trex_text as text;
 pub use trex_xml as xml;
 
 // The most-used items, re-exported flat.
-pub use trex_core::{
-    Advisor, AdvisorOptions, AdvisorReport, Answer, CostValidation, EvalOptions, Explain,
-    ListKind, QueryEngine, QueryResult, RaceWinner, SelectionMethod, Strategy, StrategyMetrics,
-    StrategyStats, TrexError, Workload, WorkloadQuery, TA_PREDICTION_FACTOR,
-};
 pub use trex_core::obs::{self, QueryTrace, ToJson};
+pub use trex_core::{
+    Advisor, AdvisorOptions, AdvisorReport, Answer, CostValidation, EvalOptions, Explain, ListKind,
+    QueryEngine, QueryExecutor, QueryResult, RaceWinner, SelectionMethod, Strategy,
+    StrategyMetrics, StrategyStats, TrexError, Workload, WorkloadQuery, TA_PREDICTION_FACTOR,
+};
 pub use trex_index::{ElementRef, TrexIndex};
 pub use trex_nexi::Interpretation;
 pub use trex_summary::{AliasMap, SummaryKind};
@@ -145,17 +145,20 @@ impl TrexSystem {
 
         let result: Result<()> = crossbeam::thread::scope(|scope| {
             let (raw_tx, raw_rx) = crossbeam::channel::bounded::<(usize, String)>(threads * 4);
-            let (parsed_tx, parsed_rx) =
-                crossbeam::channel::bounded::<(usize, trex_xml::Result<trex_xml::Document>)>(
-                    threads * 4,
-                );
+            let (parsed_tx, parsed_rx) = crossbeam::channel::bounded::<(
+                usize,
+                trex_xml::Result<trex_xml::Document>,
+            )>(threads * 4);
 
             for _ in 0..threads {
                 let raw_rx = raw_rx.clone();
                 let parsed_tx = parsed_tx.clone();
                 scope.spawn(move |_| {
                     for (i, xml) in raw_rx.iter() {
-                        if parsed_tx.send((i, trex_xml::Document::parse(&xml))).is_err() {
+                        if parsed_tx
+                            .send((i, trex_xml::Document::parse(&xml)))
+                            .is_err()
+                        {
                             break;
                         }
                     }
@@ -219,6 +222,12 @@ impl TrexSystem {
         QueryEngine::new(&self.index)
     }
 
+    /// A batch executor over the index: evaluates slices of NEXI queries on
+    /// a scoped thread pool, returning per-query results in input order.
+    pub fn executor(&self) -> QueryExecutor<'_> {
+        QueryExecutor::new(&self.index)
+    }
+
     /// Evaluates a NEXI query with automatic strategy selection; `k = None`
     /// returns all answers.
     pub fn search(&self, nexi: &str, k: Option<usize>) -> Result<QueryResult> {
@@ -240,7 +249,8 @@ impl TrexSystem {
     /// timings plus storage / index / cost-model counter deltas) to the
     /// result.
     pub fn search_traced(&self, nexi: &str, k: Option<usize>) -> Result<QueryResult> {
-        self.engine().evaluate(nexi, EvalOptions::new().k(k).trace(true))
+        self.engine()
+            .evaluate(nexi, EvalOptions::new().k(k).trace(true))
     }
 
     /// Materialises the redundant lists a query needs (RPLs for TA, ERPLs

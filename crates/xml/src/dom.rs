@@ -261,7 +261,10 @@ mod tests {
             .descendants(doc.root())
             .filter_map(|id| doc.name(id).map(str::to_string))
             .collect();
-        assert_eq!(names, vec!["article", "fm", "atl", "bdy", "sec", "sec", "b"]);
+        assert_eq!(
+            names,
+            vec!["article", "fm", "atl", "bdy", "sec", "sec", "b"]
+        );
     }
 
     #[test]

@@ -45,12 +45,17 @@ impl fmt::Display for XmlError {
             XmlErrorKind::UnexpectedEof(what) => write!(f, "unexpected end of input in {what}"),
             XmlErrorKind::Unexpected(c, what) => write!(f, "unexpected {c:?} in {what}"),
             XmlErrorKind::MismatchedClose { expected, found } => {
-                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched close tag: expected </{expected}>, found </{found}>"
+                )
             }
             XmlErrorKind::UnmatchedClose(name) => write!(f, "close tag </{name}> matches nothing"),
             XmlErrorKind::UnclosedElements(n) => write!(f, "{n} element(s) left unclosed"),
             XmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
-            XmlErrorKind::InvalidCharRef(body) => write!(f, "invalid character reference &#{body};"),
+            XmlErrorKind::InvalidCharRef(body) => {
+                write!(f, "invalid character reference &#{body};")
+            }
             XmlErrorKind::InvalidName => write!(f, "invalid XML name"),
             XmlErrorKind::DuplicateAttribute(name) => write!(f, "duplicate attribute {name}"),
             XmlErrorKind::NoRootElement => write!(f, "document has no root element"),

@@ -45,17 +45,16 @@ pub fn resolve_entity(name: &str, offset: usize) -> Result<char> {
         "apos" => Ok('\''),
         _ => {
             if let Some(body) = name.strip_prefix('#') {
-                let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
-                    u32::from_str_radix(hex, 16)
-                } else {
-                    body.parse::<u32>()
-                };
-                code.ok()
-                    .and_then(char::from_u32)
-                    .ok_or_else(|| XmlError {
-                        offset,
-                        kind: XmlErrorKind::InvalidCharRef(body.to_string()),
-                    })
+                let code =
+                    if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+                        u32::from_str_radix(hex, 16)
+                    } else {
+                        body.parse::<u32>()
+                    };
+                code.ok().and_then(char::from_u32).ok_or_else(|| XmlError {
+                    offset,
+                    kind: XmlErrorKind::InvalidCharRef(body.to_string()),
+                })
             } else {
                 Err(XmlError {
                     offset,

@@ -9,9 +9,8 @@ use trex_xml::{escape, Document, NodeKind};
 fn xml_tree() -> impl Strategy<Value = String> {
     let tag = proptest::sample::select(vec!["a", "b", "sec", "p", "article", "x1"]);
     let text = "[ -~]{0,20}"; // printable ASCII, escaped below
-    let leaf = (tag.clone(), text).prop_map(|(t, body)| {
-        format!("<{t}>{}</{t}>", escape::escape_text(&body))
-    });
+    let leaf = (tag.clone(), text)
+        .prop_map(|(t, body)| format!("<{t}>{}</{t}>", escape::escape_text(&body)));
     leaf.prop_recursive(4, 64, 5, move |inner| {
         (
             proptest::sample::select(vec!["a", "b", "sec", "p", "article", "x1"]),

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("\nTable 1 (synthetic scale: {ieee_docs} IEEE-like / {wiki_docs} Wiki-like docs)");
-    println!("{:>4}  {:<74} {:<5} {:>5} {:>6} {:>8}", "ID", "NEXI Expression", "Coll", "#sids", "#terms", "#answers");
+    println!(
+        "{:>4}  {:<74} {:<5} {:>5} {:>6} {:>8}",
+        "ID", "NEXI Expression", "Coll", "#sids", "#terms", "#answers"
+    );
     for q in PAPER_QUERIES {
         let system = match q.collection {
             Collection::Ieee => &ieee,

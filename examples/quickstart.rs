@@ -45,15 +45,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let era = system.search_with(query, Some(5), Strategy::Era)?;
     println!("\nERA answers ({} total):", era.total_answers);
     for a in &era.answers {
-        println!("  doc {} end {} len {}  score {:.4}", a.element.doc, a.element.end, a.element.length, a.score);
+        println!(
+            "  doc {} end {} len {}  score {:.4}",
+            a.element.doc, a.element.end, a.element.length, a.score
+        );
     }
 
     // 2. Materialise the query's RPLs and ERPLs, then run TA and Merge.
     system.materialize_for(query, ListKind::Both)?;
     let ta = system.search_with(query, Some(5), Strategy::Ta)?;
     let merge = system.search_with(query, Some(5), Strategy::Merge)?;
-    println!("\nTA top-1    : doc {} score {:.4}", ta.answers[0].element.doc, ta.answers[0].score);
-    println!("Merge top-1 : doc {} score {:.4}", merge.answers[0].element.doc, merge.answers[0].score);
+    println!(
+        "\nTA top-1    : doc {} score {:.4}",
+        ta.answers[0].element.doc, ta.answers[0].score
+    );
+    println!(
+        "Merge top-1 : doc {} score {:.4}",
+        merge.answers[0].element.doc, merge.answers[0].score
+    );
 
     // All three strategies agree on the ranking.
     assert_eq!(era.answers.len(), ta.answers.len());

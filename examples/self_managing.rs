@@ -8,9 +8,7 @@
 //! ```
 
 use trex::corpus::{CorpusConfig, IeeeGenerator};
-use trex::{
-    AdvisorOptions, SelectionMethod, TrexConfig, TrexSystem, Workload,
-};
+use trex::{AdvisorOptions, SelectionMethod, TrexConfig, TrexSystem, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let store = std::env::temp_dir().join(format!("trex-selfmgmt-{}.db", std::process::id()));
@@ -28,8 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A workload in the sense of Definition 4.1: frequencies sum to 1.
     let workload = Workload::from_weights(vec![
-        ("//article//sec[about(., xml query evaluation)]".into(), 5.0, 10),
-        ("//article[about(., ontologies)]//sec[about(., ontologies case study)]".into(), 3.0, 10),
+        (
+            "//article//sec[about(., xml query evaluation)]".into(),
+            5.0,
+            10,
+        ),
+        (
+            "//article[about(., ontologies)]//sec[about(., ontologies case study)]".into(),
+            3.0,
+            10,
+        ),
         ("//sec[about(., code signing verification)]".into(), 2.0, 20),
     ])?;
 

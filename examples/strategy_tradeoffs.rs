@@ -32,16 +32,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let merge = system.search_with(query, None, Strategy::Merge)?;
     println!("query: {query}");
     println!("answers: {}", era.total_answers);
-    println!("\nERA   (all answers): {:>10.3} ms", era.stats.wall().as_secs_f64() * 1e3);
-    println!("Merge (all answers): {:>10.3} ms", merge.stats.wall().as_secs_f64() * 1e3);
+    println!(
+        "\nERA   (all answers): {:>10.3} ms",
+        era.stats.wall().as_secs_f64() * 1e3
+    );
+    println!(
+        "Merge (all answers): {:>10.3} ms",
+        merge.stats.wall().as_secs_f64() * 1e3
+    );
 
     // TA and ITA as functions of k.
-    println!("\n{:>8} {:>12} {:>12} {:>10} {:>16}", "k", "TA (ms)", "ITA (ms)", "depth", "entire lists?");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>10} {:>16}",
+        "k", "TA (ms)", "ITA (ms)", "depth", "entire lists?"
+    );
     let mut k = 1usize;
     while k <= era.total_answers.max(1) * 2 {
         let result = system.engine().evaluate(
             query,
-            EvalOptions::new().k(k).strategy(Strategy::Ta).measure_heap(true),
+            EvalOptions::new()
+                .k(k)
+                .strategy(Strategy::Ta)
+                .measure_heap(true),
         )?;
         if let StrategyStats::Ta(stats) = &result.stats {
             println!(

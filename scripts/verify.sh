@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, the whole test suite, and clippy
-# with warnings denied. Run from anywhere; operates on the repo root.
+# Full verification gate: formatting, release build, the whole test suite,
+# clippy with warnings denied, and a release-mode run of the concurrency
+# stress test (races only show up with optimised codegen and real thread
+# interleavings). Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
 
 echo "== cargo build --release =="
 cargo build --release
@@ -12,5 +17,8 @@ cargo test -q
 
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test --release --test concurrency =="
+cargo test --release -p trex --test concurrency
 
 echo "verify: OK"

@@ -29,7 +29,15 @@ fn full_cli_round_trip() {
     let _ = std::fs::remove_file(&store);
 
     // build
-    let (ok, _, err) = run(&["build", &store, "--synthetic", "ieee", "--docs", "40", "--store-docs"]);
+    let (ok, _, err) = run(&[
+        "build",
+        &store,
+        "--synthetic",
+        "ieee",
+        "--docs",
+        "40",
+        "--store-docs",
+    ]);
     assert!(ok, "build failed: {err}");
     assert!(err.contains("40 documents"), "{err}");
 
@@ -45,7 +53,10 @@ fn full_cli_round_trip() {
     assert!(ok, "{err}");
     assert!(err.contains("strategy ERA"), "{err}");
     assert!(out.contains("score"), "{out}");
-    assert!(out.contains("<sec>") || out.contains("<ss"), "snippets shown: {out}");
+    assert!(
+        out.contains("<sec>") || out.contains("<ss"),
+        "snippets shown: {out}"
+    );
 
     // explain before materialisation
     let (ok, out, _) = run(&["explain", &store, query]);
@@ -100,7 +111,13 @@ fn cli_reports_errors_cleanly() {
     assert!(err.contains("error:"), "{err}");
 
     // TA without materialised lists.
-    let (ok, _, err) = run(&["query", &store, "//article//sec[about(., xml)]", "--strategy", "ta"]);
+    let (ok, _, err) = run(&[
+        "query",
+        &store,
+        "//article//sec[about(., xml)]",
+        "--strategy",
+        "ta",
+    ]);
     assert!(!ok);
     assert!(err.contains("RPL"), "{err}");
 

@@ -71,9 +71,15 @@ fn vague_interpretation_finds_alias_synonyms() {
     assert!(!t.sids.is_empty());
     let strict = system
         .engine()
-        .translate("//article//ss1[about(., xml)]", trex::Interpretation::Strict)
+        .translate(
+            "//article//ss1[about(., xml)]",
+            trex::Interpretation::Strict,
+        )
         .unwrap();
-    assert!(strict.sids.is_empty(), "no literal ss1 label in the alias summary");
+    assert!(
+        strict.sids.is_empty(),
+        "no literal ss1 label in the alias summary"
+    );
     std::fs::remove_file(&store).ok();
 }
 
@@ -144,7 +150,9 @@ fn race_returns_first_finisher_and_agrees_with_era() {
     let query = "//article//sec[about(., xml query evaluation)]";
 
     // Race requires both redundant indexes.
-    let err = system.search_with(query, Some(5), Strategy::Race).unwrap_err();
+    let err = system
+        .search_with(query, Some(5), Strategy::Race)
+        .unwrap_err();
     assert!(err.to_string().contains("RPL"), "{err}");
 
     system.materialize_for(query, ListKind::Both).unwrap();
@@ -171,7 +179,9 @@ fn race_is_repeatable_under_load() {
     let system = TrexSystem::build(TrexConfig::new(&store), small_ieee(40)).unwrap();
     let query = "//sec[about(., code signing verification)]";
     system.materialize_for(query, ListKind::Both).unwrap();
-    let baseline = system.search_with(query, Some(10), Strategy::Merge).unwrap();
+    let baseline = system
+        .search_with(query, Some(10), Strategy::Merge)
+        .unwrap();
     for _ in 0..10 {
         let race = system.search_with(query, Some(10), Strategy::Race).unwrap();
         assert_eq!(race.answers.len(), baseline.answers.len());
@@ -231,7 +241,10 @@ fn snippets_reproduce_answer_elements() {
         );
     }
     // Whole documents can be fetched too.
-    let doc = system.document(result.answers[0].element.doc).unwrap().unwrap();
+    let doc = system
+        .document(result.answers[0].element.doc)
+        .unwrap()
+        .unwrap();
     assert!(doc.starts_with("<books>"));
     std::fs::remove_file(&store).ok();
 }

@@ -57,7 +57,10 @@ fn strategies_report_their_own_cost_units() {
     let engine = system.engine();
 
     let ta = engine
-        .evaluate(QUERY, EvalOptions::new().k(5).strategy(Strategy::Ta).trace(true))
+        .evaluate(
+            QUERY,
+            EvalOptions::new().k(5).strategy(Strategy::Ta).trace(true),
+        )
         .unwrap();
     let ta_trace = ta.trace.unwrap();
     assert_eq!(ta_trace.strategy, "ta");
@@ -66,11 +69,20 @@ fn strategies_report_their_own_cost_units() {
         ta_trace.cost.sorted_accesses, ta_trace.index.rpl_entries,
         "TA sorted accesses are exactly the RPL entries decoded"
     );
-    assert_eq!(ta_trace.cost.random_accesses, 0, "TA never does random access");
+    assert_eq!(
+        ta_trace.cost.random_accesses, 0,
+        "TA never does random access"
+    );
     assert!(ta_trace.cost.heap_pushes > 0);
 
     let merge = engine
-        .evaluate(QUERY, EvalOptions::new().k(5).strategy(Strategy::Merge).trace(true))
+        .evaluate(
+            QUERY,
+            EvalOptions::new()
+                .k(5)
+                .strategy(Strategy::Merge)
+                .trace(true),
+        )
         .unwrap();
     let merge_trace = merge.trace.unwrap();
     assert_eq!(merge_trace.strategy, "merge");
@@ -81,7 +93,10 @@ fn strategies_report_their_own_cost_units() {
 
     // The StrategyMetrics trait exposes the same numbers uniformly.
     assert_eq!(ta.stats.accesses().0, ta_trace.cost.sorted_accesses);
-    assert_eq!(merge.stats.accesses(), (merge_trace.cost.sorted_accesses, 0));
+    assert_eq!(
+        merge.stats.accesses(),
+        (merge_trace.cost.sorted_accesses, 0)
+    );
     assert!(StrategyMetrics::wall(&ta.stats) > std::time::Duration::ZERO);
     std::fs::remove_file(&store).ok();
 }
@@ -96,7 +111,11 @@ fn measured_accesses_validate_against_cost_model() {
     assert_eq!(validations.len(), 2, "both TA and Merge were covered");
     for v in &validations {
         let ratio = v.ratio();
-        assert!(ratio.is_finite(), "{}: ratio {ratio} not finite", v.strategy);
+        assert!(
+            ratio.is_finite(),
+            "{}: ratio {ratio} not finite",
+            v.strategy
+        );
         match v.strategy.as_str() {
             // Merge's prediction is exact: every ERPL entry is read once.
             "merge" => assert_eq!(
@@ -115,7 +134,9 @@ fn measured_accesses_validate_against_cost_model() {
             other => panic!("unexpected strategy {other}"),
         }
         // Every validation record renders as JSON for the bench export.
-        assert!(v.to_json().contains(&format!("\"strategy\":\"{}\"", v.strategy)));
+        assert!(v
+            .to_json()
+            .contains(&format!("\"strategy\":\"{}\"", v.strategy)));
     }
     std::fs::remove_file(&store).ok();
 }
@@ -152,12 +173,29 @@ fn concurrent_queries_match_serial_run_and_counters_add_up() {
         }
     });
     let delta = system.index().counters().snapshot().delta(&before);
-    let storage_delta = system.index().store().counters().snapshot().delta(&storage_before);
+    let storage_delta = system
+        .index()
+        .store()
+        .counters()
+        .snapshot()
+        .delta(&storage_before);
 
     for (name, total, per_query) in [
-        ("posting_entries", delta.posting_entries, serial_trace.index.posting_entries),
-        ("rpl_entries", delta.rpl_entries, serial_trace.index.rpl_entries),
-        ("erpl_entries", delta.erpl_entries, serial_trace.index.erpl_entries),
+        (
+            "posting_entries",
+            delta.posting_entries,
+            serial_trace.index.posting_entries,
+        ),
+        (
+            "rpl_entries",
+            delta.rpl_entries,
+            serial_trace.index.rpl_entries,
+        ),
+        (
+            "erpl_entries",
+            delta.erpl_entries,
+            serial_trace.index.erpl_entries,
+        ),
         ("rpl_bytes", delta.rpl_bytes, serial_trace.index.rpl_bytes),
     ] {
         assert_eq!(

@@ -82,7 +82,11 @@ fn every_paper_query_returns_ranked_answers_with_term_bearing_snippets() {
 fn explain_predicts_what_auto_runs() {
     let (system, store) = build(Collection::Ieee, 50, "explain");
     let query = "//article//sec[about(., xml query evaluation)]";
-    for (k, materialize) in [(Some(5), None), (Some(5), Some(ListKind::Rpl)), (None, Some(ListKind::Erpl))] {
+    for (k, materialize) in [
+        (Some(5), None),
+        (Some(5), Some(ListKind::Rpl)),
+        (None, Some(ListKind::Erpl)),
+    ] {
         if let Some(kind) = materialize {
             system.materialize_for(query, kind).unwrap();
         }
@@ -101,10 +105,7 @@ fn explain_predicts_what_auto_runs() {
         // The plan's extents are valid XPath descriptions of real sids.
         for (sid, xpath, size) in &plan.extents {
             assert!(xpath.starts_with('/'), "{xpath}");
-            assert_eq!(
-                system.index().summary().node(*sid).extent_size,
-                *size
-            );
+            assert_eq!(system.index().summary().node(*sid).extent_size, *size);
         }
     }
     std::fs::remove_file(&store).ok();
@@ -142,7 +143,9 @@ fn all_strategies_agree_on_wiki_with_document_store() {
     system.materialize_for(query, ListKind::Both).unwrap();
     let era = system.search_with(query, Some(10), Strategy::Era).unwrap();
     let ta = system.search_with(query, Some(10), Strategy::Ta).unwrap();
-    let merge = system.search_with(query, Some(10), Strategy::Merge).unwrap();
+    let merge = system
+        .search_with(query, Some(10), Strategy::Merge)
+        .unwrap();
     let race = system.search_with(query, Some(10), Strategy::Race).unwrap();
     for other in [&ta, &merge, &race] {
         assert_eq!(era.answers.len(), other.answers.len());

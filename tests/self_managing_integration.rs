@@ -2,9 +2,7 @@
 //! profiling, selection under budgets, and store reconciliation.
 
 use trex::corpus::{CorpusConfig, IeeeGenerator};
-use trex::{
-    AdvisorOptions, ListKind, SelectionMethod, Strategy, TrexConfig, TrexSystem, Workload,
-};
+use trex::{AdvisorOptions, ListKind, SelectionMethod, Strategy, TrexConfig, TrexSystem, Workload};
 
 fn temp(name: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("trex-sm-{name}-{}.db", std::process::id()))
@@ -26,7 +24,11 @@ fn build(name: &str, docs: usize) -> (TrexSystem, std::path::PathBuf) {
 
 fn workload() -> Workload {
     Workload::from_weights(vec![
-        ("//article//sec[about(., xml query evaluation)]".into(), 3.0, 10),
+        (
+            "//article//sec[about(., xml query evaluation)]".into(),
+            3.0,
+            10,
+        ),
         ("//sec[about(., code signing verification)]".into(), 1.0, 10),
     ])
     .unwrap()
@@ -110,10 +112,18 @@ fn zero_budget_drops_everything() {
     assert!(report.lists_dropped > 0);
     // TA now fails (no RPLs), ERA still works.
     assert!(system
-        .search_with("//article//sec[about(., xml query evaluation)]", Some(5), Strategy::Ta)
+        .search_with(
+            "//article//sec[about(., xml query evaluation)]",
+            Some(5),
+            Strategy::Ta
+        )
         .is_err());
     assert!(system
-        .search_with("//article//sec[about(., xml query evaluation)]", Some(5), Strategy::Era)
+        .search_with(
+            "//article//sec[about(., xml query evaluation)]",
+            Some(5),
+            Strategy::Era
+        )
         .is_ok());
     std::fs::remove_file(&store).ok();
 }
@@ -123,7 +133,11 @@ fn budget_is_respected_by_both_methods() {
     let (system, store) = build("budget", 60);
     let costs = system.advisor().profile(&workload(), 1).unwrap();
     // A budget that fits only the smaller query's lists.
-    let smaller = costs.iter().map(|c| c.s_erpl().min(c.s_rpl())).min().unwrap();
+    let smaller = costs
+        .iter()
+        .map(|c| c.s_erpl().min(c.s_rpl()))
+        .min()
+        .unwrap();
     let budget = smaller + smaller / 2;
     for method in [SelectionMethod::Greedy, SelectionMethod::Lp] {
         let report = system
@@ -157,7 +171,10 @@ fn lp_never_beats_more_than_twice_greedy() {
         let lp = trex::core::selfmanage::solve_lp(&costs, budget);
         let g = greedy.saving(&costs);
         let o = lp.saving(&costs);
-        assert!(o <= 2.0 * g + 1e-12, "budget {budget}: lp {o} > 2×greedy {g}");
+        assert!(
+            o <= 2.0 * g + 1e-12,
+            "budget {budget}: lp {o} > 2×greedy {g}"
+        );
     }
     std::fs::remove_file(&store).ok();
 }

@@ -281,9 +281,8 @@ pub mod strategy {
                 Atom::NonControl => {
                     // Mostly printable ASCII, with a sprinkling of wider
                     // Unicode so `\PC` tests see multi-byte input.
-                    const EXOTIC: &[char] = &[
-                        'é', 'ß', 'λ', 'Ж', '中', '☃', '🦀', '\u{00a0}', 'ñ', '𝒳',
-                    ];
+                    const EXOTIC: &[char] =
+                        &['é', 'ß', 'λ', 'Ж', '中', '☃', '🦀', '\u{00a0}', 'ñ', '𝒳'];
                     if rng.below(8) == 0 {
                         EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
                     } else {
@@ -732,7 +731,9 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Declares property tests. Each `fn` becomes a `#[test]` that generates
@@ -885,7 +886,9 @@ mod tests {
             let s = crate::strategy::Strategy::generate(&"[a-z][a-z0-9]{0,6}", &mut rng);
             assert!(!s.is_empty() && s.len() <= 7);
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
 
             let t = crate::strategy::Strategy::generate(&"[ -~]{0,20}", &mut rng);
             assert!(t.len() <= 20);
@@ -920,9 +923,11 @@ mod tests {
             Leaf(u8),
             Node(Vec<Tree>),
         }
-        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
-            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
-        });
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::new(7);
         let mut saw_node = false;
         for _ in 0..100 {
