@@ -21,10 +21,13 @@
 //!   (eviction write-back, flush), never the reverse.
 //! * No thread ever holds two shard mutexes at once (flush visits shards
 //!   one at a time).
-//! * The miss path reads the page from disk *outside* the shard mutex;
-//!   racing fetches of the same page are reconciled on insert (first insert
-//!   wins, both images are identical since all mutation happens through
-//!   cached handles).
+//! * The miss path keeps the shard mutex held across the disk read and the
+//!   insert. Releasing it in between would open a lost-update window: a
+//!   racing fetch could fault the page in, mutate it through its handle,
+//!   and have eviction write it back and drop it from the shard — all
+//!   before this thread inserts its now-stale image. Holding the shard
+//!   lock means a miss serialises against same-shard access for one page
+//!   read; other shards are unaffected.
 //! * When every page of a shard is pinned, the shard grows past its
 //!   capacity temporarily instead of deadlocking (the escape hatch the
 //!   B+tree descent relies on).
@@ -149,11 +152,12 @@ impl BufferPool {
     }
 
     /// Wraps `pager` with an explicit shard count (clamped to ≥ 1). Each
-    /// shard gets `capacity / shards` pages, floored at
-    /// [`MIN_SHARD_CAPACITY`] so tree descents always fit.
+    /// shard gets `ceil(capacity / shards)` pages, floored at
+    /// [`MIN_SHARD_CAPACITY`] so tree descents always fit; the effective
+    /// [`BufferPool::capacity`] is never below the requested one.
     pub fn with_shards(pager: Pager, capacity: usize, shards: usize) -> BufferPool {
         let shards = shards.max(1);
-        let shard_capacity = (capacity / shards).max(MIN_SHARD_CAPACITY);
+        let shard_capacity = capacity.div_ceil(shards).max(MIN_SHARD_CAPACITY);
         let obs = pager.counters().clone();
         BufferPool {
             pager: Mutex::new(pager),
@@ -177,33 +181,27 @@ impl BufferPool {
     /// Fetches page `id`, reading it from disk on a miss.
     pub fn fetch(&self, id: PageId) -> Result<PageRef> {
         let shard = self.shard(id);
-        {
-            let mut inner = shard.inner.lock();
-            if let Some(slot) = inner.map.get(&id) {
-                let page = slot.page.clone();
-                inner.touch(id);
-                self.obs.pool_hits.incr();
-                shard.obs.hits.incr();
-                return Ok(page);
-            }
+        let mut inner = shard.inner.lock();
+        if let Some(slot) = inner.map.get(&id) {
+            let page = slot.page.clone();
+            inner.touch(id);
+            self.obs.pool_hits.incr();
+            shard.obs.hits.incr();
+            return Ok(page);
         }
         self.obs.pool_misses.incr();
         shard.obs.misses.incr();
-        // Read outside the shard lock; racing fetches of the same page are
-        // resolved below (first insert wins; both images are identical since
-        // all mutation happens through cached handles).
+        // Read while still holding the shard lock (shard → pager order).
+        // Dropping it here would let a racing fetch fault the page in,
+        // mutate it, and have eviction write it back and remove it from the
+        // shard — all between this read and the insert below — so the image
+        // read here would silently shadow the newer one (lost update).
         let mut buf = PageBuf::zeroed();
         self.pager.lock().read_page(id, &mut buf)?;
         let page = Arc::new(CachedPage {
             buf: RwLock::new(buf),
             dirty: AtomicBool::new(false),
         });
-        let mut inner = shard.inner.lock();
-        if let Some(slot) = inner.map.get(&id) {
-            let existing = slot.page.clone();
-            inner.touch(id);
-            return Ok(existing);
-        }
         self.evict_if_needed(shard, &mut inner)?;
         inner.map.insert(
             id,
@@ -226,7 +224,13 @@ impl BufferPool {
         });
         let shard = self.shard(id);
         let mut inner = shard.inner.lock();
-        self.evict_if_needed(shard, &mut inner)?;
+        if let Err(e) = self.evict_if_needed(shard, &mut inner) {
+            // The pager already handed out `id`; return it to the free list
+            // (best-effort) so a failed dirty write-back doesn't leak a page
+            // in the file forever.
+            let _ = self.pager.lock().free(id);
+            return Err(e);
+        }
         inner.map.insert(
             id,
             Slot {
@@ -339,8 +343,9 @@ impl BufferPool {
     }
 
     /// Maximum number of cached pages before eviction kicks in (total
-    /// across shards; may round up from the requested capacity so every
-    /// shard holds at least [`MIN_SHARD_CAPACITY`] pages).
+    /// across shards). Never below the capacity requested at construction:
+    /// the per-shard share rounds up, and every shard holds at least
+    /// [`MIN_SHARD_CAPACITY`] pages.
     pub fn capacity(&self) -> usize {
         self.shard_capacity * self.shards.len()
     }
@@ -498,6 +503,19 @@ mod tests {
     }
 
     #[test]
+    fn capacity_never_rounds_below_request() {
+        // 100 / 8 shards floors to 12 × 8 = 96; the per-shard share must
+        // round up instead (13 × 8 = 104 ≥ 100).
+        let (pool, path) = pool("cap-ceil", 100);
+        assert!(
+            pool.capacity() >= 100,
+            "capacity {} < requested 100",
+            pool.capacity()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn shard_counters_sum_to_global() {
         let (pool, path) = pool("sh-sum", 64);
         let mut ids = Vec::new();
@@ -558,6 +576,45 @@ mod tests {
         let mut buf = PageBuf::zeroed();
         pager.read_page(ids[1], &mut buf).unwrap();
         assert_eq!(buf.next_page(), 7001);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn allocate_returns_id_to_free_list_on_eviction_failure() {
+        let (pool, path) = pool("allocfail", 8);
+        assert_eq!(pool.shard_count(), 1, "cap 8 = one shard");
+        // Fill the shard with dirty, unpinned pages.
+        let mut ids = Vec::new();
+        for _ in 0..8u32 {
+            let (id, p) = pool.allocate().unwrap();
+            p.buf.write().init(PageType::Leaf);
+            p.mark_dirty();
+            ids.push(id);
+        }
+        // Seed the free list so the failing allocate below pops it instead
+        // of extending the file (extending writes a page, which would eat
+        // the injected failure before eviction even runs).
+        let (scratch, p) = pool.allocate().unwrap();
+        drop(p);
+        pool.free(scratch).unwrap();
+        // Refill the shard to capacity so the next allocate must evict.
+        drop(pool.fetch(ids[0]).unwrap());
+        let pages_before = pool.page_count();
+
+        pool.inject_write_failures(1);
+        let err = match pool.allocate() {
+            Err(e) => e,
+            Ok(_) => panic!("allocate must fail on dirty write-back error"),
+        };
+        assert!(err.to_string().contains("injected"), "{err}");
+        // Regression: the pager had already handed out `scratch`; the failed
+        // allocate must return it to the free list instead of leaking it.
+        assert_eq!(pool.free_head(), scratch);
+        assert_eq!(pool.page_count(), pages_before, "file must not grow");
+        // With the failure cleared, the next allocate reuses the freed id.
+        let (id, _p) = pool.allocate().unwrap();
+        assert_eq!(id, scratch);
+        assert_eq!(pool.page_count(), pages_before);
         std::fs::remove_file(&path).ok();
     }
 
