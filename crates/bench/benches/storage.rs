@@ -1,11 +1,13 @@
 //! Microbenches of the storage substrate (the BerkeleyDB stand-in): B+tree
 //! inserts, point lookups and range scans — the three access paths every
-//! TReX table uses.
+//! TReX table uses — plus the WAL-overhead comparison exported as
+//! `BENCH_wal.json` (bulk index-build throughput with the write-ahead log
+//! on versus off).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 
-use trex::storage::Store;
-use trex_bench::store_dir;
+use trex::storage::{wal_path, Store, StoreOptions};
+use trex_bench::{median_time, store_dir, Scale};
 
 fn prepared_store(n: u32) -> (Store, std::path::PathBuf) {
     let path = store_dir().join(format!("storage-bench-{n}.db"));
@@ -120,11 +122,125 @@ fn bench_bulk_load(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_inserts,
-    bench_gets,
-    bench_scans,
-    bench_bulk_load
-);
-criterion_main!(benches);
+/// One full index build (parse + tokenise + tables + final checkpoint)
+/// over the small IEEE corpus, with the WAL on or off. Returns wall time
+/// plus the WAL counters of the finished store.
+fn index_build(docs: &[String], wal: bool) -> (std::time::Duration, u64, u64, u64) {
+    let path = store_dir().join(format!("wal-bench-{}.db", if wal { "on" } else { "off" }));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(wal_path(&path));
+    let started = std::time::Instant::now();
+    let store = Store::create_with(
+        &path,
+        StoreOptions {
+            pool_pages: 1024,
+            wal,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    let mut builder = trex::index::IndexBuilder::new(
+        &store,
+        trex::SummaryKind::Incoming,
+        trex::AliasMap::inex_ieee(),
+        trex::Analyzer::default(),
+    )
+    .unwrap();
+    for doc in docs {
+        builder.add_document(doc).unwrap();
+    }
+    builder.finish().unwrap();
+    let elapsed = started.elapsed();
+    let counters = store.counters().snapshot();
+    (
+        elapsed,
+        counters.wal_appends,
+        counters.wal_bytes,
+        counters.checkpoints,
+    )
+}
+
+/// Measures bulk index-build throughput WAL-on vs WAL-off and renders the
+/// `BENCH_wal.json` payload. The WAL must stay within 25% of the WAL-off
+/// build (the log adds one sequential write + CRC per page, amortised
+/// against parse/tokenise work).
+fn wal_overhead() -> String {
+    // 2× the smoke-test scale: long enough that the checkpoint's constant
+    // fsync cost amortises and scheduling jitter stays well under the
+    // ~10-17% real overhead being measured.
+    let gen = trex::corpus::IeeeGenerator::new(trex::corpus::CorpusConfig {
+        docs: Scale::small().ieee_docs * 2,
+        ..trex::corpus::CorpusConfig::ieee_default()
+    });
+    let docs: Vec<String> = gen.documents().collect();
+
+    // Warm-up build (page cache, allocator), then interleaved off/on pairs.
+    // Adjacent runs of a pair see the same background load, so the per-pair
+    // ratio cancels common-mode noise; the median pair ratio is then robust
+    // to the occasional fsync-latency outlier that skews any single run.
+    let _ = index_build(&docs, true);
+    let mut off = std::time::Duration::MAX;
+    let mut on = std::time::Duration::MAX;
+    let mut ratios = Vec::new();
+    for _ in 0..6 {
+        let o = median_time(1, || index_build(&docs, false));
+        let w = median_time(1, || index_build(&docs, true));
+        ratios.push(w.as_secs_f64() / o.as_secs_f64().max(1e-9));
+        off = off.min(o);
+        on = on.min(w);
+    }
+    let (_, wal_appends, wal_bytes, checkpoints) = index_build(&docs, true);
+
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let ratio = ratios[ratios.len() / 2];
+    eprintln!(
+        "wal overhead: off {:.1} ms, on {:.1} ms, median pair ratio {ratio:.3} \
+         ({wal_appends} appends, {wal_bytes} bytes, {checkpoints} checkpoints)",
+        off.as_secs_f64() * 1e3,
+        on.as_secs_f64() * 1e3,
+    );
+    assert!(
+        ratio <= 1.25,
+        "WAL-on bulk index build must stay within 25% of WAL-off (ratio {ratio:.3})"
+    );
+    format!(
+        "{{\"docs\":{},\"wal_off_ms\":{:.3},\"wal_on_ms\":{:.3},\"ratio\":{ratio:.4},\
+         \"wal_appends\":{wal_appends},\"wal_bytes\":{wal_bytes},\"checkpoints\":{checkpoints}}}",
+        docs.len(),
+        off.as_secs_f64() * 1e3,
+        on.as_secs_f64() * 1e3,
+    )
+}
+
+/// Runs every storage group, then the WAL on/off comparison, and writes
+/// `BENCH_wal.json` with both (same export pattern as the strategies
+/// bench's `BENCH_trace.json`).
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_inserts(&mut criterion);
+    bench_gets(&mut criterion);
+    bench_scans(&mut criterion);
+    bench_bulk_load(&mut criterion);
+
+    let mut out = String::from("{\"benches\":[");
+    for (i, r) in criterion.results().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"min_us\":{},\"median_us\":{},\"mean_us\":{},\"samples\":{}}}",
+            trex::obs::json_escape(&r.name),
+            r.min.as_micros(),
+            r.median.as_micros(),
+            r.mean.as_micros(),
+            r.samples
+        ));
+    }
+    out.push_str("],\"wal_overhead\":");
+    out.push_str(&wal_overhead());
+    out.push('}');
+
+    let path = store_dir().join("BENCH_wal.json");
+    std::fs::write(&path, &out).expect("write BENCH_wal.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -42,6 +42,9 @@ pub struct IndexBuilder<'s> {
     total_element_len: u64,
     /// When set, raw documents are stored for snippet retrieval.
     doc_store: Option<DocStoreWriter>,
+    /// When set, the store is checkpointed every N documents, bounding the
+    /// write-ahead log (and the work a crash can lose) during long builds.
+    checkpoint_every: Option<u32>,
 }
 
 impl<'s> IndexBuilder<'s> {
@@ -67,6 +70,7 @@ impl<'s> IndexBuilder<'s> {
             element_count: 0,
             total_element_len: 0,
             doc_store: None,
+            checkpoint_every: None,
         })
     }
 
@@ -82,6 +86,23 @@ impl<'s> IndexBuilder<'s> {
     /// Overrides the posting-chunk size (chunk-size ablation).
     pub fn set_postings_chunk_size(&mut self, size: usize) {
         self.postings_chunk_size = size;
+    }
+
+    /// Checkpoints the store every `every` documents (None disables, the
+    /// default). With the WAL enabled, each checkpoint truncates the log,
+    /// bounding both log growth and the work a mid-build crash discards —
+    /// everything up to the last checkpoint survives recovery.
+    pub fn set_checkpoint_interval(&mut self, every: Option<u32>) {
+        self.checkpoint_every = every.filter(|&n| n > 0);
+    }
+
+    fn maybe_checkpoint(&self) -> Result<()> {
+        if let Some(every) = self.checkpoint_every {
+            if self.doc_count.is_multiple_of(every) {
+                self.store.flush()?;
+            }
+        }
+        Ok(())
     }
 
     /// Parses and indexes one document; returns its assigned id.
@@ -148,6 +169,7 @@ impl<'s> IndexBuilder<'s> {
                 trex_xml::Event::Comment(_) | trex_xml::Event::ProcessingInstruction(_) => {}
             }
         }
+        self.maybe_checkpoint()?;
         Ok(doc_id)
     }
 
@@ -176,6 +198,7 @@ impl<'s> IndexBuilder<'s> {
         let mut cursor = SummaryCursor::new();
         let mut next_pos = 0u32;
         self.walk(doc, doc.root(), &mut cursor, doc_id, &mut next_pos)?;
+        self.maybe_checkpoint()?;
         Ok(doc_id)
     }
 
@@ -282,6 +305,18 @@ impl<'s> IndexBuilder<'s> {
             blob_names::ANALYZER,
             &encode_analyzer(&self.analyzer),
         )?;
+
+        // Create the (initially empty) RPL/ERPL tables now so they are part
+        // of the final checkpoint. `TrexIndex::open` would otherwise create
+        // them lazily on every open of a never-materialised store, and a
+        // read-only session never checkpoints, so recovery would discard
+        // (and re-report) those uncommitted creations on each reopen.
+        self.store.open_or_create_table(crate::rpl::RPLS_TABLE)?;
+        self.store
+            .open_or_create_table(crate::rpl::RPLS_REGISTRY_TABLE)?;
+        self.store.open_or_create_table(crate::erpl::ERPLS_TABLE)?;
+        self.store
+            .open_or_create_table(crate::erpl::ERPLS_REGISTRY_TABLE)?;
 
         self.store.flush()?;
         Ok(())
@@ -414,6 +449,32 @@ mod tests {
             .unwrap();
         assert_eq!(a.length, 2, "element length counts stopword tokens");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_interval_checkpoints_during_the_build() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trex-build-ckpt-{}", std::process::id()));
+        let store = Store::create(&path, 128).unwrap();
+        let mut builder = IndexBuilder::new(
+            &store,
+            SummaryKind::Incoming,
+            AliasMap::identity(),
+            Analyzer::default(),
+        )
+        .unwrap();
+        builder.set_checkpoint_interval(Some(2));
+        for i in 0..6 {
+            builder
+                .add_document(&format!("<a>doc number {i}</a>"))
+                .unwrap();
+        }
+        let mid_build = store.counters().checkpoints.get();
+        assert_eq!(mid_build, 3, "one checkpoint per two documents");
+        builder.finish().unwrap();
+        assert!(store.counters().checkpoints.get() > mid_build);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(trex_storage::wal_path(&path)).ok();
     }
 
     #[test]

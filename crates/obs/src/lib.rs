@@ -168,6 +168,17 @@ counter_group! {
         btree_node_visits,
         /// Entries yielded by B+-tree cursors.
         cursor_steps,
+        /// Records appended to the write-ahead log (page images, alloc
+        /// records; commit/checkpoint records are not counted — they mark
+        /// protocol progress, not logged work).
+        wal_appends,
+        /// Bytes appended to the write-ahead log (record headers included).
+        wal_bytes,
+        /// Checkpoints completed (WAL sealed, folded into the data file,
+        /// and truncated).
+        checkpoints,
+        /// Redo recoveries that replayed a sealed log at open.
+        recoveries_run,
     }
 }
 

@@ -300,8 +300,13 @@ impl BufferPool {
         found
     }
 
-    /// Writes back all dirty pages and syncs the file. Visits shards one at
-    /// a time (shard → pager lock order, never two shards at once).
+    /// Writes back all dirty pages and checkpoints the pager. Visits shards
+    /// one at a time (shard → pager lock order, never two shards at once).
+    ///
+    /// With a WAL-backed pager the write-backs are log appends and
+    /// [`Pager::checkpoint`] then makes them durable atomically
+    /// (log-before-data); without a WAL this degrades to write-in-place
+    /// plus a plain fsync.
     pub fn flush(&self) -> Result<()> {
         for shard in self.shards.iter() {
             let inner = shard.inner.lock();
@@ -314,7 +319,7 @@ impl BufferPool {
                 }
             }
         }
-        self.pager.lock().sync()
+        self.pager.lock().checkpoint()
     }
 
     /// (hits, misses) since pool creation.
@@ -366,6 +371,18 @@ impl BufferPool {
     /// [`Pager::inject_write_failures`]); test instrumentation.
     pub fn inject_write_failures(&self, n: u32) {
         self.pager.lock().inject_write_failures(n);
+    }
+
+    /// Arms pager crash injection (see [`Pager::inject_crash`]): the nth
+    /// occurrence of `point` tears that operation and kills the store.
+    pub fn inject_crash(&self, point: crate::wal::CrashPoint, nth: u32) {
+        self.pager.lock().inject_crash(point, nth);
+    }
+
+    /// What WAL recovery did when the underlying pager was opened (None
+    /// after a clean shutdown or for WAL-less pagers).
+    pub fn recovery_report(&self) -> Option<crate::wal::RecoveryReport> {
+        self.pager.lock().recovery_report().cloned()
     }
 }
 

@@ -9,7 +9,11 @@
 //! * a single store file split into fixed-size pages ([`page`], [`pager`]);
 //! * an LRU buffer pool ([`buffer`]);
 //! * a persistent B+tree with chained leaves ([`btree`]);
-//! * a named-table catalog ([`store`]).
+//! * a named-table catalog ([`store`]);
+//! * a write-ahead log with redo recovery ([`wal`]) — [`Store::flush`] is
+//!   an atomic checkpoint, and [`Store::open`] replays or discards an
+//!   interrupted one, so a crash at any point leaves the store openable at
+//!   its last durable checkpoint.
 //!
 //! ```
 //! use trex_storage::Store;
@@ -25,6 +29,7 @@
 //! let (key, _) = cursor.next_entry().unwrap().unwrap();
 //! assert_eq!(key, b"xml");
 //! # std::fs::remove_file(&dir).ok();
+//! # std::fs::remove_file(trex_storage::wal_path(&dir)).ok();
 //! ```
 
 pub mod btree;
@@ -34,9 +39,11 @@ pub mod error;
 pub mod page;
 pub mod pager;
 pub mod store;
+pub mod wal;
 
 pub use btree::{bulk_load, BTree, Cursor, MAX_KEY_LEN, MAX_VALUE_LEN};
 pub use buffer::BufferPool;
 pub use error::{Result, StorageError};
 pub use page::{PageId, PAGE_SIZE};
-pub use store::{Store, Table};
+pub use store::{Store, StoreOptions, Table};
+pub use wal::{wal_path, CrashPoint, RecoveryReport};

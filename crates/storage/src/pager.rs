@@ -5,6 +5,20 @@
 //! only reserves it at file creation. Freed pages are chained through their
 //! `next_page` header field; the head of the chain lives in the meta page and
 //! is handed to the pager at open time.
+//!
+//! # Durability modes
+//!
+//! A pager opened through [`Pager::create`] / [`Pager::open`] writes pages
+//! in place and is only as durable as the last [`Pager::sync`] — the
+//! pre-WAL behaviour, kept for unit tests and throwaway stores.
+//!
+//! A pager opened through [`Pager::create_with_wal`] /
+//! [`Pager::open_with_wal`] attaches a write-ahead log (see [`crate::wal`]):
+//! page writes become log appends, reads consult the log's page table
+//! first, and [`Pager::checkpoint`] atomically folds the logged images into
+//! the data file. [`Pager::open_with_wal`] runs redo recovery before the
+//! first read, so a store killed at *any* write or fsync boundary reopens
+//! in exactly its last checkpointed state.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -13,13 +27,19 @@ use std::sync::Arc;
 
 use trex_obs::StorageCounters;
 
-use crate::error::Result;
+use crate::error::{Result, StorageError};
 use crate::page::{PageBuf, PageId, PageType, NO_PAGE, PAGE_SIZE};
+use crate::wal::{CrashCheck, CrashPoint, CrashState, RecoveryReport, Wal};
 
 /// Low-level page file access and allocation.
 pub struct Pager {
     file: File,
     page_count: u32,
+    /// Page count as of the last fsync that covered file metadata
+    /// (`sync_all`). When `page_count` has grown past this, the next sync
+    /// must be `sync_all`, not `sync_data`: a grown file whose new length
+    /// is not yet durable can lose its tail pages on crash.
+    synced_page_count: u32,
     free_head: PageId,
     /// Shared observability counters; page reads/writes land in
     /// `page_reads` / `page_writes`. The [`crate::buffer::BufferPool`]
@@ -30,44 +50,164 @@ pub struct Pager {
     /// [`Pager::write_page`] fail with an I/O error before touching the
     /// file. Zero (the default) disables injection.
     inject_write_failures: u32,
+    /// Crash injection shared with the WAL (see [`CrashPoint`]).
+    crash: CrashState,
+    /// The write-ahead log, when this store runs in durable mode.
+    wal: Option<Wal>,
+    /// What recovery did at open, when it had anything to do.
+    recovery: Option<RecoveryReport>,
 }
 
 impl Pager {
     /// Creates a new store file (truncating any existing one) with an
-    /// initialised meta page.
+    /// initialised meta page, synced to stable storage so a crash right
+    /// after creation cannot leave a zero-length store behind.
     pub fn create(path: &Path) -> Result<Pager> {
+        Self::create_inner(path, false)
+    }
+
+    /// Like [`Pager::create`], but also creates (truncating) the
+    /// write-ahead log beside the store file.
+    pub fn create_with_wal(path: &Path) -> Result<Pager> {
+        Self::create_inner(path, true)
+    }
+
+    fn create_inner(path: &Path, with_wal: bool) -> Result<Pager> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
+        let wal = if with_wal {
+            Some(Wal::create(&crate::wal::wal_path(path))?)
+        } else {
+            None
+        };
         let mut pager = Pager {
             file,
             page_count: 1,
+            synced_page_count: 0,
             free_head: NO_PAGE,
             obs: Arc::new(StorageCounters::new()),
             inject_write_failures: 0,
+            crash: CrashState::default(),
+            wal,
+            recovery: None,
         };
         let mut meta = PageBuf::zeroed();
         meta.init(PageType::Meta);
-        pager.write_page(0, &meta)?;
+        // The meta page goes straight to the data file even in WAL mode:
+        // a store is born as its own first checkpoint.
+        Self::write_data_page(
+            &mut pager.file,
+            &mut pager.crash,
+            &mut pager.inject_write_failures,
+            0,
+            &meta,
+        )?;
+        pager.obs.page_writes.incr();
+        pager.file.sync_all()?;
+        pager.synced_page_count = 1;
         Ok(pager)
     }
 
-    /// Opens an existing store file. `free_head` is read from the meta page
-    /// by the store and installed via [`Pager::set_free_head`].
+    /// Opens an existing store file without a WAL. `free_head` is read from
+    /// the meta page by the store and installed via [`Pager::set_free_head`].
+    /// A file whose length is not a whole number of pages has a torn tail
+    /// page (a crashed partial write) and is rejected as corrupt.
     pub fn open(path: &Path) -> Result<Pager> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
-        let page_count = (len / PAGE_SIZE as u64) as u32;
+        Self::check_tail(len)?;
+        let page_count = ((len / PAGE_SIZE as u64) as u32).max(1);
         Ok(Pager {
             file,
-            page_count: page_count.max(1),
+            page_count,
+            synced_page_count: page_count,
             free_head: NO_PAGE,
             obs: Arc::new(StorageCounters::new()),
             inject_write_failures: 0,
+            crash: CrashState::default(),
+            wal: None,
+            recovery: None,
         })
+    }
+
+    /// Opens an existing store file with its write-ahead log, running redo
+    /// recovery first: a log sealed by a commit record is replayed into the
+    /// data file (completing the interrupted checkpoint and repairing any
+    /// torn data pages); anything else is discarded, leaving the data file
+    /// as the previous checkpoint. `inject_crash` arms the crash switch
+    /// *before* recovery runs, so tests can kill recovery itself.
+    pub fn open_with_wal(path: &Path, inject_crash: Option<(CrashPoint, u32)>) -> Result<Pager> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut crash = CrashState::default();
+        if let Some((point, nth)) = inject_crash {
+            crash.arm(point, nth);
+        }
+        let obs = Arc::new(StorageCounters::new());
+        let (mut wal, scan) = Wal::open(&crate::wal::wal_path(path))?;
+
+        let mut pager = Pager {
+            file,
+            page_count: 0,
+            synced_page_count: 0,
+            free_head: NO_PAGE,
+            obs,
+            inject_write_failures: 0,
+            crash,
+            wal: None,
+            recovery: None,
+        };
+
+        let mut replayed = 0u32;
+        if scan.replay {
+            // Roll forward: write every committed image in place.
+            let mut buf = PageBuf::zeroed();
+            for id in wal.entries() {
+                wal.load(id, &mut buf)?;
+                Self::write_data_page(
+                    &mut pager.file,
+                    &mut pager.crash,
+                    &mut pager.inject_write_failures,
+                    id,
+                    &buf,
+                )?;
+                replayed += 1;
+            }
+            // The replay may have grown the file; make length durable too.
+            Self::sync_data_file(&mut pager.file, &mut pager.crash, true)?;
+            pager.obs.recoveries_run.incr();
+        }
+        // Either way the log is now spent (roll forward applied, roll back
+        // discarded); truncate it so appends start from a clean checkpoint.
+        wal.reset(&mut pager.crash)?;
+
+        let len = pager.file.metadata()?.len();
+        Self::check_tail(len)?;
+        pager.page_count = ((len / PAGE_SIZE as u64) as u32).max(1);
+        pager.synced_page_count = pager.page_count;
+        if scan.replay || scan.discarded_records > 0 {
+            pager.recovery = Some(RecoveryReport {
+                replayed_pages: replayed,
+                wal_bytes_scanned: scan.bytes_scanned,
+                discarded_records: scan.discarded_records,
+                completed_checkpoint: scan.replay,
+            });
+        }
+        pager.wal = Some(wal);
+        Ok(pager)
+    }
+
+    fn check_tail(len: u64) -> Result<()> {
+        if !len.is_multiple_of(PAGE_SIZE as u64) {
+            return Err(StorageError::Corrupt(format!(
+                "torn tail page: file length {len} is not a multiple of the \
+                 {PAGE_SIZE}-byte page size (crashed partial write)"
+            )));
+        }
+        Ok(())
     }
 
     /// Number of pages in the file (including the meta page and free pages).
@@ -85,8 +225,27 @@ impl Pager {
         self.free_head = head;
     }
 
-    /// Reads page `id` into `buf`.
+    /// Whether this pager runs with a write-ahead log.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// What recovery did when this pager was opened (None after a clean
+    /// shutdown, or for WAL-less pagers).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Reads page `id` into `buf`: from the WAL page table when the page
+    /// has an un-checkpointed version, from the data file otherwise.
     pub fn read_page(&mut self, id: PageId, buf: &mut PageBuf) -> Result<()> {
+        self.crash.ensure_alive()?;
+        if let Some(wal) = &mut self.wal {
+            if wal.read_page(id, buf)? {
+                self.obs.page_reads.incr();
+                return Ok(());
+            }
+        }
         self.file
             .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.read_exact(buf.bytes_mut().as_mut_slice())?;
@@ -101,16 +260,72 @@ impl Pager {
         self.inject_write_failures = n;
     }
 
-    /// Writes `buf` to page `id`.
+    /// Arms crash injection: the `nth` occurrence of `point` tears that
+    /// operation and kills the pager — every later file operation fails,
+    /// simulating a killed process. Reopen the store to recover.
+    pub fn inject_crash(&mut self, point: CrashPoint, nth: u32) {
+        self.crash.arm(point, nth);
+    }
+
+    /// Writes `buf` to page `id`: an append to the WAL in durable mode, an
+    /// in-place data write otherwise (log-before-data — with a WAL attached
+    /// the data file is only touched by [`Pager::checkpoint`] and recovery).
     pub fn write_page(&mut self, id: PageId, buf: &PageBuf) -> Result<()> {
         if self.inject_write_failures > 0 {
             self.inject_write_failures -= 1;
             return Err(std::io::Error::other("injected write failure").into());
         }
-        self.file
-            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        self.file.write_all(buf.bytes().as_slice())?;
+        self.crash.ensure_alive()?;
+        match &mut self.wal {
+            Some(wal) => wal.append_image(id, buf, &mut self.crash, &self.obs)?,
+            None => Self::write_data_page(
+                &mut self.file,
+                &mut self.crash,
+                &mut self.inject_write_failures,
+                id,
+                buf,
+            )?,
+        }
         self.obs.page_writes.incr();
+        Ok(())
+    }
+
+    /// In-place data-file page write with crash-point tearing. Not counted
+    /// in `page_writes` when called from checkpoint/recovery write-back
+    /// (those pages were already counted when logged).
+    fn write_data_page(
+        file: &mut File,
+        crash: &mut CrashState,
+        inject_write_failures: &mut u32,
+        id: PageId,
+        buf: &PageBuf,
+    ) -> Result<()> {
+        if *inject_write_failures > 0 {
+            *inject_write_failures -= 1;
+            return Err(std::io::Error::other("injected write failure").into());
+        }
+        let tear = matches!(crash.check(CrashPoint::DataWrite)?, CrashCheck::Tear);
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        if tear {
+            file.write_all(&buf.bytes()[..PAGE_SIZE / 2])?;
+            return Err(std::io::Error::other("injected crash: torn data page").into());
+        }
+        file.write_all(buf.bytes().as_slice())?;
+        Ok(())
+    }
+
+    /// Data-file fsync with crash-point injection; `sync_all` when `grew`
+    /// (file length changed since the last full sync), `sync_data`
+    /// otherwise.
+    fn sync_data_file(file: &mut File, crash: &mut CrashState, grew: bool) -> Result<()> {
+        if matches!(crash.check(CrashPoint::DataSync)?, CrashCheck::Tear) {
+            return Err(std::io::Error::other("injected crash: at data fsync").into());
+        }
+        if grew {
+            file.sync_all()?;
+        } else {
+            file.sync_data()?;
+        }
         Ok(())
     }
 
@@ -118,6 +333,7 @@ impl Pager {
     /// the file. The returned page's contents are unspecified; callers must
     /// `init` it.
     pub fn allocate(&mut self) -> Result<PageId> {
+        self.crash.ensure_alive()?;
         if self.free_head != NO_PAGE {
             let id = self.free_head;
             let mut buf = PageBuf::zeroed();
@@ -126,10 +342,17 @@ impl Pager {
             return Ok(id);
         }
         let id = self.page_count;
+        match &mut self.wal {
+            // In durable mode a fresh page is a 17-byte `Alloc` record; the
+            // data file grows only when the image set is checkpointed.
+            Some(wal) => wal.append_alloc(id, &mut self.crash, &self.obs)?,
+            // In-place mode: extend the file so subsequent reads succeed.
+            None => {
+                let buf = PageBuf::zeroed();
+                self.write_page(id, &buf)?;
+            }
+        }
         self.page_count += 1;
-        // Extend the file so subsequent reads of this page succeed.
-        let buf = PageBuf::zeroed();
-        self.write_page(id, &buf)?;
         Ok(id)
     }
 
@@ -144,9 +367,57 @@ impl Pager {
         Ok(())
     }
 
-    /// Flushes OS buffers to stable storage.
+    /// Flushes OS buffers to stable storage. Uses `sync_all` whenever the
+    /// file has grown since the last full sync (a `sync_data` would leave
+    /// the new length — and with it the tail pages — volatile).
     pub fn sync(&mut self) -> Result<()> {
-        self.file.sync_data()?;
+        self.crash.ensure_alive()?;
+        let grew = self.page_count > self.synced_page_count;
+        Self::sync_data_file(&mut self.file, &mut self.crash, grew)?;
+        self.synced_page_count = self.page_count;
+        Ok(())
+    }
+
+    /// Makes everything written so far durable. Without a WAL this is
+    /// [`Pager::sync`]. With one, it runs the checkpoint protocol:
+    ///
+    /// 1. seal the logged image set with a commit record, **fsync the WAL**;
+    /// 2. write every logged image in place into the data file;
+    /// 3. **fsync the data file** (`sync_all` when it grew);
+    /// 4. truncate the log and stamp a fresh checkpoint record.
+    ///
+    /// A crash before step 1 completes rolls back to the previous
+    /// checkpoint on reopen; a crash at or after it rolls forward to this
+    /// one. Either way the store reopens consistent.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.crash.ensure_alive()?;
+        let Some(wal) = &mut self.wal else {
+            return self.sync();
+        };
+        if wal.entries().is_empty() {
+            // Nothing logged since the last checkpoint; just be durable.
+            let grew = self.page_count > self.synced_page_count;
+            Self::sync_data_file(&mut self.file, &mut self.crash, grew)?;
+            self.synced_page_count = self.page_count;
+            return Ok(());
+        }
+        wal.commit(&mut self.crash)?;
+        let mut buf = PageBuf::zeroed();
+        for id in wal.entries() {
+            wal.load(id, &mut buf)?;
+            Self::write_data_page(
+                &mut self.file,
+                &mut self.crash,
+                &mut self.inject_write_failures,
+                id,
+                &buf,
+            )?;
+        }
+        let grew = self.page_count > self.synced_page_count;
+        Self::sync_data_file(&mut self.file, &mut self.crash, grew)?;
+        self.synced_page_count = self.page_count;
+        wal.reset(&mut self.crash)?;
+        self.obs.checkpoints.incr();
         Ok(())
     }
 
@@ -172,6 +443,11 @@ mod tests {
         p
     }
 
+    fn cleanup(path: &Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(crate::wal::wal_path(path)).ok();
+    }
+
     #[test]
     fn create_write_read_round_trip() {
         let path = temp_path("rt");
@@ -186,7 +462,7 @@ mod tests {
         pager.read_page(id, &mut back).unwrap();
         assert_eq!(back.page_type().unwrap(), PageType::Leaf);
         assert_eq!(back.next_page(), 99);
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 
     #[test]
@@ -203,7 +479,7 @@ mod tests {
         // Free list exhausted: next allocation extends the file.
         let c = pager.allocate().unwrap();
         assert_eq!(c, 3);
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 
     #[test]
@@ -217,7 +493,7 @@ mod tests {
         }
         let pager = Pager::open(&path).unwrap();
         assert_eq!(pager.page_count(), 3);
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 
     #[test]
@@ -231,6 +507,110 @@ mod tests {
         let (r1, w1) = pager.io_counters();
         assert!(r1 >= 1);
         assert!(w1 > w0);
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_tail_page_is_rejected() {
+        let path = temp_path("torn");
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            pager.allocate().unwrap();
+            pager.sync().unwrap();
+        }
+        // Append a partial page: a crashed in-place write.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xAB; 100]).unwrap();
+        }
+        let err = match Pager::open(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("torn tail must be rejected"),
+        };
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("torn tail"), "{err}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn create_syncs_the_fresh_meta_page() {
+        let path = temp_path("create-sync");
+        let pager = Pager::create(&path).unwrap();
+        // The fresh store is its own first checkpoint: the meta page is on
+        // disk and the sync covers the file length (sync_all at creation).
+        assert_eq!(pager.synced_page_count, 1);
+        assert_eq!(pager.page_count(), 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn sync_uses_sync_all_while_file_grows() {
+        let path = temp_path("grow-sync");
+        let mut pager = Pager::create(&path).unwrap();
+        pager.allocate().unwrap();
+        pager.allocate().unwrap();
+        assert!(
+            pager.page_count > pager.synced_page_count,
+            "growth must be pending before the sync"
+        );
+        pager.sync().unwrap();
+        assert_eq!(
+            pager.synced_page_count, pager.page_count,
+            "sync must cover the grown length"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn wal_mode_serves_logged_pages_and_defers_data_writes() {
+        let path = temp_path("walmode");
+        let mut pager = Pager::create_with_wal(&path).unwrap();
+        let data_len_before = pager.file.metadata().unwrap().len();
+        let id = pager.allocate().unwrap();
+        let mut page = PageBuf::zeroed();
+        page.init(PageType::Leaf);
+        page.set_next_page(4242);
+        pager.write_page(id, &page).unwrap();
+        // The data file has not grown: the write went to the log.
+        assert_eq!(pager.file.metadata().unwrap().len(), data_len_before);
+        let mut back = PageBuf::zeroed();
+        pager.read_page(id, &mut back).unwrap();
+        assert_eq!(back.next_page(), 4242, "read must be served from the log");
+        // Checkpoint folds the image into the data file.
+        pager.checkpoint().unwrap();
+        assert_eq!(
+            pager.file.metadata().unwrap().len(),
+            2 * PAGE_SIZE as u64,
+            "checkpoint extends the data file"
+        );
+        let mut back = PageBuf::zeroed();
+        pager.read_page(id, &mut back).unwrap();
+        assert_eq!(back.next_page(), 4242);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn wal_reopen_discards_uncheckpointed_writes() {
+        let path = temp_path("waldiscard");
+        let id;
+        {
+            let mut pager = Pager::create_with_wal(&path).unwrap();
+            id = pager.allocate().unwrap();
+            let mut page = PageBuf::zeroed();
+            page.init(PageType::Leaf);
+            page.set_next_page(7);
+            pager.write_page(id, &page).unwrap();
+            pager.checkpoint().unwrap();
+            // A second write, never checkpointed: must vanish on reopen.
+            page.set_next_page(8);
+            pager.write_page(id, &page).unwrap();
+        }
+        let mut pager = Pager::open_with_wal(&path, None).unwrap();
+        let mut back = PageBuf::zeroed();
+        pager.read_page(id, &mut back).unwrap();
+        assert_eq!(back.next_page(), 7, "uncommitted write must roll back");
+        assert!(pager.recovery_report().is_some());
+        assert!(!pager.recovery_report().unwrap().completed_checkpoint);
+        cleanup(&path);
     }
 }

@@ -16,6 +16,7 @@ use crate::buffer::BufferPool;
 use crate::error::{Result, StorageError};
 use crate::page::{PageId, HEADER_LEN, PAGE_SIZE};
 use crate::pager::Pager;
+use crate::wal::{CrashPoint, RecoveryReport};
 
 const MAGIC: &[u8; 8] = b"TREXSTOR";
 const VERSION: u16 = 1;
@@ -23,6 +24,41 @@ const VERSION: u16 = 1;
 pub const MAX_TABLE_NAME: usize = 64;
 
 type Catalog = Arc<Mutex<HashMap<String, PageId>>>;
+
+/// How to create or open a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Buffer pool capacity in pages.
+    pub pool_pages: usize,
+    /// Whether to run with a write-ahead log (see [`crate::wal`]). On by
+    /// default; off gives the pre-WAL write-in-place behaviour, where a
+    /// crash mid-flush can corrupt the store.
+    pub wal: bool,
+    /// Crash injection armed before the store (and recovery, on open)
+    /// touches the file: the nth occurrence of the crash point tears that
+    /// operation and kills the store. Test instrumentation.
+    pub inject_crash: Option<(CrashPoint, u32)>,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            pool_pages: 128,
+            wal: true,
+            inject_crash: None,
+        }
+    }
+}
+
+impl StoreOptions {
+    /// Options with the given pool capacity (WAL on, no injection).
+    pub fn with_pool(pool_pages: usize) -> StoreOptions {
+        StoreOptions {
+            pool_pages,
+            ..StoreOptions::default()
+        }
+    }
+}
 
 /// A store file: buffer pool + table catalog.
 pub struct Store {
@@ -41,10 +77,22 @@ impl std::fmt::Debug for Store {
 
 impl Store {
     /// Creates a new store file (truncating an existing one), with a buffer
-    /// pool of `pool_capacity` pages.
+    /// pool of `pool_capacity` pages and a write-ahead log.
     pub fn create(path: &Path, pool_capacity: usize) -> Result<Store> {
-        let pager = Pager::create(path)?;
-        let pool = Arc::new(BufferPool::new(pager, pool_capacity));
+        Self::create_with(path, StoreOptions::with_pool(pool_capacity))
+    }
+
+    /// Creates a new store file with explicit [`StoreOptions`].
+    pub fn create_with(path: &Path, opts: StoreOptions) -> Result<Store> {
+        let mut pager = if opts.wal {
+            Pager::create_with_wal(path)?
+        } else {
+            Pager::create(path)?
+        };
+        if let Some((point, nth)) = opts.inject_crash {
+            pager.inject_crash(point, nth);
+        }
+        let pool = Arc::new(BufferPool::new(pager, opts.pool_pages));
         let store = Store {
             pool,
             catalog: Arc::new(Mutex::new(HashMap::new())),
@@ -53,16 +101,33 @@ impl Store {
         Ok(store)
     }
 
-    /// Opens an existing store file.
+    /// Opens an existing store file, running WAL redo recovery first (see
+    /// [`crate::wal`]): an interrupted checkpoint is rolled forward if its
+    /// log was sealed, rolled back otherwise — either way the store serves
+    /// exactly its last durable checkpoint. [`Store::recovery_report`]
+    /// says which, when recovery had anything to do.
     pub fn open(path: &Path, pool_capacity: usize) -> Result<Store> {
-        let mut pager = Pager::open(path)?;
+        Self::open_with(path, StoreOptions::with_pool(pool_capacity))
+    }
+
+    /// Opens an existing store file with explicit [`StoreOptions`].
+    pub fn open_with(path: &Path, opts: StoreOptions) -> Result<Store> {
+        let mut pager = if opts.wal {
+            Pager::open_with_wal(path, opts.inject_crash)?
+        } else {
+            let mut p = Pager::open(path)?;
+            if let Some((point, nth)) = opts.inject_crash {
+                p.inject_crash(point, nth);
+            }
+            p
+        };
         let (catalog, free_head) = {
             let mut meta = crate::page::PageBuf::zeroed();
             pager.read_page(0, &mut meta)?;
             Self::parse_meta(meta.bytes())?
         };
         pager.set_free_head(free_head);
-        let pool = Arc::new(BufferPool::new(pager, pool_capacity));
+        let pool = Arc::new(BufferPool::new(pager, opts.pool_pages));
         Ok(Store {
             pool,
             catalog: Arc::new(Mutex::new(catalog)),
@@ -70,8 +135,11 @@ impl Store {
     }
 
     fn parse_meta(bytes: &[u8; PAGE_SIZE]) -> Result<(HashMap<String, PageId>, PageId)> {
+        fn truncated(what: &str) -> StorageError {
+            StorageError::Corrupt(format!("store catalog truncated reading {what}"))
+        }
         let payload = &bytes[HEADER_LEN..];
-        if &payload[..8] != MAGIC {
+        if payload.get(..8).ok_or_else(|| truncated("magic"))? != MAGIC {
             return Err(StorageError::Corrupt("bad store magic".into()));
         }
         let version = u16::from_le_bytes([payload[8], payload[9]]);
@@ -82,16 +150,24 @@ impl Store {
         }
         let free_head = u32::from_le_bytes(payload[10..14].try_into().unwrap());
         let count = u16::from_le_bytes([payload[14], payload[15]]) as usize;
-        let mut catalog = HashMap::with_capacity(count);
+        let mut catalog = HashMap::with_capacity(count.min(256));
         let mut off = 16usize;
         for _ in 0..count {
-            let name_len = payload[off] as usize;
+            // Every slice below is bounds-checked: a bit-flipped `count` or
+            // `name_len` byte must surface as Corrupt, not a panic.
+            let name_len = *payload.get(off).ok_or_else(|| truncated("name length"))? as usize;
             off += 1;
-            let name = std::str::from_utf8(&payload[off..off + name_len])
+            let name_bytes = payload
+                .get(off..off + name_len)
+                .ok_or_else(|| truncated("table name"))?;
+            let name = std::str::from_utf8(name_bytes)
                 .map_err(|_| StorageError::Corrupt("non-utf8 table name".into()))?
                 .to_string();
             off += name_len;
-            let root = u32::from_le_bytes(payload[off..off + 4].try_into().unwrap());
+            let root_bytes = payload
+                .get(off..off + 4)
+                .ok_or_else(|| truncated("table root"))?;
+            let root = u32::from_le_bytes(root_bytes.try_into().unwrap());
             off += 4;
             catalog.insert(name, root);
         }
@@ -216,10 +292,29 @@ impl Store {
         BTree::open(self.pool.clone(), root).destroy()
     }
 
-    /// Persists the catalog and all dirty pages.
+    /// Persists the catalog and all dirty pages. With the WAL enabled this
+    /// is a checkpoint: the catalog and every dirty page are appended to
+    /// the log, sealed with a commit record, fsynced, folded into the data
+    /// file, and the log is truncated. The whole flush lands atomically —
+    /// a crash anywhere inside it reopens as either the previous or this
+    /// checkpoint, never a mix.
     pub fn flush(&self) -> Result<()> {
         self.write_meta()?;
         self.pool.flush()
+    }
+
+    /// What WAL recovery did when this store was opened: `None` after a
+    /// clean shutdown (or without a WAL), `Some` when a log had to be
+    /// rolled forward (`completed_checkpoint`) or discarded.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.pool.recovery_report()
+    }
+
+    /// Arms crash injection (see [`CrashPoint`]): the nth occurrence of
+    /// `point` tears that operation and kills the store — every later file
+    /// operation errors, simulating a killed process. Test instrumentation.
+    pub fn inject_crash(&self, point: CrashPoint, nth: u32) {
+        self.pool.inject_crash(point, nth);
     }
 
     /// The shared buffer pool (exposed for I/O statistics in benchmarks).
@@ -379,6 +474,74 @@ mod tests {
             assert_eq!(t.get(&i.to_be_bytes()).unwrap().unwrap(), i.to_le_bytes());
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A syntactically valid meta page with one catalog entry.
+    fn valid_meta() -> Box<[u8; PAGE_SIZE]> {
+        let mut bytes = Box::new([0u8; PAGE_SIZE]);
+        let p = &mut bytes[HEADER_LEN..];
+        p[..8].copy_from_slice(MAGIC);
+        p[8..10].copy_from_slice(&VERSION.to_le_bytes());
+        p[10..14].copy_from_slice(&7u32.to_le_bytes()); // free head
+        p[14..16].copy_from_slice(&1u16.to_le_bytes()); // one entry
+        p[16] = 8; // name_len
+        p[17..25].copy_from_slice(b"elements");
+        p[25..29].copy_from_slice(&3u32.to_le_bytes()); // root
+        bytes
+    }
+
+    #[test]
+    fn parse_meta_reads_a_valid_catalog() {
+        let (catalog, free_head) = Store::parse_meta(&valid_meta()).unwrap();
+        assert_eq!(free_head, 7);
+        assert_eq!(catalog.get("elements"), Some(&3));
+    }
+
+    /// Regression for the unchecked-indexing panic: a bit-flipped `count`
+    /// or `name_len` byte used to run `payload[off..off + n]` off the page
+    /// end. Every corruption must now surface as `Corrupt`.
+    #[test]
+    fn parse_meta_rejects_corrupt_catalogs_without_panicking() {
+        // Huge entry count: walks off the end of the payload.
+        let mut m = valid_meta();
+        m[HEADER_LEN + 14..HEADER_LEN + 16].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            Store::parse_meta(&m),
+            Err(StorageError::Corrupt(_))
+        ));
+
+        // Catalog that walks off the page: enough zero-length entries to
+        // push `off` past the payload end (each reads name_len + root, so
+        // 2000 entries × 5 bytes > 8176 bytes of payload).
+        let mut m = valid_meta();
+        m[HEADER_LEN + 14..HEADER_LEN + 16].copy_from_slice(&2000u16.to_le_bytes());
+        assert!(matches!(
+            Store::parse_meta(&m),
+            Err(StorageError::Corrupt(_))
+        ));
+
+        // A name slice overrunning the page end: fill the catalog area with
+        // 'a' (0x61), so every entry parses as a 97-byte name + root until
+        // one entry's name would cross the payload boundary.
+        let mut m = valid_meta();
+        m[HEADER_LEN + 14..HEADER_LEN + 16].copy_from_slice(&100u16.to_le_bytes());
+        for b in m[HEADER_LEN + 16..].iter_mut() {
+            *b = b'a'; // name_len 97 + name + root = 102 bytes per entry
+        }
+        assert!(matches!(
+            Store::parse_meta(&m),
+            Err(StorageError::Corrupt(_))
+        ));
+
+        // Each single-bit flip in the fixed header region must yield a
+        // clean error (bad magic / version / truncation), never a panic.
+        for byte in 0..16 {
+            for bit in 0..8 {
+                let mut m = valid_meta();
+                m[HEADER_LEN + byte] ^= 1 << bit;
+                let _ = Store::parse_meta(&m); // must not panic
+            }
+        }
     }
 
     #[test]

@@ -50,8 +50,8 @@ const HELP: &str = "\
 trex — self-managing top-k XML retrieval (reproduction of Consens et al., ICDE 2007)
 
 usage:
-  trex build <store.db> --dir <xml-dir> [--threads N] [--store-docs]
-  trex build <store.db> --synthetic ieee|wiki --docs N [--threads N] [--store-docs]
+  trex build <store.db> --dir <xml-dir> [--threads N] [--store-docs] [--checkpoint-every N]
+  trex build <store.db> --synthetic ieee|wiki --docs N [--threads N] [--store-docs] [--checkpoint-every N]
   trex info <store.db>
   trex query <store.db> \"<nexi>\" [-k N] [--strategy auto|era|ta|merge|race] [--snippets]
   trex explain <store.db> \"<nexi>\" [-k N]
@@ -74,7 +74,22 @@ fn store_arg(args: &[String]) -> Result<&str, String> {
 
 fn open(args: &[String]) -> Result<TrexSystem, String> {
     let path = store_arg(args)?;
-    TrexSystem::open(TrexConfig::new(path)).map_err(|e| format!("cannot open {path}: {e}"))
+    let system =
+        TrexSystem::open(TrexConfig::new(path)).map_err(|e| format!("cannot open {path}: {e}"))?;
+    if let Some(report) = system.recovery_report() {
+        if report.completed_checkpoint {
+            eprintln!(
+                "recovery: completed interrupted checkpoint ({} pages replayed, {} wal bytes scanned)",
+                report.replayed_pages, report.wal_bytes_scanned
+            );
+        } else {
+            eprintln!(
+                "recovery: discarded {} uncommitted wal record(s); store is at its last checkpoint",
+                report.discarded_records
+            );
+        }
+    }
+    Ok(system)
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -88,6 +103,9 @@ fn build(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(4);
     let store_docs = has_flag(args, "--store-docs");
+    let checkpoint_every: Option<u32> = flag(args, "--checkpoint-every")
+        .map(|v| v.parse().map_err(|_| "--checkpoint-every expects a number"))
+        .transpose()?;
     let started = std::time::Instant::now();
 
     let system = if let Some(dir) = flag(args, "--dir") {
@@ -106,6 +124,7 @@ fn build(args: &[String]) -> Result<(), String> {
         });
         let mut config = TrexConfig::new(store);
         config.store_documents = store_docs;
+        config.build_checkpoint_every = checkpoint_every;
         TrexSystem::build_parallel(config, docs, threads).map_err(|e| e.to_string())?
     } else if let Some(kind) = flag(args, "--synthetic") {
         let docs: usize = flag(args, "--docs")
@@ -121,6 +140,7 @@ fn build(args: &[String]) -> Result<(), String> {
                 });
                 let mut config = TrexConfig::new(store);
                 config.store_documents = store_docs;
+                config.build_checkpoint_every = checkpoint_every;
                 TrexSystem::build_parallel(config, gen.documents(), threads)
                     .map_err(|e| e.to_string())?
             }
@@ -132,6 +152,7 @@ fn build(args: &[String]) -> Result<(), String> {
                 let mut config = TrexConfig::new(store);
                 config.alias = AliasMap::inex_wiki();
                 config.store_documents = store_docs;
+                config.build_checkpoint_every = checkpoint_every;
                 TrexSystem::build_parallel(config, gen.documents(), threads)
                     .map_err(|e| e.to_string())?
             }

@@ -23,6 +23,7 @@
 //! let result = system.search("//article//sec[about(., query evaluation)]", Some(10)).unwrap();
 //! assert_eq!(result.answers.len(), 1);
 //! # std::fs::remove_file(&dir).ok();
+//! # std::fs::remove_file(trex::storage::wal_path(&dir)).ok();
 //! ```
 //!
 //! The layering (bottom-up) mirrors the paper's architecture:
@@ -84,6 +85,10 @@ pub struct TrexConfig {
     pub analyzer: Analyzer,
     /// Also store the raw documents, enabling [`TrexSystem::snippet`].
     pub store_documents: bool,
+    /// Checkpoint the store every N documents during a build (None, the
+    /// default, checkpoints only at the end). Bounds the write-ahead log
+    /// and the work a crash can lose on long builds.
+    pub build_checkpoint_every: Option<u32>,
 }
 
 impl TrexConfig {
@@ -96,6 +101,7 @@ impl TrexConfig {
             alias: AliasMap::inex_ieee(),
             analyzer: Analyzer::default(),
             store_documents: false,
+            build_checkpoint_every: None,
         }
     }
 }
@@ -118,6 +124,7 @@ impl TrexSystem {
         if config.store_documents {
             builder.enable_document_store()?;
         }
+        builder.set_checkpoint_interval(config.build_checkpoint_every);
         for doc in documents {
             builder.add_document(&doc)?;
         }
@@ -142,6 +149,7 @@ impl TrexSystem {
         if config.store_documents {
             builder.enable_document_store()?;
         }
+        builder.set_checkpoint_interval(config.build_checkpoint_every);
 
         let result: Result<()> = crossbeam::thread::scope(|scope| {
             let (raw_tx, raw_rx) = crossbeam::channel::bounded::<(usize, String)>(threads * 4);
@@ -215,6 +223,13 @@ impl TrexSystem {
     /// The underlying index (summary, dictionary, tables, statistics).
     pub fn index(&self) -> &TrexIndex {
         &self.index
+    }
+
+    /// What WAL recovery did when the store was opened: `None` after a
+    /// clean shutdown, `Some` when an interrupted checkpoint was rolled
+    /// forward (`completed_checkpoint`) or a torn log was discarded.
+    pub fn recovery_report(&self) -> Option<storage::RecoveryReport> {
+        self.index.store().recovery_report()
     }
 
     /// A query engine over the index (analyzer restored from the catalog).

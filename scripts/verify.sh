@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification gate: formatting, release build, the whole test suite,
-# clippy with warnings denied, and a release-mode run of the concurrency
-# stress test (races only show up with optimised codegen and real thread
-# interleavings). Run from anywhere; operates on the repo root.
+# clippy with warnings denied, release-mode runs of the concurrency stress
+# test and the crash-recovery matrix (races and crash sweeps need optimised
+# codegen), and the storage bench's WAL-overhead export (BENCH_wal.json).
+# Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,5 +21,11 @@ cargo clippy --all-targets -- -D warnings
 
 echo "== cargo test --release --test concurrency =="
 cargo test --release -p trex --test concurrency
+
+echo "== cargo test --release --test crash_recovery =="
+cargo test --release -p trex --test crash_recovery
+
+echo "== cargo bench --bench storage (exports BENCH_wal.json) =="
+cargo bench -p trex-bench --bench storage
 
 echo "verify: OK"
