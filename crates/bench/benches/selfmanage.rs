@@ -1,0 +1,244 @@
+//! Online self-management benches, exported as `BENCH_selfmanage.json`:
+//!
+//! 1. **Profiler overhead** — the workload profiler sits on the hot query
+//!    path (one sorted-key hash + sharded mutex per query), so serving with
+//!    it attached must stay within 5% of serving without it.
+//! 2. **Workload-shift adaptation** — a two-phase query stream whose hot
+//!    query changes mid-run. Synchronous reconcile cycles between batches
+//!    must move the redundant lists to the new hot query: its Auto strategy
+//!    crosses over from ERA to a top-k strategy (TA/Merge), and the latency
+//!    trajectory records the crossover, cycle by cycle.
+
+use trex::corpus::{CorpusConfig, IeeeGenerator};
+use trex::{
+    reconcile_once, CostCache, EvalOptions, ProfilerConfig, QueryEngine, SelfManageOptions,
+    StrategyStats, TrexConfig, TrexSystem, WorkloadProfiler,
+};
+use trex_bench::{median_time, ms, store_dir, Scale};
+
+fn build_system() -> TrexSystem {
+    let path = store_dir().join("selfmanage-bench.db");
+    let _ = std::fs::remove_file(&path);
+    let gen = IeeeGenerator::new(CorpusConfig {
+        docs: Scale::small().ieee_docs,
+        ..CorpusConfig::ieee_default()
+    });
+    TrexSystem::build(TrexConfig::new(&path), gen.documents()).expect("build bench collection")
+}
+
+const MIX: [&str; 4] = [
+    "//article//sec[about(., xml query evaluation)]",
+    "//sec[about(., code signing verification)]",
+    "//article//sec[about(., model checking state space)]",
+    "//article[about(., information retrieval ranking)]",
+];
+
+/// Serves the query mix once through `engine`; the profiler (when attached)
+/// sees every query, exactly as in production serving.
+fn serve_mix(engine: &QueryEngine<'_>) {
+    for q in MIX {
+        engine
+            .evaluate(q, EvalOptions::new().k(Some(10)))
+            .expect("bench query");
+    }
+}
+
+/// Interleaved with/without pairs (common-mode noise cancels per pair);
+/// median pair ratio asserted ≤ 1.05.
+fn profiler_overhead(system: &TrexSystem) -> String {
+    let bare = QueryEngine::new(system.index());
+    let profiler = WorkloadProfiler::new(ProfilerConfig::default());
+    let profiled = QueryEngine::new(system.index()).with_profiler(&profiler);
+
+    serve_mix(&profiled); // warm-up: page cache, dictionaries
+    let mut ratios = Vec::new();
+    let (mut off, mut on) = (std::time::Duration::MAX, std::time::Duration::MAX);
+    for _ in 0..7 {
+        let o = median_time(3, || serve_mix(&bare));
+        let w = median_time(3, || serve_mix(&profiled));
+        ratios.push(w.as_secs_f64() / o.as_secs_f64().max(1e-9));
+        off = off.min(o);
+        on = on.min(w);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let ratio = ratios[ratios.len() / 2];
+    eprintln!(
+        "profiler overhead: bare {:.3} ms, profiled {:.3} ms, median pair ratio {ratio:.4} \
+         ({} shapes profiled)",
+        ms(off),
+        ms(on),
+        profiler.recorded(),
+    );
+    assert!(
+        ratio <= 1.05,
+        "profiling the query stream must cost at most 5% (ratio {ratio:.4})"
+    );
+    format!(
+        "{{\"queries_per_batch\":{},\"bare_ms\":{:.4},\"profiled_ms\":{:.4},\"ratio\":{ratio:.4}}}",
+        MIX.len(),
+        ms(off),
+        ms(on),
+    )
+}
+
+fn strategy_name(stats: &StrategyStats) -> &'static str {
+    match stats {
+        StrategyStats::Era(_) => "ERA",
+        StrategyStats::Ta(_) => "TA",
+        StrategyStats::Merge(_) => "Merge",
+        StrategyStats::Race { .. } => "Race",
+    }
+}
+
+/// The mid-run workload shift: phase A hammers one query, phase B another.
+/// Reconcile cycles run synchronously between batches (what the background
+/// thread does on its interval), and the trajectory records, per cycle, the
+/// hot query's Auto strategy and latency.
+fn workload_shift(system: &TrexSystem) -> String {
+    // A short half-life so the phase-B shift overtakes phase A's weight
+    // within a couple of batches instead of hundreds of queries.
+    let profiler = WorkloadProfiler::new(ProfilerConfig {
+        half_life: Some(16),
+        ..ProfilerConfig::default()
+    });
+    let engine = QueryEngine::new(system.index()).with_profiler(&profiler);
+    let (qa, qb) = (MIX[0], MIX[2]);
+
+    // Probe cycle with budget 0: costs (and exact list footprints) for both
+    // shapes, without materialising anything. The real budget then fits one
+    // query's cheaper list set — but not both — so the reconciler must
+    // *move* the lists when the workload shifts, not just accumulate.
+    for q in [qa, qb] {
+        engine
+            .evaluate(q, EvalOptions::new().k(Some(10)))
+            .expect("probe query");
+    }
+    let probe = reconcile_once(
+        system.index(),
+        &profiler,
+        &SelfManageOptions::new(0),
+        &mut CostCache::new(),
+    )
+    .expect("probe cycle");
+    let per_query: Vec<u64> = probe
+        .costs
+        .iter()
+        .map(|c| c.s_rpl().min(c.s_erpl()))
+        .collect();
+    let budget = per_query.iter().copied().max().unwrap() * 13 / 10;
+    assert!(
+        budget < per_query.iter().sum::<u64>(),
+        "budget {budget} must not fit both shapes at once ({per_query:?})"
+    );
+    let opts = SelfManageOptions::new(budget);
+    let mut cache = CostCache::new();
+
+    let mut rows = Vec::new();
+    let mut crossed = [false, false];
+    let mut moved = [false, false]; // phase B must drop AND materialise
+    for (phase, (hot, cold)) in [(qa, qb), (qb, qa)].iter().enumerate() {
+        for cycle in 0..4 {
+            // The serving batch: the hot query dominates 8:1.
+            for _ in 0..8 {
+                engine
+                    .evaluate(hot, EvalOptions::new().k(Some(10)))
+                    .expect("hot query");
+            }
+            engine
+                .evaluate(cold, EvalOptions::new().k(Some(10)))
+                .expect("cold query");
+
+            let report = reconcile_once(system.index(), &profiler, &opts, &mut cache)
+                .expect("reconcile cycle");
+            assert!(
+                report.bytes_used <= budget,
+                "cycle kept {} bytes over budget {budget}",
+                report.bytes_used
+            );
+            if phase == 1 {
+                moved[0] |= report.lists_dropped > 0;
+                moved[1] |= report.lists_materialized > 0;
+            }
+
+            // Measure the hot query after the cycle settled, plus a forced
+            // ERA run as the "unmanaged" reference the adaptation beats.
+            let mut stats = None;
+            let hot_time = median_time(3, || {
+                stats = Some(
+                    engine
+                        .evaluate(hot, EvalOptions::new().k(Some(10)))
+                        .expect("hot query post-cycle")
+                        .stats,
+                );
+            });
+            let era_time = median_time(3, || {
+                engine
+                    .evaluate(
+                        hot,
+                        EvalOptions::new().k(Some(10)).strategy(trex::Strategy::Era),
+                    )
+                    .expect("forced ERA reference");
+            });
+            let strategy = strategy_name(stats.as_ref().unwrap());
+            if strategy != "ERA" {
+                crossed[phase] = true;
+                assert!(
+                    hot_time <= era_time,
+                    "adapted {strategy} ({hot_time:?}) must beat ERA ({era_time:?})"
+                );
+            }
+            eprintln!(
+                "phase {} cycle {cycle}: hot {strategy:>5} {:.3} ms (ERA {:.3} ms), \
+                 +{} / -{} lists, {} bytes kept",
+                ['A', 'B'][phase],
+                ms(hot_time),
+                ms(era_time),
+                report.lists_materialized,
+                report.lists_dropped,
+                report.bytes_used,
+            );
+            rows.push(format!(
+                "{{\"phase\":\"{}\",\"cycle\":{cycle},\"hot_query\":\"{}\",\"strategy\":\"{strategy}\",\
+                 \"hot_ms\":{:.4},\"era_ms\":{:.4},\"lists_materialized\":{},\"lists_dropped\":{},\
+                 \"bytes_used\":{}}}",
+                ['A', 'B'][phase],
+                trex::obs::json_escape(hot),
+                ms(hot_time),
+                ms(era_time),
+                report.lists_materialized,
+                report.lists_dropped,
+                report.bytes_used,
+            ));
+        }
+    }
+    assert!(
+        crossed[0] && crossed[1],
+        "both phases must cross over from ERA to a top-k strategy: {crossed:?}"
+    );
+    assert!(
+        moved[0] && moved[1],
+        "the shift must move lists (dropped, materialised) = {moved:?}"
+    );
+    let counters = profiler.counters();
+    format!(
+        "{{\"budget_bytes\":{budget},\"cycles\":{},\"queries_profiled\":{},\
+         \"era_fallbacks\":{},\"trajectory\":[{}]}}",
+        counters.cycles.get(),
+        counters.queries_profiled.get(),
+        counters.era_fallbacks.get(),
+        rows.join(",")
+    )
+}
+
+fn main() {
+    let system = build_system();
+    let mut out = String::from("{\"profiler_overhead\":");
+    out.push_str(&profiler_overhead(&system));
+    out.push_str(",\"workload_shift\":");
+    out.push_str(&workload_shift(&system));
+    out.push('}');
+
+    let path = store_dir().join("BENCH_selfmanage.json");
+    std::fs::write(&path, &out).expect("write BENCH_selfmanage.json");
+    eprintln!("wrote {}", path.display());
+}

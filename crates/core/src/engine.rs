@@ -21,7 +21,8 @@ use crate::merge::merge_with_cancel;
 use crate::merge::{merge, MergeStats};
 use crate::metrics::StrategyMetrics;
 use crate::selfmanage::cost::{predicted_merge_accesses, predicted_ta_accesses, CostValidation};
-use crate::ta::{ta, ta_with_cancel, TaOptions, TaStats};
+use crate::selfmanage::profiler::WorkloadProfiler;
+use crate::ta::{ta, ta_with_cancel, TaOptions, TaStats, TA_MAX_TERMS};
 use crate::{Result, TrexError};
 
 /// Which retrieval method to use.
@@ -223,6 +224,10 @@ pub struct Explain {
 pub struct QueryEngine<'a> {
     index: &'a TrexIndex,
     analyzer: Analyzer,
+    /// Online workload observer; when attached, every top-k evaluation is
+    /// recorded (lock-cheap) so the self-manager can derive the live
+    /// workload.
+    profiler: Option<&'a WorkloadProfiler>,
 }
 
 // The batch executor shares one engine across its worker threads, so losing
@@ -241,12 +246,29 @@ impl<'a> QueryEngine<'a> {
         QueryEngine {
             index,
             analyzer: index.analyzer(),
+            profiler: None,
         }
     }
 
     /// Overrides the analyzer (for indexes built with a custom one).
     pub fn with_analyzer(index: &'a TrexIndex, analyzer: Analyzer) -> QueryEngine<'a> {
-        QueryEngine { index, analyzer }
+        QueryEngine {
+            index,
+            analyzer,
+            profiler: None,
+        }
+    }
+
+    /// Attaches a workload profiler: every subsequent [`evaluate`] with a
+    /// concrete `k` feeds the profiler's frequency sketch, and `Auto`
+    /// strategy resolutions that fall back to ERA for lack of lists are
+    /// counted in the profiler's [`SelfManageCounters`].
+    ///
+    /// [`evaluate`]: QueryEngine::evaluate
+    /// [`SelfManageCounters`]: trex_obs::SelfManageCounters
+    pub fn with_profiler(mut self, profiler: &'a WorkloadProfiler) -> QueryEngine<'a> {
+        self.profiler = Some(profiler);
+        self
     }
 
     /// Parses and translates `nexi` without evaluating it.
@@ -288,6 +310,9 @@ impl<'a> QueryEngine<'a> {
             let stats = self.index.term_stats(term)?;
             terms.push((term, text, stats.cf));
         }
+        // One gate acquisition across both coverage checks and the strategy
+        // resolution, so the explanation reflects a single list generation.
+        let gate = self.index.maintenance().enter_read();
         let rpls_available = rpls_cover(self.index, &translation.sids, &translation.terms)?;
         let erpls_available = erpls_cover(self.index, &translation.sids, &translation.terms)?;
         let chosen = self.resolve_strategy(
@@ -295,6 +320,7 @@ impl<'a> QueryEngine<'a> {
             &translation.sids,
             &translation.terms,
         )?;
+        drop(gate);
         Ok(Explain {
             translation,
             extents,
@@ -309,23 +335,26 @@ impl<'a> QueryEngine<'a> {
     pub fn evaluate(&self, nexi: &str, opts: EvalOptions) -> Result<QueryResult> {
         let started = Instant::now();
         let translation = self.translate(nexi, opts.interpretation)?;
-        self.evaluate_staged(translation, opts, started.elapsed())
+        self.evaluate_staged(Some(nexi), translation, opts, started.elapsed())
     }
 
     /// Evaluates an already-translated query (its trace, if requested,
-    /// reports a zero translate stage).
+    /// reports a zero translate stage). Bypasses the workload profiler —
+    /// it has no query text to record.
     pub fn evaluate_translated(
         &self,
         translation: Translation,
         opts: EvalOptions,
     ) -> Result<QueryResult> {
-        self.evaluate_staged(translation, opts, Duration::ZERO)
+        self.evaluate_staged(None, translation, opts, Duration::ZERO)
     }
 
     /// The shared evaluation path; `translate_time` is the already-spent
-    /// translation wall-clock for the trace's stage breakdown.
+    /// translation wall-clock for the trace's stage breakdown, `nexi` the
+    /// original query text when known (for workload profiling).
     fn evaluate_staged(
         &self,
+        nexi: Option<&str>,
         translation: Translation,
         opts: EvalOptions,
         translate_time: Duration,
@@ -336,12 +365,17 @@ impl<'a> QueryEngine<'a> {
             // (§2.1) — ERA's per-extent cursor assumes it, and the redundant
             // lists are built from ERA.
             return Err(TrexError::MissingIndex(
-                "the index's summary has nested extents; rebuild with an incoming                  (or larger-k suffix) summary to evaluate queries"
+                "the index's summary has nested extents; rebuild with an incoming (or larger-k suffix) summary to evaluate queries"
                     .into(),
             ));
         }
         let sids = &translation.sids;
         let terms = &translation.terms;
+        // Hold the maintenance gate for the whole evaluation: the coverage
+        // checks in `resolve_strategy` and the list reads of the chosen
+        // strategy see one consistent generation of redundant lists, even
+        // while a reconcile cycle rewrites them on another thread.
+        let _gate = self.index.maintenance().enter_read();
         let strategy = self.resolve_strategy(opts, sids, terms)?;
 
         // Counter snapshots bracket the whole evaluation; the deltas are the
@@ -407,6 +441,12 @@ impl<'a> QueryEngine<'a> {
             cost: stats.cost_units(),
         });
 
+        if let (Some(profiler), Some(nexi)) = (self.profiler, nexi) {
+            // Record only after a successful evaluation: failed queries are
+            // not workload the self-manager should optimise for.
+            profiler.record(nexi, sids, terms, opts.k);
+        }
+
         Ok(QueryResult {
             answers,
             total_answers: total,
@@ -426,7 +466,12 @@ impl<'a> QueryEngine<'a> {
         let (sids, terms) = (translation.sids.clone(), translation.terms.clone());
         let mut validations = Vec::new();
 
-        if rpls_cover(self.index, &sids, &terms)? {
+        // Coverage checks and list-stat reads run under one gate
+        // acquisition, then the gate is RELEASED before the evaluations —
+        // `evaluate_translated` takes its own read guard, and the std lock
+        // underneath is not reentrant.
+        let gate = self.index.maintenance().enter_read();
+        let ta_entries = if rpls_cover(self.index, &sids, &terms)? {
             let rpls = self.index.rpls()?;
             let mut entries = Vec::new();
             for &term in &terms {
@@ -436,6 +481,27 @@ impl<'a> QueryEngine<'a> {
                     }
                 }
             }
+            Some(entries)
+        } else {
+            None
+        };
+        let merge_entries = if erpls_cover(self.index, &sids, &terms)? {
+            let erpls = self.index.erpls()?;
+            let mut entries = Vec::new();
+            for &term in &terms {
+                for &sid in &sids {
+                    if let Some(s) = erpls.list_stats(term, sid)? {
+                        entries.push(s.entries);
+                    }
+                }
+            }
+            Some(entries)
+        } else {
+            None
+        };
+        drop(gate);
+
+        if let Some(entries) = ta_entries {
             let result = self.evaluate_translated(
                 translation.clone(),
                 EvalOptions::new().k(k).strategy(Strategy::Ta).trace(true),
@@ -448,16 +514,7 @@ impl<'a> QueryEngine<'a> {
             ));
         }
 
-        if erpls_cover(self.index, &sids, &terms)? {
-            let erpls = self.index.erpls()?;
-            let mut entries = Vec::new();
-            for &term in &terms {
-                for &sid in &sids {
-                    if let Some(s) = erpls.list_stats(term, sid)? {
-                        entries.push(s.entries);
-                    }
-                }
-            }
+        if let Some(entries) = merge_entries {
             let result = self.evaluate_translated(
                 translation.clone(),
                 EvalOptions::new()
@@ -612,17 +669,28 @@ impl<'a> QueryEngine<'a> {
                 let has_rpls = rpls_cover(self.index, sids, terms)?;
                 let has_erpls = erpls_cover(self.index, sids, terms)?;
                 // Paper §5.2: TA wins only for very small k; Merge dominates
-                // otherwise. ERA is the universal fallback.
+                // otherwise. ERA is the universal fallback. TA is off the
+                // table entirely beyond its 64-term bitmask — Auto must
+                // degrade, not error.
+                let ta_possible = has_rpls && terms.len() <= TA_MAX_TERMS;
                 let small_k = matches!(opts.k, Some(k) if k <= 10);
-                Ok(if small_k && has_rpls {
+                let chosen = if small_k && ta_possible {
                     Strategy::Ta
                 } else if has_erpls {
                     Strategy::Merge
-                } else if has_rpls {
+                } else if ta_possible {
                     Strategy::Ta
                 } else {
                     Strategy::Era
-                })
+                };
+                if chosen == Strategy::Era && !sids.is_empty() && !terms.is_empty() {
+                    // Redundant lists could have served this query but were
+                    // absent (e.g. mid-reconcile, or not yet selected).
+                    if let Some(profiler) = self.profiler {
+                        profiler.counters().era_fallbacks.incr();
+                    }
+                }
+                Ok(chosen)
             }
             Strategy::Ta => {
                 if !rpls_cover(self.index, sids, terms)? {

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use trex_index::TrexIndex;
 
 use crate::engine::{EvalOptions, QueryEngine, QueryResult};
+use crate::selfmanage::profiler::WorkloadProfiler;
 use crate::Result;
 
 /// Evaluates batches of NEXI queries concurrently over one shared
@@ -58,6 +59,14 @@ impl<'a> QueryExecutor<'a> {
     /// Sets the worker-thread count (clamped to ≥ 1).
     pub fn threads(mut self, threads: usize) -> QueryExecutor<'a> {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a workload profiler to the shared engine: every query of
+    /// every batch feeds the self-manager's frequency sketch (see
+    /// [`QueryEngine::with_profiler`]).
+    pub fn with_profiler(mut self, profiler: &'a WorkloadProfiler) -> QueryExecutor<'a> {
+        self.engine = self.engine.with_profiler(profiler);
         self
     }
 

@@ -34,7 +34,9 @@ pub use engine::{
 pub use era::{era, EraMatch, EraStats};
 pub use executor::QueryExecutor;
 pub use heap::{HeapClock, HeapPolicy, TopKHeap};
-pub use materialize::{erpls_cover, materialize, rpls_cover, ListKind};
+pub use materialize::{
+    collect_lists, erpls_cover, materialize, materialize_batch, rpls_cover, ListKind, ScoredLists,
+};
 pub use merge::{merge, merge_with_cancel, MergeStats};
 pub use metrics::StrategyMetrics;
 pub use qsort::quicksort;
@@ -42,10 +44,11 @@ pub use selfmanage::cost::{
     predicted_merge_accesses, predicted_ta_accesses, CostValidation, TA_PREDICTION_FACTOR,
 };
 pub use selfmanage::{
-    Advisor, AdvisorOptions, AdvisorReport, Choice, QueryCost, Selection, SelectionMethod,
-    Workload, WorkloadQuery,
+    reconcile_once, Advisor, AdvisorOptions, AdvisorReport, Choice, CostCache, ProfilerConfig,
+    QueryCost, ReconcileReport, Selection, SelectionMethod, SelfManageOptions, SelfManager,
+    Workload, WorkloadProfiler, WorkloadQuery,
 };
-pub use ta::{ta, ta_with_cancel, TaOptions, TaStats};
+pub use ta::{ta, ta_with_cancel, TaOptions, TaStats, TA_MAX_TERMS};
 
 /// Errors from query evaluation.
 #[derive(Debug)]
@@ -56,6 +59,8 @@ pub enum TrexError {
     Index(trex_index::IndexError),
     /// A strategy was requested whose redundant indexes are missing.
     MissingIndex(String),
+    /// The query exceeds a hard engine limit (e.g. TA's 64-term bitmask).
+    Unsupported(String),
     /// The workload definition was invalid.
     Workload(selfmanage::WorkloadError),
 }
@@ -66,6 +71,7 @@ impl fmt::Display for TrexError {
             TrexError::Parse(e) => write!(f, "{e}"),
             TrexError::Index(e) => write!(f, "{e}"),
             TrexError::MissingIndex(what) => write!(f, "missing index: {what}"),
+            TrexError::Unsupported(what) => write!(f, "unsupported query: {what}"),
             TrexError::Workload(e) => write!(f, "{e}"),
         }
     }
@@ -77,6 +83,7 @@ impl std::error::Error for TrexError {
             TrexError::Parse(e) => Some(e),
             TrexError::Index(e) => Some(e),
             TrexError::MissingIndex(_) => None,
+            TrexError::Unsupported(_) => None,
             TrexError::Workload(e) => Some(e),
         }
     }

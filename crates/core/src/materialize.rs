@@ -4,9 +4,17 @@
 //! tables" (paper §3.2): one ERA pass over the query's (sids × terms) yields
 //! every (element, term) pair with its tf, which is scored and split into
 //! the per-(term, sid) lists that TA and Merge consume.
+//!
+//! The write path is split in two layers so callers control checkpointing:
+//! [`materialize_batch`] writes lists (each under the index's maintenance
+//! write gate) without flushing, and [`materialize`] adds the durability
+//! flush — one WAL checkpoint — for direct callers. Reconcile cycles call
+//! the batch form repeatedly and checkpoint once at the end of the cycle
+//! instead of once per query.
 
 use std::collections::HashMap;
 
+use trex_index::encode;
 use trex_index::{ElementRef, TrexIndex};
 use trex_summary::Sid;
 use trex_text::TermId;
@@ -25,23 +33,28 @@ pub enum ListKind {
     Both,
 }
 
-/// Materialises the lists needed to evaluate `(sids, terms)` with TA
-/// (`Rpl`), Merge (`Erpl`) or either (`Both`). Existing lists for the same
-/// (term, sid) pairs are replaced. Returns the number of lists written.
-pub fn materialize(
-    index: &TrexIndex,
-    sids: &[Sid],
-    terms: &[TermId],
-    kind: ListKind,
-) -> Result<usize> {
+/// The scored entry lists of one query, keyed by (term, sid). Every
+/// (term, sid) pair of the query is present — possibly with an empty entry
+/// vector, which is still complete knowledge: no element of that extent
+/// contains the term.
+pub type ScoredLists = HashMap<(TermId, Sid), Vec<(ElementRef, f32)>>;
+
+/// Computes, without writing anything, the per-(term, sid) scored entry
+/// lists an RPL/ERPL materialisation of `(sids, terms)` would contain.
+/// ERA emits elements in position order, so each list is already
+/// position-sorted — exactly what ERPLs need; the RPL writer orders by
+/// score via its key.
+pub fn collect_lists(index: &TrexIndex, sids: &[Sid], terms: &[TermId]) -> Result<ScoredLists> {
     let elements = index.elements()?;
     let postings = index.postings()?;
     let (matches, _) = era(&elements, &postings, sids, terms)?;
 
-    // Split matches into per-(term, sid) scored entry lists. ERA emits
-    // elements in position order, so each list is already position-sorted —
-    // exactly what ERPLs need; the RPL writer orders by score via its key.
-    let mut lists: HashMap<(TermId, Sid), Vec<(ElementRef, f32)>> = HashMap::new();
+    let mut lists: ScoredLists = HashMap::new();
+    for &term in terms {
+        for &sid in sids {
+            lists.insert((term, sid), Vec::new());
+        }
+    }
     for (j, &term) in terms.iter().enumerate() {
         for m in &matches {
             let tf = m.tf[j];
@@ -55,33 +68,83 @@ pub fn materialize(
                 .push((m.element, score));
         }
     }
+    Ok(lists)
+}
+
+/// Exact on-disk footprint `RplTable::put_list` would record for this list
+/// (key + value bytes per entry, matching the registry's accounting).
+pub fn rpl_list_bytes(term: TermId, sid: Sid, entries: &[(ElementRef, f32)]) -> u64 {
+    entries
+        .iter()
+        .map(|&(element, score)| {
+            (encode::rpl_key(term, score, sid, element).len()
+                + encode::elements_value(element.length).len()) as u64
+        })
+        .sum()
+}
+
+/// Exact on-disk footprint `ErplTable::put_list` would record for this list.
+pub fn erpl_list_bytes(term: TermId, sid: Sid, entries: &[(ElementRef, f32)]) -> u64 {
+    entries
+        .iter()
+        .map(|&(element, score)| {
+            (encode::erpl_key(term, sid, element).len()
+                + encode::erpl_value(score, element.length).len()) as u64
+        })
+        .sum()
+}
+
+/// Materialises the lists needed to evaluate `(sids, terms)` with TA
+/// (`Rpl`), Merge (`Erpl`) or either (`Both`), **without flushing**:
+/// durability is the caller's call (one [`Store::flush`] per batch of
+/// materialisations, not one per query). Each list write holds the
+/// maintenance write gate, so it is safe to run concurrently with query
+/// serving. Existing lists for the same (term, sid) pairs are replaced.
+/// Returns the number of lists written.
+///
+/// [`Store::flush`]: trex_storage::Store::flush
+pub fn materialize_batch(
+    index: &TrexIndex,
+    sids: &[Sid],
+    terms: &[TermId],
+    kind: ListKind,
+) -> Result<usize> {
+    let mut lists = collect_lists(index, sids, terms)?;
 
     let mut written = 0usize;
     let mut rpls = index.rpls()?;
     let mut erpls = index.erpls()?;
     // Every (term, sid) pair of the query gets a list — possibly empty, so
-    // the registry records that the pair is covered (an empty list is still
-    // complete knowledge: no element of that extent contains the term).
+    // the registry records that the pair is covered. One write-gate
+    // acquisition per list keeps the exclusive windows short: queries
+    // interleave between lists and fall back to ERA on partial coverage.
     for &term in terms {
         for &sid in sids {
             let entries = lists.remove(&(term, sid)).unwrap_or_default();
-            match kind {
-                ListKind::Rpl => {
-                    rpls.put_list(term, sid, &entries)?;
-                    written += 1;
-                }
-                ListKind::Erpl => {
-                    erpls.put_list(term, sid, &entries)?;
-                    written += 1;
-                }
-                ListKind::Both => {
-                    rpls.put_list(term, sid, &entries)?;
-                    erpls.put_list(term, sid, &entries)?;
-                    written += 2;
-                }
+            if matches!(kind, ListKind::Rpl | ListKind::Both) {
+                let _gate = index.maintenance().enter_write();
+                rpls.put_list(term, sid, &entries)?;
+                written += 1;
+            }
+            if matches!(kind, ListKind::Erpl | ListKind::Both) {
+                let _gate = index.maintenance().enter_write();
+                erpls.put_list(term, sid, &entries)?;
+                written += 1;
             }
         }
     }
+    Ok(written)
+}
+
+/// [`materialize_batch`] plus a durability flush (one WAL checkpoint) —
+/// the behaviour direct callers (CLI `materialize`, tests) expect.
+pub fn materialize(
+    index: &TrexIndex,
+    sids: &[Sid],
+    terms: &[TermId],
+    kind: ListKind,
+) -> Result<usize> {
+    let written = materialize_batch(index, sids, terms, kind)?;
     index.store().flush()?;
     Ok(written)
 }

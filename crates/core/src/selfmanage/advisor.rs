@@ -17,7 +17,7 @@ use trex_summary::Sid;
 use trex_text::TermId;
 
 use crate::engine::{EvalOptions, QueryEngine, Strategy};
-use crate::materialize::{materialize, ListKind};
+use crate::materialize::{materialize_batch, ListKind};
 use crate::Result;
 
 use super::cost::{Choice, ListId, QueryCost, Selection};
@@ -86,7 +86,8 @@ impl<'a> Advisor<'a> {
 
     /// Profiles every workload query: measures `T_e`, `T_m`, `T_ta` and the
     /// list sizes. Leaves every query's RPLs and ERPLs materialised (the
-    /// reconciliation in [`Advisor::apply`] trims them afterwards).
+    /// reconciliation in [`Advisor::apply`] trims them afterwards), with one
+    /// WAL checkpoint for the whole pass rather than one per query.
     pub fn profile(&self, workload: &Workload, runs: usize) -> Result<Vec<QueryCost>> {
         let engine = QueryEngine::new(self.index);
         let mut costs = Vec::with_capacity(workload.len());
@@ -94,8 +95,9 @@ impl<'a> Advisor<'a> {
             let translation = engine.translate(&wq.nexi, Default::default())?;
             let (sids, terms) = (translation.sids.clone(), translation.terms.clone());
 
-            // Make both redundant indexes available for this query.
-            materialize(self.index, &sids, &terms, ListKind::Both)?;
+            // Make both redundant indexes available for this query; the
+            // batch form defers the durability flush to the end of the pass.
+            materialize_batch(self.index, &sids, &terms, ListKind::Both)?;
 
             let t_e = self.measure(runs, || {
                 engine.evaluate_translated(
@@ -147,6 +149,7 @@ impl<'a> Advisor<'a> {
                 rpl_lists,
             });
         }
+        self.index.store().flush()?;
         Ok(costs)
     }
 
@@ -186,6 +189,7 @@ impl<'a> Advisor<'a> {
         let mut rpls = self.index.rpls()?;
         for (term, sid, _) in rpls.lists()? {
             if !keep_rpl.contains(&(term, sid)) {
+                let _gate = self.index.maintenance().enter_write();
                 rpls.drop_list(term, sid)?;
                 dropped += 1;
             }
@@ -193,6 +197,7 @@ impl<'a> Advisor<'a> {
         let mut erpls = self.index.erpls()?;
         for (term, sid, _) in erpls.lists()? {
             if !keep_erpl.contains(&(term, sid)) {
+                let _gate = self.index.maintenance().enter_write();
                 erpls.drop_list(term, sid)?;
                 dropped += 1;
             }

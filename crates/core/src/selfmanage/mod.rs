@@ -1,16 +1,21 @@
 //! Self-managing retrieval indexes (paper §4): the workload model, the
 //! index-selection problem, the exact boolean-LP solver, the greedy
-//! 2-approximation, and the advisor that measures costs and reconciles the
-//! store.
+//! 2-approximation, the offline advisor that measures costs and reconciles
+//! the store, and the online layer (profiler + background self-manager)
+//! that does the same continuously against the live query stream.
 
 pub mod advisor;
 pub mod cost;
 pub mod greedy;
 pub mod lp;
+pub mod online;
+pub mod profiler;
 pub mod workload;
 
 pub use advisor::{Advisor, AdvisorOptions, AdvisorReport, SelectionMethod};
 pub use cost::{Choice, ListId, QueryCost, Selection};
 pub use greedy::solve_greedy;
 pub use lp::solve_lp;
+pub use online::{reconcile_once, CostCache, ReconcileReport, SelfManageOptions, SelfManager};
+pub use profiler::{ProfiledQuery, ProfilerConfig, WorkloadProfiler};
 pub use workload::{Workload, WorkloadError, WorkloadQuery};

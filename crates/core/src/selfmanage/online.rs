@@ -1,0 +1,483 @@
+//! The online self-manager: periodic, incremental advisor reconciliation
+//! concurrent with query serving.
+//!
+//! The offline [`Advisor`] answers "given this workload, which lists should
+//! exist?" — but it assumes a quiesced system and a hand-written workload.
+//! This module closes the loop of the paper's title: the
+//! [`WorkloadProfiler`] observes the live query stream, [`reconcile_once`]
+//! periodically re-runs the §4 selection under the disk budget, and the
+//! delta is applied *list by list* under the index's maintenance write gate
+//! — queries keep flowing between list mutations, and one that lands
+//! mid-reconcile simply observes partial coverage and falls back to ERA
+//! (correct answers, never an error; counted as `era_fallbacks`).
+//!
+//! Cost measurement is cheaper than the offline advisor's: instead of
+//! materialising every candidate's lists and timing all three strategies,
+//! a cycle measures only `T_e` (a traced ERA run, which needs no redundant
+//! lists) and *estimates* `T_m`/`T_ta` from the §4 access-count predictions
+//! scaled by the measured per-access cost. Measurements are cached per
+//! query shape ([`CostCache`]), so steady-state cycles re-measure nothing
+//! and touch no lists at all.
+//!
+//! [`Advisor`]: super::advisor::Advisor
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use trex_index::TrexIndex;
+use trex_summary::Sid;
+use trex_text::TermId;
+
+use crate::engine::{EvalOptions, QueryEngine, Strategy};
+use crate::materialize::{collect_lists, erpl_list_bytes, rpl_list_bytes, ScoredLists};
+use crate::ta::TA_MAX_TERMS;
+use crate::{Result, TrexError};
+
+use super::advisor::SelectionMethod;
+use super::cost::{predicted_merge_accesses, predicted_ta_accesses, Choice, ListId, QueryCost};
+use super::greedy::solve_greedy;
+use super::lp::solve_lp;
+use super::profiler::WorkloadProfiler;
+use super::workload::Workload;
+use super::Selection;
+
+/// Options for the online self-manager.
+#[derive(Debug, Clone, Copy)]
+pub struct SelfManageOptions {
+    /// Disk budget `d` in bytes for the redundant lists.
+    pub budget_bytes: u64,
+    /// Selection algorithm.
+    pub method: SelectionMethod,
+    /// Pause between background reconcile cycles.
+    pub interval: Duration,
+    /// How many of the heaviest profiled query shapes a cycle considers.
+    pub max_queries: usize,
+    /// Timing runs per `T_e` measurement; the median is used.
+    pub measure_runs: usize,
+}
+
+impl SelfManageOptions {
+    /// Defaults: greedy selection, 1 s cycles, top 8 shapes, one timing run.
+    pub fn new(budget_bytes: u64) -> SelfManageOptions {
+        SelfManageOptions {
+            budget_bytes,
+            method: SelectionMethod::Greedy,
+            interval: Duration::from_secs(1),
+            max_queries: 8,
+            measure_runs: 1,
+        }
+    }
+
+    /// Sets the cycle interval.
+    pub fn interval(mut self, interval: Duration) -> SelfManageOptions {
+        self.interval = interval;
+        self
+    }
+
+    /// Sets the selection method.
+    pub fn method(mut self, method: SelectionMethod) -> SelfManageOptions {
+        self.method = method;
+        self
+    }
+
+    /// Sets the workload width per cycle.
+    pub fn max_queries(mut self, max: usize) -> SelfManageOptions {
+        self.max_queries = max;
+        self
+    }
+
+    /// Sets the number of timing runs per measurement.
+    pub fn measure_runs(mut self, runs: usize) -> SelfManageOptions {
+        self.measure_runs = runs;
+        self
+    }
+}
+
+/// Everything a cycle learns about one query shape that does not depend on
+/// the workload frequencies: measured ERA cost, estimated deltas, and the
+/// exact list footprints. Valid as long as the corpus is static (this
+/// system has no incremental document indexing).
+#[derive(Debug, Clone)]
+struct CachedCost {
+    delta_merge: f64,
+    delta_ta: f64,
+    erpl_lists: Vec<ListId>,
+    rpl_lists: Vec<ListId>,
+    sids: Vec<Sid>,
+    terms: Vec<TermId>,
+}
+
+/// Memoised per-shape measurements across reconcile cycles. Keyed by
+/// (representative NEXI, k).
+#[derive(Debug, Default)]
+pub struct CostCache {
+    by_query: HashMap<(String, usize), CachedCost>,
+}
+
+impl CostCache {
+    /// An empty cache.
+    pub fn new() -> CostCache {
+        CostCache::default()
+    }
+
+    /// Number of cached shapes.
+    pub fn len(&self) -> usize {
+        self.by_query.len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_query.is_empty()
+    }
+}
+
+/// What one reconcile cycle decided and did.
+#[derive(Debug, Clone)]
+pub struct ReconcileReport {
+    /// The workload the cycle derived from the profiler (may be empty).
+    pub workload: Workload,
+    /// Per-query decisions, aligned with the workload order.
+    pub selection: Selection,
+    /// The (partly estimated) costs the decision was based on.
+    pub costs: Vec<QueryCost>,
+    /// Lists written this cycle (only missing lists are written).
+    pub lists_materialized: usize,
+    /// Lists dropped this cycle.
+    pub lists_dropped: usize,
+    /// Registry bytes after the cycle (RPLs + ERPLs).
+    pub bytes_used: u64,
+    /// The maintenance generation after the cycle's last mutation.
+    pub generation: u64,
+}
+
+/// Runs one reconcile cycle: derive the workload from `profiler`, cost it
+/// (reusing `cache`), solve the §4 selection under the budget, and apply
+/// the delta incrementally — drops first, then the missing lists, each
+/// mutation under the maintenance write gate, one WAL checkpoint at the
+/// end. Safe to run concurrently with query serving; do not run two cycles
+/// concurrently with each other (the self-manager never does).
+pub fn reconcile_once(
+    index: &TrexIndex,
+    profiler: &WorkloadProfiler,
+    opts: &SelfManageOptions,
+    cache: &mut CostCache,
+) -> Result<ReconcileReport> {
+    let counters = profiler.counters().clone();
+    let workload = profiler.workload(opts.max_queries).unwrap_or_default();
+    if workload.is_empty() {
+        // Nothing observed yet: leave the lists alone rather than dropping
+        // everything on startup.
+        return Ok(ReconcileReport {
+            workload,
+            selection: Selection::none(0),
+            costs: Vec::new(),
+            lists_materialized: 0,
+            lists_dropped: 0,
+            bytes_used: index.rpls()?.total_bytes()? + index.erpls()?.total_bytes()?,
+            generation: index.maintenance().generation(),
+        });
+    }
+
+    let engine = QueryEngine::new(index);
+    let mut costs = Vec::with_capacity(workload.len());
+    for wq in workload.queries() {
+        let key = (wq.nexi.clone(), wq.k);
+        if !cache.by_query.contains_key(&key) {
+            let cached = measure_query(index, &engine, &wq.nexi, wq.k, opts.measure_runs)?;
+            cache.by_query.insert(key.clone(), cached);
+        }
+        let cached = &cache.by_query[&key];
+        costs.push(QueryCost {
+            frequency: wq.frequency,
+            delta_merge: cached.delta_merge,
+            delta_ta: cached.delta_ta,
+            erpl_lists: cached.erpl_lists.clone(),
+            rpl_lists: cached.rpl_lists.clone(),
+        });
+    }
+
+    let selection = match opts.method {
+        SelectionMethod::Lp => solve_lp(&costs, opts.budget_bytes),
+        SelectionMethod::Greedy => solve_greedy(&costs, opts.budget_bytes),
+    };
+
+    // The lists the selection wants on disk.
+    let mut keep_rpl: HashSet<(TermId, Sid)> = HashSet::new();
+    let mut keep_erpl: HashSet<(TermId, Sid)> = HashSet::new();
+    for (choice, cost) in selection.choices.iter().zip(&costs) {
+        match choice {
+            Choice::None => {}
+            Choice::Erpl => keep_erpl.extend(cost.erpl_lists.iter().map(|l| (l.term, l.sid))),
+            Choice::Rpl => keep_rpl.extend(cost.rpl_lists.iter().map(|l| (l.term, l.sid))),
+        }
+    }
+
+    // Apply the delta. Drops FIRST, so the registry never holds more than
+    // max(old bytes, budget) at any instant and frees space for the adds.
+    let mut rpls = index.rpls()?;
+    let mut erpls = index.erpls()?;
+    let mut dropped = 0usize;
+    for (term, sid, stats) in rpls.lists()? {
+        if !keep_rpl.contains(&(term, sid)) {
+            let _gate = index.maintenance().enter_write();
+            rpls.drop_list(term, sid)?;
+            dropped += 1;
+            counters.lists_dropped.incr();
+            counters.bytes_dropped.add(stats.bytes);
+        }
+    }
+    for (term, sid, stats) in erpls.lists()? {
+        if !keep_erpl.contains(&(term, sid)) {
+            let _gate = index.maintenance().enter_write();
+            erpls.drop_list(term, sid)?;
+            dropped += 1;
+            counters.lists_dropped.incr();
+            counters.bytes_dropped.add(stats.bytes);
+        }
+    }
+
+    // Add the missing lists, gated on the budget as a hard invariant: the
+    // greedy/LP space accounting and our exact footprints should already
+    // guarantee it, but the registry must never exceed the budget even if
+    // an estimate drifts.
+    let mut bytes_now = rpls.total_bytes()? + erpls.total_bytes()?;
+    let mut written = 0usize;
+    // One ERA pass per query that actually needs new lists, memoised for
+    // queries sharing a shape within the cycle.
+    let mut entries_memo: HashMap<usize, ScoredLists> = HashMap::new();
+    for (i, (choice, cost)) in selection.choices.iter().zip(&costs).enumerate() {
+        let (lists, is_rpl) = match choice {
+            Choice::None => continue,
+            Choice::Erpl => (&cost.erpl_lists, false),
+            Choice::Rpl => (&cost.rpl_lists, true),
+        };
+        for list in lists {
+            let present = if is_rpl {
+                rpls.has_list(list.term, list.sid)?
+            } else {
+                erpls.has_list(list.term, list.sid)?
+            };
+            if present {
+                continue;
+            }
+            if bytes_now + list.bytes > opts.budget_bytes {
+                continue; // belt-and-braces; see above
+            }
+            if let std::collections::hash_map::Entry::Vacant(slot) = entries_memo.entry(i) {
+                let key = (workload.queries()[i].nexi.clone(), workload.queries()[i].k);
+                let cached = &cache.by_query[&key];
+                slot.insert(collect_lists(index, &cached.sids, &cached.terms)?);
+            }
+            let entries = entries_memo[&i]
+                .get(&(list.term, list.sid))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            {
+                let _gate = index.maintenance().enter_write();
+                if is_rpl {
+                    rpls.put_list(list.term, list.sid, entries)?;
+                } else {
+                    erpls.put_list(list.term, list.sid, entries)?;
+                }
+            }
+            bytes_now += list.bytes;
+            written += 1;
+            counters.lists_materialized.incr();
+            counters.bytes_materialized.add(list.bytes);
+        }
+    }
+
+    // One checkpoint per cycle (cf. the offline advisor's one per query).
+    if written > 0 || dropped > 0 {
+        index.store().flush()?;
+    }
+    counters.cycles.incr();
+
+    let bytes_used = rpls.total_bytes()? + erpls.total_bytes()?;
+    Ok(ReconcileReport {
+        workload,
+        selection,
+        costs,
+        lists_materialized: written,
+        lists_dropped: dropped,
+        bytes_used,
+        generation: index.maintenance().generation(),
+    })
+}
+
+/// Measures `T_e` with a traced ERA run and derives the cost entry: exact
+/// list footprints from a dry materialisation pass, `T_m`/`T_ta` estimated
+/// as `unit_cost × predicted accesses` where `unit_cost` is ERA's measured
+/// seconds per access.
+fn measure_query(
+    index: &TrexIndex,
+    engine: &QueryEngine<'_>,
+    nexi: &str,
+    k: usize,
+    runs: usize,
+) -> Result<CachedCost> {
+    let translation = engine.translate(nexi, Default::default())?;
+    let (sids, terms) = (translation.sids.clone(), translation.terms.clone());
+
+    // Exact footprints without writing: the scored entry lists a
+    // materialisation would produce, priced with the tables' encoders.
+    let lists = collect_lists(index, &sids, &terms)?;
+    let mut rpl_lists = Vec::new();
+    let mut erpl_lists = Vec::new();
+    let mut rpl_entry_counts = Vec::new();
+    let mut erpl_entry_counts = Vec::new();
+    for &term in &terms {
+        for &sid in &sids {
+            let entries = lists.get(&(term, sid)).map(Vec::as_slice).unwrap_or(&[]);
+            rpl_lists.push(ListId {
+                term,
+                sid,
+                bytes: rpl_list_bytes(term, sid, entries),
+            });
+            erpl_lists.push(ListId {
+                term,
+                sid,
+                bytes: erpl_list_bytes(term, sid, entries),
+            });
+            rpl_entry_counts.push(entries.len() as u64);
+            erpl_entry_counts.push(entries.len() as u64);
+        }
+    }
+
+    // Median-of-runs traced ERA measurement.
+    let runs = runs.max(1);
+    let mut times = Vec::with_capacity(runs);
+    let mut era_accesses = 1u64;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let result = engine.evaluate_translated(
+            translation.clone(),
+            EvalOptions::new().k(k).strategy(Strategy::Era).trace(true),
+        )?;
+        times.push(start.elapsed());
+        let trace = result.trace.expect("trace was requested");
+        era_accesses = (trace.cost.sorted_accesses + trace.cost.random_accesses).max(1);
+    }
+    times.sort();
+    let t_e = times[times.len() / 2].as_secs_f64();
+    let unit = t_e / era_accesses as f64;
+
+    let t_m = unit * predicted_merge_accesses(&erpl_entry_counts) as f64;
+    let t_ta = unit * predicted_ta_accesses(&rpl_entry_counts, k);
+    // TA is infeasible past its bitmask arity; a zero delta keeps the
+    // solvers from ever choosing it.
+    let delta_ta = if terms.len() > TA_MAX_TERMS {
+        0.0
+    } else {
+        (t_e - t_ta).max(0.0)
+    };
+
+    Ok(CachedCost {
+        delta_merge: (t_e - t_m).max(0.0),
+        delta_ta,
+        erpl_lists,
+        rpl_lists,
+        sids,
+        terms,
+    })
+}
+
+#[derive(Debug, Default)]
+struct ManagerStatus {
+    last: Option<ReconcileReport>,
+    last_error: Option<String>,
+}
+
+/// A handle to the background self-management thread. Stops (and joins) on
+/// [`SelfManager::stop`] or drop.
+pub struct SelfManager {
+    stop: Arc<AtomicBool>,
+    status: Arc<Mutex<ManagerStatus>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SelfManager {
+    /// Starts the background reconcile loop: every `opts.interval`, one
+    /// [`reconcile_once`] against the profiler's current workload.
+    ///
+    /// Touches the RPL/ERPL tables once up front so they exist before any
+    /// concurrent serving starts (table creation is a structural store
+    /// write that must not race readers).
+    pub fn start(
+        index: Arc<TrexIndex>,
+        profiler: Arc<WorkloadProfiler>,
+        opts: SelfManageOptions,
+    ) -> Result<SelfManager> {
+        index.rpls()?;
+        index.erpls()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let status = Arc::new(Mutex::new(ManagerStatus::default()));
+        let handle = {
+            let stop = stop.clone();
+            let status = status.clone();
+            std::thread::Builder::new()
+                .name("trex-selfmanage".into())
+                .spawn(move || {
+                    let mut cache = CostCache::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        // Sleep in slices so stop() returns promptly even
+                        // with long intervals.
+                        let wake = Instant::now() + opts.interval;
+                        while Instant::now() < wake {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(10).min(opts.interval));
+                        }
+                        match reconcile_once(&index, &profiler, &opts, &mut cache) {
+                            Ok(report) => {
+                                let mut s = status.lock();
+                                s.last = Some(report);
+                                s.last_error = None;
+                            }
+                            Err(e) => status.lock().last_error = Some(e.to_string()),
+                        }
+                    }
+                })
+                .map_err(|e| {
+                    TrexError::Unsupported(format!("cannot spawn self-manage thread: {e}"))
+                })?
+        };
+        Ok(SelfManager {
+            stop,
+            status,
+            handle: Some(handle),
+        })
+    }
+
+    /// The most recent cycle's report, if any cycle has completed.
+    pub fn last_report(&self) -> Option<ReconcileReport> {
+        self.status.lock().last.clone()
+    }
+
+    /// The most recent cycle error, if the last cycle failed.
+    pub fn last_error(&self) -> Option<String> {
+        self.status.lock().last_error.clone()
+    }
+
+    /// Stops the background thread and waits for it to finish.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SelfManager {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

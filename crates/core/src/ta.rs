@@ -21,7 +21,11 @@ use trex_text::TermId;
 
 use crate::answer::{top_k, Answer};
 use crate::heap::{HeapClock, HeapPolicy, TopKHeap};
-use crate::Result;
+use crate::{Result, TrexError};
+
+/// Hard upper bound on the number of query terms: candidate bookkeeping
+/// tracks seen terms in a `u64` bitmask (`1 << j`).
+pub const TA_MAX_TERMS: usize = 64;
 
 /// Options for a TA run.
 #[derive(Debug, Clone, Copy)]
@@ -123,7 +127,15 @@ pub fn ta_with_cancel(
     opts: TaOptions,
     cancel: Option<&AtomicBool>,
 ) -> Result<Option<(Vec<Answer>, TaStats)>> {
-    assert!(terms.len() <= 64, "TA supports at most 64 terms");
+    if terms.len() > TA_MAX_TERMS {
+        // `1 << j` on the u64 mask would shift out of range for term 64:
+        // a debug panic, or a silently wrapped mask (wrong top-k) in
+        // release. Refuse up front with a clear error instead.
+        return Err(TrexError::Unsupported(format!(
+            "TA supports at most {TA_MAX_TERMS} query terms, got {}",
+            terms.len()
+        )));
+    }
     if opts.k == 0 {
         return Ok(Some((Vec::new(), TaStats::default())));
     }
@@ -260,9 +272,12 @@ fn check_and_prune(
     if candidates.len() < k {
         return false;
     }
-    // k-th largest sum.
+    // k-th largest sum. `total_cmp` (the TopKHeap convention): decode
+    // rejects non-finite scores, but a sort comparator must never panic on
+    // the values it is handed — a corrupt sum would otherwise take down the
+    // whole query thread instead of surfacing as an error.
     let mut sums: Vec<f32> = candidates.values().map(|c| c.sum).collect();
-    sums.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
+    sums.sort_unstable_by(|a, b| b.total_cmp(a));
     let min_k = sums[k - 1];
 
     candidates.retain(|_, c| best_of(c, high, full_mask) >= min_k);
@@ -444,6 +459,60 @@ mod tests {
             );
             assert!(!stats.read_entire_lists);
         });
+    }
+
+    #[test]
+    fn more_than_64_terms_is_a_clean_error() {
+        with_rpls("arity65", |rpls| {
+            let terms: Vec<TermId> = (0..65).collect();
+            let err = ta(rpls, &[10], &terms, opts(5)).unwrap_err();
+            match err {
+                TrexError::Unsupported(msg) => {
+                    assert!(msg.contains("64"), "mentions the limit: {msg}");
+                    assert!(msg.contains("65"), "mentions the arity: {msg}");
+                }
+                other => panic!("expected Unsupported, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn exactly_64_terms_is_accepted() {
+        with_rpls("arity64", |rpls| {
+            // Only term 63 has a list; the other 63 iterators are empty.
+            // Exercises the `n == 64` full-mask branch end to end.
+            rpls.put_list(63, 10, &[(el(0, 1), 2.0)]).unwrap();
+            let terms: Vec<TermId> = (0..64).collect();
+            let (answers, _) = ta(rpls, &[10], &terms, opts(5)).unwrap();
+            assert_eq!(answers.len(), 1);
+            assert_eq!(answers[0].element, el(0, 1));
+        });
+    }
+
+    #[test]
+    fn corrupt_nan_score_is_an_error_not_a_panic() {
+        use trex_index::encode::{elements_value, rpl_key};
+        use trex_index::rpl::RPLS_TABLE;
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("trex-ta-nan-{}", std::process::id()));
+        let store = Store::create(&path, 64).unwrap();
+        let mut rpls = RplTable::open(&store).unwrap();
+        rpls.put_list(1, 10, &[(el(0, 1), 5.0), (el(0, 3), 3.0)])
+            .unwrap();
+        // Hand-corrupt the table: a raw entry whose inverted-score bits
+        // decode to NaN. `put_list` can never write this (it debug-asserts
+        // finite scores), so go underneath it.
+        let mut table = store.open_table(RPLS_TABLE).unwrap();
+        table
+            .insert(&rpl_key(1, f32::NAN, 10, el(0, 7)), &elements_value(2))
+            .unwrap();
+        let err = ta(&rpls, &[10], &[1], opts(5)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("non-finite"), "decode-level rejection: {msg}");
+        drop(rpls);
+        drop(store);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

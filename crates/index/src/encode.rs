@@ -250,6 +250,12 @@ pub struct RplEntry {
 pub fn decode_rpl(key: &[u8], value: &[u8]) -> Result<RplEntry> {
     let term = get_u32(key, 0)?;
     let score = score_from_inverted_bits(get_u32(key, 4)?);
+    if !score.is_finite() {
+        // Writers only ever encode finite scores (`put_list` asserts it), so
+        // a NaN/∞ here is a corrupt key — surface it instead of letting the
+        // poison value reach TA's comparison-based candidate bookkeeping.
+        return Err(StorageError::Corrupt("non-finite RPL score".into()));
+    }
     let sid = get_u32(key, 8)?;
     let doc = get_u32(key, 12)?;
     let end = get_u32(key, 16)?;
@@ -298,6 +304,9 @@ pub fn decode_erpl(key: &[u8], value: &[u8]) -> Result<RplEntry> {
         return Err(StorageError::Corrupt("short ERPL value".into()));
     }
     let score = f32::from_le_bytes(value[..4].try_into().unwrap());
+    if !score.is_finite() {
+        return Err(StorageError::Corrupt("non-finite ERPL score".into()));
+    }
     let (length, _) = read_varint(&value[4..])?;
     Ok(RplEntry {
         term,
@@ -432,6 +441,30 @@ mod tests {
         assert_eq!(entry.score, 3.5);
         assert_eq!(entry.element, e1);
         assert_eq!(entry.sid, 2);
+    }
+
+    #[test]
+    fn non_finite_scores_are_rejected_at_decode() {
+        let e = ElementRef {
+            doc: 0,
+            end: 5,
+            length: 2,
+        };
+        // A hand-corrupted score field: the key encoder itself maps NaN to
+        // bits that decode back to NaN, so a flipped bit on disk can too.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let key = rpl_key(4, bad, 1, e);
+            assert!(
+                decode_rpl(&key, &elements_value(2)).is_err(),
+                "RPL score {bad} must decode as Corrupt"
+            );
+            assert!(
+                decode_erpl(&erpl_key(4, 1, e), &erpl_value(bad, 2)).is_err(),
+                "ERPL score {bad} must decode as Corrupt"
+            );
+        }
+        // Finite scores still round-trip.
+        assert!(decode_rpl(&rpl_key(4, 1.5, 1, e), &elements_value(2)).is_ok());
     }
 
     #[test]

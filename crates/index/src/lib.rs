@@ -20,6 +20,7 @@ pub mod docstore;
 pub mod elements;
 pub mod encode;
 pub mod erpl;
+pub mod maintenance;
 pub mod postings;
 pub mod registry;
 pub mod rpl;
@@ -37,6 +38,7 @@ pub use docstore::{DocStore, DocStoreWriter};
 pub use elements::{ElementIter, ElementsTable};
 pub use encode::{ElementRef, Position, RplEntry};
 pub use erpl::{ErplIter, ErplTable};
+pub use maintenance::Maintenance;
 pub use postings::{PositionIter, PostingsTable};
 pub use registry::ListStats;
 pub use rpl::{RplIter, RplTable};
@@ -90,6 +92,8 @@ pub struct TrexIndex {
     /// Shared decode counters; every table opened through this handle
     /// reports into the same group, so one snapshot covers all index work.
     obs: Arc<trex_obs::IndexCounters>,
+    /// Gate between query evaluation and online list maintenance.
+    maintenance: Arc<Maintenance>,
 }
 
 impl TrexIndex {
@@ -106,7 +110,14 @@ impl TrexIndex {
             analyzer,
             scoring: ScoringParams::default(),
             obs: Arc::new(trex_obs::IndexCounters::new()),
+            maintenance: Arc::new(Maintenance::new()),
         })
+    }
+
+    /// The maintenance gate coordinating query evaluation with online
+    /// redundant-list mutation (see [`Maintenance`] for the protocol).
+    pub fn maintenance(&self) -> &Maintenance {
+        &self.maintenance
     }
 
     /// The term dictionary.

@@ -218,6 +218,31 @@ counter_group! {
     }
 }
 
+counter_group! {
+    /// Online self-management work (profiler + reconcile cycles): how the
+    /// `SelfManager` observed the query stream and what it did to the
+    /// redundant lists. `bytes_materialized - bytes_dropped` tracks the
+    /// bytes brought under management since the counters were created; the
+    /// authoritative live figure is the list registries' `total_bytes`.
+    counters SelfManageCounters / snapshot SelfManageSnapshot {
+        /// Queries the workload profiler recorded.
+        queries_profiled,
+        /// `Strategy::Auto` coverage checks that fell back to ERA because a
+        /// needed RPL/ERPL list was absent (e.g. mid-reconcile).
+        era_fallbacks,
+        /// Reconcile cycles completed.
+        cycles,
+        /// Redundant lists written by reconcile cycles.
+        lists_materialized,
+        /// Redundant lists dropped by reconcile cycles.
+        lists_dropped,
+        /// Bytes of redundant lists written by reconcile cycles.
+        bytes_materialized,
+        /// Bytes of redundant lists dropped by reconcile cycles.
+        bytes_dropped,
+    }
+}
+
 /// Strategy-level cost-model units for one query, in the vocabulary of §4 of
 /// the paper: sorted accesses (sequential reads of score-ordered RPLs or
 /// position-ordered ERPLs), random accesses (point lookups the engine had to

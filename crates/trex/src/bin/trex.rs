@@ -8,15 +8,18 @@
 //! trex query <store.db> "<nexi>" [-k N] [--strategy auto|era|ta|merge]
 //! trex materialize <store.db> "<nexi>" [--kind both|rpl|erpl]
 //! trex advise <store.db> --workload <file> --budget <bytes> [--method greedy|lp]
+//! trex serve <store.db> [--self-manage --budget <bytes>]     NEXI-per-line REPL
 //! ```
 //!
 //! A workload file has one query per line: `<weight> <k> <nexi…>`.
 
+use std::io::BufRead;
 use std::process::ExitCode;
 
 use trex::corpus::{CorpusConfig, IeeeGenerator, WikiGenerator};
 use trex::{
-    AdvisorOptions, AliasMap, ListKind, SelectionMethod, Strategy, TrexConfig, TrexSystem, Workload,
+    AdvisorOptions, AliasMap, ListKind, SelectionMethod, SelfManageOptions, Strategy, TrexConfig,
+    TrexSystem, Workload,
 };
 
 fn main() -> ExitCode {
@@ -39,6 +42,7 @@ fn run() -> Result<(), String> {
         "explain" => explain(&args),
         "materialize" => materialize(&args),
         "advise" => advise(&args),
+        "serve" => serve(&args),
         _ => {
             print!("{}", HELP);
             Ok(())
@@ -57,6 +61,7 @@ usage:
   trex explain <store.db> \"<nexi>\" [-k N]
   trex materialize <store.db> \"<nexi>\" [--kind both|rpl|erpl]
   trex advise <store.db> --workload <file> --budget <bytes> [--method greedy|lp]
+  trex serve <store.db> [-k N] [--self-manage --budget <bytes> [--interval-ms N]]
 ";
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -380,5 +385,88 @@ fn advise(args: &[String]) -> Result<(), String> {
         "kept {} bytes (budget {budget}), dropped {} lists, expected saving {:.6}s per workload execution",
         report.bytes_used, report.lists_dropped, report.expected_saving
     );
+    Ok(())
+}
+
+/// A NEXI-per-line REPL over stdin, optionally with the online self-manager
+/// reconciling the redundant indexes in the background while queries run.
+fn serve(args: &[String]) -> Result<(), String> {
+    let system = open(args)?;
+    let k: Option<usize> = flag(args, "-k")
+        .map(|v| v.parse().map_err(|_| "-k expects a number"))
+        .transpose()?;
+    let k = k.or(Some(10));
+
+    let manager = if has_flag(args, "--self-manage") {
+        let budget: u64 = flag(args, "--budget")
+            .ok_or("--self-manage needs --budget <bytes>")?
+            .parse()
+            .map_err(|_| "--budget expects bytes")?;
+        let interval_ms: u64 = flag(args, "--interval-ms")
+            .map(|v| v.parse().map_err(|_| "--interval-ms expects a number"))
+            .transpose()?
+            .unwrap_or(1000);
+        let opts =
+            SelfManageOptions::new(budget).interval(std::time::Duration::from_millis(interval_ms));
+        let manager = system.start_self_manager(opts).map_err(|e| e.to_string())?;
+        eprintln!("self-manager running: budget {budget} bytes, reconcile every {interval_ms} ms");
+        Some(manager)
+    } else {
+        None
+    };
+
+    eprintln!("serving: one NEXI query per line, EOF to exit");
+    let engine = system.engine();
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let nexi = line.trim();
+        if nexi.is_empty() || nexi.starts_with('#') {
+            continue;
+        }
+        match engine.evaluate(nexi, trex::EvalOptions::new().k(k)) {
+            Ok(result) => {
+                for (rank, a) in result.answers.iter().enumerate() {
+                    println!(
+                        "{:>4}. doc {:>6}  span [{}, {}]  sid {:>5}  score {:.4}",
+                        rank + 1,
+                        a.element.doc,
+                        a.element.start(),
+                        a.element.end,
+                        a.sid,
+                        a.score
+                    );
+                }
+                let counters = system.profiler().counters();
+                let mut status = format!(
+                    "{} answers in {:.3} ms; profiled {} queries, {} era fallback(s)",
+                    result.total_answers,
+                    result.stats.wall().as_secs_f64() * 1e3,
+                    counters.queries_profiled.get(),
+                    counters.era_fallbacks.get(),
+                );
+                if let Some(manager) = &manager {
+                    match manager.last_report() {
+                        Some(report) => status.push_str(&format!(
+                            "; self-manage: {} cycle(s), {} bytes kept, +{} / -{} lists last cycle",
+                            counters.cycles.get(),
+                            report.bytes_used,
+                            report.lists_materialized,
+                            report.lists_dropped,
+                        )),
+                        None => status.push_str("; self-manage: no reconcile cycle yet"),
+                    }
+                    if let Some(err) = manager.last_error() {
+                        status.push_str(&format!("; last reconcile error: {err}"));
+                    }
+                }
+                eprintln!("{status}");
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    if let Some(manager) = manager {
+        manager.stop();
+    }
     Ok(())
 }

@@ -51,9 +51,11 @@ pub use trex_xml as xml;
 // The most-used items, re-exported flat.
 pub use trex_core::obs::{self, QueryTrace, ToJson};
 pub use trex_core::{
-    Advisor, AdvisorOptions, AdvisorReport, Answer, CostValidation, EvalOptions, Explain, ListKind,
-    QueryEngine, QueryExecutor, QueryResult, RaceWinner, SelectionMethod, Strategy,
-    StrategyMetrics, StrategyStats, TrexError, Workload, WorkloadQuery, TA_PREDICTION_FACTOR,
+    reconcile_once, Advisor, AdvisorOptions, AdvisorReport, Answer, CostCache, CostValidation,
+    EvalOptions, Explain, ListKind, ProfilerConfig, QueryEngine, QueryExecutor, QueryResult,
+    RaceWinner, ReconcileReport, SelectionMethod, SelfManageOptions, SelfManager, Strategy,
+    StrategyMetrics, StrategyStats, TrexError, Workload, WorkloadProfiler, WorkloadQuery,
+    TA_PREDICTION_FACTOR,
 };
 pub use trex_index::{ElementRef, TrexIndex};
 pub use trex_nexi::Interpretation;
@@ -106,9 +108,20 @@ impl TrexConfig {
     }
 }
 
-/// The assembled TReX system: one store, one index, one engine.
+/// The assembled TReX system: one store, one index, one engine, one
+/// workload profiler feeding the (optional) online self-manager.
 pub struct TrexSystem {
-    index: TrexIndex,
+    index: Arc<TrexIndex>,
+    profiler: Arc<WorkloadProfiler>,
+}
+
+impl TrexSystem {
+    fn assemble(index: TrexIndex) -> TrexSystem {
+        TrexSystem {
+            index: Arc::new(index),
+            profiler: Arc::new(WorkloadProfiler::new(ProfilerConfig::default())),
+        }
+    }
 }
 
 impl TrexSystem {
@@ -130,7 +143,7 @@ impl TrexSystem {
         }
         builder.finish()?;
         let index = TrexIndex::open(Arc::new(store))?;
-        Ok(TrexSystem { index })
+        Ok(TrexSystem::assemble(index))
     }
 
     /// Like [`TrexSystem::build`], but parses documents on `threads` worker
@@ -207,7 +220,7 @@ impl TrexSystem {
 
         builder.finish()?;
         let index = TrexIndex::open(Arc::new(store))?;
-        Ok(TrexSystem { index })
+        Ok(TrexSystem::assemble(index))
     }
 
     /// Opens an existing store built earlier with [`TrexSystem::build`].
@@ -217,12 +230,29 @@ impl TrexSystem {
         let store = Store::open(&config.store_path, config.pool_pages)
             .map_err(trex_index::IndexError::Storage)?;
         let index = TrexIndex::open(Arc::new(store))?;
-        Ok(TrexSystem { index })
+        Ok(TrexSystem::assemble(index))
     }
 
     /// The underlying index (summary, dictionary, tables, statistics).
     pub fn index(&self) -> &TrexIndex {
         &self.index
+    }
+
+    /// The system's workload profiler: fed by every engine/executor this
+    /// system hands out, read by the self-manager. Its
+    /// [`obs::SelfManageSnapshot`] counters cover profiling and reconcile
+    /// work.
+    pub fn profiler(&self) -> &Arc<WorkloadProfiler> {
+        &self.profiler
+    }
+
+    /// Starts the background self-manager: observes the live query stream
+    /// through this system's profiler and keeps the redundant lists
+    /// reconciled to the §4 selection under `opts.budget_bytes`, while
+    /// queries keep being served. Stop (or drop) the returned handle to
+    /// shut it down.
+    pub fn start_self_manager(&self, opts: SelfManageOptions) -> Result<SelfManager> {
+        SelfManager::start(self.index.clone(), self.profiler.clone(), opts)
     }
 
     /// What WAL recovery did when the store was opened: `None` after a
@@ -232,15 +262,17 @@ impl TrexSystem {
         self.index.store().recovery_report()
     }
 
-    /// A query engine over the index (analyzer restored from the catalog).
+    /// A query engine over the index (analyzer restored from the catalog),
+    /// wired to the system's workload profiler.
     pub fn engine(&self) -> QueryEngine<'_> {
-        QueryEngine::new(&self.index)
+        QueryEngine::new(&self.index).with_profiler(&self.profiler)
     }
 
     /// A batch executor over the index: evaluates slices of NEXI queries on
     /// a scoped thread pool, returning per-query results in input order.
+    /// Wired to the system's workload profiler.
     pub fn executor(&self) -> QueryExecutor<'_> {
-        QueryExecutor::new(&self.index)
+        QueryExecutor::new(&self.index).with_profiler(&self.profiler)
     }
 
     /// Evaluates a NEXI query with automatic strategy selection; `k = None`

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification gate: formatting, release build, the whole test suite,
 # clippy with warnings denied, release-mode runs of the concurrency stress
-# test and the crash-recovery matrix (races and crash sweeps need optimised
-# codegen), and the storage bench's WAL-overhead export (BENCH_wal.json).
+# test, the crash-recovery matrix and the online self-management storm
+# (races and crash sweeps need optimised codegen), and the bench exports
+# (BENCH_wal.json, BENCH_selfmanage.json).
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,7 +26,13 @@ cargo test --release -p trex --test concurrency
 echo "== cargo test --release --test crash_recovery =="
 cargo test --release -p trex --test crash_recovery
 
+echo "== cargo test --release --test self_managing_online =="
+cargo test --release -p trex --test self_managing_online
+
 echo "== cargo bench --bench storage (exports BENCH_wal.json) =="
 cargo bench -p trex-bench --bench storage
+
+echo "== cargo bench --bench selfmanage (exports BENCH_selfmanage.json) =="
+cargo bench -p trex-bench --bench selfmanage
 
 echo "verify: OK"

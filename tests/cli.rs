@@ -128,7 +128,62 @@ fn cli_reports_errors_cleanly() {
 fn cli_help_lists_commands() {
     let (ok, out, _) = run(&[]);
     assert!(ok);
-    for cmd in ["build", "info", "query", "explain", "materialize", "advise"] {
+    for cmd in [
+        "build",
+        "info",
+        "query",
+        "explain",
+        "materialize",
+        "advise",
+        "serve",
+    ] {
         assert!(out.contains(cmd), "help missing {cmd}");
     }
+}
+
+#[test]
+fn serve_answers_piped_queries_while_self_managing() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let store = temp("serve");
+    let _ = std::fs::remove_file(&store);
+    let (ok, _, err) = run(&["build", &store, "--synthetic", "ieee", "--docs", "40"]);
+    assert!(ok, "build failed: {err}");
+
+    let mut child = trex()
+        .args([
+            "serve",
+            &store,
+            "-k",
+            "3",
+            "--self-manage",
+            "--budget",
+            "67108864",
+            "--interval-ms",
+            "50",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn trex serve");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for _ in 0..8 {
+            writeln!(stdin, "//article//sec[about(., xml query evaluation)]").unwrap();
+        }
+        writeln!(stdin, "not a query").unwrap();
+        writeln!(stdin, "//sec[about(., code signing verification)]").unwrap();
+    } // drop stdin: EOF ends the loop
+    let out = child.wait_with_output().expect("serve exits on EOF");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("score"), "answers printed: {stdout}");
+    assert!(stderr.contains("self-manager running"), "{stderr}");
+    assert!(stderr.contains("answers in"), "status lines: {stderr}");
+    assert!(stderr.contains("error:"), "bad query reported: {stderr}");
+    assert!(stderr.contains("profiled"), "profiler visible: {stderr}");
+    std::fs::remove_file(&store).ok();
 }

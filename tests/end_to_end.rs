@@ -277,6 +277,12 @@ fn nested_extent_summaries_are_rejected_for_retrieval() {
         .search("//article//sec[about(., xml)]", Some(5))
         .unwrap_err();
     assert!(err.to_string().contains("nested extents"), "{err}");
+    // Regression: the message once carried a run of source-indentation
+    // spaces between "incoming" and "(or larger-k suffix)".
+    assert!(
+        !err.to_string().contains("  "),
+        "user-facing message has doubled spaces: {err:?}"
+    );
     std::fs::remove_file(&store).ok();
 }
 

@@ -180,6 +180,57 @@ fn lp_never_beats_more_than_twice_greedy() {
 }
 
 #[test]
+fn materialisation_batches_checkpoints() {
+    // Regression: `materialize` used to flush once per list kind (two WAL
+    // checkpoints per call), and the advisor compounded that per workload
+    // query. The batch form defers durability to its caller: one checkpoint
+    // per advisor pass, not per query.
+    use trex::core::{materialize, materialize_batch};
+
+    let (system, store) = build("ckpt", 40);
+    let engine = system.engine();
+    let translation = engine
+        .translate(
+            "//article//sec[about(., xml query evaluation)]",
+            Default::default(),
+        )
+        .unwrap();
+    let (sids, terms) = (translation.sids, translation.terms);
+    let checkpoints = || system.index().store().counters().checkpoints.get();
+
+    let before = checkpoints();
+    materialize_batch(system.index(), &sids, &terms, ListKind::Both).unwrap();
+    assert_eq!(checkpoints() - before, 0, "batch form must not checkpoint");
+
+    let before = checkpoints();
+    materialize(system.index(), &sids, &terms, ListKind::Both).unwrap();
+    assert_eq!(
+        checkpoints() - before,
+        1,
+        "direct materialize checkpoints exactly once"
+    );
+
+    let before = checkpoints();
+    system
+        .advisor()
+        .apply(
+            &workload(),
+            AdvisorOptions {
+                budget_bytes: 64 * 1024 * 1024,
+                method: SelectionMethod::Greedy,
+                measure_runs: 1,
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        checkpoints() - before,
+        2,
+        "advisor pass: one checkpoint after profiling, one after reconciling"
+    );
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
 fn advisor_handles_random_workloads() {
     use trex::corpus::{random_workload, Collection};
 

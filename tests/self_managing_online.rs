@@ -1,0 +1,241 @@
+//! Integration tests of the *online* self-managing layer: reconcile cycles
+//! running concurrently with a multi-threaded query storm must never change
+//! an answer, never surface a coverage error, and never exceed the budget.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use trex::corpus::{CorpusConfig, IeeeGenerator};
+use trex::{
+    reconcile_once, CostCache, EvalOptions, ProfilerConfig, QueryEngine, SelfManageOptions,
+    TrexConfig, TrexSystem, Workload, WorkloadProfiler,
+};
+
+fn temp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("trex-smo-{name}-{}.db", std::process::id()))
+}
+
+fn build(name: &str, docs: usize) -> (TrexSystem, std::path::PathBuf) {
+    let store = temp(name);
+    let system = TrexSystem::build(
+        TrexConfig::new(&store),
+        IeeeGenerator::new(CorpusConfig {
+            docs,
+            ..CorpusConfig::ieee_default()
+        })
+        .documents(),
+    )
+    .unwrap();
+    (system, store)
+}
+
+const QUERIES: [&str; 4] = [
+    "//article//sec[about(., xml query evaluation)]",
+    "//sec[about(., code signing verification)]",
+    "//article//sec[about(., model checking state space)]",
+    "//article[about(., information retrieval ranking)]",
+];
+
+/// The tentpole guarantee: an 8-thread query storm runs while the
+/// reconciler repeatedly re-plans under a *shifting* budget (generous →
+/// tight → zero → generous). Every storm query must succeed and return
+/// exactly the quiesced engine's answers — a query landing mid-reconcile
+/// observes partial coverage and silently falls back to ERA, never errors —
+/// and the registry must respect each cycle's budget.
+#[test]
+fn concurrent_storm_sees_quiesced_answers_while_budget_shifts() {
+    let (system, store) = build("storm", 48);
+    let k = Some(10);
+
+    // Quiesced baseline, before any redundant list exists.
+    let baseline: Vec<_> = QUERIES
+        .iter()
+        .map(|q| {
+            system
+                .engine()
+                .evaluate(q, EvalOptions::new().k(k))
+                .unwrap()
+        })
+        .collect();
+
+    // Seed the profiler with a skewed stream so reconcile has a workload.
+    let engine = system.engine();
+    for (i, q) in QUERIES.iter().enumerate() {
+        for _ in 0..(QUERIES.len() - i) * 2 {
+            engine.evaluate(q, EvalOptions::new().k(k)).unwrap();
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let storm_queries = AtomicUsize::new(0);
+    let total_bytes = system.index().rpls().unwrap().total_bytes().unwrap()
+        + system.index().erpls().unwrap().total_bytes().unwrap();
+    assert_eq!(total_bytes, 0, "fresh build has no redundant lists");
+
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let (system, baseline) = (&system, &baseline);
+            let (stop, storm_queries) = (&stop, &storm_queries);
+            scope.spawn(move || {
+                let engine = system.engine();
+                while !stop.load(Ordering::Relaxed) {
+                    let i = storm_queries.fetch_add(1, Ordering::Relaxed) % QUERIES.len();
+                    let got = engine
+                        .evaluate(QUERIES[i], EvalOptions::new().k(k))
+                        .unwrap_or_else(|e| panic!("thread {t}, query {i}: {e}"));
+                    assert_eq!(
+                        got.answers, baseline[i].answers,
+                        "thread {t}: answers drifted on query {i}"
+                    );
+                }
+            });
+        }
+
+        // Reconcile through a budget shift while the storm runs.
+        let mut cache = CostCache::new();
+        let huge = 64 * 1024 * 1024;
+        for budget in [huge, 4 * 1024, 0, huge] {
+            let opts = SelfManageOptions::new(budget);
+            let report =
+                reconcile_once(system.index(), system.profiler(), &opts, &mut cache).unwrap();
+            assert!(
+                report.bytes_used <= budget,
+                "cycle kept {} bytes over budget {budget}",
+                report.bytes_used
+            );
+            assert!(!report.workload.is_empty(), "profiler fed the cycle");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert!(
+        storm_queries.load(Ordering::Relaxed) > 8,
+        "the storm actually queried"
+    );
+    // The generous final cycle re-materialised lists for the hot shapes…
+    let report_bytes = system.index().rpls().unwrap().total_bytes().unwrap()
+        + system.index().erpls().unwrap().total_bytes().unwrap();
+    assert!(report_bytes > 0, "final generous cycle kept lists");
+    // …and the storm's Auto queries fell back to ERA whenever coverage was
+    // missing (at minimum, every query before the first cycle finished).
+    let counters = system.profiler().counters();
+    assert!(
+        counters.era_fallbacks.get() > 0,
+        "ERA fallback was exercised"
+    );
+    assert_eq!(counters.cycles.get(), 4);
+    std::fs::remove_file(&store).ok();
+}
+
+/// With decay disabled the profiler is a pure counter, so feeding it a
+/// counted stream through the real engine must reproduce exactly the
+/// workload a user would have written by hand with those counts.
+#[test]
+fn profiled_stream_matches_handwritten_workload() {
+    let (system, store) = build("determinism", 24);
+    let profiler = WorkloadProfiler::new(ProfilerConfig {
+        shards: 4,
+        half_life: None,
+    });
+    let engine = QueryEngine::new(system.index()).with_profiler(&profiler);
+    let stream = [(QUERIES[0], 6usize), (QUERIES[1], 3), (QUERIES[2], 1)];
+    for (nexi, count) in stream {
+        for _ in 0..count {
+            engine
+                .evaluate(nexi, EvalOptions::new().k(Some(10)))
+                .unwrap();
+        }
+    }
+
+    let profiled = profiler.workload(8).expect("non-empty profile");
+    let handwritten = Workload::from_weights(vec![
+        (QUERIES[0].to_string(), 6.0, 10),
+        (QUERIES[1].to_string(), 3.0, 10),
+        (QUERIES[2].to_string(), 1.0, 10),
+    ])
+    .unwrap();
+    assert_eq!(profiled.len(), handwritten.len());
+    for (p, h) in profiled.queries().iter().zip(handwritten.queries()) {
+        assert_eq!(p.nexi, h.nexi);
+        assert_eq!(p.k, h.k);
+        assert!(
+            (p.frequency - h.frequency).abs() < 1e-12,
+            "{}: {} vs {}",
+            p.nexi,
+            p.frequency,
+            h.frequency
+        );
+    }
+    std::fs::remove_file(&store).ok();
+}
+
+/// An empty profile must leave the store alone — reconciliation on a fresh
+/// system is a no-op, not a drop-everything.
+#[test]
+fn reconcile_with_no_observations_is_a_no_op() {
+    let (system, store) = build("noop", 24);
+    system
+        .materialize_for(QUERIES[0], trex::ListKind::Both)
+        .unwrap();
+    let before = system.index().rpls().unwrap().total_bytes().unwrap()
+        + system.index().erpls().unwrap().total_bytes().unwrap();
+    assert!(before > 0);
+
+    let profiler = WorkloadProfiler::new(ProfilerConfig::default());
+    let mut cache = CostCache::new();
+    let report = reconcile_once(
+        system.index(),
+        &profiler,
+        &SelfManageOptions::new(0),
+        &mut cache,
+    )
+    .unwrap();
+    assert_eq!(report.lists_dropped, 0);
+    assert_eq!(report.lists_materialized, 0);
+    assert_eq!(report.bytes_used, before, "lists untouched");
+    std::fs::remove_file(&store).ok();
+}
+
+/// The background manager end to end: start it with a short interval, serve
+/// queries, and watch it converge to a budget-respecting list set.
+#[test]
+fn background_manager_converges_and_stops_cleanly() {
+    let (system, store) = build("manager", 32);
+    let engine = system.engine();
+    for _ in 0..6 {
+        engine
+            .evaluate(QUERIES[0], EvalOptions::new().k(Some(5)))
+            .unwrap();
+    }
+
+    let budget = 64 * 1024 * 1024;
+    let manager = system
+        .start_self_manager(
+            SelfManageOptions::new(budget).interval(std::time::Duration::from_millis(20)),
+        )
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let report = loop {
+        if let Some(report) = manager.last_report() {
+            if report.lists_materialized > 0 {
+                break report;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "manager never materialised: {:?}",
+            manager.last_error()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    assert!(report.bytes_used <= budget);
+    assert!(manager.last_error().is_none());
+    manager.stop();
+
+    // With the hot query's lists on disk, Auto now picks a top-k strategy.
+    let explain = system
+        .engine()
+        .explain(QUERIES[0], EvalOptions::new().k(Some(5)))
+        .unwrap();
+    assert_ne!(explain.chosen, trex::Strategy::Era, "{explain:?}");
+    std::fs::remove_file(&store).ok();
+}
