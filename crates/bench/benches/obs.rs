@@ -1,0 +1,105 @@
+//! Telemetry overhead bench, exported as `BENCH_obs.json`.
+//!
+//! The histograms and the span journal are designed to stay on in
+//! production: a paused timer group skips the clock reads entirely
+//! (`Stopwatch(None)`), so the registry's pause switch gives a true
+//! telemetry-off baseline on the very same system. Serving with telemetry
+//! on must stay within 5% of serving with it paused.
+//!
+//! Methodology (same as the selfmanage bench's profiler-overhead check):
+//! interleaved off/on pairs so common-mode noise — cache state, CPU
+//! frequency, neighbours — cancels per pair, then the median pair ratio is
+//! asserted ≤ 1.05.
+
+use trex::corpus::{CorpusConfig, IeeeGenerator};
+use trex::{EvalOptions, QueryEngine, TrexConfig, TrexSystem};
+use trex_bench::{bench_header, median_time, ms, store_dir, Scale};
+
+const MIX: [&str; 4] = [
+    "//article//sec[about(., xml query evaluation)]",
+    "//sec[about(., code signing verification)]",
+    "//article//sec[about(., model checking state space)]",
+    "//article[about(., information retrieval ranking)]",
+];
+
+fn build_system() -> TrexSystem {
+    let path = store_dir().join("obs-bench.db");
+    let _ = std::fs::remove_file(&path);
+    let gen = IeeeGenerator::new(CorpusConfig {
+        docs: Scale::small().ieee_docs,
+        ..CorpusConfig::ieee_default()
+    });
+    TrexSystem::build(TrexConfig::new(&path), gen.documents()).expect("build bench collection")
+}
+
+fn serve_mix(engine: &QueryEngine<'_>) {
+    for q in MIX {
+        engine
+            .evaluate(q, EvalOptions::new().k(Some(10)))
+            .expect("bench query");
+    }
+}
+
+fn main() {
+    let system = build_system();
+    let registry = system.metrics();
+    let engine = QueryEngine::new(system.index());
+
+    serve_mix(&engine); // warm-up: page cache, dictionaries
+
+    let mut ratios = Vec::new();
+    let (mut off, mut on) = (std::time::Duration::MAX, std::time::Duration::MAX);
+    for _ in 0..7 {
+        registry.set_telemetry_enabled(false);
+        let o = median_time(3, || serve_mix(&engine));
+        registry.set_telemetry_enabled(true);
+        let w = median_time(3, || serve_mix(&engine));
+        ratios.push(w.as_secs_f64() / o.as_secs_f64().max(1e-9));
+        off = off.min(o);
+        on = on.min(w);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let ratio = ratios[ratios.len() / 2];
+
+    // Sanity: the on-halves really recorded — end-to-end latencies landed
+    // in the query histogram and the journal holds span events.
+    let latency = registry.telemetry().query.query.snapshot();
+    assert!(
+        latency.count() >= 7 * 3 * MIX.len() as u64,
+        "telemetry-on rounds must populate the query histogram (count {})",
+        latency.count()
+    );
+    let events = registry.telemetry().journal.snapshot();
+    assert!(!events.is_empty(), "telemetry-on rounds must journal spans");
+
+    eprintln!(
+        "telemetry overhead: paused {:.3} ms, on {:.3} ms, median pair ratio {ratio:.4}; \
+         query p50 {:.3} ms p99 {:.3} ms over {} recorded",
+        ms(off),
+        ms(on),
+        latency.percentile(0.50) as f64 / 1e6,
+        latency.percentile(0.99) as f64 / 1e6,
+        latency.count(),
+    );
+    assert!(
+        ratio <= 1.05,
+        "always-on histograms + spans must cost at most 5% (ratio {ratio:.4})"
+    );
+
+    let out = format!(
+        "{{{},\"telemetry_overhead\":{{\"queries_per_batch\":{},\"paused_ms\":{:.4},\
+         \"on_ms\":{:.4},\"ratio\":{ratio:.4},\"recorded\":{},\"p50_ms\":{:.4},\
+         \"p99_ms\":{:.4},\"span_events\":{}}}}}",
+        bench_header(Scale::small().ieee_docs, 1),
+        MIX.len(),
+        ms(off),
+        ms(on),
+        latency.count(),
+        latency.percentile(0.50) as f64 / 1e6,
+        latency.percentile(0.99) as f64 / 1e6,
+        events.len(),
+    );
+    let path = store_dir().join("BENCH_obs.json");
+    std::fs::write(&path, &out).expect("write BENCH_obs.json");
+    eprintln!("wrote {}", path.display());
+}

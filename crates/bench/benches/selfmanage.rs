@@ -14,7 +14,7 @@ use trex::{
     reconcile_once, CostCache, EvalOptions, ProfilerConfig, QueryEngine, SelfManageOptions,
     StrategyStats, TrexConfig, TrexSystem, WorkloadProfiler,
 };
-use trex_bench::{median_time, ms, store_dir, Scale};
+use trex_bench::{bench_header, median_time, ms, store_dir, Scale};
 
 fn build_system() -> TrexSystem {
     let path = store_dir().join("selfmanage-bench.db");
@@ -232,7 +232,10 @@ fn workload_shift(system: &TrexSystem) -> String {
 
 fn main() {
     let system = build_system();
-    let mut out = String::from("{\"profiler_overhead\":");
+    let mut out = format!(
+        "{{{},\"profiler_overhead\":",
+        bench_header(Scale::small().ieee_docs, 1)
+    );
     out.push_str(&profiler_overhead(&system));
     out.push_str(",\"workload_shift\":");
     out.push_str(&workload_shift(&system));

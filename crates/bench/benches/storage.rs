@@ -7,7 +7,7 @@
 use criterion::{BenchmarkId, Criterion};
 
 use trex::storage::{wal_path, Store, StoreOptions};
-use trex_bench::{median_time, store_dir, Scale};
+use trex_bench::{bench_header, median_time, store_dir, Scale};
 
 fn prepared_store(n: u32) -> (Store, std::path::PathBuf) {
     let path = store_dir().join(format!("storage-bench-{n}.db"));
@@ -222,7 +222,10 @@ fn main() {
     bench_scans(&mut criterion);
     bench_bulk_load(&mut criterion);
 
-    let mut out = String::from("{\"benches\":[");
+    let mut out = format!(
+        "{{{},\"benches\":[",
+        bench_header(Scale::small().ieee_docs * 2, 1)
+    );
     for (i, r) in criterion.results().iter().enumerate() {
         if i > 0 {
             out.push(',');

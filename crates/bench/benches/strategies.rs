@@ -11,7 +11,7 @@ use criterion::{BenchmarkId, Criterion};
 
 use trex::corpus::{Collection, PAPER_QUERIES};
 use trex::{EvalOptions, ListKind, Strategy, ToJson, TrexSystem, TA_PREDICTION_FACTOR};
-use trex_bench::{build_collection, store_dir, Scale};
+use trex_bench::{bench_header, build_collection, store_dir, Scale};
 
 fn system(collection: Collection) -> TrexSystem {
     let scale = Scale::small();
@@ -150,7 +150,7 @@ fn concurrency_sweep() -> String {
         .map(|n| n.get())
         .unwrap_or(1);
 
-    let mut out = String::from("{\"batch\":");
+    let mut out = format!("{{{},\"batch\":", bench_header(Scale::small().ieee_docs, 8));
     out.push_str(&format!(
         "{BATCH},\"iters\":{ITERS},\"cores\":{cores},\"shards\":{},\"sweep\":[",
         pool.shard_count()
@@ -229,7 +229,10 @@ fn main() {
     fig6(&mut criterion);
     table1(&mut criterion);
 
-    let mut out = String::from("{\"benches\":[");
+    let mut out = format!(
+        "{{{},\"benches\":[",
+        bench_header(Scale::small().ieee_docs, 1)
+    );
     for (i, r) in criterion.results().iter().enumerate() {
         if i > 0 {
             out.push(',');

@@ -109,6 +109,31 @@ pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// The common header every `BENCH_*.json` export opens with:
+///
+/// ```json
+/// "header":{"schema_version":1,"unix_ts":0,"scale":150,"threads":4,"git_rev":"unknown"}
+/// ```
+///
+/// `scale` is the collection size (documents) the bench ran at and `threads`
+/// its worker-thread count. Timestamp and revision are read from the
+/// environment at export time (`TREX_BENCH_UNIX_TS`, `TREX_BENCH_GIT_REV`)
+/// rather than sampled, so a bench rerun under the same environment is
+/// byte-identical; unset they default to `0` / `"unknown"`. The schema is
+/// documented in EXPERIMENTS.md.
+pub fn bench_header(scale: usize, threads: usize) -> String {
+    let unix_ts: u64 = std::env::var("TREX_BENCH_UNIX_TS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let git_rev = std::env::var("TREX_BENCH_GIT_REV").unwrap_or_else(|_| "unknown".to_string());
+    format!(
+        "\"header\":{{\"schema_version\":1,\"unix_ts\":{unix_ts},\"scale\":{scale},\
+         \"threads\":{threads},\"git_rev\":\"{}\"}}",
+        trex::obs::json_escape(&git_rev)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +144,16 @@ mod tests {
         assert!(ks.iter().all(|&k| k <= 60));
         assert!(ks.contains(&1));
         assert_eq!(k_sweep(0), vec![1, 2], "empty results still sweep tiny k");
+    }
+
+    #[test]
+    fn bench_header_is_deterministic_without_env() {
+        // The test environment may or may not set the override vars; the
+        // shape is fixed either way.
+        let h = bench_header(150, 4);
+        assert!(h.starts_with("\"header\":{\"schema_version\":1,\"unix_ts\":"));
+        assert!(h.contains("\"scale\":150,\"threads\":4,\"git_rev\":\""));
+        assert!(h.ends_with("\"}"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::time::{Duration, Instant};
 
 use trex_nexi::{parse, translate, Interpretation, Translation, TranslationContext};
-use trex_obs::{QueryTrace, StageTimings};
+use trex_obs::{QueryTrace, SlowQuery, SpanGuard, StageTimings};
 use trex_text::Analyzer;
 
 use trex_index::TrexIndex;
@@ -271,6 +271,11 @@ impl<'a> QueryEngine<'a> {
         self
     }
 
+    /// The index this engine evaluates over.
+    pub fn index(&self) -> &'a TrexIndex {
+        self.index
+    }
+
     /// Parses and translates `nexi` without evaluating it.
     pub fn translate(&self, nexi: &str, interpretation: Interpretation) -> Result<Translation> {
         let query = parse(nexi).map_err(TrexError::Parse)?;
@@ -333,9 +338,18 @@ impl<'a> QueryEngine<'a> {
 
     /// Evaluates `nexi` with the given options.
     pub fn evaluate(&self, nexi: &str, opts: EvalOptions) -> Result<QueryResult> {
+        // The root "query" span opens before translation so the whole query
+        // lifetime — translate included — is one span tree; child spans
+        // (translate, gate_wait, evaluate:*) nest under it via the journal's
+        // thread-local parent link.
+        let journal = &self.index.telemetry().journal;
+        let query_span = journal.span("query");
         let started = Instant::now();
-        let translation = self.translate(nexi, opts.interpretation)?;
-        self.evaluate_staged(Some(nexi), translation, opts, started.elapsed())
+        let translation = {
+            let _translate_span = journal.span("translate");
+            self.translate(nexi, opts.interpretation)?
+        };
+        self.evaluate_staged(Some(nexi), translation, opts, started.elapsed(), query_span)
     }
 
     /// Evaluates an already-translated query (its trace, if requested,
@@ -346,18 +360,22 @@ impl<'a> QueryEngine<'a> {
         translation: Translation,
         opts: EvalOptions,
     ) -> Result<QueryResult> {
-        self.evaluate_staged(None, translation, opts, Duration::ZERO)
+        let query_span = self.index.telemetry().journal.span("query");
+        self.evaluate_staged(None, translation, opts, Duration::ZERO, query_span)
     }
 
     /// The shared evaluation path; `translate_time` is the already-spent
     /// translation wall-clock for the trace's stage breakdown, `nexi` the
-    /// original query text when known (for workload profiling).
+    /// original query text when known (for workload profiling), and
+    /// `query_span` the already-open root span (closed here, before the
+    /// slow-query log collects its tree).
     fn evaluate_staged(
         &self,
         nexi: Option<&str>,
         translation: Translation,
         opts: EvalOptions,
         translate_time: Duration,
+        query_span: SpanGuard<'_>,
     ) -> Result<QueryResult> {
         if !self.index.summary().is_nesting_free() {
             // "TReX uses only summaries in which there are no two XML
@@ -371,17 +389,26 @@ impl<'a> QueryEngine<'a> {
         }
         let sids = &translation.sids;
         let terms = &translation.terms;
+        let telemetry = self.index.telemetry();
+        let root_span_id = query_span.id();
         // Hold the maintenance gate for the whole evaluation: the coverage
         // checks in `resolve_strategy` and the list reads of the chosen
         // strategy see one consistent generation of redundant lists, even
-        // while a reconcile cycle rewrites them on another thread.
-        let _gate = self.index.maintenance().enter_read();
+        // while a reconcile cycle rewrites them on another thread. (The gate
+        // itself records the wait into `maint.read_gate_wait`.)
+        let _gate = {
+            let _gate_span = telemetry.journal.span("gate_wait");
+            self.index.maintenance().enter_read()
+        };
         let strategy = self.resolve_strategy(opts, sids, terms)?;
 
         // Counter snapshots bracket the whole evaluation; the deltas are the
         // storage / index work attributable to this query (exact when the
-        // index is otherwise idle).
-        let before = if opts.trace {
+        // index is otherwise idle). The slow-query log needs a trace too, so
+        // snapshots are also taken whenever a query could qualify as slow.
+        let slow_armed = telemetry.enabled() && telemetry.slow.threshold_ns() != u64::MAX;
+        let want_trace = opts.trace || slow_armed;
+        let before = if want_trace {
             Some((
                 self.index.store().counters().snapshot(),
                 self.index.counters().snapshot(),
@@ -390,6 +417,13 @@ impl<'a> QueryEngine<'a> {
             None
         };
 
+        let eval_span = telemetry.journal.span(match strategy {
+            Strategy::Era => "evaluate:era",
+            Strategy::Ta => "evaluate:ta",
+            Strategy::Merge => "evaluate:merge",
+            Strategy::Race => "evaluate:race",
+            Strategy::Auto => unreachable!("resolved above"),
+        });
         let mut rank_time = Duration::ZERO;
         let eval_started = Instant::now();
         let (answers, total, stats) = match strategy {
@@ -428,6 +462,7 @@ impl<'a> QueryEngine<'a> {
             Strategy::Auto => unreachable!("resolved above"),
         };
         let evaluate_time = eval_started.elapsed().saturating_sub(rank_time);
+        drop(eval_span);
 
         let trace = before.map(|(storage0, index0)| QueryTrace {
             strategy: stats.name().to_string(),
@@ -441,10 +476,42 @@ impl<'a> QueryEngine<'a> {
             cost: stats.cost_units(),
         });
 
+        // Latency histograms: the stage durations were measured above either
+        // way, so recording honours the pause switch without extra clocks.
+        let total_time = translate_time + evaluate_time + rank_time;
+        if telemetry.query.enabled() {
+            let timers = &telemetry.query;
+            timers.translate.record_duration(translate_time);
+            timers.rank.record_duration(rank_time);
+            timers.query.record_duration(total_time);
+            let per_strategy = match &stats {
+                StrategyStats::Era(_) => &timers.era_eval,
+                StrategyStats::Ta(_) => &timers.ta_eval,
+                StrategyStats::Merge(_) => &timers.merge_eval,
+                StrategyStats::Race { .. } => &timers.race_eval,
+            };
+            per_strategy.record_duration(evaluate_time);
+        }
+
         if let (Some(profiler), Some(nexi)) = (self.profiler, nexi) {
             // Record only after a successful evaluation: failed queries are
             // not workload the self-manager should optimise for.
             profiler.record(nexi, sids, terms, opts.k);
+        }
+
+        // Slow-query capture: close the root span first so the collected
+        // tree has every End event, then cut this query's subtree out of the
+        // journal. The trace was built above whenever capture was possible.
+        drop(query_span);
+        let total_ns = u64::try_from(total_time.as_nanos()).unwrap_or(u64::MAX);
+        if slow_armed && telemetry.slow.qualifies(total_ns) {
+            telemetry.slow.record(SlowQuery {
+                query: nexi.unwrap_or("<pre-translated>").to_string(),
+                strategy: stats.name().to_string(),
+                total: total_time,
+                trace: trace.clone().unwrap_or_default(),
+                spans: telemetry.journal.collect_tree(root_span_id),
+            });
         }
 
         Ok(QueryResult {
@@ -452,7 +519,7 @@ impl<'a> QueryEngine<'a> {
             total_answers: total,
             translation,
             stats,
-            trace,
+            trace: if opts.trace { trace } else { None },
         })
     }
 

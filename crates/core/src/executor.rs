@@ -91,6 +91,9 @@ impl<'a> QueryExecutor<'a> {
         if n == 0 {
             return Vec::new();
         }
+        // The batch span lives on the calling thread; per-query spans are
+        // emitted by the workers and carry their own parent chains.
+        let _batch_span = self.engine.index().telemetry().journal.span("batch");
         let workers = self.threads.min(n);
         if workers == 1 {
             return queries

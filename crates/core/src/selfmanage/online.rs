@@ -57,6 +57,10 @@ pub struct SelfManageOptions {
     pub max_queries: usize,
     /// Timing runs per `T_e` measurement; the median is used.
     pub measure_runs: usize,
+    /// Print one status line per completed background cycle to stderr
+    /// (query p50/p99, ERA-fallback rate, lists moved). Off by default;
+    /// `trex serve` turns it on.
+    pub log_cycles: bool,
 }
 
 impl SelfManageOptions {
@@ -68,6 +72,7 @@ impl SelfManageOptions {
             interval: Duration::from_secs(1),
             max_queries: 8,
             measure_runs: 1,
+            log_cycles: false,
         }
     }
 
@@ -92,6 +97,12 @@ impl SelfManageOptions {
     /// Sets the number of timing runs per measurement.
     pub fn measure_runs(mut self, runs: usize) -> SelfManageOptions {
         self.measure_runs = runs;
+        self
+    }
+
+    /// Enables/disables the per-cycle stderr status line.
+    pub fn log_cycles(mut self, on: bool) -> SelfManageOptions {
+        self.log_cycles = on;
         self
     }
 }
@@ -166,6 +177,7 @@ pub fn reconcile_once(
     cache: &mut CostCache,
 ) -> Result<ReconcileReport> {
     let counters = profiler.counters().clone();
+    let telemetry = index.telemetry().clone();
     let workload = profiler.workload(opts.max_queries).unwrap_or_default();
     if workload.is_empty() {
         // Nothing observed yet: leave the lists alone rather than dropping
@@ -181,6 +193,13 @@ pub fn reconcile_once(
         });
     }
 
+    // Phase telemetry: one "reconcile" span for the cycle with one child
+    // span per phase, plus the matching `maint.reconcile_*` histograms.
+    let cycle_span = telemetry.journal.span("reconcile");
+    let sw_cycle = telemetry.maint.start();
+
+    let measure_span = telemetry.journal.span("reconcile:measure");
+    let sw_measure = telemetry.maint.start();
     let engine = QueryEngine::new(index);
     let mut costs = Vec::with_capacity(workload.len());
     for wq in workload.queries() {
@@ -198,6 +217,9 @@ pub fn reconcile_once(
             rpl_lists: cached.rpl_lists.clone(),
         });
     }
+
+    telemetry.maint.reconcile_measure.observe(&sw_measure);
+    drop(measure_span);
 
     let selection = match opts.method {
         SelectionMethod::Lp => solve_lp(&costs, opts.budget_bytes),
@@ -217,6 +239,8 @@ pub fn reconcile_once(
 
     // Apply the delta. Drops FIRST, so the registry never holds more than
     // max(old bytes, budget) at any instant and frees space for the adds.
+    let apply_span = telemetry.journal.span("reconcile:apply");
+    let sw_apply = telemetry.maint.start();
     let mut rpls = index.rpls()?;
     let mut erpls = index.erpls()?;
     let mut dropped = 0usize;
@@ -290,11 +314,19 @@ pub fn reconcile_once(
         }
     }
 
+    telemetry.maint.reconcile_apply.observe(&sw_apply);
+    drop(apply_span);
+
     // One checkpoint per cycle (cf. the offline advisor's one per query).
     if written > 0 || dropped > 0 {
+        let _ckpt_span = telemetry.journal.span("reconcile:checkpoint");
+        let sw_ckpt = telemetry.maint.start();
         index.store().flush()?;
+        telemetry.maint.reconcile_checkpoint.observe(&sw_ckpt);
     }
     counters.cycles.incr();
+    telemetry.maint.reconcile_cycle.observe(&sw_cycle);
+    drop(cycle_span);
 
     let bytes_used = rpls.total_bytes()? + erpls.total_bytes()?;
     Ok(ReconcileReport {
@@ -385,6 +417,34 @@ fn measure_query(
     })
 }
 
+/// The per-cycle status line the background manager prints when
+/// `SelfManageOptions::log_cycles` is on: what the cycle moved, where the
+/// serving latency distribution sits (p50/p99 end-to-end), and how often
+/// `Auto` had to fall back to ERA for lack of lists.
+fn log_cycle(index: &TrexIndex, profiler: &WorkloadProfiler, report: &ReconcileReport) {
+    let q = index.telemetry().query.query.snapshot();
+    let sm = profiler.counters().snapshot();
+    let rate = if sm.queries_profiled > 0 {
+        100.0 * sm.era_fallbacks as f64 / sm.queries_profiled as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "self-manage cycle {}: +{}/-{} lists, {} bytes used; query p50 {:.3} ms p99 {:.3} ms \
+         over {} queries, era fallback rate {:.1}% ({}/{})",
+        sm.cycles,
+        report.lists_materialized,
+        report.lists_dropped,
+        report.bytes_used,
+        q.percentile(0.50) as f64 / 1e6,
+        q.percentile(0.99) as f64 / 1e6,
+        q.count(),
+        rate,
+        sm.era_fallbacks,
+        sm.queries_profiled,
+    );
+}
+
 #[derive(Debug, Default)]
 struct ManagerStatus {
     last: Option<ReconcileReport>,
@@ -434,6 +494,9 @@ impl SelfManager {
                         }
                         match reconcile_once(&index, &profiler, &opts, &mut cache) {
                             Ok(report) => {
+                                if opts.log_cycles {
+                                    log_cycle(&index, &profiler, &report);
+                                }
                                 let mut s = status.lock();
                                 s.last = Some(report);
                                 s.last_error = None;

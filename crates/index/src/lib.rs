@@ -94,6 +94,9 @@ pub struct TrexIndex {
     obs: Arc<trex_obs::IndexCounters>,
     /// Gate between query evaluation and online list maintenance.
     maintenance: Arc<Maintenance>,
+    /// Query-path telemetry (latency histograms, span journal, slow-query
+    /// log), shared with the engine and the self-manager above.
+    telemetry: Arc<trex_obs::Telemetry>,
 }
 
 impl TrexIndex {
@@ -101,6 +104,7 @@ impl TrexIndex {
     /// [`IndexBuilder::finish`] must have run).
     pub fn open(store: Arc<Store>) -> Result<TrexIndex> {
         let (dictionary, summary, alias, stats, analyzer) = catalog::load_catalog(&store)?;
+        let telemetry = Arc::new(trex_obs::Telemetry::new());
         Ok(TrexIndex {
             store,
             dictionary,
@@ -110,7 +114,8 @@ impl TrexIndex {
             analyzer,
             scoring: ScoringParams::default(),
             obs: Arc::new(trex_obs::IndexCounters::new()),
-            maintenance: Arc::new(Maintenance::new()),
+            maintenance: Arc::new(Maintenance::with_telemetry(telemetry.clone())),
+            telemetry,
         })
     }
 
@@ -165,6 +170,13 @@ impl TrexIndex {
     /// opens. Pair with [`Store::counters`] snapshots for a full query trace.
     pub fn counters(&self) -> &Arc<trex_obs::IndexCounters> {
         &self.obs
+    }
+
+    /// The query-path telemetry: latency histograms (query, strategy,
+    /// maintenance), the span journal, and the slow-query log. The gate
+    /// returned by [`TrexIndex::maintenance`] records its wait times here.
+    pub fn telemetry(&self) -> &Arc<trex_obs::Telemetry> {
+        &self.telemetry
     }
 
     /// Opens the `Elements` table.

@@ -22,8 +22,10 @@
 //! registry contents belong to: unchanged stamp ⇒ unchanged list set.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use trex_obs::Telemetry;
 
 /// Epoch-stamped reader–writer gate between query evaluation (readers) and
 /// redundant-list maintenance (writers). One per [`crate::TrexIndex`].
@@ -31,6 +33,9 @@ use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 pub struct Maintenance {
     gate: RwLock<()>,
     generation: AtomicU64,
+    /// Telemetry sink for gate-wait latencies (`maint.read_gate_wait` /
+    /// `maint.write_gate_wait`); `None` for bare gates in unit tests.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Shared guard: list maintenance is excluded while this is alive.
@@ -51,9 +56,17 @@ impl Drop for WriteGuard<'_> {
 }
 
 impl Maintenance {
-    /// A fresh gate at generation zero.
+    /// A fresh gate at generation zero, without telemetry.
     pub fn new() -> Maintenance {
         Maintenance::default()
+    }
+
+    /// A fresh gate recording its wait times into `telemetry`.
+    pub fn with_telemetry(telemetry: Arc<Telemetry>) -> Maintenance {
+        Maintenance {
+            telemetry: Some(telemetry),
+            ..Maintenance::default()
+        }
     }
 
     /// Enters a read-side critical section (query evaluation). Cheap and
@@ -63,16 +76,32 @@ impl Maintenance {
     /// the underlying `std` lock is not reentrant and a waiting writer can
     /// deadlock a recursive read.
     pub fn enter_read(&self) -> ReadGuard<'_> {
-        ReadGuard(self.gate.read())
+        let sw = match &self.telemetry {
+            Some(t) => t.maint.start(),
+            None => trex_obs::Stopwatch::disabled(),
+        };
+        let guard = ReadGuard(self.gate.read());
+        if let Some(t) = &self.telemetry {
+            t.maint.read_gate_wait.observe(&sw);
+        }
+        guard
     }
 
     /// Enters a write-side critical section (one list mutation). Blocks
     /// until every in-flight query drains; new queries block until release.
     pub fn enter_write(&self) -> WriteGuard<'_> {
-        WriteGuard {
+        let sw = match &self.telemetry {
+            Some(t) => t.maint.start(),
+            None => trex_obs::Stopwatch::disabled(),
+        };
+        let guard = WriteGuard {
             guard: self.gate.write(),
             generation: &self.generation,
+        };
+        if let Some(t) = &self.telemetry {
+            t.maint.write_gate_wait.observe(&sw);
         }
+        guard
     }
 
     /// The current list-set generation: bumped once per completed mutation.

@@ -1,6 +1,16 @@
-//! Observability primitives for TReX: always-on relaxed atomic counters in
-//! the storage and index layers, point-in-time snapshots, and per-query
-//! [`QueryTrace`]s that tie measured work back to the paper's §4 cost model.
+//! Observability for TReX, in three always-on layers:
+//!
+//! 1. **Counters** ([`StorageCounters`], [`IndexCounters`], ... ) — relaxed
+//!    atomic event counts, snapshotted/delta'd around queries to build
+//!    [`QueryTrace`]s tied to the paper's §4 cost model.
+//! 2. **Histograms** ([`hist`]) — log-bucketed latency distributions
+//!    (p50/p90/p99/p999 + max, ≤12.5% relative error) for the query path,
+//!    storage I/O, the WAL, the maintenance gate, and reconcile cycles.
+//! 3. **Spans** ([`span`]) — a striped in-memory ring of begin/end events
+//!    with parent links, powering the slow-query log.
+//!
+//! [`registry::MetricsRegistry`] gathers all three behind
+//! `render_prometheus()` / `render_json()` for the serving surface.
 //!
 //! Design rules:
 //!
@@ -8,6 +18,9 @@
 //!   a single uncontended atomic add per counted event, cheap enough to leave
 //!   on in production builds. The *trace* toggle only controls whether a
 //!   query takes before/after snapshots and attaches a [`QueryTrace`].
+//!   Histograms and spans follow the same discipline and are on by default;
+//!   a registry-level pause switch exists so the overhead bench can measure
+//!   a true off baseline.
 //! * Layers share counters by `Arc`: the buffer pool and pager share one
 //!   [`StorageCounters`], every table/iterator of an index shares one
 //!   [`IndexCounters`]. Snapshot deltas around a query therefore capture all
@@ -18,6 +31,17 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+pub mod hist;
+pub mod registry;
+pub mod span;
+
+pub use hist::{Histogram, HistogramSnapshot, MaintTimers, QueryTimers, Stopwatch, StorageTimers};
+pub use registry::{MetricsRegistry, Telemetry};
+pub use span::{
+    check_nesting, render_events, SlowQuery, SlowQueryLog, SpanEvent, SpanGuard, SpanJournal,
+    SpanKind, DEFAULT_SLOW_THRESHOLD,
+};
 
 /// A relaxed atomic event counter.
 ///
@@ -73,21 +97,63 @@ pub fn json_field(out: &mut String, key: &str, value: impl std::fmt::Display) {
     out.push_str(&value.to_string());
 }
 
-/// Escapes a string for embedding in JSON.
+/// Escapes a string for embedding in JSON: `"` and `\` are backslashed,
+/// every control character U+0000–U+001F is escaped (short forms for
+/// `\b \t \n \f \r`, `\u00XX` otherwise), and non-ASCII passes through
+/// unescaped (the output is UTF-8, which JSON permits raw). Slow-query logs
+/// carry raw NEXI text, so hostile input must round-trip exactly.
 pub fn json_escape(s: &str) -> String {
+    use std::fmt::Write as _;
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
+            '\u{08}' => out.push_str("\\b"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            '\n' => out.push_str("\\n"),
+            '\u{0c}' => out.push_str("\\f"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
     out
+}
+
+/// Inverse of [`json_escape`] for round-trip testing: decodes one JSON
+/// string body (no surrounding quotes). Returns `None` on malformed input.
+pub fn json_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'b' => out.push('\u{08}'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'f' => out.push('\u{0c}'),
+            'r' => out.push('\r'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
 }
 
 macro_rules! counter_group {
@@ -122,14 +188,23 @@ macro_rules! counter_group {
         }
 
         impl $snap {
-            /// Per-field difference `self - earlier` (saturating).
+            /// Per-field difference `self - earlier`, **saturating**: under
+            /// concurrent updates (or after a reset) the "earlier" snapshot
+            /// can observe a larger value than the "later" one; the delta
+            /// then clamps to 0 instead of wrapping to ~`u64::MAX`.
             pub fn delta(&self, earlier: &$snap) -> $snap {
                 $snap { $($field: self.$field.saturating_sub(earlier.$field)),+ }
             }
 
-            /// Per-field sum (used to compare totals across threads).
+            /// Per-field sum (used to compare totals across threads),
+            /// saturating like `delta`.
             pub fn sum(&self, other: &$snap) -> $snap {
-                $snap { $($field: self.$field + other.$field),+ }
+                $snap { $($field: self.$field.saturating_add(other.$field)),+ }
+            }
+
+            /// `(field_name, value)` pairs, for exposition surfaces.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($field), self.$field)),+]
             }
         }
 
@@ -390,6 +465,103 @@ mod tests {
     #[test]
     fn escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn escape_round_trips_hostile_strings() {
+        // Embedded quotes, backslashes, tabs, every control character, and
+        // multibyte UTF-8 — exactly what raw NEXI text in a slow-query log
+        // can carry.
+        let all_controls: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let cases = [
+            r#"//sec[about(., "quoted \ phrase")]"#,
+            "tab\there, newline\nthere, cr\r, backspace\u{08}, formfeed\u{0c}",
+            all_controls.as_str(),
+            "多字节 UTF-8 · ελληνικά · emoji \u{1F50D} stay raw",
+            "\u{0}\u{1}\u{1f}\u{7f}",
+            "",
+        ];
+        for case in cases {
+            let escaped = json_escape(case);
+            // The escaped form contains no raw control characters and no
+            // unescaped quote.
+            assert!(escaped.chars().all(|c| (c as u32) >= 0x20));
+            assert_eq!(
+                json_unescape(&escaped).as_deref(),
+                Some(case),
+                "round-trip failed for {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escape_uses_short_forms() {
+        assert_eq!(json_escape("\u{08}\u{0c}"), "\\b\\f");
+        assert_eq!(json_escape("\u{01}"), "\\u0001");
+        assert_eq!(json_escape("ü"), "ü");
+    }
+
+    #[test]
+    fn interleaved_snapshot_deltas_saturate_not_wrap() {
+        // Loom-style interleaving without loom: four writer threads hammer a
+        // counter group while two snapshot threads race snapshot pairs in
+        // both orders. A snapshot taken "later" by one thread can observe
+        // fewer relaxed increments than an "earlier" one taken by another
+        // thread; `delta` must clamp those fields to 0, never wrap. With
+        // wrapping subtraction this test trips immediately.
+        const PER_THREAD: u64 = 50_000;
+        let c = StorageCounters::new();
+        let total = 4 * PER_THREAD;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        c.page_reads.incr();
+                        c.pool_hits.incr();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..2_000 {
+                        let a = c.snapshot();
+                        let b = c.snapshot();
+                        // Both orders: b-a is a genuine window, a-b is the
+                        // adversarial reversed pair that must clamp to 0-ish,
+                        // and both must stay within the physically possible
+                        // range.
+                        for d in [b.delta(&a), a.delta(&b)] {
+                            assert!(d.page_reads <= total, "wrapped: {}", d.page_reads);
+                            assert!(d.pool_hits <= total, "wrapped: {}", d.pool_hits);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().page_reads, total);
+    }
+
+    #[test]
+    fn delta_after_reset_like_regression_saturates() {
+        // A snapshot pair where "earlier" is ahead of "later" on every field
+        // (what a counter reset between snapshots produces).
+        let c = IndexCounters::new();
+        c.rpl_entries.add(100);
+        let earlier = c.snapshot();
+        let later = IndexCounters::new().snapshot();
+        let d = later.delta(&earlier);
+        assert_eq!(d.rpl_entries, 0);
+        assert_eq!(d.fields().iter().map(|(_, v)| v).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn snapshot_fields_enumerate_every_counter() {
+        let c = StorageCounters::new();
+        c.wal_appends.add(3);
+        let fields = c.snapshot().fields();
+        assert!(fields.len() >= 11);
+        assert!(fields.contains(&("wal_appends", 3)));
+        assert!(fields.contains(&("page_reads", 0)));
     }
 
     #[test]

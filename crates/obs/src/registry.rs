@@ -1,0 +1,268 @@
+//! The exposition surface: [`Telemetry`] bundles the query-path telemetry
+//! owned by an index (timers + span journal + slow-query log), and
+//! [`MetricsRegistry`] gathers every counter and histogram group of one
+//! system behind `render_prometheus()` / `render_json()`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::hist::{MaintTimers, QueryTimers, StorageTimers};
+use crate::span::{SlowQueryLog, SpanJournal};
+use crate::{json_field, IndexCounters, SelfManageCounters, StorageCounters, ToJson};
+
+/// Query-path telemetry shared by the engine, the maintenance gate, and the
+/// reconcile loop: histogram groups, the span journal, and the slow-query
+/// log. Owned by the index (one per open store) and shared by `Arc`, exactly
+/// like the counter groups.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Query end-to-end / per-strategy / stage latencies.
+    pub query: QueryTimers,
+    /// Gate waits and reconcile-cycle phase latencies.
+    pub maint: MaintTimers,
+    /// Always-on begin/end span journal.
+    pub journal: SpanJournal,
+    /// Bounded log of queries over the slow threshold.
+    pub slow: SlowQueryLog,
+    enabled: AtomicBool,
+}
+
+impl Telemetry {
+    /// Fresh, enabled telemetry.
+    pub fn new() -> Telemetry {
+        Telemetry {
+            query: QueryTimers::new(),
+            maint: MaintTimers::new(),
+            journal: SpanJournal::new(),
+            slow: SlowQueryLog::new(),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Pauses or resumes the timers and the journal together. Paused
+    /// telemetry skips every clock read and span push — this is the
+    /// telemetry-off baseline of the overhead bench. (The slow-query
+    /// threshold is left alone; a paused system records no spans, so no
+    /// slow queries get captured either.)
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+        self.query.set_enabled(on);
+        self.maint.set_enabled(on);
+        self.journal.set_enabled(on);
+    }
+
+    /// Whether telemetry is recording.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+}
+
+/// Every metric source of one system, behind the two render calls the
+/// metrics endpoints serve. Cloning is cheap (`Arc`s all the way down) and
+/// the registry is `Send + Sync`, so the HTTP responder thread can own one.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    storage: Arc<StorageCounters>,
+    index: Arc<IndexCounters>,
+    selfmanage: Arc<SelfManageCounters>,
+    storage_timers: Arc<StorageTimers>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl MetricsRegistry {
+    /// Assembles a registry from one system's shared metric groups.
+    pub fn new(
+        storage: Arc<StorageCounters>,
+        index: Arc<IndexCounters>,
+        selfmanage: Arc<SelfManageCounters>,
+        storage_timers: Arc<StorageTimers>,
+        telemetry: Arc<Telemetry>,
+    ) -> MetricsRegistry {
+        MetricsRegistry {
+            storage,
+            index,
+            selfmanage,
+            storage_timers,
+            telemetry,
+        }
+    }
+
+    /// The query-path telemetry (timers, journal, slow log).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// The storage-layer timer group.
+    pub fn storage_timers(&self) -> &Arc<StorageTimers> {
+        &self.storage_timers
+    }
+
+    /// The self-management counter group.
+    pub fn selfmanage(&self) -> &Arc<SelfManageCounters> {
+        &self.selfmanage
+    }
+
+    /// Pauses or resumes every timer group and the span journal (counters
+    /// stay on — they are the PR-1 always-on layer). Used by the overhead
+    /// bench to measure a true telemetry-off baseline.
+    pub fn set_telemetry_enabled(&self, on: bool) {
+        self.storage_timers.set_enabled(on);
+        self.telemetry.set_enabled(on);
+    }
+
+    fn counter_groups(&self) -> [(&'static str, Vec<(&'static str, u64)>); 3] {
+        [
+            ("storage", self.storage.snapshot().fields()),
+            ("index", self.index.snapshot().fields()),
+            ("selfmanage", self.selfmanage.snapshot().fields()),
+        ]
+    }
+
+    fn histogram_groups(&self) -> [(&'static str, Vec<(&'static str, &crate::Histogram)>); 3] {
+        [
+            ("storage", self.storage_timers.each()),
+            ("query", self.telemetry.query.each()),
+            ("maint", self.telemetry.maint.each()),
+        ]
+    }
+
+    /// Prometheus text exposition format 0.0.4: every counter as a
+    /// `trex_<group>_<field>_total` counter, every histogram as a
+    /// `trex_<group>_<field>_seconds` histogram with cumulative,
+    /// `+Inf`-terminated buckets.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(16 * 1024);
+        for (group, fields) in self.counter_groups() {
+            for (field, value) in fields {
+                let name = format!("trex_{group}_{field}_total");
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {value}");
+            }
+        }
+        for (group, fields) in self.histogram_groups() {
+            for (field, hist) in fields {
+                hist.snapshot()
+                    .write_prometheus(&mut out, &format!("trex_{group}_{field}_seconds"));
+            }
+        }
+        let _ = writeln!(out, "# TYPE trex_spans_dropped_total counter");
+        let _ = writeln!(
+            out,
+            "trex_spans_dropped_total {}",
+            self.telemetry.journal.dropped()
+        );
+        out
+    }
+
+    /// Everything as one JSON object: counter groups, histogram summaries
+    /// (count/sum/max/p50/p90/p99/p999 + non-empty buckets), and journal /
+    /// slow-log occupancy.
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(16 * 1024);
+        out.push_str("{\"counters\":{");
+        for (gi, (group, fields)) in self.counter_groups().into_iter().enumerate() {
+            if gi > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(group);
+            out.push_str("\":{");
+            for (fi, (field, value)) in fields.into_iter().enumerate() {
+                if fi > 0 {
+                    out.push(',');
+                }
+                json_field(&mut out, field, value);
+            }
+            out.push('}');
+        }
+        out.push_str("},\"histograms\":{");
+        for (gi, (group, fields)) in self.histogram_groups().into_iter().enumerate() {
+            if gi > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(group);
+            out.push_str("\":{");
+            for (fi, (field, hist)) in fields.into_iter().enumerate() {
+                if fi > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(field);
+                out.push_str("\":");
+                hist.snapshot().write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push_str("},");
+        json_field(&mut out, "spans_dropped", self.telemetry.journal.dropped());
+        out.push(',');
+        json_field(&mut out, "slow_queries", self.telemetry.slow.len() as u64);
+        out.push('}');
+        out
+    }
+
+    /// The slow-query log as JSON (threshold + entries with span trees).
+    pub fn render_slow_json(&self) -> String {
+        self.telemetry.slow.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn registry() -> MetricsRegistry {
+        MetricsRegistry::new(
+            Arc::new(StorageCounters::new()),
+            Arc::new(IndexCounters::new()),
+            Arc::new(SelfManageCounters::new()),
+            Arc::new(StorageTimers::new()),
+            Arc::new(Telemetry::new()),
+        )
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_groups() {
+        let r = registry();
+        r.storage_timers
+            .page_read
+            .record_duration(Duration::from_micros(80));
+        r.telemetry
+            .query
+            .query
+            .record_duration(Duration::from_millis(2));
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE trex_storage_page_reads_total counter"));
+        assert!(text.contains("# TYPE trex_selfmanage_cycles_total counter"));
+        assert!(text.contains("# TYPE trex_storage_page_read_seconds histogram"));
+        assert!(text.contains("trex_query_query_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("trex_query_query_seconds_count 1"));
+        assert!(text.contains("trex_maint_reconcile_cycle_seconds_count 0"));
+    }
+
+    #[test]
+    fn json_rendering_nests_groups() {
+        let r = registry();
+        r.telemetry.query.query.record(1_000);
+        let json = r.render_json();
+        assert!(json.starts_with("{\"counters\":{\"storage\":{"));
+        assert!(json.contains("\"histograms\":{\"storage\":{\"page_read\":{"));
+        assert!(json.contains("\"query\":{\"query\":{\"count\":1"));
+        assert!(json.contains("\"spans_dropped\":0"));
+        assert!(json.contains("\"slow_queries\":0"));
+    }
+
+    #[test]
+    fn pause_switch_reaches_every_group() {
+        let r = registry();
+        r.set_telemetry_enabled(false);
+        assert!(!r.storage_timers.enabled());
+        assert!(!r.telemetry.enabled());
+        assert!(r.storage_timers.start().elapsed_ns().is_none());
+        r.set_telemetry_enabled(true);
+        assert!(r.telemetry.journal.enabled());
+    }
+}

@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use trex_obs::{ShardCounters, ShardSnapshot, StorageCounters};
+use trex_obs::{ShardCounters, ShardSnapshot, StorageCounters, StorageTimers};
 
 use crate::error::Result;
 use crate::page::{PageBuf, PageId};
@@ -134,6 +134,8 @@ pub struct BufferPool {
     /// [`BufferPool::counters`], with the B+-tree layer above): cache
     /// hits/misses/evictions accrue here next to the pager's page I/O.
     obs: Arc<StorageCounters>,
+    /// Shared I/O latency histograms, adopted from the pager like `obs`.
+    timers: Arc<StorageTimers>,
 }
 
 impl BufferPool {
@@ -159,11 +161,13 @@ impl BufferPool {
         let shards = shards.max(1);
         let shard_capacity = capacity.div_ceil(shards).max(MIN_SHARD_CAPACITY);
         let obs = pager.counters().clone();
+        let timers = pager.timers().clone();
         BufferPool {
             pager: Mutex::new(pager),
             shards: (0..shards).map(|_| Shard::new()).collect(),
             shard_capacity,
             obs,
+            timers,
         }
     }
 
@@ -176,6 +180,11 @@ impl BufferPool {
     /// before and after a unit of work to attribute storage activity.
     pub fn counters(&self) -> &Arc<StorageCounters> {
         &self.obs
+    }
+
+    /// The shared storage-layer latency histograms (see [`Pager::timers`]).
+    pub fn timers(&self) -> &Arc<StorageTimers> {
+        &self.timers
     }
 
     /// Fetches page `id`, reading it from disk on a miss.

@@ -25,7 +25,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-use trex_obs::StorageCounters;
+use trex_obs::{StorageCounters, StorageTimers};
 
 use crate::error::{Result, StorageError};
 use crate::page::{PageBuf, PageId, PageType, NO_PAGE, PAGE_SIZE};
@@ -46,6 +46,9 @@ pub struct Pager {
     /// wrapping this pager shares the same group, so one snapshot covers
     /// the whole storage layer.
     obs: Arc<StorageCounters>,
+    /// Shared I/O latency histograms (page read/write, fsync, WAL append,
+    /// checkpoint), owned here and shared outward exactly like `obs`.
+    timers: Arc<StorageTimers>,
     /// Failure injection: the next `inject_write_failures` calls to
     /// [`Pager::write_page`] fail with an I/O error before touching the
     /// file. Zero (the default) disables injection.
@@ -90,6 +93,7 @@ impl Pager {
             synced_page_count: 0,
             free_head: NO_PAGE,
             obs: Arc::new(StorageCounters::new()),
+            timers: Arc::new(StorageTimers::new()),
             inject_write_failures: 0,
             crash: CrashState::default(),
             wal,
@@ -127,6 +131,7 @@ impl Pager {
             synced_page_count: page_count,
             free_head: NO_PAGE,
             obs: Arc::new(StorageCounters::new()),
+            timers: Arc::new(StorageTimers::new()),
             inject_write_failures: 0,
             crash: CrashState::default(),
             wal: None,
@@ -155,6 +160,7 @@ impl Pager {
             synced_page_count: 0,
             free_head: NO_PAGE,
             obs,
+            timers: Arc::new(StorageTimers::new()),
             inject_write_failures: 0,
             crash,
             wal: None,
@@ -240,9 +246,11 @@ impl Pager {
     /// has an un-checkpointed version, from the data file otherwise.
     pub fn read_page(&mut self, id: PageId, buf: &mut PageBuf) -> Result<()> {
         self.crash.ensure_alive()?;
+        let sw = self.timers.start();
         if let Some(wal) = &mut self.wal {
             if wal.read_page(id, buf)? {
                 self.obs.page_reads.incr();
+                self.timers.page_read.observe(&sw);
                 return Ok(());
             }
         }
@@ -250,6 +258,7 @@ impl Pager {
             .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.read_exact(buf.bytes_mut().as_mut_slice())?;
         self.obs.page_reads.incr();
+        self.timers.page_read.observe(&sw);
         Ok(())
     }
 
@@ -276,8 +285,12 @@ impl Pager {
             return Err(std::io::Error::other("injected write failure").into());
         }
         self.crash.ensure_alive()?;
+        let sw = self.timers.start();
         match &mut self.wal {
-            Some(wal) => wal.append_image(id, buf, &mut self.crash, &self.obs)?,
+            Some(wal) => {
+                wal.append_image(id, buf, &mut self.crash, &self.obs)?;
+                self.timers.wal_append.observe(&sw);
+            }
             None => Self::write_data_page(
                 &mut self.file,
                 &mut self.crash,
@@ -287,6 +300,7 @@ impl Pager {
             )?,
         }
         self.obs.page_writes.incr();
+        self.timers.page_write.observe(&sw);
         Ok(())
     }
 
@@ -345,7 +359,11 @@ impl Pager {
         match &mut self.wal {
             // In durable mode a fresh page is a 17-byte `Alloc` record; the
             // data file grows only when the image set is checkpointed.
-            Some(wal) => wal.append_alloc(id, &mut self.crash, &self.obs)?,
+            Some(wal) => {
+                let sw = self.timers.start();
+                wal.append_alloc(id, &mut self.crash, &self.obs)?;
+                self.timers.wal_append.observe(&sw);
+            }
             // In-place mode: extend the file so subsequent reads succeed.
             None => {
                 let buf = PageBuf::zeroed();
@@ -373,7 +391,9 @@ impl Pager {
     pub fn sync(&mut self) -> Result<()> {
         self.crash.ensure_alive()?;
         let grew = self.page_count > self.synced_page_count;
+        let sw = self.timers.start();
         Self::sync_data_file(&mut self.file, &mut self.crash, grew)?;
+        self.timers.fsync.observe(&sw);
         self.synced_page_count = self.page_count;
         Ok(())
     }
@@ -397,10 +417,13 @@ impl Pager {
         if wal.entries().is_empty() {
             // Nothing logged since the last checkpoint; just be durable.
             let grew = self.page_count > self.synced_page_count;
+            let sw = self.timers.start();
             Self::sync_data_file(&mut self.file, &mut self.crash, grew)?;
+            self.timers.fsync.observe(&sw);
             self.synced_page_count = self.page_count;
             return Ok(());
         }
+        let sw_ckpt = self.timers.start();
         wal.commit(&mut self.crash)?;
         let mut buf = PageBuf::zeroed();
         for id in wal.entries() {
@@ -414,10 +437,13 @@ impl Pager {
             )?;
         }
         let grew = self.page_count > self.synced_page_count;
+        let sw = self.timers.start();
         Self::sync_data_file(&mut self.file, &mut self.crash, grew)?;
+        self.timers.fsync.observe(&sw);
         self.synced_page_count = self.page_count;
         wal.reset(&mut self.crash)?;
         self.obs.checkpoints.incr();
+        self.timers.checkpoint.observe(&sw_ckpt);
         Ok(())
     }
 
@@ -430,6 +456,11 @@ impl Pager {
     /// The storage-layer counter group this pager reports into.
     pub fn counters(&self) -> &Arc<StorageCounters> {
         &self.obs
+    }
+
+    /// The storage-layer latency histograms this pager records into.
+    pub fn timers(&self) -> &Arc<StorageTimers> {
+        &self.timers
     }
 }
 

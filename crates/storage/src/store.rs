@@ -328,6 +328,12 @@ impl Store {
         self.pool.counters()
     }
 
+    /// The storage-layer latency histograms (page read/write, fsync, WAL
+    /// append, checkpoint), shared across the pager and buffer pool.
+    pub fn timers(&self) -> &Arc<trex_obs::StorageTimers> {
+        self.pool.timers()
+    }
+
     /// Total pages in the store file — the disk-space measure used by the
     /// self-managing advisor (paper §4: `S_RPL`, `S_ERPL` are measured in
     /// disk space consumed).

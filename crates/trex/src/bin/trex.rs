@@ -43,6 +43,7 @@ fn run() -> Result<(), String> {
         "materialize" => materialize(&args),
         "advise" => advise(&args),
         "serve" => serve(&args),
+        "stats" => stats(&args),
         _ => {
             print!("{}", HELP);
             Ok(())
@@ -62,6 +63,13 @@ usage:
   trex materialize <store.db> \"<nexi>\" [--kind both|rpl|erpl]
   trex advise <store.db> --workload <file> --budget <bytes> [--method greedy|lp]
   trex serve <store.db> [-k N] [--self-manage --budget <bytes> [--interval-ms N]]
+                        [--metrics-addr HOST:PORT] [--slow-ms N]
+  trex stats <store.db> [--prometheus]
+
+serve exposes /metrics (Prometheus 0.0.4), /metrics.json, /slow and /healthz
+on --metrics-addr; --slow-ms sets the slow-query capture threshold (default
+100 ms). The REPL also accepts the commands `stats` (metrics JSON) and
+`slow` (slow-query log JSON) on a line by themselves.
 ";
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -388,14 +396,50 @@ fn advise(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One-shot metrics dump for an existing store: every counter and histogram
+/// the registry knows, as JSON (default) or Prometheus text exposition
+/// (`--prometheus`). Counters cover this process only — the open itself
+/// plus whatever the caller already ran — because metrics live in memory,
+/// not in the store.
+fn stats(args: &[String]) -> Result<(), String> {
+    let system = open(args)?;
+    let registry = system.metrics();
+    if has_flag(args, "--prometheus") {
+        print!("{}", registry.render_prometheus());
+    } else {
+        println!("{}", registry.render_json());
+    }
+    Ok(())
+}
+
 /// A NEXI-per-line REPL over stdin, optionally with the online self-manager
-/// reconciling the redundant indexes in the background while queries run.
+/// reconciling the redundant indexes in the background while queries run,
+/// and optionally with a live metrics endpoint (`--metrics-addr`).
 fn serve(args: &[String]) -> Result<(), String> {
     let system = open(args)?;
     let k: Option<usize> = flag(args, "-k")
         .map(|v| v.parse().map_err(|_| "-k expects a number"))
         .transpose()?;
     let k = k.or(Some(10));
+
+    if let Some(ms) = flag(args, "--slow-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "--slow-ms expects milliseconds")?;
+        system
+            .index()
+            .telemetry()
+            .slow
+            .set_threshold(Some(std::time::Duration::from_millis(ms)));
+    }
+
+    let metrics = match flag(args, "--metrics-addr") {
+        Some(addr) => {
+            let server = trex::MetricsServer::start(addr, system.metrics())
+                .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+            eprintln!("metrics: listening on {}", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
 
     let manager = if has_flag(args, "--self-manage") {
         let budget: u64 = flag(args, "--budget")
@@ -406,8 +450,9 @@ fn serve(args: &[String]) -> Result<(), String> {
             .map(|v| v.parse().map_err(|_| "--interval-ms expects a number"))
             .transpose()?
             .unwrap_or(1000);
-        let opts =
-            SelfManageOptions::new(budget).interval(std::time::Duration::from_millis(interval_ms));
+        let opts = SelfManageOptions::new(budget)
+            .interval(std::time::Duration::from_millis(interval_ms))
+            .log_cycles(true);
         let manager = system.start_self_manager(opts).map_err(|e| e.to_string())?;
         eprintln!("self-manager running: budget {budget} bytes, reconcile every {interval_ms} ms");
         Some(manager)
@@ -415,13 +460,22 @@ fn serve(args: &[String]) -> Result<(), String> {
         None
     };
 
-    eprintln!("serving: one NEXI query per line, EOF to exit");
+    eprintln!("serving: one NEXI query per line (or `stats` / `slow`), EOF to exit");
     let engine = system.engine();
+    let registry = system.metrics();
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
         let nexi = line.trim();
         if nexi.is_empty() || nexi.starts_with('#') {
+            continue;
+        }
+        if nexi == "stats" {
+            println!("{}", registry.render_json());
+            continue;
+        }
+        if nexi == "slow" {
+            println!("{}", registry.render_slow_json());
             continue;
         }
         match engine.evaluate(nexi, trex::EvalOptions::new().k(k)) {
@@ -438,12 +492,24 @@ fn serve(args: &[String]) -> Result<(), String> {
                     );
                 }
                 let counters = system.profiler().counters();
+                let latency = system.index().telemetry().query.query.snapshot();
+                let profiled = counters.queries_profiled.get();
+                let fallbacks = counters.era_fallbacks.get();
+                let fallback_rate = if profiled > 0 {
+                    100.0 * fallbacks as f64 / profiled as f64
+                } else {
+                    0.0
+                };
                 let mut status = format!(
-                    "{} answers in {:.3} ms; profiled {} queries, {} era fallback(s)",
+                    "{} answers in {:.3} ms; p50 {:.3} ms p99 {:.3} ms over {} queries; \
+                     profiled {}, era fallback rate {:.1}% ({fallbacks})",
                     result.total_answers,
                     result.stats.wall().as_secs_f64() * 1e3,
-                    counters.queries_profiled.get(),
-                    counters.era_fallbacks.get(),
+                    latency.percentile(0.50) as f64 / 1e6,
+                    latency.percentile(0.99) as f64 / 1e6,
+                    latency.count(),
+                    profiled,
+                    fallback_rate,
                 );
                 if let Some(manager) = &manager {
                     match manager.last_report() {
@@ -467,6 +533,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(manager) = manager {
         manager.stop();
+    }
+    if let Some(metrics) = metrics {
+        metrics.stop();
     }
     Ok(())
 }

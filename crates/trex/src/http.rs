@@ -1,0 +1,242 @@
+//! A tiny hand-rolled HTTP/1.1 responder serving one system's metrics.
+//!
+//! [`MetricsServer::start`] binds a [`TcpListener`] and answers `GET`
+//! requests on a dedicated thread:
+//!
+//! | path | body |
+//! |---|---|
+//! | `/metrics` | Prometheus text exposition format 0.0.4 |
+//! | `/metrics.json` | the same registry as one JSON object |
+//! | `/slow` | the slow-query log (span trees included) |
+//! | `/healthz` | `ok` |
+//!
+//! No external dependency, no framework: requests are read line-by-line,
+//! only the request line matters, and every response closes the
+//! connection (`Connection: close`). That is all a Prometheus scraper or
+//! a `curl` in a terminal needs, and it keeps the binary's footprint at
+//! zero extra crates.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use trex_core::obs::MetricsRegistry;
+
+/// The background metrics endpoint. Dropping (or [`stop`]ping) the handle
+/// shuts the listener thread down.
+///
+/// [`stop`]: MetricsServer::stop
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+    /// port — see [`addr`]) and starts answering scrapes on a new thread.
+    ///
+    /// [`addr`]: MetricsServer::addr
+    pub fn start(addr: &str, registry: MetricsRegistry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("trex-metrics".into())
+                .spawn(move || serve_loop(listener, registry, stop))?
+        };
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (the actual port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, registry: MetricsRegistry, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // A scrape is one short request; a stuck client must not wedge
+        // the endpoint forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let _ = handle(stream, &registry);
+    }
+}
+
+fn handle(stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut stream = reader.into_inner();
+
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
+    }
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &registry.render_prometheus(),
+        ),
+        "/metrics.json" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &registry.render_json(),
+        ),
+        "/slow" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &registry.render_slow_json(),
+        ),
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "try /metrics, /metrics.json, /slow or /healthz\n",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::sync::Arc;
+    use trex_core::obs::{
+        IndexCounters, SelfManageCounters, StorageCounters, StorageTimers, Telemetry,
+    };
+
+    fn registry() -> MetricsRegistry {
+        MetricsRegistry::new(
+            Arc::new(StorageCounters::new()),
+            Arc::new(IndexCounters::new()),
+            Arc::new(SelfManageCounters::new()),
+            Arc::new(StorageTimers::new()),
+            Arc::new(Telemetry::new()),
+        )
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_routes_and_404() {
+        let server = MetricsServer::start("127.0.0.1:0", registry()).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("# TYPE trex_storage_page_reads_total counter"));
+
+        let (head, body) = get(addr, "/metrics.json");
+        assert!(head.contains("application/json"));
+        assert!(body.starts_with("{\"counters\":"));
+
+        let (_, body) = get(addr, "/slow");
+        assert!(body.contains("\"threshold_ns\""));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.stop();
+    }
+
+    #[test]
+    fn stop_terminates_the_thread() {
+        let server = MetricsServer::start("127.0.0.1:0", registry()).unwrap();
+        let addr = server.addr();
+        server.stop();
+        // After stop, new connections are either refused or never answered.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            TcpStream::connect(addr).is_err()
+                || TcpStream::connect(addr)
+                    .and_then(|mut s| {
+                        s.set_read_timeout(Some(Duration::from_millis(200)))?;
+                        write!(s, "GET /healthz HTTP/1.1\r\n\r\n")?;
+                        let mut buf = [0u8; 1];
+                        let n = s.read(&mut buf)?;
+                        Ok(n == 0)
+                    })
+                    .unwrap_or(true)
+        );
+    }
+}

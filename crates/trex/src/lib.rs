@@ -39,6 +39,8 @@
 //! | [`core`] | ERA / TA / Merge, the engine, the self-managing advisor |
 //! | [`corpus`] | synthetic INEX-like collections for the experiments |
 
+pub mod http;
+
 pub use trex_core as core;
 pub use trex_corpus as corpus;
 pub use trex_index as index;
@@ -49,7 +51,8 @@ pub use trex_text as text;
 pub use trex_xml as xml;
 
 // The most-used items, re-exported flat.
-pub use trex_core::obs::{self, QueryTrace, ToJson};
+pub use http::MetricsServer;
+pub use trex_core::obs::{self, MetricsRegistry, QueryTrace, ToJson};
 pub use trex_core::{
     reconcile_once, Advisor, AdvisorOptions, AdvisorReport, Answer, CostCache, CostValidation,
     EvalOptions, Explain, ListKind, ProfilerConfig, QueryEngine, QueryExecutor, QueryResult,
@@ -244,6 +247,21 @@ impl TrexSystem {
     /// work.
     pub fn profiler(&self) -> &Arc<WorkloadProfiler> {
         &self.profiler
+    }
+
+    /// Every metric source of this system — storage / index / self-manage
+    /// counters, the storage timer group, and the index's query-path
+    /// telemetry — assembled behind the registry's `render_prometheus()` /
+    /// `render_json()` calls. Cheap to call (clones `Arc`s); the returned
+    /// registry stays live, so a [`MetricsServer`] can own one.
+    pub fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::new(
+            self.index.store().counters().clone(),
+            self.index.counters().clone(),
+            self.profiler.counters().clone(),
+            self.index.store().timers().clone(),
+            self.index.telemetry().clone(),
+        )
     }
 
     /// Starts the background self-manager: observes the live query stream

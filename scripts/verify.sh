@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full verification gate: formatting, release build, the whole test suite,
-# clippy with warnings denied, release-mode runs of the concurrency stress
-# test, the crash-recovery matrix and the online self-management storm
-# (races and crash sweeps need optimised codegen), and the bench exports
-# (BENCH_wal.json, BENCH_selfmanage.json).
+# workspace-wide clippy with warnings denied, release-mode runs of the
+# concurrency stress test, the crash-recovery matrix and the online
+# self-management storm (races and crash sweeps need optimised codegen),
+# and the bench exports (BENCH_wal.json, BENCH_selfmanage.json,
+# BENCH_obs.json — the last asserts the always-on telemetry overhead).
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,8 +18,8 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
-echo "== cargo clippy --all-targets -- -D warnings =="
-cargo clippy --all-targets -- -D warnings
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test --release --test concurrency =="
 cargo test --release -p trex --test concurrency
@@ -34,5 +35,8 @@ cargo bench -p trex-bench --bench storage
 
 echo "== cargo bench --bench selfmanage (exports BENCH_selfmanage.json) =="
 cargo bench -p trex-bench --bench selfmanage
+
+echo "== cargo bench --bench obs (exports BENCH_obs.json) =="
+cargo bench -p trex-bench --bench obs
 
 echo "verify: OK"

@@ -136,6 +136,9 @@ fn cli_help_lists_commands() {
         "materialize",
         "advise",
         "serve",
+        "stats",
+        "--metrics-addr",
+        "--slow-ms",
     ] {
         assert!(out.contains(cmd), "help missing {cmd}");
     }
@@ -185,5 +188,87 @@ fn serve_answers_piped_queries_while_self_managing() {
     assert!(stderr.contains("answers in"), "status lines: {stderr}");
     assert!(stderr.contains("error:"), "bad query reported: {stderr}");
     assert!(stderr.contains("profiled"), "profiler visible: {stderr}");
+    // The per-query status line surfaces the latency histogram and the
+    // fallback rate alongside the counters.
+    assert!(
+        stderr.contains("p50") && stderr.contains("p99"),
+        "latency percentiles in status line: {stderr}"
+    );
+    assert!(
+        stderr.contains("era fallback rate"),
+        "fallback rate in status line: {stderr}"
+    );
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn serve_stats_command_dumps_metrics_json() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let store = temp("serve-stats");
+    let _ = std::fs::remove_file(&store);
+    let (ok, _, err) = run(&["build", &store, "--synthetic", "ieee", "--docs", "40"]);
+    assert!(ok, "build failed: {err}");
+
+    let mut child = trex()
+        .args(["serve", &store, "-k", "3"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn trex serve");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        writeln!(stdin, "//article//sec[about(., xml query evaluation)]").unwrap();
+        writeln!(stdin, "stats").unwrap();
+        writeln!(stdin, "slow").unwrap();
+    }
+    let out = child.wait_with_output().expect("serve exits on EOF");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"histograms\":{\"storage\":{"),
+        "stats REPL command dumps the registry: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"query\":{\"query\":{\"count\":1"),
+        "the query latency landed in the histogram: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"threshold_ns\":"),
+        "slow REPL command dumps the slow log: {stdout}"
+    );
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn stats_subcommand_renders_json_and_prometheus() {
+    let store = temp("stats");
+    let _ = std::fs::remove_file(&store);
+    let (ok, _, err) = run(&["build", &store, "--synthetic", "ieee", "--docs", "40"]);
+    assert!(ok, "build failed: {err}");
+
+    let (ok, out, err) = run(&["stats", &store]);
+    assert!(ok, "{err}");
+    assert!(out.starts_with("{\"counters\":{\"storage\":{"), "{out}");
+    assert!(out.contains("\"slow_queries\":0"), "{out}");
+
+    let (ok, out, err) = run(&["stats", &store, "--prometheus"]);
+    assert!(ok, "{err}");
+    assert!(
+        out.contains("# TYPE trex_storage_page_reads_total counter"),
+        "{out}"
+    );
+    assert!(
+        out.contains("# TYPE trex_storage_page_read_seconds histogram"),
+        "{out}"
+    );
+    // Opening the store reads pages, so the read histogram is populated
+    // and properly +Inf-terminated.
+    assert!(
+        out.contains("trex_storage_page_read_seconds_bucket{le=\"+Inf\"}"),
+        "{out}"
+    );
     std::fs::remove_file(&store).ok();
 }

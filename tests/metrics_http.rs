@@ -1,0 +1,410 @@
+//! `curl`-equivalent integration test of the live metrics surface:
+//! `trex serve --metrics-addr` must answer `/metrics` with valid Prometheus
+//! text exposition (cumulative, `+Inf`-terminated histogram buckets),
+//! `/metrics.json` with well-formed JSON, and `/slow` with the span tree of
+//! a deliberately slow query (threshold 0) whose begin/end pairs nest.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn trex() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trex"))
+}
+
+fn temp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("trex-metrics-{name}-{}.db", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// One short HTTP/1.1 GET; returns (status line, body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("malformed response: {response}"));
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+/// A minimal structural JSON validator (the workspace has no JSON crate on
+/// purpose): accepts exactly the RFC 8259 grammar, values discarded.
+fn validate_json(text: &str) -> Result<(), String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn err(&self, what: &str) -> String {
+            format!("{what} at byte {}", self.i)
+        }
+        fn ws(&mut self) {
+            while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.i += 1;
+            }
+        }
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.b.get(self.i) == Some(&c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected {:?}", c as char)))
+            }
+        }
+        fn value(&mut self) -> Result<(), String> {
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string(),
+                Some(b't') => self.lit("true"),
+                Some(b'f') => self.lit("false"),
+                Some(b'n') => self.lit("null"),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => Err(self.err("expected a value")),
+            }
+        }
+        fn lit(&mut self, lit: &str) -> Result<(), String> {
+            if self.b[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected {lit}")))
+            }
+        }
+        fn object(&mut self) -> Result<(), String> {
+            self.eat(b'{')?;
+            self.ws();
+            if self.b.get(self.i) == Some(&b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.ws();
+                self.string()?;
+                self.ws();
+                self.eat(b':')?;
+                self.value()?;
+                self.ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(self.err("expected , or }")),
+                }
+            }
+        }
+        fn array(&mut self) -> Result<(), String> {
+            self.eat(b'[')?;
+            self.ws();
+            if self.b.get(self.i) == Some(&b']') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.value()?;
+                self.ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(self.err("expected , or ]")),
+                }
+            }
+        }
+        fn string(&mut self) -> Result<(), String> {
+            self.eat(b'"')?;
+            while let Some(&c) = self.b.get(self.i) {
+                match c {
+                    b'"' => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    b'\\' => {
+                        self.i += 1;
+                        match self.b.get(self.i) {
+                            Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                                self.i += 1
+                            }
+                            Some(b'u') => {
+                                self.i += 1;
+                                for _ in 0..4 {
+                                    if !self.b.get(self.i).is_some_and(|c| c.is_ascii_hexdigit()) {
+                                        return Err(self.err("bad \\u escape"));
+                                    }
+                                    self.i += 1;
+                                }
+                            }
+                            _ => return Err(self.err("bad escape")),
+                        }
+                    }
+                    0x00..=0x1f => return Err(self.err("raw control char in string")),
+                    _ => self.i += 1,
+                }
+            }
+            Err(self.err("unterminated string"))
+        }
+        fn number(&mut self) -> Result<(), String> {
+            let start = self.i;
+            if self.b.get(self.i) == Some(&b'-') {
+                self.i += 1;
+            }
+            while self.b.get(self.i).is_some_and(|c| {
+                c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
+                self.i += 1;
+            }
+            if self.i == start {
+                Err(self.err("empty number"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+    let mut p = P {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(())
+}
+
+/// Checks every `# TYPE <name> histogram` block: cumulative non-decreasing
+/// buckets, a `+Inf` terminator, and `_count` equal to the `+Inf` bucket.
+/// Returns how many histogram metrics were checked.
+fn validate_prometheus_histograms(text: &str) -> usize {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut checked = 0;
+    for (i, line) in lines.iter().enumerate() {
+        let Some(rest) = line.strip_prefix("# TYPE ") else {
+            continue;
+        };
+        let Some(name) = rest.strip_suffix(" histogram") else {
+            continue;
+        };
+        let mut last = 0u64;
+        let mut inf: Option<u64> = None;
+        let mut count: Option<u64> = None;
+        let mut has_sum = false;
+        for l in &lines[i + 1..] {
+            if l.starts_with("# TYPE ") {
+                break;
+            }
+            if let Some(rest) = l.strip_prefix(&format!("{name}_bucket{{le=\"")) {
+                let (le, value) = rest
+                    .split_once("\"} ")
+                    .unwrap_or_else(|| panic!("malformed bucket line: {l}"));
+                let value: u64 = value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("non-integer bucket count: {l}"));
+                assert!(
+                    value >= last,
+                    "{name}: bucket le={le} value {value} < previous {last}"
+                );
+                assert!(inf.is_none(), "{name}: bucket after +Inf: {l}");
+                last = value;
+                if le == "+Inf" {
+                    inf = Some(value);
+                }
+            } else if let Some(v) = l.strip_prefix(&format!("{name}_count ")) {
+                count = Some(v.parse().expect("count"));
+            } else if l.starts_with(&format!("{name}_sum ")) {
+                has_sum = true;
+            }
+        }
+        let inf = inf.unwrap_or_else(|| panic!("{name}: no +Inf bucket"));
+        let count = count.unwrap_or_else(|| panic!("{name}: no _count"));
+        assert_eq!(inf, count, "{name}: +Inf bucket must equal _count");
+        assert!(has_sum, "{name}: no _sum");
+        checked += 1;
+    }
+    checked
+}
+
+/// Pulls a `"field":<digits>` value out of a known-shape JSON object slice.
+fn field_u64(obj: &str, field: &str) -> u64 {
+    let pat = format!("\"{field}\":");
+    let at = obj
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {field} in {obj}"));
+    obj[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {field} in {obj}"))
+}
+
+fn field_str<'a>(obj: &'a str, field: &str) -> &'a str {
+    let pat = format!("\"{field}\":\"");
+    let at = obj
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {field} in {obj}"));
+    let rest = &obj[at + pat.len()..];
+    &rest[..rest.find('"').expect("closing quote")]
+}
+
+#[test]
+fn serve_metrics_endpoint_end_to_end() {
+    let store = temp("serve");
+    let _ = std::fs::remove_file(&store);
+    let build = trex()
+        .args(["build", &store, "--synthetic", "ieee", "--docs", "40"])
+        .output()
+        .expect("build store");
+    assert!(build.status.success(), "{build:?}");
+
+    // Port 0: the OS picks; the bound address is announced on stderr.
+    let mut child = trex()
+        .args([
+            "serve",
+            &store,
+            "-k",
+            "3",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--slow-ms",
+            "0", // every query is "slow": deterministic /slow content
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn trex serve");
+
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        assert!(
+            stderr.read_line(&mut line).expect("read stderr") > 0,
+            "serve exited before announcing the metrics endpoint"
+        );
+        if let Some(addr) = line.trim().strip_prefix("metrics: listening on ") {
+            break addr.to_string();
+        }
+    };
+
+    let (status, body) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, "ok\n");
+
+    // Run one query and wait for its status line so its latency is in the
+    // histograms and its span tree is in the slow log before we scrape.
+    let query = "//article//sec[about(., xml query evaluation)]";
+    writeln!(stdin, "{query}").unwrap();
+    stdin.flush().unwrap();
+    loop {
+        line.clear();
+        assert!(
+            stderr.read_line(&mut line).expect("read stderr") > 0,
+            "serve exited before answering the query"
+        );
+        if line.contains("answers in") {
+            break;
+        }
+    }
+
+    // /metrics: valid Prometheus text exposition.
+    let (status, prom) = http_get(&addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    let histograms = validate_prometheus_histograms(&prom);
+    assert!(
+        histograms >= 15,
+        "expected the full histogram surface, checked only {histograms}"
+    );
+    assert!(prom.contains("# TYPE trex_query_query_seconds histogram"));
+    assert!(
+        prom.contains("trex_query_query_seconds_count 1"),
+        "the served query must be counted:\n{prom}"
+    );
+    assert!(prom.contains("# TYPE trex_storage_page_read_seconds histogram"));
+    assert!(prom.contains("# TYPE trex_storage_pool_hits_total counter"));
+
+    // /metrics.json: well-formed JSON with the same groups.
+    let (status, json) = http_get(&addr, "/metrics.json");
+    assert!(status.contains("200"), "{status}");
+    validate_json(&json).unwrap_or_else(|e| panic!("/metrics.json invalid: {e}\n{json}"));
+    assert!(json.contains("\"histograms\":{\"storage\":{"), "{json}");
+    assert!(json.contains("\"slow_queries\":1"), "{json}");
+
+    // /slow: the query is there (threshold 0), with a nesting span tree.
+    let (status, slow) = http_get(&addr, "/slow");
+    assert!(status.contains("200"), "{status}");
+    validate_json(&slow).unwrap_or_else(|e| panic!("/slow invalid: {e}\n{slow}"));
+    assert!(
+        slow.contains("xml query evaluation"),
+        "slow log must carry the NEXI text: {slow}"
+    );
+    assert!(slow.contains("\"strategy\":\"era\""), "{slow}");
+
+    // Cut the spans array out (span objects contain no brackets) and check
+    // begin/end pairing with a stack, exactly like a trace viewer would.
+    let spans_at = slow.find("\"spans\":[").expect("spans array");
+    let spans = &slow[spans_at + "\"spans\":[".len()..];
+    let spans = &spans[..spans.find(']').expect("spans array end")];
+    let mut stack: Vec<(u64, u64)> = Vec::new(); // (id, parent)
+    let mut names = Vec::new();
+    let mut events = 0;
+    for obj in spans.split("},{") {
+        events += 1;
+        let id = field_u64(obj, "id");
+        let parent = field_u64(obj, "parent");
+        let name = field_str(obj, "name");
+        match field_str(obj, "kind") {
+            "begin" => {
+                let enclosing = stack.last().map(|&(id, _)| id).unwrap_or(parent);
+                assert_eq!(
+                    parent, enclosing,
+                    "span {name} begins under {parent} but {enclosing} is open"
+                );
+                stack.push((id, parent));
+                names.push(name.to_string());
+            }
+            "end" => {
+                let (open, _) = stack
+                    .pop()
+                    .unwrap_or_else(|| panic!("end of {name} with no span open"));
+                assert_eq!(open, id, "end of {name} does not close the innermost span");
+            }
+            other => panic!("unknown kind {other}"),
+        }
+    }
+    assert!(stack.is_empty(), "unclosed spans: {stack:?}");
+    assert!(events >= 4, "expected a tree, got {events} events: {spans}");
+    assert_eq!(names.first().map(String::as_str), Some("query"));
+    assert!(
+        names.iter().any(|n| n == "translate"),
+        "translate child span: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("evaluate:")),
+        "evaluate child span: {names:?}"
+    );
+
+    let (status, _) = http_get(&addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+
+    drop(stdin); // EOF ends the REPL
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "{status:?}");
+    std::fs::remove_file(&store).ok();
+}

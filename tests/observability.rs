@@ -214,3 +214,59 @@ fn concurrent_queries_match_serial_run_and_counters_add_up() {
     );
     std::fs::remove_file(&store).ok();
 }
+
+#[test]
+fn telemetry_histograms_spans_and_slow_log_populate_end_to_end() {
+    let store = temp("telemetry");
+    let system = TrexSystem::build(TrexConfig::new(&store), small_ieee(50)).unwrap();
+    let telemetry = system.index().telemetry().clone();
+    telemetry
+        .slow
+        .set_threshold(Some(std::time::Duration::ZERO));
+
+    for _ in 0..3 {
+        system.search(QUERY, Some(10)).unwrap();
+    }
+
+    // Every stage of the query path landed in its histogram.
+    let query = telemetry.query.query.snapshot();
+    assert_eq!(query.count(), 3);
+    assert_eq!(telemetry.query.translate.snapshot().count(), 3);
+    assert_eq!(telemetry.query.rank.snapshot().count(), 3);
+    assert_eq!(telemetry.query.era_eval.snapshot().count(), 3);
+    assert!(query.percentile(0.50) <= query.percentile(0.99));
+    assert!(query.percentile(0.99) <= query.max_ns());
+    assert!(query.sum_ns() > 0);
+
+    // The storage layer timed its page reads, and the maintenance gate its
+    // (uncontended) read acquisitions — one per query.
+    assert!(system.index().store().timers().page_read.snapshot().count() > 0);
+    assert!(telemetry.maint.read_gate_wait.snapshot().count() >= 3);
+
+    // The journal's event stream nests (everything above ran on this one
+    // thread), and the slow log captured all three queries with their span
+    // subtrees.
+    trex::obs::check_nesting(&telemetry.journal.snapshot()).unwrap();
+    let entries = telemetry.slow.entries();
+    assert_eq!(entries.len(), 3);
+    for entry in &entries {
+        assert_eq!(entry.query, QUERY);
+        assert_eq!(entry.strategy, "era");
+        assert_eq!(entry.trace.strategy, "era");
+        assert!(!entry.spans.is_empty());
+        trex::obs::check_nesting(&entry.spans).unwrap();
+    }
+
+    // Paused telemetry records nothing — histograms, spans and slow log all
+    // hold still while queries keep answering.
+    let registry = system.metrics();
+    registry.set_telemetry_enabled(false);
+    system.search(QUERY, Some(10)).unwrap();
+    assert_eq!(telemetry.query.query.snapshot().count(), 3);
+    assert_eq!(telemetry.slow.len(), 3);
+    registry.set_telemetry_enabled(true);
+    system.search(QUERY, Some(10)).unwrap();
+    assert_eq!(telemetry.query.query.snapshot().count(), 4);
+
+    std::fs::remove_file(&store).ok();
+}
