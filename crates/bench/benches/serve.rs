@@ -1,0 +1,237 @@
+//! Closed-loop HTTP serving bench, exported as `BENCH_serve.json`.
+//!
+//! Measures the wire path end to end — TCP connect, request framing,
+//! admission queue, evaluation (or cache hit), response — the way a client
+//! sees it. A fixed pool of closed-loop clients (each sends, waits for the
+//! full response, then sends again) sweeps 1/8/64/256 connections against
+//! the same four-query mix, once with the generation-keyed result cache on
+//! and once with it off. Per config we report throughput, p50/p99 response
+//! time over successful requests, and the shed rate (`429`s at the
+//! admission queue; the 256-connection sweep deliberately exceeds the
+//! default queue depth so shedding is exercised, not just configured).
+//!
+//! The cache pays for itself on the first repeat: with four distinct
+//! queries every request after the first mix round is a hit, so cache-on
+//! p50 must come in below cache-off p50 at the moderate concurrency
+//! config (asserted).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use trex::corpus::{CorpusConfig, IeeeGenerator};
+use trex::{HttpServerConfig, TrexConfig, TrexSystem};
+use trex_bench::{bench_header, store_dir, Scale};
+
+const MIX: [&str; 4] = [
+    "//article//sec[about(., xml query evaluation)]",
+    "//sec[about(., code signing verification)]",
+    "//article//sec[about(., model checking state space)]",
+    "//article[about(., information retrieval ranking)]",
+];
+
+const CONNECTIONS: [usize; 4] = [1, 8, 64, 256];
+const TOTAL_REQUESTS: usize = 1024;
+const WORKERS: usize = 4;
+
+fn build_system() -> TrexSystem {
+    let path = store_dir().join("serve-bench.db");
+    let _ = std::fs::remove_file(&path);
+    let gen = IeeeGenerator::new(CorpusConfig {
+        docs: Scale::small().ieee_docs,
+        ..CorpusConfig::ieee_default()
+    });
+    TrexSystem::build(TrexConfig::new(&path), gen.documents()).expect("build bench collection")
+}
+
+/// One request over a fresh connection (the server is `Connection: close`).
+/// Returns the status code and the response time.
+fn request(addr: SocketAddr, nexi: &str) -> std::io::Result<(u16, Duration)> {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let body = format!("{{\"nexi\": {nexi:?}, \"k\": 10}}");
+    let head = format!(
+        "POST /v1/query HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    Ok((status, started.elapsed()))
+}
+
+struct ConfigResult {
+    connections: usize,
+    cache: bool,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    ok: u64,
+    shed: u64,
+    shed_rate: f64,
+}
+
+/// Runs one closed-loop sweep: `connections` clients splitting
+/// `TOTAL_REQUESTS` requests (each at least one), round-robin over the mix.
+fn sweep(addr: SocketAddr, connections: usize, cache: bool) -> ConfigResult {
+    let per_client = (TOTAL_REQUESTS / connections).max(1);
+    let shed = AtomicU64::new(0);
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let shed = &shed;
+                scope.spawn(move || {
+                    let mut ok = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let nexi = MIX[(c + i) % MIX.len()];
+                        match request(addr, nexi) {
+                            Ok((200, elapsed)) => ok.push(elapsed.as_nanos() as u64),
+                            Ok((429, _)) => {
+                                // Shed at the door; the next loop iteration
+                                // is the closed-loop client's retry.
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok((status, _)) => panic!("unexpected status {status}"),
+                            // At 256 simultaneous connects the kernel's
+                            // listen backlog rejects ahead of our queue;
+                            // count it with the shed — same door, earlier
+                            // bouncer — and let the loop retry.
+                            Err(e)
+                                if matches!(
+                                    e.kind(),
+                                    std::io::ErrorKind::ConnectionReset
+                                        | std::io::ErrorKind::ConnectionRefused
+                                        | std::io::ErrorKind::ConnectionAborted
+                                        | std::io::ErrorKind::BrokenPipe
+                                ) =>
+                            {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("request failed: {e}"),
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 * p) as usize).min(latencies.len() - 1);
+        latencies[idx] as f64 / 1e6
+    };
+    let ok = latencies.len() as u64;
+    let shed = shed.into_inner();
+    ConfigResult {
+        connections,
+        cache,
+        qps: ok as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        ok,
+        shed,
+        shed_rate: shed as f64 / (ok + shed).max(1) as f64,
+    }
+}
+
+fn main() {
+    let system = build_system();
+    let mut results: Vec<ConfigResult> = Vec::new();
+
+    for cache in [false, true] {
+        let server = system
+            .serve_http(
+                "127.0.0.1:0",
+                HttpServerConfig {
+                    workers: WORKERS,
+                    cache,
+                    ..HttpServerConfig::default()
+                },
+            )
+            .expect("start http server");
+        let addr = server.addr();
+        // Warm-up: page cache, dictionaries, and (when on) the result cache.
+        for q in MIX {
+            request(addr, q).expect("warm-up");
+        }
+        for connections in CONNECTIONS {
+            let r = sweep(addr, connections, cache);
+            eprintln!(
+                "cache {} | {:>3} conns: {:>8.1} qps, p50 {:.3} ms, p99 {:.3} ms, \
+                 {} ok, {} shed ({:.1}%)",
+                if cache { "on " } else { "off" },
+                r.connections,
+                r.qps,
+                r.p50_ms,
+                r.p99_ms,
+                r.ok,
+                r.shed,
+                r.shed_rate * 100.0,
+            );
+            results.push(r);
+        }
+        server.stop();
+    }
+
+    // The whole point of the cache: repeats skip evaluation. At the
+    // moderate-concurrency config the cache-on p50 must beat cache-off.
+    let p50_at = |cache: bool| {
+        results
+            .iter()
+            .find(|r| r.cache == cache && r.connections == 8)
+            .map(|r| r.p50_ms)
+            .expect("8-connection config present")
+    };
+    let (off, on) = (p50_at(false), p50_at(true));
+    assert!(
+        on < off,
+        "cache-on p50 ({on:.3} ms) must be below cache-off p50 ({off:.3} ms)"
+    );
+    // Admission control engaged: with 256 closed-loop clients against 4
+    // workers and the default queue depth, the cache-off sweep cannot keep
+    // up and must shed. (Cache-on may drain hits fast enough to never
+    // saturate — that is the cache doing its job, not a missing limiter.)
+    assert!(
+        results
+            .iter()
+            .any(|r| r.connections == 256 && !r.cache && r.shed > 0),
+        "the cache-off 256-connection sweep must exercise the admission queue"
+    );
+
+    let mut configs = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            configs.push(',');
+        }
+        configs.push_str(&format!(
+            "{{\"connections\":{},\"cache\":{},\"qps\":{:.1},\"p50_ms\":{:.4},\
+             \"p99_ms\":{:.4},\"ok\":{},\"shed\":{},\"shed_rate\":{:.4}}}",
+            r.connections, r.cache, r.qps, r.p50_ms, r.p99_ms, r.ok, r.shed, r.shed_rate,
+        ));
+    }
+    let out = format!(
+        "{{{},\"workers\":{WORKERS},\"total_requests\":{TOTAL_REQUESTS},\
+         \"cache_on_p50_ms\":{on:.4},\"cache_off_p50_ms\":{off:.4},\"configs\":[{configs}]}}",
+        bench_header(Scale::small().ieee_docs, WORKERS),
+    );
+    let path = store_dir().join("BENCH_serve.json");
+    std::fs::write(&path, &out).expect("write BENCH_serve.json");
+    eprintln!("wrote {}", path.display());
+}

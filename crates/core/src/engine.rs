@@ -15,18 +15,18 @@ use trex_text::Analyzer;
 use trex_index::TrexIndex;
 
 use crate::answer::{top_k, Answer};
-use crate::era::{era, EraStats};
+use crate::era::{era_with_deadline, EraStats};
 use crate::materialize::{erpls_cover, rpls_cover};
-use crate::merge::merge_with_cancel;
-use crate::merge::{merge, MergeStats};
+use crate::merge::{merge_with_cancel, MergeStats};
 use crate::metrics::StrategyMetrics;
 use crate::selfmanage::cost::{predicted_merge_accesses, predicted_ta_accesses, CostValidation};
 use crate::selfmanage::profiler::WorkloadProfiler;
-use crate::ta::{ta, ta_with_cancel, TaOptions, TaStats, TA_MAX_TERMS};
+use crate::serve::Deadline;
+use crate::ta::{ta_with_cancel, TaOptions, TaStats, TA_MAX_TERMS};
 use crate::{Result, TrexError};
 
 /// Which retrieval method to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Strategy {
     /// Exhaustive retrieval over Elements + PostingLists.
     Era,
@@ -42,6 +42,40 @@ pub enum Strategy {
     /// Pick automatically based on available indexes and k.
     #[default]
     Auto,
+}
+
+impl Strategy {
+    /// The wire/CLI name of this strategy (`"era"`, `"ta"`, `"merge"`,
+    /// `"race"`, `"auto"`). Inverse of the [`FromStr`] impl.
+    ///
+    /// [`FromStr`]: std::str::FromStr
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Strategy::Era => "era",
+            Strategy::Ta => "ta",
+            Strategy::Merge => "merge",
+            Strategy::Race => "race",
+            Strategy::Auto => "auto",
+        }
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    /// Parses the wire/CLI names, case-insensitively.
+    fn from_str(s: &str) -> std::result::Result<Strategy, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "era" => Ok(Strategy::Era),
+            "ta" => Ok(Strategy::Ta),
+            "merge" => Ok(Strategy::Merge),
+            "race" => Ok(Strategy::Race),
+            "auto" => Ok(Strategy::Auto),
+            other => Err(format!(
+                "unknown strategy {other:?}; expected era, ta, merge, race or auto"
+            )),
+        }
+    }
 }
 
 /// The strategy actually used plus its execution statistics.
@@ -119,6 +153,11 @@ pub struct QueryResult {
     /// cost-model counter deltas); present when the query ran with
     /// [`EvalOptions::trace`] enabled.
     pub trace: Option<QueryTrace>,
+    /// The maintenance generation the evaluation read its lists under
+    /// (captured while holding the read gate, so it is exact). A repeat
+    /// query is answerable from cache iff the current generation still
+    /// equals this one — the serving layer's invalidation key.
+    pub generation: u64,
 }
 
 /// Options for [`QueryEngine::evaluate`], assembled fluently:
@@ -149,6 +188,12 @@ pub struct EvalOptions {
     /// always maintained; this toggle only controls snapshotting and stage
     /// timing, so leaving it off costs nothing measurable.
     pub trace: bool,
+    /// Absolute evaluation deadline. The strategies poll it cooperatively
+    /// at their iteration boundaries (every
+    /// [`serve::deadline::CHECK_INTERVAL`](crate::serve::deadline::CHECK_INTERVAL)
+    /// units of work); an expired query fails with
+    /// [`TrexError::DeadlineExceeded`] instead of running to completion.
+    pub deadline: Option<Instant>,
 }
 
 impl EvalOptions {
@@ -161,6 +206,7 @@ impl EvalOptions {
             interpretation: Interpretation::default(),
             measure_heap: false,
             trace: false,
+            deadline: None,
         }
     }
 
@@ -194,6 +240,18 @@ impl EvalOptions {
         self.trace = on;
         self
     }
+
+    /// Sets an absolute deadline (or clears it with `None`).
+    pub fn deadline_at(mut self, at: impl Into<Option<Instant>>) -> EvalOptions {
+        self.deadline = at.into();
+        self
+    }
+
+    /// Sets a deadline `budget` from now.
+    pub fn deadline_in(mut self, budget: Duration) -> EvalOptions {
+        self.deadline = Instant::now().checked_add(budget);
+        self
+    }
 }
 
 impl Default for EvalOptions {
@@ -221,6 +279,10 @@ pub struct Explain {
 }
 
 /// Evaluates NEXI queries against a [`TrexIndex`].
+///
+/// Cloning is free (two references and a [`Analyzer`] config struct); the
+/// executor clones the engine into a per-batch [`QueryService`](crate::QueryService).
+#[derive(Clone)]
 pub struct QueryEngine<'a> {
     index: &'a TrexIndex,
     analyzer: Analyzer,
@@ -400,6 +462,14 @@ impl<'a> QueryEngine<'a> {
             let _gate_span = telemetry.journal.span("gate_wait");
             self.index.maintenance().enter_read()
         };
+        // The list-set epoch this evaluation reads under; exact because the
+        // gate is held. Doubles as the serving layer's cache key component.
+        let generation = self.index.maintenance().generation();
+        // One up-front poll catches queries that arrived already
+        // over-budget (or spent their budget waiting at the gate) before
+        // any list work starts; the strategies poll cooperatively from here.
+        let deadline = Deadline::from_opt(opts.deadline);
+        deadline.check()?;
         let strategy = self.resolve_strategy(opts, sids, terms)?;
 
         // Counter snapshots bracket the whole evaluation; the deltas are the
@@ -428,7 +498,7 @@ impl<'a> QueryEngine<'a> {
         let eval_started = Instant::now();
         let (answers, total, stats) = match strategy {
             Strategy::Era => {
-                let (answers, stats) = self.run_era(sids, terms)?;
+                let (answers, stats) = self.run_era(sids, terms, deadline)?;
                 let total = answers.len();
                 let rank_started = Instant::now();
                 let answers = match opts.k {
@@ -443,13 +513,15 @@ impl<'a> QueryEngine<'a> {
                 let rpls = self.index.rpls()?;
                 let mut ta_opts = TaOptions::new(k);
                 ta_opts.measure_heap = opts.measure_heap;
-                let (answers, stats) = ta(&rpls, sids, terms, ta_opts)?;
+                let (answers, stats) = ta_with_cancel(&rpls, sids, terms, ta_opts, None, deadline)?
+                    .expect("uncancelled run completes");
                 let total = answers.len();
                 (answers, total, StrategyStats::Ta(stats))
             }
             Strategy::Merge => {
                 let erpls = self.index.erpls()?;
-                let (mut answers, stats) = merge(&erpls, sids, terms)?;
+                let (mut answers, stats) = merge_with_cancel(&erpls, sids, terms, None, deadline)?
+                    .expect("uncancelled run completes");
                 let total = answers.len();
                 let rank_started = Instant::now();
                 if let Some(k) = opts.k {
@@ -458,7 +530,7 @@ impl<'a> QueryEngine<'a> {
                 rank_time = rank_started.elapsed();
                 (answers, total, StrategyStats::Merge(stats))
             }
-            Strategy::Race => self.run_race(sids, terms, opts)?,
+            Strategy::Race => self.run_race(sids, terms, opts, deadline)?,
             Strategy::Auto => unreachable!("resolved above"),
         };
         let evaluate_time = eval_started.elapsed().saturating_sub(rank_time);
@@ -520,6 +592,7 @@ impl<'a> QueryEngine<'a> {
             translation,
             stats,
             trace: if opts.trace { trace } else { None },
+            generation,
         })
     }
 
@@ -605,11 +678,12 @@ impl<'a> QueryEngine<'a> {
         &self,
         sids: &[trex_summary::Sid],
         terms: &[trex_text::TermId],
+        deadline: Deadline,
     ) -> Result<(Vec<Answer>, EraStats)> {
         let started = std::time::Instant::now();
         let elements = self.index.elements()?;
         let postings = self.index.postings()?;
-        let (matches, mut stats) = era(&elements, &postings, sids, terms)?;
+        let (matches, mut stats) = era_with_deadline(&elements, &postings, sids, terms, deadline)?;
         let mut answers = Vec::with_capacity(matches.len());
         for m in matches {
             let mut score = 0.0f32;
@@ -634,6 +708,7 @@ impl<'a> QueryEngine<'a> {
         sids: &[trex_summary::Sid],
         terms: &[trex_text::TermId],
         opts: EvalOptions,
+        deadline: Deadline,
     ) -> Result<(Vec<Answer>, usize, StrategyStats)> {
         use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -656,12 +731,11 @@ impl<'a> QueryEngine<'a> {
                     let run = || -> RaceOutcome {
                         let rpls = index.rpls()?;
                         Ok(
-                            ta_with_cancel(&rpls, sids, terms, ta_opts, Some(cancel))?.map(
-                                |(answers, stats)| {
+                            ta_with_cancel(&rpls, sids, terms, ta_opts, Some(cancel), deadline)?
+                                .map(|(answers, stats)| {
                                     let total = answers.len();
                                     (answers, total, StrategyStats::Ta(stats))
-                                },
-                            ),
+                                }),
                         )
                     };
                     let _ = tx.send((RaceWinner::Ta, run()));
@@ -671,15 +745,17 @@ impl<'a> QueryEngine<'a> {
             scope.spawn(move |_| {
                 let run = || -> RaceOutcome {
                     let erpls = index.erpls()?;
-                    Ok(merge_with_cancel(&erpls, sids, terms, Some(cancel))?.map(
-                        |(mut answers, stats)| {
-                            let total = answers.len();
-                            if let Some(k) = opts.k {
-                                answers.truncate(k);
-                            }
-                            (answers, total, StrategyStats::Merge(stats))
-                        },
-                    ))
+                    Ok(
+                        merge_with_cancel(&erpls, sids, terms, Some(cancel), deadline)?.map(
+                            |(mut answers, stats)| {
+                                let total = answers.len();
+                                if let Some(k) = opts.k {
+                                    answers.truncate(k);
+                                }
+                                (answers, total, StrategyStats::Merge(stats))
+                            },
+                        ),
+                    )
                 };
                 let _ = merge_tx.send((RaceWinner::Merge, run()));
             });

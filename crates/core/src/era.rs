@@ -18,6 +18,7 @@ use trex_index::{ElementRef, ElementsTable, Position, PostingsTable};
 use trex_summary::Sid;
 use trex_text::TermId;
 
+use crate::serve::deadline::{Deadline, CHECK_INTERVAL};
 use crate::Result;
 
 /// One ERA match: an element that contains at least one query term, with
@@ -62,6 +63,19 @@ pub fn era(
     postings: &PostingsTable,
     sids: &[Sid],
     terms: &[TermId],
+) -> Result<(Vec<EraMatch>, EraStats)> {
+    era_with_deadline(elements, postings, sids, terms, Deadline::none())
+}
+
+/// Like [`era`], with a cooperative [`Deadline`] polled every
+/// [`CHECK_INTERVAL`] consumed positions; an expired run fails with
+/// [`TrexError::DeadlineExceeded`](crate::TrexError::DeadlineExceeded).
+pub fn era_with_deadline(
+    elements: &ElementsTable,
+    postings: &PostingsTable,
+    sids: &[Sid],
+    terms: &[TermId],
+    deadline: Deadline,
 ) -> Result<(Vec<EraMatch>, EraStats)> {
     let start = Instant::now();
     let mut stats = EraStats::default();
@@ -163,6 +177,9 @@ pub fn era(
         }
         positions[x] = term_iters[x].next_position()?;
         stats.positions_read += 1;
+        if stats.positions_read % CHECK_INTERVAL == 0 {
+            deadline.check()?;
+        }
     }
 
     stats.wall = start.elapsed();

@@ -14,11 +14,14 @@
 //! cheap ones — never idle a thread before the batch is done.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use trex_index::TrexIndex;
+use trex_obs::ServeMetrics;
 
 use crate::engine::{EvalOptions, QueryEngine, QueryResult};
 use crate::selfmanage::profiler::WorkloadProfiler;
+use crate::serve::{QueryRequest, QueryResponse, QueryService, ResultCache};
 use crate::Result;
 
 /// Evaluates batches of NEXI queries concurrently over one shared
@@ -36,6 +39,8 @@ use crate::Result;
 pub struct QueryExecutor<'a> {
     engine: QueryEngine<'a>,
     threads: usize,
+    cache: Option<Arc<ResultCache>>,
+    metrics: Option<Arc<ServeMetrics>>,
 }
 
 impl<'a> QueryExecutor<'a> {
@@ -47,13 +52,33 @@ impl<'a> QueryExecutor<'a> {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            cache: None,
+            metrics: None,
         }
     }
 
     /// An executor wrapping an existing engine (e.g. one built with a
     /// custom analyzer).
     pub fn with_engine(engine: QueryEngine<'a>) -> QueryExecutor<'a> {
-        QueryExecutor { engine, threads: 1 }
+        QueryExecutor {
+            engine,
+            threads: 1,
+            cache: None,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a result cache: [`execute_batch`](QueryExecutor::execute_batch)
+    /// requests then hit/populate it exactly like the HTTP front end.
+    pub fn with_cache(mut self, cache: Arc<ResultCache>) -> QueryExecutor<'a> {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches serve metrics to batch execution.
+    pub fn with_metrics(mut self, metrics: Arc<ServeMetrics>) -> QueryExecutor<'a> {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Sets the worker-thread count (clamped to ≥ 1).
@@ -133,6 +158,63 @@ impl<'a> QueryExecutor<'a> {
         results
             .into_iter()
             .map(|slot| slot.expect("every query claimed exactly once"))
+            .collect()
+    }
+
+    /// Evaluates a batch of [`QueryRequest`]s through the shared
+    /// [`QueryService`] handler — the same path the HTTP front end and the
+    /// REPL use, so batch queries hit (and populate) the result cache and
+    /// honour per-request deadlines. Results come back in input order; a
+    /// failing request yields its own `Err` without affecting neighbours.
+    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut service = QueryService::new(self.engine.clone());
+        if let Some(cache) = &self.cache {
+            service = service.with_cache(Arc::clone(cache));
+        }
+        if let Some(metrics) = &self.metrics {
+            service = service.with_metrics(Arc::clone(metrics));
+        }
+        let _batch_span = self.engine.index().telemetry().journal.span("batch");
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            return requests.iter().map(|r| service.execute(r)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, Result<QueryResponse>)>(n);
+        let results = crossbeam::thread::scope(|scope| {
+            let cursor = &cursor;
+            let service = &service;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move |_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = service.execute(&requests[i]);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut slots: Vec<Option<Result<QueryResponse>>> = (0..n).map(|_| None).collect();
+            for (i, result) in rx.iter() {
+                slots[i] = Some(result);
+            }
+            slots
+        })
+        .expect("scoped batch threads");
+
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every request claimed exactly once"))
             .collect()
     }
 }
@@ -226,6 +308,41 @@ mod tests {
         let one = executor.evaluate_batch(&["//a//s[about(., cat)]"], EvalOptions::new());
         assert_eq!(one.len(), 1);
         assert!(one[0].is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn request_batch_routes_through_the_service_and_cache() {
+        use crate::serve::CacheStatus;
+
+        let (index, path) = build("requests", &corpus());
+        let cache = Arc::new(ResultCache::new(32));
+        let executor = QueryExecutor::new(&index)
+            .threads(4)
+            .with_cache(Arc::clone(&cache));
+        let requests: Vec<QueryRequest> = [
+            "//a//s[about(., cat)]",
+            "//a//s[about(., bird xml)]",
+            "//a//s[about(., cat)]", // duplicate of the first
+        ]
+        .iter()
+        .map(|q| QueryRequest::new(*q).k(Some(5)))
+        .collect();
+
+        let first = executor.execute_batch(&requests);
+        assert_eq!(first.len(), 3);
+        for r in &first {
+            assert!(r.is_ok());
+        }
+        assert!(!cache.is_empty());
+
+        // Re-running the batch is all hits, answer-identical.
+        let second = executor.execute_batch(&requests);
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(b.cache, CacheStatus::Hit);
+            assert_eq!(a.answers, b.answers);
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -19,6 +19,7 @@ pub mod merge;
 pub mod metrics;
 pub mod qsort;
 pub mod selfmanage;
+pub mod serve;
 pub mod ta;
 
 use std::fmt;
@@ -31,7 +32,7 @@ pub use answer::{rank, top_k, Answer};
 pub use engine::{
     EvalOptions, Explain, QueryEngine, QueryResult, RaceWinner, Strategy, StrategyStats,
 };
-pub use era::{era, EraMatch, EraStats};
+pub use era::{era, era_with_deadline, EraMatch, EraStats};
 pub use executor::QueryExecutor;
 pub use heap::{HeapClock, HeapPolicy, TopKHeap};
 pub use materialize::{
@@ -48,6 +49,10 @@ pub use selfmanage::{
     QueryCost, ReconcileReport, Selection, SelectionMethod, SelfManageOptions, SelfManager,
     Workload, WorkloadProfiler, WorkloadQuery,
 };
+pub use serve::{
+    normalize_nexi, parse_query_request, CacheKey, CacheStatus, CachedResult, Deadline,
+    QueryRequest, QueryResponse, QueryService, ResultCache, WireError, DEFAULT_CACHE_ENTRIES,
+};
 pub use ta::{ta, ta_with_cancel, TaOptions, TaStats, TA_MAX_TERMS};
 
 /// Errors from query evaluation.
@@ -63,6 +68,12 @@ pub enum TrexError {
     Unsupported(String),
     /// The workload definition was invalid.
     Workload(selfmanage::WorkloadError),
+    /// The query's [`EvalOptions::deadline`] passed before evaluation
+    /// finished; the strategies poll it cooperatively at iteration
+    /// boundaries, so the query stopped within one check window. Maps to
+    /// HTTP 408 at the serving surface, and is always retryable (with a
+    /// larger budget).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for TrexError {
@@ -73,6 +84,7 @@ impl fmt::Display for TrexError {
             TrexError::MissingIndex(what) => write!(f, "missing index: {what}"),
             TrexError::Unsupported(what) => write!(f, "unsupported query: {what}"),
             TrexError::Workload(e) => write!(f, "{e}"),
+            TrexError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -85,6 +97,7 @@ impl std::error::Error for TrexError {
             TrexError::MissingIndex(_) => None,
             TrexError::Unsupported(_) => None,
             TrexError::Workload(e) => Some(e),
+            TrexError::DeadlineExceeded => None,
         }
     }
 }

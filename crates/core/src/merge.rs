@@ -17,6 +17,7 @@ use trex_text::TermId;
 
 use crate::answer::Answer;
 use crate::qsort::quicksort;
+use crate::serve::deadline::{Deadline, CHECK_INTERVAL};
 use crate::Result;
 
 /// Execution statistics of one Merge run.
@@ -42,16 +43,23 @@ pub fn merge(
     sids: &[Sid],
     terms: &[TermId],
 ) -> Result<(Vec<Answer>, MergeStats)> {
-    Ok(merge_with_cancel(erpls, sids, terms, None)?.expect("uncancelled run completes"))
+    Ok(
+        merge_with_cancel(erpls, sids, terms, None, Deadline::none())?
+            .expect("uncancelled run completes"),
+    )
 }
 
 /// Like [`merge`], but aborts (returning `Ok(None)`) as soon as `cancel` is
-/// set — checked every 1024 merged elements. Used by the engine's race mode.
+/// set — checked every [`CHECK_INTERVAL`] merged elements, alongside the
+/// cooperative [`Deadline`] (whose expiry fails with
+/// [`TrexError::DeadlineExceeded`](crate::TrexError::DeadlineExceeded)
+/// instead). Used by the engine's race mode and the serving layer.
 pub fn merge_with_cancel(
     erpls: &ErplTable,
     sids: &[Sid],
     terms: &[TermId],
     cancel: Option<&AtomicBool>,
+    deadline: Deadline,
 ) -> Result<Option<(Vec<Answer>, MergeStats)>> {
     let start = Instant::now();
     let mut stats = MergeStats::default();
@@ -110,12 +118,13 @@ pub fn merge_with_cancel(
 
         answers.push(combined);
         stats.merged_elements += 1;
-        if stats.merged_elements % 1024 == 0 {
+        if stats.merged_elements % CHECK_INTERVAL == 0 {
             if let Some(flag) = cancel {
                 if flag.load(Ordering::Relaxed) {
                     return Ok(None);
                 }
             }
+            deadline.check()?;
         }
     }
 

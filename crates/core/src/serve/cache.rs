@@ -1,0 +1,285 @@
+//! The generation-keyed result cache.
+//!
+//! Cache entries are keyed by `(normalized NEXI, k, strategy,
+//! interpretation, maintenance generation)`. The generation component is
+//! the whole invalidation story: `Maintenance::generation()` is bumped by
+//! every reconcile-cycle list mutation, so a reconcile that rewrites the
+//! redundant lists silently orphans every cached result of the previous
+//! list set — no flush call, no epoch broadcast, zero coordination beyond
+//! the counter the maintenance gate already maintains. Orphaned entries age
+//! out through ordinary LRU eviction.
+//!
+//! Lookups key at the *current* generation; inserts key at the generation
+//! the query actually read under the maintenance read gate. The two differ
+//! only when a reconcile commits while the query runs, in which case the
+//! insert lands on the old generation and is correctly unreachable.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use trex_nexi::Interpretation;
+
+use crate::answer::Answer;
+use crate::engine::Strategy;
+
+/// Default capacity (entries) of a [`ResultCache`].
+pub const DEFAULT_CACHE_ENTRIES: usize = 1024;
+
+/// Canonicalizes NEXI text for cache keying: leading/trailing whitespace
+/// trimmed, internal whitespace runs collapsed to one space, and ASCII
+/// letters lowercased — so `"//A//S[about(., Cat)]"` and
+/// `" //a//s[about(.,  cat)] "` share one cache line. NEXI keywords are
+/// matched case-insensitively downstream (the analyzer folds case), so the
+/// fold cannot conflate queries with different answers.
+pub fn normalize_nexi(nexi: &str) -> String {
+    let mut out = String::with_capacity(nexi.len());
+    let mut pending_space = false;
+    for c in nexi.trim().chars() {
+        if c.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        out.push(c.to_ascii_lowercase());
+    }
+    out
+}
+
+/// Full identity of a cacheable evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`normalize_nexi`]'d query text.
+    pub nexi: String,
+    /// Top-k limit (`None` = all answers).
+    pub k: Option<usize>,
+    /// Requested strategy (results differ across strategies only in which
+    /// answers a TA prefix surfaces, but the caller asked for a specific
+    /// execution, so it is part of the identity).
+    pub strategy: Strategy,
+    /// Structural interpretation.
+    pub interpretation: Interpretation,
+    /// The maintenance generation the result was (or would be) computed
+    /// against.
+    pub generation: u64,
+}
+
+/// The cached portion of a query's outcome: everything a repeat request
+/// needs, minus per-execution artefacts (stats, traces) that would be lies
+/// if replayed.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Ranked answers.
+    pub answers: Vec<Answer>,
+    /// Total answers of the query.
+    pub total_answers: usize,
+    /// The strategy label that produced the answers (e.g. `"merge"`).
+    pub strategy: String,
+    /// The generation the answers were computed at.
+    pub generation: u64,
+}
+
+struct Entry {
+    value: Arc<CachedResult>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// A bounded LRU map from [`CacheKey`] to [`CachedResult`].
+///
+/// One mutex over a `HashMap` with per-entry use stamps; eviction is a
+/// linear scan for the stalest entry. Inserts happen only on cache misses —
+/// i.e. after a full strategy evaluation, which dwarfs an O(capacity) scan
+/// by orders of magnitude — and hits touch one entry under a short critical
+/// section, so the simple structure holds up at serving concurrency.
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// A cache bounded to `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached results (stale generations included until
+    /// they age out).
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedResult>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.value)
+        })
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used entry
+    /// when the cache is full.
+    pub fn insert(&self, key: CacheKey, value: Arc<CachedResult>) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(stalest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&stalest);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drops every entry (tests and explicit operator resets; generation
+    /// bumps make this unnecessary in normal operation).
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(nexi: &str, generation: u64) -> CacheKey {
+        CacheKey {
+            nexi: normalize_nexi(nexi),
+            k: Some(10),
+            strategy: Strategy::Auto,
+            interpretation: Interpretation::default(),
+            generation,
+        }
+    }
+
+    fn value(generation: u64) -> Arc<CachedResult> {
+        Arc::new(CachedResult {
+            answers: Vec::new(),
+            total_answers: 0,
+            strategy: "merge".into(),
+            generation,
+        })
+    }
+
+    #[test]
+    fn normalization_collapses_whitespace_and_case() {
+        assert_eq!(
+            normalize_nexi("  //A//S[about(.,\t Cat  dog)] \n"),
+            "//a//s[about(., cat dog)]"
+        );
+        assert_eq!(normalize_nexi(""), "");
+        assert_eq!(normalize_nexi("   "), "");
+        assert_eq!(normalize_nexi("x"), "x");
+        // Equivalent spellings share a key; different queries do not.
+        assert_eq!(
+            normalize_nexi("//a[about(., XML)]"),
+            normalize_nexi("  //a[about(.,   xml)]")
+        );
+        assert_ne!(
+            normalize_nexi("//a[about(., xml)]"),
+            normalize_nexi("//b[about(., xml)]")
+        );
+    }
+
+    #[test]
+    fn hit_miss_and_generation_isolation() {
+        let cache = ResultCache::new(8);
+        assert!(cache.get(&key("//a[about(., x)]", 1)).is_none());
+        cache.insert(key("//a[about(., x)]", 1), value(1));
+        assert!(cache.get(&key("//a[about(., x)]", 1)).is_some());
+        // Same query at a later generation is a distinct key: a reconcile
+        // bump invalidates without touching the map.
+        assert!(cache.get(&key("//a[about(., x)]", 2)).is_none());
+        // Normalized spelling variants hit.
+        assert!(cache.get(&key("  //A[about(.,   x)] ", 1)).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let cache = ResultCache::new(2);
+        cache.insert(key("//a[about(., p)]", 1), value(1));
+        cache.insert(key("//a[about(., q)]", 1), value(1));
+        // Touch p so q becomes the LRU victim.
+        assert!(cache.get(&key("//a[about(., p)]", 1)).is_some());
+        cache.insert(key("//a[about(., r)]", 1), value(1));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("//a[about(., p)]", 1)).is_some());
+        assert!(cache.get(&key("//a[about(., q)]", 1)).is_none());
+        assert!(cache.get(&key("//a[about(., r)]", 1)).is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let cache = ResultCache::new(2);
+        cache.insert(key("//a[about(., p)]", 1), value(1));
+        cache.insert(key("//a[about(., q)]", 1), value(1));
+        cache.insert(key("//a[about(., p)]", 1), value(1));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("//a[about(., q)]", 1)).is_some());
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache = Arc::new(ResultCache::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        let k = key(&format!("//a[about(., w{})]", (t * 17 + i) % 100), 1);
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, value(1));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64);
+    }
+}

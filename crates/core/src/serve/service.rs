@@ -1,0 +1,310 @@
+//! [`QueryService`] — the one `QueryRequest → QueryResponse` handler.
+//!
+//! Every front door (HTTP endpoint, stdin REPL, batch executor) routes
+//! through this type, so caching policy, deadline anchoring, and serve
+//! metrics are decided in exactly one place.
+//!
+//! The cache is keyed by `(normalized query, k, strategy, interpretation,
+//! maintenance generation)`. Lookups use the *current* generation; inserts
+//! use the generation the evaluation actually read its lists under
+//! ([`QueryResult::generation`](crate::QueryResult::generation), captured
+//! while holding the maintenance read gate). The two differ only when a
+//! reconcile commits between lookup and evaluation — the insert then lands
+//! on the old generation, where it is correctly unreachable for new
+//! lookups. No explicit invalidation exists or is needed: a generation bump
+//! makes every older entry unreachable, and LRU ages them out.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use trex_obs::ServeMetrics;
+
+use crate::engine::{QueryEngine, QueryResult};
+use crate::serve::cache::{normalize_nexi, CacheKey, CachedResult, ResultCache};
+use crate::serve::request::{CacheStatus, QueryRequest, QueryResponse};
+use crate::{Result, TrexError};
+
+/// Executes [`QueryRequest`]s against a [`QueryEngine`], with an optional
+/// generation-keyed [`ResultCache`] and optional [`ServeMetrics`].
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use trex_core::{QueryEngine, QueryRequest, QueryService, ResultCache};
+/// # fn demo(index: &trex_index::TrexIndex) -> trex_core::Result<()> {
+/// let service = QueryService::new(QueryEngine::new(index))
+///     .with_cache(Arc::new(ResultCache::new(1024)));
+/// let response = service.execute(&QueryRequest::new("//a//s[about(., xml)]").k(5))?;
+/// assert!(response.answers.len() <= 5);
+/// # Ok(())
+/// # }
+/// ```
+pub struct QueryService<'a> {
+    engine: QueryEngine<'a>,
+    cache: Option<Arc<ResultCache>>,
+    metrics: Option<Arc<ServeMetrics>>,
+}
+
+impl<'a> QueryService<'a> {
+    /// A service over `engine` with no cache and no metrics.
+    pub fn new(engine: QueryEngine<'a>) -> QueryService<'a> {
+        QueryService {
+            engine,
+            cache: None,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a result cache (shared — the HTTP workers and the REPL use
+    /// one cache).
+    pub fn with_cache(mut self, cache: Arc<ResultCache>) -> QueryService<'a> {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches serve metrics (cache hit/miss counters, request timer).
+    pub fn with_metrics(mut self, metrics: Arc<ServeMetrics>) -> QueryService<'a> {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &QueryEngine<'a> {
+        &self.engine
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Executes one request, anchoring its deadline budget now.
+    ///
+    /// Traced requests bypass the cache in both directions: a replayed
+    /// trace would describe work that never happened, and a traced result
+    /// must not shadow an untraced one.
+    pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        self.execute_from(req, Instant::now())
+    }
+
+    /// Like [`execute`](QueryService::execute), with the deadline budget
+    /// anchored at `started` — the moment the serving layer first saw the
+    /// request, so queue wait counts against the budget.
+    pub fn execute_from(&self, req: &QueryRequest, started: Instant) -> Result<QueryResponse> {
+        let result = self.run(req, started);
+        if let Some(metrics) = &self.metrics {
+            if metrics.timers.enabled() {
+                metrics.timers.request.record_duration(started.elapsed());
+            }
+            if let Err(e) = &result {
+                match e {
+                    TrexError::DeadlineExceeded => metrics.counters.deadline_exceeded.incr(),
+                    TrexError::Parse(_)
+                    | TrexError::MissingIndex(_)
+                    | TrexError::Unsupported(_) => metrics.counters.parse_errors.incr(),
+                    TrexError::Index(_) | TrexError::Workload(_) => {
+                        metrics.counters.internal_errors.incr()
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    fn run(&self, req: &QueryRequest, started: Instant) -> Result<QueryResponse> {
+        let cache = match (&self.cache, req.trace) {
+            (Some(cache), false) => cache,
+            _ => {
+                if let Some(m) = &self.metrics {
+                    m.counters.cache_bypass.incr();
+                }
+                let result = self.evaluate(req, started)?;
+                return Ok(self.respond(result, CacheStatus::Bypass, started));
+            }
+        };
+
+        let key = CacheKey {
+            nexi: normalize_nexi(&req.nexi),
+            k: req.k,
+            strategy: req.strategy,
+            interpretation: req.interpretation,
+            generation: self.engine.index().maintenance().generation(),
+        };
+        if let Some(cached) = cache.get(&key) {
+            if let Some(m) = &self.metrics {
+                m.counters.cache_hits.incr();
+            }
+            return Ok(QueryResponse {
+                answers: cached.answers.clone(),
+                total_answers: cached.total_answers,
+                strategy: cached.strategy.clone(),
+                generation: cached.generation,
+                cache: CacheStatus::Hit,
+                server_time: started.elapsed(),
+                trace: None,
+            });
+        }
+
+        if let Some(m) = &self.metrics {
+            m.counters.cache_misses.incr();
+        }
+        let result = self.evaluate(req, started)?;
+        // Key the insert at the generation the evaluation actually read
+        // under the gate, not the one looked up above.
+        cache.insert(
+            CacheKey {
+                generation: result.generation,
+                ..key
+            },
+            Arc::new(CachedResult {
+                answers: result.answers.clone(),
+                total_answers: result.total_answers,
+                strategy: result.stats.name().to_string(),
+                generation: result.generation,
+            }),
+        );
+        Ok(self.respond(result, CacheStatus::Miss, started))
+    }
+
+    fn evaluate(&self, req: &QueryRequest, started: Instant) -> Result<QueryResult> {
+        self.engine
+            .evaluate(&req.nexi, req.eval_options_from(started))
+    }
+
+    fn respond(&self, result: QueryResult, cache: CacheStatus, started: Instant) -> QueryResponse {
+        QueryResponse {
+            answers: result.answers,
+            total_answers: result.total_answers,
+            strategy: result.stats.name().to_string(),
+            generation: result.generation,
+            cache,
+            server_time: started.elapsed(),
+            trace: result.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use trex_index::{IndexBuilder, TrexIndex};
+    use trex_storage::Store;
+    use trex_summary::{AliasMap, SummaryKind};
+    use trex_text::Analyzer;
+
+    fn build(name: &str) -> (TrexIndex, std::path::PathBuf) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trex-service-{name}-{}", std::process::id()));
+        let store = Store::create(&path, 128).unwrap();
+        let mut b = IndexBuilder::new(
+            &store,
+            SummaryKind::Incoming,
+            AliasMap::identity(),
+            Analyzer::verbatim(),
+        )
+        .unwrap();
+        for i in 0..8 {
+            b.add_document(&format!("<a><s>cat dog xml w{i}</s><s>bird w{i}</s></a>"))
+                .unwrap();
+        }
+        b.finish().unwrap();
+        (TrexIndex::open(StdArc::new(store)).unwrap(), path)
+    }
+
+    #[test]
+    fn repeat_query_hits_the_cache_with_identical_answers() {
+        let (index, path) = build("hit");
+        let metrics = Arc::new(ServeMetrics::new());
+        let service = QueryService::new(QueryEngine::new(&index))
+            .with_cache(Arc::new(ResultCache::new(16)))
+            .with_metrics(Arc::clone(&metrics));
+
+        let req = QueryRequest::new("//a//s[about(., cat)]").k(Some(5));
+        let first = service.execute(&req).unwrap();
+        assert_eq!(first.cache, CacheStatus::Miss);
+        let second = service.execute(&req).unwrap();
+        assert_eq!(second.cache, CacheStatus::Hit);
+        assert_eq!(second.answers, first.answers);
+        assert_eq!(second.strategy, first.strategy);
+        assert_eq!(second.generation, first.generation);
+
+        // A whitespace/case variant of the same query also hits.
+        let variant = QueryRequest::new("  //a//s[about(.,   CAT)] ").k(Some(5));
+        assert_eq!(service.execute(&variant).unwrap().cache, CacheStatus::Hit);
+
+        let snap = metrics.counters.snapshot();
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_bypass, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_and_cacheless_requests_bypass() {
+        let (index, path) = build("bypass");
+        let metrics = Arc::new(ServeMetrics::new());
+
+        // Traced request, cache attached: bypass (and nothing inserted).
+        let cache = Arc::new(ResultCache::new(16));
+        let service = QueryService::new(QueryEngine::new(&index))
+            .with_cache(Arc::clone(&cache))
+            .with_metrics(Arc::clone(&metrics));
+        let traced = QueryRequest::new("//a//s[about(., cat)]").trace(true);
+        let response = service.execute(&traced).unwrap();
+        assert_eq!(response.cache, CacheStatus::Bypass);
+        assert!(response.trace.is_some());
+        assert!(cache.is_empty());
+
+        // No cache attached: bypass too.
+        let service = QueryService::new(QueryEngine::new(&index));
+        let plain = QueryRequest::new("//a//s[about(., cat)]");
+        assert_eq!(service.execute(&plain).unwrap().cache, CacheStatus::Bypass);
+
+        assert_eq!(metrics.counters.snapshot().cache_bypass, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn different_k_or_strategy_are_distinct_entries() {
+        let (index, path) = build("keys");
+        let service =
+            QueryService::new(QueryEngine::new(&index)).with_cache(Arc::new(ResultCache::new(16)));
+        let base = QueryRequest::new("//a//s[about(., cat)]");
+        assert_eq!(
+            service.execute(&base.clone().k(Some(3))).unwrap().cache,
+            CacheStatus::Miss
+        );
+        assert_eq!(
+            service.execute(&base.clone().k(Some(7))).unwrap().cache,
+            CacheStatus::Miss
+        );
+        assert_eq!(
+            service.execute(&base.k(Some(3))).unwrap().cache,
+            CacheStatus::Hit
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_count_into_the_right_buckets() {
+        let (index, path) = build("errors");
+        let metrics = Arc::new(ServeMetrics::new());
+        let service =
+            QueryService::new(QueryEngine::new(&index)).with_metrics(Arc::clone(&metrics));
+
+        let malformed = QueryRequest::new("//a//s[about(., )]]]");
+        assert!(service.execute(&malformed).is_err());
+
+        let expired = QueryRequest::new("//a//s[about(., cat)]").deadline_ms(0);
+        match service.execute(&expired) {
+            Err(TrexError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+
+        let snap = metrics.counters.snapshot();
+        assert_eq!(snap.parse_errors, 1);
+        assert_eq!(snap.deadline_exceeded, 1);
+        assert_eq!(snap.internal_errors, 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -21,6 +21,7 @@ use trex_text::TermId;
 
 use crate::answer::{top_k, Answer};
 use crate::heap::{HeapClock, HeapPolicy, TopKHeap};
+use crate::serve::deadline::{Deadline, CHECK_INTERVAL};
 use crate::{Result, TrexError};
 
 /// Hard upper bound on the number of query terms: candidate bookkeeping
@@ -113,19 +114,27 @@ pub fn ta(
     terms: &[TermId],
     opts: TaOptions,
 ) -> Result<(Vec<Answer>, TaStats)> {
-    Ok(ta_with_cancel(rpls, sids, terms, opts, None)?.expect("uncancelled run completes"))
+    Ok(
+        ta_with_cancel(rpls, sids, terms, opts, None, Deadline::none())?
+            .expect("uncancelled run completes"),
+    )
 }
 
 /// Like [`ta`], but aborts (returning `Ok(None)`) as soon as `cancel` is
 /// set. Used by the engine's race mode (paper §4: run TA and Merge in
 /// parallel and "return the answer from the computation that finishes
 /// first") — the loser is cancelled instead of running to completion.
+/// The [`Deadline`] is polled every [`CHECK_INTERVAL`] sorted accesses; an
+/// expired run fails with
+/// [`TrexError::DeadlineExceeded`](crate::TrexError::DeadlineExceeded)
+/// (distinct from cancellation's `Ok(None)`).
 pub fn ta_with_cancel(
     rpls: &RplTable,
     sids: &[Sid],
     terms: &[TermId],
     opts: TaOptions,
     cancel: Option<&AtomicBool>,
+    deadline: Deadline,
 ) -> Result<Option<(Vec<Answer>, TaStats)>> {
     if terms.len() > TA_MAX_TERMS {
         // `1 << j` on the u64 mask would shift out of range for term 64:
@@ -169,12 +178,21 @@ pub fn ta_with_cancel(
     let mut candidates: HashMap<(Sid, ElementRef), Candidate> = HashMap::new();
     let mut topk: TopKHeap<(Sid, ElementRef)> = TopKHeap::with_policy(opts.k, opts.heap_policy);
     let mut since_check = 0usize;
+    let mut last_deadline_check = 0u64;
 
     let result = 'outer: loop {
         if let Some(flag) = cancel {
             if flag.load(Ordering::Relaxed) {
                 return Ok(None);
             }
+        }
+        // Deadline poll on its own (coarser) cadence: one clock read per
+        // CHECK_INTERVAL sorted accesses, independent of the
+        // stopping-condition cadence — a single-term query must not read
+        // the clock once per entry.
+        if stats.sorted_accesses - last_deadline_check >= CHECK_INTERVAL {
+            last_deadline_check = stats.sorted_accesses;
+            deadline.check()?;
         }
         let mut progressed = false;
         for j in 0..n {

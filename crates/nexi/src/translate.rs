@@ -18,7 +18,7 @@ use trex_text::{Analyzer, Dictionary, TermId};
 use crate::ast::{Axis, Modifier, NameTest, Query, RelPath};
 
 /// How structural constraints are interpreted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Interpretation {
     /// Labels matched verbatim.
     Strict,

@@ -428,6 +428,19 @@ histogram_group! {
     }
 }
 
+histogram_group! {
+    /// Serving-side latencies of the HTTP front end, measured around the
+    /// shared request handler (so they include queueing, parsing, and cache
+    /// lookups — everything a client waits for except the network).
+    histograms ServeTimers {
+        /// End-to-end request time from admission to response written.
+        request,
+        /// Time a request spent waiting in the bounded queue before a
+        /// worker picked it up.
+        queue_wait,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

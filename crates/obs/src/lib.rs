@@ -29,15 +29,19 @@
 //! * Serialization is hand-rolled JSON (no serde in the offline tree); every
 //!   trace type knows how to render itself via [`ToJson`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
 pub mod hist;
+pub mod json;
 pub mod registry;
 pub mod span;
 
-pub use hist::{Histogram, HistogramSnapshot, MaintTimers, QueryTimers, Stopwatch, StorageTimers};
-pub use registry::{MetricsRegistry, Telemetry};
+pub use hist::{
+    Histogram, HistogramSnapshot, MaintTimers, QueryTimers, ServeTimers, Stopwatch, StorageTimers,
+};
+pub use json::{parse_json, JsonError, JsonValue};
+pub use registry::{MetricsRegistry, ServeMetrics, Telemetry};
 pub use span::{
     check_nesting, render_events, SlowQuery, SlowQueryLog, SpanEvent, SpanGuard, SpanJournal,
     SpanKind, DEFAULT_SLOW_THRESHOLD,
@@ -72,6 +76,43 @@ impl Counter {
     /// The current count.
     #[inline]
     pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A relaxed atomic level gauge (a value that goes up *and* down, e.g. the
+/// current admission-queue depth). Same discipline as [`Counter`]: relaxed
+/// ordering, statistics not synchronization.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Raises the level by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by one.
+    #[inline]
+    pub fn decr(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -318,6 +359,33 @@ counter_group! {
     }
 }
 
+counter_group! {
+    /// Request accounting for the query-serving front end: admission-control
+    /// outcomes, result-cache effectiveness, and error classes. `admitted`
+    /// counts requests that entered the bounded queue; `shed` counts the
+    /// 429s the admission controller turned away instead of queueing
+    /// unboundedly, so `admitted + shed` is total offered load.
+    counters ServeCounters / snapshot ServeSnapshot {
+        /// Requests accepted into the bounded request queue.
+        admitted,
+        /// Requests shed with `429 Retry-After` because the queue was full.
+        shed,
+        /// Query executions answered from the result cache.
+        cache_hits,
+        /// Query executions that missed the result cache and ran a strategy.
+        cache_misses,
+        /// Query executions that bypassed the cache (trace requested, or
+        /// caching disabled).
+        cache_bypass,
+        /// Queries that ran out of deadline budget mid-strategy (HTTP 408).
+        deadline_exceeded,
+        /// Requests rejected for malformed bodies or invalid NEXI (HTTP 400).
+        parse_errors,
+        /// Requests that failed inside the engine (HTTP 500).
+        internal_errors,
+    }
+}
+
 /// Strategy-level cost-model units for one query, in the vocabulary of §4 of
 /// the paper: sorted accesses (sequential reads of score-ordered RPLs or
 /// position-ordered ERPLs), random accesses (point lookups the engine had to
@@ -438,6 +506,20 @@ mod tests {
         assert_eq!(d.page_reads, 1);
         assert_eq!(d.pool_hits, 0);
         assert_eq!(a.sum(&d).page_reads, 4);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.incr();
+        g.incr();
+        g.decr();
+        assert_eq!(g.get(), 1);
+        g.decr();
+        g.decr();
+        assert_eq!(g.get(), -1, "a gauge may legitimately dip below zero");
+        g.set(42);
+        assert_eq!(g.get(), 42);
     }
 
     #[test]

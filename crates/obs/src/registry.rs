@@ -6,9 +6,11 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crate::hist::{MaintTimers, QueryTimers, StorageTimers};
+use crate::hist::{MaintTimers, QueryTimers, ServeTimers, StorageTimers};
 use crate::span::{SlowQueryLog, SpanJournal};
-use crate::{json_field, IndexCounters, SelfManageCounters, StorageCounters, ToJson};
+use crate::{
+    json_field, Gauge, IndexCounters, SelfManageCounters, ServeCounters, StorageCounters, ToJson,
+};
 
 /// Query-path telemetry shared by the engine, the maintenance gate, and the
 /// reconcile loop: histogram groups, the span journal, and the slow-query
@@ -57,6 +59,31 @@ impl Telemetry {
     }
 }
 
+/// Serving-surface metrics shared by the HTTP front end, the REPL, and the
+/// query service: request counters, request/queue-wait latency histograms,
+/// and the live admission-queue depth gauge. One per system, shared by
+/// `Arc` like every other metric group.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Admission, cache, and error-class counters.
+    pub counters: ServeCounters,
+    /// Request and queue-wait latency histograms.
+    pub timers: ServeTimers,
+    /// Current depth of the bounded request queue.
+    pub queue_depth: Gauge,
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed serving metrics.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics {
+            counters: ServeCounters::new(),
+            timers: ServeTimers::new(),
+            queue_depth: Gauge::new(),
+        }
+    }
+}
+
 /// Every metric source of one system, behind the two render calls the
 /// metrics endpoints serve. Cloning is cheap (`Arc`s all the way down) and
 /// the registry is `Send + Sync`, so the HTTP responder thread can own one.
@@ -67,6 +94,7 @@ pub struct MetricsRegistry {
     selfmanage: Arc<SelfManageCounters>,
     storage_timers: Arc<StorageTimers>,
     telemetry: Arc<Telemetry>,
+    serve: Arc<ServeMetrics>,
 }
 
 impl MetricsRegistry {
@@ -77,6 +105,7 @@ impl MetricsRegistry {
         selfmanage: Arc<SelfManageCounters>,
         storage_timers: Arc<StorageTimers>,
         telemetry: Arc<Telemetry>,
+        serve: Arc<ServeMetrics>,
     ) -> MetricsRegistry {
         MetricsRegistry {
             storage,
@@ -84,6 +113,7 @@ impl MetricsRegistry {
             selfmanage,
             storage_timers,
             telemetry,
+            serve,
         }
     }
 
@@ -102,27 +132,36 @@ impl MetricsRegistry {
         &self.selfmanage
     }
 
+    /// The serving-surface metrics (request counters, latency histograms,
+    /// queue-depth gauge).
+    pub fn serve(&self) -> &Arc<ServeMetrics> {
+        &self.serve
+    }
+
     /// Pauses or resumes every timer group and the span journal (counters
     /// stay on — they are the PR-1 always-on layer). Used by the overhead
     /// bench to measure a true telemetry-off baseline.
     pub fn set_telemetry_enabled(&self, on: bool) {
         self.storage_timers.set_enabled(on);
         self.telemetry.set_enabled(on);
+        self.serve.timers.set_enabled(on);
     }
 
-    fn counter_groups(&self) -> [(&'static str, Vec<(&'static str, u64)>); 3] {
+    fn counter_groups(&self) -> [(&'static str, Vec<(&'static str, u64)>); 4] {
         [
             ("storage", self.storage.snapshot().fields()),
             ("index", self.index.snapshot().fields()),
             ("selfmanage", self.selfmanage.snapshot().fields()),
+            ("serve", self.serve.counters.snapshot().fields()),
         ]
     }
 
-    fn histogram_groups(&self) -> [(&'static str, Vec<(&'static str, &crate::Histogram)>); 3] {
+    fn histogram_groups(&self) -> [(&'static str, Vec<(&'static str, &crate::Histogram)>); 4] {
         [
             ("storage", self.storage_timers.each()),
             ("query", self.telemetry.query.each()),
             ("maint", self.telemetry.maint.each()),
+            ("serve", self.serve.timers.each()),
         ]
     }
 
@@ -146,6 +185,12 @@ impl MetricsRegistry {
                     .write_prometheus(&mut out, &format!("trex_{group}_{field}_seconds"));
             }
         }
+        let _ = writeln!(out, "# TYPE trex_serve_queue_depth gauge");
+        let _ = writeln!(
+            out,
+            "trex_serve_queue_depth {}",
+            self.serve.queue_depth.get()
+        );
         let _ = writeln!(out, "# TYPE trex_spans_dropped_total counter");
         let _ = writeln!(
             out,
@@ -196,6 +241,8 @@ impl MetricsRegistry {
             out.push('}');
         }
         out.push_str("},");
+        json_field(&mut out, "serve_queue_depth", self.serve.queue_depth.get());
+        out.push(',');
         json_field(&mut out, "spans_dropped", self.telemetry.journal.dropped());
         out.push(',');
         json_field(&mut out, "slow_queries", self.telemetry.slow.len() as u64);
@@ -221,6 +268,7 @@ mod tests {
             Arc::new(SelfManageCounters::new()),
             Arc::new(StorageTimers::new()),
             Arc::new(Telemetry::new()),
+            Arc::new(ServeMetrics::new()),
         )
     }
 
@@ -234,10 +282,17 @@ mod tests {
             .query
             .query
             .record_duration(Duration::from_millis(2));
+        r.serve().counters.admitted.add(3);
+        r.serve().queue_depth.set(2);
         let text = r.render_prometheus();
         assert!(text.contains("# TYPE trex_storage_page_reads_total counter"));
         assert!(text.contains("# TYPE trex_selfmanage_cycles_total counter"));
+        assert!(text.contains("# TYPE trex_serve_admitted_total counter"));
+        assert!(text.contains("trex_serve_admitted_total 3"));
+        assert!(text.contains("# TYPE trex_serve_queue_depth gauge"));
+        assert!(text.contains("trex_serve_queue_depth 2"));
         assert!(text.contains("# TYPE trex_storage_page_read_seconds histogram"));
+        assert!(text.contains("# TYPE trex_serve_request_seconds histogram"));
         assert!(text.contains("trex_query_query_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("trex_query_query_seconds_count 1"));
         assert!(text.contains("trex_maint_reconcile_cycle_seconds_count 0"));
@@ -247,10 +302,15 @@ mod tests {
     fn json_rendering_nests_groups() {
         let r = registry();
         r.telemetry.query.query.record(1_000);
+        r.serve().counters.cache_hits.incr();
         let json = r.render_json();
         assert!(json.starts_with("{\"counters\":{\"storage\":{"));
+        assert!(json.contains("\"serve\":{\"admitted\":0"));
+        assert!(json.contains("\"cache_hits\":1"));
         assert!(json.contains("\"histograms\":{\"storage\":{\"page_read\":{"));
+        assert!(json.contains("\"serve\":{\"request\":{"));
         assert!(json.contains("\"query\":{\"query\":{\"count\":1"));
+        assert!(json.contains("\"serve_queue_depth\":0"));
         assert!(json.contains("\"spans_dropped\":0"));
         assert!(json.contains("\"slow_queries\":0"));
     }
@@ -261,8 +321,10 @@ mod tests {
         r.set_telemetry_enabled(false);
         assert!(!r.storage_timers.enabled());
         assert!(!r.telemetry.enabled());
+        assert!(!r.serve().timers.enabled());
         assert!(r.storage_timers.start().elapsed_ns().is_none());
         r.set_telemetry_enabled(true);
         assert!(r.telemetry.journal.enabled());
+        assert!(r.serve().timers.enabled());
     }
 }

@@ -18,8 +18,8 @@ use std::process::ExitCode;
 
 use trex::corpus::{CorpusConfig, IeeeGenerator, WikiGenerator};
 use trex::{
-    AdvisorOptions, AliasMap, ListKind, SelectionMethod, SelfManageOptions, Strategy, TrexConfig,
-    TrexSystem, Workload,
+    AdvisorOptions, AliasMap, HttpServerConfig, ListKind, QueryRequest, SelectionMethod,
+    SelfManageOptions, Strategy, TrexConfig, TrexSystem, Workload,
 };
 
 fn main() -> ExitCode {
@@ -63,13 +63,23 @@ usage:
   trex materialize <store.db> \"<nexi>\" [--kind both|rpl|erpl]
   trex advise <store.db> --workload <file> --budget <bytes> [--method greedy|lp]
   trex serve <store.db> [-k N] [--self-manage --budget <bytes> [--interval-ms N]]
+                        [--listen HOST:PORT] [--workers N] [--queue-depth N]
+                        [--deadline-ms N] [--no-cache]
                         [--metrics-addr HOST:PORT] [--slow-ms N]
   trex stats <store.db> [--prometheus]
 
-serve exposes /metrics (Prometheus 0.0.4), /metrics.json, /slow and /healthz
-on --metrics-addr; --slow-ms sets the slow-query capture threshold (default
-100 ms). The REPL also accepts the commands `stats` (metrics JSON) and
-`slow` (slow-query log JSON) on a line by themselves.
+serve reads one NEXI query per line on stdin; with --listen it also answers
+queries over HTTP (POST /v1/query with a JSON body {\"nexi\", \"k\",
+\"strategy\", \"trace\", \"deadline_ms\"}) behind a bounded admission queue
+(--workers worker threads, --queue-depth queue slots, overflow answered
+429). --deadline-ms sets a default per-query evaluation budget (expired
+queries answer 408); --no-cache disables the generation-keyed result cache.
+The HTTP surface also serves /v1/metrics (Prometheus 0.0.4),
+/v1/metrics.json, /v1/slow and /v1/healthz (with unversioned aliases);
+--metrics-addr exposes the same metrics routes on a separate scrape-only
+endpoint. --slow-ms sets the slow-query capture threshold (default 100 ms).
+The REPL also accepts the commands `stats` (metrics JSON) and `slow`
+(slow-query log JSON) on a line by themselves.
 ";
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -414,7 +424,8 @@ fn stats(args: &[String]) -> Result<(), String> {
 
 /// A NEXI-per-line REPL over stdin, optionally with the online self-manager
 /// reconciling the redundant indexes in the background while queries run,
-/// and optionally with a live metrics endpoint (`--metrics-addr`).
+/// optionally with the query-serving HTTP front end (`--listen`), and
+/// optionally with a scrape-only metrics endpoint (`--metrics-addr`).
 fn serve(args: &[String]) -> Result<(), String> {
     let system = open(args)?;
     let k: Option<usize> = flag(args, "-k")
@@ -441,6 +452,37 @@ fn serve(args: &[String]) -> Result<(), String> {
         None => None,
     };
 
+    let mut http_config = HttpServerConfig::default();
+    if let Some(n) = flag(args, "--workers") {
+        http_config.workers = n.parse().map_err(|_| "--workers expects a number")?;
+    }
+    if let Some(n) = flag(args, "--queue-depth") {
+        http_config.queue_depth = n.parse().map_err(|_| "--queue-depth expects a number")?;
+    }
+    if let Some(ms) = flag(args, "--deadline-ms") {
+        http_config.default_deadline_ms = Some(
+            ms.parse()
+                .map_err(|_| "--deadline-ms expects milliseconds")?,
+        );
+    }
+    http_config.cache = !has_flag(args, "--no-cache");
+    let http = match flag(args, "--listen") {
+        Some(addr) => {
+            let server = system
+                .serve_http(addr, http_config.clone())
+                .map_err(|e| format!("cannot bind http endpoint {addr}: {e}"))?;
+            eprintln!(
+                "http: serving on {} ({} workers, queue depth {}, cache {})",
+                server.addr(),
+                http_config.workers.max(1),
+                http_config.queue_depth,
+                if http_config.cache { "on" } else { "off" },
+            );
+            Some(server)
+        }
+        None => None,
+    };
+
     let manager = if has_flag(args, "--self-manage") {
         let budget: u64 = flag(args, "--budget")
             .ok_or("--self-manage needs --budget <bytes>")?
@@ -461,7 +503,13 @@ fn serve(args: &[String]) -> Result<(), String> {
     };
 
     eprintln!("serving: one NEXI query per line (or `stats` / `slow`), EOF to exit");
-    let engine = system.engine();
+    // The REPL answers through the same QueryService as the HTTP front end
+    // (shared cache, shared serve metrics) — one handler, two transports.
+    let service = if http_config.cache {
+        system.service()
+    } else {
+        trex::QueryService::new(system.engine()).with_metrics(system.serve_metrics().clone())
+    };
     let registry = system.metrics();
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -478,9 +526,13 @@ fn serve(args: &[String]) -> Result<(), String> {
             println!("{}", registry.render_slow_json());
             continue;
         }
-        match engine.evaluate(nexi, trex::EvalOptions::new().k(k)) {
-            Ok(result) => {
-                for (rank, a) in result.answers.iter().enumerate() {
+        let mut request = QueryRequest::new(nexi).k(k);
+        if let Some(ms) = http_config.default_deadline_ms {
+            request = request.deadline_ms(ms);
+        }
+        match service.execute(&request) {
+            Ok(response) => {
+                for (rank, a) in response.answers.iter().enumerate() {
                     println!(
                         "{:>4}. doc {:>6}  span [{}, {}]  sid {:>5}  score {:.4}",
                         rank + 1,
@@ -501,10 +553,13 @@ fn serve(args: &[String]) -> Result<(), String> {
                     0.0
                 };
                 let mut status = format!(
-                    "{} answers in {:.3} ms; p50 {:.3} ms p99 {:.3} ms over {} queries; \
+                    "{} answers in {:.3} ms ({}, cache {}); \
+                     p50 {:.3} ms p99 {:.3} ms over {} queries; \
                      profiled {}, era fallback rate {:.1}% ({fallbacks})",
-                    result.total_answers,
-                    result.stats.wall().as_secs_f64() * 1e3,
+                    response.total_answers,
+                    response.server_time.as_secs_f64() * 1e3,
+                    response.strategy,
+                    response.cache.as_str(),
                     latency.percentile(0.50) as f64 / 1e6,
                     latency.percentile(0.99) as f64 / 1e6,
                     latency.count(),
@@ -530,6 +585,9 @@ fn serve(args: &[String]) -> Result<(), String> {
             }
             Err(e) => eprintln!("error: {e}"),
         }
+    }
+    if let Some(http) = http {
+        http.stop();
     }
     if let Some(manager) = manager {
         manager.stop();

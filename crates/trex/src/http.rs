@@ -1,28 +1,53 @@
-//! A tiny hand-rolled HTTP/1.1 responder serving one system's metrics.
+//! The HTTP front end: query serving plus metrics, hand-rolled HTTP/1.1.
 //!
-//! [`MetricsServer::start`] binds a [`TcpListener`] and answers `GET`
-//! requests on a dedicated thread:
+//! Two servers live here. [`MetricsServer`] is the original single-thread
+//! scrape endpoint (kept for tooling that only wants metrics).
+//! [`HttpServer`] is the query-serving front end: a versioned surface
+//! (`/v1/*`, with unversioned aliases) answering queries through the same
+//! [`QueryService`] the REPL and the batch executor use.
 //!
-//! | path | body |
-//! |---|---|
-//! | `/metrics` | Prometheus text exposition format 0.0.4 |
-//! | `/metrics.json` | the same registry as one JSON object |
-//! | `/slow` | the slow-query log (span trees included) |
-//! | `/healthz` | `ok` |
+//! | route | method | body |
+//! |---|---|---|
+//! | `/v1/query` | POST | JSON request → versioned result envelope |
+//! | `/v1/metrics` | GET | Prometheus text exposition format 0.0.4 |
+//! | `/v1/metrics.json` | GET | the same registry as one JSON object |
+//! | `/v1/slow` | GET | the slow-query log (span trees included) |
+//! | `/v1/healthz` | GET | `ok` |
 //!
-//! No external dependency, no framework: requests are read line-by-line,
-//! only the request line matters, and every response closes the
-//! connection (`Connection: close`). That is all a Prometheus scraper or
-//! a `curl` in a terminal needs, and it keeps the binary's footprint at
-//! zero extra crates.
+//! **Admission control.** The acceptor thread takes connections off the
+//! listener and pushes them into a *bounded* queue ([`HttpServerConfig::
+//! queue_depth`]); a fixed pool of workers drains it. When the queue is
+//! full the acceptor answers `429 Too Many Requests` (with `Retry-After`)
+//! immediately instead of letting the backlog grow — the queue is the only
+//! buffer, so memory under overload is bounded by `queue_depth`, not by
+//! the arrival rate.
+//!
+//! **Deadlines.** A request's `deadline_ms` budget is anchored at *enqueue*
+//! time, so time spent waiting in the admission queue counts against it;
+//! the strategies then poll the deadline cooperatively at their iteration
+//! boundaries and an expired query answers `408` rather than running on.
+//!
+//! **Errors.** Every non-200 response is a structured JSON object
+//! `{"code", "message", "retryable"}` — `400` (unparsable request or
+//! query), `404`, `405`, `408` (deadline), `411`/`413` (body framing),
+//! `429` (shed), `500` (engine failure).
+//!
+//! No external dependency, no framework: requests are read line-by-line
+//! with per-connection read/write timeouts, bodies are framed by
+//! `Content-Length` (capped), and every response closes the connection.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use trex_core::obs::MetricsRegistry;
+use trex_core::obs::{MetricsRegistry, ServeMetrics};
+use trex_core::serve::error_body;
+use trex_core::{parse_query_request, QueryEngine, QueryService, TrexError, WorkloadProfiler};
+use trex_index::TrexIndex;
+
+use crate::TrexSystem;
 
 /// The background metrics endpoint. Dropping (or [`stop`]ping) the handle
 /// shuts the listener thread down.
@@ -94,11 +119,11 @@ fn serve_loop(listener: TcpListener, registry: MetricsRegistry, stop: Arc<Atomic
         // the endpoint forever.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-        let _ = handle(stream, &registry);
+        let _ = handle_scrape(stream, &registry);
     }
 }
 
-fn handle(stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+fn handle_scrape(stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
@@ -121,31 +146,380 @@ fn handle(stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> 
             "GET only\n",
         );
     }
-    match path {
-        "/metrics" => respond(
-            &mut stream,
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            &registry.render_prometheus(),
-        ),
-        "/metrics.json" => respond(
-            &mut stream,
-            "200 OK",
-            "application/json",
-            &registry.render_json(),
-        ),
-        "/slow" => respond(
-            &mut stream,
-            "200 OK",
-            "application/json",
-            &registry.render_slow_json(),
-        ),
-        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
-        _ => respond(
+    match metrics_route(unversioned(path), registry) {
+        Some((content_type, body)) => respond(&mut stream, "200 OK", content_type, &body),
+        None => respond(
             &mut stream,
             "404 Not Found",
             "text/plain",
             "try /metrics, /metrics.json, /slow or /healthz\n",
+        ),
+    }
+}
+
+/// The GET surface shared by both servers.
+fn metrics_route(path: &str, registry: &MetricsRegistry) -> Option<(&'static str, String)> {
+    match path {
+        "/metrics" => Some((
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_prometheus(),
+        )),
+        "/metrics.json" => Some(("application/json", registry.render_json())),
+        "/slow" => Some(("application/json", registry.render_slow_json())),
+        "/healthz" => Some(("text/plain", "ok\n".to_string())),
+        _ => None,
+    }
+}
+
+/// Maps a `/v1/...` path to its unversioned alias; other paths pass
+/// through. `/v1/query` and `/query` are the same route.
+fn unversioned(path: &str) -> &str {
+    match path.strip_prefix("/v1") {
+        Some(rest) if rest.starts_with('/') => rest,
+        _ => path,
+    }
+}
+
+/// Configuration of the [`HttpServer`] front end.
+#[derive(Debug, Clone)]
+pub struct HttpServerConfig {
+    /// Worker threads draining the admission queue (default 4).
+    pub workers: usize,
+    /// Admission-queue depth; connections beyond it are shed with `429`
+    /// (default 64).
+    pub queue_depth: usize,
+    /// Largest accepted request body in bytes; larger bodies answer `413`
+    /// (default 64 KiB).
+    pub max_body_bytes: usize,
+    /// Per-connection read/write timeout (default 5 s) — a stalled client
+    /// can hold a worker for at most this long.
+    pub io_timeout: Duration,
+    /// Deadline budget applied to requests that do not carry their own
+    /// `deadline_ms` (default: none).
+    pub default_deadline_ms: Option<u64>,
+    /// Serve answers from the generation-keyed result cache (default on).
+    pub cache: bool,
+}
+
+impl Default for HttpServerConfig {
+    fn default() -> HttpServerConfig {
+        HttpServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_body_bytes: 64 * 1024,
+            io_timeout: Duration::from_secs(5),
+            default_deadline_ms: None,
+            cache: true,
+        }
+    }
+}
+
+/// The query-serving HTTP front end. Start with [`TrexSystem::serve_http`];
+/// dropping (or [`stop`]ping) the handle shuts the acceptor and every
+/// worker down.
+///
+/// [`stop`]: HttpServer::stop
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` and starts the acceptor plus `config.workers` worker
+    /// threads serving `system`'s index.
+    pub fn start(
+        addr: &str,
+        system: &TrexSystem,
+        config: HttpServerConfig,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let serve = system.serve_metrics().clone();
+        let cache = config.cache.then(|| system.result_cache().clone());
+
+        let workers_n = config.workers.max(1);
+        let (tx, rx) = crossbeam::channel::bounded::<(TcpStream, Instant)>(config.queue_depth);
+
+        let mut workers = Vec::with_capacity(workers_n);
+        for i in 0..workers_n {
+            let rx = rx.clone();
+            let index: Arc<TrexIndex> = system.index.clone();
+            let profiler: Arc<WorkloadProfiler> = system.profiler.clone();
+            let cache = cache.clone();
+            let serve = serve.clone();
+            let registry = system.metrics();
+            let config = config.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("trex-http-{i}"))
+                    .spawn(move || {
+                        let engine = QueryEngine::new(&index).with_profiler(&profiler);
+                        let mut service = QueryService::new(engine).with_metrics(serve.clone());
+                        if let Some(cache) = &cache {
+                            service = service.with_cache(cache.clone());
+                        }
+                        while let Ok((stream, enqueued)) = rx.recv() {
+                            serve.queue_depth.decr();
+                            if serve.timers.enabled() {
+                                serve.timers.queue_wait.record_duration(enqueued.elapsed());
+                            }
+                            let _ = handle_conn(stream, &service, &registry, &config, enqueued);
+                        }
+                    })?,
+            );
+        }
+        drop(rx);
+
+        let acceptor = {
+            let stop = stop.clone();
+            let io_timeout = config.io_timeout;
+            std::thread::Builder::new()
+                .name("trex-http-accept".into())
+                .spawn(move || {
+                    accept_loop(listener, tx, serve, stop, io_timeout);
+                })?
+        };
+
+        Ok(HttpServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (the actual port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the acceptor and workers, waiting for in-flight requests.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor owned the queue sender; with it gone the workers
+        // drain the remaining connections and exit.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: crossbeam::channel::Sender<(TcpStream, Instant)>,
+    serve: Arc<ServeMetrics>,
+    stop: Arc<AtomicBool>,
+    io_timeout: Duration,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(io_timeout));
+        let _ = stream.set_write_timeout(Some(io_timeout));
+        match tx.try_send((stream, Instant::now())) {
+            Ok(()) => {
+                serve.counters.admitted.incr();
+                serve.queue_depth.incr();
+            }
+            Err(crossbeam::channel::TrySendError::Full((mut stream, _))) => {
+                // Shed at the door: bounded queue, bounded memory. The
+                // write is covered by the timeout set above, so a slow
+                // shed-target cannot wedge the acceptor for long.
+                serve.counters.shed.incr();
+                let _ = respond_with(
+                    &mut stream,
+                    "429 Too Many Requests",
+                    "application/json",
+                    &[("Retry-After", "1")],
+                    &error_body("overloaded", "request queue is full; retry shortly", true),
+                );
+            }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+/// One parsed request, or the error response it should get.
+type ReadOutcome = Result<(String, String, String), (&'static str, String)>;
+
+/// Reads a request (line, headers, `Content-Length`-framed body) off any
+/// buffered reader. Returns `Err((status, json_body))` for framing
+/// problems the caller should answer directly.
+fn read_request<R: BufRead>(reader: &mut R, max_body_bytes: usize) -> std::io::Result<ReadOutcome> {
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+
+    let mut content_length: Option<usize> = None;
+    let mut bad_length = false;
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if reader.read_line(&mut header)? <= 2 {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                match value.trim().parse::<usize>() {
+                    Ok(n) => content_length = Some(n),
+                    Err(_) => bad_length = true,
+                }
+            }
+        }
+    }
+
+    if method != "POST" {
+        return Ok(Ok((method, path, String::new())));
+    }
+    if bad_length {
+        return Ok(Err((
+            "400 Bad Request",
+            error_body("bad_request", "unparsable Content-Length", false),
+        )));
+    }
+    let Some(len) = content_length else {
+        return Ok(Err((
+            "411 Length Required",
+            error_body("length_required", "POST requires Content-Length", false),
+        )));
+    };
+    if len > max_body_bytes {
+        return Ok(Err((
+            "413 Payload Too Large",
+            error_body(
+                "payload_too_large",
+                &format!("body of {len} bytes exceeds the {max_body_bytes}-byte cap"),
+                false,
+            ),
+        )));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    let body = match String::from_utf8(body) {
+        Ok(s) => s,
+        Err(_) => {
+            return Ok(Err((
+                "400 Bad Request",
+                error_body("bad_request", "body is not valid UTF-8", false),
+            )))
+        }
+    };
+    Ok(Ok((method, path, body)))
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    service: &QueryService<'_>,
+    registry: &MetricsRegistry,
+    config: &HttpServerConfig,
+    enqueued: Instant,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let outcome = read_request(&mut reader, config.max_body_bytes)?;
+    let mut stream = reader.into_inner();
+    let (method, path, body) = match outcome {
+        Ok(parsed) => parsed,
+        Err((status, body)) => return respond(&mut stream, status, "application/json", &body),
+    };
+
+    match (method.as_str(), unversioned(&path)) {
+        ("POST", "/query") => {
+            let (status, body) = answer_query(service, config, &body, enqueued);
+            respond(&mut stream, status, "application/json", &body)
+        }
+        ("GET", "/query") => respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "application/json",
+            &error_body("method_not_allowed", "/query expects POST", false),
+        ),
+        ("GET", get_path) => match metrics_route(get_path, registry) {
+            Some((content_type, body)) => respond(&mut stream, "200 OK", content_type, &body),
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                &error_body(
+                    "not_found",
+                    "try /v1/query, /v1/metrics, /v1/metrics.json, /v1/slow or /v1/healthz",
+                    false,
+                ),
+            ),
+        },
+        _ => respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "application/json",
+            &error_body("method_not_allowed", "use GET, or POST for /query", false),
+        ),
+    }
+}
+
+/// Executes one `/query` body, mapping every outcome to `(status, body)`.
+fn answer_query(
+    service: &QueryService<'_>,
+    config: &HttpServerConfig,
+    body: &str,
+    enqueued: Instant,
+) -> (&'static str, String) {
+    let request = match parse_query_request(body) {
+        Ok(r) => r,
+        Err(e) => {
+            // Count it like the service counts engine-side parse errors:
+            // the request never reaches `execute`.
+            return (
+                "400 Bad Request",
+                error_body("bad_request", &e.to_string(), false),
+            );
+        }
+    };
+    let request = match (request.deadline_ms, config.default_deadline_ms) {
+        (None, Some(ms)) => request.deadline_ms(ms),
+        _ => request,
+    };
+    match service.execute_from(&request, enqueued) {
+        Ok(response) => ("200 OK", trex_core::obs::ToJson::to_json(&response)),
+        Err(TrexError::DeadlineExceeded) => (
+            "408 Request Timeout",
+            error_body(
+                "deadline_exceeded",
+                "query deadline exceeded; retry with a larger budget",
+                true,
+            ),
+        ),
+        Err(e @ (TrexError::Parse(_) | TrexError::MissingIndex(_) | TrexError::Unsupported(_))) => {
+            (
+                "400 Bad Request",
+                error_body("query_error", &e.to_string(), false),
+            )
+        }
+        Err(e) => (
+            "500 Internal Server Error",
+            error_body("internal", &e.to_string(), false),
         ),
     }
 }
@@ -156,11 +530,28 @@ fn respond(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    respond_with(stream, status, content_type, &[], body)
+}
+
+fn respond_with(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
-    )?;
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
@@ -181,6 +572,7 @@ mod tests {
             Arc::new(SelfManageCounters::new()),
             Arc::new(StorageTimers::new()),
             Arc::new(Telemetry::new()),
+            Arc::new(ServeMetrics::new()),
         )
     }
 
@@ -220,6 +612,18 @@ mod tests {
     }
 
     #[test]
+    fn metrics_server_accepts_versioned_aliases() {
+        let server = MetricsServer::start("127.0.0.1:0", registry()).unwrap();
+        let addr = server.addr();
+        let (head, body) = get(addr, "/v1/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
+        let (head, _) = get(addr, "/v1/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        server.stop();
+    }
+
+    #[test]
     fn stop_terminates_the_thread() {
         let server = MetricsServer::start("127.0.0.1:0", registry()).unwrap();
         let addr = server.addr();
@@ -237,6 +641,63 @@ mod tests {
                         Ok(n == 0)
                     })
                     .unwrap_or(true)
+        );
+    }
+
+    #[test]
+    fn unversioned_maps_only_proper_v1_prefixes() {
+        assert_eq!(unversioned("/v1/query"), "/query");
+        assert_eq!(unversioned("/v1/metrics.json"), "/metrics.json");
+        assert_eq!(unversioned("/query"), "/query");
+        assert_eq!(unversioned("/v1"), "/v1");
+        assert_eq!(unversioned("/v1x/query"), "/v1x/query");
+    }
+
+    #[test]
+    fn read_request_frames_posts_by_content_length() {
+        let raw = "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{}xy";
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let (method, path, body) = read_request(&mut reader, 1024).unwrap().unwrap();
+        assert_eq!(method, "POST");
+        assert_eq!(path, "/v1/query");
+        assert_eq!(body, "{}xy");
+
+        // Header name is case-insensitive.
+        let raw = "POST /q HTTP/1.1\r\ncontent-length: 2\r\n\r\nok";
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let (_, _, body) = read_request(&mut reader, 1024).unwrap().unwrap();
+        assert_eq!(body, "ok");
+    }
+
+    #[test]
+    fn read_request_rejects_bad_framing() {
+        // POST without Content-Length → 411.
+        let raw = "POST /v1/query HTTP/1.1\r\nHost: x\r\n\r\n{}";
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let (status, body) = read_request(&mut reader, 1024).unwrap().unwrap_err();
+        assert!(status.starts_with("411"), "{status}");
+        assert!(body.contains("length_required"));
+
+        // Oversized body → 413, without reading the body.
+        let raw = "POST /v1/query HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let (status, body) = read_request(&mut reader, 1024).unwrap().unwrap_err();
+        assert!(status.starts_with("413"), "{status}");
+        assert!(body.contains("payload_too_large"));
+
+        // Garbage Content-Length → 400.
+        let raw = "POST /v1/query HTTP/1.1\r\nContent-Length: lots\r\n\r\n";
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let (status, _) = read_request(&mut reader, 1024).unwrap().unwrap_err();
+        assert!(status.starts_with("400"), "{status}");
+
+        // GETs never need a body.
+        let raw = "GET /v1/healthz HTTP/1.1\r\n\r\n";
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let (method, path, body) = read_request(&mut reader, 1024).unwrap().unwrap();
+        assert_eq!(
+            (method.as_str(), path.as_str(), body.as_str()),
+            ("GET", "/v1/healthz", "")
         );
     }
 }

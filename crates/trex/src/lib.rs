@@ -51,14 +51,15 @@ pub use trex_text as text;
 pub use trex_xml as xml;
 
 // The most-used items, re-exported flat.
-pub use http::MetricsServer;
-pub use trex_core::obs::{self, MetricsRegistry, QueryTrace, ToJson};
+pub use http::{HttpServer, HttpServerConfig, MetricsServer};
+pub use trex_core::obs::{self, MetricsRegistry, QueryTrace, ServeMetrics, ToJson};
 pub use trex_core::{
-    reconcile_once, Advisor, AdvisorOptions, AdvisorReport, Answer, CostCache, CostValidation,
-    EvalOptions, Explain, ListKind, ProfilerConfig, QueryEngine, QueryExecutor, QueryResult,
-    RaceWinner, ReconcileReport, SelectionMethod, SelfManageOptions, SelfManager, Strategy,
-    StrategyMetrics, StrategyStats, TrexError, Workload, WorkloadProfiler, WorkloadQuery,
-    TA_PREDICTION_FACTOR,
+    parse_query_request, reconcile_once, Advisor, AdvisorOptions, AdvisorReport, Answer,
+    CacheStatus, CostCache, CostValidation, EvalOptions, Explain, ListKind, ProfilerConfig,
+    QueryEngine, QueryExecutor, QueryRequest, QueryResponse, QueryResult, QueryService, RaceWinner,
+    ReconcileReport, ResultCache, SelectionMethod, SelfManageOptions, SelfManager, Strategy,
+    StrategyMetrics, StrategyStats, TrexError, WireError, Workload, WorkloadProfiler,
+    WorkloadQuery, DEFAULT_CACHE_ENTRIES, TA_PREDICTION_FACTOR,
 };
 pub use trex_index::{ElementRef, TrexIndex};
 pub use trex_nexi::Interpretation;
@@ -112,10 +113,13 @@ impl TrexConfig {
 }
 
 /// The assembled TReX system: one store, one index, one engine, one
-/// workload profiler feeding the (optional) online self-manager.
+/// workload profiler feeding the (optional) online self-manager, one
+/// result cache and serve-metrics group shared by every front door.
 pub struct TrexSystem {
     index: Arc<TrexIndex>,
     profiler: Arc<WorkloadProfiler>,
+    cache: Arc<ResultCache>,
+    serve_metrics: Arc<ServeMetrics>,
 }
 
 impl TrexSystem {
@@ -123,6 +127,8 @@ impl TrexSystem {
         TrexSystem {
             index: Arc::new(index),
             profiler: Arc::new(WorkloadProfiler::new(ProfilerConfig::default())),
+            cache: Arc::new(ResultCache::new(DEFAULT_CACHE_ENTRIES)),
+            serve_metrics: Arc::new(ServeMetrics::new()),
         }
     }
 }
@@ -261,7 +267,23 @@ impl TrexSystem {
             self.profiler.counters().clone(),
             self.index.store().timers().clone(),
             self.index.telemetry().clone(),
+            self.serve_metrics.clone(),
         )
+    }
+
+    /// The serving-layer metrics group (admission, cache, deadline
+    /// counters; request / queue-wait timers) shared by every front door.
+    pub fn serve_metrics(&self) -> &Arc<ServeMetrics> {
+        &self.serve_metrics
+    }
+
+    /// The system-wide result cache, keyed by `(normalized query, k,
+    /// strategy, interpretation, maintenance generation)`. Shared by the
+    /// HTTP front end, the REPL and [`TrexSystem::service`]; a reconcile
+    /// that changes the redundant lists bumps the generation, making every
+    /// older entry unreachable — no explicit invalidation anywhere.
+    pub fn result_cache(&self) -> &Arc<ResultCache> {
+        &self.cache
     }
 
     /// Starts the background self-manager: observes the live query stream
@@ -288,9 +310,32 @@ impl TrexSystem {
 
     /// A batch executor over the index: evaluates slices of NEXI queries on
     /// a scoped thread pool, returning per-query results in input order.
-    /// Wired to the system's workload profiler.
+    /// Wired to the system's workload profiler, result cache and serve
+    /// metrics (its [`QueryExecutor::execute_batch`] path routes through
+    /// the same handler as the HTTP front end).
     pub fn executor(&self) -> QueryExecutor<'_> {
-        QueryExecutor::new(&self.index).with_profiler(&self.profiler)
+        QueryExecutor::new(&self.index)
+            .with_profiler(&self.profiler)
+            .with_cache(self.cache.clone())
+            .with_metrics(self.serve_metrics.clone())
+    }
+
+    /// The shared `QueryRequest → QueryResponse` handler: the engine plus
+    /// the system's result cache and serve metrics. The HTTP front end, the
+    /// REPL and the batch executor all answer queries through this one
+    /// path.
+    pub fn service(&self) -> QueryService<'_> {
+        QueryService::new(self.engine())
+            .with_cache(self.cache.clone())
+            .with_metrics(self.serve_metrics.clone())
+    }
+
+    /// Starts the query-serving HTTP front end on `addr` (see
+    /// [`HttpServer`]): `POST /v1/query` plus the metrics surface, with
+    /// bounded-queue admission control and cooperative deadlines. Stop (or
+    /// drop) the returned handle to shut it down.
+    pub fn serve_http(&self, addr: &str, config: HttpServerConfig) -> std::io::Result<HttpServer> {
+        HttpServer::start(addr, self, config)
     }
 
     /// Evaluates a NEXI query with automatic strategy selection; `k = None`

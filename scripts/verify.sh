@@ -3,8 +3,10 @@
 # workspace-wide clippy with warnings denied, release-mode runs of the
 # concurrency stress test, the crash-recovery matrix and the online
 # self-management storm (races and crash sweeps need optimised codegen),
-# and the bench exports (BENCH_wal.json, BENCH_selfmanage.json,
-# BENCH_obs.json — the last asserts the always-on telemetry overhead).
+# the HTTP serving end-to-end suite, and the bench exports
+# (BENCH_wal.json, BENCH_selfmanage.json, BENCH_obs.json — which asserts
+# the always-on telemetry overhead — and BENCH_serve.json — which asserts
+# cache-on p50 below cache-off and shedding under overload).
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,6 +32,9 @@ cargo test --release -p trex --test crash_recovery
 echo "== cargo test --release --test self_managing_online =="
 cargo test --release -p trex --test self_managing_online
 
+echo "== cargo test --release --test http_serve =="
+cargo test --release -p trex --test http_serve
+
 echo "== cargo bench --bench storage (exports BENCH_wal.json) =="
 cargo bench -p trex-bench --bench storage
 
@@ -38,5 +43,8 @@ cargo bench -p trex-bench --bench selfmanage
 
 echo "== cargo bench --bench obs (exports BENCH_obs.json) =="
 cargo bench -p trex-bench --bench obs
+
+echo "== cargo bench --bench serve (exports BENCH_serve.json) =="
+cargo bench -p trex-bench --bench serve
 
 echo "verify: OK"

@@ -78,6 +78,16 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]: the channel was full or every
+    /// receiver is gone; the message is handed back either way.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue was at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is drained and
     /// every sender is gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -148,6 +158,22 @@ pub mod channel {
                 }
                 state = self.inner.not_full.wait(state).unwrap();
             }
+        }
+
+        /// Enqueues `value` without blocking: fails with
+        /// [`TrySendError::Full`] when the queue is at capacity (the basis
+        /// of bounded-queue admission control).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.queue.len() >= self.inner.cap {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.inner.not_empty.notify_one();
+            Ok(())
         }
     }
 
@@ -238,6 +264,18 @@ mod tests {
         let (tx, rx) = crate::channel::bounded::<u8>(1);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        use crate::channel::TrySendError;
+        let (tx, rx) = crate::channel::bounded::<u8>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
