@@ -1,0 +1,240 @@
+//! Block-layout benchmark: measures what the block-compressed RPL/ERPL
+//! storage buys over the seed one-record-per-entry layout on the bundled
+//! IEEE corpus, and proves it changes nothing semantically — ERA, TA and
+//! Merge answers stay identical and the §4 cost validations still hold.
+//! Writes `BENCH_blocks.json`:
+//!
+//! - compression: registry-reported bytes of every materialised list under
+//!   the block layout vs the same lists priced at the seed layout
+//!   (20-byte-key record per RPL entry, 16+4 per ERPL entry). The bench
+//!   *asserts* the ≥2× reduction for both tables.
+//! - decode throughput: full-scan entries/second through the lazy block
+//!   iterators, including skip-header parsing.
+//! - per-query answer equivalence across strategies and the
+//!   measured-vs-predicted cost records (entry- and block-level).
+
+use std::time::Instant;
+
+use trex::corpus::{Collection, PAPER_QUERIES};
+use trex::index::blocks::{seed_erpl_list_bytes, seed_rpl_list_bytes};
+use trex::{Answer, ElementRef, EvalOptions, ListKind, Strategy, TrexSystem, TA_PREDICTION_FACTOR};
+use trex_bench::{bench_header, build_collection, median_time, store_dir, Scale};
+
+fn ieee_queries() -> Vec<&'static str> {
+    PAPER_QUERIES
+        .iter()
+        .filter(|q| q.collection == Collection::Ieee)
+        .map(|q| q.nexi)
+        .collect()
+}
+
+/// Same ranking, same scores — the equivalence contract the strategy tests
+/// enforce, re-checked here on the block-backed store.
+fn assert_same_ranking(a: &[Answer], b: &[Answer], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: lengths differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.element, y.element, "{label}: rank {i} element differs");
+        assert_eq!(x.sid, y.sid, "{label}: rank {i} sid differs");
+        assert!(
+            (x.score - y.score).abs() <= 1e-4 * x.score.abs().max(1.0),
+            "{label}: rank {i} score {} vs {}",
+            x.score,
+            y.score
+        );
+    }
+}
+
+/// Registry-reported block-layout footprint vs the seed layout priced over
+/// the *same* entry lists. Returns `(seed_bytes, block_bytes, blocks,
+/// entries)` per table.
+struct TableFootprint {
+    seed_bytes: u64,
+    block_bytes: u64,
+    blocks: u64,
+    entries: u64,
+}
+
+fn footprints(sys: &TrexSystem) -> (TableFootprint, TableFootprint) {
+    let index = sys.index();
+    let erpls = index.erpls().expect("erpls");
+    let rpls = index.rpls().expect("rpls");
+
+    let mut rpl = TableFootprint {
+        seed_bytes: 0,
+        block_bytes: 0,
+        blocks: 0,
+        entries: 0,
+    };
+    let mut erpl = TableFootprint {
+        seed_bytes: 0,
+        block_bytes: 0,
+        blocks: 0,
+        entries: 0,
+    };
+
+    // Every materialised pair: the ERPL iterator recovers the entry list
+    // (the same scored elements both tables store), which prices the seed
+    // layout; the registry already holds the block layout's exact bytes.
+    for (term, sid, stats) in erpls.lists().expect("erpl registry") {
+        let mut it = erpls.iter_list(term, sid).expect("erpl iter");
+        let mut entries: Vec<(ElementRef, f32)> = Vec::with_capacity(stats.entries as usize);
+        while let Some(e) = it.next_entry().expect("erpl entry") {
+            entries.push((e.element, e.score));
+        }
+        assert_eq!(entries.len() as u64, stats.entries, "registry entry count");
+        erpl.seed_bytes += seed_erpl_list_bytes(&entries);
+        erpl.block_bytes += stats.bytes;
+        erpl.blocks += stats.blocks;
+        erpl.entries += stats.entries;
+        if let Some(rstats) = rpls.list_stats(term, sid).expect("rpl stats") {
+            rpl.seed_bytes += seed_rpl_list_bytes(&entries);
+            rpl.block_bytes += rstats.bytes;
+            rpl.blocks += rstats.blocks;
+            rpl.entries += rstats.entries;
+        }
+    }
+    (rpl, erpl)
+}
+
+/// Full-scan decode throughput through the block iterators: every RPL
+/// entry of every materialised term, timed.
+fn decode_throughput(sys: &TrexSystem) -> (u64, f64) {
+    let index = sys.index();
+    let rpls = index.rpls().expect("rpls");
+    let terms: Vec<u32> = {
+        let mut t: Vec<u32> = rpls
+            .lists()
+            .expect("registry")
+            .into_iter()
+            .map(|(term, _, _)| term)
+            .collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+    let mut total = 0u64;
+    let wall = median_time(3, || {
+        total = 0;
+        for &term in &terms {
+            let mut it = rpls.iter_term(term).expect("iter");
+            while it.next_entry().expect("entry").is_some() {
+                total += 1;
+            }
+        }
+        total
+    });
+    let per_sec = total as f64 / wall.as_secs_f64().max(1e-9);
+    (total, per_sec)
+}
+
+fn main() {
+    let sys = build_collection(Collection::Ieee, Scale::small().ieee_docs, true);
+    let queries = ieee_queries();
+    for q in &queries {
+        sys.materialize_for(q, ListKind::Both).expect("materialize");
+    }
+
+    // --- Compression: the tentpole's acceptance bar. -----------------------
+    let (rpl, erpl) = footprints(&sys);
+    let rpl_ratio = rpl.seed_bytes as f64 / rpl.block_bytes.max(1) as f64;
+    let erpl_ratio = erpl.seed_bytes as f64 / erpl.block_bytes.max(1) as f64;
+    let combined_ratio = (rpl.seed_bytes + erpl.seed_bytes) as f64
+        / (rpl.block_bytes + erpl.block_bytes).max(1) as f64;
+    eprintln!(
+        "rpl: {} entries, {} blocks, {} B (seed {} B, {rpl_ratio:.2}x)",
+        rpl.entries, rpl.blocks, rpl.block_bytes, rpl.seed_bytes
+    );
+    eprintln!(
+        "erpl: {} entries, {} blocks, {} B (seed {} B, {erpl_ratio:.2}x)",
+        erpl.entries, erpl.blocks, erpl.block_bytes, erpl.seed_bytes
+    );
+    assert!(
+        rpl_ratio >= 2.0,
+        "RPL block layout must halve the seed layout's bytes (got {rpl_ratio:.2}x)"
+    );
+    assert!(
+        erpl_ratio >= 2.0,
+        "ERPL block layout must halve the seed layout's bytes (got {erpl_ratio:.2}x)"
+    );
+
+    // --- Decode throughput. ------------------------------------------------
+    let (decoded, entries_per_sec) = decode_throughput(&sys);
+    eprintln!("decode: {decoded} entries, {entries_per_sec:.0} entries/s");
+
+    // --- Equivalence + cost validation per query. --------------------------
+    let engine = sys.engine();
+    let mut query_json = String::new();
+    for (i, q) in queries.iter().enumerate() {
+        let eval = |strategy, k| {
+            engine
+                .evaluate(q, EvalOptions::new().k(k).strategy(strategy))
+                .expect("evaluate")
+        };
+        let era = eval(Strategy::Era, None);
+        let merge = eval(Strategy::Merge, None);
+        assert_same_ranking(&era.answers, &merge.answers, q);
+        for k in [1usize, 10, era.total_answers.max(1)] {
+            let ta = eval(Strategy::Ta, Some(k));
+            assert_same_ranking(
+                &eval(Strategy::Era, Some(k)).answers,
+                &ta.answers,
+                &format!("{q} k={k}"),
+            );
+        }
+
+        let validations = engine.validate_costs(q, 10).expect("cost validation");
+        for v in &validations {
+            assert!(
+                v.ratio().is_finite() && v.within_factor(TA_PREDICTION_FACTOR),
+                "{q} {}: measured {} vs predicted {} outside factor {TA_PREDICTION_FACTOR}",
+                v.strategy,
+                v.measured,
+                v.predicted
+            );
+        }
+
+        if i > 0 {
+            query_json.push(',');
+        }
+        query_json.push_str(&format!(
+            "{{\"query\":\"{}\",\"total_answers\":{},\"cost_validation\":[",
+            trex::obs::json_escape(q),
+            era.total_answers
+        ));
+        for (j, v) in validations.iter().enumerate() {
+            if j > 0 {
+                query_json.push(',');
+            }
+            trex::ToJson::write_json(v, &mut query_json);
+        }
+        query_json.push_str("]}");
+    }
+
+    // --- Export. -----------------------------------------------------------
+    let started = Instant::now();
+    let out = format!(
+        "{{{},\"compression\":{{\
+         \"rpl\":{{\"entries\":{},\"blocks\":{},\"block_bytes\":{},\"seed_bytes\":{},\"ratio\":{rpl_ratio:.4}}},\
+         \"erpl\":{{\"entries\":{},\"blocks\":{},\"block_bytes\":{},\"seed_bytes\":{},\"ratio\":{erpl_ratio:.4}}},\
+         \"combined_ratio\":{combined_ratio:.4}}},\
+         \"decode\":{{\"entries\":{decoded},\"entries_per_sec\":{entries_per_sec:.0}}},\
+         \"queries\":[{query_json}]}}",
+        bench_header(Scale::small().ieee_docs, 1),
+        rpl.entries,
+        rpl.blocks,
+        rpl.block_bytes,
+        rpl.seed_bytes,
+        erpl.entries,
+        erpl.blocks,
+        erpl.block_bytes,
+        erpl.seed_bytes,
+    );
+    let path = store_dir().join("BENCH_blocks.json");
+    std::fs::write(&path, &out).expect("write BENCH_blocks.json");
+    eprintln!(
+        "wrote {} ({} bytes) in {:.1} ms",
+        path.display(),
+        out.len(),
+        started.elapsed().as_secs_f64() * 1e3
+    );
+}

@@ -19,7 +19,10 @@ use crate::era::{era_with_deadline, EraStats};
 use crate::materialize::{erpls_cover, rpls_cover};
 use crate::merge::{merge_with_cancel, MergeStats};
 use crate::metrics::StrategyMetrics;
-use crate::selfmanage::cost::{predicted_merge_accesses, predicted_ta_accesses, CostValidation};
+use crate::selfmanage::cost::{
+    predicted_merge_accesses, predicted_merge_block_reads, predicted_ta_accesses,
+    predicted_ta_block_reads, CostValidation,
+};
 use crate::selfmanage::profiler::WorkloadProfiler;
 use crate::serve::Deadline;
 use crate::ta::{ta_with_cancel, TaOptions, TaStats, TA_MAX_TERMS};
@@ -611,37 +614,38 @@ impl<'a> QueryEngine<'a> {
         // `evaluate_translated` takes its own read guard, and the std lock
         // underneath is not reentrant.
         let gate = self.index.maintenance().enter_read();
-        let ta_entries = if rpls_cover(self.index, &sids, &terms)? {
+        let ta_lists = if rpls_cover(self.index, &sids, &terms)? {
             let rpls = self.index.rpls()?;
-            let mut entries = Vec::new();
+            let mut lists = Vec::new();
             for &term in &terms {
                 for &sid in &sids {
                     if let Some(s) = rpls.list_stats(term, sid)? {
-                        entries.push(s.entries);
+                        lists.push((s.entries, s.blocks));
                     }
                 }
             }
-            Some(entries)
+            Some(lists)
         } else {
             None
         };
-        let merge_entries = if erpls_cover(self.index, &sids, &terms)? {
+        let merge_lists = if erpls_cover(self.index, &sids, &terms)? {
             let erpls = self.index.erpls()?;
-            let mut entries = Vec::new();
+            let mut lists = Vec::new();
             for &term in &terms {
                 for &sid in &sids {
                     if let Some(s) = erpls.list_stats(term, sid)? {
-                        entries.push(s.entries);
+                        lists.push((s.entries, s.blocks));
                     }
                 }
             }
-            Some(entries)
+            Some(lists)
         } else {
             None
         };
         drop(gate);
 
-        if let Some(entries) = ta_entries {
+        if let Some(lists) = ta_lists {
+            let entries: Vec<u64> = lists.iter().map(|&(e, _)| e).collect();
             let result = self.evaluate_translated(
                 translation.clone(),
                 EvalOptions::new().k(k).strategy(Strategy::Ta).trace(true),
@@ -652,9 +656,18 @@ impl<'a> QueryEngine<'a> {
                 trace.cost.sorted_accesses + trace.cost.random_accesses,
                 predicted_ta_accesses(&entries, k),
             ));
+            // Block-layer validation: the same Fagin depth, converted to
+            // block fetches by each list's entries-per-block density.
+            validations.push(CostValidation::new(
+                "ta-blocks",
+                trace.index.rpl_blocks,
+                predicted_ta_block_reads(&lists, k),
+            ));
         }
 
-        if let Some(entries) = merge_entries {
+        if let Some(lists) = merge_lists {
+            let entries: Vec<u64> = lists.iter().map(|&(e, _)| e).collect();
+            let blocks: Vec<u64> = lists.iter().map(|&(_, b)| b).collect();
             let result = self.evaluate_translated(
                 translation.clone(),
                 EvalOptions::new()
@@ -667,6 +680,13 @@ impl<'a> QueryEngine<'a> {
                 "merge",
                 trace.cost.sorted_accesses + trace.cost.random_accesses,
                 predicted_merge_accesses(&entries) as f64,
+            ));
+            // Merge fetches every block of every list exactly once, so this
+            // prediction is exact like the entry-level one.
+            validations.push(CostValidation::new(
+                "merge-blocks",
+                trace.index.erpl_blocks,
+                predicted_merge_block_reads(&blocks) as f64,
             ));
         }
 

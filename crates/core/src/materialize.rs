@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use trex_index::encode;
+use trex_index::blocks;
 use trex_index::{ElementRef, TrexIndex};
 use trex_summary::Sid;
 use trex_text::TermId;
@@ -71,27 +71,18 @@ pub fn collect_lists(index: &TrexIndex, sids: &[Sid], terms: &[TermId]) -> Resul
     Ok(lists)
 }
 
-/// Exact on-disk footprint `RplTable::put_list` would record for this list
-/// (key + value bytes per entry, matching the registry's accounting).
+/// Exact on-disk footprint `RplTable::put_list` would record for this list —
+/// shares the block encoder with the write path, so the advisor's budget
+/// arithmetic (estimates vs the registry's actuals) balances to the byte.
 pub fn rpl_list_bytes(term: TermId, sid: Sid, entries: &[(ElementRef, f32)]) -> u64 {
-    entries
-        .iter()
-        .map(|&(element, score)| {
-            (encode::rpl_key(term, score, sid, element).len()
-                + encode::elements_value(element.length).len()) as u64
-        })
-        .sum()
+    let _ = (term, sid); // block keys are fixed-width; size is list-shape only
+    blocks::rpl_list_size(entries).1
 }
 
 /// Exact on-disk footprint `ErplTable::put_list` would record for this list.
 pub fn erpl_list_bytes(term: TermId, sid: Sid, entries: &[(ElementRef, f32)]) -> u64 {
-    entries
-        .iter()
-        .map(|&(element, score)| {
-            (encode::erpl_key(term, sid, element).len()
-                + encode::erpl_value(score, element.length).len()) as u64
-        })
-        .sum()
+    let _ = (term, sid);
+    blocks::erpl_list_size(entries).1
 }
 
 /// Materialises the lists needed to evaluate `(sids, terms)` with TA

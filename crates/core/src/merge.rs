@@ -138,10 +138,10 @@ pub fn merge_with_cancel(
     Ok(Some((answers, stats)))
 }
 
-type IterState = (trex_index::ErplIter, Option<RplEntry>);
+type IterState<'a> = (trex_index::ErplIter<'a>, Option<RplEntry>);
 
 fn advance(
-    state: &mut IterState,
+    state: &mut IterState<'_>,
     idx: usize,
     heads: &mut BinaryHeap<Reverse<(Position, u32, Sid, usize)>>,
     stats: &mut MergeStats,

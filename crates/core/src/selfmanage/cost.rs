@@ -55,6 +55,43 @@ pub fn predicted_ta_accesses(list_entries: &[u64], k: usize) -> f64 {
         .sum()
 }
 
+/// Predicted Merge **block reads** under the block-compressed layout: Merge
+/// scans every list front to back, so every block of every required ERPL is
+/// fetched exactly once. `list_blocks` are the registry-reported per-list
+/// block counts; the prediction is exact, like
+/// [`predicted_merge_accesses`].
+pub fn predicted_merge_block_reads(list_blocks: &[u64]) -> u64 {
+    list_blocks.iter().sum()
+}
+
+/// Predicted TA **block reads**: each list is consumed to its Fagin
+/// stopping depth, and a list whose `N_i` entries span `B_i` blocks packs
+/// `N_i / B_i` entries per block, so a depth of `d_i` entries touches
+/// `ceil(d_i · B_i / N_i)` blocks (at least one per non-empty list — the
+/// iterator primes each stream's head). Validated with
+/// [`TA_PREDICTION_FACTOR`], which the per-entry depth estimate already
+/// needs.
+pub fn predicted_ta_block_reads(lists: &[(u64, u64)], k: usize) -> f64 {
+    let entries: Vec<u64> = lists.iter().map(|&(e, _)| e).collect();
+    let n = entries.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = k.max(1) as f64;
+    let exp = (n as f64 - 1.0) / n as f64;
+    lists
+        .iter()
+        .map(|&(entries, blocks)| {
+            if entries == 0 || blocks == 0 {
+                return 0.0;
+            }
+            let n_i = entries as f64;
+            let depth = (n_i.powf(exp) * k.powf(1.0 / n as f64)).min(n_i);
+            (depth * blocks as f64 / n_i).ceil().max(1.0)
+        })
+        .sum()
+}
+
 /// One measured-versus-predicted comparison in §4 cost-model units.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CostValidation {
@@ -287,6 +324,25 @@ mod tests {
         // Two lists of N=100, k=1: 2 · sqrt(100) = 20.
         assert!((predicted_ta_accesses(&[100, 100], 1) - 20.0).abs() < 1e-9);
         assert_eq!(predicted_ta_accesses(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn merge_block_prediction_is_the_block_total() {
+        assert_eq!(predicted_merge_block_reads(&[3, 1, 7]), 11);
+        assert_eq!(predicted_merge_block_reads(&[]), 0);
+    }
+
+    #[test]
+    fn ta_block_prediction_scales_depth_by_block_density() {
+        // One list of 100 entries in 1 block, k=7: depth 7 touches 1 block.
+        assert!((predicted_ta_block_reads(&[(100, 1)], 7) - 1.0).abs() < 1e-9);
+        // 256 entries over 2 blocks, k large enough to read everything.
+        assert!((predicted_ta_block_reads(&[(256, 2)], 1_000_000) - 2.0).abs() < 1e-9);
+        // Depth never predicts zero blocks for a non-empty list.
+        assert!(predicted_ta_block_reads(&[(1000, 8)], 1) >= 1.0);
+        // Empty input and empty lists are free.
+        assert_eq!(predicted_ta_block_reads(&[], 10), 0.0);
+        assert_eq!(predicted_ta_block_reads(&[(0, 0)], 10), 0.0);
     }
 
     #[test]

@@ -509,8 +509,9 @@ mod tests {
 
     #[test]
     fn corrupt_nan_score_is_an_error_not_a_panic() {
-        use trex_index::encode::{elements_value, rpl_key};
+        use trex_index::blocks::block_key;
         use trex_index::rpl::RPLS_TABLE;
+        use trex_storage::codec::{inverted_score_bits, varint_len};
 
         let mut path = std::env::temp_dir();
         path.push(format!("trex-ta-nan-{}", std::process::id()));
@@ -518,13 +519,16 @@ mod tests {
         let mut rpls = RplTable::open(&store).unwrap();
         rpls.put_list(1, 10, &[(el(0, 1), 5.0), (el(0, 3), 3.0)])
             .unwrap();
-        // Hand-corrupt the table: a raw entry whose inverted-score bits
-        // decode to NaN. `put_list` can never write this (it debug-asserts
-        // finite scores), so go underneath it.
+        // Hand-corrupt the stored block: overwrite the header's fixed
+        // first-score field with bits that decode to NaN. `put_list` can
+        // never write this (it debug-asserts finite scores), so go
+        // underneath it and flip the bytes on disk.
         let mut table = store.open_table(RPLS_TABLE).unwrap();
-        table
-            .insert(&rpl_key(1, f32::NAN, 10, el(0, 7)), &elements_value(2))
-            .unwrap();
+        let key = block_key(1, 10, 0);
+        let mut value = table.get(&key).unwrap().expect("block 0 exists");
+        let off = varint_len(2); // count varint precedes first_inv
+        value[off..off + 4].copy_from_slice(&inverted_score_bits(f32::NAN).to_be_bytes());
+        table.insert(&key, &value).unwrap();
         let err = ta(&rpls, &[10], &[1], opts(5)).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("non-finite"), "decode-level rejection: {msg}");

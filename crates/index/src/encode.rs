@@ -15,7 +15,8 @@
 //! ascending scan enumerates entries in *descending* relevance.
 
 use trex_storage::codec::{
-    get_u32, inverted_score_bits, put_u32, read_varint, score_from_inverted_bits, write_varint,
+    get_u32, inverted_score_bits, put_u32, read_varint, read_varint_u32, score_from_inverted_bits,
+    write_varint,
 };
 use trex_storage::{Result, StorageError};
 use trex_summary::Sid;
@@ -83,8 +84,20 @@ pub struct ElementRef {
 
 impl ElementRef {
     /// Token offset of the element's first contained token.
+    ///
+    /// Written as `end - (length - 1)` with saturating arithmetic: the naive
+    /// `end + 1 - length` overflows at `end == u32::MAX`, and a corrupt
+    /// `length == 0` or `length > end + 1` must clamp rather than wrap (the
+    /// decode paths reject such spans as `Corrupt`, so in-bounds callers
+    /// never observe the clamp).
     pub fn start(&self) -> u32 {
-        self.end + 1 - self.length
+        self.end.saturating_sub(self.length.saturating_sub(1))
+    }
+
+    /// Whether `(end, length)` describes a representable, non-empty span:
+    /// `length >= 1` and `start >= 0`, i.e. `length - 1 <= end`.
+    pub fn span_is_valid(&self) -> bool {
+        self.length >= 1 && self.length - 1 <= self.end
     }
 
     /// The position of the element's end, used to order elements.
@@ -97,7 +110,24 @@ impl ElementRef {
 
     /// Whether the element's span contains `pos`.
     pub fn contains(&self, pos: Position) -> bool {
-        self.doc == pos.doc && self.start() <= pos.offset && pos.offset <= self.end
+        self.doc == pos.doc
+            && self.span_is_valid()
+            && self.start() <= pos.offset
+            && pos.offset <= self.end
+    }
+}
+
+/// Checks a decoded span, mapping an empty or overflowing one to `Corrupt`
+/// (writers never emit them — `length == 0` cannot contain a keyword, and
+/// `length - 1 > end` would start before the document).
+pub(crate) fn validate_span(element: ElementRef) -> Result<ElementRef> {
+    if element.span_is_valid() {
+        Ok(element)
+    } else {
+        Err(StorageError::Corrupt(format!(
+            "invalid element span: end={} length={}",
+            element.end, element.length
+        )))
     }
 }
 
@@ -259,16 +289,12 @@ pub fn decode_rpl(key: &[u8], value: &[u8]) -> Result<RplEntry> {
     let sid = get_u32(key, 8)?;
     let doc = get_u32(key, 12)?;
     let end = get_u32(key, 16)?;
-    let (length, _) = read_varint(value)?;
+    let (length, _) = read_varint_u32(value)?;
     Ok(RplEntry {
         term,
         score,
         sid,
-        element: ElementRef {
-            doc,
-            end,
-            length: length as u32,
-        },
+        element: validate_span(ElementRef { doc, end, length })?,
     })
 }
 
@@ -307,16 +333,12 @@ pub fn decode_erpl(key: &[u8], value: &[u8]) -> Result<RplEntry> {
     if !score.is_finite() {
         return Err(StorageError::Corrupt("non-finite ERPL score".into()));
     }
-    let (length, _) = read_varint(&value[4..])?;
+    let (length, _) = read_varint_u32(&value[4..])?;
     Ok(RplEntry {
         term,
         score,
         sid,
-        element: ElementRef {
-            doc,
-            end,
-            length: length as u32,
-        },
+        element: validate_span(ElementRef { doc, end, length })?,
     })
 }
 
@@ -358,6 +380,73 @@ mod tests {
         assert!(!e.contains(Position { doc: 3, offset: 5 }));
         assert!(!e.contains(Position { doc: 3, offset: 10 }));
         assert!(!e.contains(Position { doc: 4, offset: 7 }));
+    }
+
+    #[test]
+    fn element_start_does_not_overflow_at_extremes() {
+        // end == u32::MAX with length 1: `end + 1 - length` would wrap.
+        let e = ElementRef {
+            doc: 0,
+            end: u32::MAX,
+            length: 1,
+        };
+        assert!(e.span_is_valid());
+        assert_eq!(e.start(), u32::MAX);
+        assert!(e.contains(Position {
+            doc: 0,
+            offset: u32::MAX
+        }));
+
+        // Full-document span ending at u32::MAX.
+        let full = ElementRef {
+            doc: 0,
+            end: u32::MAX,
+            length: u32::MAX,
+        };
+        assert!(full.span_is_valid());
+        assert_eq!(full.start(), 1);
+
+        // Corrupt spans clamp instead of wrapping, and never "contain".
+        let empty = ElementRef {
+            doc: 0,
+            end: 5,
+            length: 0,
+        };
+        assert!(!empty.span_is_valid());
+        assert_eq!(empty.start(), 5);
+        assert!(!empty.contains(Position { doc: 0, offset: 5 }));
+        let over = ElementRef {
+            doc: 0,
+            end: 2,
+            length: 9,
+        };
+        assert!(!over.span_is_valid());
+        assert_eq!(over.start(), 0);
+        assert!(!over.contains(Position { doc: 0, offset: 1 }));
+    }
+
+    #[test]
+    fn invalid_spans_are_rejected_at_decode() {
+        let e = ElementRef {
+            doc: 0,
+            end: 5,
+            length: 2,
+        };
+        // length == 0 and length - 1 > end are both corrupt.
+        for bad_len in [0u32, 7] {
+            assert!(
+                decode_rpl(&rpl_key(4, 1.0, 1, e), &elements_value(bad_len)).is_err(),
+                "RPL length {bad_len} with end 5 must be Corrupt"
+            );
+            assert!(
+                decode_erpl(&erpl_key(4, 1, e), &erpl_value(1.0, bad_len)).is_err(),
+                "ERPL length {bad_len} with end 5 must be Corrupt"
+            );
+        }
+        // A length that does not fit u32 is corrupt, not truncated.
+        let mut v = Vec::new();
+        trex_storage::codec::write_varint(&mut v, u64::from(u32::MAX) + 2);
+        assert!(decode_rpl(&rpl_key(4, 1.0, 1, e), &v).is_err());
     }
 
     #[test]

@@ -1,14 +1,22 @@
 //! The `ERPLs` table: element-relevance posting lists in position order
 //! (paper §2.2), consumed by the Merge algorithm.
+//!
+//! Each `(term, sid)` list is stored as block records (see [`crate::blocks`])
+//! keyed `(term, sid, block_no)`. The iterator decodes blocks lazily and
+//! `seek(pos)` skips blocks whose header proves every contained element ends
+//! before `pos`.
 
 use std::sync::Arc;
 
 use trex_obs::IndexCounters;
-use trex_storage::{Result, Store, Table};
+use trex_storage::{Result, StorageError, Store, Table};
 use trex_summary::Sid;
 use trex_text::TermId;
 
-use crate::encode::{decode_erpl, erpl_key, erpl_value, ElementRef, RplEntry};
+use crate::blocks::{
+    block_key, decode_erpl_block, encode_erpl_list, normalize_erpl, peek_erpl_header, BlockLimits,
+};
+use crate::encode::{ElementRef, Position, RplEntry};
 use crate::registry::{ListRegistry, ListStats};
 
 /// Name of the data table inside the store.
@@ -21,6 +29,8 @@ pub struct ErplTable {
     table: Table,
     registry: ListRegistry,
     obs: Arc<IndexCounters>,
+    /// Test-only fault injection: error after this many block inserts.
+    fail_after: Option<u32>,
 }
 
 impl ErplTable {
@@ -30,6 +40,7 @@ impl ErplTable {
             table: store.open_or_create_table(ERPLS_TABLE)?,
             registry: ListRegistry::new(store.open_or_create_table(ERPLS_REGISTRY_TABLE)?),
             obs: Arc::new(IndexCounters::new()),
+            fail_after: None,
         })
     }
 
@@ -40,33 +51,59 @@ impl ErplTable {
         self
     }
 
+    /// Makes the `n`-th next block insert fail — exercises the write path's
+    /// failure atomicity in regression tests.
+    #[doc(hidden)]
+    pub fn fail_after_inserts(&mut self, n: u32) {
+        self.fail_after = Some(n);
+    }
+
     /// Materialises the complete list of `(term, sid)` in position order.
-    /// Replaces an existing list for the same pair.
+    /// Replaces an existing list for the same pair. Failure-atomic with the
+    /// same registry-first stamping + rollback protocol as
+    /// [`crate::rpl::RplTable::put_list`].
     pub fn put_list(
         &mut self,
         term: TermId,
         sid: Sid,
         entries: &[(ElementRef, f32)],
     ) -> Result<()> {
+        debug_assert!(entries
+            .iter()
+            .all(|&(_, score)| score.is_finite() && score >= 0.0));
         if self.registry.contains(term, sid)? {
             self.drop_list(term, sid)?;
         }
-        let mut bytes = 0u64;
-        for &(element, score) in entries {
-            debug_assert!(score.is_finite() && score >= 0.0);
-            let key = erpl_key(term, sid, element);
-            let value = erpl_value(score, element.length);
-            bytes += (key.len() + value.len()) as u64;
-            self.table.insert(&key, &value)?;
+        let normalized = normalize_erpl(entries);
+        let encoded = encode_erpl_list(&normalized, BlockLimits::default());
+        let stats = ListStats {
+            entries: normalized.len() as u64,
+            bytes: encoded.iter().map(|b| (12 + b.len()) as u64).sum(),
+            blocks: encoded.len() as u64,
+        };
+        self.registry.put(term, sid, stats)?;
+        for (no, value) in encoded.iter().enumerate() {
+            if let Err(e) = self.insert_block(term, sid, no as u32, value) {
+                for undo in 0..=no as u32 {
+                    let _ = self.table.delete(&block_key(term, sid, undo));
+                }
+                let _ = self.registry.remove(term, sid);
+                return Err(e);
+            }
         }
-        self.registry.put(
-            term,
-            sid,
-            ListStats {
-                entries: entries.len() as u64,
-                bytes,
-            },
-        )
+        Ok(())
+    }
+
+    fn insert_block(&mut self, term: TermId, sid: Sid, no: u32, value: &[u8]) -> Result<()> {
+        if let Some(left) = self.fail_after.as_mut() {
+            if *left == 0 {
+                return Err(StorageError::Corrupt(
+                    "injected block insert failure".into(),
+                ));
+            }
+            *left -= 1;
+        }
+        self.table.insert(&block_key(term, sid, no), value)
     }
 
     /// Whether the list for `(term, sid)` is materialised.
@@ -79,50 +116,29 @@ impl ErplTable {
         self.registry.get(term, sid)
     }
 
-    /// Drops the materialised list of `(term, sid)`.
+    /// Drops the materialised list of `(term, sid)`: `blocks` point deletes.
     pub fn drop_list(&mut self, term: TermId, sid: Sid) -> Result<Option<ListStats>> {
         let Some(stats) = self.registry.remove(term, sid)? else {
             return Ok(None);
         };
-        let mut doomed = Vec::new();
-        let mut cursor = self.table.seek(&erpl_key(
-            term,
-            sid,
-            ElementRef {
-                doc: 0,
-                end: 0,
-                length: 1,
-            },
-        ))?;
-        while let Some((key, value)) = cursor.next_entry()? {
-            let entry = decode_erpl(&key, &value)?;
-            if entry.term != term || entry.sid != sid {
-                break;
-            }
-            doomed.push(key);
-        }
-        for key in doomed {
-            self.table.delete(&key)?;
+        for no in 0..stats.blocks {
+            self.table.delete(&block_key(term, sid, no as u32))?;
         }
         Ok(Some(stats))
     }
 
     /// Iterator over the list of `(term, sid)` in end-position order.
-    pub fn iter_list(&self, term: TermId, sid: Sid) -> Result<ErplIter> {
-        let cursor = self.table.seek(&erpl_key(
-            term,
-            sid,
-            ElementRef {
-                doc: 0,
-                end: 0,
-                length: 1,
-            },
-        ))?;
+    pub fn iter_list(&self, term: TermId, sid: Sid) -> Result<ErplIter<'_>> {
+        let blocks = self.registry.get(term, sid)?.map(|s| s.blocks).unwrap_or(0);
         Ok(ErplIter {
-            cursor,
+            table: &self.table,
+            obs: self.obs.clone(),
             term,
             sid,
-            obs: self.obs.clone(),
+            blocks,
+            next_block: 0,
+            entries: Vec::new(),
+            pos: 0,
         })
     }
 
@@ -137,29 +153,79 @@ impl ErplTable {
     }
 }
 
-/// Position-order iterator over one (term, sid) list.
-pub struct ErplIter {
-    cursor: trex_storage::Cursor,
+/// Position-order iterator over one (term, sid) list, decoding block records
+/// lazily.
+pub struct ErplIter<'a> {
+    table: &'a Table,
+    obs: Arc<IndexCounters>,
     term: TermId,
     sid: Sid,
-    obs: Arc<IndexCounters>,
+    blocks: u64,
+    next_block: u64,
+    entries: Vec<RplEntry>,
+    pos: usize,
 }
 
-impl ErplIter {
+impl ErplIter<'_> {
     /// The next entry, or `None` when the list is exhausted.
     pub fn next_entry(&mut self) -> Result<Option<RplEntry>> {
-        match self.cursor.next_entry()? {
-            Some((key, value)) => {
-                let entry = decode_erpl(&key, &value)?;
-                if entry.term != self.term || entry.sid != self.sid {
-                    return Ok(None);
-                }
-                self.obs.erpl_entries.incr();
-                self.obs.erpl_bytes.add((key.len() + value.len()) as u64);
-                Ok(Some(entry))
+        while self.pos >= self.entries.len() {
+            if self.next_block >= self.blocks {
+                return Ok(None);
             }
-            None => Ok(None),
+            let value = self.fetch_block_value(self.next_block as u32)?;
+            self.entries = decode_erpl_block(self.term, self.sid, &value)?;
+            self.pos = 0;
+            self.next_block += 1;
         }
+        let entry = self.entries[self.pos];
+        self.pos += 1;
+        self.obs.erpl_entries.incr();
+        Ok(Some(entry))
+    }
+
+    /// Positions the iterator at the first element whose end position is
+    /// `>= pos`, skipping whole blocks via their headers without decoding
+    /// them. Only moves forward; elements already passed stay passed. The
+    /// entries yielded afterwards are byte-identical to a full scan that
+    /// discarded everything ending before `pos`.
+    pub fn seek(&mut self, pos: Position) -> Result<()> {
+        loop {
+            // Advance within the decoded block first.
+            while self.pos < self.entries.len()
+                && self.entries[self.pos].element.end_position() < pos
+            {
+                self.pos += 1;
+            }
+            if self.pos < self.entries.len() || self.next_block >= self.blocks {
+                return Ok(());
+            }
+            let value = self.fetch_block_value(self.next_block as u32)?;
+            let (header, _) = peek_erpl_header(&value)?;
+            self.next_block += 1;
+            if header.last < pos {
+                // Every element in the block ends before `pos`: skip it
+                // without decoding a single entry.
+                self.entries.clear();
+                self.pos = 0;
+                continue;
+            }
+            self.entries = decode_erpl_block(self.term, self.sid, &value)?;
+            self.pos = 0;
+        }
+    }
+
+    fn fetch_block_value(&self, no: u32) -> Result<Vec<u8>> {
+        let key = block_key(self.term, self.sid, no);
+        let value = self.table.get(&key)?.ok_or_else(|| {
+            StorageError::Corrupt(format!(
+                "missing ERPL block {no} of term {} sid {}",
+                self.term, self.sid
+            ))
+        })?;
+        self.obs.erpl_blocks.incr();
+        self.obs.erpl_bytes.add((key.len() + value.len()) as u64);
+        Ok(value)
     }
 }
 
@@ -183,6 +249,14 @@ mod tests {
         ElementRef { doc, end, length }
     }
 
+    fn drain(it: &mut ErplIter<'_>) -> Vec<RplEntry> {
+        let mut out = Vec::new();
+        while let Some(e) = it.next_entry().unwrap() {
+            out.push(e);
+        }
+        out
+    }
+
     #[test]
     fn iteration_is_position_order_within_list() {
         with_erpls("order", |t| {
@@ -193,10 +267,10 @@ mod tests {
             )
             .unwrap();
             let mut it = t.iter_list(1, 10).unwrap();
-            let mut got = Vec::new();
-            while let Some(e) = it.next_entry().unwrap() {
-                got.push((e.element.doc, e.element.end, e.score));
-            }
+            let got: Vec<(u32, u32, f32)> = drain(&mut it)
+                .iter()
+                .map(|e| (e.element.doc, e.element.end, e.score))
+                .collect();
             assert_eq!(got, vec![(0, 5, 0.5), (0, 9, 2.5), (1, 4, 1.0)]);
         });
     }
@@ -232,6 +306,72 @@ mod tests {
         with_erpls("missing", |t| {
             let mut it = t.iter_list(5, 5).unwrap();
             assert!(it.next_entry().unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn long_lists_split_and_round_trip() {
+        with_erpls("split", |t| {
+            let entries: Vec<(ElementRef, f32)> = (0..900)
+                .map(|i| (el(i / 90, (i % 90) * 4 + 3, 4), (i % 23) as f32 * 0.5))
+                .collect();
+            t.put_list(1, 10, &entries).unwrap();
+            let stats = t.list_stats(1, 10).unwrap().unwrap();
+            assert_eq!(stats.entries, 900);
+            assert!(stats.blocks > 1);
+            let mut it = t.iter_list(1, 10).unwrap();
+            let got = drain(&mut it);
+            assert_eq!(got.len(), 900);
+            assert!(got.windows(2).all(
+                |w| (w[0].element.doc, w[0].element.end) < (w[1].element.doc, w[1].element.end)
+            ));
+        });
+    }
+
+    #[test]
+    fn seek_matches_full_scan() {
+        with_erpls("seek", |t| {
+            let entries: Vec<(ElementRef, f32)> = (0..700)
+                .map(|i| (el(i / 70, (i % 70) * 3 + 2, 3), (i % 13) as f32))
+                .collect();
+            t.put_list(1, 10, &entries).unwrap();
+            for pos in [
+                Position { doc: 0, offset: 0 },
+                Position { doc: 3, offset: 17 },
+                Position {
+                    doc: 7,
+                    offset: 100,
+                },
+                Position { doc: 99, offset: 0 },
+            ] {
+                let mut scan = t.iter_list(1, 10).unwrap();
+                let expected: Vec<RplEntry> = drain(&mut scan)
+                    .into_iter()
+                    .filter(|e| e.element.end_position() >= pos)
+                    .collect();
+                let mut seeked = t.iter_list(1, 10).unwrap();
+                seeked.seek(pos).unwrap();
+                assert_eq!(drain(&mut seeked), expected, "pos {pos:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn failed_put_list_leaves_no_orphans() {
+        with_erpls("atomic", |t| {
+            let entries: Vec<(ElementRef, f32)> = (0..500)
+                .map(|i| (el(0, i * 2 + 1, 2), (i % 7) as f32))
+                .collect();
+            t.fail_after_inserts(1);
+            assert!(t.put_list(1, 10, &entries).is_err());
+            t.fail_after = None;
+            assert!(!t.has_list(1, 10).unwrap());
+            assert_eq!(t.total_bytes().unwrap(), 0);
+            let mut it = t.iter_list(1, 10).unwrap();
+            assert!(it.next_entry().unwrap().is_none());
+            t.put_list(1, 10, &entries).unwrap();
+            let mut it = t.iter_list(1, 10).unwrap();
+            assert_eq!(drain(&mut it).len(), 500);
         });
     }
 }

@@ -14,6 +14,7 @@
 //! XML; the redundant RPL/ERPL lists are materialised later by the
 //! self-managing layer in `trex-core`.
 
+pub mod blocks;
 pub mod build;
 pub mod catalog;
 pub mod docstore;

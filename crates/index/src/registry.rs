@@ -18,6 +18,9 @@ pub struct ListStats {
     pub entries: u64,
     /// Bytes of key + value data the list occupies.
     pub bytes: u64,
+    /// Number of block records the list is stored as. Block keys are dense
+    /// (`0..blocks`), so dropping a list is `blocks` point deletes.
+    pub blocks: u64,
 }
 
 /// A registry table.
@@ -40,19 +43,25 @@ impl ListRegistry {
 
     /// Records (replaces) the stats of list `(term, sid)`.
     pub fn put(&mut self, term: TermId, sid: Sid, stats: ListStats) -> Result<()> {
-        let mut v = Vec::with_capacity(16);
+        let mut v = Vec::with_capacity(24);
         put_u64(&mut v, stats.entries);
         put_u64(&mut v, stats.bytes);
+        put_u64(&mut v, stats.blocks);
         self.table.insert(&Self::key(term, sid), &v)
+    }
+
+    fn decode_stats(v: &[u8]) -> Result<ListStats> {
+        Ok(ListStats {
+            entries: get_u64(v, 0)?,
+            bytes: get_u64(v, 8)?,
+            blocks: get_u64(v, 16)?,
+        })
     }
 
     /// Stats of list `(term, sid)`, or `None` if not materialised.
     pub fn get(&self, term: TermId, sid: Sid) -> Result<Option<ListStats>> {
         match self.table.get(&Self::key(term, sid))? {
-            Some(v) => Ok(Some(ListStats {
-                entries: get_u64(&v, 0)?,
-                bytes: get_u64(&v, 8)?,
-            })),
+            Some(v) => Ok(Some(Self::decode_stats(&v)?)),
             None => Ok(None),
         }
     }
@@ -76,14 +85,23 @@ impl ListRegistry {
         let mut out = Vec::new();
         let mut cursor = self.table.scan()?;
         while let Some((k, v)) = cursor.next_entry()? {
-            out.push((
-                get_u32(&k, 0)?,
-                get_u32(&k, 4)?,
-                ListStats {
-                    entries: get_u64(&v, 0)?,
-                    bytes: get_u64(&v, 8)?,
-                },
-            ));
+            out.push((get_u32(&k, 0)?, get_u32(&k, 4)?, Self::decode_stats(&v)?));
+        }
+        Ok(out)
+    }
+
+    /// Every materialised sid of `term`, in ascending sid order — the block
+    /// iterators' fan-out set for a term-wide scan.
+    pub fn sids_of(&self, term: TermId) -> Result<Vec<(Sid, ListStats)>> {
+        let mut prefix = Vec::with_capacity(4);
+        put_u32(&mut prefix, term);
+        let mut cursor = self.table.seek(&prefix)?;
+        let mut out = Vec::new();
+        while let Some((k, v)) = cursor.next_entry()? {
+            if get_u32(&k, 0)? != term {
+                break;
+            }
+            out.push((get_u32(&k, 4)?, Self::decode_stats(&v)?));
         }
         Ok(out)
     }
@@ -114,6 +132,7 @@ mod tests {
             ListStats {
                 entries: 10,
                 bytes: 200,
+                blocks: 1,
             },
         )
         .unwrap();
@@ -123,6 +142,17 @@ mod tests {
             ListStats {
                 entries: 5,
                 bytes: 90,
+                blocks: 1,
+            },
+        )
+        .unwrap();
+        r.put(
+            2,
+            2,
+            ListStats {
+                entries: 7,
+                bytes: 70,
+                blocks: 2,
             },
         )
         .unwrap();
@@ -130,11 +160,17 @@ mod tests {
             r.get(1, 2).unwrap(),
             Some(ListStats {
                 entries: 10,
-                bytes: 200
+                bytes: 200,
+                blocks: 1,
             })
         );
-        assert_eq!(r.total_bytes().unwrap(), 290);
-        assert_eq!(r.all().unwrap().len(), 2);
+        assert_eq!(r.total_bytes().unwrap(), 360);
+        assert_eq!(r.all().unwrap().len(), 3);
+        let sids: Vec<Sid> = r.sids_of(1).unwrap().iter().map(|&(s, _)| s).collect();
+        assert_eq!(sids, vec![2, 3]);
+        assert_eq!(r.sids_of(2).unwrap().len(), 1);
+        assert!(r.sids_of(9).unwrap().is_empty());
+        r.remove(2, 2).unwrap();
 
         let removed = r.remove(1, 2).unwrap();
         assert_eq!(removed.unwrap().entries, 10);

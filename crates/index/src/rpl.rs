@@ -1,15 +1,27 @@
 //! The `RPLs` table: relevance posting lists in descending score order
 //! (paper §2.2), with per-(term, sid) materialisation tracking.
+//!
+//! Each list is stored as a handful of block records (see [`crate::blocks`])
+//! keyed `(term, sid, block_no)`. The term-wide iterator TA consumes is a
+//! k-way merge over the term's per-sid block streams, reproducing the seed
+//! layout's `(term, inv_score, sid, doc, end)` key order exactly while
+//! decoding blocks lazily and skipping ones whose header proves them
+//! irrelevant.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use trex_obs::IndexCounters;
-use trex_storage::codec::put_u32;
-use trex_storage::{Result, Store, Table};
+use trex_storage::codec::inverted_score_bits;
+use trex_storage::{Result, StorageError, Store, Table};
 use trex_summary::Sid;
 use trex_text::TermId;
 
-use crate::encode::{decode_rpl, elements_value, rpl_key, ElementRef, RplEntry};
+use crate::blocks::{
+    block_key, decode_rpl_block, encode_rpl_list, normalize_rpl, peek_rpl_header, BlockLimits,
+};
+use crate::encode::{ElementRef, RplEntry};
 use crate::registry::{ListRegistry, ListStats};
 
 /// Name of the data table inside the store.
@@ -22,6 +34,8 @@ pub struct RplTable {
     table: Table,
     registry: ListRegistry,
     obs: Arc<IndexCounters>,
+    /// Test-only fault injection: error after this many block inserts.
+    fail_after: Option<u32>,
 }
 
 impl RplTable {
@@ -31,6 +45,7 @@ impl RplTable {
             table: store.open_or_create_table(RPLS_TABLE)?,
             registry: ListRegistry::new(store.open_or_create_table(RPLS_REGISTRY_TABLE)?),
             obs: Arc::new(IndexCounters::new()),
+            fail_after: None,
         })
     }
 
@@ -41,34 +56,65 @@ impl RplTable {
         self
     }
 
+    /// Makes the `n`-th next block insert fail — exercises the write path's
+    /// failure atomicity in regression tests.
+    #[doc(hidden)]
+    pub fn fail_after_inserts(&mut self, n: u32) {
+        self.fail_after = Some(n);
+    }
+
     /// Materialises the complete relevance list of `(term, sid)`:
     /// every element of the sid's extent containing the term, with its score.
     /// Replaces an existing list for the same pair.
+    ///
+    /// The write is failure-atomic: the registry record is stamped *before*
+    /// the block inserts, so every block on disk is owned by a registry
+    /// record at all times (a crash mid-list is repaired by the next
+    /// `put_list`/`drop_list` for the pair); if an insert fails, the landed
+    /// blocks are rolled back best-effort and the stamp removed, leaving the
+    /// pair unmaterialised rather than half-written.
     pub fn put_list(
         &mut self,
         term: TermId,
         sid: Sid,
         entries: &[(ElementRef, f32)],
     ) -> Result<()> {
+        debug_assert!(entries
+            .iter()
+            .all(|&(_, score)| score.is_finite() && score >= 0.0));
         if self.registry.contains(term, sid)? {
             self.drop_list(term, sid)?;
         }
-        let mut bytes = 0u64;
-        for &(element, score) in entries {
-            debug_assert!(score.is_finite() && score >= 0.0);
-            let key = rpl_key(term, score, sid, element);
-            let value = elements_value(element.length);
-            bytes += (key.len() + value.len()) as u64;
-            self.table.insert(&key, &value)?;
+        let normalized = normalize_rpl(entries);
+        let encoded = encode_rpl_list(&normalized, BlockLimits::default());
+        let stats = ListStats {
+            entries: normalized.len() as u64,
+            bytes: encoded.iter().map(|b| (12 + b.len()) as u64).sum(),
+            blocks: encoded.len() as u64,
+        };
+        self.registry.put(term, sid, stats)?;
+        for (no, value) in encoded.iter().enumerate() {
+            if let Err(e) = self.insert_block(term, sid, no as u32, value) {
+                for undo in 0..=no as u32 {
+                    let _ = self.table.delete(&block_key(term, sid, undo));
+                }
+                let _ = self.registry.remove(term, sid);
+                return Err(e);
+            }
         }
-        self.registry.put(
-            term,
-            sid,
-            ListStats {
-                entries: entries.len() as u64,
-                bytes,
-            },
-        )
+        Ok(())
+    }
+
+    fn insert_block(&mut self, term: TermId, sid: Sid, no: u32, value: &[u8]) -> Result<()> {
+        if let Some(left) = self.fail_after.as_mut() {
+            if *left == 0 {
+                return Err(StorageError::Corrupt(
+                    "injected block insert failure".into(),
+                ));
+            }
+            *left -= 1;
+        }
+        self.table.insert(&block_key(term, sid, no), value)
     }
 
     /// Whether the list for `(term, sid)` is materialised.
@@ -81,25 +127,14 @@ impl RplTable {
         self.registry.get(term, sid)
     }
 
-    /// Drops the materialised list of `(term, sid)`, freeing its entries.
+    /// Drops the materialised list of `(term, sid)`: `blocks` point deletes
+    /// against the dense block keys — no term-wide scan.
     pub fn drop_list(&mut self, term: TermId, sid: Sid) -> Result<Option<ListStats>> {
         let Some(stats) = self.registry.remove(term, sid)? else {
             return Ok(None);
         };
-        // Collect the doomed keys first (cursors are invalidated by writes).
-        let mut doomed = Vec::new();
-        let mut cursor = self.term_cursor(term)?;
-        while let Some((key, value)) = cursor.next_entry()? {
-            let entry = decode_rpl(&key, &value)?;
-            if entry.term != term {
-                break;
-            }
-            if entry.sid == sid {
-                doomed.push(key);
-            }
-        }
-        for key in doomed {
-            self.table.delete(&key)?;
+        for no in 0..stats.blocks {
+            self.table.delete(&block_key(term, sid, no as u32))?;
         }
         Ok(Some(stats))
     }
@@ -107,12 +142,30 @@ impl RplTable {
     /// Iterator over all RPL entries of `term` in descending score order —
     /// TA's sorted access. Entries of sids outside the query are yielded too;
     /// TA skips them (paper §3.3).
-    pub fn iter_term(&self, term: TermId) -> Result<RplIter> {
-        Ok(RplIter {
-            cursor: self.term_cursor(term)?,
-            term,
+    pub fn iter_term(&self, term: TermId) -> Result<RplIter<'_>> {
+        let streams = self
+            .registry
+            .sids_of(term)?
+            .into_iter()
+            .map(|(sid, stats)| RplStream {
+                sid,
+                blocks: stats.blocks,
+                next_block: 0,
+                entries: Vec::new(),
+                pos: 0,
+            })
+            .collect();
+        let mut it = RplIter {
+            table: &self.table,
             obs: self.obs.clone(),
-        })
+            term,
+            streams,
+            heap: BinaryHeap::new(),
+        };
+        for idx in 0..it.streams.len() {
+            it.push_head(idx)?;
+        }
+        Ok(it)
     }
 
     /// Total bytes across every materialised RPL — used-space accounting.
@@ -124,36 +177,137 @@ impl RplTable {
     pub fn lists(&self) -> Result<Vec<(TermId, Sid, ListStats)>> {
         self.registry.all()
     }
-
-    fn term_cursor(&self, term: TermId) -> Result<trex_storage::Cursor> {
-        let mut prefix = Vec::with_capacity(4);
-        put_u32(&mut prefix, term);
-        self.table.seek(&prefix)
-    }
 }
 
-/// Descending-score iterator over one term's RPL entries.
-pub struct RplIter {
-    cursor: trex_storage::Cursor,
-    term: TermId,
+/// The merge key of one stream head: `(inv_score, sid, doc, end)` plus the
+/// stream index, matching the seed layout's key order.
+type HeadKey = (u32, Sid, u32, u32, usize);
+
+/// One sid's lazily decoded block stream.
+struct RplStream {
+    sid: Sid,
+    blocks: u64,
+    next_block: u64,
+    entries: Vec<RplEntry>,
+    pos: usize,
+}
+
+/// Descending-score iterator over one term's RPL entries: a k-way merge of
+/// the term's per-sid block streams on `(inv_score, sid, doc, end)` — the
+/// seed layout's exact key order.
+pub struct RplIter<'a> {
+    table: &'a Table,
     obs: Arc<IndexCounters>,
+    term: TermId,
+    streams: Vec<RplStream>,
+    /// Min-heap of each stream's current head.
+    heap: BinaryHeap<Reverse<HeadKey>>,
 }
 
-impl RplIter {
+impl RplIter<'_> {
     /// The next entry, or `None` when this term's entries are exhausted.
     pub fn next_entry(&mut self) -> Result<Option<RplEntry>> {
-        match self.cursor.next_entry()? {
-            Some((key, value)) => {
-                let entry = decode_rpl(&key, &value)?;
-                if entry.term != self.term {
-                    return Ok(None);
-                }
-                self.obs.rpl_entries.incr();
-                self.obs.rpl_bytes.add((key.len() + value.len()) as u64);
-                Ok(Some(entry))
-            }
-            None => Ok(None),
+        let Some(Reverse((_, _, _, _, idx))) = self.heap.pop() else {
+            return Ok(None);
+        };
+        let stream = &mut self.streams[idx];
+        let entry = stream.entries[stream.pos];
+        stream.pos += 1;
+        self.push_head(idx)?;
+        self.obs.rpl_entries.incr();
+        Ok(Some(entry))
+    }
+
+    /// Positions the iterator at the first entry (in merged order) whose
+    /// score is `<= score`, skipping whole blocks via their headers without
+    /// decoding them. Only moves forward; seeking backwards is a no-op for
+    /// already-passed entries. Sorted access from the new position is
+    /// byte-identical to a full scan that discarded the higher-scoring
+    /// prefix.
+    pub fn seek_score_at_most(&mut self, score: f32) -> Result<()> {
+        let target = inverted_score_bits(score);
+        self.heap.clear();
+        for idx in 0..self.streams.len() {
+            self.seek_stream(idx, target)?;
+            self.push_head(idx)?;
         }
+        Ok(())
+    }
+
+    fn seek_stream(&mut self, idx: usize, target: u32) -> Result<()> {
+        loop {
+            {
+                let stream = &mut self.streams[idx];
+                // Advance within the decoded block: entries with inv < target
+                // score strictly above the bound.
+                while stream.pos < stream.entries.len()
+                    && inverted_score_bits(stream.entries[stream.pos].score) < target
+                {
+                    stream.pos += 1;
+                }
+                if stream.pos < stream.entries.len() || stream.next_block >= stream.blocks {
+                    return Ok(());
+                }
+            }
+            // Peek the next block's header: if even its lowest-scoring entry
+            // beats the bound, skip the whole block undecoded.
+            let (sid, no) = {
+                let s = &self.streams[idx];
+                (s.sid, s.next_block as u32)
+            };
+            let value = self.fetch_block_value(sid, no)?;
+            let decoded = if peek_rpl_header(&value)?.last_inv < target {
+                Vec::new()
+            } else {
+                decode_rpl_block(self.term, sid, &value)?
+            };
+            let stream = &mut self.streams[idx];
+            stream.next_block += 1;
+            stream.entries = decoded;
+            stream.pos = 0;
+        }
+    }
+
+    /// Refills `stream`'s head (decoding the next block if needed) and
+    /// pushes it onto the merge heap.
+    fn push_head(&mut self, idx: usize) -> Result<()> {
+        loop {
+            let stream = &self.streams[idx];
+            if stream.pos < stream.entries.len() {
+                let e = stream.entries[stream.pos];
+                self.heap.push(Reverse((
+                    inverted_score_bits(e.score),
+                    e.sid,
+                    e.element.doc,
+                    e.element.end,
+                    idx,
+                )));
+                return Ok(());
+            }
+            if stream.next_block >= stream.blocks {
+                return Ok(());
+            }
+            let (sid, no) = (stream.sid, stream.next_block as u32);
+            let value = self.fetch_block_value(sid, no)?;
+            let entries = decode_rpl_block(self.term, sid, &value)?;
+            let stream = &mut self.streams[idx];
+            stream.entries = entries;
+            stream.pos = 0;
+            stream.next_block += 1;
+        }
+    }
+
+    fn fetch_block_value(&self, sid: Sid, no: u32) -> Result<Vec<u8>> {
+        let key = block_key(self.term, sid, no);
+        let value = self.table.get(&key)?.ok_or_else(|| {
+            StorageError::Corrupt(format!(
+                "missing RPL block {no} of term {} sid {sid}",
+                self.term
+            ))
+        })?;
+        self.obs.rpl_blocks.incr();
+        self.obs.rpl_bytes.add((key.len() + value.len()) as u64);
+        Ok(value)
     }
 }
 
@@ -177,6 +331,14 @@ mod tests {
         ElementRef { doc, end, length }
     }
 
+    fn drain(it: &mut RplIter<'_>) -> Vec<RplEntry> {
+        let mut out = Vec::new();
+        while let Some(e) = it.next_entry().unwrap() {
+            out.push(e);
+        }
+        out
+    }
+
     #[test]
     fn iteration_is_descending_by_score() {
         with_rpls("desc", |t| {
@@ -187,10 +349,7 @@ mod tests {
             )
             .unwrap();
             let mut it = t.iter_term(1).unwrap();
-            let mut scores = Vec::new();
-            while let Some(e) = it.next_entry().unwrap() {
-                scores.push(e.score);
-            }
+            let scores: Vec<f32> = drain(&mut it).iter().map(|e| e.score).collect();
             assert_eq!(scores, vec![2.5, 1.0, 0.5]);
         });
     }
@@ -202,10 +361,7 @@ mod tests {
                 .unwrap();
             t.put_list(1, 20, &[(el(1, 5, 2), 2.0)]).unwrap();
             let mut it = t.iter_term(1).unwrap();
-            let mut got = Vec::new();
-            while let Some(e) = it.next_entry().unwrap() {
-                got.push((e.sid, e.score));
-            }
+            let got: Vec<(Sid, f32)> = drain(&mut it).iter().map(|e| (e.sid, e.score)).collect();
             assert_eq!(got, vec![(10, 3.0), (20, 2.0), (10, 1.0)]);
         });
     }
@@ -218,6 +374,7 @@ mod tests {
             assert!(t.has_list(1, 10).unwrap());
             let stats = t.list_stats(1, 10).unwrap().unwrap();
             assert_eq!(stats.entries, 1);
+            assert_eq!(stats.blocks, 1);
             assert!(stats.bytes > 0);
             assert_eq!(t.total_bytes().unwrap(), stats.bytes);
         });
@@ -258,11 +415,72 @@ mod tests {
             t.put_list(1, 10, &[(el(0, 5, 2), 1.5), (el(0, 9, 3), 1.5)])
                 .unwrap();
             let mut it = t.iter_term(1).unwrap();
-            let mut n = 0;
-            while it.next_entry().unwrap().is_some() {
-                n += 1;
+            assert_eq!(drain(&mut it).len(), 2);
+        });
+    }
+
+    #[test]
+    fn long_lists_split_into_multiple_blocks_and_round_trip() {
+        with_rpls("split", |t| {
+            let entries: Vec<(ElementRef, f32)> = (0..1000)
+                .map(|i| (el(i / 100, (i % 100) * 3 + 2, 3), (i % 37) as f32 * 0.25))
+                .collect();
+            t.put_list(1, 10, &entries).unwrap();
+            let stats = t.list_stats(1, 10).unwrap().unwrap();
+            assert_eq!(stats.entries, 1000);
+            assert!(stats.blocks >= 1000 / 128, "blocks {}", stats.blocks);
+            let mut it = t.iter_term(1).unwrap();
+            let got = drain(&mut it);
+            assert_eq!(got.len(), 1000);
+            assert!(got.windows(2).all(|w| w[0].score >= w[1].score));
+            // Dropping deletes every block.
+            t.drop_list(1, 10).unwrap().unwrap();
+            assert_eq!(t.total_bytes().unwrap(), 0);
+            let mut it = t.iter_term(1).unwrap();
+            assert!(it.next_entry().unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn seek_score_at_most_matches_full_scan() {
+        with_rpls("seek", |t| {
+            let entries: Vec<(ElementRef, f32)> = (0..600)
+                .map(|i| (el(i / 60, (i % 60) * 2 + 1, 2), (i % 50) as f32 * 0.5))
+                .collect();
+            t.put_list(1, 10, &entries).unwrap();
+            t.put_list(1, 20, &entries[..300]).unwrap();
+            for bound in [24.5f32, 10.0, 3.25, 0.0, 100.0] {
+                let mut scan = t.iter_term(1).unwrap();
+                let expected: Vec<RplEntry> = drain(&mut scan)
+                    .into_iter()
+                    .filter(|e| e.score <= bound)
+                    .collect();
+                let mut seeked = t.iter_term(1).unwrap();
+                seeked.seek_score_at_most(bound).unwrap();
+                let got = drain(&mut seeked);
+                assert_eq!(got, expected, "bound {bound}");
             }
-            assert_eq!(n, 2);
+        });
+    }
+
+    #[test]
+    fn failed_put_list_leaves_no_orphans() {
+        with_rpls("atomic", |t| {
+            let entries: Vec<(ElementRef, f32)> =
+                (0..600).map(|i| (el(0, i * 2 + 1, 2), i as f32)).collect();
+            t.fail_after_inserts(2);
+            let err = t.put_list(1, 10, &entries);
+            assert!(err.is_err());
+            t.fail_after = None;
+            // No registry record, no readable entries, no counted bytes.
+            assert!(!t.has_list(1, 10).unwrap());
+            assert_eq!(t.total_bytes().unwrap(), 0);
+            let mut it = t.iter_term(1).unwrap();
+            assert!(it.next_entry().unwrap().is_none());
+            // And the pair is writable again afterwards.
+            t.put_list(1, 10, &entries).unwrap();
+            let mut it = t.iter_term(1).unwrap();
+            assert_eq!(drain(&mut it).len(), 600);
         });
     }
 }

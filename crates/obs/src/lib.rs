@@ -327,10 +327,15 @@ counter_group! {
         rpl_bytes,
         /// RPL entries decoded (TA sorted accesses happen here).
         rpl_entries,
+        /// RPL block records fetched (each covers up to
+        /// `trex_index::blocks::BLOCK_CAPACITY` entries).
+        rpl_blocks,
         /// Bytes of ERPL payload decoded.
         erpl_bytes,
         /// ERPL entries decoded (Merge sequential accesses happen here).
         erpl_entries,
+        /// ERPL block records fetched.
+        erpl_blocks,
     }
 }
 

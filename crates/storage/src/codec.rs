@@ -31,6 +31,12 @@ pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
 
 /// Reads a LEB128 varint from the front of `buf`, returning the value and the
 /// number of bytes consumed.
+///
+/// Rejects encodings that do not fit a `u64`: more than ten bytes, or a
+/// tenth byte whose payload spills past bit 63 (at `shift == 63` only the
+/// lowest payload bit is representable — silently shifting the rest out
+/// would decode corrupt or overlong encodings to a *wrong value* instead of
+/// an error).
 pub fn read_varint(buf: &[u8]) -> Result<(u64, usize)> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
@@ -38,13 +44,25 @@ pub fn read_varint(buf: &[u8]) -> Result<(u64, usize)> {
         if shift >= 64 {
             return Err(StorageError::Corrupt("varint too long".into()));
         }
-        v |= u64::from(byte & 0x7f) << shift;
+        let payload = byte & 0x7f;
+        if shift == 63 && payload > 1 {
+            return Err(StorageError::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(payload) << shift;
         if byte & 0x80 == 0 {
             return Ok((v, i + 1));
         }
         shift += 7;
     }
     Err(StorageError::Corrupt("truncated varint".into()))
+}
+
+/// [`read_varint`] for values that must fit a `u32` (block-codec field
+/// widths); anything larger is corrupt data, not a silent truncation.
+pub fn read_varint_u32(buf: &[u8]) -> Result<(u32, usize)> {
+    let (v, n) = read_varint(buf)?;
+    let v = u32::try_from(v).map_err(|_| StorageError::Corrupt("varint overflows u32".into()))?;
+    Ok((v, n))
 }
 
 /// Number of bytes [`write_varint`] will emit for `v`.
@@ -70,9 +88,13 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-/// Reads a big-endian u32 at `off`.
+/// Reads a big-endian u32 at `off`. The offset arithmetic is checked: an
+/// adversarial offset near `usize::MAX` is corrupt input, not a panic
+/// (debug) or a wrapped-past-the-bounds-check read (release).
 pub fn get_u32(buf: &[u8], off: usize) -> Result<u32> {
-    let end = off + 4;
+    let end = off
+        .checked_add(4)
+        .ok_or_else(|| StorageError::Corrupt("u32 offset overflow".into()))?;
     if end > buf.len() {
         return Err(StorageError::Corrupt("truncated u32".into()));
     }
@@ -81,9 +103,12 @@ pub fn get_u32(buf: &[u8], off: usize) -> Result<u32> {
     Ok(u32::from_be_bytes(b))
 }
 
-/// Reads a big-endian u64 at `off`.
+/// Reads a big-endian u64 at `off`, with the same checked-offset contract
+/// as [`get_u32`].
 pub fn get_u64(buf: &[u8], off: usize) -> Result<u64> {
-    let end = off + 8;
+    let end = off
+        .checked_add(8)
+        .ok_or_else(|| StorageError::Corrupt("u64 offset overflow".into()))?;
     if end > buf.len() {
         return Err(StorageError::Corrupt("truncated u64".into()));
     }
@@ -167,6 +192,33 @@ mod tests {
     }
 
     #[test]
+    fn varint_rejects_overflowing_tenth_byte() {
+        // Nine continuation bytes put the tenth byte at shift 63, where only
+        // payload bit 0 is representable. 0x02 would previously be shifted
+        // out silently, decoding to 0 instead of erroring.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        assert!(read_varint(&buf).is_err());
+
+        // 0x01 at shift 63 is exactly the top bit: 1 << 63.
+        let mut ok = vec![0x80u8; 9];
+        ok.push(0x01);
+        let (v, used) = read_varint(&ok).unwrap();
+        assert_eq!(v, 1u64 << 63);
+        assert_eq!(used, 10);
+    }
+
+    #[test]
+    fn varint_u32_rejects_wider_values() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::from(u32::MAX));
+        assert_eq!(read_varint_u32(&buf).unwrap(), (u32::MAX, buf.len()));
+        buf.clear();
+        write_varint(&mut buf, u64::from(u32::MAX) + 1);
+        assert!(read_varint_u32(&buf).is_err());
+    }
+
+    #[test]
     fn big_endian_u32_order_matches_numeric_order() {
         let mut a = Vec::new();
         let mut b = Vec::new();
@@ -181,6 +233,15 @@ mod tests {
         assert!(get_u32(&[1, 2, 3], 0).is_err());
         assert!(get_u64(&[1, 2, 3, 4, 5, 6, 7], 0).is_err());
         assert!(get_u32(&[1, 2, 3, 4], 1).is_err());
+    }
+
+    #[test]
+    fn adversarial_offsets_are_corrupt_not_panics() {
+        let buf = [0u8; 16];
+        assert!(get_u32(&buf, usize::MAX).is_err());
+        assert!(get_u32(&buf, usize::MAX - 3).is_err());
+        assert!(get_u64(&buf, usize::MAX).is_err());
+        assert!(get_u64(&buf, usize::MAX - 7).is_err());
     }
 
     #[test]

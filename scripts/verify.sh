@@ -3,10 +3,13 @@
 # workspace-wide clippy with warnings denied, release-mode runs of the
 # concurrency stress test, the crash-recovery matrix and the online
 # self-management storm (races and crash sweeps need optimised codegen),
-# the HTTP serving end-to-end suite, and the bench exports
+# the HTTP serving end-to-end suite, the block-codec property tests in
+# release, and the bench exports
 # (BENCH_wal.json, BENCH_selfmanage.json, BENCH_obs.json — which asserts
-# the always-on telemetry overhead — and BENCH_serve.json — which asserts
-# cache-on p50 below cache-off and shedding under overload).
+# the always-on telemetry overhead — BENCH_serve.json — which asserts
+# cache-on p50 below cache-off and shedding under overload — and
+# BENCH_blocks.json — which asserts the ≥2× byte reduction of the block
+# list layout with byte-identical answers across strategies).
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,6 +38,9 @@ cargo test --release -p trex --test self_managing_online
 echo "== cargo test --release --test http_serve =="
 cargo test --release -p trex --test http_serve
 
+echo "== cargo test --release --test blocks_roundtrip =="
+cargo test --release -p trex-index --test blocks_roundtrip
+
 echo "== cargo bench --bench storage (exports BENCH_wal.json) =="
 cargo bench -p trex-bench --bench storage
 
@@ -46,5 +52,8 @@ cargo bench -p trex-bench --bench obs
 
 echo "== cargo bench --bench serve (exports BENCH_serve.json) =="
 cargo bench -p trex-bench --bench serve
+
+echo "== cargo bench --bench blocks (exports BENCH_blocks.json) =="
+cargo bench -p trex-bench --bench blocks
 
 echo "verify: OK"

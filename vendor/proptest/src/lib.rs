@@ -1,7 +1,8 @@
 //! Offline substitute for the `proptest` crate.
 //!
 //! Implements the subset of the proptest API this workspace's property tests
-//! use: the [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`,
 //! regex-like string strategies (character classes, `\PC`, `{m,n}`
 //! repetition), collection / option / sample strategies, `prop_oneof!`, and
 //! the `proptest!` / `prop_assert*` macros.
@@ -37,6 +38,17 @@ pub mod strategy {
             F: Fn(Self::Value) -> O,
         {
             Map { inner: self, f }
+        }
+
+        /// Maps generated values to a *strategy* and draws from it —
+        /// dependent generation (e.g. an index into a just-generated vec).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
         }
 
         /// Builds a recursive strategy: `self` generates leaves and `rec`
@@ -111,6 +123,26 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
         }
     }
 
@@ -913,6 +945,17 @@ mod tests {
         #[test]
         fn oneof_and_recursion_generate(n in prop_oneof![2 => 0u32..5, 1 => Just(9u32)]) {
             prop_assert!(n < 5 || n == 9);
+        }
+    }
+
+    #[test]
+    fn flat_map_draws_from_the_dependent_strategy() {
+        use crate::strategy::Strategy;
+        let strat = (1u32..50).prop_flat_map(|hi| (Just(hi), 0..hi));
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let (hi, n) = strat.generate(&mut rng);
+            assert!(n < hi, "{n} vs bound {hi}");
         }
     }
 
