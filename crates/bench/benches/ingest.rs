@@ -1,0 +1,144 @@
+//! Live-ingestion bench, exported as `BENCH_ingest.json`.
+//!
+//! Measures the three costs the delta index trades between:
+//!
+//! * **Ingest throughput** — documents/second through the full
+//!   `ingest_document` path (stage against the frozen summary/dictionary,
+//!   WAL append + fsync, delta apply under the write gate).
+//! * **Query latency vs delta size** — p50/p99 over the four-query mix at
+//!   delta sizes 0, 1k and 10k documents: every query now combines its
+//!   disk answers with a delta scan, so this sweep prices the in-memory
+//!   overlay a fold has not yet drained.
+//! * **Fold pause** — the write-gate critical section of folding the 10k
+//!   delta into the B+tree tables (queries block for `pause`, not `wall`).
+//!
+//! Sanity asserted, not just reported: the fold drains the delta and the
+//! mix's answers are byte-identical before and after it.
+
+use std::time::Instant;
+
+use trex::{EvalOptions, TrexConfig, TrexSystem};
+use trex_bench::{bench_header, store_dir, Scale};
+
+const MIX: [&str; 4] = [
+    "//article//sec[about(., xml query evaluation)]",
+    "//sec[about(., code signing verification)]",
+    "//article//sec[about(., model checking state space)]",
+    "//article[about(., information retrieval ranking)]",
+];
+
+/// Delta sizes (documents) the query sweep is measured at.
+const DELTA_SIZES: [usize; 3] = [0, 1_000, 10_000];
+/// Query repetitions per delta size (the mix round-robins through them).
+const QUERY_REPS: usize = 64;
+const K: usize = 10;
+
+fn build_system() -> TrexSystem {
+    let path = store_dir().join("ingest-bench.db");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(trex::storage::wal_path(&path));
+    let gen = trex::corpus::IeeeGenerator::new(trex::corpus::CorpusConfig {
+        docs: Scale::small().ieee_docs,
+        ..trex::corpus::CorpusConfig::ieee_default()
+    });
+    TrexSystem::build(TrexConfig::new(&path), gen.documents()).expect("build bench collection")
+}
+
+/// One ingestable document; item `i` matches the first mix query so the
+/// delta scan cost actually grows with the delta.
+fn ingest_doc(i: usize) -> String {
+    format!(
+        "<books><journal><article><bdy><sec><st>stream</st>\
+         <p>xml query evaluation stream item {i} with some filler prose \
+         about retrieval systems</p></sec></bdy></article></journal></books>"
+    )
+}
+
+/// p50/p99 (ms) of evaluating the mix `QUERY_REPS` times at the current
+/// delta size.
+fn query_latency(system: &TrexSystem) -> (f64, f64) {
+    let engine = system.engine();
+    let mut ns: Vec<u64> = Vec::with_capacity(QUERY_REPS);
+    for i in 0..QUERY_REPS {
+        let started = Instant::now();
+        let result = engine
+            .evaluate(MIX[i % MIX.len()], EvalOptions::new().k(Some(K)))
+            .expect("bench query");
+        std::hint::black_box(result.answers.len());
+        ns.push(started.elapsed().as_nanos() as u64);
+    }
+    ns.sort_unstable();
+    let pct = |p: f64| ns[((ns.len() as f64 * p) as usize).min(ns.len() - 1)] as f64 / 1e6;
+    (pct(0.50), pct(0.99))
+}
+
+fn main() {
+    let system = build_system();
+    let mut configs: Vec<(usize, f64, f64)> = Vec::new();
+    let mut ingested = 0usize;
+    let mut ingest_ns = 0u128;
+
+    for target in DELTA_SIZES {
+        while ingested < target {
+            let xml = ingest_doc(ingested);
+            let started = Instant::now();
+            system.ingest_document(&xml).expect("ingest");
+            ingest_ns += started.elapsed().as_nanos();
+            ingested += 1;
+        }
+        assert_eq!(system.index().delta().doc_count(), target);
+        let (p50, p99) = query_latency(&system);
+        eprintln!("delta {target:>6} docs: query p50 {p50:.3} ms, p99 {p99:.3} ms");
+        configs.push((target, p50, p99));
+    }
+    let ingest_docs_per_sec = ingested as f64 / (ingest_ns as f64 / 1e9).max(1e-9);
+    eprintln!("ingest throughput: {ingest_docs_per_sec:.1} docs/s over {ingested} docs");
+
+    // Fold the 10k delta; queries pause for the gate section only.
+    let before: Vec<_> = MIX
+        .iter()
+        .map(|q| system.search(q, Some(K)).unwrap().answers)
+        .collect();
+    let report = system
+        .fold_once()
+        .expect("fold")
+        .expect("delta was non-empty");
+    assert_eq!(report.docs_folded, ingested);
+    assert!(
+        system.index().delta().is_empty(),
+        "fold must drain the delta"
+    );
+    for (q, pre) in MIX.iter().zip(&before) {
+        let post = system.search(q, Some(K)).unwrap().answers;
+        assert_eq!(&post, pre, "answers changed across fold for {q}");
+    }
+    let fold_pause_ms = report.pause.as_secs_f64() * 1e3;
+    let fold_wall_ms = report.wall.as_secs_f64() * 1e3;
+    let (post_fold_p50, post_fold_p99) = query_latency(&system);
+    eprintln!(
+        "fold: {} docs in {fold_wall_ms:.1} ms wall ({fold_pause_ms:.1} ms gate pause); \
+         post-fold query p50 {post_fold_p50:.3} ms, p99 {post_fold_p99:.3} ms",
+        report.docs_folded
+    );
+
+    let mut sweep = String::new();
+    for (i, (docs, p50, p99)) in configs.iter().enumerate() {
+        if i > 0 {
+            sweep.push(',');
+        }
+        sweep.push_str(&format!(
+            "{{\"delta_docs\":{docs},\"query_p50_ms\":{p50:.4},\"query_p99_ms\":{p99:.4}}}"
+        ));
+    }
+    let out = format!(
+        "{{{},\"k\":{K},\"ingested_docs\":{ingested},\
+         \"ingest_docs_per_sec\":{ingest_docs_per_sec:.1},\
+         \"fold_pause_ms\":{fold_pause_ms:.4},\"fold_wall_ms\":{fold_wall_ms:.4},\
+         \"post_fold_query_p50_ms\":{post_fold_p50:.4},\
+         \"post_fold_query_p99_ms\":{post_fold_p99:.4},\"configs\":[{sweep}]}}",
+        bench_header(Scale::small().ieee_docs, 1),
+    );
+    let path = store_dir().join("BENCH_ingest.json");
+    std::fs::write(&path, &out).expect("write BENCH_ingest.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -499,7 +499,7 @@ impl<'a> QueryEngine<'a> {
         });
         let mut rank_time = Duration::ZERO;
         let eval_started = Instant::now();
-        let (answers, total, stats) = match strategy {
+        let (mut answers, mut total, stats) = match strategy {
             Strategy::Era => {
                 let (answers, stats) = self.run_era(sids, terms, deadline)?;
                 let total = answers.len();
@@ -536,6 +536,50 @@ impl<'a> QueryEngine<'a> {
             Strategy::Race => self.run_race(sids, terms, opts, deadline)?,
             Strategy::Auto => unreachable!("resolved above"),
         };
+
+        // Delta∪disk combine: documents ingested since the last fold are
+        // invisible to every on-disk strategy, so their matches are folded
+        // in here. Scoring goes through the same `TrexIndex::score` path as
+        // ERA's (the delta carries exact per-term frequencies), so the
+        // combined ranking is what ERA would produce after a fold — the
+        // merge is rank-safe for TA too, because any union-top-k element is
+        // either a delta match or already inside TA's disk top-k. The read
+        // gate is still held, so the delta cannot change mid-combine and
+        // `generation` keys the cache correctly.
+        let delta = self.index.delta();
+        if !delta.is_empty() {
+            let rank_started = Instant::now();
+            let matches = delta.matches(sids, terms);
+            if !matches.is_empty() {
+                let added = matches.len();
+                for m in matches {
+                    let mut score = 0.0f32;
+                    for (j, &term) in terms.iter().enumerate() {
+                        if m.tf[j] > 0 {
+                            score += self.index.score(m.tf[j], term, m.element.length)?;
+                        }
+                    }
+                    answers.push(Answer {
+                        element: m.element,
+                        sid: m.sid,
+                        score,
+                    });
+                }
+                answers = top_k(answers, opts.k.unwrap_or(usize::MAX));
+                total = match &stats {
+                    // TA (and a race it won) reports only what it returned;
+                    // keep that convention for the combined result.
+                    StrategyStats::Ta(_)
+                    | StrategyStats::Race {
+                        won_by: RaceWinner::Ta,
+                        ..
+                    } => answers.len(),
+                    _ => total + added,
+                };
+            }
+            rank_time += rank_started.elapsed();
+        }
+
         let evaluate_time = eval_started.elapsed().saturating_sub(rank_time);
         drop(eval_span);
 

@@ -14,6 +14,7 @@ pub mod engine;
 pub mod era;
 pub mod executor;
 pub mod heap;
+pub mod ingest;
 pub mod materialize;
 pub mod merge;
 pub mod metrics;
@@ -35,6 +36,7 @@ pub use engine::{
 pub use era::{era, era_with_deadline, EraMatch, EraStats};
 pub use executor::QueryExecutor;
 pub use heap::{HeapClock, HeapPolicy, TopKHeap};
+pub use ingest::{fold_once, FoldManager, FoldOptions, FoldReport};
 pub use materialize::{
     collect_lists, erpls_cover, materialize, materialize_batch, rpls_cover, ListKind, ScoredLists,
 };
@@ -74,6 +76,10 @@ pub enum TrexError {
     /// HTTP 408 at the serving surface, and is always retryable (with a
     /// larger budget).
     DeadlineExceeded,
+    /// Live ingestion has allocated every representable document id
+    /// (`u32::MAX` is the `m-pos` sentinel and is never assigned); the
+    /// collection must be rebuilt to accept more documents. Not retryable.
+    CorpusFull,
 }
 
 impl fmt::Display for TrexError {
@@ -85,6 +91,9 @@ impl fmt::Display for TrexError {
             TrexError::Unsupported(what) => write!(f, "unsupported query: {what}"),
             TrexError::Workload(e) => write!(f, "{e}"),
             TrexError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            TrexError::CorpusFull => {
+                write!(f, "document id space exhausted; rebuild to ingest more")
+            }
         }
     }
 }
@@ -98,13 +107,17 @@ impl std::error::Error for TrexError {
             TrexError::Unsupported(_) => None,
             TrexError::Workload(e) => Some(e),
             TrexError::DeadlineExceeded => None,
+            TrexError::CorpusFull => None,
         }
     }
 }
 
 impl From<trex_index::IndexError> for TrexError {
     fn from(e: trex_index::IndexError) -> Self {
-        TrexError::Index(e)
+        match e {
+            trex_index::IndexError::DocIdsExhausted => TrexError::CorpusFull,
+            e => TrexError::Index(e),
+        }
     }
 }
 

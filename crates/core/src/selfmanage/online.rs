@@ -109,8 +109,11 @@ impl SelfManageOptions {
 
 /// Everything a cycle learns about one query shape that does not depend on
 /// the workload frequencies: measured ERA cost, estimated deltas, and the
-/// exact list footprints. Valid as long as the corpus is static (this
-/// system has no incremental document indexing).
+/// exact list footprints. Valid as long as the corpus has not moved: the
+/// entry records the ingest epoch (documents ever ingested — staged plus
+/// folded) it was measured at, and a cycle re-measures any shape whose
+/// epoch is stale, so live ingestion cannot leave the advisor pricing
+/// yesterday's lists.
 #[derive(Debug, Clone)]
 struct CachedCost {
     delta_merge: f64,
@@ -119,6 +122,8 @@ struct CachedCost {
     rpl_lists: Vec<ListId>,
     sids: Vec<Sid>,
     terms: Vec<TermId>,
+    /// `delta.folded_docs() + delta.doc_count()` at measurement time.
+    ingest_epoch: u64,
 }
 
 /// Memoised per-shape measurements across reconcile cycles. Keyed by
@@ -202,9 +207,17 @@ pub fn reconcile_once(
     let sw_measure = telemetry.maint.start();
     let engine = QueryEngine::new(index);
     let mut costs = Vec::with_capacity(workload.len());
+    // Documents ever ingested (staged + folded): cached measurements from
+    // an older epoch price lists that no longer match the corpus.
+    let ingest_epoch = index.delta().folded_docs() + index.delta().doc_count() as u64;
     for wq in workload.queries() {
         let key = (wq.nexi.clone(), wq.k);
-        if !cache.by_query.contains_key(&key) {
+        let stale = cache
+            .by_query
+            .get(&key)
+            .map(|c| c.ingest_epoch != ingest_epoch)
+            .unwrap_or(true);
+        if stale {
             let cached = measure_query(index, &engine, &wq.nexi, wq.k, opts.measure_runs)?;
             cache.by_query.insert(key.clone(), cached);
         }
@@ -356,6 +369,11 @@ fn measure_query(
 
     // Exact footprints without writing: the scored entry lists a
     // materialisation would produce, priced with the tables' encoders.
+    // Staged (unfolded) delta matches are appended before pricing: the
+    // next fold will push them into these lists, so budget selection must
+    // account for the bytes now, not discover them after the fold.
+    let delta = index.delta();
+    let ingest_epoch = delta.folded_docs() + delta.doc_count() as u64;
     let lists = collect_lists(index, &sids, &terms)?;
     let mut rpl_lists = Vec::new();
     let mut erpl_lists = Vec::new();
@@ -363,16 +381,20 @@ fn measure_query(
     let mut erpl_entry_counts = Vec::new();
     for &term in &terms {
         for &sid in &sids {
-            let entries = lists.get(&(term, sid)).map(Vec::as_slice).unwrap_or(&[]);
+            let mut entries = lists.get(&(term, sid)).cloned().unwrap_or_default();
+            for m in delta.matches(&[sid], &[term]) {
+                let score = index.score(m.tf[0], term, m.element.length)?;
+                entries.push((m.element, score));
+            }
             rpl_lists.push(ListId {
                 term,
                 sid,
-                bytes: rpl_list_bytes(term, sid, entries),
+                bytes: rpl_list_bytes(term, sid, &entries),
             });
             erpl_lists.push(ListId {
                 term,
                 sid,
-                bytes: erpl_list_bytes(term, sid, entries),
+                bytes: erpl_list_bytes(term, sid, &entries),
             });
             rpl_entry_counts.push(entries.len() as u64);
             erpl_entry_counts.push(entries.len() as u64);
@@ -414,6 +436,7 @@ fn measure_query(
         rpl_lists,
         sids,
         terms,
+        ingest_epoch,
     })
 }
 

@@ -42,6 +42,11 @@ pub struct ProfilerConfig {
     /// Half-life of an entry's weight, in recorded queries; `None` disables
     /// decay (pure counts, deterministic).
     pub half_life: Option<u64>,
+    /// Hard cap on distinct shapes kept per shard. When an insert would
+    /// exceed it, decayed-out entries are pruned and, if that is not
+    /// enough, the lightest entries are evicted — so a flood of
+    /// never-repeated queries cannot grow the sketch without bound.
+    pub max_entries_per_shard: usize,
 }
 
 impl Default for ProfilerConfig {
@@ -51,14 +56,19 @@ impl Default for ProfilerConfig {
             // A few hundred queries: old workloads fade within a handful of
             // reconcile intervals at realistic serving rates.
             half_life: Some(256),
+            max_entries_per_shard: 1024,
         }
     }
 }
 
+/// Entries whose decayed weight falls below this are dead: they can no
+/// longer influence the top-shapes ranking, only occupy memory.
+const PRUNE_EPSILON: f64 = 1e-3;
+
 /// The profiler's aggregation key: the translated query shape. Sids and
 /// terms are kept sorted so NEXI variants with the same translation
 /// coincide.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct ProfileKey {
     sids: Vec<Sid>,
     terms: Vec<TermId>,
@@ -92,6 +102,7 @@ pub struct WorkloadProfiler {
     shards: Vec<Mutex<HashMap<ProfileKey, ProfileEntry>>>,
     ticks: AtomicU64,
     half_life: Option<f64>,
+    max_entries: usize,
     counters: Arc<SelfManageCounters>,
 }
 
@@ -103,6 +114,7 @@ impl WorkloadProfiler {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             ticks: AtomicU64::new(0),
             half_life: config.half_life.map(|h| h.max(1) as f64),
+            max_entries: config.max_entries_per_shard.max(1),
             counters: Arc::new(SelfManageCounters::new()),
         }
     }
@@ -132,6 +144,13 @@ impl WorkloadProfiler {
 
         let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
         let mut shard = self.shards[self.shard_of(&key)].lock();
+        // A new shape landing on a full shard first prunes decayed-out
+        // entries, then (if the shard is still full — e.g. decay disabled)
+        // evicts the lightest ones. Amortised: eviction frees a batch, so
+        // the sort does not run on every insert of a flood.
+        if shard.len() >= self.max_entries && !shard.contains_key(&key) {
+            self.prune(&mut shard, tick);
+        }
         let entry = shard.entry(key).or_insert_with(|| ProfileEntry {
             nexi: nexi.to_string(),
             weight: 0.0,
@@ -154,7 +173,12 @@ impl WorkloadProfiler {
         let now = self.ticks.load(Ordering::Relaxed);
         let mut all: Vec<ProfiledQuery> = Vec::new();
         for shard in &self.shards {
-            let shard = shard.lock();
+            let mut shard = shard.lock();
+            // Reading the sketch is the other natural pruning point: dead
+            // entries are dropped here even on shards no flood ever fills.
+            if self.half_life.is_some() {
+                shard.retain(|_, e| self.decayed(e.weight, e.tick, now) >= PRUNE_EPSILON);
+            }
             for (key, entry) in shard.iter() {
                 let weight = self.decayed(entry.weight, entry.tick, now);
                 if weight > 0.0 {
@@ -206,6 +230,33 @@ impl WorkloadProfiler {
         }
     }
 
+    /// Total entries currently held across all shards (memory-bound tests
+    /// and observability; `O(shards)`).
+    pub fn entry_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Makes room in a full shard: drop entries decayed below
+    /// [`PRUNE_EPSILON`], then if the shard is still at capacity evict the
+    /// lightest eighth (at least one) so the heaviest shapes — the only
+    /// ones `profile` can ever surface — are untouched.
+    fn prune(&self, shard: &mut HashMap<ProfileKey, ProfileEntry>, now: u64) {
+        shard.retain(|_, e| self.decayed(e.weight, e.tick, now) >= PRUNE_EPSILON);
+        if shard.len() < self.max_entries {
+            return;
+        }
+        let excess = shard.len() + 1 - self.max_entries;
+        let evict = excess.max(self.max_entries / 8).min(shard.len());
+        let mut ranked: Vec<(ProfileKey, f64)> = shard
+            .iter()
+            .map(|(k, e)| (k.clone(), self.decayed(e.weight, e.tick, now)))
+            .collect();
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        for (key, _) in ranked.into_iter().take(evict) {
+            shard.remove(&key);
+        }
+    }
+
     fn shard_of(&self, key: &ProfileKey) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
@@ -232,6 +283,7 @@ mod tests {
         let p = WorkloadProfiler::new(ProfilerConfig {
             shards: 4,
             half_life: None,
+            ..ProfilerConfig::default()
         });
         // Different sid/term *orderings* of the same shape coincide.
         p.record("//a[about(., x y)]", &[1, 2], &[7, 9], Some(10));
@@ -260,6 +312,7 @@ mod tests {
         let p = WorkloadProfiler::new(ProfilerConfig {
             shards: 1,
             half_life: Some(4),
+            ..ProfilerConfig::default()
         });
         p.record("//a[about(., old)]", &[1], &[1], Some(10));
         for _ in 0..16 {
@@ -276,6 +329,7 @@ mod tests {
         let p = WorkloadProfiler::new(ProfilerConfig {
             shards: 8,
             half_life: None,
+            ..ProfilerConfig::default()
         });
         for _ in 0..6 {
             p.record("//a[about(., x)]", &[1], &[1], Some(10));
@@ -299,6 +353,7 @@ mod tests {
         let p = WorkloadProfiler::new(ProfilerConfig {
             shards: 2,
             half_life: None,
+            ..ProfilerConfig::default()
         });
         for i in 0..20u32 {
             for _ in 0..=i {
@@ -309,5 +364,52 @@ mod tests {
         assert_eq!(profiled.len(), 3);
         assert_eq!(profiled[0].weight, 20.0);
         assert_eq!(profiled[2].weight, 18.0);
+    }
+
+    #[test]
+    fn flood_of_unique_shapes_stays_bounded_and_keeps_hot_ranking() {
+        let cap = 128;
+        let p = WorkloadProfiler::new(ProfilerConfig {
+            shards: 2,
+            half_life: Some(64),
+            max_entries_per_shard: cap,
+        });
+        // A hot query interleaved with a flood of never-repeated shapes:
+        // the sketch must stay within its cap and the hot query must stay
+        // ranked first throughout.
+        for i in 0..10_000u32 {
+            if i % 10 == 0 {
+                p.record("//a[about(., hot)]", &[1], &[1], Some(10));
+            }
+            p.record(
+                &format!("//a[about(., r{i})]"),
+                &[2],
+                &[1_000 + i],
+                Some(10),
+            );
+            assert!(p.entry_count() <= 2 * cap, "flood grew past cap at i={i}");
+        }
+        let profiled = p.profile(5);
+        assert_eq!(profiled[0].nexi, "//a[about(., hot)]");
+        // Reading the profile prunes decayed-out entries too.
+        assert!(p.entry_count() <= 2 * cap);
+    }
+
+    #[test]
+    fn eviction_without_decay_keeps_the_heaviest_shapes() {
+        let cap = 16;
+        let p = WorkloadProfiler::new(ProfilerConfig {
+            shards: 1,
+            half_life: None,
+            max_entries_per_shard: cap,
+        });
+        for _ in 0..50 {
+            p.record("//a[about(., hot)]", &[1], &[1], Some(10));
+        }
+        for i in 0..200u32 {
+            p.record(&format!("//a[about(., r{i})]"), &[2], &[100 + i], Some(10));
+        }
+        assert!(p.entry_count() <= cap);
+        assert_eq!(p.profile(1)[0].nexi, "//a[about(., hot)]");
     }
 }

@@ -101,7 +101,7 @@ impl<'a> QueryService<'a> {
                     TrexError::Parse(_)
                     | TrexError::MissingIndex(_)
                     | TrexError::Unsupported(_) => metrics.counters.parse_errors.incr(),
-                    TrexError::Index(_) | TrexError::Workload(_) => {
+                    TrexError::Index(_) | TrexError::Workload(_) | TrexError::CorpusFull => {
                         metrics.counters.internal_errors.incr()
                     }
                 }

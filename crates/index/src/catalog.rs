@@ -193,6 +193,23 @@ pub mod blob_names {
     pub const STATS: &str = "stats";
     /// The analyzer configuration the collection was indexed with.
     pub const ANALYZER: &str = "analyzer";
+    /// High-water mark of live-ingested document ids folded to disk
+    /// (`u32` LE). Absent on stores that never folded a delta.
+    pub const NEXT_DOC_ID: &str = "next_doc_id";
+}
+
+/// Reads the persisted next-document-id high-water mark, if any.
+pub fn load_next_doc_id(store: &Store) -> Result<Option<u32>> {
+    let blobs = store.open_table(BLOBS_TABLE)?;
+    Ok(load_blob(&blobs, blob_names::NEXT_DOC_ID)?.and_then(|b| {
+        b.get(..4)
+            .map(|x| u32::from_le_bytes(x.try_into().unwrap()))
+    }))
+}
+
+/// Persists the next-document-id high-water mark (called by the fold).
+pub fn store_next_doc_id(table: &mut Table, next: u32) -> Result<()> {
+    store_blob(table, blob_names::NEXT_DOC_ID, &next.to_le_bytes())
 }
 
 /// Loads the full catalog (dictionary, summary, alias, stats, analyzer)

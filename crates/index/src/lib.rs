@@ -17,6 +17,7 @@
 pub mod blocks;
 pub mod build;
 pub mod catalog;
+pub mod delta;
 pub mod docstore;
 pub mod elements;
 pub mod encode;
@@ -35,6 +36,7 @@ use trex_text::{Analyzer, CollectionStats, Dictionary, ScoringParams, TermId};
 
 pub use build::IndexBuilder;
 pub use catalog::TermStats;
+pub use delta::{DeltaDoc, DeltaIndex, DeltaMatch};
 pub use docstore::{DocStore, DocStoreWriter};
 pub use elements::{ElementIter, ElementsTable};
 pub use encode::{ElementRef, Position, RplEntry};
@@ -51,6 +53,12 @@ pub enum IndexError {
     Xml(trex_xml::XmlError),
     /// The storage engine failed.
     Storage(StorageError),
+    /// Live ingestion has allocated every representable document id; the
+    /// collection must be rebuilt with a wider id space.
+    DocIdsExhausted,
+    /// An ingested document uses an element path the frozen structural
+    /// summary does not contain (the offending label is attached).
+    UnknownPath(String),
 }
 
 impl fmt::Display for IndexError {
@@ -58,6 +66,10 @@ impl fmt::Display for IndexError {
         match self {
             IndexError::Xml(e) => write!(f, "xml error: {e}"),
             IndexError::Storage(e) => write!(f, "storage error: {e}"),
+            IndexError::DocIdsExhausted => write!(f, "document id space exhausted"),
+            IndexError::UnknownPath(label) => {
+                write!(f, "element path not in structural summary: <{label}>")
+            }
         }
     }
 }
@@ -67,6 +79,7 @@ impl std::error::Error for IndexError {
         match self {
             IndexError::Xml(e) => Some(e),
             IndexError::Storage(e) => Some(e),
+            IndexError::DocIdsExhausted | IndexError::UnknownPath(_) => None,
         }
     }
 }
@@ -98,14 +111,42 @@ pub struct TrexIndex {
     /// Query-path telemetry (latency histograms, span journal, slow-query
     /// log), shared with the engine and the self-manager above.
     telemetry: Arc<trex_obs::Telemetry>,
+    /// The live-ingestion overlay; see [`delta::DeltaIndex`].
+    delta: Arc<DeltaIndex>,
 }
 
 impl TrexIndex {
     /// Opens the index stored in `store` (catalog blobs must exist, i.e.
-    /// [`IndexBuilder::finish`] must have run).
+    /// [`IndexBuilder::finish`] must have run). Any ingest records the WAL
+    /// recovered are replayed into the delta, so acknowledged documents are
+    /// queryable again immediately after a crash.
     pub fn open(store: Arc<Store>) -> Result<TrexIndex> {
         let (dictionary, summary, alias, stats, analyzer) = catalog::load_catalog(&store)?;
         let telemetry = Arc::new(trex_obs::Telemetry::new());
+        // Ids resume after everything already folded to disk: the fold
+        // persists its high-water mark as a catalog blob; stores that never
+        // folded fall back to the built document count.
+        let base_next = catalog::load_next_doc_id(&store)?
+            .unwrap_or(0)
+            .max(stats.doc_count);
+        let delta = Arc::new(DeltaIndex::new(base_next));
+        for pending in store.pending_ingests() {
+            let xml = std::str::from_utf8(&pending.xml).map_err(|_| {
+                IndexError::Storage(StorageError::Corrupt(format!(
+                    "ingest record for doc {} is not UTF-8",
+                    pending.doc_id
+                )))
+            })?;
+            let staged = delta::stage_document(
+                pending.doc_id,
+                xml,
+                &summary,
+                &alias,
+                &dictionary,
+                analyzer,
+            )?;
+            delta.note_recovered(staged);
+        }
         Ok(TrexIndex {
             store,
             dictionary,
@@ -117,7 +158,41 @@ impl TrexIndex {
             obs: Arc::new(trex_obs::IndexCounters::new()),
             maintenance: Arc::new(Maintenance::with_telemetry(telemetry.clone())),
             telemetry,
+            delta,
         })
+    }
+
+    /// The live-ingestion delta overlay.
+    pub fn delta(&self) -> &Arc<DeltaIndex> {
+        &self.delta
+    }
+
+    /// Ingests one document into the live index: allocates the next id,
+    /// stages the document against the frozen catalog, logs it to the WAL
+    /// (durability point — the call only returns once the record is
+    /// fsynced), then publishes it to the delta under the maintenance write
+    /// gate so the generation bump invalidates result caches.
+    ///
+    /// Fails with [`IndexError::DocIdsExhausted`] at the id-space boundary
+    /// and [`IndexError::UnknownPath`] for documents whose structure the
+    /// frozen summary cannot place; neither consumes an id or writes state.
+    pub fn ingest_document(&self, xml: &str) -> Result<u32> {
+        let _serial = self.delta.ingest_guard();
+        let doc_id = self.delta.peek_next_doc_id()?;
+        let staged = delta::stage_document(
+            doc_id,
+            xml,
+            &self.summary,
+            &self.alias,
+            &self.dictionary,
+            self.analyzer,
+        )?;
+        self.store.log_ingest(doc_id, xml.as_bytes())?;
+        {
+            let _gate = self.maintenance.enter_write();
+            self.delta.apply(staged);
+        }
+        Ok(doc_id)
     }
 
     /// The maintenance gate coordinating query evaluation with online

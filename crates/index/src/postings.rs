@@ -78,6 +78,43 @@ impl PostingsTable {
         })
     }
 
+    /// Reads the complete stored list of `term`, without the trailing
+    /// `m-pos` sentinel. Used by the delta fold to merge staged positions
+    /// into the on-disk list.
+    pub fn all_positions(&self, term: TermId) -> Result<Vec<Position>> {
+        let mut out = Vec::new();
+        let mut it = self.positions(term)?;
+        loop {
+            let p = it.next_position()?;
+            if p.is_max() {
+                return Ok(out);
+            }
+            out.push(p);
+        }
+    }
+
+    /// Replaces the stored list of `term` with `positions` (sorted
+    /// ascending, duplicate-free): deletes the existing chunk tuples, then
+    /// rewrites the list. The delta fold uses this to append ingested
+    /// documents' positions, which sort strictly after every on-disk
+    /// position because delta doc ids are allocated above the built range.
+    pub fn replace_term(&mut self, term: TermId, positions: &[Position]) -> Result<()> {
+        let mut stale = Vec::new();
+        let mut cursor = self.table.seek(&postings_key(term, Position::MIN))?;
+        while let Some((key, _)) = cursor.next_entry()? {
+            let (t, _) = decode_postings_key(&key)?;
+            if t != term {
+                break;
+            }
+            stale.push(key);
+        }
+        drop(cursor);
+        for key in stale {
+            self.table.delete(&key)?;
+        }
+        self.put_term(term, positions)
+    }
+
     /// Number of chunk tuples stored for `term` (ablation statistics).
     pub fn chunk_count(&self, term: TermId) -> Result<usize> {
         let mut cursor = self.table.seek(&postings_key(term, Position::MIN))?;

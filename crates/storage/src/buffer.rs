@@ -317,6 +317,14 @@ impl BufferPool {
     /// (log-before-data); without a WAL this degrades to write-in-place
     /// plus a plain fsync.
     pub fn flush(&self) -> Result<()> {
+        self.flush_consuming_ingests(0)
+    }
+
+    /// [`BufferPool::flush`] whose checkpoint additionally consumes the
+    /// WAL's pending ingest records below `ingest_watermark` (a fold's
+    /// durability point — the folded rows and the consumption commit
+    /// atomically together).
+    pub fn flush_consuming_ingests(&self, ingest_watermark: u64) -> Result<()> {
         for shard in self.shards.iter() {
             let inner = shard.inner.lock();
             let mut pager = self.pager.lock();
@@ -328,7 +336,18 @@ impl BufferPool {
                 }
             }
         }
-        self.pager.lock().checkpoint()
+        self.pager.lock().checkpoint_consuming(ingest_watermark)
+    }
+
+    /// Logs one ingested document to the WAL (fsynced, individually
+    /// durable); `false` when the pager runs without a WAL.
+    pub fn log_ingest(&self, doc_id: u32, xml: &[u8]) -> Result<bool> {
+        self.pager.lock().log_ingest(doc_id, xml)
+    }
+
+    /// The logged ingested documents no fold has consumed yet.
+    pub fn pending_ingests(&self) -> Vec<crate::wal::PendingIngest> {
+        self.pager.lock().pending_ingests()
     }
 
     /// (hits, misses) since pool creation.

@@ -46,4 +46,4 @@ pub use buffer::BufferPool;
 pub use error::{Result, StorageError};
 pub use page::{PageId, PAGE_SIZE};
 pub use store::{Store, StoreOptions, Table};
-pub use wal::{wal_path, CrashPoint, RecoveryReport};
+pub use wal::{wal_path, CrashPoint, PendingIngest, RecoveryReport, MAX_INGEST_XML};

@@ -188,7 +188,10 @@ impl Pager {
         }
         // Either way the log is now spent (roll forward applied, roll back
         // discarded); truncate it so appends start from a clean checkpoint.
-        wal.reset(&mut pager.crash)?;
+        // Pending ingest records survive the reset: the scan already dropped
+        // any the replayed commit consumed, and the rest are carried into
+        // the fresh log (they are durable until a fold consumes them).
+        wal.reset(&mut pager.crash, 0)?;
 
         let len = pager.file.metadata()?.len();
         Self::check_tail(len)?;
@@ -410,11 +413,20 @@ impl Pager {
     /// checkpoint on reopen; a crash at or after it rolls forward to this
     /// one. Either way the store reopens consistent.
     pub fn checkpoint(&mut self) -> Result<()> {
+        self.checkpoint_consuming(0)
+    }
+
+    /// [`Pager::checkpoint`] that additionally consumes the pending ingest
+    /// records whose doc id is below `ingest_watermark`: the commit record
+    /// carries the watermark (so recovery that rolls this checkpoint forward
+    /// drops them too) and the post-checkpoint log reset discards them. Used
+    /// by the index layer's fold, whose page writes this checkpoint seals.
+    pub fn checkpoint_consuming(&mut self, ingest_watermark: u64) -> Result<()> {
         self.crash.ensure_alive()?;
         let Some(wal) = &mut self.wal else {
             return self.sync();
         };
-        if wal.entries().is_empty() {
+        if wal.entries().is_empty() && ingest_watermark == 0 {
             // Nothing logged since the last checkpoint; just be durable.
             let grew = self.page_count > self.synced_page_count;
             let sw = self.timers.start();
@@ -424,7 +436,7 @@ impl Pager {
             return Ok(());
         }
         let sw_ckpt = self.timers.start();
-        wal.commit(&mut self.crash)?;
+        wal.commit(&mut self.crash, ingest_watermark)?;
         let mut buf = PageBuf::zeroed();
         for id in wal.entries() {
             wal.load(id, &mut buf)?;
@@ -441,10 +453,34 @@ impl Pager {
         Self::sync_data_file(&mut self.file, &mut self.crash, grew)?;
         self.timers.fsync.observe(&sw);
         self.synced_page_count = self.page_count;
-        wal.reset(&mut self.crash)?;
+        wal.reset(&mut self.crash, ingest_watermark)?;
         self.obs.checkpoints.incr();
         self.timers.checkpoint.observe(&sw_ckpt);
         Ok(())
+    }
+
+    /// Logs one ingested document to the WAL, fsynced and individually
+    /// durable. Returns `false` (a no-op) when this pager runs without a
+    /// WAL — the caller's in-memory delta is then the only copy, exactly as
+    /// every other write is volatile in that mode.
+    pub fn log_ingest(&mut self, doc_id: u32, xml: &[u8]) -> Result<bool> {
+        self.crash.ensure_alive()?;
+        let Some(wal) = &mut self.wal else {
+            return Ok(false);
+        };
+        let sw = self.timers.start();
+        wal.append_ingest(doc_id, xml, &mut self.crash, &self.obs)?;
+        self.timers.wal_append.observe(&sw);
+        Ok(true)
+    }
+
+    /// The logged ingested documents no fold has consumed yet, in log
+    /// order. Empty for WAL-less pagers.
+    pub fn pending_ingests(&self) -> Vec<crate::wal::PendingIngest> {
+        match &self.wal {
+            Some(wal) => wal.pending_ingests().to_vec(),
+            None => Vec::new(),
+        }
     }
 
     /// (reads, writes) performed since open — used by benchmarks to report

@@ -16,7 +16,7 @@ use crate::buffer::BufferPool;
 use crate::error::{Result, StorageError};
 use crate::page::{PageId, HEADER_LEN, PAGE_SIZE};
 use crate::pager::Pager;
-use crate::wal::{CrashPoint, RecoveryReport};
+use crate::wal::{CrashPoint, PendingIngest, RecoveryReport};
 
 const MAGIC: &[u8; 8] = b"TREXSTOR";
 const VERSION: u16 = 1;
@@ -301,6 +301,31 @@ impl Store {
     pub fn flush(&self) -> Result<()> {
         self.write_meta()?;
         self.pool.flush()
+    }
+
+    /// [`Store::flush`] whose checkpoint also consumes the WAL's pending
+    /// ingest records with doc id below `ingest_watermark`. A fold calls
+    /// this once after rewriting the tables: the folded pages and the
+    /// ingest consumption commit in the same checkpoint, so recovery either
+    /// sees the documents in the tables (roll forward) or back in the
+    /// pending set (roll back) — never both, never neither.
+    pub fn flush_consuming_ingests(&self, ingest_watermark: u64) -> Result<()> {
+        self.write_meta()?;
+        self.pool.flush_consuming_ingests(ingest_watermark)
+    }
+
+    /// Logs one ingested document to the WAL, fsynced — durable before the
+    /// caller acknowledges the ingest. Returns `false` (no-op) for stores
+    /// without a WAL, whose every write is volatile until [`Store::flush`]
+    /// anyway.
+    pub fn log_ingest(&self, doc_id: u32, xml: &[u8]) -> Result<bool> {
+        self.pool.log_ingest(doc_id, xml)
+    }
+
+    /// The WAL's logged-but-not-yet-folded ingested documents, in log
+    /// order. The index layer replays these into its delta index at open.
+    pub fn pending_ingests(&self) -> Vec<PendingIngest> {
+        self.pool.pending_ingests()
     }
 
     /// What WAL recovery did when this store was opened: `None` after a

@@ -71,13 +71,29 @@ const WAL_VERSION: u16 = 1;
 const WAL_HEADER_LEN: u64 = 16;
 /// Fixed bytes per record before the payload: len + crc + kind + lsn.
 const REC_HEADER_LEN: usize = 4 + 4 + 1 + 8;
-/// Largest payload any record kind produces (an `Image`: page id + image).
+/// Largest payload a *physical* record kind produces (an `Image`: page id +
+/// image).
 const MAX_PAYLOAD: usize = 4 + PAGE_SIZE;
+/// Largest XML body an `Ingest` record accepts. Generous over the HTTP
+/// surface's body cap so the storage layer is never the binding limit.
+pub const MAX_INGEST_XML: usize = 1 << 20;
+/// Largest `Ingest` payload: doc id + XML body.
+const MAX_INGEST_PAYLOAD: usize = 4 + MAX_INGEST_XML;
+/// Upper bound across every record kind (sizes the scan buffer).
+const MAX_ANY_PAYLOAD: usize = if MAX_INGEST_PAYLOAD > MAX_PAYLOAD {
+    MAX_INGEST_PAYLOAD
+} else {
+    MAX_PAYLOAD
+};
 
 const KIND_IMAGE: u8 = 1;
 const KIND_ALLOC: u8 = 2;
 const KIND_COMMIT: u8 = 3;
 const KIND_CHECKPOINT: u8 = 4;
+/// Logical redo: one ingested document (`[doc_id: u32][xml bytes]`).
+/// Individually fsynced, so it is durable without a sealing `Commit`;
+/// recovery surfaces it to the index layer for replay into the delta index.
+const KIND_INGEST: u8 = 5;
 
 /// The deterministic crash boundaries a test can kill the store at. Each
 /// names one write or fsync in the logging/checkpoint protocol.
@@ -96,6 +112,12 @@ pub enum CrashPoint {
     DataSync,
     /// Just before the post-checkpoint log truncation.
     WalTruncate,
+    /// During the append of an `Ingest` record (the record is torn
+    /// mid-write; the document is absent after recovery).
+    IngestAppend,
+    /// At the per-ingest WAL fsync (the record is complete on disk; the
+    /// document is present after recovery).
+    IngestSync,
 }
 
 /// What a crash check tells the caller to do.
@@ -187,6 +209,18 @@ enum Slot {
     Zeroed,
 }
 
+/// One logged-but-not-yet-folded ingested document. Ingest records are
+/// individually fsynced, so each is durable the moment `append_ingest`
+/// returns; they stay in the log (surviving checkpoint truncations) until a
+/// fold consumes them via the `Commit` record's doc-id watermark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingIngest {
+    /// The document id the index layer assigned before logging.
+    pub doc_id: u32,
+    /// The raw XML bytes of the document.
+    pub xml: Vec<u8>,
+}
+
 /// Outcome of scanning the log at open time.
 pub(crate) struct WalScan {
     /// Whether a valid `Commit` seals the image set (roll forward).
@@ -214,8 +248,13 @@ pub struct RecoveryReport {
 /// The append-only log and its in-memory page table.
 pub(crate) struct Wal {
     file: File,
+    /// The log's own path — needed to rebuild the file atomically when a
+    /// truncation must carry pending ingest records forward.
+    path: PathBuf,
     /// page id → latest logged version since the last checkpoint.
     map: HashMap<PageId, Slot>,
+    /// Logged ingested documents not yet consumed by a fold, in log order.
+    pending: Vec<PendingIngest>,
     /// Next log sequence number to stamp.
     next_lsn: u64,
     /// Current append offset (end of the last valid record).
@@ -240,7 +279,9 @@ impl Wal {
             .open(path)?;
         let mut wal = Wal {
             file,
+            path: path.to_path_buf(),
             map: HashMap::new(),
+            pending: Vec::new(),
             next_lsn: 1,
             end: WAL_HEADER_LEN,
         };
@@ -270,7 +311,9 @@ impl Wal {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let mut wal = Wal {
             file,
+            path: path.to_path_buf(),
             map: HashMap::new(),
+            pending: Vec::new(),
             next_lsn: 1,
             end: WAL_HEADER_LEN,
         };
@@ -309,10 +352,12 @@ impl Wal {
 
         let mut offset = WAL_HEADER_LEN;
         let mut map: HashMap<PageId, Slot> = HashMap::new();
+        let mut pending: Vec<PendingIngest> = Vec::new();
+        let mut ingest_watermark = 0u64;
         let mut last_kind = 0u8;
         let mut max_lsn = 0u64;
         let mut rec_header = [0u8; REC_HEADER_LEN];
-        let mut body = vec![0u8; 1 + 8 + MAX_PAYLOAD];
+        let mut body = vec![0u8; 1 + 8 + MAX_ANY_PAYLOAD];
         loop {
             if offset + REC_HEADER_LEN as u64 > len {
                 break;
@@ -322,7 +367,7 @@ impl Wal {
             let rec_len = u32::from_le_bytes(rec_header[..4].try_into().unwrap()) as usize;
             let crc = u32::from_le_bytes(rec_header[4..8].try_into().unwrap());
             // rec_len counts kind + lsn + payload.
-            if !(1 + 8..=1 + 8 + MAX_PAYLOAD).contains(&rec_len) {
+            if !(1 + 8..=1 + 8 + MAX_ANY_PAYLOAD).contains(&rec_len) {
                 break;
             }
             if offset + (8 + rec_len) as u64 > len {
@@ -346,7 +391,20 @@ impl Wal {
                     let id = u32::from_le_bytes(payload[..4].try_into().unwrap());
                     map.insert(id, Slot::Zeroed);
                 }
-                KIND_COMMIT | KIND_CHECKPOINT => {}
+                KIND_INGEST if (4..=MAX_INGEST_PAYLOAD).contains(&payload.len()) => {
+                    pending.push(PendingIngest {
+                        doc_id: u32::from_le_bytes(payload[..4].try_into().unwrap()),
+                        xml: payload[4..].to_vec(),
+                    });
+                }
+                // A fold's commit carries the doc-id watermark of the
+                // ingests it folded into the tables; legacy commits are
+                // payload-free (watermark zero).
+                KIND_COMMIT if payload.is_empty() => {}
+                KIND_COMMIT if payload.len() == 8 => {
+                    ingest_watermark = u64::from_le_bytes(payload.try_into().unwrap());
+                }
+                KIND_CHECKPOINT => {}
                 _ => break, // unknown kind or malformed payload
             }
             last_kind = kind;
@@ -358,7 +416,17 @@ impl Wal {
         let discarded = if replay { 0 } else { map.len() as u32 };
         if replay {
             self.map = map;
+            // Rolling forward applies the commit, so any ingests the fold
+            // consumed (doc id below the watermark) are already in the
+            // tables — dropping them here prevents double application.
+            if ingest_watermark > 0 {
+                pending.retain(|p| u64::from(p.doc_id) >= ingest_watermark);
+            }
         }
+        // Ingest records are individually durable: they survive a roll
+        // *back* too (the fold that would have consumed them never
+        // committed).
+        self.pending = pending;
         self.next_lsn = max_lsn + 1;
         self.end = offset;
         Ok(WalScan {
@@ -470,13 +538,56 @@ impl Wal {
     }
 
     /// Seals the image set with a `Commit` record and fsyncs the log.
-    pub(crate) fn commit(&mut self, crash: &mut CrashState) -> Result<()> {
-        self.append(KIND_COMMIT, &[], crash)?;
+    ///
+    /// `ingest_watermark` is the fold consumption frontier: every pending
+    /// ingest whose doc id is below it is folded into the page images this
+    /// commit seals (zero when the checkpoint folds nothing). Recovery that
+    /// rolls this commit forward drops those ingests; a roll back keeps
+    /// them.
+    pub(crate) fn commit(&mut self, crash: &mut CrashState, ingest_watermark: u64) -> Result<()> {
+        self.append(KIND_COMMIT, &ingest_watermark.to_le_bytes(), crash)?;
         if matches!(crash.check(CrashPoint::WalSync)?, CrashCheck::Tear) {
             return Err(crash_err());
         }
         self.file.sync_data()?;
         Ok(())
+    }
+
+    /// Logs one ingested document and fsyncs it — each ingest record is
+    /// individually durable, with no sealing `Commit` required.
+    pub(crate) fn append_ingest(
+        &mut self,
+        doc_id: u32,
+        xml: &[u8],
+        crash: &mut CrashState,
+        obs: &Arc<StorageCounters>,
+    ) -> Result<()> {
+        if xml.len() > MAX_INGEST_XML {
+            return Err(StorageError::ValueTooLarge(xml.len()));
+        }
+        self.append_at(
+            KIND_INGEST,
+            CrashPoint::IngestAppend,
+            &doc_id.to_le_bytes(),
+            xml,
+            crash,
+        )?;
+        if matches!(crash.check(CrashPoint::IngestSync)?, CrashCheck::Tear) {
+            return Err(crash_err());
+        }
+        self.file.sync_data()?;
+        self.pending.push(PendingIngest {
+            doc_id,
+            xml: xml.to_vec(),
+        });
+        obs.wal_appends.incr();
+        obs.wal_bytes.add((8 + 1 + 8 + 4 + xml.len()) as u64);
+        Ok(())
+    }
+
+    /// The logged ingests no fold has consumed yet, in log order.
+    pub(crate) fn pending_ingests(&self) -> &[PendingIngest] {
+        &self.pending
     }
 
     /// The logged page set, sorted by page id (deterministic write-back
@@ -498,16 +609,51 @@ impl Wal {
     }
 
     /// Truncates the log back to its header, durably, and stamps a fresh
-    /// `Checkpoint` record. Clears the page table.
-    pub(crate) fn reset(&mut self, crash: &mut CrashState) -> Result<()> {
+    /// `Checkpoint` record. Clears the page table. Pending ingests with a
+    /// doc id below `consumed_watermark` are dropped (the checkpoint that
+    /// triggered this reset folded them); survivors are carried into the
+    /// new log so acknowledged ingests stay durable across truncations.
+    pub(crate) fn reset(&mut self, crash: &mut CrashState, consumed_watermark: u64) -> Result<()> {
+        if consumed_watermark > 0 {
+            self.pending
+                .retain(|p| u64::from(p.doc_id) >= consumed_watermark);
+        }
         if matches!(crash.check(CrashPoint::WalTruncate)?, CrashCheck::Tear) {
             return Err(crash_err());
         }
-        self.file.set_len(WAL_HEADER_LEN)?;
-        self.file.sync_data()?;
+        if self.pending.is_empty() {
+            self.file.set_len(WAL_HEADER_LEN)?;
+            self.file.sync_data()?;
+            self.map.clear();
+            self.end = WAL_HEADER_LEN;
+            self.append(KIND_CHECKPOINT, &[], crash)?;
+            return Ok(());
+        }
+        // Pending ingests must survive the truncation. `set_len` then
+        // re-append would open a window where a crash loses acknowledged
+        // documents, so instead build the successor log beside the old one
+        // and swap it in with an atomic rename: at every instant the path
+        // holds either the old log (ingests intact, commit replayable) or
+        // the complete new one.
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(".new");
+        let tmp = PathBuf::from(name);
+        let mut fresh = Wal::create(&tmp)?;
+        for p in &self.pending {
+            fresh.append_at(
+                KIND_INGEST,
+                CrashPoint::IngestAppend,
+                &p.doc_id.to_le_bytes(),
+                &p.xml,
+                crash,
+            )?;
+        }
+        fresh.file.sync_data()?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = fresh.file;
         self.map.clear();
-        self.end = WAL_HEADER_LEN;
-        self.append(KIND_CHECKPOINT, &[], crash)?;
+        self.end = fresh.end;
+        self.next_lsn = fresh.next_lsn;
         Ok(())
     }
 }
@@ -540,7 +686,7 @@ mod tests {
             page.set_next_page(777);
             wal.append_image(3, &page, &mut crash, &obs).unwrap();
             wal.append_alloc(9, &mut crash, &obs).unwrap();
-            wal.commit(&mut crash).unwrap();
+            wal.commit(&mut crash, 0).unwrap();
         }
         let (mut wal, scan) = Wal::open(&path).unwrap();
         assert!(scan.replay, "commit must make the set replayable");
@@ -582,7 +728,7 @@ mod tests {
             let page = PageBuf::zeroed();
             wal.append_image(1, &page, &mut crash, &obs).unwrap();
             crash.arm(CrashPoint::CheckpointRecord, 1);
-            assert!(wal.commit(&mut crash).is_err());
+            assert!(wal.commit(&mut crash, 0).is_err());
         }
         let (_, scan) = Wal::open(&path).unwrap();
         assert!(!scan.replay, "a torn commit must not seal the set");
@@ -599,7 +745,7 @@ mod tests {
             let page = PageBuf::zeroed();
             wal.append_image(1, &page, &mut crash, &obs).unwrap();
             wal.append_image(2, &page, &mut crash, &obs).unwrap();
-            wal.commit(&mut crash).unwrap();
+            wal.commit(&mut crash, 0).unwrap();
         }
         {
             // Flip one byte in the middle of the second image record.
@@ -633,8 +779,8 @@ mod tests {
         let mut wal = Wal::create(&path).unwrap();
         let page = PageBuf::zeroed();
         wal.append_image(5, &page, &mut crash, &obs).unwrap();
-        wal.commit(&mut crash).unwrap();
-        wal.reset(&mut crash).unwrap();
+        wal.commit(&mut crash, 0).unwrap();
+        wal.reset(&mut crash, 0).unwrap();
         assert!(wal.entries().is_empty());
         drop(wal);
         let (_, scan) = Wal::open(&path).unwrap();
@@ -661,5 +807,96 @@ mod tests {
         ));
         assert!(crash.check(CrashPoint::WalAppend).is_err());
         assert!(crash.ensure_alive().is_err());
+    }
+
+    #[test]
+    fn ingest_records_survive_rollback_and_truncation() {
+        let path = temp("ingest");
+        let obs = Arc::new(StorageCounters::new());
+        let mut crash = CrashState::default();
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            wal.append_ingest(7, b"<a>x</a>", &mut crash, &obs).unwrap();
+            let page = PageBuf::zeroed();
+            wal.append_image(1, &page, &mut crash, &obs).unwrap();
+            // No commit: the image rolls back; the ingest must not.
+        }
+        let (mut wal, scan) = Wal::open(&path).unwrap();
+        assert!(!scan.replay);
+        assert_eq!(
+            wal.pending_ingests(),
+            &[PendingIngest {
+                doc_id: 7,
+                xml: b"<a>x</a>".to_vec(),
+            }]
+        );
+        // A truncation that consumes nothing must carry the ingest into the
+        // successor log.
+        wal.reset(&mut crash, 0).unwrap();
+        drop(wal);
+        let (wal, scan) = Wal::open(&path).unwrap();
+        assert!(!scan.replay);
+        assert_eq!(wal.pending_ingests().len(), 1);
+        assert_eq!(wal.pending_ingests()[0].doc_id, 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn commit_watermark_consumes_folded_ingests_on_replay() {
+        let path = temp("watermark");
+        let obs = Arc::new(StorageCounters::new());
+        let mut crash = CrashState::default();
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            wal.append_ingest(3, b"<a>3</a>", &mut crash, &obs).unwrap();
+            wal.append_ingest(4, b"<a>4</a>", &mut crash, &obs).unwrap();
+            let page = PageBuf::zeroed();
+            wal.append_image(1, &page, &mut crash, &obs).unwrap();
+            // The fold consumed doc 3 only (watermark 4); crash before the
+            // truncation.
+            wal.commit(&mut crash, 4).unwrap();
+        }
+        let (wal, scan) = Wal::open(&path).unwrap();
+        assert!(scan.replay);
+        let ids: Vec<u32> = wal.pending_ingests().iter().map(|p| p.doc_id).collect();
+        assert_eq!(ids, vec![4], "replay drops ingests below the watermark");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_ingest_append_loses_only_that_document() {
+        let path = temp("ingest-torn");
+        let obs = Arc::new(StorageCounters::new());
+        let mut crash = CrashState::default();
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            wal.append_ingest(1, b"<a>ok</a>", &mut crash, &obs)
+                .unwrap();
+            crash.arm(CrashPoint::IngestAppend, 1);
+            assert!(wal
+                .append_ingest(2, b"<a>lost</a>", &mut crash, &obs)
+                .is_err());
+        }
+        let (wal, scan) = Wal::open(&path).unwrap();
+        assert!(!scan.replay);
+        let ids: Vec<u32> = wal.pending_ingests().iter().map(|p| p.doc_id).collect();
+        assert_eq!(ids, vec![1]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_ingest_is_rejected() {
+        let path = temp("ingest-big");
+        let obs = Arc::new(StorageCounters::new());
+        let mut crash = CrashState::default();
+        let mut wal = Wal::create(&path).unwrap();
+        let big = vec![b'x'; MAX_INGEST_XML + 1];
+        assert!(matches!(
+            wal.append_ingest(1, &big, &mut crash, &obs),
+            Err(StorageError::ValueTooLarge(_))
+        ));
+        assert!(wal.pending_ingests().is_empty());
+        drop(wal);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -64,7 +64,7 @@ usage:
   trex advise <store.db> --workload <file> --budget <bytes> [--method greedy|lp]
   trex serve <store.db> [-k N] [--self-manage --budget <bytes> [--interval-ms N]]
                         [--listen HOST:PORT] [--workers N] [--queue-depth N]
-                        [--deadline-ms N] [--no-cache]
+                        [--deadline-ms N] [--no-cache] [--fold-docs N]
                         [--metrics-addr HOST:PORT] [--slow-ms N]
   trex stats <store.db> [--prometheus]
 
@@ -78,8 +78,13 @@ The HTTP surface also serves /v1/metrics (Prometheus 0.0.4),
 /v1/metrics.json, /v1/slow and /v1/healthz (with unversioned aliases);
 --metrics-addr exposes the same metrics routes on a separate scrape-only
 endpoint. --slow-ms sets the slow-query capture threshold (default 100 ms).
-The REPL also accepts the commands `stats` (metrics JSON) and `slow`
-(slow-query log JSON) on a line by themselves.
+The REPL also accepts the commands `stats` (metrics JSON), `slow`
+(slow-query log JSON), `ingest <file.xml>` (index one document live — it
+is WAL-durable and immediately queryable, folded into the on-disk tables
+in the background) and `fold` (fold the delta index now) on a line by
+themselves. The HTTP surface ingests via POST /v1/ingest with a raw XML
+body. --fold-docs sets the delta size (documents) that triggers a
+background fold (default 1000).
 ";
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -483,6 +488,17 @@ fn serve(args: &[String]) -> Result<(), String> {
         None => None,
     };
 
+    // The background fold thread keeps live-ingested documents from
+    // accumulating in memory: past the threshold the delta index is folded
+    // into the B+tree tables. Idle cost is two atomic loads per poll.
+    let fold_docs: usize = flag(args, "--fold-docs")
+        .map(|v| v.parse().map_err(|_| "--fold-docs expects a number"))
+        .transpose()?
+        .unwrap_or(1000);
+    let folder = system
+        .start_fold_manager(trex::FoldOptions::new().max_docs(fold_docs).log_folds(true))
+        .map_err(|e| e.to_string())?;
+
     let manager = if has_flag(args, "--self-manage") {
         let budget: u64 = flag(args, "--budget")
             .ok_or("--self-manage needs --budget <bytes>")?
@@ -524,6 +540,35 @@ fn serve(args: &[String]) -> Result<(), String> {
         }
         if nexi == "slow" {
             println!("{}", registry.render_slow_json());
+            continue;
+        }
+        if let Some(path) = nexi.strip_prefix("ingest ") {
+            let path = path.trim();
+            match std::fs::read_to_string(path) {
+                Ok(xml) => match system.ingest_document(&xml) {
+                    Ok(doc_id) => eprintln!(
+                        "ingested {path} as doc {doc_id} ({} doc(s) in delta, folds at {fold_docs})",
+                        system.index().delta().doc_count()
+                    ),
+                    Err(e) => eprintln!("error: ingest {path}: {e}"),
+                },
+                Err(e) => eprintln!("error: cannot read {path}: {e}"),
+            }
+            continue;
+        }
+        if nexi == "fold" {
+            match system.fold_once() {
+                Ok(Some(report)) => eprintln!(
+                    "folded {} doc(s) ({} new term(s), {} list(s) refreshed) in {:.1} ms, generation {}",
+                    report.docs_folded,
+                    report.new_terms,
+                    report.lists_refreshed,
+                    report.wall.as_secs_f64() * 1e3,
+                    report.generation,
+                ),
+                Ok(None) => eprintln!("delta is empty; nothing to fold"),
+                Err(e) => eprintln!("error: fold: {e}"),
+            }
             continue;
         }
         let mut request = QueryRequest::new(nexi).k(k);
@@ -592,6 +637,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(manager) = manager {
         manager.stop();
     }
+    // Unfolded delta documents are WAL-durable; stopping without a final
+    // fold just means the next open replays them into a fresh delta.
+    folder.stop();
     if let Some(metrics) = metrics {
         metrics.stop();
     }

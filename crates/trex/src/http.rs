@@ -9,6 +9,7 @@
 //! | route | method | body |
 //! |---|---|---|
 //! | `/v1/query` | POST | JSON request → versioned result envelope |
+//! | `/v1/ingest` | POST | raw XML document → `{"doc_id", "generation"}` |
 //! | `/v1/metrics` | GET | Prometheus text exposition format 0.0.4 |
 //! | `/v1/metrics.json` | GET | the same registry as one JSON object |
 //! | `/v1/slow` | GET | the slow-query log (span trees included) |
@@ -30,7 +31,9 @@
 //! **Errors.** Every non-200 response is a structured JSON object
 //! `{"code", "message", "retryable"}` — `400` (unparsable request or
 //! query), `404`, `405`, `408` (deadline), `411`/`413` (body framing),
-//! `429` (shed), `500` (engine failure).
+//! `429` (shed, with a `Retry-After` derived from the observed median
+//! service time and the queue depth), `500` (engine failure), `507`
+//! (document-id space exhausted).
 //!
 //! No external dependency, no framework: requests are read line-by-line
 //! with per-connection read/write timeouts, bodies are framed by
@@ -276,10 +279,11 @@ impl HttpServer {
         let acceptor = {
             let stop = stop.clone();
             let io_timeout = config.io_timeout;
+            let queue_depth = config.queue_depth;
             std::thread::Builder::new()
                 .name("trex-http-accept".into())
                 .spawn(move || {
-                    accept_loop(listener, tx, serve, stop, io_timeout);
+                    accept_loop(listener, tx, serve, stop, io_timeout, queue_depth);
                 })?
         };
 
@@ -330,6 +334,7 @@ fn accept_loop(
     serve: Arc<ServeMetrics>,
     stop: Arc<AtomicBool>,
     io_timeout: Duration,
+    queue_depth: usize,
 ) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -348,17 +353,29 @@ fn accept_loop(
                 // write is covered by the timeout set above, so a slow
                 // shed-target cannot wedge the acceptor for long.
                 serve.counters.shed.incr();
+                let p50_ns = serve.timers.request.snapshot().percentile(0.50);
+                let secs = retry_after_secs(p50_ns, queue_depth);
                 let _ = respond_with(
                     &mut stream,
                     "429 Too Many Requests",
                     "application/json",
-                    &[("Retry-After", "1")],
+                    &[("Retry-After", &secs.to_string())],
                     &error_body("overloaded", "request queue is full; retry shortly", true),
                 );
             }
             Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
         }
     }
+}
+
+/// How long a shed client should wait before retrying: the time the full
+/// queue needs to drain at the observed median service time — `p50 ×
+/// queue_depth`, rounded up to whole seconds and clamped to `1..=30`. With
+/// no latency history yet (cold server, timers disabled) this degrades to
+/// the old fixed `1`.
+fn retry_after_secs(p50_ns: u64, queue_depth: usize) -> u64 {
+    let drain_secs = (p50_ns as f64 / 1e9) * queue_depth as f64;
+    (drain_secs.ceil() as u64).clamp(1, 30)
 }
 
 /// One parsed request, or the error response it should get.
@@ -451,11 +468,19 @@ fn handle_conn(
             let (status, body) = answer_query(service, config, &body, enqueued);
             respond(&mut stream, status, "application/json", &body)
         }
-        ("GET", "/query") => respond(
+        ("POST", "/ingest") => {
+            let (status, body) = answer_ingest(service, &body);
+            respond(&mut stream, status, "application/json", &body)
+        }
+        ("GET", "/query") | ("GET", "/ingest") => respond(
             &mut stream,
             "405 Method Not Allowed",
             "application/json",
-            &error_body("method_not_allowed", "/query expects POST", false),
+            &error_body(
+                "method_not_allowed",
+                "/query and /ingest expect POST",
+                false,
+            ),
         ),
         ("GET", get_path) => match metrics_route(get_path, registry) {
             Some((content_type, body)) => respond(&mut stream, "200 OK", content_type, &body),
@@ -474,7 +499,61 @@ fn handle_conn(
             &mut stream,
             "405 Method Not Allowed",
             "application/json",
-            &error_body("method_not_allowed", "use GET, or POST for /query", false),
+            &error_body(
+                "method_not_allowed",
+                "use GET, or POST for /query and /ingest",
+                false,
+            ),
+        ),
+    }
+}
+
+/// Executes one `/ingest` body (a raw XML document), mapping every outcome
+/// to `(status, body)`. Reuses the surrounding framing semantics: oversized
+/// bodies were already shed with `413` by `read_request`, overload with
+/// `429` at the acceptor. The WAL's own payload cap is enforced again here
+/// in case `max_body_bytes` was configured above it.
+fn answer_ingest(service: &QueryService<'_>, body: &str) -> (&'static str, String) {
+    if body.trim().is_empty() {
+        return (
+            "400 Bad Request",
+            error_body("bad_request", "ingest expects a non-empty XML body", false),
+        );
+    }
+    if body.len() > trex_storage::MAX_INGEST_XML {
+        return (
+            "413 Payload Too Large",
+            error_body(
+                "payload_too_large",
+                &format!(
+                    "document of {} bytes exceeds the {}-byte ingest cap",
+                    body.len(),
+                    trex_storage::MAX_INGEST_XML
+                ),
+                false,
+            ),
+        );
+    }
+    let index = service.engine().index();
+    match index.ingest_document(body) {
+        Ok(doc_id) => (
+            "200 OK",
+            format!(
+                "{{\"doc_id\":{doc_id},\"generation\":{}}}",
+                index.maintenance().generation()
+            ),
+        ),
+        Err(e @ (trex_index::IndexError::Xml(_) | trex_index::IndexError::UnknownPath(_))) => (
+            "400 Bad Request",
+            error_body("bad_document", &e.to_string(), false),
+        ),
+        Err(trex_index::IndexError::DocIdsExhausted) => (
+            "507 Insufficient Storage",
+            error_body("corpus_full", &TrexError::CorpusFull.to_string(), false),
+        ),
+        Err(e) => (
+            "500 Internal Server Error",
+            error_body("internal", &e.to_string(), false),
         ),
     }
 }
@@ -642,6 +721,21 @@ mod tests {
                     })
                     .unwrap_or(true)
         );
+    }
+
+    #[test]
+    fn retry_after_tracks_observed_service_time() {
+        // Cold server (no latency history): the old fixed 1 s.
+        assert_eq!(retry_after_secs(0, 64), 1);
+        // Sub-second drain still answers at least 1 s.
+        assert_eq!(retry_after_secs(1_000_000, 8), 1); // 1 ms × 8 = 8 ms
+                                                       // 250 ms median × 64 queued = 16 s drain.
+        assert_eq!(retry_after_secs(250_000_000, 64), 16);
+        // Rounded up, not truncated: 30 ms × 40 = 1.2 s → 2 s.
+        assert_eq!(retry_after_secs(30_000_000, 40), 2);
+        // Pathological backlogs clamp at 30 s.
+        assert_eq!(retry_after_secs(2_000_000_000, 64), 30);
+        assert_eq!(retry_after_secs(u64::MAX, usize::MAX), 30);
     }
 
     #[test]

@@ -54,12 +54,12 @@ pub use trex_xml as xml;
 pub use http::{HttpServer, HttpServerConfig, MetricsServer};
 pub use trex_core::obs::{self, MetricsRegistry, QueryTrace, ServeMetrics, ToJson};
 pub use trex_core::{
-    parse_query_request, reconcile_once, Advisor, AdvisorOptions, AdvisorReport, Answer,
-    CacheStatus, CostCache, CostValidation, EvalOptions, Explain, ListKind, ProfilerConfig,
-    QueryEngine, QueryExecutor, QueryRequest, QueryResponse, QueryResult, QueryService, RaceWinner,
-    ReconcileReport, ResultCache, SelectionMethod, SelfManageOptions, SelfManager, Strategy,
-    StrategyMetrics, StrategyStats, TrexError, WireError, Workload, WorkloadProfiler,
-    WorkloadQuery, DEFAULT_CACHE_ENTRIES, TA_PREDICTION_FACTOR,
+    fold_once, parse_query_request, reconcile_once, Advisor, AdvisorOptions, AdvisorReport, Answer,
+    CacheStatus, CostCache, CostValidation, EvalOptions, Explain, FoldManager, FoldOptions,
+    FoldReport, ListKind, ProfilerConfig, QueryEngine, QueryExecutor, QueryRequest, QueryResponse,
+    QueryResult, QueryService, RaceWinner, ReconcileReport, ResultCache, SelectionMethod,
+    SelfManageOptions, SelfManager, Strategy, StrategyMetrics, StrategyStats, TrexError, WireError,
+    Workload, WorkloadProfiler, WorkloadQuery, DEFAULT_CACHE_ENTRIES, TA_PREDICTION_FACTOR,
 };
 pub use trex_index::{ElementRef, TrexIndex};
 pub use trex_nexi::Interpretation;
@@ -286,6 +286,33 @@ impl TrexSystem {
         &self.cache
     }
 
+    /// Ingests one XML document into the live system: stages it against the
+    /// frozen summary/dictionary, logs it to the WAL (durable before this
+    /// returns), and makes it visible to queries through the in-memory
+    /// delta index — no rebuild. Returns the assigned document id.
+    ///
+    /// The delta is folded into the on-disk tables by [`fold_once`] /
+    /// [`TrexSystem::start_fold_manager`]; until then the document lives in
+    /// memory and is recovered from the WAL after a crash.
+    pub fn ingest_document(&self, xml: &str) -> Result<u32> {
+        Ok(self.index.ingest_document(xml)?)
+    }
+
+    /// Folds the current delta index into the on-disk tables under the
+    /// maintenance write gate (one checkpoint, one generation bump).
+    /// `None` when the delta was empty.
+    pub fn fold_once(&self) -> Result<Option<FoldReport>> {
+        trex_core::fold_once(&self.index)
+    }
+
+    /// Starts the background fold thread (sibling of the self-manager): it
+    /// watches the delta index and folds it into the B+tree tables whenever
+    /// it crosses `opts` size thresholds. Stop (or drop) the returned
+    /// handle to shut it down; unfolded documents stay WAL-durable.
+    pub fn start_fold_manager(&self, opts: FoldOptions) -> Result<FoldManager> {
+        FoldManager::start(self.index.clone(), opts)
+    }
+
     /// Starts the background self-manager: observes the live query stream
     /// through this system's profiler and keeps the redundant lists
     /// reconciled to the §4 selection under `opts.budget_bytes`, while
@@ -385,7 +412,12 @@ impl TrexSystem {
     }
 
     /// The raw XML of a stored document, when `store_documents` was set.
+    /// Documents still in the delta index (ingested, not yet folded) are
+    /// served from the in-memory overlay regardless of `store_documents`.
     pub fn document(&self, doc_id: u32) -> Result<Option<String>> {
+        if let Some(xml) = self.index.delta().document(doc_id) {
+            return Ok(Some(xml));
+        }
         let Some(docs) = self.index.documents()? else {
             return Ok(None);
         };

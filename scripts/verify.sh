@@ -7,9 +7,11 @@
 # release, and the bench exports
 # (BENCH_wal.json, BENCH_selfmanage.json, BENCH_obs.json — which asserts
 # the always-on telemetry overhead — BENCH_serve.json — which asserts
-# cache-on p50 below cache-off and shedding under overload — and
+# cache-on p50 below cache-off and shedding under overload —
 # BENCH_blocks.json — which asserts the ≥2× byte reduction of the block
-# list layout with byte-identical answers across strategies).
+# list layout with byte-identical answers across strategies — and
+# BENCH_ingest.json — which asserts a fold drains the delta with
+# byte-identical answers).
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,5 +57,8 @@ cargo bench -p trex-bench --bench serve
 
 echo "== cargo bench --bench blocks (exports BENCH_blocks.json) =="
 cargo bench -p trex-bench --bench blocks
+
+echo "== cargo bench --bench ingest (exports BENCH_ingest.json) =="
+cargo bench -p trex-bench --bench ingest
 
 echo "verify: OK"

@@ -245,6 +245,126 @@ fn double_crash_recovery_is_idempotent() {
     cleanup(&m.base);
 }
 
+/// A live-ingested document whose paths and terms exist in the base
+/// collection, so the frozen summary/dictionary can stage it and the test
+/// query matches it.
+const INGEST_DOC: &str = "<books><journal><article><bdy><sec><st>live</st>\
+     <p>xml query evaluation freshly ingested live</p></sec></bdy></article></journal></books>";
+
+fn ingest_phase(path: &Path, inject: Option<(CrashPoint, u32)>) -> Result<u32, String> {
+    let system = TrexSystem::open(TrexConfig::new(path)).map_err(|e| e.to_string())?;
+    if let Some((point, nth)) = inject {
+        system.index().store().inject_crash(point, nth);
+    }
+    system
+        .ingest_document(INGEST_DOC)
+        .map_err(|e| e.to_string())
+}
+
+/// Reopens the store (running recovery) and asks whether the ingested
+/// document — always the first id past the base build — is returned by the
+/// matching query, whether it lives in the recovered delta or in the
+/// folded-on-disk tables.
+fn ingested_doc_visible(path: &Path) -> bool {
+    let system = TrexSystem::open(TrexConfig::new(path)).unwrap();
+    let result = system.search(NEXI, None).unwrap();
+    result.answers.iter().any(|a| a.element.doc == DOCS as u32)
+}
+
+/// The two ingest tear points are all-or-nothing: a record torn mid-append
+/// was never acknowledged and must vanish; a record killed during its fsync
+/// is on disk (the injection models a killed process) and must be replayed
+/// into the delta on reopen.
+#[test]
+fn ingest_tear_points_recover_all_or_nothing() {
+    let base = temp("ingest-base");
+    build_base(&base);
+    let work = temp("ingest-work");
+
+    // Sanity: uninjected ingest is acknowledged and survives a clean reopen.
+    clone_store(&base, &work);
+    let doc_id = ingest_phase(&work, None).unwrap();
+    assert_eq!(doc_id as usize, DOCS, "ids continue past the base build");
+    assert!(
+        ingested_doc_visible(&work),
+        "acknowledged ingest is queryable"
+    );
+
+    clone_store(&base, &work);
+    ingest_phase(&work, Some((CrashPoint::IngestAppend, 1)))
+        .expect_err("IngestAppend must kill the store");
+    assert!(
+        !ingested_doc_visible(&work),
+        "a torn, unacknowledged ingest record must be discarded"
+    );
+
+    clone_store(&base, &work);
+    ingest_phase(&work, Some((CrashPoint::IngestSync, 1)))
+        .expect_err("IngestSync must kill the store");
+    assert!(
+        ingested_doc_visible(&work),
+        "a fully-written ingest record must be replayed into the delta"
+    );
+
+    cleanup(&work);
+    cleanup(&base);
+}
+
+fn ingest_then_fold(path: &Path, inject: Option<(CrashPoint, u32)>) -> Result<(), String> {
+    let system = TrexSystem::open(TrexConfig::new(path)).map_err(|e| e.to_string())?;
+    let doc_id = system
+        .ingest_document(INGEST_DOC)
+        .map_err(|e| e.to_string())?;
+    assert_eq!(doc_id as usize, DOCS);
+    if let Some((point, nth)) = inject {
+        system.index().store().inject_crash(point, nth);
+    }
+    system.fold_once().map(|_| ()).map_err(|e| e.to_string())
+}
+
+/// Killing the fold's checkpoint at every injected boundary must never lose
+/// the acknowledged ingest: before the commit record recovery rolls the
+/// tables back and replays the still-pending WAL record into the delta;
+/// after it the fold rolls forward and the document is served from disk.
+/// Either way the matching query keeps returning it.
+#[test]
+fn fold_crash_matrix_never_loses_an_acknowledged_ingest() {
+    let base = temp("fold-base");
+    build_base(&base);
+    let work = temp("fold-work");
+
+    for point in [
+        CrashPoint::WalAppend,
+        CrashPoint::CheckpointRecord,
+        CrashPoint::WalSync,
+        CrashPoint::DataWrite,
+        CrashPoint::DataSync,
+        CrashPoint::WalTruncate,
+    ] {
+        let mut crashes = 0u32;
+        let mut nth = 1u32;
+        loop {
+            clone_store(&base, &work);
+            if ingest_then_fold(&work, Some((point, nth))).is_ok() {
+                // Sweep exhausted: the fold completed; the doc is on disk.
+                assert!(ingested_doc_visible(&work), "{point:?} uncrashed run");
+                break;
+            }
+            crashes += 1;
+            assert!(
+                ingested_doc_visible(&work),
+                "{point:?} #{nth}: acknowledged ingest lost across fold crash"
+            );
+            nth += if nth < 6 { 1 } else { 9 };
+            assert!(nth < 10_000, "{point:?}: occurrence sweep did not converge");
+        }
+        assert!(crashes > 0, "{point:?} never fired — matrix hole");
+    }
+
+    cleanup(&work);
+    cleanup(&base);
+}
+
 #[test]
 fn torn_data_tail_is_repaired_by_recovery() {
     // A crash that tears the *last* page of a growing data file leaves

@@ -126,6 +126,203 @@ fn concurrent_storm_sees_quiesced_answers_while_budget_shifts() {
     std::fs::remove_file(&store).ok();
 }
 
+/// Live ingestion end to end, quiesced: an ingested document is returned
+/// by matching queries immediately (no rebuild), the result cache never
+/// serves a pre-ingest answer after the generation bump, and a fold leaves
+/// an empty delta with byte-identical answers before and after.
+#[test]
+fn ingest_is_immediately_queryable_and_fold_preserves_answers() {
+    let (system, store) = build("ingest", 24);
+    let service = system.service();
+    let k = Some(10);
+
+    // Prime the cache: miss, then hit, on the pre-ingest generation.
+    let req = trex::QueryRequest::new(QUERIES[0]).k(k);
+    let first = service.execute(&req).unwrap();
+    assert_eq!(first.cache, trex::CacheStatus::Miss);
+    assert_eq!(service.execute(&req).unwrap().cache, trex::CacheStatus::Hit);
+
+    // Ingest a document matching QUERIES[0]: WAL-durable, delta-resident.
+    let doc_id = system
+        .ingest_document(
+            "<books><journal><article><bdy><sec><st>live</st>\
+             <p>xml query evaluation arrives live</p></sec></bdy></article></journal></books>",
+        )
+        .unwrap();
+    assert_eq!(doc_id, 24, "ids continue past the base build");
+    assert_eq!(system.index().delta().doc_count(), 1);
+
+    // The generation bumped, so the pre-ingest cache entry is unreachable:
+    // the next lookup re-evaluates and sees the new document.
+    let post = service.execute(&req).unwrap();
+    assert_eq!(
+        post.cache,
+        trex::CacheStatus::Miss,
+        "cache must not serve a pre-ingest result after the generation bump"
+    );
+    assert!(post.generation > first.generation);
+    let all = system.search(QUERIES[0], None).unwrap();
+    assert!(
+        all.answers.iter().any(|a| a.element.doc == doc_id),
+        "ingested doc must be returned by the matching query without a rebuild"
+    );
+
+    // Every strategy the engine can be forced into agrees on the combined
+    // delta ∪ disk answers (rank safety is strategy-independent).
+    system
+        .materialize_for(QUERIES[0], trex::ListKind::Both)
+        .unwrap();
+    let auto = system.search(QUERIES[0], k).unwrap();
+    for strategy in [trex::Strategy::Era, trex::Strategy::Merge] {
+        let forced = system.search_with(QUERIES[0], k, strategy).unwrap();
+        assert_eq!(forced.answers, auto.answers, "{strategy:?} disagrees");
+    }
+
+    // Fold: the delta empties and every query's answers are byte-identical
+    // before and after (scoring inputs are frozen at build time).
+    let before: Vec<_> = QUERIES
+        .iter()
+        .map(|q| system.search(q, None).unwrap().answers)
+        .collect();
+    let report = system.fold_once().unwrap().expect("delta was non-empty");
+    assert_eq!(report.docs_folded, 1);
+    assert!(
+        system.index().delta().is_empty(),
+        "fold must drain the delta"
+    );
+    for (q, pre) in QUERIES.iter().zip(&before) {
+        let post = system.search(q, None).unwrap().answers;
+        assert_eq!(&post, pre, "answers changed across fold for {q}");
+    }
+    // A second fold is a no-op.
+    assert!(system.fold_once().unwrap().is_none());
+    std::fs::remove_file(&store).ok();
+}
+
+/// The ingest tentpole under fire: a query storm runs while one thread
+/// ingests a stream of documents and another keeps reconciling the
+/// redundant lists. Every query must succeed with internally rank-safe
+/// answers (sorted, deduplicated, within k) — a document is visible or not,
+/// never half-visible — and acknowledged ingests must all be queryable at
+/// the end, surviving a final fold with identical answers.
+#[test]
+fn concurrent_ingest_reconcile_query_storm_stays_rank_safe() {
+    let (system, store) = build("ingest-storm", 32);
+    let k = 10usize;
+    const INGESTS: usize = 40;
+
+    // Seed the profiler so reconcile has a workload to plan for.
+    let engine = system.engine();
+    for q in QUERIES {
+        for _ in 0..3 {
+            engine.evaluate(q, EvalOptions::new().k(Some(k))).unwrap();
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let queries_run = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        // Ingest stream: every doc matches QUERIES[0].
+        let ingester = {
+            let system = &system;
+            scope.spawn(move || {
+                let mut ids = Vec::with_capacity(INGESTS);
+                for i in 0..INGESTS {
+                    let xml = format!(
+                        "<books><journal><article><bdy><sec><st>stream</st>\
+                         <p>xml query evaluation stream item {i}</p>\
+                         </sec></bdy></article></journal></books>"
+                    );
+                    ids.push(system.ingest_document(&xml).unwrap());
+                }
+                ids
+            })
+        };
+
+        // Reconcile loop, racing the ingests and the queries. Bounded so the
+        // test terminates even if the gate keeps handing it the lock; the
+        // short sleep lets the ingester and the storm interleave with it.
+        {
+            let (system, stop) = (&system, &stop);
+            scope.spawn(move || {
+                let mut cache = CostCache::new();
+                let opts = SelfManageOptions::new(64 * 1024 * 1024);
+                for _ in 0..64 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    reconcile_once(system.index(), system.profiler(), &opts, &mut cache).unwrap();
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            });
+        }
+
+        // Query storm: answers must always be internally rank-safe. Each
+        // thread runs a fixed number of queries so the storm cannot starve
+        // the ingester's write-gate acquisitions indefinitely.
+        for t in 0..4 {
+            let (system, stop, queries_run) = (&system, &stop, &queries_run);
+            scope.spawn(move || {
+                let engine = system.engine();
+                for _ in 0..400 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = queries_run.fetch_add(1, Ordering::Relaxed) % QUERIES.len();
+                    let got = engine
+                        .evaluate(QUERIES[i], EvalOptions::new().k(Some(k)))
+                        .unwrap_or_else(|e| panic!("thread {t}, query {i}: {e}"));
+                    assert!(got.answers.len() <= k);
+                    for w in got.answers.windows(2) {
+                        assert!(
+                            w[0].score >= w[1].score,
+                            "thread {t}: answers out of rank order on query {i}"
+                        );
+                    }
+                    // (sid, doc, end, length) is the identity of an answer
+                    // row; distinct elements may share (doc, end) when a
+                    // parent's span ends with its last child's.
+                    let mut keys: Vec<_> = got
+                        .answers
+                        .iter()
+                        .map(|a| (a.sid, a.element.doc, a.element.end, a.element.length))
+                        .collect();
+                    keys.sort_unstable();
+                    keys.dedup();
+                    assert_eq!(keys.len(), got.answers.len(), "duplicate answer elements");
+                }
+            });
+        }
+
+        let ids = ingester.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        assert_eq!(ids.len(), INGESTS);
+    });
+    assert!(queries_run.load(Ordering::Relaxed) > 8, "the storm queried");
+
+    // Quiesced: every acknowledged ingest answers the matching query.
+    let all = system.search(QUERIES[0], None).unwrap();
+    for id in 32..(32 + INGESTS as u32) {
+        assert!(
+            all.answers.iter().any(|a| a.element.doc == id),
+            "acknowledged doc {id} missing after the storm"
+        );
+    }
+
+    // And a fold keeps the combined answers byte-identical.
+    let before: Vec<_> = QUERIES
+        .iter()
+        .map(|q| system.search(q, None).unwrap().answers)
+        .collect();
+    let report = system.fold_once().unwrap().expect("delta non-empty");
+    assert_eq!(report.docs_folded, INGESTS);
+    assert!(system.index().delta().is_empty());
+    for (q, pre) in QUERIES.iter().zip(&before) {
+        assert_eq!(&system.search(q, None).unwrap().answers, pre, "{q}");
+    }
+    std::fs::remove_file(&store).ok();
+}
+
 /// With decay disabled the profiler is a pure counter, so feeding it a
 /// counted stream through the real engine must reproduce exactly the
 /// workload a user would have written by hand with those counts.
@@ -135,6 +332,7 @@ fn profiled_stream_matches_handwritten_workload() {
     let profiler = WorkloadProfiler::new(ProfilerConfig {
         shards: 4,
         half_life: None,
+        ..ProfilerConfig::default()
     });
     let engine = QueryEngine::new(system.index()).with_profiler(&profiler);
     let stream = [(QUERIES[0], 6usize), (QUERIES[1], 3), (QUERIES[2], 1)];
