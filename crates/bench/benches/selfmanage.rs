@@ -87,6 +87,7 @@ fn strategy_name(stats: &StrategyStats) -> &'static str {
         StrategyStats::Ta(_) => "TA",
         StrategyStats::Merge(_) => "Merge",
         StrategyStats::Race { .. } => "Race",
+        StrategyStats::Scatter { .. } => "Scatter",
     }
 }
 

@@ -11,7 +11,7 @@ use criterion::{BenchmarkId, Criterion};
 
 use trex::corpus::{Collection, PAPER_QUERIES};
 use trex::{EvalOptions, ListKind, Strategy, ToJson, TrexSystem, TA_PREDICTION_FACTOR};
-use trex_bench::{bench_header, build_collection, store_dir, Scale};
+use trex_bench::{bench_header, build_collection, build_partitioned_collection, store_dir, Scale};
 
 fn system(collection: Collection) -> TrexSystem {
     let scale = Scale::small();
@@ -214,7 +214,79 @@ fn concurrency_sweep() -> String {
             best.as_micros()
         ));
     }
-    out.push_str("]}");
+    out.push(']');
+
+    // Per-partition accounting: the same batch forced through ERA over a
+    // 2-partition build of the same corpus, against a single-store ERA run
+    // as the baseline. ERA decodes every posting of every translated term
+    // exactly once, and routing puts each posting in exactly one
+    // partition, so the per-partition `posting_entries` deltas must sum
+    // *exactly* to the single-store total — that is the workload-equality
+    // assertion. Page fetches are recorded per partition as well (each
+    // partition's own pool accounts them), but their sum is reported, not
+    // asserted against the baseline: two half-size B+trees pack pages
+    // differently than one big one, so fetch counts legitimately differ
+    // even though the decoded work is identical.
+    let era = EvalOptions::new().k(10).strategy(Strategy::Era);
+    let single_index = sys.index().counters();
+    let fetch_before = storage.snapshot();
+    let entries_before = single_index.snapshot();
+    for q in &batch {
+        sys.engine().evaluate(q, era).expect("single-store era");
+    }
+    let fetch_delta = storage.snapshot().delta(&fetch_before);
+    let single_fetches_era = fetch_delta.pool_hits + fetch_delta.pool_misses;
+    let single_entries = single_index
+        .snapshot()
+        .delta(&entries_before)
+        .posting_entries;
+
+    let parted = build_partitioned_collection(Collection::Ieee, Scale::small().ieee_docs, 2, true);
+    let before: Vec<_> = parted
+        .system()
+        .parts()
+        .iter()
+        .map(|p| {
+            (
+                p.index().store().counters().snapshot(),
+                p.index().counters().snapshot(),
+            )
+        })
+        .collect();
+    for q in &batch {
+        parted.system().evaluate(q, era).expect("partitioned era");
+    }
+    let mut per_part = Vec::new();
+    let mut entries_sum = 0u64;
+    let mut fetches_sum = 0u64;
+    for (part, (sb, ib)) in parted.system().parts().iter().zip(&before) {
+        let sd = part.index().store().counters().snapshot().delta(sb);
+        let id = part.index().counters().snapshot().delta(ib);
+        let fetches = sd.pool_hits + sd.pool_misses;
+        entries_sum += id.posting_entries;
+        fetches_sum += fetches;
+        per_part.push((fetches, id.posting_entries));
+    }
+    assert_eq!(
+        entries_sum, single_entries,
+        "per-partition posting decodes must sum exactly to the single-store total"
+    );
+    out.push_str(&format!(
+        ",\"partitioned\":{{\"partitions\":2,\"strategy\":\"era\",\
+         \"single_page_fetches\":{single_fetches_era},\
+         \"single_posting_entries\":{single_entries},\
+         \"page_fetches_total\":{fetches_sum},\
+         \"posting_entries_total\":{entries_sum},\"per_partition\":["
+    ));
+    for (i, (fetches, entries)) in per_part.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"partition\":{i},\"page_fetches\":{fetches},\"posting_entries\":{entries}}}"
+        ));
+    }
+    out.push_str("]}}");
     out
 }
 

@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use trex::corpus::{Collection, CorpusConfig, IeeeGenerator, WikiGenerator};
-use trex::{AliasMap, TrexConfig, TrexSystem};
+use trex::{AliasMap, PartitionedTrexSystem, TrexConfig, TrexSystem};
 
 /// Experiment scale: document counts for the two collections.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +74,50 @@ pub fn build_collection(collection: Collection, docs: usize, reuse: bool) -> Tre
                 ..CorpusConfig::wiki_default()
             });
             TrexSystem::build(config, gen.documents()).expect("build wiki collection")
+        }
+    }
+}
+
+/// Builds (or reuses, when `reuse` is set and the whole `.p0 … .p(N-1)`
+/// family exists) the partitioned system for one collection. The corpus
+/// and document order match [`build_collection`] exactly, so answers are
+/// byte-identical to the single-store system at any partition count.
+pub fn build_partitioned_collection(
+    collection: Collection,
+    docs: usize,
+    partitions: usize,
+    reuse: bool,
+) -> PartitionedTrexSystem {
+    let name = match collection {
+        Collection::Ieee => format!("ieee-{docs}-part{partitions}.db"),
+        Collection::Wiki => format!("wiki-{docs}-part{partitions}.db"),
+    };
+    let base = store_dir().join(name);
+    let mut config = TrexConfig::new(&base);
+    if collection == Collection::Wiki {
+        config.alias = AliasMap::inex_wiki();
+    }
+    if reuse && PartitionedTrexSystem::detect_partitions(&base) == partitions {
+        if let Ok(system) = PartitionedTrexSystem::open(config.clone()) {
+            return system;
+        }
+    }
+    match collection {
+        Collection::Ieee => {
+            let gen = IeeeGenerator::new(CorpusConfig {
+                docs,
+                ..CorpusConfig::ieee_default()
+            });
+            PartitionedTrexSystem::build(config, partitions, gen.documents())
+                .expect("build partitioned ieee collection")
+        }
+        Collection::Wiki => {
+            let gen = WikiGenerator::new(CorpusConfig {
+                docs,
+                ..CorpusConfig::wiki_default()
+            });
+            PartitionedTrexSystem::build(config, partitions, gen.documents())
+                .expect("build partitioned wiki collection")
         }
     }
 }

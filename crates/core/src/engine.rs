@@ -99,6 +99,19 @@ pub enum StrategyStats {
         /// Wall-clock time of the race (first finish).
         wall: Duration,
     },
+    /// The query was scattered across a partitioned system and the
+    /// per-partition streams k-way merged (see `crate::partition`).
+    Scatter {
+        /// Number of partitions evaluated.
+        partitions: usize,
+        /// Each partition's own strategy statistics, in partition order
+        /// (partitions resolve strategies independently — one may run TA
+        /// while another falls back to ERA).
+        per_part: Vec<StrategyStats>,
+        /// Wall-clock time of the whole scatter-gather (slowest partition
+        /// plus merge).
+        wall: Duration,
+    },
 }
 
 /// Which racer finished first.
@@ -118,6 +131,7 @@ impl StrategyStats {
             StrategyStats::Ta(s) => s.wall,
             StrategyStats::Merge(s) => s.wall,
             StrategyStats::Race { wall, .. } => *wall,
+            StrategyStats::Scatter { wall, .. } => *wall,
         }
     }
 
@@ -136,6 +150,7 @@ impl StrategyStats {
                 won_by: RaceWinner::Merge,
                 ..
             } => "race(merge)",
+            StrategyStats::Scatter { .. } => "scatter",
         }
     }
 }
@@ -608,6 +623,10 @@ impl<'a> QueryEngine<'a> {
                 StrategyStats::Ta(_) => &timers.ta_eval,
                 StrategyStats::Merge(_) => &timers.merge_eval,
                 StrategyStats::Race { .. } => &timers.race_eval,
+                // Scatter stats are assembled in `crate::partition` from
+                // per-partition results; they never come out of a single
+                // engine's evaluation.
+                StrategyStats::Scatter { .. } => unreachable!("scatter is built above the engine"),
             };
             per_strategy.record_duration(evaluate_time);
         }

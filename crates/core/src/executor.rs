@@ -12,7 +12,13 @@
 //! Work distribution is a single atomic cursor (workers claim the next
 //! unclaimed query), so skewed batches — one expensive query among many
 //! cheap ones — never idle a thread before the batch is done.
+//!
+//! A panic inside one query's evaluation is caught at the work-item
+//! boundary and surfaced as that query's own [`TrexError::Internal`]; it
+//! never unwinds into the scope join, so the other N−1 queries of the
+//! batch still complete and return their results.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -22,7 +28,80 @@ use trex_obs::ServeMetrics;
 use crate::engine::{EvalOptions, QueryEngine, QueryResult};
 use crate::selfmanage::profiler::WorkloadProfiler;
 use crate::serve::{QueryRequest, QueryResponse, QueryService, ResultCache};
-use crate::Result;
+use crate::{Result, TrexError};
+
+/// Fans `n` work items out over `workers` scoped threads (single-threaded
+/// inline when `workers <= 1`) and returns the per-item results in input
+/// order. Items are claimed through one atomic cursor, so each runs exactly
+/// once. A panicking item is caught here and converted into its own
+/// [`TrexError::Internal`] — the scope join below therefore never sees a
+/// panicked child, and one poisoned item cannot tear down its batchmates.
+///
+/// Shared by the two batch entry points and by the partitioned system's
+/// scatter phase ([`crate::partition`]).
+pub(crate) fn run_scoped<T, F>(n: usize, workers: usize, work: F) -> Vec<Result<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let run_caught = |i: usize| -> Result<T> {
+        catch_unwind(AssertUnwindSafe(|| work(i))).unwrap_or_else(|payload| {
+            Err(TrexError::Internal(format!(
+                "query worker panicked: {}",
+                panic_message(payload.as_ref())
+            )))
+        })
+    };
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(run_caught).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::bounded::<(usize, Result<T>)>(n);
+    let results = crossbeam::thread::scope(|scope| {
+        let cursor = &cursor;
+        let run_caught = &run_caught;
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, run_caught(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+        for (i, result) in rx.iter() {
+            slots[i] = Some(result);
+        }
+        slots
+    })
+    .expect("scoped batch threads");
+
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every item claimed exactly once"))
+        .collect()
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// string literal or a formatted `String` covers practically every panic in
+/// this workspace).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
 
 /// Evaluates batches of NEXI queries concurrently over one shared
 /// [`QueryEngine`].
@@ -119,46 +198,9 @@ impl<'a> QueryExecutor<'a> {
         // The batch span lives on the calling thread; per-query spans are
         // emitted by the workers and carry their own parent chains.
         let _batch_span = self.engine.index().telemetry().journal.span("batch");
-        let workers = self.threads.min(n);
-        if workers == 1 {
-            return queries
-                .iter()
-                .map(|q| self.engine.evaluate(q.as_ref(), opts))
-                .collect();
-        }
-
-        let cursor = AtomicUsize::new(0);
-        let (tx, rx) = crossbeam::channel::bounded::<(usize, Result<QueryResult>)>(n);
-        let results = crossbeam::thread::scope(|scope| {
-            let cursor = &cursor;
-            let engine = &self.engine;
-            for _ in 0..workers {
-                let tx = tx.clone();
-                scope.spawn(move |_| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let result = engine.evaluate(queries[i].as_ref(), opts);
-                    if tx.send((i, result)).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-
-            let mut slots: Vec<Option<Result<QueryResult>>> = (0..n).map(|_| None).collect();
-            for (i, result) in rx.iter() {
-                slots[i] = Some(result);
-            }
-            slots
+        run_scoped(n, self.threads, |i| {
+            self.engine.evaluate(queries[i].as_ref(), opts)
         })
-        .expect("scoped batch threads");
-
-        results
-            .into_iter()
-            .map(|slot| slot.expect("every query claimed exactly once"))
-            .collect()
     }
 
     /// Evaluates a batch of [`QueryRequest`]s through the shared
@@ -179,43 +221,7 @@ impl<'a> QueryExecutor<'a> {
             service = service.with_metrics(Arc::clone(metrics));
         }
         let _batch_span = self.engine.index().telemetry().journal.span("batch");
-        let workers = self.threads.min(n);
-        if workers == 1 {
-            return requests.iter().map(|r| service.execute(r)).collect();
-        }
-
-        let cursor = AtomicUsize::new(0);
-        let (tx, rx) = crossbeam::channel::bounded::<(usize, Result<QueryResponse>)>(n);
-        let results = crossbeam::thread::scope(|scope| {
-            let cursor = &cursor;
-            let service = &service;
-            for _ in 0..workers {
-                let tx = tx.clone();
-                scope.spawn(move |_| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let result = service.execute(&requests[i]);
-                    if tx.send((i, result)).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-
-            let mut slots: Vec<Option<Result<QueryResponse>>> = (0..n).map(|_| None).collect();
-            for (i, result) in rx.iter() {
-                slots[i] = Some(result);
-            }
-            slots
-        })
-        .expect("scoped batch threads");
-
-        results
-            .into_iter()
-            .map(|slot| slot.expect("every request claimed exactly once"))
-            .collect()
+        run_scoped(n, self.threads, |i| service.execute(&requests[i]))
     }
 }
 
@@ -344,6 +350,39 @@ mod tests {
             assert_eq!(a.answers, b.answers);
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn panicking_query_fails_alone_without_poisoning_the_batch() {
+        // Drive the shared scatter loop directly with an injected panic:
+        // item 1 panics mid-evaluation, its batchmates must still complete
+        // and the panic must surface as that item's own error.
+        let results = run_scoped(4, 2, |i| {
+            if i == 1 {
+                panic!("injected panic in query {i}");
+            }
+            Ok(i * 10)
+        });
+        assert_eq!(results.len(), 4);
+        assert_eq!(*results[0].as_ref().unwrap(), 0);
+        assert_eq!(*results[2].as_ref().unwrap(), 20);
+        assert_eq!(*results[3].as_ref().unwrap(), 30);
+        match &results[1] {
+            Err(crate::TrexError::Internal(msg)) => {
+                assert!(msg.contains("injected panic in query 1"), "got: {msg}");
+            }
+            other => panic!("expected Internal error, got {other:?}"),
+        }
+
+        // The single-threaded fast path catches too.
+        let serial = run_scoped(2, 1, |i| {
+            if i == 0 {
+                panic!("serial boom");
+            }
+            Ok(i)
+        });
+        assert!(matches!(&serial[0], Err(crate::TrexError::Internal(_))));
+        assert_eq!(*serial[1].as_ref().unwrap(), 1);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod ingest;
 pub mod materialize;
 pub mod merge;
 pub mod metrics;
+pub mod partition;
 pub mod qsort;
 pub mod selfmanage;
 pub mod serve;
@@ -42,6 +43,10 @@ pub use materialize::{
 };
 pub use merge::{merge, merge_with_cancel, MergeStats};
 pub use metrics::StrategyMetrics;
+pub use partition::{
+    merge_topk, partition_store_path, reconcile_partitioned, split_budget, Partition,
+    PartitionBudget, PartitionedCycle, PartitionedSelfManager, PartitionedSystem,
+};
 pub use qsort::quicksort;
 pub use selfmanage::cost::{
     predicted_merge_accesses, predicted_ta_accesses, CostValidation, TA_PREDICTION_FACTOR,
@@ -80,6 +85,10 @@ pub enum TrexError {
     /// (`u32::MAX` is the `m-pos` sentinel and is never assigned); the
     /// collection must be rebuilt to accept more documents. Not retryable.
     CorpusFull,
+    /// A worker thread panicked while evaluating this query. The panic is
+    /// caught at the batch/scatter boundary so one poisoned query cannot
+    /// tear down its batchmates; the payload's message is preserved here.
+    Internal(String),
 }
 
 impl fmt::Display for TrexError {
@@ -94,6 +103,7 @@ impl fmt::Display for TrexError {
             TrexError::CorpusFull => {
                 write!(f, "document id space exhausted; rebuild to ingest more")
             }
+            TrexError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }
 }
@@ -108,6 +118,7 @@ impl std::error::Error for TrexError {
             TrexError::Workload(e) => Some(e),
             TrexError::DeadlineExceeded => None,
             TrexError::CorpusFull => None,
+            TrexError::Internal(_) => None,
         }
     }
 }

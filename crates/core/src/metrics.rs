@@ -106,12 +106,18 @@ impl StrategyMetrics for StrategyStats {
         StrategyStats::wall(self)
     }
 
+    /// A scatter's accesses are the sum over partitions — the work really
+    /// done, no matter which strategy each partition chose.
     fn accesses(&self) -> (u64, u64) {
         match self {
             StrategyStats::Era(s) => s.accesses(),
             StrategyStats::Ta(s) => s.accesses(),
             StrategyStats::Merge(s) => s.accesses(),
             StrategyStats::Race { winner, .. } => winner.accesses(),
+            StrategyStats::Scatter { per_part, .. } => per_part
+                .iter()
+                .map(StrategyMetrics::accesses)
+                .fold((0, 0), |(s, r), (ps, pr)| (s + ps, r + pr)),
         }
     }
 
@@ -121,6 +127,9 @@ impl StrategyMetrics for StrategyStats {
             StrategyStats::Ta(s) => s.candidates(),
             StrategyStats::Merge(s) => s.candidates(),
             StrategyStats::Race { winner, .. } => winner.candidates(),
+            StrategyStats::Scatter { per_part, .. } => {
+                per_part.iter().map(StrategyMetrics::candidates).sum()
+            }
         }
     }
 
@@ -130,6 +139,16 @@ impl StrategyMetrics for StrategyStats {
             StrategyStats::Ta(s) => s.cost_units(),
             StrategyStats::Merge(s) => s.cost_units(),
             StrategyStats::Race { winner, .. } => winner.cost_units(),
+            StrategyStats::Scatter { per_part, .. } => per_part
+                .iter()
+                .map(StrategyMetrics::cost_units)
+                .fold(CostUnits::default(), |acc, u| CostUnits {
+                    sorted_accesses: acc.sorted_accesses + u.sorted_accesses,
+                    random_accesses: acc.random_accesses + u.random_accesses,
+                    heap_pushes: acc.heap_pushes + u.heap_pushes,
+                    heap_pops: acc.heap_pops + u.heap_pops,
+                    candidates_peak: acc.candidates_peak + u.candidates_peak,
+                }),
         }
     }
 }

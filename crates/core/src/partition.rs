@@ -1,0 +1,656 @@
+//! Partitioned serving: N independent stores behind one rank-safe façade.
+//!
+//! A [`PartitionedSystem`] owns N complete single-store systems (each with
+//! its own pager, buffer pool, WAL, delta index and profiler) and makes
+//! them answer as one. Documents are routed to partitions by a pure hash of
+//! their **global** doc id ([`trex_index::partition_of`]) at build time and
+//! at live-ingest time, so a document's home partition never moves. Every
+//! partition store carries the **same** catalog — global dictionary,
+//! summary, alias map, collection statistics and per-term df/cf — written
+//! by the partitioned [`trex_index::IndexBuilder`], so a given element
+//! scores identically no matter which partition holds it.
+//!
+//! # Rank safety
+//!
+//! With shared scoring inputs and disjoint documents, the global top-k is a
+//! subset of the union of per-partition top-k lists: any answer ranked
+//! above an answer in partition p's top-k would itself be in p's top-k.
+//! [`merge_topk`] therefore performs a plain k-way merge of the
+//! rank-sorted per-partition streams under [`Answer::rank_cmp`] — score
+//! descending, then global document order — and reproduces the
+//! single-store answer byte-identically. No answer can tie *across*
+//! partitions on the tiebreak key, because the key ends in the (globally
+//! unique) document id.
+//!
+//! # Self-management
+//!
+//! [`PartitionedSelfManager`] runs the §4 advisor per partition under a
+//! **global** byte budget, re-split every cycle proportionally to
+//! per-partition workload heat: the profiler's decayed shape weights,
+//! scaled by the partition-local extent sizes those shapes touch (the
+//! profiled weights themselves are identical across partitions — every
+//! partition sees every query — so locality lives entirely in the extent
+//! term).
+
+use std::collections::BinaryHeap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use trex_index::TrexIndex;
+
+use crate::answer::Answer;
+use crate::engine::{EvalOptions, QueryEngine, QueryResult, StrategyStats};
+use crate::executor::run_scoped;
+use crate::ingest::{fold_once, FoldReport};
+use crate::selfmanage::{
+    reconcile_once, CostCache, ReconcileReport, SelfManageOptions, WorkloadProfiler,
+};
+use crate::{RaceWinner, Result, TrexError};
+
+/// The store path of partition `i` for a system whose single-store path
+/// would be `base`: `base` with `.p{i}` appended (`corpus.trex` →
+/// `corpus.trex.p0`, `corpus.trex.p1`, …). Appending (rather than
+/// replacing an extension) keeps sibling systems with different base names
+/// from colliding, and lets openers probe partition counts by existence.
+pub fn partition_store_path(base: &Path, partition: usize) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".p{partition}"));
+    PathBuf::from(os)
+}
+
+/// One partition: a complete single-store index plus its own workload
+/// profiler (each partition profiles independently so the self-manager can
+/// weigh budgets by partition-local heat).
+pub struct Partition {
+    index: Arc<TrexIndex>,
+    profiler: Arc<WorkloadProfiler>,
+}
+
+impl Partition {
+    /// Wraps an opened index and its profiler as one partition.
+    pub fn new(index: Arc<TrexIndex>, profiler: Arc<WorkloadProfiler>) -> Partition {
+        Partition { index, profiler }
+    }
+
+    /// The partition's index.
+    pub fn index(&self) -> &Arc<TrexIndex> {
+        &self.index
+    }
+
+    /// The partition's workload profiler.
+    pub fn profiler(&self) -> &Arc<WorkloadProfiler> {
+        &self.profiler
+    }
+}
+
+/// N partitions serving as one system: scatter-gather evaluation, routed
+/// ingest, per-partition folds.
+pub struct PartitionedSystem {
+    parts: Vec<Partition>,
+    /// Next **global** doc id to hand out; advanced only after a successful
+    /// ingest so failed documents (unknown path, WAL error) do not burn
+    /// ids — same semantics as the single-store allocator.
+    next_doc_id: AtomicU32,
+    /// Serialises id allocation + routed ingest so two concurrent ingests
+    /// cannot race the watermark (each partition additionally serialises
+    /// its own WAL appends, but the global id decision must be atomic with
+    /// the routed write).
+    ingest_lock: Mutex<()>,
+}
+
+impl PartitionedSystem {
+    /// Assembles a system from opened partitions. The global doc-id
+    /// watermark resumes from the highest next-id any partition persisted
+    /// or recovered — ids are global, so the maximum over partitions is
+    /// exactly the single-store watermark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn from_parts(parts: Vec<Partition>) -> PartitionedSystem {
+        assert!(!parts.is_empty(), "a partitioned system needs >= 1 store");
+        let next = parts
+            .iter()
+            .map(|p| p.index.delta().peek_next_doc_id().unwrap_or(u32::MAX))
+            .max()
+            .expect("non-empty parts");
+        PartitionedSystem {
+            parts,
+            next_doc_id: AtomicU32::new(next),
+            ingest_lock: Mutex::new(()),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Partition `i`.
+    pub fn part(&self, i: usize) -> &Partition {
+        &self.parts[i]
+    }
+
+    /// All partitions, in routing order.
+    pub fn parts(&self) -> &[Partition] {
+        &self.parts
+    }
+
+    /// The system's maintenance generation: the maximum over partitions.
+    /// Any partition committing a reconcile or an ingest bumps the
+    /// maximum, so a result cache keyed by this value invalidates exactly
+    /// when any partition's answer could change.
+    pub fn generation(&self) -> u64 {
+        self.parts
+            .iter()
+            .map(|p| p.index.maintenance().generation())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluates `nexi` on every partition in parallel and merges the
+    /// rank-sorted per-partition streams into the global answer (see the
+    /// module docs for why the merge is exact). Single-partition systems
+    /// evaluate directly — no scatter overhead, and the result's stats are
+    /// the strategy's own rather than a one-element scatter.
+    pub fn evaluate(&self, nexi: &str, opts: EvalOptions) -> Result<QueryResult> {
+        if self.parts.len() == 1 {
+            let part = &self.parts[0];
+            return QueryEngine::new(&part.index)
+                .with_profiler(&part.profiler)
+                .evaluate(nexi, opts);
+        }
+        let started = Instant::now();
+        let n = self.parts.len();
+        let results = run_scoped(n, n, |i| {
+            let part = &self.parts[i];
+            QueryEngine::new(&part.index)
+                .with_profiler(&part.profiler)
+                .evaluate(nexi, opts)
+        });
+        let mut per_part = Vec::with_capacity(n);
+        for result in results {
+            per_part.push(result?);
+        }
+        Ok(merge_results(per_part, opts, started.elapsed()))
+    }
+
+    /// Evaluates a batch of NEXI queries on `threads` worker threads (the
+    /// executor's scoped pool), returning per-query results in input order.
+    /// Each query still scatters to every partition; the scoped pools
+    /// compose, so total parallelism is `threads × partitions`.
+    pub fn evaluate_batch<Q: AsRef<str> + Sync>(
+        &self,
+        queries: &[Q],
+        opts: EvalOptions,
+        threads: usize,
+    ) -> Vec<Result<QueryResult>> {
+        run_scoped(queries.len(), threads.max(1), |i| {
+            self.evaluate(queries[i].as_ref(), opts)
+        })
+    }
+}
+
+/// Routed live ingestion and folding. These return the index crate's error
+/// type directly: no query machinery is involved, and callers (the serving
+/// layer's ingest endpoint) map id exhaustion to their own vocabulary.
+impl PartitionedSystem {
+    /// Ingests one document: allocates the next global id, routes it to
+    /// its home partition by [`trex_index::partition_of`], and ingests
+    /// there under the explicit id. Returns the global id.
+    pub fn ingest_document(&self, xml: &str) -> std::result::Result<u32, trex_index::IndexError> {
+        let _serial = self.ingest_lock.lock();
+        let doc_id = self.next_doc_id.load(Ordering::Acquire);
+        if doc_id == u32::MAX {
+            return Err(trex_index::IndexError::DocIdsExhausted);
+        }
+        let p = trex_index::partition_of(doc_id, self.parts.len());
+        self.parts[p].index.ingest_document_with_id(doc_id, xml)?;
+        self.next_doc_id.store(doc_id + 1, Ordering::Release);
+        Ok(doc_id)
+    }
+
+    /// Folds every partition's delta into its tables (partitions with an
+    /// empty delta report `None`). Folds are independent — each partition's
+    /// fold sees only documents routed to it, and scoring inputs are
+    /// frozen (see `crate::ingest` docs) — so per-partition folds preserve
+    /// cross-partition byte identity for all searchable terms.
+    pub fn fold_once(&self) -> Result<Vec<Option<FoldReport>>> {
+        self.parts.iter().map(|p| fold_once(&p.index)).collect()
+    }
+}
+
+/// K-way merges rank-sorted answer streams into one rank-sorted stream,
+/// truncated to `k` (`None` keeps everything). Exact for streams with
+/// disjoint documents and a shared scoring catalog (module docs); the
+/// public contract is merely "stable merge under [`Answer::rank_cmp`],
+/// ties broken by stream index".
+pub fn merge_topk(streams: &[Vec<Answer>], k: Option<usize>) -> Vec<Answer> {
+    struct Head {
+        answer: Answer,
+        stream: usize,
+        pos: usize,
+    }
+    // BinaryHeap is a max-heap; invert rank_cmp so the best-ranked head
+    // (least under rank_cmp) surfaces first.
+    impl Ord for Head {
+        fn cmp(&self, other: &Head) -> std::cmp::Ordering {
+            self.answer
+                .rank_cmp(&other.answer)
+                .then(self.stream.cmp(&other.stream))
+                .reverse()
+        }
+    }
+    impl PartialOrd for Head {
+        fn partial_cmp(&self, other: &Head) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl PartialEq for Head {
+        fn eq(&self, other: &Head) -> bool {
+            self.cmp(other) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for Head {}
+
+    let limit = k.unwrap_or(usize::MAX);
+    let mut heap = BinaryHeap::with_capacity(streams.len());
+    for (s, stream) in streams.iter().enumerate() {
+        if let Some(&answer) = stream.first() {
+            heap.push(Head {
+                answer,
+                stream: s,
+                pos: 0,
+            });
+        }
+    }
+    let mut merged = Vec::with_capacity(limit.min(streams.iter().map(Vec::len).sum()));
+    while let Some(head) = heap.pop() {
+        merged.push(head.answer);
+        if merged.len() >= limit {
+            break;
+        }
+        if let Some(&answer) = streams[head.stream].get(head.pos + 1) {
+            heap.push(Head {
+                answer,
+                stream: head.stream,
+                pos: head.pos + 1,
+            });
+        }
+    }
+    merged
+}
+
+/// Combines per-partition results into the system answer.
+///
+/// * `answers`: [`merge_topk`] under the global `k`.
+/// * `total_answers`: exact when every partition reported an exact total
+///   (ERA/Merge — sum them); once any partition ran TA (whose total is
+///   just its returned count), only the merged count is honest.
+/// * `translation`: every partition translated against the identical
+///   shared catalog, so the first result's translation is *the*
+///   translation.
+/// * `generation`: the maximum per-partition generation, matching
+///   [`PartitionedSystem::generation`]'s cache key.
+/// * `trace`: the slowest partition's trace, if tracing was on — the one
+///   that determined the scatter's wall time.
+fn merge_results(per_part: Vec<QueryResult>, opts: EvalOptions, wall: Duration) -> QueryResult {
+    let streams: Vec<Vec<Answer>> = per_part.iter().map(|r| r.answers.clone()).collect();
+    let answers = merge_topk(&streams, opts.k);
+    let any_ta = per_part.iter().any(|r| {
+        matches!(
+            r.stats,
+            StrategyStats::Ta(_)
+                | StrategyStats::Race {
+                    won_by: RaceWinner::Ta,
+                    ..
+                }
+        )
+    });
+    let total_answers = if any_ta {
+        answers.len()
+    } else {
+        per_part.iter().map(|r| r.total_answers).sum()
+    };
+    let generation = per_part.iter().map(|r| r.generation).max().unwrap_or(0);
+    let slowest = per_part
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, r)| r.stats.wall())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut per_part = per_part;
+    let trace = per_part[slowest].trace.take();
+    let translation = per_part[0].translation.clone();
+    let stats = StrategyStats::Scatter {
+        partitions: per_part.len(),
+        per_part: per_part.into_iter().map(|r| r.stats).collect(),
+        wall,
+    };
+    QueryResult {
+        answers,
+        total_answers,
+        translation,
+        stats,
+        trace,
+        generation,
+    }
+}
+
+/// One partition's share of a budget split, for observability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionBudget {
+    /// Partition index.
+    pub partition: usize,
+    /// The heat the split was computed from (unnormalised).
+    pub heat: f64,
+    /// The byte budget this partition's advisor ran under.
+    pub budget_bytes: u64,
+}
+
+/// One completed partitioned reconcile cycle.
+#[derive(Debug, Clone)]
+pub struct PartitionedCycle {
+    /// Cycle ordinal (1-based).
+    pub cycle: u64,
+    /// The budget split the cycle used.
+    pub budgets: Vec<PartitionBudget>,
+    /// Per-partition reconcile reports, in partition order.
+    pub reports: Vec<ReconcileReport>,
+    /// Wall-clock time of the whole cycle (all partitions).
+    pub wall: Duration,
+}
+
+/// Splits `total_bytes` across partitions proportionally to workload heat.
+///
+/// A partition's heat is Σ over its profiled shapes of `weight ×
+/// Σ_sid extent_size(sid)`: the decayed observation weight times how many
+/// *partition-local* elements the shape's extents actually hold. Profiled
+/// weights are identical across partitions (every partition evaluates every
+/// query), so the extent term is what differentiates — a partition holding
+/// more of the hot extents gets more budget to materialise them. Falls back
+/// to an equal split when no heat is measurable (cold start, empty
+/// profiles, unresolvable shapes).
+pub fn split_budget(
+    system: &PartitionedSystem,
+    total_bytes: u64,
+    max_queries: usize,
+) -> Vec<PartitionBudget> {
+    let n = system.partitions();
+    let heats: Vec<f64> = system
+        .parts()
+        .iter()
+        .map(|p| partition_heat(p, max_queries))
+        .collect();
+    let sum: f64 = heats.iter().sum();
+    let mut budgets: Vec<PartitionBudget> = Vec::with_capacity(n);
+    if sum <= 0.0 || !sum.is_finite() {
+        let share = total_bytes / n as u64;
+        for (i, &heat) in heats.iter().enumerate() {
+            budgets.push(PartitionBudget {
+                partition: i,
+                heat,
+                budget_bytes: share,
+            });
+        }
+        return budgets;
+    }
+    for (i, &heat) in heats.iter().enumerate() {
+        let share = (total_bytes as f64 * (heat / sum)).floor() as u64;
+        budgets.push(PartitionBudget {
+            partition: i,
+            heat,
+            budget_bytes: share,
+        });
+    }
+    budgets
+}
+
+/// The workload heat of one partition (see [`split_budget`]). Shapes whose
+/// translation or extent scan fails contribute zero rather than failing the
+/// cycle — the advisor must keep running on whatever is measurable.
+fn partition_heat(part: &Partition, max_queries: usize) -> f64 {
+    let engine = QueryEngine::new(&part.index);
+    let elements = match part.index.elements() {
+        Ok(t) => t,
+        Err(_) => return 0.0,
+    };
+    let mut heat = 0.0;
+    for shape in part.profiler.profile(max_queries) {
+        let Ok(translation) = engine.translate(&shape.nexi, Default::default()) else {
+            continue;
+        };
+        let mut extent_elems = 0u64;
+        for &sid in &translation.sids {
+            extent_elems += elements.extent_size(sid).unwrap_or(0);
+        }
+        heat += shape.weight * extent_elems as f64;
+    }
+    heat
+}
+
+/// Runs one reconcile cycle across every partition: split the global
+/// budget by heat, then [`reconcile_once`] per partition under its share.
+/// `caches` must have one [`CostCache`] per partition and persists across
+/// cycles (measured ERA timings are expensive; the per-partition cache
+/// invalidates itself on ingest epoch changes).
+pub fn reconcile_partitioned(
+    system: &PartitionedSystem,
+    opts: &SelfManageOptions,
+    caches: &mut [CostCache],
+    cycle: u64,
+) -> Result<PartitionedCycle> {
+    assert_eq!(
+        caches.len(),
+        system.partitions(),
+        "one cost cache per partition"
+    );
+    let started = Instant::now();
+    let budgets = split_budget(system, opts.budget_bytes, opts.max_queries);
+    let mut reports = Vec::with_capacity(system.partitions());
+    for (part, (budget, cache)) in system
+        .parts()
+        .iter()
+        .zip(budgets.iter().zip(caches.iter_mut()))
+    {
+        let part_opts = SelfManageOptions {
+            budget_bytes: budget.budget_bytes,
+            ..*opts
+        };
+        reports.push(reconcile_once(
+            &part.index,
+            &part.profiler,
+            &part_opts,
+            cache,
+        )?);
+    }
+    Ok(PartitionedCycle {
+        cycle,
+        budgets,
+        reports,
+        wall: started.elapsed(),
+    })
+}
+
+#[derive(Debug, Default)]
+struct PartitionedManagerStatus {
+    last: Option<PartitionedCycle>,
+    last_error: Option<String>,
+}
+
+/// Background self-management for a partitioned system: every
+/// `opts.interval`, one [`reconcile_partitioned`] cycle — re-splitting the
+/// global `opts.budget_bytes` by current heat each time, so budget follows
+/// the workload as it shifts between partitions. Stops (and joins) on
+/// [`stop`](PartitionedSelfManager::stop) or drop.
+pub struct PartitionedSelfManager {
+    stop: Arc<AtomicBool>,
+    status: Arc<Mutex<PartitionedManagerStatus>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PartitionedSelfManager {
+    /// Starts the background loop. Touches every partition's RPL/ERPL
+    /// tables up front so table creation (a structural store write) never
+    /// races concurrent serving.
+    pub fn start(
+        system: Arc<PartitionedSystem>,
+        opts: SelfManageOptions,
+    ) -> Result<PartitionedSelfManager> {
+        for part in system.parts() {
+            part.index.rpls()?;
+            part.index.erpls()?;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let status = Arc::new(Mutex::new(PartitionedManagerStatus::default()));
+        let handle = {
+            let stop = stop.clone();
+            let status = status.clone();
+            std::thread::Builder::new()
+                .name("trex-selfmanage-part".into())
+                .spawn(move || {
+                    let mut caches: Vec<CostCache> =
+                        (0..system.partitions()).map(|_| CostCache::new()).collect();
+                    let mut cycle = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Sleep in slices so stop() returns promptly even
+                        // with long intervals.
+                        let wake = Instant::now() + opts.interval;
+                        while Instant::now() < wake {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(10).min(opts.interval));
+                        }
+                        cycle += 1;
+                        match reconcile_partitioned(&system, &opts, &mut caches, cycle) {
+                            Ok(report) => {
+                                let mut s = status.lock();
+                                s.last = Some(report);
+                                s.last_error = None;
+                            }
+                            Err(e) => status.lock().last_error = Some(e.to_string()),
+                        }
+                    }
+                })
+                .map_err(|e| {
+                    TrexError::Unsupported(format!("cannot spawn self-manage thread: {e}"))
+                })?
+        };
+        Ok(PartitionedSelfManager {
+            stop,
+            status,
+            handle: Some(handle),
+        })
+    }
+
+    /// The most recent completed cycle, if any.
+    pub fn last_cycle(&self) -> Option<PartitionedCycle> {
+        self.status.lock().last.clone()
+    }
+
+    /// The most recent cycle error, if the last cycle failed.
+    pub fn last_error(&self) -> Option<String> {
+        self.status.lock().last_error.clone()
+    }
+
+    /// Stops the background thread and waits for it to finish.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PartitionedSelfManager {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_index::ElementRef;
+
+    fn answer(score: f32, doc: u32, end: u32, sid: u32) -> Answer {
+        Answer {
+            element: ElementRef {
+                doc,
+                end,
+                length: 1,
+            },
+            sid,
+            score,
+        }
+    }
+
+    #[test]
+    fn merge_reproduces_global_sort_with_ties_at_the_boundary() {
+        // Two streams with a three-way score tie straddling the k boundary;
+        // the tiebreak must be global doc order, not stream arrival order.
+        let a = vec![
+            answer(0.9, 2, 5, 1),
+            answer(0.5, 8, 3, 1),
+            answer(0.5, 12, 3, 1),
+        ];
+        let b = vec![answer(0.7, 1, 4, 1), answer(0.5, 3, 2, 1)];
+        let merged = merge_topk(&[a.clone(), b.clone()], Some(3));
+        assert_eq!(
+            merged,
+            vec![
+                answer(0.9, 2, 5, 1),
+                answer(0.7, 1, 4, 1),
+                answer(0.5, 3, 2, 1)
+            ]
+        );
+        // Unlimited merge equals the fully sorted union.
+        let mut union: Vec<Answer> = a.iter().chain(b.iter()).copied().collect();
+        union.sort_unstable_by(|x, y| x.rank_cmp(y));
+        assert_eq!(merge_topk(&[a, b], None), union);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_single_streams() {
+        assert!(merge_topk(&[], Some(5)).is_empty());
+        assert!(merge_topk(&[vec![], vec![]], None).is_empty());
+        let only = vec![answer(0.4, 1, 1, 2), answer(0.2, 2, 1, 2)];
+        assert_eq!(merge_topk(&[vec![], only.clone()], Some(10)), only);
+    }
+
+    #[test]
+    fn partition_store_paths_are_distinct_and_deterministic() {
+        let base = Path::new("/tmp/corpus.trex");
+        assert_eq!(
+            partition_store_path(base, 0),
+            PathBuf::from("/tmp/corpus.trex.p0")
+        );
+        assert_eq!(
+            partition_store_path(base, 3),
+            PathBuf::from("/tmp/corpus.trex.p3")
+        );
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for parts in [1usize, 2, 3, 4, 8] {
+            for doc in 0u32..256 {
+                let p = trex_index::partition_of(doc, parts);
+                assert!(p < parts);
+                assert_eq!(p, trex_index::partition_of(doc, parts));
+            }
+        }
+        // Sequential ids actually spread (no degenerate all-to-one hash).
+        let hits: std::collections::HashSet<usize> =
+            (0u32..64).map(|d| trex_index::partition_of(d, 4)).collect();
+        assert_eq!(hits.len(), 4);
+    }
+}

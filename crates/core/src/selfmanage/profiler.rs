@@ -167,11 +167,16 @@ impl WorkloadProfiler {
         self.ticks.load(Ordering::Relaxed)
     }
 
-    /// The current top-`max` query shapes by decayed weight (ties broken by
-    /// NEXI text for determinism), heaviest first.
+    /// The current top-`max` query shapes by decayed weight, heaviest
+    /// first. Equal weights are broken by the full shape key (sids, terms,
+    /// k) — the sketch's own aggregation key — like the ranked eviction in
+    /// [`prune`](WorkloadProfiler::prune). NEXI text alone is not a key:
+    /// the same spelling queried at two k values is two distinct shapes,
+    /// and tied shapes sorted only by text would surface in hash-map order,
+    /// making reconcile plans differ run to run.
     pub fn profile(&self, max: usize) -> Vec<ProfiledQuery> {
         let now = self.ticks.load(Ordering::Relaxed);
-        let mut all: Vec<ProfiledQuery> = Vec::new();
+        let mut all: Vec<(ProfileKey, ProfiledQuery)> = Vec::new();
         for shard in &self.shards {
             let mut shard = shard.lock();
             // Reading the sketch is the other natural pruning point: dead
@@ -182,21 +187,20 @@ impl WorkloadProfiler {
             for (key, entry) in shard.iter() {
                 let weight = self.decayed(entry.weight, entry.tick, now);
                 if weight > 0.0 {
-                    all.push(ProfiledQuery {
-                        nexi: entry.nexi.clone(),
-                        weight,
-                        k: key.k,
-                    });
+                    all.push((
+                        key.clone(),
+                        ProfiledQuery {
+                            nexi: entry.nexi.clone(),
+                            weight,
+                            k: key.k,
+                        },
+                    ));
                 }
             }
         }
-        all.sort_by(|a, b| {
-            b.weight
-                .total_cmp(&a.weight)
-                .then_with(|| a.nexi.cmp(&b.nexi))
-        });
+        all.sort_by(|(ka, a), (kb, b)| b.weight.total_cmp(&a.weight).then_with(|| ka.cmp(kb)));
         all.truncate(max);
-        all
+        all.into_iter().map(|(_, q)| q).collect()
     }
 
     /// Derives the Definition-4.1 workload of the top-`max` shapes:
@@ -346,6 +350,44 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(w, expected);
+    }
+
+    #[test]
+    fn tied_weights_order_by_shape_key_not_hash_order() {
+        // Two shapes with the SAME representative NEXI text and the same
+        // weight — only k (part of the shape key) distinguishes them. The
+        // text tiebreak alone cannot order these, so before the shape-key
+        // tiebreak their order was whatever the hash map yielded.
+        let build = || {
+            let p = WorkloadProfiler::new(ProfilerConfig {
+                shards: 4,
+                half_life: None,
+                ..ProfilerConfig::default()
+            });
+            p.record("//a[about(., x)]", &[1], &[7], Some(20));
+            p.record("//a[about(., x)]", &[1], &[7], Some(5));
+            // Same k and text, tied weight, differing terms: key orders them.
+            p.record("//b[about(., y)]", &[2], &[9], Some(5));
+            p.record("//b[about(., y)]", &[2], &[8], Some(5));
+            p.profile(10)
+        };
+        let first = build();
+        assert_eq!(first.len(), 4);
+        // Shape key orders (sids, terms, k) ascending within the weight tie.
+        assert_eq!(
+            (first[0].nexi.as_str(), first[0].k),
+            ("//a[about(., x)]", 5)
+        );
+        assert_eq!(
+            (first[1].nexi.as_str(), first[1].k),
+            ("//a[about(., x)]", 20)
+        );
+        assert_eq!(first[2].nexi.as_str(), "//b[about(., y)]");
+        assert_eq!(first[3].nexi.as_str(), "//b[about(., y)]");
+        // Fresh sketches (fresh hash seeds) must reproduce the same order.
+        for _ in 0..8 {
+            assert_eq!(build(), first);
+        }
     }
 
     #[test]

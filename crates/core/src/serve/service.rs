@@ -20,9 +20,20 @@ use std::time::Instant;
 use trex_obs::ServeMetrics;
 
 use crate::engine::{QueryEngine, QueryResult};
+use crate::partition::PartitionedSystem;
 use crate::serve::cache::{normalize_nexi, CacheKey, CachedResult, ResultCache};
 use crate::serve::request::{CacheStatus, QueryRequest, QueryResponse};
 use crate::{Result, TrexError};
+
+/// What the service evaluates against: one engine, or a partitioned
+/// system whose scatter-gather merge already reproduces single-store
+/// answers. The cache and metrics layers above are identical either way —
+/// the only partition-aware decisions are which `evaluate` to call and
+/// which generation keys the cache.
+enum Target<'a> {
+    Engine(QueryEngine<'a>),
+    Partitioned(&'a PartitionedSystem),
+}
 
 /// Executes [`QueryRequest`]s against a [`QueryEngine`], with an optional
 /// generation-keyed [`ResultCache`] and optional [`ServeMetrics`].
@@ -39,7 +50,7 @@ use crate::{Result, TrexError};
 /// # }
 /// ```
 pub struct QueryService<'a> {
-    engine: QueryEngine<'a>,
+    target: Target<'a>,
     cache: Option<Arc<ResultCache>>,
     metrics: Option<Arc<ServeMetrics>>,
 }
@@ -48,7 +59,18 @@ impl<'a> QueryService<'a> {
     /// A service over `engine` with no cache and no metrics.
     pub fn new(engine: QueryEngine<'a>) -> QueryService<'a> {
         QueryService {
-            engine,
+            target: Target::Engine(engine),
+            cache: None,
+            metrics: None,
+        }
+    }
+
+    /// A service over a partitioned system: every request scatters to all
+    /// partitions and gathers through the rank-safe merge. Cache keys use
+    /// the system generation (maximum over partitions).
+    pub fn partitioned(system: &'a PartitionedSystem) -> QueryService<'a> {
+        QueryService {
+            target: Target::Partitioned(system),
             cache: None,
             metrics: None,
         }
@@ -67,9 +89,21 @@ impl<'a> QueryService<'a> {
         self
     }
 
-    /// The underlying engine.
-    pub fn engine(&self) -> &QueryEngine<'a> {
-        &self.engine
+    /// Ingests one raw XML document through whatever the service fronts,
+    /// returning the assigned (global) doc id and the generation after the
+    /// ingest — the pair the serving layer reports to the client.
+    pub fn ingest(&self, xml: &str) -> std::result::Result<(u32, u64), trex_index::IndexError> {
+        match &self.target {
+            Target::Engine(engine) => {
+                let index = engine.index();
+                let doc_id = index.ingest_document(xml)?;
+                Ok((doc_id, index.maintenance().generation()))
+            }
+            Target::Partitioned(system) => {
+                let doc_id = system.ingest_document(xml)?;
+                Ok((doc_id, system.generation()))
+            }
+        }
     }
 
     /// The attached cache, if any.
@@ -101,9 +135,10 @@ impl<'a> QueryService<'a> {
                     TrexError::Parse(_)
                     | TrexError::MissingIndex(_)
                     | TrexError::Unsupported(_) => metrics.counters.parse_errors.incr(),
-                    TrexError::Index(_) | TrexError::Workload(_) | TrexError::CorpusFull => {
-                        metrics.counters.internal_errors.incr()
-                    }
+                    TrexError::Index(_)
+                    | TrexError::Workload(_)
+                    | TrexError::CorpusFull
+                    | TrexError::Internal(_) => metrics.counters.internal_errors.incr(),
                 }
             }
         }
@@ -127,7 +162,7 @@ impl<'a> QueryService<'a> {
             k: req.k,
             strategy: req.strategy,
             interpretation: req.interpretation,
-            generation: self.engine.index().maintenance().generation(),
+            generation: self.current_generation(),
         };
         if let Some(cached) = cache.get(&key) {
             if let Some(m) = &self.metrics {
@@ -165,9 +200,19 @@ impl<'a> QueryService<'a> {
         Ok(self.respond(result, CacheStatus::Miss, started))
     }
 
+    fn current_generation(&self) -> u64 {
+        match &self.target {
+            Target::Engine(engine) => engine.index().maintenance().generation(),
+            Target::Partitioned(system) => system.generation(),
+        }
+    }
+
     fn evaluate(&self, req: &QueryRequest, started: Instant) -> Result<QueryResult> {
-        self.engine
-            .evaluate(&req.nexi, req.eval_options_from(started))
+        let opts = req.eval_options_from(started);
+        match &self.target {
+            Target::Engine(engine) => engine.evaluate(&req.nexi, opts),
+            Target::Partitioned(system) => system.evaluate(&req.nexi, opts),
+        }
     }
 
     fn respond(&self, result: QueryResult, cache: CacheStatus, started: Instant) -> QueryResponse {

@@ -5,6 +5,23 @@
 //! RPLs and ERPLs are *not* built here — they are redundant indexes that the
 //! self-managing layer materialises on demand using ERA (paper §3.2: "TReX
 //! also uses ERA for generating or extending the RPLs and ERPLs tables").
+//!
+//! ## Partitioned builds
+//!
+//! [`IndexBuilder::new_partitioned`] builds N independent stores from one
+//! document stream in a single pass. The *catalog* state — structural
+//! summary (and therefore sid numbering, which is assigned by first
+//! encounter in global document order), dictionary (term-id assignment),
+//! collection statistics, and per-term df/cf — accumulates globally and is
+//! written **identically** to every partition store at
+//! [`finish`](IndexBuilder::finish). Only the per-document state — element
+//! rows, postings, stored documents — is routed, by
+//! [`partition_of`](crate::partition_of) over the *global* doc id, into one
+//! partition's tables. Scores depend solely on the shared catalog (global
+//! stats + global df) and on per-element tf/length, so every partition
+//! scores its elements byte-identically to a single store holding the whole
+//! collection, and a rank-safe merge of per-partition top-k lists
+//! reproduces the single-store answer exactly.
 
 use std::collections::HashMap;
 
@@ -23,26 +40,46 @@ use crate::encode::{ElementRef, Position};
 use crate::postings::POSTINGS_TABLE;
 use crate::{IndexError, Result};
 
+/// The per-store half of a build: the tables that hold routed (per-document)
+/// state. A single-store build has exactly one sink; a partitioned build has
+/// one per partition store.
+struct StoreSink<'s> {
+    store: &'s Store,
+    elements: ElementsTable,
+    /// term → ascending positions (document order guarantees sortedness —
+    /// routing preserves it, since a document lands wholly in one sink).
+    postings: HashMap<TermId, Vec<Position>>,
+    /// When set, raw documents are stored for snippet retrieval.
+    doc_store: Option<DocStoreWriter>,
+}
+
+impl<'s> StoreSink<'s> {
+    fn new(store: &'s Store) -> Result<StoreSink<'s>> {
+        Ok(StoreSink {
+            store,
+            elements: ElementsTable::new(store.open_or_create_table(ELEMENTS_TABLE)?),
+            postings: HashMap::new(),
+            doc_store: None,
+        })
+    }
+}
+
 /// Accumulates an index over documents, then persists everything with
 /// [`IndexBuilder::finish`].
 pub struct IndexBuilder<'s> {
-    store: &'s Store,
     analyzer: Analyzer,
     alias: AliasMap,
     summary: Summary,
     dictionary: Dictionary,
-    elements: ElementsTable,
+    /// One per partition store; single-store builds have exactly one.
+    sinks: Vec<StoreSink<'s>>,
     postings_chunk_size: usize,
-    /// term → ascending positions (document order guarantees sortedness).
-    postings: HashMap<TermId, Vec<Position>>,
-    /// term → (last doc counted, df, cf).
+    /// term → (last doc counted, df, cf) — global across all sinks.
     term_stats: HashMap<TermId, (u32, u32, u64)>,
     doc_count: u32,
     element_count: u64,
     total_element_len: u64,
-    /// When set, raw documents are stored for snippet retrieval.
-    doc_store: Option<DocStoreWriter>,
-    /// When set, the store is checkpointed every N documents, bounding the
+    /// When set, every store is checkpointed every N documents, bounding the
     /// write-ahead log (and the work a crash can lose) during long builds.
     checkpoint_every: Option<u32>,
 }
@@ -56,20 +93,36 @@ impl<'s> IndexBuilder<'s> {
         alias: AliasMap,
         analyzer: Analyzer,
     ) -> Result<IndexBuilder<'s>> {
+        IndexBuilder::new_partitioned(vec![store], kind, alias, analyzer)
+    }
+
+    /// Starts a partitioned build: one sink per store, documents routed by
+    /// [`partition_of`](crate::partition_of) over their global doc id, one
+    /// shared catalog written identically to every store at `finish` (see
+    /// the module docs for why that makes partitioned scoring byte-identical
+    /// to a single store).
+    pub fn new_partitioned(
+        stores: Vec<&'s Store>,
+        kind: SummaryKind,
+        alias: AliasMap,
+        analyzer: Analyzer,
+    ) -> Result<IndexBuilder<'s>> {
+        assert!(!stores.is_empty(), "at least one partition store");
+        let sinks = stores
+            .into_iter()
+            .map(StoreSink::new)
+            .collect::<Result<Vec<_>>>()?;
         Ok(IndexBuilder {
-            store,
             analyzer,
             alias,
             summary: Summary::new(kind),
             dictionary: Dictionary::new(),
-            elements: ElementsTable::new(store.open_or_create_table(ELEMENTS_TABLE)?),
+            sinks,
             postings_chunk_size: crate::postings::DEFAULT_CHUNK_SIZE,
-            postings: HashMap::new(),
             term_stats: HashMap::new(),
             doc_count: 0,
             element_count: 0,
             total_element_len: 0,
-            doc_store: None,
             checkpoint_every: None,
         })
     }
@@ -77,8 +130,10 @@ impl<'s> IndexBuilder<'s> {
     /// Also store the raw documents, enabling snippet retrieval through
     /// [`crate::TrexIndex::documents`]. Roughly doubles the store size.
     pub fn enable_document_store(&mut self) -> Result<()> {
-        if self.doc_store.is_none() {
-            self.doc_store = Some(DocStoreWriter::open(self.store)?);
+        for sink in &mut self.sinks {
+            if sink.doc_store.is_none() {
+                sink.doc_store = Some(DocStoreWriter::open(sink.store)?);
+            }
         }
         Ok(())
     }
@@ -99,34 +154,44 @@ impl<'s> IndexBuilder<'s> {
     fn maybe_checkpoint(&self) -> Result<()> {
         if let Some(every) = self.checkpoint_every {
             if self.doc_count.is_multiple_of(every) {
-                self.store.flush()?;
+                for sink in &self.sinks {
+                    sink.store.flush()?;
+                }
             }
         }
         Ok(())
     }
 
+    /// The sink index the next document routes to.
+    fn route_next(&self) -> usize {
+        crate::partition_of(self.doc_count, self.sinks.len())
+    }
+
     /// Parses and indexes one document; returns its assigned id.
     pub fn add_document(&mut self, xml: &str) -> Result<u32> {
         let doc = Document::parse(xml).map_err(IndexError::Xml)?;
-        if let Some(ds) = &mut self.doc_store {
+        let p = self.route_next();
+        if let Some(ds) = &mut self.sinks[p].doc_store {
             ds.put(self.doc_count, xml)?;
         }
-        self.add_parsed_internal(&doc)
+        self.add_parsed_internal(&doc, p)
     }
 
     /// Indexes an already-parsed document; returns its assigned id.
     pub fn add_parsed(&mut self, doc: &Document) -> Result<u32> {
-        if let Some(ds) = &mut self.doc_store {
+        let p = self.route_next();
+        if let Some(ds) = &mut self.sinks[p].doc_store {
             ds.put(self.doc_count, &doc.to_xml())?;
         }
-        self.add_parsed_internal(doc)
+        self.add_parsed_internal(doc, p)
     }
 
     /// Indexes one document through the streaming pull parser, without
     /// building a DOM — the memory-friendly path for very large documents.
     /// Produces identical index state to [`IndexBuilder::add_document`].
     pub fn add_document_streaming(&mut self, xml: &str) -> Result<u32> {
-        if let Some(ds) = &mut self.doc_store {
+        let p = self.route_next();
+        if let Some(ds) = &mut self.sinks[p].doc_store {
             ds.put(self.doc_count, xml)?;
         }
         let doc_id = self.doc_count;
@@ -151,7 +216,7 @@ impl<'s> IndexBuilder<'s> {
                     cursor.leave();
                     let length = next_pos - mark;
                     if length > 0 {
-                        self.elements.insert(
+                        self.sinks[p].elements.insert(
                             sid,
                             ElementRef {
                                 doc: doc_id,
@@ -164,7 +229,7 @@ impl<'s> IndexBuilder<'s> {
                     }
                 }
                 trex_xml::Event::Text(text) => {
-                    self.index_text(&text, doc_id, &mut next_pos);
+                    self.index_text(&text, doc_id, p, &mut next_pos);
                 }
                 trex_xml::Event::Comment(_) | trex_xml::Event::ProcessingInstruction(_) => {}
             }
@@ -173,16 +238,21 @@ impl<'s> IndexBuilder<'s> {
         Ok(doc_id)
     }
 
-    /// Analyses one text run, interning terms and recording postings.
-    fn index_text(&mut self, text: &str, doc_id: u32, next_pos: &mut u32) {
+    /// Analyses one text run, interning terms (globally) and recording
+    /// postings into sink `p`.
+    fn index_text(&mut self, text: &str, doc_id: u32, p: usize, next_pos: &mut u32) {
         let (terms, np) = self.analyzer.analyze_from(text, *next_pos);
         *next_pos = np;
         for token in terms {
             let term = self.dictionary.intern(&token.text);
-            self.postings.entry(term).or_default().push(Position {
-                doc: doc_id,
-                offset: token.position,
-            });
+            self.sinks[p]
+                .postings
+                .entry(term)
+                .or_default()
+                .push(Position {
+                    doc: doc_id,
+                    offset: token.position,
+                });
             let entry = self.term_stats.entry(term).or_insert((u32::MAX, 0, 0));
             if entry.0 != doc_id {
                 entry.0 = doc_id;
@@ -192,12 +262,12 @@ impl<'s> IndexBuilder<'s> {
         }
     }
 
-    fn add_parsed_internal(&mut self, doc: &Document) -> Result<u32> {
+    fn add_parsed_internal(&mut self, doc: &Document, p: usize) -> Result<u32> {
         let doc_id = self.doc_count;
         self.doc_count += 1;
         let mut cursor = SummaryCursor::new();
         let mut next_pos = 0u32;
-        self.walk(doc, doc.root(), &mut cursor, doc_id, &mut next_pos)?;
+        self.walk(doc, doc.root(), &mut cursor, doc_id, p, &mut next_pos)?;
         self.maybe_checkpoint()?;
         Ok(doc_id)
     }
@@ -208,12 +278,13 @@ impl<'s> IndexBuilder<'s> {
         node: NodeId,
         cursor: &mut SummaryCursor,
         doc_id: u32,
+        p: usize,
         next_pos: &mut u32,
     ) -> Result<()> {
         match &doc.node(node).kind {
             NodeKind::Text(text) => {
                 let text = text.clone(); // appease the borrow of self
-                self.index_text(&text, doc_id, next_pos);
+                self.index_text(&text, doc_id, p, next_pos);
             }
             NodeKind::Element { name, .. } => {
                 let label = self.alias.resolve(name).to_string();
@@ -221,12 +292,12 @@ impl<'s> IndexBuilder<'s> {
                 self.summary.record_element(sid);
                 let mark = *next_pos;
                 for &child in &doc.node(node).children {
-                    self.walk(doc, child, cursor, doc_id, next_pos)?;
+                    self.walk(doc, child, cursor, doc_id, p, next_pos)?;
                 }
                 cursor.leave();
                 let length = *next_pos - mark;
                 if length > 0 {
-                    self.elements.insert(
+                    self.sinks[p].elements.insert(
                         sid,
                         ElementRef {
                             doc: doc_id,
@@ -260,28 +331,19 @@ impl<'s> IndexBuilder<'s> {
         self.doc_count
     }
 
-    /// Writes posting lists, term statistics and catalog blobs; flushes the
-    /// store. After this the index is complete (sans redundant RPL/ERPL
-    /// lists) and can be opened with [`crate::TrexIndex::open`].
+    /// Writes posting lists, term statistics and catalog blobs; flushes
+    /// every store. After this the index (every partition store, for
+    /// partitioned builds) is complete (sans redundant RPL/ERPL lists) and
+    /// can be opened with [`crate::TrexIndex::open`].
+    ///
+    /// Every sink receives the **same** catalog: global dictionary, summary,
+    /// alias map, collection statistics and per-term df/cf — only the
+    /// posting lists, element rows and stored documents are partition-local.
+    /// That shared catalog is the byte-identity invariant (module docs).
     pub fn finish(self) -> Result<()> {
-        // Posting keys ascend across sorted terms and within each term, so
-        // the whole table is built with one B+tree bulk load.
-        let mut terms: Vec<(TermId, Vec<Position>)> = self.postings.into_iter().collect();
-        terms.sort_unstable_by_key(|(t, _)| *t);
         let chunk_size = self.postings_chunk_size;
-        let entries = terms.iter().flat_map(|(term, positions)| {
-            debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
-            crate::postings::chunk_entries(*term, positions, chunk_size)
-        });
-        self.store.create_table_bulk(POSTINGS_TABLE, entries)?;
 
-        let mut stats_table = self.store.open_or_create_table(TERM_STATS_TABLE)?;
-        let mut term_stats: Vec<(TermId, (u32, u32, u64))> = self.term_stats.into_iter().collect();
-        term_stats.sort_unstable_by_key(|(t, _)| *t);
-        for (term, (_, df, cf)) in term_stats {
-            put_term_stats(&mut stats_table, term, TermStats { df, cf })?;
-        }
-
+        // Global catalog state, encoded once and written to every store.
         let stats = CollectionStats {
             doc_count: self.doc_count,
             element_count: self.element_count,
@@ -291,34 +353,52 @@ impl<'s> IndexBuilder<'s> {
                 self.total_element_len as f32 / self.element_count as f32
             },
         };
-        let mut blobs = self.store.open_or_create_table(BLOBS_TABLE)?;
-        store_blob(
-            &mut blobs,
-            blob_names::DICTIONARY,
-            &self.dictionary.encode(),
-        )?;
-        store_blob(&mut blobs, blob_names::SUMMARY, &self.summary.encode())?;
-        store_blob(&mut blobs, blob_names::ALIAS, &encode_alias(&self.alias))?;
-        store_blob(&mut blobs, blob_names::STATS, &encode_stats(&stats))?;
-        store_blob(
-            &mut blobs,
-            blob_names::ANALYZER,
-            &encode_analyzer(&self.analyzer),
-        )?;
+        let dictionary_bytes = self.dictionary.encode();
+        let summary_bytes = self.summary.encode();
+        let alias_bytes = encode_alias(&self.alias);
+        let stats_bytes = encode_stats(&stats);
+        let analyzer_bytes = encode_analyzer(&self.analyzer);
+        let mut term_stats: Vec<(TermId, (u32, u32, u64))> = self.term_stats.into_iter().collect();
+        term_stats.sort_unstable_by_key(|(t, _)| *t);
 
-        // Create the (initially empty) RPL/ERPL tables now so they are part
-        // of the final checkpoint. `TrexIndex::open` would otherwise create
-        // them lazily on every open of a never-materialised store, and a
-        // read-only session never checkpoints, so recovery would discard
-        // (and re-report) those uncommitted creations on each reopen.
-        self.store.open_or_create_table(crate::rpl::RPLS_TABLE)?;
-        self.store
-            .open_or_create_table(crate::rpl::RPLS_REGISTRY_TABLE)?;
-        self.store.open_or_create_table(crate::erpl::ERPLS_TABLE)?;
-        self.store
-            .open_or_create_table(crate::erpl::ERPLS_REGISTRY_TABLE)?;
+        for sink in self.sinks {
+            // Posting keys ascend across sorted terms and within each term,
+            // so the whole table is built with one B+tree bulk load.
+            let mut terms: Vec<(TermId, Vec<Position>)> = sink.postings.into_iter().collect();
+            terms.sort_unstable_by_key(|(t, _)| *t);
+            let entries = terms.iter().flat_map(|(term, positions)| {
+                debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+                crate::postings::chunk_entries(*term, positions, chunk_size)
+            });
+            sink.store.create_table_bulk(POSTINGS_TABLE, entries)?;
 
-        self.store.flush()?;
+            let mut stats_table = sink.store.open_or_create_table(TERM_STATS_TABLE)?;
+            for &(term, (_, df, cf)) in &term_stats {
+                put_term_stats(&mut stats_table, term, TermStats { df, cf })?;
+            }
+
+            let mut blobs = sink.store.open_or_create_table(BLOBS_TABLE)?;
+            store_blob(&mut blobs, blob_names::DICTIONARY, &dictionary_bytes)?;
+            store_blob(&mut blobs, blob_names::SUMMARY, &summary_bytes)?;
+            store_blob(&mut blobs, blob_names::ALIAS, &alias_bytes)?;
+            store_blob(&mut blobs, blob_names::STATS, &stats_bytes)?;
+            store_blob(&mut blobs, blob_names::ANALYZER, &analyzer_bytes)?;
+
+            // Create the (initially empty) RPL/ERPL tables now so they are
+            // part of the final checkpoint. `TrexIndex::open` would
+            // otherwise create them lazily on every open of a
+            // never-materialised store, and a read-only session never
+            // checkpoints, so recovery would discard (and re-report) those
+            // uncommitted creations on each reopen.
+            sink.store.open_or_create_table(crate::rpl::RPLS_TABLE)?;
+            sink.store
+                .open_or_create_table(crate::rpl::RPLS_REGISTRY_TABLE)?;
+            sink.store.open_or_create_table(crate::erpl::ERPLS_TABLE)?;
+            sink.store
+                .open_or_create_table(crate::erpl::ERPLS_REGISTRY_TABLE)?;
+
+            sink.store.flush()?;
+        }
         Ok(())
     }
 }

@@ -93,6 +93,28 @@ impl From<StorageError> for IndexError {
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, IndexError>;
 
+/// The partition a document belongs to, for an `N`-way partitioned system.
+///
+/// Both the builder (routing documents at build time) and the partitioned
+/// system (routing live ingests) call this one function, so a document's
+/// home partition is a pure function of its **global** id — stable across
+/// rebuilds, reopens and partition-count probes. Sequential ids are spread
+/// with a [SplitMix64 finalizer](https://prng.di.unimi.it/splitmix64.c)
+/// rather than `id % N` so that contiguous runs of related documents (a
+/// corpus is usually loaded in order) do not stripe systematically.
+///
+/// `partitions <= 1` always maps to partition 0.
+pub fn partition_of(doc_id: u32, partitions: usize) -> usize {
+    if partitions <= 1 {
+        return 0;
+    }
+    let mut x = u64::from(doc_id) ^ 0x9E37_79B9_7F4A_7C15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % partitions as u64) as usize
+}
+
 /// Read handle over a fully built index: catalog in memory, tables opened on
 /// demand.
 pub struct TrexIndex {
@@ -179,6 +201,32 @@ impl TrexIndex {
     pub fn ingest_document(&self, xml: &str) -> Result<u32> {
         let _serial = self.delta.ingest_guard();
         let doc_id = self.delta.peek_next_doc_id()?;
+        self.ingest_staged(doc_id, xml)?;
+        Ok(doc_id)
+    }
+
+    /// Ingests one document under a caller-chosen id. Used by partitioned
+    /// systems, where a global allocator hands out ids across stores and
+    /// routes each document to exactly one partition — the partition-local
+    /// watermark then advances past `doc_id` so a later single-store open
+    /// of the same file never re-allocates it.
+    ///
+    /// The caller is responsible for never reusing an id; ids may arrive
+    /// with gaps (the gap belongs to sibling partitions). Same failure
+    /// modes as [`ingest_document`](TrexIndex::ingest_document), plus
+    /// [`IndexError::DocIdsExhausted`] if `doc_id` is the `u32::MAX`
+    /// sentinel.
+    pub fn ingest_document_with_id(&self, doc_id: u32, xml: &str) -> Result<()> {
+        if doc_id == u32::MAX {
+            return Err(IndexError::DocIdsExhausted);
+        }
+        let _serial = self.delta.ingest_guard();
+        self.ingest_staged(doc_id, xml)
+    }
+
+    /// Stages, WAL-logs and publishes one document under `doc_id`. Caller
+    /// holds the ingest guard.
+    fn ingest_staged(&self, doc_id: u32, xml: &str) -> Result<()> {
         let staged = delta::stage_document(
             doc_id,
             xml,
@@ -192,7 +240,7 @@ impl TrexIndex {
             let _gate = self.maintenance.enter_write();
             self.delta.apply(staged);
         }
-        Ok(doc_id)
+        Ok(())
     }
 
     /// The maintenance gate coordinating query evaluation with online

@@ -180,9 +180,14 @@ impl PositionIter {
                 let p = self.buffer[self.buffer_pos];
                 self.buffer_pos += 1;
                 if p.is_max() {
+                    // The stored end-of-list terminator is not a posting:
+                    // counting it would add one phantom entry per list per
+                    // store, breaking the exact additivity of
+                    // `posting_entries` across partitioned stores.
                     self.done = true;
+                } else {
+                    self.obs.posting_entries.incr();
                 }
-                self.obs.posting_entries.incr();
                 return Ok(p);
             }
             if self.done {

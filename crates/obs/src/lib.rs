@@ -41,7 +41,7 @@ pub use hist::{
     Histogram, HistogramSnapshot, MaintTimers, QueryTimers, ServeTimers, Stopwatch, StorageTimers,
 };
 pub use json::{parse_json, JsonError, JsonValue};
-pub use registry::{MetricsRegistry, ServeMetrics, Telemetry};
+pub use registry::{MetricsRegistry, PartitionMetrics, ServeMetrics, Telemetry};
 pub use span::{
     check_nesting, render_events, SlowQuery, SlowQueryLog, SpanEvent, SpanGuard, SpanJournal,
     SpanKind, DEFAULT_SLOW_THRESHOLD,

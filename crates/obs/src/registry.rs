@@ -84,6 +84,27 @@ impl ServeMetrics {
     }
 }
 
+/// One partition's counter groups, labelled for exposition. A partitioned
+/// system registers one of these per store so operators can see where
+/// fetches, decodes and reconcile work actually land; the registry's
+/// primary (unlabelled) groups stay whatever the caller designates — for
+/// partitioned systems, partition 0's groups plus the shared serve layer.
+#[derive(Debug, Clone)]
+pub struct PartitionMetrics {
+    /// Label rendered into the `partition="…"` dimension (usually the
+    /// partition ordinal).
+    pub label: String,
+    /// The partition store's counters.
+    pub storage: Arc<StorageCounters>,
+    /// The partition index's counters.
+    pub index: Arc<IndexCounters>,
+    /// The partition profiler/advisor's counters.
+    pub selfmanage: Arc<SelfManageCounters>,
+}
+
+/// One flattened per-partition counter row: `(label, group, fields)`.
+type PartitionCounterRow<'a> = (&'a str, &'static str, Vec<(&'static str, u64)>);
+
 /// Every metric source of one system, behind the two render calls the
 /// metrics endpoints serve. Cloning is cheap (`Arc`s all the way down) and
 /// the registry is `Send + Sync`, so the HTTP responder thread can own one.
@@ -95,6 +116,7 @@ pub struct MetricsRegistry {
     storage_timers: Arc<StorageTimers>,
     telemetry: Arc<Telemetry>,
     serve: Arc<ServeMetrics>,
+    partitions: Vec<PartitionMetrics>,
 }
 
 impl MetricsRegistry {
@@ -114,7 +136,21 @@ impl MetricsRegistry {
             storage_timers,
             telemetry,
             serve,
+            partitions: Vec::new(),
         }
+    }
+
+    /// Attaches per-partition counter groups; each renders with a
+    /// `partition="label"` dimension in Prometheus and under a
+    /// `"partitions"` array in JSON.
+    pub fn with_partitions(mut self, partitions: Vec<PartitionMetrics>) -> MetricsRegistry {
+        self.partitions = partitions;
+        self
+    }
+
+    /// The attached per-partition groups (empty for single-store systems).
+    pub fn partitions(&self) -> &[PartitionMetrics] {
+        &self.partitions
     }
 
     /// The query-path telemetry (timers, journal, slow log).
@@ -156,6 +192,22 @@ impl MetricsRegistry {
         ]
     }
 
+    /// Per-partition counter groups, flattened to
+    /// `(label, group, fields)` rows in partition order.
+    fn partition_counter_groups(&self) -> Vec<PartitionCounterRow<'_>> {
+        let mut rows = Vec::with_capacity(self.partitions.len() * 3);
+        for p in &self.partitions {
+            rows.push((p.label.as_str(), "storage", p.storage.snapshot().fields()));
+            rows.push((p.label.as_str(), "index", p.index.snapshot().fields()));
+            rows.push((
+                p.label.as_str(),
+                "selfmanage",
+                p.selfmanage.snapshot().fields(),
+            ));
+        }
+        rows
+    }
+
     fn histogram_groups(&self) -> [(&'static str, Vec<(&'static str, &crate::Histogram)>); 4] {
         [
             ("storage", self.storage_timers.each()),
@@ -177,6 +229,56 @@ impl MetricsRegistry {
                 let name = format!("trex_{group}_{field}_total");
                 let _ = writeln!(out, "# TYPE {name} counter");
                 let _ = writeln!(out, "{name} {value}");
+            }
+        }
+        // Partition-labelled counters: one `# TYPE` per metric name, then
+        // one sample per partition (exposition format forbids repeating
+        // the TYPE line per label value).
+        if let Some(first) = self.partitions.first() {
+            let per_group: [(&'static str, Vec<&'static str>); 3] = [
+                (
+                    "storage",
+                    first
+                        .storage
+                        .snapshot()
+                        .fields()
+                        .into_iter()
+                        .map(|(f, _)| f)
+                        .collect(),
+                ),
+                (
+                    "index",
+                    first
+                        .index
+                        .snapshot()
+                        .fields()
+                        .into_iter()
+                        .map(|(f, _)| f)
+                        .collect(),
+                ),
+                (
+                    "selfmanage",
+                    first
+                        .selfmanage
+                        .snapshot()
+                        .fields()
+                        .into_iter()
+                        .map(|(f, _)| f)
+                        .collect(),
+                ),
+            ];
+            let rows = self.partition_counter_groups();
+            for (group, fields) in per_group {
+                for (fi, field) in fields.into_iter().enumerate() {
+                    let name = format!("trex_partition_{group}_{field}_total");
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    for (label, row_group, row_fields) in &rows {
+                        if *row_group == group {
+                            let value = row_fields[fi].1;
+                            let _ = writeln!(out, "{name}{{partition=\"{label}\"}} {value}");
+                        }
+                    }
+                }
             }
         }
         for (group, fields) in self.histogram_groups() {
@@ -241,6 +343,39 @@ impl MetricsRegistry {
             out.push('}');
         }
         out.push_str("},");
+        if !self.partitions.is_empty() {
+            out.push_str("\"partitions\":[");
+            for (pi, p) in self.partitions.iter().enumerate() {
+                if pi > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"partition\":\"");
+                out.push_str(&p.label);
+                out.push_str("\",");
+                let groups: [(&'static str, Vec<(&'static str, u64)>); 3] = [
+                    ("storage", p.storage.snapshot().fields()),
+                    ("index", p.index.snapshot().fields()),
+                    ("selfmanage", p.selfmanage.snapshot().fields()),
+                ];
+                for (gi, (group, fields)) in groups.into_iter().enumerate() {
+                    if gi > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(group);
+                    out.push_str("\":{");
+                    for (fi, (field, value)) in fields.into_iter().enumerate() {
+                        if fi > 0 {
+                            out.push(',');
+                        }
+                        json_field(&mut out, field, value);
+                    }
+                    out.push('}');
+                }
+                out.push('}');
+            }
+            out.push_str("],");
+        }
         json_field(&mut out, "serve_queue_depth", self.serve.queue_depth.get());
         out.push(',');
         json_field(&mut out, "spans_dropped", self.telemetry.journal.dropped());
@@ -313,6 +448,45 @@ mod tests {
         assert!(json.contains("\"serve_queue_depth\":0"));
         assert!(json.contains("\"spans_dropped\":0"));
         assert!(json.contains("\"slow_queries\":0"));
+    }
+
+    #[test]
+    fn partition_labels_render_in_both_formats() {
+        let p0 = PartitionMetrics {
+            label: "0".into(),
+            storage: Arc::new(StorageCounters::new()),
+            index: Arc::new(IndexCounters::new()),
+            selfmanage: Arc::new(SelfManageCounters::new()),
+        };
+        let p1 = PartitionMetrics {
+            label: "1".into(),
+            storage: Arc::new(StorageCounters::new()),
+            index: Arc::new(IndexCounters::new()),
+            selfmanage: Arc::new(SelfManageCounters::new()),
+        };
+        p0.storage.page_reads.add(7);
+        p1.storage.page_reads.add(3);
+        p1.selfmanage.cycles.incr();
+        let r = registry().with_partitions(vec![p0, p1]);
+
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE trex_partition_storage_page_reads_total counter"));
+        assert!(text.contains("trex_partition_storage_page_reads_total{partition=\"0\"} 7"));
+        assert!(text.contains("trex_partition_storage_page_reads_total{partition=\"1\"} 3"));
+        assert!(text.contains("trex_partition_selfmanage_cycles_total{partition=\"1\"} 1"));
+        // The TYPE line appears once per metric name, not once per label.
+        assert_eq!(
+            text.matches("# TYPE trex_partition_storage_page_reads_total counter")
+                .count(),
+            1
+        );
+
+        let json = r.render_json();
+        assert!(json.contains("\"partitions\":[{\"partition\":\"0\""));
+        assert!(json.contains("\"page_reads\":7"));
+        assert!(json.contains("\"page_reads\":3"));
+        // Still valid after the array: the scalar tail fields follow.
+        assert!(json.contains("],\"serve_queue_depth\":0"));
     }
 
     #[test]

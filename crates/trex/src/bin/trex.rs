@@ -18,8 +18,8 @@ use std::process::ExitCode;
 
 use trex::corpus::{CorpusConfig, IeeeGenerator, WikiGenerator};
 use trex::{
-    AdvisorOptions, AliasMap, HttpServerConfig, ListKind, QueryRequest, SelectionMethod,
-    SelfManageOptions, Strategy, TrexConfig, TrexSystem, Workload,
+    AdvisorOptions, AliasMap, HttpServerConfig, ListKind, PartitionedTrexSystem, QueryRequest,
+    SelectionMethod, SelfManageOptions, Strategy, TrexConfig, TrexSystem, Workload,
 };
 
 fn main() -> ExitCode {
@@ -55,14 +55,14 @@ const HELP: &str = "\
 trex — self-managing top-k XML retrieval (reproduction of Consens et al., ICDE 2007)
 
 usage:
-  trex build <store.db> --dir <xml-dir> [--threads N] [--store-docs] [--checkpoint-every N]
-  trex build <store.db> --synthetic ieee|wiki --docs N [--threads N] [--store-docs] [--checkpoint-every N]
+  trex build <store.db> --dir <xml-dir> [--threads N] [--partitions N] [--store-docs] [--checkpoint-every N]
+  trex build <store.db> --synthetic ieee|wiki --docs N [--threads N] [--partitions N] [--store-docs] [--checkpoint-every N]
   trex info <store.db>
   trex query <store.db> \"<nexi>\" [-k N] [--strategy auto|era|ta|merge|race] [--snippets]
   trex explain <store.db> \"<nexi>\" [-k N]
   trex materialize <store.db> \"<nexi>\" [--kind both|rpl|erpl]
   trex advise <store.db> --workload <file> --budget <bytes> [--method greedy|lp]
-  trex serve <store.db> [-k N] [--self-manage --budget <bytes> [--interval-ms N]]
+  trex serve <store.db> [-k N] [--partitions N] [--self-manage --budget <bytes> [--interval-ms N]]
                         [--listen HOST:PORT] [--workers N] [--queue-depth N]
                         [--deadline-ms N] [--no-cache] [--fold-docs N]
                         [--metrics-addr HOST:PORT] [--slow-ms N]
@@ -85,6 +85,14 @@ in the background) and `fold` (fold the delta index now) on a line by
 themselves. The HTTP surface ingests via POST /v1/ingest with a raw XML
 body. --fold-docs sets the delta size (documents) that triggers a
 background fold (default 1000).
+
+build --partitions N writes N independent stores (<store>.p0 … .p(N-1)),
+routing documents by doc-id hash but sharing one summary / dictionary /
+statistics catalog, so answers are byte-identical at any partition count.
+serve --partitions N (0 = auto-detect) opens the family and evaluates
+every query on all partitions in parallel behind a rank-safe top-k merge;
+--self-manage then splits --budget across partitions by workload heat,
+re-split every reconcile cycle.
 ";
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -124,12 +132,43 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
+/// What `trex build` produced: one store, or a `.p0`, `.p1`, … family.
+enum AnySystem {
+    Single(TrexSystem),
+    Partitioned(PartitionedTrexSystem),
+}
+
+/// Builds either a single store (parallel parse pipeline) or a partitioned
+/// family (single-pass routed build — shared catalog, so answers are
+/// byte-identical across partition counts).
+fn build_any(
+    config: TrexConfig,
+    docs: impl IntoIterator<Item = String> + Send,
+    threads: usize,
+    partitions: usize,
+) -> Result<AnySystem, String> {
+    if partitions > 1 {
+        PartitionedTrexSystem::build(config, partitions, docs)
+            .map(AnySystem::Partitioned)
+            .map_err(|e| e.to_string())
+    } else {
+        TrexSystem::build_parallel(config, docs, threads)
+            .map(AnySystem::Single)
+            .map_err(|e| e.to_string())
+    }
+}
+
 fn build(args: &[String]) -> Result<(), String> {
     let store = store_arg(args)?;
     let threads: usize = flag(args, "--threads")
         .map(|v| v.parse().map_err(|_| "--threads expects a number"))
         .transpose()?
         .unwrap_or(4);
+    let partitions: usize = flag(args, "--partitions")
+        .map(|v| v.parse().map_err(|_| "--partitions expects a number"))
+        .transpose()?
+        .unwrap_or(1)
+        .max(1);
     let store_docs = has_flag(args, "--store-docs");
     let checkpoint_every: Option<u32> = flag(args, "--checkpoint-every")
         .map(|v| v.parse().map_err(|_| "--checkpoint-every expects a number"))
@@ -153,7 +192,7 @@ fn build(args: &[String]) -> Result<(), String> {
         let mut config = TrexConfig::new(store);
         config.store_documents = store_docs;
         config.build_checkpoint_every = checkpoint_every;
-        TrexSystem::build_parallel(config, docs, threads).map_err(|e| e.to_string())?
+        build_any(config, docs, threads, partitions)?
     } else if let Some(kind) = flag(args, "--synthetic") {
         let docs: usize = flag(args, "--docs")
             .map(|v| v.parse().map_err(|_| "--docs expects a number"))
@@ -169,8 +208,7 @@ fn build(args: &[String]) -> Result<(), String> {
                 let mut config = TrexConfig::new(store);
                 config.store_documents = store_docs;
                 config.build_checkpoint_every = checkpoint_every;
-                TrexSystem::build_parallel(config, gen.documents(), threads)
-                    .map_err(|e| e.to_string())?
+                build_any(config, gen.documents(), threads, partitions)?
             }
             "wiki" => {
                 let gen = WikiGenerator::new(CorpusConfig {
@@ -181,8 +219,7 @@ fn build(args: &[String]) -> Result<(), String> {
                 config.alias = AliasMap::inex_wiki();
                 config.store_documents = store_docs;
                 config.build_checkpoint_every = checkpoint_every;
-                TrexSystem::build_parallel(config, gen.documents(), threads)
-                    .map_err(|e| e.to_string())?
+                build_any(config, gen.documents(), threads, partitions)?
             }
             other => return Err(format!("unknown synthetic collection {other:?}")),
         }
@@ -190,14 +227,24 @@ fn build(args: &[String]) -> Result<(), String> {
         return Err("build needs --dir <xml-dir> or --synthetic ieee|wiki".into());
     };
 
-    let stats = system.index().stats();
+    // A partitioned build writes the *global* collection statistics to
+    // every partition's catalog (that is what keeps scores identical), so
+    // partition 0 already reports collection-wide counts.
+    let (index, suffix) = match &system {
+        AnySystem::Single(system) => (system.index(), String::new()),
+        AnySystem::Partitioned(system) => (
+            system.system().part(0).index().as_ref(),
+            format!(" across {} partitions", system.partitions()),
+        ),
+    };
+    let stats = index.stats();
     eprintln!(
-        "built {store} in {:.1}s: {} documents, {} elements, {} terms, {} summary nodes",
+        "built {store}{suffix} in {:.1}s: {} documents, {} elements, {} terms, {} summary nodes",
         started.elapsed().as_secs_f64(),
         stats.doc_count,
         stats.element_count,
-        system.index().dictionary().len(),
-        system.index().summary().node_count(),
+        index.dictionary().len(),
+        index.summary().node_count(),
     );
     Ok(())
 }
@@ -258,6 +305,9 @@ fn query(args: &[String]) -> Result<(), String> {
             trex::RaceWinner::Ta => "Race (TA won)",
             trex::RaceWinner::Merge => "Race (Merge won)",
         },
+        // `trex query` opens one store; scatter stats only come out of a
+        // partitioned system.
+        trex::StrategyStats::Scatter { .. } => "Scatter",
     };
     eprintln!(
         "{} answers (showing {}), strategy {used}, {:.3} ms; {} sid(s), {} term(s)",
@@ -432,6 +482,10 @@ fn stats(args: &[String]) -> Result<(), String> {
 /// optionally with the query-serving HTTP front end (`--listen`), and
 /// optionally with a scrape-only metrics endpoint (`--metrics-addr`).
 fn serve(args: &[String]) -> Result<(), String> {
+    if let Some(n) = flag(args, "--partitions") {
+        let n: usize = n.parse().map_err(|_| "--partitions expects a number")?;
+        return serve_partitioned(args, n);
+    }
     let system = open(args)?;
     let k: Option<usize> = flag(args, "-k")
         .map(|v| v.parse().map_err(|_| "-k expects a number"))
@@ -640,6 +694,248 @@ fn serve(args: &[String]) -> Result<(), String> {
     // Unfolded delta documents are WAL-durable; stopping without a final
     // fold just means the next open replays them into a fresh delta.
     folder.stop();
+    if let Some(metrics) = metrics {
+        metrics.stop();
+    }
+    Ok(())
+}
+
+/// `trex serve --partitions N`: the same REPL + HTTP front end over a
+/// partitioned store family (`<store>.p0`, `.p1`, …). Every query scatters
+/// to all partitions and gathers through the rank-safe merge; `--self-manage`
+/// runs the partitioned reconciler, which re-splits the byte budget across
+/// partitions by profiler heat every cycle.
+fn serve_partitioned(args: &[String], partitions: usize) -> Result<(), String> {
+    let path = store_arg(args)?;
+    let detected = PartitionedTrexSystem::detect_partitions(std::path::Path::new(path));
+    if detected == 0 {
+        return Err(format!(
+            "no partitioned store family at {path} (build one with `trex build {path} --partitions N …`)"
+        ));
+    }
+    if partitions != 0 && partitions != detected {
+        return Err(format!(
+            "--partitions {partitions} does not match the {detected} partition store(s) on disk \
+             (pass --partitions {detected}, or 0 to auto-detect)"
+        ));
+    }
+    let system = PartitionedTrexSystem::open(TrexConfig::new(path)).map_err(|e| e.to_string())?;
+    eprintln!("opened {path} with {} partitions", system.partitions());
+    let k: Option<usize> = flag(args, "-k")
+        .map(|v| v.parse().map_err(|_| "-k expects a number"))
+        .transpose()?;
+    let k = k.or(Some(10));
+
+    if let Some(ms) = flag(args, "--slow-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "--slow-ms expects milliseconds")?;
+        for part in system.system().parts() {
+            part.index()
+                .telemetry()
+                .slow
+                .set_threshold(Some(std::time::Duration::from_millis(ms)));
+        }
+    }
+
+    let metrics = match flag(args, "--metrics-addr") {
+        Some(addr) => {
+            let server = trex::MetricsServer::start(addr, system.metrics())
+                .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+            eprintln!("metrics: listening on {}", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+
+    let mut http_config = HttpServerConfig::default();
+    if let Some(n) = flag(args, "--workers") {
+        http_config.workers = n.parse().map_err(|_| "--workers expects a number")?;
+    }
+    if let Some(n) = flag(args, "--queue-depth") {
+        http_config.queue_depth = n.parse().map_err(|_| "--queue-depth expects a number")?;
+    }
+    if let Some(ms) = flag(args, "--deadline-ms") {
+        http_config.default_deadline_ms = Some(
+            ms.parse()
+                .map_err(|_| "--deadline-ms expects milliseconds")?,
+        );
+    }
+    http_config.cache = !has_flag(args, "--no-cache");
+    let http = match flag(args, "--listen") {
+        Some(addr) => {
+            let server = system
+                .serve_http(addr, http_config.clone())
+                .map_err(|e| format!("cannot bind http endpoint {addr}: {e}"))?;
+            eprintln!(
+                "http: serving on {} ({} workers, queue depth {}, cache {})",
+                server.addr(),
+                http_config.workers.max(1),
+                http_config.queue_depth,
+                if http_config.cache { "on" } else { "off" },
+            );
+            Some(server)
+        }
+        None => None,
+    };
+
+    // One background fold thread per partition: each watches only its own
+    // delta, so routed live ingest folds where the documents landed.
+    let fold_docs: usize = flag(args, "--fold-docs")
+        .map(|v| v.parse().map_err(|_| "--fold-docs expects a number"))
+        .transpose()?
+        .unwrap_or(1000);
+    let folders: Vec<trex::FoldManager> = system
+        .system()
+        .parts()
+        .iter()
+        .map(|part| {
+            trex::FoldManager::start(
+                part.index().clone(),
+                trex::FoldOptions::new().max_docs(fold_docs).log_folds(true),
+            )
+        })
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+
+    let manager = if has_flag(args, "--self-manage") {
+        let budget: u64 = flag(args, "--budget")
+            .ok_or("--self-manage needs --budget <bytes>")?
+            .parse()
+            .map_err(|_| "--budget expects bytes")?;
+        let interval_ms: u64 = flag(args, "--interval-ms")
+            .map(|v| v.parse().map_err(|_| "--interval-ms expects a number"))
+            .transpose()?
+            .unwrap_or(1000);
+        let opts = SelfManageOptions::new(budget)
+            .interval(std::time::Duration::from_millis(interval_ms))
+            .log_cycles(true);
+        let manager = system.start_self_manager(opts).map_err(|e| e.to_string())?;
+        eprintln!(
+            "partitioned self-manager running: {budget} bytes split across {} partitions by heat, reconcile every {interval_ms} ms",
+            system.partitions()
+        );
+        Some(manager)
+    } else {
+        None
+    };
+
+    eprintln!("serving: one NEXI query per line (or `stats` / `slow`), EOF to exit");
+    let service = if http_config.cache {
+        system.service()
+    } else {
+        trex::QueryService::partitioned(system.system())
+            .with_metrics(system.serve_metrics().clone())
+    };
+    let registry = system.metrics();
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let nexi = line.trim();
+        if nexi.is_empty() || nexi.starts_with('#') {
+            continue;
+        }
+        if nexi == "stats" {
+            println!("{}", registry.render_json());
+            continue;
+        }
+        if nexi == "slow" {
+            println!("{}", registry.render_slow_json());
+            continue;
+        }
+        if let Some(path) = nexi.strip_prefix("ingest ") {
+            let path = path.trim();
+            match std::fs::read_to_string(path) {
+                Ok(xml) => match system.ingest_document(&xml) {
+                    Ok(doc_id) => {
+                        let home = trex::partition_of(doc_id, system.partitions());
+                        eprintln!("ingested {path} as doc {doc_id} into partition {home}")
+                    }
+                    Err(e) => eprintln!("error: ingest {path}: {e}"),
+                },
+                Err(e) => eprintln!("error: cannot read {path}: {e}"),
+            }
+            continue;
+        }
+        if nexi == "fold" {
+            match system.fold_once() {
+                Ok(reports) => {
+                    let folded: usize = reports
+                        .iter()
+                        .flatten()
+                        .map(|report| report.docs_folded)
+                        .sum();
+                    if folded == 0 {
+                        eprintln!("every partition delta is empty; nothing to fold");
+                    } else {
+                        eprintln!(
+                            "folded {folded} doc(s) across {} partition(s), generation {}",
+                            reports.iter().flatten().count(),
+                            system.system().generation(),
+                        );
+                    }
+                }
+                Err(e) => eprintln!("error: fold: {e}"),
+            }
+            continue;
+        }
+        let mut request = QueryRequest::new(nexi).k(k);
+        if let Some(ms) = http_config.default_deadline_ms {
+            request = request.deadline_ms(ms);
+        }
+        match service.execute(&request) {
+            Ok(response) => {
+                for (rank, a) in response.answers.iter().enumerate() {
+                    println!(
+                        "{:>4}. doc {:>6}  span [{}, {}]  sid {:>5}  score {:.4}",
+                        rank + 1,
+                        a.element.doc,
+                        a.element.start(),
+                        a.element.end,
+                        a.sid,
+                        a.score
+                    );
+                }
+                let mut status = format!(
+                    "{} answers in {:.3} ms ({}, cache {}) over {} partitions",
+                    response.total_answers,
+                    response.server_time.as_secs_f64() * 1e3,
+                    response.strategy,
+                    response.cache.as_str(),
+                    system.partitions(),
+                );
+                if let Some(manager) = &manager {
+                    match manager.last_cycle() {
+                        Some(cycle) => {
+                            let splits: Vec<String> = cycle
+                                .budgets
+                                .iter()
+                                .map(|b| format!("p{}:{}", b.partition, b.budget_bytes))
+                                .collect();
+                            status.push_str(&format!(
+                                "; self-manage cycle {}: budget split {}",
+                                cycle.cycle,
+                                splits.join(" ")
+                            ));
+                        }
+                        None => status.push_str("; self-manage: no reconcile cycle yet"),
+                    }
+                    if let Some(err) = manager.last_error() {
+                        status.push_str(&format!("; last reconcile error: {err}"));
+                    }
+                }
+                eprintln!("{status}");
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    if let Some(http) = http {
+        http.stop();
+    }
+    if let Some(manager) = manager {
+        manager.stop();
+    }
+    for folder in folders {
+        folder.stop();
+    }
     if let Some(metrics) = metrics {
         metrics.stop();
     }

@@ -47,10 +47,13 @@ use std::time::{Duration, Instant};
 
 use trex_core::obs::{MetricsRegistry, ServeMetrics};
 use trex_core::serve::error_body;
-use trex_core::{parse_query_request, QueryEngine, QueryService, TrexError, WorkloadProfiler};
+use trex_core::{
+    parse_query_request, PartitionedSystem, QueryEngine, QueryService, ResultCache, TrexError,
+    WorkloadProfiler,
+};
 use trex_index::TrexIndex;
 
-use crate::TrexSystem;
+use crate::{PartitionedTrexSystem, TrexSystem};
 
 /// The background metrics endpoint. Dropping (or [`stop`]ping) the handle
 /// shuts the listener thread down.
@@ -229,6 +232,15 @@ pub struct HttpServer {
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
+/// What the worker threads serve: one single-store engine, or a
+/// partitioned system whose scatter-gather merge sits below the shared
+/// [`QueryService`]. The HTTP surface above (admission control, deadlines,
+/// cache, metrics) is identical either way.
+enum WorkerTarget {
+    Single(Arc<TrexIndex>, Arc<WorkloadProfiler>),
+    Partitioned(Arc<PartitionedSystem>),
+}
+
 impl HttpServer {
     /// Binds `addr` and starts the acceptor plus `config.workers` worker
     /// threads serving `system`'s index.
@@ -237,11 +249,47 @@ impl HttpServer {
         system: &TrexSystem,
         config: HttpServerConfig,
     ) -> std::io::Result<HttpServer> {
+        HttpServer::start_inner(
+            addr,
+            WorkerTarget::Single(system.index.clone(), system.profiler.clone()),
+            config.cache.then(|| system.result_cache().clone()),
+            system.serve_metrics().clone(),
+            system.metrics(),
+            config,
+        )
+    }
+
+    /// Like [`HttpServer::start`], over a partitioned system: every worker
+    /// answers through `QueryService::partitioned`, so each query scatters
+    /// to all partitions and gathers through the rank-safe merge; `/ingest`
+    /// routes documents to their home partition by global doc-id hash.
+    pub fn start_partitioned(
+        addr: &str,
+        system: &PartitionedTrexSystem,
+        config: HttpServerConfig,
+    ) -> std::io::Result<HttpServer> {
+        HttpServer::start_inner(
+            addr,
+            WorkerTarget::Partitioned(system.system().clone()),
+            config.cache.then(|| system.result_cache().clone()),
+            system.serve_metrics().clone(),
+            system.metrics(),
+            config,
+        )
+    }
+
+    fn start_inner(
+        addr: &str,
+        target: WorkerTarget,
+        cache: Option<Arc<ResultCache>>,
+        serve: Arc<ServeMetrics>,
+        registry: MetricsRegistry,
+        config: HttpServerConfig,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let serve = system.serve_metrics().clone();
-        let cache = config.cache.then(|| system.result_cache().clone());
+        let target = Arc::new(target);
 
         let workers_n = config.workers.max(1);
         let (tx, rx) = crossbeam::channel::bounded::<(TcpStream, Instant)>(config.queue_depth);
@@ -249,18 +297,22 @@ impl HttpServer {
         let mut workers = Vec::with_capacity(workers_n);
         for i in 0..workers_n {
             let rx = rx.clone();
-            let index: Arc<TrexIndex> = system.index.clone();
-            let profiler: Arc<WorkloadProfiler> = system.profiler.clone();
+            let target = target.clone();
             let cache = cache.clone();
             let serve = serve.clone();
-            let registry = system.metrics();
+            let registry = registry.clone();
             let config = config.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("trex-http-{i}"))
                     .spawn(move || {
-                        let engine = QueryEngine::new(&index).with_profiler(&profiler);
-                        let mut service = QueryService::new(engine).with_metrics(serve.clone());
+                        let mut service = match target.as_ref() {
+                            WorkerTarget::Single(index, profiler) => {
+                                QueryService::new(QueryEngine::new(index).with_profiler(profiler))
+                            }
+                            WorkerTarget::Partitioned(system) => QueryService::partitioned(system),
+                        }
+                        .with_metrics(serve.clone());
                         if let Some(cache) = &cache {
                             service = service.with_cache(cache.clone());
                         }
@@ -534,14 +586,10 @@ fn answer_ingest(service: &QueryService<'_>, body: &str) -> (&'static str, Strin
             ),
         );
     }
-    let index = service.engine().index();
-    match index.ingest_document(body) {
-        Ok(doc_id) => (
+    match service.ingest(body) {
+        Ok((doc_id, generation)) => (
             "200 OK",
-            format!(
-                "{{\"doc_id\":{doc_id},\"generation\":{}}}",
-                index.maintenance().generation()
-            ),
+            format!("{{\"doc_id\":{doc_id},\"generation\":{generation}}}"),
         ),
         Err(e @ (trex_index::IndexError::Xml(_) | trex_index::IndexError::UnknownPath(_))) => (
             "400 Bad Request",

@@ -52,15 +52,20 @@ pub use trex_xml as xml;
 
 // The most-used items, re-exported flat.
 pub use http::{HttpServer, HttpServerConfig, MetricsServer};
-pub use trex_core::obs::{self, MetricsRegistry, QueryTrace, ServeMetrics, ToJson};
+pub use trex_core::obs::{
+    self, MetricsRegistry, PartitionMetrics, QueryTrace, ServeMetrics, ToJson,
+};
 pub use trex_core::{
-    fold_once, parse_query_request, reconcile_once, Advisor, AdvisorOptions, AdvisorReport, Answer,
+    fold_once, merge_topk, parse_query_request, partition_store_path, reconcile_once,
+    reconcile_partitioned, split_budget, Advisor, AdvisorOptions, AdvisorReport, Answer,
     CacheStatus, CostCache, CostValidation, EvalOptions, Explain, FoldManager, FoldOptions,
-    FoldReport, ListKind, ProfilerConfig, QueryEngine, QueryExecutor, QueryRequest, QueryResponse,
+    FoldReport, ListKind, Partition, PartitionBudget, PartitionedCycle, PartitionedSelfManager,
+    PartitionedSystem, ProfilerConfig, QueryEngine, QueryExecutor, QueryRequest, QueryResponse,
     QueryResult, QueryService, RaceWinner, ReconcileReport, ResultCache, SelectionMethod,
     SelfManageOptions, SelfManager, Strategy, StrategyMetrics, StrategyStats, TrexError, WireError,
     Workload, WorkloadProfiler, WorkloadQuery, DEFAULT_CACHE_ENTRIES, TA_PREDICTION_FACTOR,
 };
+pub use trex_index::partition_of;
 pub use trex_index::{ElementRef, TrexIndex};
 pub use trex_nexi::Interpretation;
 pub use trex_summary::{AliasMap, SummaryKind};
@@ -422,5 +427,224 @@ impl TrexSystem {
             return Ok(None);
         };
         Ok(docs.document(doc_id)?)
+    }
+}
+
+/// The assembled partitioned TReX system: `N` independent stores (each
+/// with its own pager, buffer pool, WAL, delta index and profiler) behind
+/// one scatter-gather front. Store `i` lives at
+/// [`partition_store_path`]`(config.store_path, i)` — `index.trex.p0`,
+/// `index.trex.p1`, … — so a partitioned system occupies a family of
+/// sibling files next to where the single-store file would be.
+///
+/// Queries, the result cache (keyed by the max generation across
+/// partitions), serve metrics and the HTTP front end all sit above the
+/// rank-safe merge unchanged; answers are byte-identical to a single-store
+/// build over the same documents (see `trex_core::partition` docs).
+pub struct PartitionedTrexSystem {
+    system: Arc<PartitionedSystem>,
+    cache: Arc<ResultCache>,
+    serve_metrics: Arc<ServeMetrics>,
+}
+
+impl PartitionedTrexSystem {
+    fn assemble(system: PartitionedSystem) -> PartitionedTrexSystem {
+        PartitionedTrexSystem {
+            system: Arc::new(system),
+            cache: Arc::new(ResultCache::new(DEFAULT_CACHE_ENTRIES)),
+            serve_metrics: Arc::new(ServeMetrics::new()),
+        }
+    }
+
+    /// Buffer-pool pages each partition store gets: the configured total
+    /// split evenly, floored so tiny configs still get a working pool.
+    fn pool_split(pool_pages: usize, partitions: usize) -> usize {
+        (pool_pages / partitions.max(1)).max(128)
+    }
+
+    /// Builds `partitions` fresh stores over `documents` in one pass —
+    /// one shared summary/dictionary/statistics catalog (written to every
+    /// store), documents routed by [`partition_of`] over their global ids —
+    /// and opens the system on them. Existing store files are replaced.
+    /// `partitions = 1` degenerates to a single routed store.
+    pub fn build(
+        config: TrexConfig,
+        partitions: usize,
+        documents: impl IntoIterator<Item = String>,
+    ) -> Result<PartitionedTrexSystem> {
+        let partitions = partitions.max(1);
+        let pool = PartitionedTrexSystem::pool_split(config.pool_pages, partitions);
+        let mut stores = Vec::with_capacity(partitions);
+        for i in 0..partitions {
+            let path = partition_store_path(&config.store_path, i);
+            stores.push(Store::create(&path, pool).map_err(trex_index::IndexError::Storage)?);
+        }
+        let mut builder = IndexBuilder::new_partitioned(
+            stores.iter().collect(),
+            config.summary,
+            config.alias,
+            config.analyzer,
+        )?;
+        if config.store_documents {
+            builder.enable_document_store()?;
+        }
+        builder.set_checkpoint_interval(config.build_checkpoint_every);
+        for doc in documents {
+            builder.add_document(&doc)?;
+        }
+        builder.finish()?;
+        let mut parts = Vec::with_capacity(partitions);
+        for store in stores {
+            let index = TrexIndex::open(Arc::new(store))?;
+            let profiler = WorkloadProfiler::new(ProfilerConfig::default());
+            parts.push(Partition::new(Arc::new(index), Arc::new(profiler)));
+        }
+        Ok(PartitionedTrexSystem::assemble(
+            PartitionedSystem::from_parts(parts),
+        ))
+    }
+
+    /// Opens an existing partitioned family built earlier with
+    /// [`PartitionedTrexSystem::build`]: probes `.p0`, `.p1`, … until the
+    /// first missing sibling. Errors with [`TrexError::Unsupported`] when
+    /// not even `.p0` exists.
+    pub fn open(config: TrexConfig) -> Result<PartitionedTrexSystem> {
+        let partitions = PartitionedTrexSystem::detect_partitions(&config.store_path);
+        if partitions == 0 {
+            return Err(TrexError::Unsupported(format!(
+                "no partitioned store at {}: {} does not exist",
+                config.store_path.display(),
+                partition_store_path(&config.store_path, 0).display()
+            )));
+        }
+        let pool = PartitionedTrexSystem::pool_split(config.pool_pages, partitions);
+        let mut parts = Vec::with_capacity(partitions);
+        for i in 0..partitions {
+            let path = partition_store_path(&config.store_path, i);
+            let store = Store::open(&path, pool).map_err(trex_index::IndexError::Storage)?;
+            let index = TrexIndex::open(Arc::new(store))?;
+            let profiler = WorkloadProfiler::new(ProfilerConfig::default());
+            parts.push(Partition::new(Arc::new(index), Arc::new(profiler)));
+        }
+        Ok(PartitionedTrexSystem::assemble(
+            PartitionedSystem::from_parts(parts),
+        ))
+    }
+
+    /// How many partition stores exist for `base`: the length of the
+    /// contiguous `.p0`, `.p1`, … run on disk (0 when `.p0` is missing).
+    pub fn detect_partitions(base: &Path) -> usize {
+        let mut n = 0;
+        while partition_store_path(base, n).is_file() {
+            n += 1;
+        }
+        n
+    }
+
+    /// The underlying partitioned system (routing, scatter-gather
+    /// evaluation, per-partition indexes and profilers).
+    pub fn system(&self) -> &Arc<PartitionedSystem> {
+        &self.system
+    }
+
+    /// Number of partition stores.
+    pub fn partitions(&self) -> usize {
+        self.system.partitions()
+    }
+
+    /// The system-wide result cache; keyed by the **maximum** maintenance
+    /// generation across partitions (see [`PartitionedSystem::generation`]),
+    /// so any partition's reconcile or ingest invalidates stale entries.
+    pub fn result_cache(&self) -> &Arc<ResultCache> {
+        &self.cache
+    }
+
+    /// The serving-layer metrics group shared by every front door.
+    pub fn serve_metrics(&self) -> &Arc<ServeMetrics> {
+        &self.serve_metrics
+    }
+
+    /// Every metric source of this system. The registry's primary
+    /// (unlabelled) groups are partition 0's — plus the shared serve layer —
+    /// and every partition's storage / index / self-manage counters are
+    /// attached as `partition="i"`-labelled groups, so operators can see
+    /// where fetches, decodes and reconcile work land.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let primary = self.system.part(0);
+        let labelled = self
+            .system
+            .parts()
+            .iter()
+            .enumerate()
+            .map(|(i, part)| PartitionMetrics {
+                label: i.to_string(),
+                storage: part.index().store().counters().clone(),
+                index: part.index().counters().clone(),
+                selfmanage: part.profiler().counters().clone(),
+            })
+            .collect();
+        MetricsRegistry::new(
+            primary.index().store().counters().clone(),
+            primary.index().counters().clone(),
+            primary.profiler().counters().clone(),
+            primary.index().store().timers().clone(),
+            primary.index().telemetry().clone(),
+            self.serve_metrics.clone(),
+        )
+        .with_partitions(labelled)
+    }
+
+    /// The shared `QueryRequest → QueryResponse` handler over the
+    /// scatter-gather evaluator, with this system's result cache and serve
+    /// metrics — the same path the HTTP front end answers through.
+    pub fn service(&self) -> QueryService<'_> {
+        QueryService::partitioned(&self.system)
+            .with_cache(self.cache.clone())
+            .with_metrics(self.serve_metrics.clone())
+    }
+
+    /// Evaluates a NEXI query (scatter to every partition, rank-safe
+    /// gather) with automatic strategy selection; `k = None` returns all
+    /// answers.
+    pub fn search(&self, nexi: &str, k: Option<usize>) -> Result<QueryResult> {
+        self.system.evaluate(nexi, EvalOptions::new().k(k))
+    }
+
+    /// Evaluates with an explicit strategy.
+    pub fn search_with(
+        &self,
+        nexi: &str,
+        k: Option<usize>,
+        strategy: Strategy,
+    ) -> Result<QueryResult> {
+        self.system
+            .evaluate(nexi, EvalOptions::new().k(k).strategy(strategy))
+    }
+
+    /// Ingests one XML document: allocates the next global id, routes it
+    /// to its home partition, and ingests there (WAL-durable before this
+    /// returns). Returns the assigned global document id.
+    pub fn ingest_document(&self, xml: &str) -> Result<u32> {
+        Ok(self.system.ingest_document(xml)?)
+    }
+
+    /// Folds every partition's delta index into its on-disk tables
+    /// (partitions with an empty delta report `None`).
+    pub fn fold_once(&self) -> Result<Vec<Option<FoldReport>>> {
+        self.system.fold_once()
+    }
+
+    /// Starts the background partitioned self-manager: each cycle it
+    /// re-splits `opts.budget_bytes` across partitions proportional to
+    /// per-partition profiler heat, then reconciles every partition to its
+    /// share. Stop (or drop) the returned handle to shut it down.
+    pub fn start_self_manager(&self, opts: SelfManageOptions) -> Result<PartitionedSelfManager> {
+        PartitionedSelfManager::start(self.system.clone(), opts)
+    }
+
+    /// Starts the query-serving HTTP front end on `addr` over this
+    /// partitioned system (see [`HttpServer::start_partitioned`]).
+    pub fn serve_http(&self, addr: &str, config: HttpServerConfig) -> std::io::Result<HttpServer> {
+        HttpServer::start_partitioned(addr, self, config)
     }
 }

@@ -9,9 +9,14 @@
 # the always-on telemetry overhead — BENCH_serve.json — which asserts
 # cache-on p50 below cache-off and shedding under overload —
 # BENCH_blocks.json — which asserts the ≥2× byte reduction of the block
-# list layout with byte-identical answers across strategies — and
+# list layout with byte-identical answers across strategies —
 # BENCH_ingest.json — which asserts a fold drains the delta with
-# byte-identical answers).
+# byte-identical answers — and BENCH_partition.json — which asserts
+# byte-identical answers at 1/2/4 partitions with exact per-partition
+# decode accounting, plus the ≥2× 4-partition speedup on ≥4-core hosts).
+# The release-mode partition determinism storm (paper queries, crafted
+# k-boundary score ties, concurrent ingest + reconcile) runs with the
+# other release suites.
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,6 +45,9 @@ cargo test --release -p trex --test self_managing_online
 echo "== cargo test --release --test http_serve =="
 cargo test --release -p trex --test http_serve
 
+echo "== cargo test --release --test partition =="
+cargo test --release -p trex --test partition
+
 echo "== cargo test --release --test blocks_roundtrip =="
 cargo test --release -p trex-index --test blocks_roundtrip
 
@@ -60,5 +68,8 @@ cargo bench -p trex-bench --bench blocks
 
 echo "== cargo bench --bench ingest (exports BENCH_ingest.json) =="
 cargo bench -p trex-bench --bench ingest
+
+echo "== cargo bench --bench partition (exports BENCH_partition.json) =="
+cargo bench -p trex-bench --bench partition
 
 echo "verify: OK"

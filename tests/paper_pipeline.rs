@@ -100,6 +100,9 @@ fn explain_predicts_what_auto_runs() {
             trex::StrategyStats::Ta(_) => Strategy::Ta,
             trex::StrategyStats::Merge(_) => Strategy::Merge,
             trex::StrategyStats::Race { .. } => Strategy::Race,
+            trex::StrategyStats::Scatter { .. } => {
+                unreachable!("single-store search never scatters")
+            }
         };
         assert_eq!(plan.chosen, ran, "k={k:?} materialize={materialize:?}");
         // The plan's extents are valid XPath descriptions of real sids.
