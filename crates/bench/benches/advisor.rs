@@ -20,6 +20,7 @@ fn instance(l: usize) -> Vec<QueryCost> {
     (0..l)
         .map(|i| QueryCost {
             frequency: 1.0 / l as f64,
+            measured_era: (next() % 2000) as f64 / 10.0,
             delta_merge: (next() % 1000) as f64 / 10.0,
             delta_ta: (next() % 1000) as f64 / 10.0,
             erpl_lists: vec![ListId {

@@ -1,0 +1,154 @@
+//! Cost-model drift-monitor bench, exported as `BENCH_drift.json`.
+//!
+//! Two claims, one run. First, **overhead**: drift sampling at the
+//! production rate (1-in-16 queries takes the counter-snapshot path) must
+//! stay within 5% of serving with sampling off — measured as interleaved
+//! off/on pairs so common-mode noise cancels per pair, median pair ratio
+//! asserted ≤ 1.05, the same methodology as the telemetry-overhead bench.
+//! Second, **accuracy**: on a steady traced workload the Merge entry
+//! prediction (§4 counts exactly what the strategy reads) converges to
+//! near-zero relative error, and the TA prediction stays within the
+//! documented `TA_PREDICTION_FACTOR` headroom.
+
+use trex::corpus::{CorpusConfig, IeeeGenerator};
+use trex::obs::DriftKind;
+use trex::{
+    EvalOptions, ListKind, QueryEngine, Strategy, TrexConfig, TrexSystem, TA_PREDICTION_FACTOR,
+};
+use trex_bench::{bench_header, median_time, ms, store_dir, Scale};
+
+const MIX: [&str; 4] = [
+    "//article//sec[about(., xml query evaluation)]",
+    "//sec[about(., code signing verification)]",
+    "//article//sec[about(., model checking state space)]",
+    "//article[about(., information retrieval ranking)]",
+];
+
+fn build_system() -> TrexSystem {
+    let path = store_dir().join("drift-bench.db");
+    let _ = std::fs::remove_file(&path);
+    let gen = IeeeGenerator::new(CorpusConfig {
+        docs: Scale::small().ieee_docs,
+        ..CorpusConfig::ieee_default()
+    });
+    TrexSystem::build(TrexConfig::new(&path), gen.documents()).expect("build bench collection")
+}
+
+fn serve_mix(engine: &QueryEngine<'_>, strategy: Strategy) {
+    for q in MIX {
+        engine
+            .evaluate(q, EvalOptions::new().k(Some(10)).strategy(strategy))
+            .expect("bench query");
+    }
+}
+
+fn main() {
+    let system = build_system();
+    // Redundant lists for the whole mix, so Merge and TA both run.
+    for q in MIX {
+        system
+            .materialize_for(q, ListKind::Both)
+            .expect("materialise redundant lists");
+    }
+    let drift = &system.index().telemetry().drift;
+    let engine = QueryEngine::new(system.index());
+
+    serve_mix(&engine, Strategy::Merge); // warm-up: page cache, dictionaries
+
+    // Overhead: sampling off vs the production 1-in-16 rate, interleaved.
+    let mut ratios = Vec::new();
+    let (mut off, mut on) = (std::time::Duration::MAX, std::time::Duration::MAX);
+    for _ in 0..7 {
+        drift.set_sample_every(0);
+        let o = median_time(3, || serve_mix(&engine, Strategy::Merge));
+        drift.set_sample_every(trex::obs::DEFAULT_DRIFT_SAMPLE_EVERY);
+        let w = median_time(3, || serve_mix(&engine, Strategy::Merge));
+        ratios.push(w.as_secs_f64() / o.as_secs_f64().max(1e-9));
+        off = off.min(o);
+        on = on.min(w);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let ratio = ratios[ratios.len() / 2];
+    drift.set_sample_every(0);
+
+    // Accuracy: a steady traced workload, both strategies, every query
+    // feeding the monitor through the explicit-trace path.
+    for _ in 0..12 {
+        for q in MIX {
+            engine
+                .evaluate(
+                    q,
+                    EvalOptions::new()
+                        .k(Some(10))
+                        .trace(true)
+                        .strategy(Strategy::Merge),
+                )
+                .expect("traced merge query");
+            engine
+                .evaluate(
+                    q,
+                    EvalOptions::new()
+                        .k(Some(10))
+                        .trace(true)
+                        .strategy(Strategy::Ta),
+                )
+                .expect("traced ta query");
+        }
+    }
+
+    let merge_entries = drift.ewma(DriftKind::MergeEntries);
+    let merge_blocks = drift.ewma(DriftKind::MergeBlocks);
+    let ta_entries = drift.ewma(DriftKind::TaEntries);
+    let ta_blocks = drift.ewma(DriftKind::TaBlocks);
+    eprintln!(
+        "drift overhead: off {:.3} ms, on {:.3} ms, median pair ratio {ratio:.4}; \
+         ewma merge entries {merge_entries:.4} blocks {merge_blocks:.4}, \
+         ta entries {ta_entries:.4} blocks {ta_blocks:.4}, {} alerts",
+        ms(off),
+        ms(on),
+        drift.alerts(),
+    );
+    assert!(
+        ratio <= 1.05,
+        "drift sampling at the production rate must cost at most 5% (ratio {ratio:.4})"
+    );
+    assert!(
+        drift.samples(DriftKind::MergeEntries) >= 12 * MIX.len() as u64,
+        "every traced merge query must feed the monitor"
+    );
+    assert!(
+        merge_entries < 0.1,
+        "merge predictions are exact; drift {merge_entries:.4} should be ~0"
+    );
+    assert!(
+        ta_entries < TA_PREDICTION_FACTOR,
+        "ta drift {ta_entries:.4} outside the documented prediction factor"
+    );
+
+    let slot = |kind: DriftKind| {
+        format!(
+            "{{\"ewma\":{:.6},\"samples\":{}}}",
+            drift.ewma(kind),
+            drift.samples(kind)
+        )
+    };
+    let out = format!(
+        "{{{},\"drift\":{{\"queries_per_batch\":{},\"overhead\":{{\"off_ms\":{:.4},\
+         \"on_ms\":{:.4},\"ratio\":{ratio:.4}}},\"slots\":{{\"merge_entries\":{},\
+         \"merge_blocks\":{},\"ta_entries\":{},\"ta_blocks\":{}}},\"alerts\":{},\
+         \"alert_threshold\":{:.3}}}}}",
+        bench_header(Scale::small().ieee_docs, 1),
+        MIX.len(),
+        ms(off),
+        ms(on),
+        slot(DriftKind::MergeEntries),
+        slot(DriftKind::MergeBlocks),
+        slot(DriftKind::TaEntries),
+        slot(DriftKind::TaBlocks),
+        drift.alerts(),
+        drift.alert_threshold(),
+    );
+    let path = store_dir().join("BENCH_drift.json");
+    std::fs::write(&path, &out).expect("write BENCH_drift.json");
+    eprintln!("wrote {}", path.display());
+}

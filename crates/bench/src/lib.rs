@@ -163,8 +163,11 @@ pub fn ms(d: Duration) -> f64 {
 /// its worker-thread count. Timestamp and revision are read from the
 /// environment at export time (`TREX_BENCH_UNIX_TS`, `TREX_BENCH_GIT_REV`)
 /// rather than sampled, so a bench rerun under the same environment is
-/// byte-identical; unset they default to `0` / `"unknown"`. The schema is
-/// documented in EXPERIMENTS.md.
+/// byte-identical; unset they default to `0` / `"unknown"`. The schema
+/// version is [`trex::obs::SCHEMA_VERSION`] — the one number shared by
+/// every observability export — and `scripts/check_bench_headers.sh`
+/// asserts all `BENCH_*.json` files agree on it. The schema is documented
+/// in EXPERIMENTS.md.
 pub fn bench_header(scale: usize, threads: usize) -> String {
     let unix_ts: u64 = std::env::var("TREX_BENCH_UNIX_TS")
         .ok()
@@ -172,8 +175,9 @@ pub fn bench_header(scale: usize, threads: usize) -> String {
         .unwrap_or(0);
     let git_rev = std::env::var("TREX_BENCH_GIT_REV").unwrap_or_else(|_| "unknown".to_string());
     format!(
-        "\"header\":{{\"schema_version\":1,\"unix_ts\":{unix_ts},\"scale\":{scale},\
+        "\"header\":{{\"schema_version\":{},\"unix_ts\":{unix_ts},\"scale\":{scale},\
          \"threads\":{threads},\"git_rev\":\"{}\"}}",
+        trex::obs::SCHEMA_VERSION,
         trex::obs::json_escape(&git_rev)
     )
 }

@@ -9,7 +9,10 @@
 use std::time::{Duration, Instant};
 
 use trex_nexi::{parse, translate, Interpretation, Translation, TranslationContext};
-use trex_obs::{QueryTrace, SlowQuery, SpanGuard, StageTimings};
+use trex_obs::{
+    tree_from_events, DriftKind, QueryTrace, SlowQuery, SpanGuard, StageTimings, TraceContext,
+    TraceNode,
+};
 use trex_text::Analyzer;
 
 use trex_index::TrexIndex;
@@ -176,6 +179,14 @@ pub struct QueryResult {
     /// query is answerable from cache iff the current generation still
     /// equals this one — the serving layer's invalidation key.
     pub generation: u64,
+    /// The assembled span tree of this evaluation; present when the query
+    /// ran under a [`TraceContext`] (request tracing). For partitioned
+    /// evaluations the scatter layer grafts each partition's tree under one
+    /// root (see `crate::partition`).
+    pub trace_tree: Option<TraceNode>,
+    /// True when ring wrap-around lost span events inside this query's
+    /// window, so `trace_tree` (and the slow-log subtree) is incomplete.
+    pub trace_truncated: bool,
 }
 
 /// Options for [`QueryEngine::evaluate`], assembled fluently:
@@ -212,6 +223,11 @@ pub struct EvalOptions {
     /// units of work); an expired query fails with
     /// [`TrexError::DeadlineExceeded`] instead of running to completion.
     pub deadline: Option<Instant>,
+    /// Request-tracing identity from the serving layer. When set, the
+    /// evaluation assembles its span subtree into
+    /// [`QueryResult::trace_tree`] (and feeds the cost-model drift monitor)
+    /// even if [`EvalOptions::trace`] is off.
+    pub trace_context: Option<TraceContext>,
 }
 
 impl EvalOptions {
@@ -225,6 +241,7 @@ impl EvalOptions {
             measure_heap: false,
             trace: false,
             deadline: None,
+            trace_context: None,
         }
     }
 
@@ -268,6 +285,12 @@ impl EvalOptions {
     /// Sets a deadline `budget` from now.
     pub fn deadline_in(mut self, budget: Duration) -> EvalOptions {
         self.deadline = Instant::now().checked_add(budget);
+        self
+    }
+
+    /// Attaches (or clears) the request-tracing identity.
+    pub fn trace_context(mut self, ctx: impl Into<Option<TraceContext>>) -> EvalOptions {
+        self.trace_context = ctx.into();
         self
     }
 }
@@ -494,8 +517,17 @@ impl<'a> QueryEngine<'a> {
         // storage / index work attributable to this query (exact when the
         // index is otherwise idle). The slow-query log needs a trace too, so
         // snapshots are also taken whenever a query could qualify as slow.
+        // The drift monitor piggybacks on the same snapshots: every traced
+        // query feeds it, and 1-in-N untraced queries are sampled so the
+        // cost model stays continuously checked under plain traffic.
         let slow_armed = telemetry.enabled() && telemetry.slow.threshold_ns() != u64::MAX;
-        let want_trace = opts.trace || slow_armed;
+        let explicit_trace = opts.trace || opts.trace_context.is_some();
+        let drift_sampled = telemetry.enabled()
+            && !explicit_trace
+            && matches!(strategy, Strategy::Ta | Strategy::Merge)
+            && telemetry.drift.should_sample();
+        let journal_dropped0 = telemetry.journal.dropped();
+        let want_trace = explicit_trace || slow_armed || drift_sampled;
         let before = if want_trace {
             Some((
                 self.index.store().counters().snapshot(),
@@ -610,6 +642,22 @@ impl<'a> QueryEngine<'a> {
             cost: stats.cost_units(),
         });
 
+        // Cost-model drift: compare the §4 predictions against this query's
+        // actual access counts — the continuous-production version of
+        // `validate_costs`. The read gate is still held, so the list stats
+        // describe exactly the generation the query evaluated under.
+        if (explicit_trace && telemetry.enabled() || drift_sampled)
+            && matches!(strategy, Strategy::Ta | Strategy::Merge)
+        {
+            if let Some(trace) = &trace {
+                if let Err(e) = self.observe_drift(strategy, sids, terms, opts.k, trace) {
+                    // Drift is observability; a racing list drop must not
+                    // fail the query that already produced its answers.
+                    let _ = e;
+                }
+            }
+        }
+
         // Latency histograms: the stage durations were measured above either
         // way, so recording honours the pause switch without extra clocks.
         let total_time = translate_time + evaluate_time + rank_time;
@@ -637,20 +685,50 @@ impl<'a> QueryEngine<'a> {
             profiler.record(nexi, sids, terms, opts.k);
         }
 
-        // Slow-query capture: close the root span first so the collected
-        // tree has every End event, then cut this query's subtree out of the
-        // journal. The trace was built above whenever capture was possible.
+        // Slow-query / trace capture: close the root span first so the
+        // collected tree has every End event, then cut this query's subtree
+        // out of the journal — once, shared by the slow log and the request
+        // trace tree. The trace was built above whenever capture was possible.
         drop(query_span);
         let total_ns = u64::try_from(total_time.as_nanos()).unwrap_or(u64::MAX);
-        if slow_armed && telemetry.slow.qualifies(total_ns) {
-            telemetry.slow.record(SlowQuery {
-                query: nexi.unwrap_or("<pre-translated>").to_string(),
-                strategy: stats.name().to_string(),
-                total: total_time,
-                trace: trace.clone().unwrap_or_default(),
-                spans: telemetry.journal.collect_tree(root_span_id),
-            });
-        }
+        let slow_hit = slow_armed && telemetry.slow.qualifies(total_ns);
+        let want_tree = opts.trace_context.is_some() && root_span_id != 0;
+        // Journal wrap-around between arming and collection silently loses
+        // events; surface that as `truncated` rather than serving a tree
+        // that looks complete.
+        let journal_lost = telemetry.journal.dropped() > journal_dropped0;
+        let (trace_tree, trace_truncated) = if want_tree || (slow_hit && root_span_id != 0) {
+            let events = telemetry.journal.collect_tree(root_span_id);
+            let (tree, structural) = tree_from_events(&events, root_span_id);
+            let truncated = journal_lost || structural;
+            if slow_hit {
+                telemetry.slow.record(SlowQuery {
+                    query: nexi.unwrap_or("<pre-translated>").to_string(),
+                    strategy: stats.name().to_string(),
+                    total: total_time,
+                    trace: trace.clone().unwrap_or_default(),
+                    spans: events,
+                    trace_id: opts.trace_context.map(|c| c.trace_id),
+                    truncated,
+                });
+            }
+            (if want_tree { tree } else { None }, truncated)
+        } else {
+            if slow_hit {
+                // Spans were paused for this query (root id 0): record the
+                // timings without a tree, and say so.
+                telemetry.slow.record(SlowQuery {
+                    query: nexi.unwrap_or("<pre-translated>").to_string(),
+                    strategy: stats.name().to_string(),
+                    total: total_time,
+                    trace: trace.clone().unwrap_or_default(),
+                    spans: Vec::new(),
+                    trace_id: opts.trace_context.map(|c| c.trace_id),
+                    truncated: true,
+                });
+            }
+            (None, journal_lost)
+        };
 
         Ok(QueryResult {
             answers,
@@ -659,7 +737,81 @@ impl<'a> QueryEngine<'a> {
             stats,
             trace: if opts.trace { trace } else { None },
             generation,
+            trace_tree,
+            trace_truncated,
         })
+    }
+
+    /// Feeds the cost-model drift monitor from one traced TA or Merge query:
+    /// reads each touched list's (entries, blocks) stats under the read gate
+    /// already held by the caller and compares the §4 predictions against
+    /// the trace's measured access counters.
+    fn observe_drift(
+        &self,
+        strategy: Strategy,
+        sids: &[trex_summary::Sid],
+        terms: &[trex_text::TermId],
+        k: Option<usize>,
+        trace: &QueryTrace,
+    ) -> Result<()> {
+        let telemetry = self.index.telemetry();
+        let drift = &telemetry.drift;
+        let k = k.unwrap_or(usize::MAX);
+        match strategy {
+            Strategy::Ta => {
+                let rpls = self.index.rpls()?;
+                let mut lists = Vec::new();
+                for &term in terms {
+                    for &sid in sids {
+                        if let Some(s) = rpls.list_stats(term, sid)? {
+                            lists.push((s.entries, s.blocks));
+                        }
+                    }
+                }
+                if lists.is_empty() {
+                    return Ok(());
+                }
+                let entries: Vec<u64> = lists.iter().map(|&(e, _)| e).collect();
+                drift.observe(
+                    DriftKind::TaEntries,
+                    predicted_ta_accesses(&entries, k),
+                    trace.cost.sorted_accesses + trace.cost.random_accesses,
+                );
+                drift.observe(
+                    DriftKind::TaBlocks,
+                    predicted_ta_block_reads(&lists, k),
+                    trace.index.rpl_blocks,
+                );
+            }
+            Strategy::Merge => {
+                let erpls = self.index.erpls()?;
+                let mut lists = Vec::new();
+                for &term in terms {
+                    for &sid in sids {
+                        if let Some(s) = erpls.list_stats(term, sid)? {
+                            lists.push((s.entries, s.blocks));
+                        }
+                    }
+                }
+                if lists.is_empty() {
+                    return Ok(());
+                }
+                let entries: Vec<u64> = lists.iter().map(|&(e, _)| e).collect();
+                let blocks: Vec<u64> = lists.iter().map(|&(_, b)| b).collect();
+                drift.observe(
+                    DriftKind::MergeEntries,
+                    predicted_merge_accesses(&entries) as f64,
+                    trace.cost.sorted_accesses + trace.cost.random_accesses,
+                );
+                drift.observe(
+                    DriftKind::MergeBlocks,
+                    predicted_merge_block_reads(&blocks) as f64,
+                    trace.index.erpl_blocks,
+                );
+            }
+            _ => {}
+        }
+        Ok(())
     }
 
     /// Runs TA and/or Merge (whichever the materialised lists allow) with

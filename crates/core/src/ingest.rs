@@ -319,6 +319,17 @@ impl FoldManager {
     /// delta crossed either threshold. A final fold on shutdown is *not*
     /// attempted — the WAL already holds every unfolded document.
     pub fn start(index: Arc<TrexIndex>, opts: FoldOptions) -> Result<FoldManager> {
+        FoldManager::start_with(index, opts, None)
+    }
+
+    /// [`FoldManager::start`] with an optional health surface whose
+    /// `folds_in_flight` gauge brackets every fold attempt (so `/readyz`
+    /// can report folds in progress).
+    pub fn start_with(
+        index: Arc<TrexIndex>,
+        opts: FoldOptions,
+        health: Option<Arc<trex_obs::Health>>,
+    ) -> Result<FoldManager> {
         let stop = Arc::new(AtomicBool::new(false));
         let status = Arc::new(Mutex::new(FoldStatus::default()));
         let handle = {
@@ -341,6 +352,9 @@ impl FoldManager {
                         {
                             continue;
                         }
+                        let _busy = health
+                            .as_ref()
+                            .map(|h| trex_obs::InFlight::enter(&h.folds_in_flight));
                         match fold_once(&index) {
                             Ok(Some(report)) => {
                                 if opts.log_folds {

@@ -44,17 +44,18 @@ pub use materialize::{
 pub use merge::{merge, merge_with_cancel, MergeStats};
 pub use metrics::StrategyMetrics;
 pub use partition::{
-    merge_topk, partition_store_path, reconcile_partitioned, split_budget, Partition,
-    PartitionBudget, PartitionedCycle, PartitionedSelfManager, PartitionedSystem,
+    merge_topk, partition_store_path, partitioned_cycle_record, reconcile_partitioned,
+    split_budget, Partition, PartitionBudget, PartitionedCycle, PartitionedSelfManager,
+    PartitionedSystem,
 };
 pub use qsort::quicksort;
 pub use selfmanage::cost::{
     predicted_merge_accesses, predicted_ta_accesses, CostValidation, TA_PREDICTION_FACTOR,
 };
 pub use selfmanage::{
-    reconcile_once, Advisor, AdvisorOptions, AdvisorReport, Choice, CostCache, ProfilerConfig,
-    QueryCost, ReconcileReport, Selection, SelectionMethod, SelfManageOptions, SelfManager,
-    Workload, WorkloadProfiler, WorkloadQuery,
+    cycle_record, reconcile_once, Advisor, AdvisorOptions, AdvisorReport, Choice, CostCache,
+    ManagerHooks, ProfilerConfig, QueryCost, ReconcileReport, Selection, SelectionMethod,
+    SelfManageOptions, SelfManager, Workload, WorkloadProfiler, WorkloadQuery,
 };
 pub use serve::{
     normalize_nexi, parse_query_request, CacheKey, CacheStatus, CachedResult, Deadline,

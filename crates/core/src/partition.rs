@@ -40,15 +40,18 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use trex_index::TrexIndex;
+use trex_obs::TraceNode;
 
 use crate::answer::Answer;
 use crate::engine::{EvalOptions, QueryEngine, QueryResult, StrategyStats};
 use crate::executor::run_scoped;
 use crate::ingest::{fold_once, FoldReport};
 use crate::selfmanage::{
-    reconcile_once, CostCache, ReconcileReport, SelfManageOptions, WorkloadProfiler,
+    cycle_record, reconcile_once, CostCache, ManagerHooks, ReconcileReport, SelfManageOptions,
+    WorkloadProfiler,
 };
 use crate::{RaceWinner, Result, TrexError};
+use trex_obs::{CycleRecord, InFlight, SplitRecord};
 
 /// The store path of partition `i` for a system whose single-store path
 /// would be `base`: `base` with `.p{i}` appended (`corpus.trex` →
@@ -297,6 +300,10 @@ pub fn merge_topk(streams: &[Vec<Answer>], k: Option<usize>) -> Vec<Answer> {
 ///   [`PartitionedSystem::generation`]'s cache key.
 /// * `trace`: the slowest partition's trace, if tracing was on — the one
 ///   that determined the scatter's wall time.
+/// * `trace_tree`: when the request carried a trace context, a synthetic
+///   `scatter` root with exactly one `partition:{i}` child per partition,
+///   each wrapping that partition's own span tree — one tree for the whole
+///   fan-out, truncated if any partition's capture was.
 fn merge_results(per_part: Vec<QueryResult>, opts: EvalOptions, wall: Duration) -> QueryResult {
     let streams: Vec<Vec<Answer>> = per_part.iter().map(|r| r.answers.clone()).collect();
     let answers = merge_topk(&streams, opts.k);
@@ -325,6 +332,35 @@ fn merge_results(per_part: Vec<QueryResult>, opts: EvalOptions, wall: Duration) 
     let mut per_part = per_part;
     let trace = per_part[slowest].trace.take();
     let translation = per_part[0].translation.clone();
+    let trace_truncated = per_part.iter().any(|r| r.trace_truncated);
+    let trace_tree = if opts.trace_context.is_some() {
+        let wall_us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+        let children = per_part
+            .iter_mut()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut child = TraceNode {
+                    name: format!("partition:{i}"),
+                    start_us: 0,
+                    duration_us: 0,
+                    children: Vec::new(),
+                };
+                if let Some(tree) = r.trace_tree.take() {
+                    child.duration_us = tree.duration_us;
+                    child.children.push(tree);
+                }
+                child
+            })
+            .collect();
+        Some(TraceNode {
+            name: "scatter".to_string(),
+            start_us: 0,
+            duration_us: wall_us,
+            children,
+        })
+    } else {
+        None
+    };
     let stats = StrategyStats::Scatter {
         partitions: per_part.len(),
         per_part: per_part.into_iter().map(|r| r.stats).collect(),
@@ -337,6 +373,8 @@ fn merge_results(per_part: Vec<QueryResult>, opts: EvalOptions, wall: Duration) 
         stats,
         trace,
         generation,
+        trace_tree,
+        trace_truncated,
     }
 }
 
@@ -475,6 +513,43 @@ pub fn reconcile_partitioned(
     })
 }
 
+/// Converts a completed partitioned cycle into one journal entry: the
+/// per-partition budget splits become [`SplitRecord`]s, and each
+/// partition's shapes/deltas are concatenated with the delta records'
+/// `partition` field rewritten to the owning partition.
+pub fn partitioned_cycle_record(cycle: &PartitionedCycle, budget_bytes: u64) -> CycleRecord {
+    let mut record = CycleRecord {
+        cycle: cycle.cycle,
+        unix_ms: trex_obs::unix_ms(),
+        budget_bytes,
+        wall_us: u64::try_from(cycle.wall.as_micros()).unwrap_or(u64::MAX),
+        ..CycleRecord::default()
+    };
+    record.splits = cycle
+        .budgets
+        .iter()
+        .map(|b| SplitRecord {
+            partition: b.partition as u64,
+            heat: b.heat,
+            budget_bytes: b.budget_bytes,
+        })
+        .collect();
+    for (i, (report, budget)) in cycle.reports.iter().zip(&cycle.budgets).enumerate() {
+        let part = cycle_record(report, budget.budget_bytes, cycle.cycle);
+        record.generation = record.generation.max(part.generation);
+        record.bytes_used += part.bytes_used;
+        record.lists_materialized += part.lists_materialized;
+        record.lists_dropped += part.lists_dropped;
+        record.gate_pause_us += part.gate_pause_us;
+        record.shapes.extend(part.shapes);
+        record.deltas.extend(part.deltas.into_iter().map(|mut d| {
+            d.partition = i as u64;
+            d
+        }));
+    }
+    record
+}
+
 #[derive(Debug, Default)]
 struct PartitionedManagerStatus {
     last: Option<PartitionedCycle>,
@@ -499,6 +574,18 @@ impl PartitionedSelfManager {
     pub fn start(
         system: Arc<PartitionedSystem>,
         opts: SelfManageOptions,
+    ) -> Result<PartitionedSelfManager> {
+        PartitionedSelfManager::start_with(system, opts, ManagerHooks::none())
+    }
+
+    /// [`PartitionedSelfManager::start`] with observability hooks: each
+    /// completed cycle records one aggregated [`CycleRecord`] (budget
+    /// splits included) into `hooks.journal`, and `hooks.health`'s
+    /// `reconciles_in_flight` gauge brackets every cycle.
+    pub fn start_with(
+        system: Arc<PartitionedSystem>,
+        opts: SelfManageOptions,
+        hooks: ManagerHooks,
     ) -> Result<PartitionedSelfManager> {
         for part in system.parts() {
             part.index.rpls()?;
@@ -526,8 +613,18 @@ impl PartitionedSelfManager {
                             std::thread::sleep(Duration::from_millis(10).min(opts.interval));
                         }
                         cycle += 1;
+                        let _busy = hooks
+                            .health
+                            .as_ref()
+                            .map(|h| InFlight::enter(&h.reconciles_in_flight));
                         match reconcile_partitioned(&system, &opts, &mut caches, cycle) {
                             Ok(report) => {
+                                if let Some(journal) = &hooks.journal {
+                                    journal.record(partitioned_cycle_record(
+                                        &report,
+                                        opts.budget_bytes,
+                                    ));
+                                }
                                 let mut s = status.lock();
                                 s.last = Some(report);
                                 s.last_error = None;

@@ -143,6 +143,7 @@ impl<'a> Advisor<'a> {
 
             costs.push(QueryCost {
                 frequency: wq.frequency,
+                measured_era: t_e.as_secs_f64(),
                 delta_merge: (t_e.as_secs_f64() - t_m.as_secs_f64()).max(0.0),
                 delta_ta: (t_e.as_secs_f64() - t_ta.as_secs_f64()).max(0.0),
                 erpl_lists,

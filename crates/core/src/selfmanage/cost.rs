@@ -157,6 +157,11 @@ pub struct ListId {
 pub struct QueryCost {
     /// Workload frequency `f_i`.
     pub frequency: f64,
+    /// Measured `T_e(Q_i)` in seconds — the ERA baseline the deltas were
+    /// computed against. Not used by the solvers; carried for the advisor
+    /// decision journal so a cycle record can show predicted absolute costs
+    /// (`T_e − Δ`) rather than only savings.
+    pub measured_era: f64,
     /// `Δm(Q_i)` in seconds.
     pub delta_merge: f64,
     /// `Δta(Q_i)` in seconds.
@@ -275,6 +280,7 @@ mod tests {
     fn cost(f: f64, dm: f64, dta: f64, erpl: Vec<ListId>, rpl: Vec<ListId>) -> QueryCost {
         QueryCost {
             frequency: f,
+            measured_era: dm.max(dta),
             delta_merge: dm,
             delta_ta: dta,
             erpl_lists: erpl,

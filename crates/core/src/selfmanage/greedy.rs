@@ -124,6 +124,7 @@ mod tests {
     fn cost(f: f64, dm: f64, dta: f64, erpl: Vec<ListId>, rpl: Vec<ListId>) -> QueryCost {
         QueryCost {
             frequency: f,
+            measured_era: dm.max(dta),
             delta_merge: dm,
             delta_ta: dta,
             erpl_lists: erpl,

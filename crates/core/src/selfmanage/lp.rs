@@ -175,6 +175,7 @@ mod tests {
     fn cost(f: f64, dm: f64, dta: f64, s_erpl: u64, s_rpl: u64) -> QueryCost {
         QueryCost {
             frequency: f,
+            measured_era: dm.max(dta),
             delta_merge: dm,
             delta_ta: dta,
             erpl_lists: vec![ListId {

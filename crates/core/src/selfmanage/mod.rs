@@ -16,6 +16,9 @@ pub use advisor::{Advisor, AdvisorOptions, AdvisorReport, SelectionMethod};
 pub use cost::{Choice, ListId, QueryCost, Selection};
 pub use greedy::solve_greedy;
 pub use lp::solve_lp;
-pub use online::{reconcile_once, CostCache, ReconcileReport, SelfManageOptions, SelfManager};
+pub use online::{
+    cycle_record, reconcile_once, CostCache, ManagerHooks, ReconcileReport, SelfManageOptions,
+    SelfManager,
+};
 pub use profiler::{ProfiledQuery, ProfilerConfig, WorkloadProfiler};
 pub use workload::{Workload, WorkloadError, WorkloadQuery};

@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use trex_index::TrexIndex;
+use trex_obs::{AdvisorJournal, CycleRecord, Health, InFlight, ListDeltaRecord, ShapeRecord};
 use trex_summary::Sid;
 use trex_text::TermId;
 
@@ -116,6 +117,7 @@ impl SelfManageOptions {
 /// yesterday's lists.
 #[derive(Debug, Clone)]
 struct CachedCost {
+    t_e: f64,
     delta_merge: f64,
     delta_ta: f64,
     erpl_lists: Vec<ListId>,
@@ -167,6 +169,14 @@ pub struct ReconcileReport {
     pub bytes_used: u64,
     /// The maintenance generation after the cycle's last mutation.
     pub generation: u64,
+    /// Every list mutation the cycle applied, with byte deltas (the
+    /// `partition` field is 0; `reconcile_partitioned` rewrites it).
+    pub deltas: Vec<ListDeltaRecord>,
+    /// Total wall time queries were excluded by the write gate — summed
+    /// over the cycle's list mutations, each of which gates individually.
+    pub gate_pause: Duration,
+    /// End-to-end wall time of the cycle.
+    pub wall: Duration,
 }
 
 /// Runs one reconcile cycle: derive the workload from `profiler`, cost it
@@ -181,6 +191,7 @@ pub fn reconcile_once(
     opts: &SelfManageOptions,
     cache: &mut CostCache,
 ) -> Result<ReconcileReport> {
+    let cycle_started = Instant::now();
     let counters = profiler.counters().clone();
     let telemetry = index.telemetry().clone();
     let workload = profiler.workload(opts.max_queries).unwrap_or_default();
@@ -195,6 +206,9 @@ pub fn reconcile_once(
             lists_dropped: 0,
             bytes_used: index.rpls()?.total_bytes()? + index.erpls()?.total_bytes()?,
             generation: index.maintenance().generation(),
+            deltas: Vec::new(),
+            gate_pause: Duration::ZERO,
+            wall: cycle_started.elapsed(),
         });
     }
 
@@ -224,6 +238,7 @@ pub fn reconcile_once(
         let cached = &cache.by_query[&key];
         costs.push(QueryCost {
             frequency: wq.frequency,
+            measured_era: cached.t_e,
             delta_merge: cached.delta_merge,
             delta_ta: cached.delta_ta,
             erpl_lists: cached.erpl_lists.clone(),
@@ -257,22 +272,57 @@ pub fn reconcile_once(
     let mut rpls = index.rpls()?;
     let mut erpls = index.erpls()?;
     let mut dropped = 0usize;
+    let mut deltas: Vec<ListDeltaRecord> = Vec::new();
+    let mut gate_pause = Duration::ZERO;
+    // The journal wants the human-readable term, not the id; a missing
+    // dictionary entry (never expected) degrades to "#id".
+    let term_text = |term: TermId| {
+        index
+            .dictionary()
+            .term(term)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("#{term}"))
+    };
     for (term, sid, stats) in rpls.lists()? {
         if !keep_rpl.contains(&(term, sid)) {
-            let _gate = index.maintenance().enter_write();
-            rpls.drop_list(term, sid)?;
+            let gate_started = Instant::now();
+            {
+                let _gate = index.maintenance().enter_write();
+                rpls.drop_list(term, sid)?;
+            }
+            gate_pause += gate_started.elapsed();
             dropped += 1;
             counters.lists_dropped.incr();
             counters.bytes_dropped.add(stats.bytes);
+            deltas.push(ListDeltaRecord {
+                partition: 0,
+                term: term_text(term),
+                sid: sid as u64,
+                kind: "rpl".to_string(),
+                action: "drop".to_string(),
+                bytes: stats.bytes,
+            });
         }
     }
     for (term, sid, stats) in erpls.lists()? {
         if !keep_erpl.contains(&(term, sid)) {
-            let _gate = index.maintenance().enter_write();
-            erpls.drop_list(term, sid)?;
+            let gate_started = Instant::now();
+            {
+                let _gate = index.maintenance().enter_write();
+                erpls.drop_list(term, sid)?;
+            }
+            gate_pause += gate_started.elapsed();
             dropped += 1;
             counters.lists_dropped.incr();
             counters.bytes_dropped.add(stats.bytes);
+            deltas.push(ListDeltaRecord {
+                partition: 0,
+                term: term_text(term),
+                sid: sid as u64,
+                kind: "erpl".to_string(),
+                action: "drop".to_string(),
+                bytes: stats.bytes,
+            });
         }
     }
 
@@ -312,6 +362,7 @@ pub fn reconcile_once(
                 .get(&(list.term, list.sid))
                 .map(Vec::as_slice)
                 .unwrap_or(&[]);
+            let gate_started = Instant::now();
             {
                 let _gate = index.maintenance().enter_write();
                 if is_rpl {
@@ -320,10 +371,19 @@ pub fn reconcile_once(
                     erpls.put_list(list.term, list.sid, entries)?;
                 }
             }
+            gate_pause += gate_started.elapsed();
             bytes_now += list.bytes;
             written += 1;
             counters.lists_materialized.incr();
             counters.bytes_materialized.add(list.bytes);
+            deltas.push(ListDeltaRecord {
+                partition: 0,
+                term: term_text(list.term),
+                sid: list.sid as u64,
+                kind: if is_rpl { "rpl" } else { "erpl" }.to_string(),
+                action: "add".to_string(),
+                bytes: list.bytes,
+            });
         }
     }
 
@@ -350,7 +410,89 @@ pub fn reconcile_once(
         lists_dropped: dropped,
         bytes_used,
         generation: index.maintenance().generation(),
+        deltas,
+        gate_pause,
+        wall: cycle_started.elapsed(),
     })
+}
+
+/// Converts a completed cycle's report into the structured journal entry
+/// the advisor decision journal stores and `/v1/advisor/history` serves:
+/// the workload snapshot with per-shape predicted-vs-measured costs, the
+/// chosen/dropped lists with byte deltas, and the cycle's gate pause.
+pub fn cycle_record(report: &ReconcileReport, budget_bytes: u64, cycle: u64) -> CycleRecord {
+    let us = |secs: f64| (secs * 1e6).max(0.0);
+    let shapes = report
+        .workload
+        .queries()
+        .iter()
+        .zip(&report.costs)
+        .zip(&report.selection.choices)
+        .map(|((wq, cost), choice)| {
+            let (choice_str, bytes) = match choice {
+                Choice::None => ("none", 0),
+                Choice::Erpl => ("erpl", cost.s_erpl()),
+                Choice::Rpl => ("rpl", cost.s_rpl()),
+            };
+            ShapeRecord {
+                nexi: wq.nexi.clone(),
+                k: wq.k as u64,
+                frequency: wq.frequency,
+                measured_era_us: us(cost.measured_era),
+                // The deltas are savings against ERA; the absolute
+                // predictions the solver implicitly compared are T_e − Δ.
+                predicted_merge_us: us(cost.measured_era - cost.delta_merge),
+                predicted_ta_us: us(cost.measured_era - cost.delta_ta),
+                choice: choice_str.to_string(),
+                bytes,
+            }
+        })
+        .collect();
+    CycleRecord {
+        cycle,
+        unix_ms: trex_obs::unix_ms(),
+        generation: report.generation,
+        budget_bytes,
+        bytes_used: report.bytes_used,
+        lists_materialized: report.lists_materialized as u64,
+        lists_dropped: report.lists_dropped as u64,
+        gate_pause_us: u64::try_from(report.gate_pause.as_micros()).unwrap_or(u64::MAX),
+        wall_us: u64::try_from(report.wall.as_micros()).unwrap_or(u64::MAX),
+        shapes,
+        deltas: report.deltas.clone(),
+        splits: Vec::new(),
+    }
+}
+
+/// Optional observability attachments for the background managers: a
+/// decision journal that receives one [`CycleRecord`] per completed cycle,
+/// and a [`Health`] whose in-flight gauges bracket each cycle (so `/readyz`
+/// can report reconciles/folds in progress). Absent hooks cost nothing.
+#[derive(Clone, Default)]
+pub struct ManagerHooks {
+    /// Receives one record per completed reconcile cycle.
+    pub journal: Option<Arc<AdvisorJournal>>,
+    /// In-flight gauges bracketing cycles.
+    pub health: Option<Arc<Health>>,
+}
+
+impl ManagerHooks {
+    /// No attachments.
+    pub fn none() -> ManagerHooks {
+        ManagerHooks::default()
+    }
+
+    /// Attaches a decision journal.
+    pub fn journal(mut self, journal: Arc<AdvisorJournal>) -> ManagerHooks {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Attaches a health surface.
+    pub fn health(mut self, health: Arc<Health>) -> ManagerHooks {
+        self.health = Some(health);
+        self
+    }
 }
 
 /// Measures `T_e` with a traced ERA run and derives the cost entry: exact
@@ -430,6 +572,7 @@ fn measure_query(
     };
 
     Ok(CachedCost {
+        t_e,
         delta_merge: (t_e - t_m).max(0.0),
         delta_ta,
         erpl_lists,
@@ -494,6 +637,18 @@ impl SelfManager {
         profiler: Arc<WorkloadProfiler>,
         opts: SelfManageOptions,
     ) -> Result<SelfManager> {
+        SelfManager::start_with(index, profiler, opts, ManagerHooks::none())
+    }
+
+    /// [`SelfManager::start`] with observability hooks: each completed
+    /// cycle is recorded into `hooks.journal`, and `hooks.health`'s
+    /// `reconciles_in_flight` gauge brackets every cycle.
+    pub fn start_with(
+        index: Arc<TrexIndex>,
+        profiler: Arc<WorkloadProfiler>,
+        opts: SelfManageOptions,
+        hooks: ManagerHooks,
+    ) -> Result<SelfManager> {
         index.rpls()?;
         index.erpls()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -505,6 +660,7 @@ impl SelfManager {
                 .name("trex-selfmanage".into())
                 .spawn(move || {
                     let mut cache = CostCache::new();
+                    let mut cycle = 0u64;
                     while !stop.load(Ordering::Relaxed) {
                         // Sleep in slices so stop() returns promptly even
                         // with long intervals.
@@ -515,10 +671,18 @@ impl SelfManager {
                             }
                             std::thread::sleep(Duration::from_millis(10).min(opts.interval));
                         }
+                        cycle += 1;
+                        let _busy = hooks
+                            .health
+                            .as_ref()
+                            .map(|h| InFlight::enter(&h.reconciles_in_flight));
                         match reconcile_once(&index, &profiler, &opts, &mut cache) {
                             Ok(report) => {
                                 if opts.log_cycles {
                                     log_cycle(&index, &profiler, &report);
+                                }
+                                if let Some(journal) = &hooks.journal {
+                                    journal.record(cycle_record(&report, opts.budget_bytes, cycle));
                                 }
                                 let mut s = status.lock();
                                 s.last = Some(report);

@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use trex_nexi::Interpretation;
-use trex_obs::{json_escape, json_field, QueryTrace, ToJson};
+use trex_obs::{json_escape, json_field, QueryTrace, ToJson, TraceContext};
 
 use crate::answer::Answer;
 use crate::engine::{EvalOptions, Strategy};
@@ -54,6 +54,11 @@ pub struct QueryRequest {
     /// Evaluation budget in milliseconds from execution start; `None`
     /// means no deadline.
     pub deadline_ms: Option<u64>,
+    /// Distributed-trace identity for the request (from an inbound
+    /// `traceparent` header, or freshly minted at ingress). When set, the
+    /// engine assembles a span tree for `/v1/trace/<id>` and the response
+    /// bypasses the result cache, like [`trace`](QueryRequest::trace).
+    pub trace_context: Option<TraceContext>,
 }
 
 impl QueryRequest {
@@ -67,6 +72,7 @@ impl QueryRequest {
             interpretation: Interpretation::default(),
             trace: false,
             deadline_ms: None,
+            trace_context: None,
         }
     }
 
@@ -100,6 +106,12 @@ impl QueryRequest {
         self
     }
 
+    /// Sets the distributed-trace identity.
+    pub fn trace_context(mut self, ctx: impl Into<Option<TraceContext>>) -> QueryRequest {
+        self.trace_context = ctx.into();
+        self
+    }
+
     /// The [`EvalOptions`] this request resolves to, with the deadline
     /// anchored at `start` (the moment the serving layer began handling the
     /// request, so queue time does not silently extend the budget).
@@ -108,7 +120,8 @@ impl QueryRequest {
             .k(self.k)
             .strategy(self.strategy)
             .interpretation(self.interpretation)
-            .trace(self.trace);
+            .trace(self.trace)
+            .trace_context(self.trace_context);
         match self.deadline_ms {
             Some(ms) => opts.deadline_at(start.checked_add(Duration::from_millis(ms))),
             None => opts,

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use trex_obs::ServeMetrics;
+use trex_obs::{unix_ms, ServeMetrics, TraceRecord};
 
 use crate::engine::{QueryEngine, QueryResult};
 use crate::partition::PartitionedSystem;
@@ -146,7 +146,9 @@ impl<'a> QueryService<'a> {
     }
 
     fn run(&self, req: &QueryRequest, started: Instant) -> Result<QueryResponse> {
-        let cache = match (&self.cache, req.trace) {
+        // Trace-context requests bypass for the same reason traced ones do:
+        // the span tree must describe work that actually happened.
+        let cache = match (&self.cache, req.trace || req.trace_context.is_some()) {
             (Some(cache), false) => cache,
             _ => {
                 if let Some(m) = &self.metrics {
@@ -209,10 +211,23 @@ impl<'a> QueryService<'a> {
 
     fn evaluate(&self, req: &QueryRequest, started: Instant) -> Result<QueryResult> {
         let opts = req.eval_options_from(started);
-        match &self.target {
+        let result = match &self.target {
             Target::Engine(engine) => engine.evaluate(&req.nexi, opts),
             Target::Partitioned(system) => system.evaluate(&req.nexi, opts),
+        }?;
+        // File the assembled span tree under the request's trace id so
+        // `/v1/trace/<id>` can serve it after the response has gone out.
+        if let (Some(ctx), Some(metrics)) = (req.trace_context, &self.metrics) {
+            if let Some(root) = result.trace_tree.clone() {
+                metrics.traces.insert(TraceRecord {
+                    trace_id: ctx.trace_id,
+                    unix_ms: unix_ms(),
+                    truncated: result.trace_truncated,
+                    root,
+                });
+            }
         }
+        Ok(result)
     }
 
     fn respond(&self, result: QueryResult, cache: CacheStatus, started: Instant) -> QueryResponse {

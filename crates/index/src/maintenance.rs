@@ -32,7 +32,10 @@ use trex_obs::Telemetry;
 #[derive(Default)]
 pub struct Maintenance {
     gate: RwLock<()>,
-    generation: AtomicU64,
+    /// Shared so readiness surfaces (`/readyz`) can report the generation
+    /// without holding a reference to the whole index; see
+    /// [`Maintenance::generation_cell`].
+    generation: Arc<AtomicU64>,
     /// Telemetry sink for gate-wait latencies (`maint.read_gate_wait` /
     /// `maint.write_gate_wait`); `None` for bare gates in unit tests.
     telemetry: Option<Arc<Telemetry>>,
@@ -108,6 +111,14 @@ impl Maintenance {
     /// Two equal readings with no writer in between saw the same list set.
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
+    }
+
+    /// The shared generation cell itself, for surfaces (readiness, cycle
+    /// records) that report the generation without reaching through the
+    /// index. Read with `Ordering::Acquire` to pair with the write-guard's
+    /// release bump.
+    pub fn generation_cell(&self) -> Arc<AtomicU64> {
+        self.generation.clone()
     }
 }
 

@@ -32,11 +32,20 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
+pub mod advisor;
+pub mod drift;
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
+pub use advisor::{AdvisorJournal, CycleRecord, ListDeltaRecord, ShapeRecord, SplitRecord};
+pub use drift::{
+    DriftKind, DriftMonitor, DEFAULT_DRIFT_ALERT_THRESHOLD, DEFAULT_DRIFT_SAMPLE_EVERY, DRIFT_KINDS,
+};
+pub use health::{Health, InFlight};
 pub use hist::{
     Histogram, HistogramSnapshot, MaintTimers, QueryTimers, ServeTimers, Stopwatch, StorageTimers,
 };
@@ -46,6 +55,23 @@ pub use span::{
     check_nesting, render_events, SlowQuery, SlowQueryLog, SpanEvent, SpanGuard, SpanJournal,
     SpanKind, DEFAULT_SLOW_THRESHOLD,
 };
+pub use trace::{
+    format_traceparent, gen_span_id, gen_trace_id, parse_traceparent, tree_from_events, unix_ms,
+    TraceContext, TraceNode, TraceRecord, TraceStore,
+};
+
+/// Version of every exposition schema this build emits: the `BENCH_*.json`
+/// header, the `/metrics.json` layout, and the advisor/trace wire bodies
+/// share this one number so `scripts/check_bench_headers.sh` can assert a
+/// whole experiment run came from one schema.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The build's git revision for exposition, matching the unified BENCH
+/// header's sourcing: `TREX_BENCH_GIT_REV` from the environment, `"unknown"`
+/// when unset (deterministic across reruns under one environment).
+pub fn build_git_rev() -> String {
+    std::env::var("TREX_BENCH_GIT_REV").unwrap_or_else(|_| "unknown".to_string())
+}
 
 /// A relaxed atomic event counter.
 ///

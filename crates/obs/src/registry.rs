@@ -5,11 +5,17 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use crate::advisor::AdvisorJournal;
+use crate::drift::{DriftMonitor, DRIFT_KINDS};
+use crate::health::Health;
 use crate::hist::{MaintTimers, QueryTimers, ServeTimers, StorageTimers};
 use crate::span::{SlowQueryLog, SpanJournal};
+use crate::trace::TraceStore;
 use crate::{
-    json_field, Gauge, IndexCounters, SelfManageCounters, ServeCounters, StorageCounters, ToJson,
+    json_escape, json_field, Gauge, IndexCounters, SelfManageCounters, ServeCounters,
+    StorageCounters, ToJson,
 };
 
 /// Query-path telemetry shared by the engine, the maintenance gate, and the
@@ -26,6 +32,8 @@ pub struct Telemetry {
     pub journal: SpanJournal,
     /// Bounded log of queries over the slow threshold.
     pub slow: SlowQueryLog,
+    /// Live cost-model drift gauges, fed by traced-or-sampled queries.
+    pub drift: DriftMonitor,
     enabled: AtomicBool,
 }
 
@@ -37,6 +45,7 @@ impl Telemetry {
             maint: MaintTimers::new(),
             journal: SpanJournal::new(),
             slow: SlowQueryLog::new(),
+            drift: DriftMonitor::new(),
             enabled: AtomicBool::new(true),
         }
     }
@@ -71,6 +80,8 @@ pub struct ServeMetrics {
     pub timers: ServeTimers,
     /// Current depth of the bounded request queue.
     pub queue_depth: Gauge,
+    /// Recent assembled request traces, keyed by W3C trace id.
+    pub traces: TraceStore,
 }
 
 impl ServeMetrics {
@@ -80,6 +91,7 @@ impl ServeMetrics {
             counters: ServeCounters::new(),
             timers: ServeTimers::new(),
             queue_depth: Gauge::new(),
+            traces: TraceStore::new(),
         }
     }
 }
@@ -117,10 +129,17 @@ pub struct MetricsRegistry {
     telemetry: Arc<Telemetry>,
     serve: Arc<ServeMetrics>,
     partitions: Vec<PartitionMetrics>,
+    health: Arc<Health>,
+    advisor: Arc<AdvisorJournal>,
+    started: Instant,
+    git_rev: String,
 }
 
 impl MetricsRegistry {
-    /// Assembles a registry from one system's shared metric groups.
+    /// Assembles a registry from one system's shared metric groups. The
+    /// readiness state and advisor journal default to fresh instances;
+    /// systems that own real ones attach them via [`Self::with_health`] /
+    /// [`Self::with_advisor`].
     pub fn new(
         storage: Arc<StorageCounters>,
         index: Arc<IndexCounters>,
@@ -137,6 +156,10 @@ impl MetricsRegistry {
             telemetry,
             serve,
             partitions: Vec::new(),
+            health: Arc::new(Health::new()),
+            advisor: Arc::new(AdvisorJournal::new()),
+            started: Instant::now(),
+            git_rev: crate::build_git_rev(),
         }
     }
 
@@ -145,6 +168,19 @@ impl MetricsRegistry {
     /// `"partitions"` array in JSON.
     pub fn with_partitions(mut self, partitions: Vec<PartitionMetrics>) -> MetricsRegistry {
         self.partitions = partitions;
+        self
+    }
+
+    /// Attaches the system's shared readiness state (served at `/readyz`).
+    pub fn with_health(mut self, health: Arc<Health>) -> MetricsRegistry {
+        self.health = health;
+        self
+    }
+
+    /// Attaches the system's advisor decision journal (served at
+    /// `/v1/advisor/history` and `/v1/advisor/last`).
+    pub fn with_advisor(mut self, advisor: Arc<AdvisorJournal>) -> MetricsRegistry {
+        self.advisor = advisor;
         self
     }
 
@@ -169,9 +205,29 @@ impl MetricsRegistry {
     }
 
     /// The serving-surface metrics (request counters, latency histograms,
-    /// queue-depth gauge).
+    /// queue-depth gauge, trace store).
     pub fn serve(&self) -> &Arc<ServeMetrics> {
         &self.serve
+    }
+
+    /// The readiness state behind `/readyz`.
+    pub fn health(&self) -> &Arc<Health> {
+        &self.health
+    }
+
+    /// The advisor decision journal behind `/v1/advisor/*`.
+    pub fn advisor(&self) -> &Arc<AdvisorJournal> {
+        &self.advisor
+    }
+
+    /// Seconds this registry (≈ the serving process) has been up.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The build's git revision label (unified BENCH header sourcing).
+    pub fn git_rev(&self) -> &str {
+        &self.git_rev
     }
 
     /// Pauses or resumes every timer group and the span journal (counters
@@ -299,6 +355,76 @@ impl MetricsRegistry {
             "trex_spans_dropped_total {}",
             self.telemetry.journal.dropped()
         );
+        let _ = writeln!(out, "# TYPE trex_build_info gauge");
+        let _ = writeln!(
+            out,
+            "trex_build_info{{git_rev=\"{}\",schema_version=\"{}\"}} 1",
+            self.git_rev,
+            crate::SCHEMA_VERSION
+        );
+        let _ = writeln!(out, "# TYPE trex_uptime_seconds gauge");
+        let _ = writeln!(out, "trex_uptime_seconds {}", self.uptime_seconds());
+        // Cost-model drift: per-slot EWMA gauges, sample counters, and
+        // milli-error histograms (raw milli units — these are ratios, not
+        // seconds, so the shared seconds-renderer does not apply).
+        let drift = &self.telemetry.drift;
+        let _ = writeln!(out, "# TYPE trex_drift_ewma gauge");
+        for kind in DRIFT_KINDS {
+            let _ = writeln!(
+                out,
+                "trex_drift_ewma{{model=\"{}\"}} {:.6}",
+                kind.as_str(),
+                drift.ewma(kind)
+            );
+        }
+        let _ = writeln!(out, "# TYPE trex_drift_samples_total counter");
+        for kind in DRIFT_KINDS {
+            let _ = writeln!(
+                out,
+                "trex_drift_samples_total{{model=\"{}\"}} {}",
+                kind.as_str(),
+                drift.samples(kind)
+            );
+        }
+        let _ = writeln!(out, "# TYPE trex_drift_error_milli histogram");
+        for kind in DRIFT_KINDS {
+            let snap = drift.errors(kind).snapshot();
+            let mut cumulative = 0u64;
+            for (upper, c) in snap.nonzero_buckets() {
+                cumulative = cumulative.saturating_add(c);
+                let _ = writeln!(
+                    out,
+                    "trex_drift_error_milli_bucket{{model=\"{}\",le=\"{upper}\"}} {cumulative}",
+                    kind.as_str()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "trex_drift_error_milli_bucket{{model=\"{}\",le=\"+Inf\"}} {}",
+                kind.as_str(),
+                snap.count()
+            );
+            let _ = writeln!(
+                out,
+                "trex_drift_error_milli_sum{{model=\"{}\"}} {}",
+                kind.as_str(),
+                snap.sum_ns()
+            );
+            let _ = writeln!(
+                out,
+                "trex_drift_error_milli_count{{model=\"{}\"}} {}",
+                kind.as_str(),
+                snap.count()
+            );
+        }
+        let _ = writeln!(out, "# TYPE trex_cost_model_drift_alerts_total counter");
+        let _ = writeln!(out, "trex_cost_model_drift_alerts_total {}", drift.alerts());
+        let _ = writeln!(out, "# TYPE trex_advisor_cycles_recorded_total counter");
+        let _ = writeln!(
+            out,
+            "trex_advisor_cycles_recorded_total {}",
+            self.advisor.recorded.get()
+        );
         out
     }
 
@@ -381,6 +507,24 @@ impl MetricsRegistry {
         json_field(&mut out, "spans_dropped", self.telemetry.journal.dropped());
         out.push(',');
         json_field(&mut out, "slow_queries", self.telemetry.slow.len() as u64);
+        out.push_str(",\"build_info\":{\"git_rev\":\"");
+        out.push_str(&json_escape(&self.git_rev));
+        out.push_str("\",");
+        json_field(&mut out, "schema_version", crate::SCHEMA_VERSION);
+        out.push_str("},");
+        json_field(&mut out, "uptime_seconds", self.uptime_seconds());
+        out.push_str(",\"drift\":");
+        self.telemetry.drift.write_json(&mut out);
+        out.push(',');
+        json_field(
+            &mut out,
+            "cost_model_drift_alerts",
+            self.telemetry.drift.alerts(),
+        );
+        out.push(',');
+        json_field(&mut out, "advisor_cycles", self.advisor.recorded.get());
+        out.push(',');
+        json_field(&mut out, "traces_stored", self.serve.traces.len() as u64);
         out.push('}');
         out
     }
@@ -434,6 +578,28 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_exposition_covers_build_info_and_drift() {
+        let r = registry();
+        r.telemetry
+            .drift
+            .observe(crate::DriftKind::TaEntries, 100.0, 150);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE trex_build_info gauge"));
+        assert!(text.contains(&format!(
+            "trex_build_info{{git_rev=\"{}\",schema_version=\"{}\"}} 1",
+            r.git_rev(),
+            crate::SCHEMA_VERSION
+        )));
+        assert!(text.contains("# TYPE trex_uptime_seconds gauge"));
+        assert!(text.contains("trex_drift_ewma{model=\"ta_entries\"} 0.5"));
+        assert!(text.contains("trex_drift_ewma{model=\"merge_entries\"} 0.0"));
+        assert!(text.contains("trex_drift_samples_total{model=\"ta_entries\"} 1"));
+        assert!(text.contains("trex_drift_error_milli_bucket{model=\"ta_entries\",le=\"+Inf\"} 1"));
+        assert!(text.contains("trex_cost_model_drift_alerts_total 0"));
+        assert!(text.contains("trex_advisor_cycles_recorded_total 0"));
+    }
+
+    #[test]
     fn json_rendering_nests_groups() {
         let r = registry();
         r.telemetry.query.query.record(1_000);
@@ -448,6 +614,26 @@ mod tests {
         assert!(json.contains("\"serve_queue_depth\":0"));
         assert!(json.contains("\"spans_dropped\":0"));
         assert!(json.contains("\"slow_queries\":0"));
+        assert!(json.contains("\"build_info\":{\"git_rev\":\""));
+        assert!(json.contains(&format!("\"schema_version\":{}", crate::SCHEMA_VERSION)));
+        assert!(json.contains("\"uptime_seconds\":"));
+        assert!(json.contains("\"drift\":{\"alerts\":0"));
+        assert!(json.contains("\"cost_model_drift_alerts\":0"));
+        assert!(json.contains("\"advisor_cycles\":0"));
+        assert!(json.contains("\"traces_stored\":0"));
+        crate::parse_json(&json).expect("metrics JSON stays parseable");
+    }
+
+    #[test]
+    fn attached_health_and_advisor_are_served() {
+        let r = registry()
+            .with_health(Arc::new(crate::Health::new()))
+            .with_advisor(Arc::new(crate::AdvisorJournal::new()));
+        assert!(!r.health().ready());
+        r.health().set_ready(true);
+        assert!(r.health().ready());
+        r.advisor().record(crate::CycleRecord::default());
+        assert!(r.render_json().contains("\"advisor_cycles\":1"));
     }
 
     #[test]

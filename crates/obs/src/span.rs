@@ -336,6 +336,11 @@ pub struct SlowQuery {
     pub trace: QueryTrace,
     /// Begin/end span subtree of this query, in `seq` order.
     pub spans: Vec<SpanEvent>,
+    /// W3C trace id of the request, when it carried one.
+    pub trace_id: Option<u128>,
+    /// True when ring wrap-around lost events inside the captured window,
+    /// so `spans` is an incomplete subtree.
+    pub truncated: bool,
 }
 
 impl ToJson for SlowQuery {
@@ -346,6 +351,13 @@ impl ToJson for SlowQuery {
         out.push_str(&json_escape(&self.strategy));
         out.push_str("\",");
         json_field(out, "total_us", self.total.as_micros());
+        if let Some(id) = self.trace_id {
+            out.push_str(",\"trace_id\":\"");
+            out.push_str(&format!("{id:032x}"));
+            out.push('"');
+        }
+        out.push(',');
+        json_field(out, "truncated", self.truncated);
         out.push_str(",\"trace\":");
         self.trace.write_json(out);
         out.push_str(",\"spans\":");
@@ -603,6 +615,8 @@ mod tests {
                 total: Duration::from_millis(6),
                 trace: QueryTrace::default(),
                 spans: Vec::new(),
+                trace_id: (i % 2 == 0).then_some(0xabcd),
+                truncated: false,
             });
         }
         assert_eq!(log.len(), 32);

@@ -42,6 +42,7 @@ fn run() -> Result<(), String> {
         "explain" => explain(&args),
         "materialize" => materialize(&args),
         "advise" => advise(&args),
+        "advisor" => advisor(&args),
         "serve" => serve(&args),
         "stats" => stats(&args),
         _ => {
@@ -62,6 +63,7 @@ usage:
   trex explain <store.db> \"<nexi>\" [-k N]
   trex materialize <store.db> \"<nexi>\" [--kind both|rpl|erpl]
   trex advise <store.db> --workload <file> --budget <bytes> [--method greedy|lp]
+  trex advisor <store.db> [--last N]
   trex serve <store.db> [-k N] [--partitions N] [--self-manage --budget <bytes> [--interval-ms N]]
                         [--listen HOST:PORT] [--workers N] [--queue-depth N]
                         [--deadline-ms N] [--no-cache] [--fold-docs N]
@@ -75,14 +77,20 @@ queries over HTTP (POST /v1/query with a JSON body {\"nexi\", \"k\",
 429). --deadline-ms sets a default per-query evaluation budget (expired
 queries answer 408); --no-cache disables the generation-keyed result cache.
 The HTTP surface also serves /v1/metrics (Prometheus 0.0.4),
-/v1/metrics.json, /v1/slow and /v1/healthz (with unversioned aliases);
---metrics-addr exposes the same metrics routes on a separate scrape-only
-endpoint. --slow-ms sets the slow-query capture threshold (default 100 ms).
-The REPL also accepts the commands `stats` (metrics JSON), `slow`
-(slow-query log JSON), `ingest <file.xml>` (index one document live — it
-is WAL-durable and immediately queryable, folded into the on-disk tables
-in the background) and `fold` (fold the delta index now) on a line by
-themselves. The HTTP surface ingests via POST /v1/ingest with a raw XML
+/v1/metrics.json, /v1/slow, /v1/healthz (liveness), /v1/readyz
+(readiness: 503 until the store is open and recovered), /v1/advisor/history
+and /v1/advisor/last (the self-manager's decision journal), and
+/v1/trace/<id> (the span tree of a request that carried a traceparent
+header — every POST /v1/query honours inbound W3C traceparent and echoes
+one back), all with unversioned aliases; --metrics-addr exposes the same
+routes on a separate scrape-only endpoint. --slow-ms sets the slow-query
+capture threshold (default 100 ms). The REPL also accepts the commands
+`stats` (metrics JSON), `slow` (slow-query log JSON), `advisor` (decision
+journal JSON), `ingest <file.xml>` (index one document live — it is
+WAL-durable and immediately queryable, folded into the on-disk tables in
+the background) and `fold` (fold the delta index now) on a line by
+themselves. `trex advisor <store.db>` tails the on-disk journal sidecar
+(<store>.advisor.jsonl) after the fact. The HTTP surface ingests via POST /v1/ingest with a raw XML
 body. --fold-docs sets the delta size (documents) that triggers a
 background fold (default 1000).
 
@@ -461,6 +469,35 @@ fn advise(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Tails the advisor decision-journal sidecar (`<store>.advisor.jsonl`):
+/// one JSON line per reconcile cycle, written by the online self-manager.
+/// Reads the file, not the live process, so it works on a stopped store.
+fn advisor(args: &[String]) -> Result<(), String> {
+    let store = store_arg(args)?;
+    let last: usize = flag(args, "--last")
+        .map(|v| v.parse().map_err(|_| "--last expects a number"))
+        .transpose()?
+        .unwrap_or(10);
+    let path = trex::advisor_sidecar_path(std::path::Path::new(store));
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (the journal is written while `trex serve --self-manage` runs)",
+            path.display()
+        )
+    })?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let start = lines.len().saturating_sub(last);
+    for line in &lines[start..] {
+        println!("{line}");
+    }
+    eprintln!(
+        "{} cycle(s) on record, showing last {}",
+        lines.len(),
+        lines.len() - start
+    );
+    Ok(())
+}
+
 /// One-shot metrics dump for an existing store: every counter and histogram
 /// the registry knows, as JSON (default) or Prometheus text exposition
 /// (`--prometheus`). Counters cover this process only — the open itself
@@ -572,7 +609,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         None
     };
 
-    eprintln!("serving: one NEXI query per line (or `stats` / `slow`), EOF to exit");
+    eprintln!("serving: one NEXI query per line (or `stats` / `slow` / `advisor`), EOF to exit");
     // The REPL answers through the same QueryService as the HTTP front end
     // (shared cache, shared serve metrics) — one handler, two transports.
     let service = if http_config.cache {
@@ -594,6 +631,10 @@ fn serve(args: &[String]) -> Result<(), String> {
         }
         if nexi == "slow" {
             println!("{}", registry.render_slow_json());
+            continue;
+        }
+        if nexi == "advisor" {
+            println!("{}", system.advisor_journal().history_json());
             continue;
         }
         if let Some(path) = nexi.strip_prefix("ingest ") {
@@ -818,7 +859,7 @@ fn serve_partitioned(args: &[String], partitions: usize) -> Result<(), String> {
         None
     };
 
-    eprintln!("serving: one NEXI query per line (or `stats` / `slow`), EOF to exit");
+    eprintln!("serving: one NEXI query per line (or `stats` / `slow` / `advisor`), EOF to exit");
     let service = if http_config.cache {
         system.service()
     } else {
@@ -839,6 +880,10 @@ fn serve_partitioned(args: &[String], partitions: usize) -> Result<(), String> {
         }
         if nexi == "slow" {
             println!("{}", registry.render_slow_json());
+            continue;
+        }
+        if nexi == "advisor" {
+            println!("{}", system.advisor_journal().history_json());
             continue;
         }
         if let Some(path) = nexi.strip_prefix("ingest ") {

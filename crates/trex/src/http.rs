@@ -13,7 +13,20 @@
 //! | `/v1/metrics` | GET | Prometheus text exposition format 0.0.4 |
 //! | `/v1/metrics.json` | GET | the same registry as one JSON object |
 //! | `/v1/slow` | GET | the slow-query log (span trees included) |
-//! | `/v1/healthz` | GET | `ok` |
+//! | `/v1/healthz` | GET | liveness: `ok` whenever the process serves |
+//! | `/v1/readyz` | GET | readiness JSON; `503` until the store is open |
+//! | `/v1/advisor/history` | GET | the advisor decision journal (ring) |
+//! | `/v1/advisor/last` | GET | the most recent reconcile cycle record |
+//! | `/v1/trace/<id>` | GET | the span tree captured for trace id `<id>` |
+//!
+//! **Tracing.** `/query` requests that carry a W3C `traceparent` header are
+//! traced: a malformed header is replaced with a freshly minted identity,
+//! the engine assembles the query's span tree under that id (one child per
+//! partition for scatter queries), and `/v1/trace/<trace-id>` serves the
+//! assembled tree afterwards. The response always echoes a `traceparent`
+//! header — the inbound identity when one was given, a fresh one otherwise
+//! (a correlation id only; header-less requests skip capture so they keep
+//! their result-cache eligibility).
 //!
 //! **Admission control.** The acceptor thread takes connections off the
 //! listener and pushes them into a *bounded* queue ([`HttpServerConfig::
@@ -45,7 +58,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use trex_core::obs::{MetricsRegistry, ServeMetrics};
+use trex_core::obs::{parse_traceparent, MetricsRegistry, ServeMetrics, TraceContext};
 use trex_core::serve::error_body;
 use trex_core::{
     parse_query_request, PartitionedSystem, QueryEngine, QueryService, ResultCache, TrexError,
@@ -153,27 +166,87 @@ fn handle_scrape(stream: TcpStream, registry: &MetricsRegistry) -> std::io::Resu
         );
     }
     match metrics_route(unversioned(path), registry) {
-        Some((content_type, body)) => respond(&mut stream, "200 OK", content_type, &body),
+        Some((status, content_type, body)) => respond(&mut stream, status, content_type, &body),
         None => respond(
             &mut stream,
             "404 Not Found",
             "text/plain",
-            "try /metrics, /metrics.json, /slow or /healthz\n",
+            "try /metrics, /metrics.json, /slow, /healthz, /readyz, /advisor/history or /trace/<id>\n",
         ),
     }
 }
 
-/// The GET surface shared by both servers.
-fn metrics_route(path: &str, registry: &MetricsRegistry) -> Option<(&'static str, String)> {
+/// The GET surface shared by both servers: `(status, content-type, body)`,
+/// or `None` for paths neither serves.
+fn metrics_route(
+    path: &str,
+    registry: &MetricsRegistry,
+) -> Option<(&'static str, &'static str, String)> {
     match path {
         "/metrics" => Some((
+            "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
             registry.render_prometheus(),
         )),
-        "/metrics.json" => Some(("application/json", registry.render_json())),
-        "/slow" => Some(("application/json", registry.render_slow_json())),
-        "/healthz" => Some(("text/plain", "ok\n".to_string())),
-        _ => None,
+        "/metrics.json" => Some(("200 OK", "application/json", registry.render_json())),
+        "/slow" => Some(("200 OK", "application/json", registry.render_slow_json())),
+        // Liveness: answers whenever the process can serve HTTP at all.
+        "/healthz" => Some(("200 OK", "text/plain", "ok\n".to_string())),
+        // Readiness: 503 until the owning system flips `ready` after
+        // open/recovery; the body reports the maintenance generation and
+        // any reconcile/fold currently in flight either way.
+        "/readyz" => {
+            let health = registry.health();
+            let status = if health.ready() {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            Some((
+                status,
+                "application/json",
+                trex_core::obs::ToJson::to_json(health.as_ref()),
+            ))
+        }
+        "/advisor/history" => Some((
+            "200 OK",
+            "application/json",
+            registry.advisor().history_json(),
+        )),
+        "/advisor/last" => Some(("200 OK", "application/json", registry.advisor().last_json())),
+        _ => path
+            .strip_prefix("/trace/")
+            .map(|id| trace_route(id, registry)),
+    }
+}
+
+/// `/trace/<id>`: the captured span tree for one 32-hex-digit trace id.
+fn trace_route(id: &str, registry: &MetricsRegistry) -> (&'static str, &'static str, String) {
+    let parsed = (id.len() == 32 && id.bytes().all(|b| b.is_ascii_hexdigit()))
+        .then(|| u128::from_str_radix(id, 16).ok())
+        .flatten();
+    let Some(trace_id) = parsed else {
+        return (
+            "400 Bad Request",
+            "application/json",
+            error_body("bad_request", "trace id must be 32 hex digits", false),
+        );
+    };
+    match registry.serve().traces.get(trace_id) {
+        Some(record) => (
+            "200 OK",
+            "application/json",
+            trex_core::obs::ToJson::to_json(&record),
+        ),
+        None => (
+            "404 Not Found",
+            "application/json",
+            error_body(
+                "not_found",
+                "no captured trace with that id (traces are kept in a bounded ring)",
+                false,
+            ),
+        ),
     }
 }
 
@@ -430,8 +503,9 @@ fn retry_after_secs(p50_ns: u64, queue_depth: usize) -> u64 {
     (drain_secs.ceil() as u64).clamp(1, 30)
 }
 
-/// One parsed request, or the error response it should get.
-type ReadOutcome = Result<(String, String, String), (&'static str, String)>;
+/// One parsed request `(method, path, body, traceparent)`, or the error
+/// response it should get.
+type ReadOutcome = Result<(String, String, String, Option<String>), (&'static str, String)>;
 
 /// Reads a request (line, headers, `Content-Length`-framed body) off any
 /// buffered reader. Returns `Err((status, json_body))` for framing
@@ -445,6 +519,7 @@ fn read_request<R: BufRead>(reader: &mut R, max_body_bytes: usize) -> std::io::R
 
     let mut content_length: Option<usize> = None;
     let mut bad_length = false;
+    let mut traceparent: Option<String> = None;
     let mut header = String::new();
     loop {
         header.clear();
@@ -457,12 +532,14 @@ fn read_request<R: BufRead>(reader: &mut R, max_body_bytes: usize) -> std::io::R
                     Ok(n) => content_length = Some(n),
                     Err(_) => bad_length = true,
                 }
+            } else if name.eq_ignore_ascii_case("traceparent") {
+                traceparent = Some(value.trim().to_string());
             }
         }
     }
 
     if method != "POST" {
-        return Ok(Ok((method, path, String::new())));
+        return Ok(Ok((method, path, String::new(), traceparent)));
     }
     if bad_length {
         return Ok(Err((
@@ -497,7 +574,7 @@ fn read_request<R: BufRead>(reader: &mut R, max_body_bytes: usize) -> std::io::R
             )))
         }
     };
-    Ok(Ok((method, path, body)))
+    Ok(Ok((method, path, body, traceparent)))
 }
 
 fn handle_conn(
@@ -510,15 +587,22 @@ fn handle_conn(
     let mut reader = BufReader::new(stream);
     let outcome = read_request(&mut reader, config.max_body_bytes)?;
     let mut stream = reader.into_inner();
-    let (method, path, body) = match outcome {
+    let (method, path, body, traceparent) = match outcome {
         Ok(parsed) => parsed,
         Err((status, body)) => return respond(&mut stream, status, "application/json", &body),
     };
 
     match (method.as_str(), unversioned(&path)) {
         ("POST", "/query") => {
-            let (status, body) = answer_query(service, config, &body, enqueued);
-            respond(&mut stream, status, "application/json", &body)
+            let (status, body, echo) =
+                answer_query(service, config, &body, enqueued, traceparent.as_deref());
+            respond_with(
+                &mut stream,
+                status,
+                "application/json",
+                &[("traceparent", &echo)],
+                &body,
+            )
         }
         ("POST", "/ingest") => {
             let (status, body) = answer_ingest(service, &body);
@@ -535,14 +619,15 @@ fn handle_conn(
             ),
         ),
         ("GET", get_path) => match metrics_route(get_path, registry) {
-            Some((content_type, body)) => respond(&mut stream, "200 OK", content_type, &body),
+            Some((status, content_type, body)) => respond(&mut stream, status, content_type, &body),
             None => respond(
                 &mut stream,
                 "404 Not Found",
                 "application/json",
                 &error_body(
                     "not_found",
-                    "try /v1/query, /v1/metrics, /v1/metrics.json, /v1/slow or /v1/healthz",
+                    "try /v1/query, /v1/metrics, /v1/metrics.json, /v1/slow, /v1/healthz, \
+                     /v1/readyz, /v1/advisor/history or /v1/trace/<id>",
                     false,
                 ),
             ),
@@ -606,29 +691,37 @@ fn answer_ingest(service: &QueryService<'_>, body: &str) -> (&'static str, Strin
     }
 }
 
-/// Executes one `/query` body, mapping every outcome to `(status, body)`.
+/// Executes one `/query` body, mapping every outcome to `(status, body,
+/// traceparent-echo)`. An inbound `traceparent` (malformed ones replaced
+/// with a minted identity) arms span-tree capture; without one, a fresh
+/// identity is minted for the echo only, so the request stays cacheable.
 fn answer_query(
     service: &QueryService<'_>,
     config: &HttpServerConfig,
     body: &str,
     enqueued: Instant,
-) -> (&'static str, String) {
+    traceparent: Option<&str>,
+) -> (&'static str, String, String) {
+    let ctx = traceparent.map(|h| parse_traceparent(h).unwrap_or_else(TraceContext::root));
+    let echo = ctx.unwrap_or_else(TraceContext::root).header_value();
+    let with_echo = |(status, body): (&'static str, String)| (status, body, echo.clone());
     let request = match parse_query_request(body) {
         Ok(r) => r,
         Err(e) => {
             // Count it like the service counts engine-side parse errors:
             // the request never reaches `execute`.
-            return (
+            return with_echo((
                 "400 Bad Request",
                 error_body("bad_request", &e.to_string(), false),
-            );
+            ));
         }
     };
     let request = match (request.deadline_ms, config.default_deadline_ms) {
         (None, Some(ms)) => request.deadline_ms(ms),
         _ => request,
     };
-    match service.execute_from(&request, enqueued) {
+    let request = request.trace_context(ctx);
+    with_echo(match service.execute_from(&request, enqueued) {
         Ok(response) => ("200 OK", trex_core::obs::ToJson::to_json(&response)),
         Err(TrexError::DeadlineExceeded) => (
             "408 Request Timeout",
@@ -648,7 +741,7 @@ fn answer_query(
             "500 Internal Server Error",
             error_body("internal", &e.to_string(), false),
         ),
-    }
+    })
 }
 
 fn respond(
@@ -799,16 +892,29 @@ mod tests {
     fn read_request_frames_posts_by_content_length() {
         let raw = "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{}xy";
         let mut reader = std::io::BufReader::new(raw.as_bytes());
-        let (method, path, body) = read_request(&mut reader, 1024).unwrap().unwrap();
+        let (method, path, body, traceparent) = read_request(&mut reader, 1024).unwrap().unwrap();
         assert_eq!(method, "POST");
         assert_eq!(path, "/v1/query");
         assert_eq!(body, "{}xy");
+        assert_eq!(traceparent, None);
 
         // Header name is case-insensitive.
         let raw = "POST /q HTTP/1.1\r\ncontent-length: 2\r\n\r\nok";
         let mut reader = std::io::BufReader::new(raw.as_bytes());
-        let (_, _, body) = read_request(&mut reader, 1024).unwrap().unwrap();
+        let (_, _, body, _) = read_request(&mut reader, 1024).unwrap().unwrap();
         assert_eq!(body, "ok");
+    }
+
+    #[test]
+    fn read_request_captures_the_traceparent_header() {
+        let header = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+        let raw = format!(
+            "POST /v1/query HTTP/1.1\r\nTraceParent: {header}\r\nContent-Length: 2\r\n\r\n{{}}"
+        );
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let (_, _, body, traceparent) = read_request(&mut reader, 1024).unwrap().unwrap();
+        assert_eq!(body, "{}");
+        assert_eq!(traceparent.as_deref(), Some(header));
     }
 
     #[test]
@@ -836,7 +942,7 @@ mod tests {
         // GETs never need a body.
         let raw = "GET /v1/healthz HTTP/1.1\r\n\r\n";
         let mut reader = std::io::BufReader::new(raw.as_bytes());
-        let (method, path, body) = read_request(&mut reader, 1024).unwrap().unwrap();
+        let (method, path, body, _) = read_request(&mut reader, 1024).unwrap().unwrap();
         assert_eq!(
             (method.as_str(), path.as_str(), body.as_str()),
             ("GET", "/v1/healthz", "")

@@ -53,7 +53,8 @@ pub use trex_xml as xml;
 // The most-used items, re-exported flat.
 pub use http::{HttpServer, HttpServerConfig, MetricsServer};
 pub use trex_core::obs::{
-    self, MetricsRegistry, PartitionMetrics, QueryTrace, ServeMetrics, ToJson,
+    self, AdvisorJournal, Health, MetricsRegistry, PartitionMetrics, QueryTrace, ServeMetrics,
+    ToJson, TraceContext,
 };
 pub use trex_core::{
     fold_once, merge_topk, parse_query_request, partition_store_path, reconcile_once,
@@ -125,17 +126,37 @@ pub struct TrexSystem {
     profiler: Arc<WorkloadProfiler>,
     cache: Arc<ResultCache>,
     serve_metrics: Arc<ServeMetrics>,
+    journal: Arc<AdvisorJournal>,
+    health: Arc<Health>,
 }
 
 impl TrexSystem {
-    fn assemble(index: TrexIndex) -> TrexSystem {
+    fn assemble(index: TrexIndex, store_path: &Path) -> TrexSystem {
+        let health = Arc::new(Health::new());
+        health.attach_generation(index.maintenance().generation_cell());
+        health.set_ready(true);
+        let journal = Arc::new(AdvisorJournal::new());
+        // Best effort: the journal works ring-only when the sidecar path is
+        // not writable (read-only mounts, tests over borrowed stores).
+        let _ = journal.attach_sidecar(advisor_sidecar_path(store_path));
         TrexSystem {
             index: Arc::new(index),
             profiler: Arc::new(WorkloadProfiler::new(ProfilerConfig::default())),
             cache: Arc::new(ResultCache::new(DEFAULT_CACHE_ENTRIES)),
             serve_metrics: Arc::new(ServeMetrics::new()),
+            journal,
+            health,
         }
     }
+}
+
+/// Where a system's advisor-journal sidecar lives: the store file's path
+/// with `.advisor.jsonl` appended (`index.trex` → `index.trex.advisor.jsonl`),
+/// so the decision log travels with the store it describes.
+pub fn advisor_sidecar_path(store_path: &Path) -> PathBuf {
+    let mut os = store_path.as_os_str().to_owned();
+    os.push(".advisor.jsonl");
+    PathBuf::from(os)
 }
 
 impl TrexSystem {
@@ -157,7 +178,7 @@ impl TrexSystem {
         }
         builder.finish()?;
         let index = TrexIndex::open(Arc::new(store))?;
-        Ok(TrexSystem::assemble(index))
+        Ok(TrexSystem::assemble(index, &config.store_path))
     }
 
     /// Like [`TrexSystem::build`], but parses documents on `threads` worker
@@ -234,7 +255,7 @@ impl TrexSystem {
 
         builder.finish()?;
         let index = TrexIndex::open(Arc::new(store))?;
-        Ok(TrexSystem::assemble(index))
+        Ok(TrexSystem::assemble(index, &config.store_path))
     }
 
     /// Opens an existing store built earlier with [`TrexSystem::build`].
@@ -244,7 +265,7 @@ impl TrexSystem {
         let store = Store::open(&config.store_path, config.pool_pages)
             .map_err(trex_index::IndexError::Storage)?;
         let index = TrexIndex::open(Arc::new(store))?;
-        Ok(TrexSystem::assemble(index))
+        Ok(TrexSystem::assemble(index, &config.store_path))
     }
 
     /// The underlying index (summary, dictionary, tables, statistics).
@@ -274,12 +295,26 @@ impl TrexSystem {
             self.index.telemetry().clone(),
             self.serve_metrics.clone(),
         )
+        .with_health(self.health.clone())
+        .with_advisor(self.journal.clone())
     }
 
     /// The serving-layer metrics group (admission, cache, deadline
     /// counters; request / queue-wait timers) shared by every front door.
     pub fn serve_metrics(&self) -> &Arc<ServeMetrics> {
         &self.serve_metrics
+    }
+
+    /// The advisor decision journal: one [`obs::CycleRecord`] per reconcile
+    /// cycle (ring of the most recent cycles, plus the rotating JSONL
+    /// sidecar next to the store file). Served at `/v1/advisor/history`.
+    pub fn advisor_journal(&self) -> &Arc<AdvisorJournal> {
+        &self.journal
+    }
+
+    /// Liveness/readiness state served at `/healthz` and `/readyz`.
+    pub fn health(&self) -> &Arc<Health> {
+        &self.health
     }
 
     /// The system-wide result cache, keyed by `(normalized query, k,
@@ -315,7 +350,7 @@ impl TrexSystem {
     /// it crosses `opts` size thresholds. Stop (or drop) the returned
     /// handle to shut it down; unfolded documents stay WAL-durable.
     pub fn start_fold_manager(&self, opts: FoldOptions) -> Result<FoldManager> {
-        FoldManager::start(self.index.clone(), opts)
+        FoldManager::start_with(self.index.clone(), opts, Some(self.health.clone()))
     }
 
     /// Starts the background self-manager: observes the live query stream
@@ -324,7 +359,14 @@ impl TrexSystem {
     /// queries keep being served. Stop (or drop) the returned handle to
     /// shut it down.
     pub fn start_self_manager(&self, opts: SelfManageOptions) -> Result<SelfManager> {
-        SelfManager::start(self.index.clone(), self.profiler.clone(), opts)
+        SelfManager::start_with(
+            self.index.clone(),
+            self.profiler.clone(),
+            opts,
+            trex_core::ManagerHooks::none()
+                .journal(self.journal.clone())
+                .health(self.health.clone()),
+        )
     }
 
     /// What WAL recovery did when the store was opened: `None` after a
@@ -445,14 +487,25 @@ pub struct PartitionedTrexSystem {
     system: Arc<PartitionedSystem>,
     cache: Arc<ResultCache>,
     serve_metrics: Arc<ServeMetrics>,
+    journal: Arc<AdvisorJournal>,
+    health: Arc<Health>,
 }
 
 impl PartitionedTrexSystem {
-    fn assemble(system: PartitionedSystem) -> PartitionedTrexSystem {
+    fn assemble(system: PartitionedSystem, store_path: &Path) -> PartitionedTrexSystem {
+        let health = Arc::new(Health::new());
+        for part in system.parts() {
+            health.attach_generation(part.index().maintenance().generation_cell());
+        }
+        health.set_ready(true);
+        let journal = Arc::new(AdvisorJournal::new());
+        let _ = journal.attach_sidecar(advisor_sidecar_path(store_path));
         PartitionedTrexSystem {
             system: Arc::new(system),
             cache: Arc::new(ResultCache::new(DEFAULT_CACHE_ENTRIES)),
             serve_metrics: Arc::new(ServeMetrics::new()),
+            journal,
+            health,
         }
     }
 
@@ -501,6 +554,7 @@ impl PartitionedTrexSystem {
         }
         Ok(PartitionedTrexSystem::assemble(
             PartitionedSystem::from_parts(parts),
+            &config.store_path,
         ))
     }
 
@@ -528,6 +582,7 @@ impl PartitionedTrexSystem {
         }
         Ok(PartitionedTrexSystem::assemble(
             PartitionedSystem::from_parts(parts),
+            &config.store_path,
         ))
     }
 
@@ -592,6 +647,22 @@ impl PartitionedTrexSystem {
             self.serve_metrics.clone(),
         )
         .with_partitions(labelled)
+        .with_health(self.health.clone())
+        .with_advisor(self.journal.clone())
+    }
+
+    /// The advisor decision journal: one aggregated [`obs::CycleRecord`]
+    /// per partitioned reconcile cycle (per-partition budget splits in
+    /// `splits`, deltas labelled with their partition).
+    pub fn advisor_journal(&self) -> &Arc<AdvisorJournal> {
+        &self.journal
+    }
+
+    /// Liveness/readiness state served at `/healthz` and `/readyz`; its
+    /// generation is the **maximum** across partitions, matching the
+    /// result-cache key.
+    pub fn health(&self) -> &Arc<Health> {
+        &self.health
     }
 
     /// The shared `QueryRequest → QueryResponse` handler over the
@@ -639,7 +710,13 @@ impl PartitionedTrexSystem {
     /// per-partition profiler heat, then reconciles every partition to its
     /// share. Stop (or drop) the returned handle to shut it down.
     pub fn start_self_manager(&self, opts: SelfManageOptions) -> Result<PartitionedSelfManager> {
-        PartitionedSelfManager::start(self.system.clone(), opts)
+        PartitionedSelfManager::start_with(
+            self.system.clone(),
+            opts,
+            trex_core::ManagerHooks::none()
+                .journal(self.journal.clone())
+                .health(self.health.clone()),
+        )
     }
 
     /// Starts the query-serving HTTP front end on `addr` over this

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Asserts every exported BENCH_*.json opens with the same bench header
+# schema_version — the one number (trex::obs::SCHEMA_VERSION, stamped by
+# trex_bench::bench_header) that downstream tooling keys its parsers on.
+# A bench that drifts to a private header shape fails here, not in the
+# dashboard. No jq in the build image, so this is plain grep.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir="target/trex-experiments"
+shopt -s nullglob
+files=("$dir"/BENCH_*.json)
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "check_bench_headers: no $dir/BENCH_*.json files (run the benches first)" >&2
+    exit 1
+fi
+
+versions=""
+for f in "${files[@]}"; do
+    v=$(grep -o '"schema_version":[0-9]*' "$f" | head -n 1 | cut -d: -f2)
+    if [ -z "$v" ]; then
+        echo "check_bench_headers: $f has no \"schema_version\" header" >&2
+        exit 1
+    fi
+    echo "  $f: schema_version $v"
+    versions="$versions $v"
+done
+
+distinct=$(echo "$versions" | tr ' ' '\n' | sed '/^$/d' | sort -u | wc -l)
+if [ "$distinct" -ne 1 ]; then
+    echo "check_bench_headers: BENCH_*.json files disagree on schema_version:$versions" >&2
+    exit 1
+fi
+echo "check_bench_headers: ${#files[@]} export(s) agree on schema_version $(echo "$versions" | tr ' ' '\n' | sed '/^$/d' | sort -u)"

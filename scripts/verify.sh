@@ -11,12 +11,17 @@
 # BENCH_blocks.json — which asserts the ≥2× byte reduction of the block
 # list layout with byte-identical answers across strategies —
 # BENCH_ingest.json — which asserts a fold drains the delta with
-# byte-identical answers — and BENCH_partition.json — which asserts
+# byte-identical answers — BENCH_partition.json — which asserts
 # byte-identical answers at 1/2/4 partitions with exact per-partition
-# decode accounting, plus the ≥2× 4-partition speedup on ≥4-core hosts).
+# decode accounting, plus the ≥2× 4-partition speedup on ≥4-core hosts —
+# and BENCH_drift.json — which asserts the cost-model drift monitor costs
+# ≤5% at the production sampling rate, Merge predictions converge to ~0
+# relative error, and TA stays within TA_PREDICTION_FACTOR).
 # The release-mode partition determinism storm (paper queries, crafted
 # k-boundary score ties, concurrent ingest + reconcile) runs with the
-# other release suites.
+# other release suites, as does the tracing/health/advisor-journal
+# observability suite. check_bench_headers.sh closes the run by asserting
+# every BENCH_*.json export shares one schema_version.
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,6 +53,9 @@ cargo test --release -p trex --test http_serve
 echo "== cargo test --release --test partition =="
 cargo test --release -p trex --test partition
 
+echo "== cargo test --release --test tracing_observability =="
+cargo test --release -p trex --test tracing_observability
+
 echo "== cargo test --release --test blocks_roundtrip =="
 cargo test --release -p trex-index --test blocks_roundtrip
 
@@ -71,5 +79,11 @@ cargo bench -p trex-bench --bench ingest
 
 echo "== cargo bench --bench partition (exports BENCH_partition.json) =="
 cargo bench -p trex-bench --bench partition
+
+echo "== cargo bench --bench drift (exports BENCH_drift.json) =="
+cargo bench -p trex-bench --bench drift
+
+echo "== check_bench_headers.sh =="
+bash scripts/check_bench_headers.sh
 
 echo "verify: OK"

@@ -186,10 +186,47 @@ fn validate_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Checks every `# TYPE <name> histogram` block: cumulative non-decreasing
-/// buckets, a `+Inf` terminator, and `_count` equal to the `+Inf` bucket.
-/// Returns how many histogram metrics were checked.
+/// Checks every `# TYPE <name> histogram` block, per labelset (the drift
+/// histogram carries a `model` label, the latency histograms none):
+/// cumulative non-decreasing buckets, a `+Inf` terminator, and `_count`
+/// equal to the `+Inf` bucket. Returns how many histogram metrics were
+/// checked.
 fn validate_prometheus_histograms(text: &str) -> usize {
+    #[derive(Default)]
+    struct Series {
+        last: u64,
+        inf: Option<u64>,
+        count: Option<u64>,
+        has_sum: bool,
+    }
+    // Splits `model="x",le="+Inf"} 5` into the labelset key (labels minus
+    // `le`), the `le` bound, and the sample value.
+    fn split_bucket(rest: &str, line: &str) -> (String, String, u64) {
+        let (labels, value) = rest
+            .split_once("\"} ")
+            .unwrap_or_else(|| panic!("malformed bucket line: {line}"));
+        let at = labels
+            .find("le=\"")
+            .unwrap_or_else(|| panic!("bucket without le label: {line}"));
+        let key = labels[..at].trim_end_matches(',').to_string();
+        let le = labels[at + 4..].to_string();
+        let value = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-integer bucket count: {line}"));
+        (key, le, value)
+    }
+    // Splits a `_count`/`_sum` sample — `rest` is either ` 5` (unlabelled)
+    // or `{model="x"} 5` — into the labelset key and the raw value text.
+    fn split_scalar<'a>(rest: &'a str, line: &str) -> (String, &'a str) {
+        if let Some(r) = rest.strip_prefix('{') {
+            let (labels, value) = r
+                .split_once("} ")
+                .unwrap_or_else(|| panic!("malformed labelled sample: {line}"));
+            (labels.to_string(), value)
+        } else {
+            (String::new(), rest.trim_start())
+        }
+    }
     let lines: Vec<&str> = text.lines().collect();
     let mut checked = 0;
     for (i, line) in lines.iter().enumerate() {
@@ -199,40 +236,43 @@ fn validate_prometheus_histograms(text: &str) -> usize {
         let Some(name) = rest.strip_suffix(" histogram") else {
             continue;
         };
-        let mut last = 0u64;
-        let mut inf: Option<u64> = None;
-        let mut count: Option<u64> = None;
-        let mut has_sum = false;
+        let mut series: std::collections::BTreeMap<String, Series> = Default::default();
         for l in &lines[i + 1..] {
             if l.starts_with("# TYPE ") {
                 break;
             }
-            if let Some(rest) = l.strip_prefix(&format!("{name}_bucket{{le=\"")) {
-                let (le, value) = rest
-                    .split_once("\"} ")
-                    .unwrap_or_else(|| panic!("malformed bucket line: {l}"));
-                let value: u64 = value
-                    .parse()
-                    .unwrap_or_else(|_| panic!("non-integer bucket count: {l}"));
+            if let Some(rest) = l.strip_prefix(&format!("{name}_bucket{{")) {
+                let (key, le, value) = split_bucket(rest, l);
+                let s = series.entry(key).or_default();
                 assert!(
-                    value >= last,
-                    "{name}: bucket le={le} value {value} < previous {last}"
+                    value >= s.last,
+                    "{name}: bucket le={le} value {value} < previous {}",
+                    s.last
                 );
-                assert!(inf.is_none(), "{name}: bucket after +Inf: {l}");
-                last = value;
+                assert!(s.inf.is_none(), "{name}: bucket after +Inf: {l}");
+                s.last = value;
                 if le == "+Inf" {
-                    inf = Some(value);
+                    s.inf = Some(value);
                 }
-            } else if let Some(v) = l.strip_prefix(&format!("{name}_count ")) {
-                count = Some(v.parse().expect("count"));
-            } else if l.starts_with(&format!("{name}_sum ")) {
-                has_sum = true;
+            } else if let Some(rest) = l.strip_prefix(&format!("{name}_count")) {
+                let (key, value) = split_scalar(rest, l);
+                series.entry(key).or_default().count = Some(value.parse().expect("count"));
+            } else if let Some(rest) = l.strip_prefix(&format!("{name}_sum")) {
+                let (key, _) = split_scalar(rest, l);
+                series.entry(key).or_default().has_sum = true;
             }
         }
-        let inf = inf.unwrap_or_else(|| panic!("{name}: no +Inf bucket"));
-        let count = count.unwrap_or_else(|| panic!("{name}: no _count"));
-        assert_eq!(inf, count, "{name}: +Inf bucket must equal _count");
-        assert!(has_sum, "{name}: no _sum");
+        assert!(!series.is_empty(), "{name}: no samples under its # TYPE");
+        for (key, s) in &series {
+            let inf = s
+                .inf
+                .unwrap_or_else(|| panic!("{name}{{{key}}}: no +Inf bucket"));
+            let count = s
+                .count
+                .unwrap_or_else(|| panic!("{name}{{{key}}}: no _count"));
+            assert_eq!(inf, count, "{name}{{{key}}}: +Inf bucket must equal _count");
+            assert!(s.has_sum, "{name}{{{key}}}: no _sum");
+        }
         checked += 1;
     }
     checked
